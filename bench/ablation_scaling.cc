@@ -1,0 +1,30 @@
+// Ablation study of the design choices DESIGN.md calls out:
+//   SCALING          — the full technique
+//   SCALING-nonorm   — without dependent-feature normalization (§6.1 (3))
+//   SCALING-1f       — at most one scaling feature (no two-feature combos)
+//   MART             — no scaling at all
+// Evaluated in the paper's hardest same-schema setting: train on small
+// databases (SF<=4), test on large (SF>=6).
+#include "bench/experiment_common.h"
+
+using namespace resest;
+using namespace resest::bench;
+
+int main() {
+  Corpus corpus = BuildTpchCorpus(TotalTpchQueries(), /*skew=*/2.0, 42);
+  std::vector<ExecutedQuery> small, large;
+  std::vector<std::unique_ptr<Database>> dbs;
+  SplitCorpusBySf(std::move(corpus), 4.0, &small, &large, &dbs);
+
+  const std::vector<std::string> variants = {"MART", "SCALING-1f",
+                                             "SCALING-nonorm", "SCALING"};
+  PrintScoreTable(
+      "Ablation (CPU, exact features): train SF<=4, test SF>=6",
+      EvaluateTechniques(variants, small, large, Resource::kCpu,
+                         FeatureMode::kExact));
+  PrintScoreTable(
+      "Ablation (I/O, estimated features): train SF<=4, test SF>=6",
+      EvaluateTechniques(variants, small, large, Resource::kIo,
+                         FeatureMode::kEstimated));
+  return 0;
+}

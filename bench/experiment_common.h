@@ -1,0 +1,127 @@
+// Shared corpus construction for the table/figure benchmarks.
+//
+// Mirrors the paper's experimental setup (Section 7): a TPC-H workload of
+// randomly parameterized template queries executed on skewed databases of
+// scale factors 1..10, plus TPC-DS / Real-1 / Real-2 test corpora for the
+// cross-workload generalization experiments.
+//
+// Environment knobs:
+//   RESEST_QUERIES  total TPC-H corpus size (default 1200; paper used 2500 —
+//                   export RESEST_QUERIES=2500 for the full-size run)
+#ifndef RESEST_BENCH_EXPERIMENT_COMMON_H_
+#define RESEST_BENCH_EXPERIMENT_COMMON_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/harness.h"
+#include "src/workload/real_queries.h"
+#include "src/workload/runner.h"
+#include "src/workload/schemas.h"
+#include "src/workload/tpcds_queries.h"
+#include "src/workload/tpch_queries.h"
+
+namespace resest::bench {
+
+/// Databases plus the executed queries over them. The databases must outlive
+/// the queries (ExecutedQuery holds a Database pointer).
+struct Corpus {
+  std::vector<std::unique_ptr<Database>> databases;
+  std::vector<ExecutedQuery> queries;
+};
+
+inline int TotalTpchQueries() {
+  const char* env = std::getenv("RESEST_QUERIES");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 1200;
+}
+
+/// The paper's TPC-H corpus: scale factors 1,2,4,6,8,10 with Zipf skew.
+inline Corpus BuildTpchCorpus(int total_queries, double skew, uint64_t seed) {
+  Corpus corpus;
+  const double kScaleFactors[] = {1, 2, 4, 6, 8, 10};
+  const int per_sf = std::max(1, total_queries / 6);
+  Rng rng(seed);
+  for (double sf : kScaleFactors) {
+    auto db = GenerateDatabase(TpchSchema(), sf, skew, seed + static_cast<uint64_t>(sf));
+    auto queries = GenerateTpchWorkload(per_sf, &rng, db.get());
+    auto executed = RunWorkload(db.get(), queries, seed * 31 + static_cast<uint64_t>(sf));
+    for (auto& eq : executed) corpus.queries.push_back(std::move(eq));
+    corpus.databases.push_back(std::move(db));
+  }
+  return corpus;
+}
+
+/// Deterministic train/test split (every `test_every`-th query goes to the
+/// test set); the corpus is consumed since plans are move-only.
+inline void SplitCorpusMove(Corpus&& corpus, int test_every,
+                            std::vector<ExecutedQuery>* train,
+                            std::vector<ExecutedQuery>* test,
+                            std::vector<std::unique_ptr<Database>>* databases) {
+  for (size_t i = 0; i < corpus.queries.size(); ++i) {
+    auto& eq = corpus.queries[i];
+    if (static_cast<int>(i % static_cast<size_t>(test_every)) == 0) {
+      test->push_back(std::move(eq));
+    } else {
+      train->push_back(std::move(eq));
+    }
+  }
+  for (auto& db : corpus.databases) databases->push_back(std::move(db));
+}
+
+/// Split by scale factor (paper Table 5/8/11: train small / test large).
+inline void SplitCorpusBySf(Corpus&& corpus, double sf_threshold,
+                            std::vector<ExecutedQuery>* small,
+                            std::vector<ExecutedQuery>* large,
+                            std::vector<std::unique_ptr<Database>>* databases) {
+  for (auto& eq : corpus.queries) {
+    if (eq.scale_factor <= sf_threshold) {
+      small->push_back(std::move(eq));
+    } else {
+      large->push_back(std::move(eq));
+    }
+  }
+  for (auto& db : corpus.databases) databases->push_back(std::move(db));
+}
+
+/// TPC-DS test corpus (~100 queries, Section 7 "Datasets & Workloads" (1)).
+inline Corpus BuildTpcdsCorpus(int count, uint64_t seed) {
+  Corpus corpus;
+  auto db = GenerateDatabase(TpcdsSchema(), 8.0, 1.0, seed);
+  Rng rng(seed + 1);
+  auto queries = GenerateTpcdsWorkload(count, &rng, db.get());
+  corpus.queries = RunWorkload(db.get(), queries, seed + 2);
+  corpus.databases.push_back(std::move(db));
+  return corpus;
+}
+
+/// Real-1 test corpus (222 distinct decision-support queries).
+inline Corpus BuildReal1Corpus(int count, uint64_t seed) {
+  Corpus corpus;
+  auto db = GenerateDatabase(Real1Schema(), 5.0, 1.0, seed);
+  Rng rng(seed + 1);
+  auto queries = GenerateReal1Workload(count, &rng);
+  corpus.queries = RunWorkload(db.get(), queries, seed + 2);
+  corpus.databases.push_back(std::move(db));
+  return corpus;
+}
+
+/// Real-2 test corpus (887 deeper queries on a larger database).
+inline Corpus BuildReal2Corpus(int count, uint64_t seed) {
+  Corpus corpus;
+  auto db = GenerateDatabase(Real2Schema(), 6.0, 1.0, seed);
+  Rng rng(seed + 1);
+  auto queries = GenerateReal2Workload(count, &rng);
+  corpus.queries = RunWorkload(db.get(), queries, seed + 2);
+  corpus.databases.push_back(std::move(db));
+  return corpus;
+}
+
+}  // namespace resest::bench
+
+#endif  // RESEST_BENCH_EXPERIMENT_COMMON_H_

@@ -1,0 +1,68 @@
+// Figure 1: optimizer estimates can incur significant errors.
+//
+// TPC-H queries on skewed data (z=1, SF 1..10) keeping only queries whose
+// per-node cardinality estimates are within 90%-110% of the truth, so the
+// remaining error is attributable to the cost model itself, not cardinality
+// estimation. Prints (optimizer CPU estimate x LSQ alpha, actual CPU) pairs
+// and the fitted regression slope.
+#include <cstdio>
+
+#include "bench/experiment_common.h"
+
+using namespace resest;
+using namespace resest::bench;
+
+int main() {
+  std::printf("=== Figure 1: optimizer CPU estimate vs actual CPU ===\n");
+  std::printf("(skewed TPC-H z=1, SF 1-10; only queries with all node\n");
+  std::printf(" cardinality estimates within 90%%-110%% of the truth)\n");
+
+  Corpus corpus = BuildTpchCorpus(TotalTpchQueries(), /*skew=*/1.0, 42);
+
+  // Filter per the paper: every node's estimate within [0.9, 1.1] x actual.
+  std::vector<const ExecutedQuery*> kept;
+  for (const auto& eq : corpus.queries) {
+    bool ok = true;
+    eq.plan.root->Visit([&](const PlanNode* n) {
+      const double act = std::max(1.0, static_cast<double>(n->actual.rows_out));
+      const double est = std::max(1.0, n->est.rows_out);
+      const double ratio = est / act;
+      if (ratio < 0.9 || ratio > 1.1) ok = false;
+    });
+    if (ok) kept.push_back(&eq);
+  }
+  std::printf("queries kept: %zu of %zu\n", kept.size(), corpus.queries.size());
+
+  // Least-squares mapping of optimizer cost units to CPU time (the paper's
+  // regression line).
+  double num = 0, den = 0;
+  for (const auto* eq : kept) {
+    double cost = 0;
+    eq->plan.root->Visit([&](const PlanNode* n) { cost += n->est.cpu_cost; });
+    num += cost * eq->plan.TotalActualCpu();
+    den += cost * cost;
+  }
+  const double alpha = den > 0 ? num / den : 0.0;
+  std::printf("fitted regression slope alpha = %.4f\n\n", alpha);
+
+  std::printf("%14s %14s %10s\n", "opt_est (ms)", "actual (ms)", "ratio");
+  std::vector<double> est, act;
+  for (const auto* eq : kept) {
+    double cost = 0;
+    eq->plan.root->Visit([&](const PlanNode* n) { cost += n->est.cpu_cost; });
+    const double mapped = alpha * cost;
+    const double actual = eq->plan.TotalActualCpu();
+    est.push_back(std::max(0.01, mapped));
+    act.push_back(actual);
+    std::printf("%14.1f %14.1f %10.2f\n", mapped, actual,
+                RatioError(mapped, actual));
+  }
+  if (!est.empty()) {
+    const RatioBuckets b = ComputeRatioBuckets(est, act);
+    std::printf("\nEven with the error-minimizing mapping: L1=%.2f, "
+                "only %.1f%% within ratio 1.5 (paper: significant errors "
+                "remain after the regression-line mapping)\n",
+                L1RelativeError(est, act), 100.0 * b.le_1_5);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 2: statistical techniques can improve estimates significantly.
+//
+// Trains the SCALING model on ~80% of a large skewed TPC-H workload and
+// prints (estimate, actual) CPU pairs for the disjoint test queries — the
+// paper's near-diagonal scatter.
+#include <cstdio>
+
+#include "bench/experiment_common.h"
+
+using namespace resest;
+using namespace resest::bench;
+
+int main() {
+  std::printf("=== Figure 2: SCALING estimates vs actual CPU (TPC-H) ===\n");
+  Corpus corpus = BuildTpchCorpus(TotalTpchQueries(), /*skew=*/2.0, 42);
+  std::vector<ExecutedQuery> train, test;
+  std::vector<std::unique_ptr<Database>> dbs;
+  SplitCorpusMove(std::move(corpus), 5, &train, &test, &dbs);
+  std::printf("train=%zu test=%zu\n\n", train.size(), test.size());
+
+  const auto scaling = TrainTechnique("SCALING", train, FeatureMode::kExact);
+  std::printf("%14s %14s %10s\n", "estimate (ms)", "actual (ms)", "ratio");
+  std::vector<double> est, act;
+  for (const auto& eq : test) {
+    const double e = std::max(0.01, scaling->Estimate(eq, Resource::kCpu));
+    const double a = ActualUsage(eq, Resource::kCpu);
+    est.push_back(e);
+    act.push_back(a);
+    std::printf("%14.1f %14.1f %10.2f\n", e, a, RatioError(e, a));
+  }
+  const RatioBuckets b = ComputeRatioBuckets(est, act);
+  std::printf("\nL1=%.2f, %.1f%% within ratio 1.5 (paper: estimates "
+              "approximate the diagonal closely, no large-error queries)\n",
+              L1RelativeError(est, act), 100.0 * b.le_1_5);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Section 7.3: prediction cost and memory requirements.
+//
+// Measures the per-call latency of evaluating a trained MART model
+// (paper: ~0.5 us/call, negligible next to ~50 ms query optimization) and
+// the serialized model sizes (paper: <=130 B/tree, ~127 KB per 1K-tree
+// model, a few MB for the full model collection).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/core/estimator.h"
+#include "src/ml/mart.h"
+#include "src/workload/runner.h"
+#include "src/workload/schemas.h"
+#include "src/workload/tpch_queries.h"
+
+using namespace resest;
+
+namespace {
+
+Dataset MakeData(size_t n) {
+  Rng rng(3);
+  Dataset d;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> x(9);
+    for (auto& v : x) v = rng.Uniform(1, 100000);
+    d.Add(std::move(x), rng.Uniform(0, 1000));
+  }
+  return d;
+}
+
+void BM_MartPredict1KTrees(benchmark::State& state) {
+  const Dataset data = MakeData(5000);
+  MartParams params;
+  params.num_trees = 1000;
+  Mart mart(params);
+  mart.Fit(data);
+  const std::vector<double> x = data.x[42];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mart.Predict(x));
+  }
+}
+BENCHMARK(BM_MartPredict1KTrees);
+
+void BM_MartPredict150Trees(benchmark::State& state) {
+  const Dataset data = MakeData(5000);
+  MartParams params;
+  params.num_trees = 150;
+  Mart mart(params);
+  mart.Fit(data);
+  const std::vector<double> x = data.x[42];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mart.Predict(x));
+  }
+}
+BENCHMARK(BM_MartPredict150Trees);
+
+void BM_EstimateWholeQuery(benchmark::State& state) {
+  static auto db = GenerateDatabase(TpchSchema(), 1.0, 1.0, 42);
+  static auto workload = [] {
+    Rng rng(7);
+    auto queries = GenerateTpchWorkload(150, &rng, db.get());
+    return RunWorkload(db.get(), queries);
+  }();
+  static const ResourceEstimator est = [] {
+    TrainOptions options;
+    options.mart.num_trees = 150;
+    return ResourceEstimator::Train(workload, options);
+  }();
+  const auto& eq = workload[3];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        est.EstimateQuery(eq.plan, *eq.database, Resource::kCpu));
+  }
+}
+BENCHMARK(BM_EstimateWholeQuery);
+
+void BM_ModelSerializedSizes(benchmark::State& state) {
+  const Dataset data = MakeData(5000);
+  MartParams params;
+  params.num_trees = 1000;
+  Mart mart(params);
+  mart.Fit(data);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    bytes = mart.Serialize().size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["model_KB"] =
+      static_cast<double>(bytes) / 1024.0;
+  state.counters["bytes_per_tree"] = static_cast<double>(bytes) / 1000.0;
+}
+BENCHMARK(BM_ModelSerializedSizes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

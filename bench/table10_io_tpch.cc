@@ -1,0 +1,20 @@
+// Table 10: training and testing on TPC-H — logical I/O operations,
+// optimizer-estimated features. The paper reports the four best models.
+#include "bench/experiment_common.h"
+
+using namespace resest;
+using namespace resest::bench;
+
+int main() {
+  Corpus corpus = BuildTpchCorpus(TotalTpchQueries(), /*skew=*/2.0, 42);
+  std::vector<ExecutedQuery> train, test;
+  std::vector<std::unique_ptr<Database>> dbs;
+  SplitCorpusMove(std::move(corpus), 5, &train, &test, &dbs);
+
+  const auto scores =
+      EvaluateTechniques({"[8]", "LINEAR", "SVM(RBF)", "SCALING"}, train, test,
+                         Resource::kIo, FeatureMode::kEstimated);
+  PrintScoreTable("Table 10: Training and Testing on TPC-H (I/O operations)",
+                  scores);
+  return 0;
+}

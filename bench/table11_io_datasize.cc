@@ -1,0 +1,25 @@
+// Table 11: training on TPC-H, testing on different data sizes — logical
+// I/O operations, optimizer-estimated features.
+#include "bench/experiment_common.h"
+
+using namespace resest;
+using namespace resest::bench;
+
+int main() {
+  Corpus corpus = BuildTpchCorpus(TotalTpchQueries(), /*skew=*/2.0, 42);
+  std::vector<ExecutedQuery> small, large;
+  std::vector<std::unique_ptr<Database>> dbs;
+  SplitCorpusBySf(std::move(corpus), 4.0, &small, &large, &dbs);
+
+  const std::vector<std::string> techniques = {"[8]", "LINEAR", "SVM(RBF)",
+                                               "SCALING"};
+  PrintScoreTable(
+      "Table 11a: Train small (SF<=4), Test Large (SF>=6) (I/O operations)",
+      EvaluateTechniques(techniques, small, large, Resource::kIo,
+                         FeatureMode::kEstimated));
+  PrintScoreTable(
+      "Table 11b: Train large (SF>=6), Test Small (SF<=4) (I/O operations)",
+      EvaluateTechniques(techniques, large, small, Resource::kIo,
+                         FeatureMode::kEstimated));
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Table 12: training on TPC-H, testing on TPC-DS / Real-1 / Real-2 —
+// logical I/O operations, optimizer-estimated features.
+#include "bench/experiment_common.h"
+
+using namespace resest;
+using namespace resest::bench;
+
+int main() {
+  Corpus tpch = BuildTpchCorpus(TotalTpchQueries(), /*skew=*/2.0, 42);
+  Corpus tpcds = BuildTpcdsCorpus(100, 77);
+  Corpus real1 = BuildReal1Corpus(222, 78);
+  Corpus real2 = BuildReal2Corpus(887, 79);
+
+  const std::vector<std::string> techniques = {"[8]", "LINEAR", "SVM(RBF)",
+                                               "SCALING"};
+  std::vector<TechniqueScore> s_ds, s_r1, s_r2;
+  for (const auto& name : techniques) {
+    const auto est = TrainTechnique(name, tpch.queries, FeatureMode::kEstimated);
+    s_ds.push_back(ScoreEstimator(*est, tpcds.queries, Resource::kIo));
+    s_r1.push_back(ScoreEstimator(*est, real1.queries, Resource::kIo));
+    s_r2.push_back(ScoreEstimator(*est, real2.queries, Resource::kIo));
+  }
+  PrintScoreTable("Table 12a: Train TPC-H, Test TPC-DS (I/O operations)", s_ds);
+  PrintScoreTable("Table 12b: Train TPC-H, Test Real-1 (I/O operations)", s_r1);
+  PrintScoreTable("Table 12c: Train TPC-H, Test Real-2 (I/O operations)", s_r2);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table 13: MART training times for M=1K boosting iterations (10-leaf
+// trees) as the number of training examples grows from 5K to 160K —
+// including the time to serialize the resulting model, matching the paper's
+// "reading in the training data and writing the output model" accounting.
+#include <chrono>
+#include <cstdio>
+
+#include "src/ml/mart.h"
+
+using namespace resest;
+
+namespace {
+
+// Synthetic operator-style training data (9 features, non-linear target).
+Dataset MakeData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> x(9);
+    for (auto& v : x) v = rng.Uniform(1, 100000);
+    const double y = 0.001 * x[0] + 0.1 * x[1] / (1 + x[2] * 1e-5) +
+                     0.0002 * x[3] * std::log2(std::max(2.0, x[3])) +
+                     rng.Gaussian(0, 10);
+    d.Add(std::move(x), y);
+  }
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 13: MART training time vs #training examples "
+              "(M=1K boosting iterations, 10-leaf trees) ===\n\n");
+  std::printf("%12s %16s %16s\n", "examples", "train time (s)", "model KB");
+  for (size_t n : {5000u, 10000u, 20000u, 40000u, 80000u, 160000u}) {
+    const Dataset data = MakeData(n, 7);
+    MartParams params;
+    params.num_trees = 1000;
+    params.max_leaves = 10;
+    Mart mart(params);
+    const auto t0 = std::chrono::steady_clock::now();
+    mart.Fit(data);
+    const auto bytes = mart.Serialize();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0).count() /
+        1000.0;
+    std::printf("%12zu %16.2f %16.1f\n", n, secs,
+                static_cast<double>(bytes.size()) / 1024.0);
+  }
+  std::printf("\n(paper: 2.6s at 5K examples to 36.8s at 160K; training cost "
+              "is small and grows roughly linearly)\n");
+  return 0;
+}

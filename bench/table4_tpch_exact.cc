@@ -1,0 +1,23 @@
+// Table 4: training and testing on TPC-H with exact input features — CPU.
+//
+// 80/20 split of the randomly parameterized TPC-H workload (skew z=2,
+// SF 1..10); all six statistical techniques compared on the paper's two
+// error metrics.
+#include "bench/experiment_common.h"
+
+using namespace resest;
+using namespace resest::bench;
+
+int main() {
+  Corpus corpus = BuildTpchCorpus(TotalTpchQueries(), /*skew=*/2.0, 42);
+  std::vector<ExecutedQuery> train, test;
+  std::vector<std::unique_ptr<Database>> dbs;
+  SplitCorpusMove(std::move(corpus), 5, &train, &test, &dbs);
+
+  const auto scores = EvaluateTechniques(
+      {"[8]", "LINEAR", "MART", "SVM(PK)", "REGTREE", "SCALING"}, train, test,
+      Resource::kCpu, FeatureMode::kExact);
+  PrintScoreTable(
+      "Table 4: Training and Testing on TPC-H (exact features, CPU)", scores);
+  return 0;
+}

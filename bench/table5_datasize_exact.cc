@@ -1,0 +1,26 @@
+// Table 5: training on TPC-H, testing on different data sizes — CPU, exact
+// features. Two directions: train on small databases (SF<=4) and test on
+// large (SF>=6), then the reverse.
+#include "bench/experiment_common.h"
+
+using namespace resest;
+using namespace resest::bench;
+
+int main() {
+  Corpus corpus = BuildTpchCorpus(TotalTpchQueries(), /*skew=*/2.0, 42);
+  std::vector<ExecutedQuery> small, large;
+  std::vector<std::unique_ptr<Database>> dbs;
+  SplitCorpusBySf(std::move(corpus), 4.0, &small, &large, &dbs);
+
+  const std::vector<std::string> techniques = {"[8]",     "LINEAR",  "MART",
+                                               "SVM(PK)", "REGTREE", "SCALING"};
+  PrintScoreTable(
+      "Table 5a: Train small (SF<=4), Test Large (SF>=6) (exact features, CPU)",
+      EvaluateTechniques(techniques, small, large, Resource::kCpu,
+                         FeatureMode::kExact));
+  PrintScoreTable(
+      "Table 5b: Train large (SF>=6), Test Small (SF<=4) (exact features, CPU)",
+      EvaluateTechniques(techniques, large, small, Resource::kCpu,
+                         FeatureMode::kExact));
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Table 6: training on TPC-H, testing on completely different workloads and
+// data (TPC-DS, Real-1, Real-2) — CPU, exact features. The hardest
+// generalization setting: different schemas, plans and resource magnitudes.
+#include "bench/experiment_common.h"
+
+using namespace resest;
+using namespace resest::bench;
+
+int main() {
+  Corpus tpch = BuildTpchCorpus(TotalTpchQueries(), /*skew=*/2.0, 42);
+  Corpus tpcds = BuildTpcdsCorpus(100, 77);
+  Corpus real1 = BuildReal1Corpus(222, 78);
+  Corpus real2 = BuildReal2Corpus(887, 79);
+
+  const std::vector<std::string> techniques = {"[8]",     "LINEAR",  "MART",
+                                               "SVM(PK)", "REGTREE", "SCALING"};
+  std::vector<TechniqueScore> s_ds, s_r1, s_r2;
+  for (const auto& name : techniques) {
+    const auto est = TrainTechnique(name, tpch.queries, FeatureMode::kExact);
+    s_ds.push_back(ScoreEstimator(*est, tpcds.queries, Resource::kCpu));
+    s_r1.push_back(ScoreEstimator(*est, real1.queries, Resource::kCpu));
+    s_r2.push_back(ScoreEstimator(*est, real2.queries, Resource::kCpu));
+  }
+  PrintScoreTable("Table 6a: Train TPC-H, Test TPC-DS (exact features, CPU)", s_ds);
+  PrintScoreTable("Table 6b: Train TPC-H, Test Real-1 (exact features, CPU)", s_r1);
+  PrintScoreTable("Table 6c: Train TPC-H, Test Real-2 (exact features, CPU)", s_r2);
+  return 0;
+}

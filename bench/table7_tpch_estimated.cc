@@ -1,0 +1,22 @@
+// Table 7: training and testing on TPC-H with optimizer-estimated input
+// features — CPU. Adds the OPT competitor; also tests each technique's
+// ability to compensate for cardinality-estimation bias.
+#include "bench/experiment_common.h"
+
+using namespace resest;
+using namespace resest::bench;
+
+int main() {
+  Corpus corpus = BuildTpchCorpus(TotalTpchQueries(), /*skew=*/2.0, 42);
+  std::vector<ExecutedQuery> train, test;
+  std::vector<std::unique_ptr<Database>> dbs;
+  SplitCorpusMove(std::move(corpus), 5, &train, &test, &dbs);
+
+  const auto scores = EvaluateTechniques(
+      {"OPT", "[8]", "LINEAR", "MART", "SVM(PK)", "REGTREE", "SCALING"}, train,
+      test, Resource::kCpu, FeatureMode::kEstimated);
+  PrintScoreTable(
+      "Table 7: Training and Testing on TPC-H (optimizer-estimated features, CPU)",
+      scores);
+  return 0;
+}

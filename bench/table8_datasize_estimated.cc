@@ -1,0 +1,25 @@
+// Table 8: training on TPC-H, testing on different data sizes — CPU,
+// optimizer-estimated features.
+#include "bench/experiment_common.h"
+
+using namespace resest;
+using namespace resest::bench;
+
+int main() {
+  Corpus corpus = BuildTpchCorpus(TotalTpchQueries(), /*skew=*/2.0, 42);
+  std::vector<ExecutedQuery> small, large;
+  std::vector<std::unique_ptr<Database>> dbs;
+  SplitCorpusBySf(std::move(corpus), 4.0, &small, &large, &dbs);
+
+  const std::vector<std::string> techniques = {
+      "OPT", "[8]", "LINEAR", "MART", "SVM(PK)", "REGTREE", "SCALING"};
+  PrintScoreTable(
+      "Table 8a: Train small (SF<=4), Test Large (SF>=6) (estimated features, CPU)",
+      EvaluateTechniques(techniques, small, large, Resource::kCpu,
+                         FeatureMode::kEstimated));
+  PrintScoreTable(
+      "Table 8b: Train large (SF>=6), Test Small (SF<=4) (estimated features, CPU)",
+      EvaluateTechniques(techniques, large, small, Resource::kCpu,
+                         FeatureMode::kEstimated));
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ad-hoc query robustness — the paper's core claim (Section 1.1).
+//
+// Trains on a TPC-H workload, then estimates CPU for queries from an
+// entirely different schema and workload (TPC-DS-shaped star queries) that
+// the models never saw: different tables, widths, plans and data sizes.
+// Compares SCALING against plain MART to show why explicit scaling matters.
+#include <cstdio>
+
+#include "src/baselines/harness.h"
+#include "src/workload/runner.h"
+#include "src/workload/schemas.h"
+#include "src/workload/tpcds_queries.h"
+#include "src/workload/tpch_queries.h"
+
+using namespace resest;
+
+int main() {
+  std::printf("== ad-hoc generalization: train TPC-H, estimate TPC-DS ==\n\n");
+
+  auto tpch = GenerateDatabase(TpchSchema(), 1.0, 1.5, 42);
+  auto tpcds = GenerateDatabase(TpcdsSchema(), 6.0, 1.0, 77);
+  Rng rng(7);
+  const auto train =
+      RunWorkload(tpch.get(), GenerateTpchWorkload(300, &rng, tpch.get()));
+  const auto adhoc =
+      RunWorkload(tpcds.get(), GenerateTpcdsWorkload(40, &rng, tpcds.get()), 13);
+  std::printf("training: %zu TPC-H queries (SF 1)\n", train.size());
+  std::printf("ad-hoc:   %zu TPC-DS queries (SF 6 — larger than anything in "
+              "training)\n\n",
+              adhoc.size());
+
+  const auto scaling = TrainTechnique("SCALING", train, FeatureMode::kExact);
+  const auto mart = TrainTechnique("MART", train, FeatureMode::kExact);
+
+  std::printf("%-12s %14s %14s %14s\n", "query", "actual", "SCALING", "MART");
+  std::vector<double> s_est, m_est, act;
+  for (const auto& eq : adhoc) {
+    const double a = eq.plan.TotalActualCpu();
+    const double s = scaling->Estimate(eq, Resource::kCpu);
+    const double m = mart->Estimate(eq, Resource::kCpu);
+    act.push_back(a);
+    s_est.push_back(std::max(0.01, s));
+    m_est.push_back(std::max(0.01, m));
+    std::printf("%-12s %14.1f %14.1f %14.1f\n", eq.spec.name.c_str(), a, s, m);
+  }
+
+  const RatioBuckets sb = ComputeRatioBuckets(s_est, act);
+  const RatioBuckets mb = ComputeRatioBuckets(m_est, act);
+  std::printf("\nwithin 1.5x:  SCALING %.0f%%   MART %.0f%%\n",
+              100 * sb.le_1_5, 100 * mb.le_1_5);
+  std::printf("(plain MART saturates at its training envelope and "
+              "underestimates the bigger ad-hoc queries; the combined "
+              "models extrapolate through their scaling functions)\n");
+  return 0;
+}

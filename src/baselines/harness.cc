@@ -1,0 +1,100 @@
+#include "src/baselines/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace resest {
+
+double ActualUsage(const ExecutedQuery& query, Resource resource) {
+  return resource == Resource::kCpu
+             ? query.plan.TotalActualCpu()
+             : static_cast<double>(query.plan.TotalActualIo());
+}
+
+std::unique_ptr<QueryEstimator> TrainTechnique(
+    const std::string& technique, const std::vector<ExecutedQuery>& train,
+    FeatureMode mode) {
+  if (technique == "OPT") return OptBaseline::Train(train);
+  if (technique == "[8]") return AkdereEstimator::Train(train, mode);
+  if (technique == "LINEAR") {
+    return OperatorMlEstimator::Train(train, MlTechnique::kLinear, mode);
+  }
+  if (technique == "MART") {
+    return OperatorMlEstimator::Train(train, MlTechnique::kMart, mode);
+  }
+  if (technique == "REGTREE") {
+    return OperatorMlEstimator::Train(train, MlTechnique::kRegTree, mode);
+  }
+  if (technique == "SVM(PK)") {
+    return OperatorMlEstimator::Train(train, MlTechnique::kSvrPoly, mode);
+  }
+  if (technique == "SVM(NPK)") {
+    return OperatorMlEstimator::Train(train, MlTechnique::kSvrNormalizedPoly, mode);
+  }
+  if (technique == "SVM(RBF)") {
+    return OperatorMlEstimator::Train(train, MlTechnique::kSvrRbf, mode);
+  }
+  if (technique == "SVM(Puk)") {
+    return OperatorMlEstimator::Train(train, MlTechnique::kSvrPuk, mode);
+  }
+  TrainOptions options;
+  options.mode = mode;
+  if (technique == "SCALING") return ScalingEstimator::Train(train, options);
+  if (technique == "SCALING-nonorm") {
+    options.normalize_dependents = false;
+    return ScalingEstimator::Train(train, options);
+  }
+  if (technique == "SCALING-1f") {
+    options.max_scale_features = 1;
+    return ScalingEstimator::Train(train, options);
+  }
+  return nullptr;
+}
+
+TechniqueScore ScoreEstimator(const QueryEstimator& estimator,
+                              const std::vector<ExecutedQuery>& test,
+                              Resource resource) {
+  TechniqueScore score;
+  score.technique = estimator.Name();
+  std::vector<double> estimates, actuals;
+  estimates.reserve(test.size());
+  actuals.reserve(test.size());
+  // Floor the estimate: the paper's L1 metric divides by the estimate, and
+  // an I/O estimate below one page is not meaningful.
+  const double floor = resource == Resource::kIo ? 1.0 : 0.01;
+  for (const auto& eq : test) {
+    estimates.push_back(std::max(floor, estimator.Estimate(eq, resource)));
+    actuals.push_back(ActualUsage(eq, resource));
+  }
+  score.l1_error = L1RelativeError(estimates, actuals);
+  score.buckets = ComputeRatioBuckets(estimates, actuals);
+  return score;
+}
+
+std::vector<TechniqueScore> EvaluateTechniques(
+    const std::vector<std::string>& techniques,
+    const std::vector<ExecutedQuery>& train,
+    const std::vector<ExecutedQuery>& test, Resource resource,
+    FeatureMode mode) {
+  std::vector<TechniqueScore> scores;
+  for (const auto& name : techniques) {
+    const auto estimator = TrainTechnique(name, train, mode);
+    if (estimator == nullptr) continue;
+    scores.push_back(ScoreEstimator(*estimator, test, resource));
+  }
+  return scores;
+}
+
+void PrintScoreTable(const std::string& title,
+                     const std::vector<TechniqueScore>& scores) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-16s %8s %10s %14s %8s\n", "Technique", "L1 Err", "R<=1.5",
+              "R in [1.5,2]", "R>2");
+  for (const auto& s : scores) {
+    std::printf("%-16s %8.2f %9.2f%% %13.2f%% %7.2f%%\n", s.technique.c_str(),
+                s.l1_error, 100.0 * s.buckets.le_1_5, 100.0 * s.buckets.in_1_5_2,
+                100.0 * s.buckets.gt_2);
+  }
+}
+
+}  // namespace resest

@@ -1,0 +1,54 @@
+// The evaluation harness shared by the table benchmarks: trains a set of
+// techniques on one workload, evaluates them on another, and reports the
+// paper's two error metrics (L1 relative error and ratio-error buckets).
+#ifndef RESEST_BASELINES_HARNESS_H_
+#define RESEST_BASELINES_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/query_estimator.h"
+#include "src/common/stats.h"
+
+namespace resest {
+
+/// One row of a paper-style results table.
+struct TechniqueScore {
+  std::string technique;
+  double l1_error = 0.0;
+  RatioBuckets buckets;
+};
+
+/// Technique identifiers understood by the harness.
+///   "OPT", "[8]", "LINEAR", "MART", "REGTREE", "SVM(PK)", "SVM(NPK)",
+///   "SVM(RBF)", "SVM(Puk)", "SCALING", and ablations
+///   "SCALING-nonorm" (no dependent-feature normalization) and
+///   "SCALING-1f" (at most one scale feature).
+std::unique_ptr<QueryEstimator> TrainTechnique(
+    const std::string& technique, const std::vector<ExecutedQuery>& train,
+    FeatureMode mode);
+
+/// Trains each technique and scores it on the test queries for `resource`.
+std::vector<TechniqueScore> EvaluateTechniques(
+    const std::vector<std::string>& techniques,
+    const std::vector<ExecutedQuery>& train,
+    const std::vector<ExecutedQuery>& test, Resource resource,
+    FeatureMode mode);
+
+/// Scores one trained estimator on the test queries.
+TechniqueScore ScoreEstimator(const QueryEstimator& estimator,
+                              const std::vector<ExecutedQuery>& test,
+                              Resource resource);
+
+/// Prints a table in the paper's layout:
+///   Technique | L1 Err | R<=1.5 | R in [1.5,2] | R>2.
+void PrintScoreTable(const std::string& title,
+                     const std::vector<TechniqueScore>& scores);
+
+/// Actual resource usage of an executed query.
+double ActualUsage(const ExecutedQuery& query, Resource resource);
+
+}  // namespace resest
+
+#endif  // RESEST_BASELINES_HARNESS_H_

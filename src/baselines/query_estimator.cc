@@ -1,0 +1,318 @@
+#include "src/baselines/query_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace resest {
+
+namespace {
+
+template <typename Fn>
+void VisitWithParent(const PlanNode* node, const PlanNode* parent, Fn&& fn) {
+  fn(node, parent);
+  for (const auto& c : node->children) VisitWithParent(c.get(), node, fn);
+}
+
+double NodeActual(const PlanNode& node, Resource r) {
+  return r == Resource::kCpu ? node.actual.cpu
+                             : static_cast<double>(node.actual.logical_io);
+}
+
+double NodeOptCost(const PlanNode& node, Resource r) {
+  return r == Resource::kCpu ? node.est.cpu_cost : node.est.io_cost;
+}
+
+}  // namespace
+
+// --- OPT ----------------------------------------------------------------
+
+std::unique_ptr<OptBaseline> OptBaseline::Train(
+    const std::vector<ExecutedQuery>& workload) {
+  auto est = std::make_unique<OptBaseline>();
+  // Least squares alpha per (operator, resource):
+  // alpha = sum(cost * actual) / sum(cost^2).
+  std::array<std::array<double, kNumResources>, kNumOpTypes> num{}, den{};
+  for (const auto& eq : workload) {
+    if (!eq.plan.root) continue;
+    eq.plan.root->Visit([&](const PlanNode* n) {
+      const size_t op = static_cast<size_t>(n->type);
+      for (int r = 0; r < kNumResources; ++r) {
+        const double cost = NodeOptCost(*n, static_cast<Resource>(r));
+        const double actual = NodeActual(*n, static_cast<Resource>(r));
+        num[op][static_cast<size_t>(r)] += cost * actual;
+        den[op][static_cast<size_t>(r)] += cost * cost;
+      }
+    });
+  }
+  for (size_t op = 0; op < kNumOpTypes; ++op) {
+    for (size_t r = 0; r < kNumResources; ++r) {
+      est->alpha_[op][r] = den[op][r] > 0 ? num[op][r] / den[op][r] : 0.0;
+    }
+  }
+  return est;
+}
+
+double OptBaseline::Estimate(const ExecutedQuery& query, Resource resource) const {
+  double total = 0.0;
+  if (!query.plan.root) return 0.0;
+  query.plan.root->Visit([&](const PlanNode* n) {
+    total += alpha_[static_cast<size_t>(n->type)][static_cast<size_t>(resource)] *
+             NodeOptCost(*n, resource);
+  });
+  return std::max(0.0, total);
+}
+
+// --- Generic per-operator ML baselines ------------------------------------
+
+namespace {
+
+std::unique_ptr<Regressor> MakeRegressor(MlTechnique t, uint64_t seed) {
+  switch (t) {
+    case MlTechnique::kLinear:
+      return std::make_unique<LinearModel>();
+    case MlTechnique::kMart: {
+      MartParams p;
+      p.num_trees = 300;
+      p.seed = seed;
+      return std::make_unique<Mart>(p);
+    }
+    case MlTechnique::kRegTree: {
+      MartParams p;
+      p.num_trees = 300;
+      p.linear_leaves = true;
+      p.seed = seed;
+      return std::make_unique<Mart>(p);
+    }
+    case MlTechnique::kSvrPoly:
+    case MlTechnique::kSvrNormalizedPoly:
+    case MlTechnique::kSvrRbf:
+    case MlTechnique::kSvrPuk: {
+      SvrParams p;
+      p.kernel = t == MlTechnique::kSvrPoly ? KernelType::kPoly
+                 : t == MlTechnique::kSvrNormalizedPoly
+                     ? KernelType::kNormalizedPoly
+                 : t == MlTechnique::kSvrRbf ? KernelType::kRbf
+                                             : KernelType::kPuk;
+      p.seed = seed;
+      return std::make_unique<Svr>(p);
+    }
+  }
+  return nullptr;
+}
+
+void FitRegressor(Regressor* r, const Dataset& d) {
+  if (auto* m = dynamic_cast<Mart*>(r)) {
+    m->Fit(d);
+  } else if (auto* lm = dynamic_cast<LinearModel*>(r)) {
+    lm->Fit(d);
+  } else if (auto* svr = dynamic_cast<Svr*>(r)) {
+    svr->Fit(d);
+  }
+}
+
+std::string TechniqueName(MlTechnique t) {
+  switch (t) {
+    case MlTechnique::kLinear: return "LINEAR";
+    case MlTechnique::kMart: return "MART";
+    case MlTechnique::kRegTree: return "REGTREE";
+    case MlTechnique::kSvrPoly: return "SVM(PK)";
+    case MlTechnique::kSvrNormalizedPoly: return "SVM(NPK)";
+    case MlTechnique::kSvrRbf: return "SVM(RBF)";
+    case MlTechnique::kSvrPuk: return "SVM(Puk)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::unique_ptr<OperatorMlEstimator> OperatorMlEstimator::Train(
+    const std::vector<ExecutedQuery>& workload, MlTechnique technique,
+    FeatureMode mode) {
+  auto est = std::make_unique<OperatorMlEstimator>();
+  est->name_ = TechniqueName(technique);
+  est->mode_ = mode;
+
+  std::array<std::vector<FeatureVector>, kNumOpTypes> rows;
+  std::array<std::array<std::vector<double>, kNumResources>, kNumOpTypes> targets;
+  for (const auto& eq : workload) {
+    if (!eq.plan.root || eq.database == nullptr) continue;
+    VisitWithParent(eq.plan.root.get(), nullptr,
+                    [&](const PlanNode* node, const PlanNode* parent) {
+                      const size_t op = static_cast<size_t>(node->type);
+                      rows[op].push_back(
+                          ExtractFeatures(*node, parent, *eq.database, mode));
+                      targets[op][0].push_back(node->actual.cpu);
+                      targets[op][1].push_back(
+                          static_cast<double>(node->actual.logical_io));
+                    });
+  }
+
+  for (size_t op = 0; op < kNumOpTypes; ++op) {
+    const auto& feats = OperatorFeatures(static_cast<OpType>(op));
+    for (size_t r = 0; r < kNumResources; ++r) {
+      const auto& y = targets[op][r];
+      double mean = 0.0;
+      for (double v : y) mean += v;
+      est->fallback_[op][r] = y.empty() ? 0.0 : mean / static_cast<double>(y.size());
+      if (rows[op].size() < 12) continue;
+      Dataset d;
+      d.x.reserve(rows[op].size());
+      d.y = y;
+      for (const auto& fv : rows[op]) {
+        std::vector<double> xr;
+        xr.reserve(feats.size());
+        for (FeatureId f : feats) xr.push_back(fv[static_cast<size_t>(f)]);
+        d.x.push_back(std::move(xr));
+      }
+      auto reg = MakeRegressor(technique, 100 + op * 2 + r);
+      FitRegressor(reg.get(), d);
+      est->regressors_[op][r] = std::move(reg);
+      est->inputs_[op][r] = feats;
+    }
+  }
+  return est;
+}
+
+double OperatorMlEstimator::Estimate(const ExecutedQuery& query,
+                                     Resource resource) const {
+  double total = 0.0;
+  if (!query.plan.root || query.database == nullptr) return 0.0;
+  VisitWithParent(
+      query.plan.root.get(), nullptr,
+      [&](const PlanNode* node, const PlanNode* parent) {
+        const size_t op = static_cast<size_t>(node->type);
+        const size_t r = static_cast<size_t>(resource);
+        const auto& reg = regressors_[op][r];
+        if (reg == nullptr) {
+          total += fallback_[op][r];
+          return;
+        }
+        const FeatureVector fv =
+            ExtractFeatures(*node, parent, *query.database, mode_);
+        std::vector<double> xr;
+        xr.reserve(inputs_[op][r].size());
+        for (FeatureId f : inputs_[op][r]) xr.push_back(fv[static_cast<size_t>(f)]);
+        total += std::max(0.0, reg->Predict(xr));
+      });
+  return total;
+}
+
+// --- Akdere et al. [8] ------------------------------------------------------
+
+std::vector<double> AkdereEstimator::NodeFeatures(const PlanNode& node,
+                                                  FeatureMode mode,
+                                                  double children_cumulative) {
+  const bool exact = (mode == FeatureMode::kExact);
+  const double rows_out = exact ? static_cast<double>(node.actual.rows_out)
+                                : node.est.rows_out;
+  const double in0 = exact ? static_cast<double>(node.actual.rows_in[0])
+                           : node.est.rows_in[0];
+  const double in1 = exact ? static_cast<double>(node.actual.rows_in[1])
+                           : node.est.rows_in[1];
+  // [8] models operators through cardinalities only (no widths, no catalog
+  // features), plus the propagated cumulative estimate of the children.
+  return {rows_out, in0, in1, children_cumulative};
+}
+
+std::unique_ptr<AkdereEstimator> AkdereEstimator::Train(
+    const std::vector<ExecutedQuery>& workload, FeatureMode mode) {
+  auto est = std::make_unique<AkdereEstimator>();
+  est->mode_ = mode;
+
+  // Targets are *cumulative* subtree resources; child cumulative actuals are
+  // inputs during training (at inference the model's own child estimates are
+  // propagated instead).
+  std::array<std::array<Dataset, kNumResources>, kNumOpTypes> data;
+  for (const auto& eq : workload) {
+    if (!eq.plan.root) continue;
+    // Compute cumulative actuals bottom-up.
+    std::map<const PlanNode*, std::array<double, kNumResources>> cumulative;
+    std::function<void(const PlanNode*)> compute = [&](const PlanNode* n) {
+      std::array<double, kNumResources> total{};
+      for (const auto& c : n->children) {
+        compute(c.get());
+        for (int r = 0; r < kNumResources; ++r) {
+          total[static_cast<size_t>(r)] +=
+              cumulative[c.get()][static_cast<size_t>(r)];
+        }
+      }
+      for (int r = 0; r < kNumResources; ++r) {
+        total[static_cast<size_t>(r)] +=
+            NodeActual(*n, static_cast<Resource>(r));
+      }
+      cumulative[n] = total;
+    };
+    compute(eq.plan.root.get());
+
+    eq.plan.root->Visit([&](const PlanNode* n) {
+      const size_t op = static_cast<size_t>(n->type);
+      for (int r = 0; r < kNumResources; ++r) {
+        double children_cum = 0.0;
+        for (const auto& c : n->children) {
+          children_cum += cumulative[c.get()][static_cast<size_t>(r)];
+        }
+        // Target the operator's own contribution (cumulative minus
+        // children); the children's cumulative estimate stays visible as an
+        // input, mirroring [8]'s bottom-up propagation without letting a
+        // >1 coefficient on it compound multiplicatively up deep plans.
+        data[op][static_cast<size_t>(r)].Add(
+            NodeFeatures(*n, mode, children_cum),
+            cumulative[n][static_cast<size_t>(r)] - children_cum);
+      }
+    });
+  }
+
+  for (size_t op = 0; op < kNumOpTypes; ++op) {
+    for (size_t r = 0; r < kNumResources; ++r) {
+      const Dataset& d = data[op][r];
+      double mean = 0.0;
+      for (double v : d.y) mean += v;
+      est->fallback_[op][r] =
+          d.y.empty() ? 0.0 : mean / static_cast<double>(d.y.size());
+      if (d.NumRows() < 12) continue;
+      auto lm = std::make_unique<LinearModel>();
+      lm->Fit(d);
+      est->models_[op][r] = std::move(lm);
+    }
+  }
+  return est;
+}
+
+double AkdereEstimator::EstimateNode(const PlanNode& node, const Database& db,
+                                     Resource resource) const {
+  double children_cum = 0.0;
+  for (const auto& c : node.children) {
+    children_cum += EstimateNode(*c, db, resource);
+  }
+  const size_t op = static_cast<size_t>(node.type);
+  const size_t r = static_cast<size_t>(resource);
+  if (models_[op][r] == nullptr) return children_cum + fallback_[op][r];
+  const double local =
+      models_[op][r]->Predict(NodeFeatures(node, mode_, children_cum));
+  // A cumulative estimate can never be below the children's.
+  return children_cum + std::max(0.0, local);
+}
+
+double AkdereEstimator::Estimate(const ExecutedQuery& query,
+                                 Resource resource) const {
+  if (!query.plan.root || query.database == nullptr) return 0.0;
+  return EstimateNode(*query.plan.root, *query.database, resource);
+}
+
+// --- SCALING -----------------------------------------------------------------
+
+std::unique_ptr<ScalingEstimator> ScalingEstimator::Train(
+    const std::vector<ExecutedQuery>& workload, const TrainOptions& options) {
+  auto est = std::make_unique<ScalingEstimator>();
+  est->core_ = ResourceEstimator::Train(workload, options);
+  return est;
+}
+
+double ScalingEstimator::Estimate(const ExecutedQuery& query,
+                                  Resource resource) const {
+  if (!query.plan.root || query.database == nullptr) return 0.0;
+  return core_.EstimateQuery(query.plan, *query.database, resource);
+}
+
+}  // namespace resest

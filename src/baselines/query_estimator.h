@@ -1,0 +1,123 @@
+// The competing techniques of the paper's evaluation (Section 7):
+//   OPT      — optimizer estimate x per-operator adjustment factor
+//   [8]      — Akdere et al. operator-level linear models with bottom-up
+//              propagation of cumulative estimates
+//   LINEAR   — per-operator linear regression on this paper's features
+//   MART     — per-operator MART without scaling
+//   SVM(k)   — per-operator epsilon-SVR with kernel k
+//   REGTREE  — boosted piecewise-linear trees (transform-regression-like)
+//   SCALING  — this paper's combined models with model selection
+// All implement a common query-level interface used by the benchmarks.
+#ifndef RESEST_BASELINES_QUERY_ESTIMATOR_H_
+#define RESEST_BASELINES_QUERY_ESTIMATOR_H_
+
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/estimator.h"
+#include "src/core/features.h"
+#include "src/ml/linear_model.h"
+#include "src/ml/mart.h"
+#include "src/ml/svr.h"
+#include "src/workload/runner.h"
+
+namespace resest {
+
+/// Query-level resource estimator interface.
+class QueryEstimator {
+ public:
+  virtual ~QueryEstimator() = default;
+  virtual double Estimate(const ExecutedQuery& query, Resource resource) const = 0;
+  virtual std::string Name() const = 0;
+};
+
+/// OPT: optimizer cost estimate multiplied by a per-operator-type adjustment
+/// factor alpha_R fit on the training data by least squares (Section 7,
+/// competitor 1). Always uses optimizer-estimated inputs.
+class OptBaseline : public QueryEstimator {
+ public:
+  static std::unique_ptr<OptBaseline> Train(
+      const std::vector<ExecutedQuery>& workload);
+  double Estimate(const ExecutedQuery& query, Resource resource) const override;
+  std::string Name() const override { return "OPT"; }
+
+ private:
+  // alpha_[op][resource]
+  std::array<std::array<double, kNumResources>, kNumOpTypes> alpha_{};
+};
+
+/// Statistical techniques available for the per-operator baseline wrapper.
+enum class MlTechnique {
+  kLinear,
+  kMart,
+  kRegTree,
+  kSvrPoly,
+  kSvrNormalizedPoly,
+  kSvrRbf,
+  kSvrPuk,
+};
+
+/// Generic per-operator baseline: one regressor per (operator type,
+/// resource) trained on this paper's feature set; the query estimate is the
+/// sum of per-operator predictions.
+class OperatorMlEstimator : public QueryEstimator {
+ public:
+  static std::unique_ptr<OperatorMlEstimator> Train(
+      const std::vector<ExecutedQuery>& workload, MlTechnique technique,
+      FeatureMode mode);
+  double Estimate(const ExecutedQuery& query, Resource resource) const override;
+  std::string Name() const override { return name_; }
+
+ private:
+  std::string name_;
+  FeatureMode mode_ = FeatureMode::kExact;
+  // regressors_[op][resource]; null when too little training data.
+  std::array<std::array<std::unique_ptr<Regressor>, kNumResources>, kNumOpTypes>
+      regressors_;
+  std::array<std::array<std::vector<FeatureId>, kNumResources>, kNumOpTypes>
+      inputs_;
+  std::array<std::array<double, kNumResources>, kNumOpTypes> fallback_{};
+};
+
+/// The operator-level model of Akdere et al. [8]: linear regression per
+/// operator on cardinality features, with bottom-up propagation of the
+/// cumulative estimate (each model sees its children's cumulative estimates).
+class AkdereEstimator : public QueryEstimator {
+ public:
+  static std::unique_ptr<AkdereEstimator> Train(
+      const std::vector<ExecutedQuery>& workload, FeatureMode mode);
+  double Estimate(const ExecutedQuery& query, Resource resource) const override;
+  std::string Name() const override { return "[8]"; }
+
+ private:
+  double EstimateNode(const PlanNode& node, const Database& db,
+                      Resource resource) const;
+  static std::vector<double> NodeFeatures(const PlanNode& node,
+                                          FeatureMode mode,
+                                          double children_cumulative);
+
+  FeatureMode mode_ = FeatureMode::kExact;
+  std::array<std::array<std::unique_ptr<LinearModel>, kNumResources>, kNumOpTypes>
+      models_;
+  std::array<std::array<double, kNumResources>, kNumOpTypes> fallback_{};
+};
+
+/// SCALING: this paper's technique, wrapping core::ResourceEstimator.
+class ScalingEstimator : public QueryEstimator {
+ public:
+  static std::unique_ptr<ScalingEstimator> Train(
+      const std::vector<ExecutedQuery>& workload, const TrainOptions& options);
+  double Estimate(const ExecutedQuery& query, Resource resource) const override;
+  std::string Name() const override { return "SCALING"; }
+  const ResourceEstimator& core() const { return core_; }
+
+ private:
+  ResourceEstimator core_;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_BASELINES_QUERY_ESTIMATOR_H_

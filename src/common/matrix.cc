@@ -1,0 +1,98 @@
+#include "src/common/matrix.h"
+
+#include <cmath>
+
+namespace resest {
+
+Matrix Matrix::Gram() const {
+  Matrix g(cols_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    for (size_t i = 0; i < cols_; ++i) {
+      if (row[i] == 0.0) continue;
+      for (size_t j = i; j < cols_; ++j) g.at(i, j) += row[i] * row[j];
+    }
+  }
+  for (size_t i = 0; i < cols_; ++i)
+    for (size_t j = 0; j < i; ++j) g.at(i, j) = g.at(j, i);
+  return g;
+}
+
+std::vector<double> Matrix::TransposeTimes(const std::vector<double>& y) const {
+  std::vector<double> out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) out[c] += row[c] * y[r];
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Times(const std::vector<double>& x) const {
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    double s = 0.0;
+    for (size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+bool CholeskySolve(Matrix a, std::vector<double> b, double ridge,
+                   std::vector<double>* x) {
+  const size_t n = a.rows();
+  if (n == 0 || a.cols() != n || b.size() != n) return false;
+  for (size_t i = 0; i < n; ++i) a.at(i, i) += ridge;
+
+  // In-place Cholesky: A = L L^T, L stored in the lower triangle.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double s = a.at(i, j);
+      for (size_t k = 0; k < j; ++k) s -= a.at(i, k) * a.at(j, k);
+      if (i == j) {
+        if (s <= 0.0) return false;
+        a.at(i, i) = std::sqrt(s);
+      } else {
+        a.at(i, j) = s / a.at(j, j);
+      }
+    }
+  }
+  // Forward substitution: L z = b.
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= a.at(i, k) * b[k];
+    b[i] = s / a.at(i, i);
+  }
+  // Back substitution: L^T x = z.
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double s = b[i];
+    for (size_t k = i + 1; k < n; ++k) s -= a.at(k, i) * b[k];
+    b[i] = s / a.at(i, i);
+  }
+  *x = std::move(b);
+  return true;
+}
+
+bool LeastSquares(const Matrix& x, const std::vector<double>& y,
+                  std::vector<double>* beta, double ridge) {
+  if (x.rows() == 0 || x.rows() != y.size()) return false;
+  const Matrix gram = x.Gram();
+  const std::vector<double> xty = x.TransposeTimes(y);
+  // Scale the ridge by the mean diagonal so it is unit-independent.
+  double diag = 0.0;
+  for (size_t i = 0; i < gram.rows(); ++i) diag += gram.at(i, i);
+  diag = diag / static_cast<double>(gram.rows());
+  return CholeskySolve(gram, xty, ridge * (diag > 0 ? diag : 1.0), beta);
+}
+
+double FitScale(const std::vector<double>& g, const std::vector<double>& y) {
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < g.size() && i < y.size(); ++i) {
+    num += g[i] * y[i];
+    den += g[i] * g[i];
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace resest

@@ -1,0 +1,58 @@
+// Minimal dense linear algebra: just enough for least-squares fitting
+// (linear regression baselines, scaling-function calibration) without an
+// external dependency. Column-major is unnecessary at these sizes; we use
+// row-major with straightforward O(n^3) factorizations.
+#ifndef RESEST_COMMON_MATRIX_H_
+#define RESEST_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace resest {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// A^T * A (Gram matrix), used to form normal equations.
+  Matrix Gram() const;
+
+  /// A^T * y for a vector y with rows() entries.
+  std::vector<double> TransposeTimes(const std::vector<double>& y) const;
+
+  /// A * x for a vector x with cols() entries.
+  std::vector<double> Times(const std::vector<double>& x) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves the symmetric positive-definite system A x = b by Cholesky
+/// factorization. Adds `ridge` to the diagonal for numerical stability.
+/// Returns false if the (regularized) matrix is not positive definite.
+bool CholeskySolve(Matrix a, std::vector<double> b, double ridge,
+                   std::vector<double>* x);
+
+/// Ordinary least squares: finds beta minimizing ||X beta - y||_2 via the
+/// ridge-stabilized normal equations. Returns false on singular systems.
+bool LeastSquares(const Matrix& x, const std::vector<double>& y,
+                  std::vector<double>* beta, double ridge = 1e-8);
+
+/// One-parameter least squares: alpha minimizing ||alpha * g - y||_2.
+/// Used to calibrate scaling functions (paper Section 6.2).
+double FitScale(const std::vector<double>& g, const std::vector<double>& y);
+
+}  // namespace resest
+
+#endif  // RESEST_COMMON_MATRIX_H_

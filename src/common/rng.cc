@@ -1,0 +1,37 @@
+#include "src/common/rng.h"
+
+namespace resest {
+
+namespace {
+double Zeta(int64_t n, double theta) {
+  double sum = 0.0;
+  for (int64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+}  // namespace
+
+ZipfSampler::ZipfSampler(int64_t n, double z) : n_(n < 1 ? 1 : n), z_(z) {
+  if (z_ <= 1e-9) return;  // uniform; nothing to precompute
+  zeta2_ = Zeta(2, z_);
+  zetan_ = Zeta(n_, z_);
+  alpha_ = 1.0 / (1.0 - z_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - z_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+int64_t ZipfSampler::Sample(Rng* rng) const {
+  if (z_ <= 1e-9) return rng->UniformInt(1, n_);
+  const double u = rng->Uniform();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 1;
+  if (uz < 1.0 + std::pow(0.5, z_)) return 2;
+  // z == 1 would make alpha_ infinite; the standard trick nudges the exponent.
+  const double alpha = (std::fabs(z_ - 1.0) < 1e-9) ? 1.0 / (1.0 - 1.0001) : alpha_;
+  int64_t v = 1 + static_cast<int64_t>(static_cast<double>(n_) *
+                                       std::pow(eta_ * u - eta_ + 1.0, alpha));
+  if (v < 1) v = 1;
+  if (v > n_) v = n_;
+  return v;
+}
+
+}  // namespace resest

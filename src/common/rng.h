@@ -1,0 +1,130 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All randomness in the library flows through Rng so that a single seed fully
+// determines generated data, workloads, simulated noise and model training.
+#ifndef RESEST_COMMON_RNG_H_
+#define RESEST_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace resest {
+
+/// A small, fast, deterministic PRNG (xoshiro256** with splitmix64 seeding).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  /// Re-seeds the generator; the same seed always yields the same stream.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      // splitmix64 to spread the seed across the state.
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Standard normal variate (Box-Muller).
+  double Gaussian() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300) u1 = Uniform();
+    const double u2 = Uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 6.283185307179586 * u2;
+    spare_ = r * std::sin(theta);
+    have_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Multiplicative log-normal noise factor with median 1.
+  double LogNormalFactor(double sigma) { return std::exp(Gaussian(0.0, sigma)); }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(Next() % i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-module streams).
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Samples from a Zipf(z) distribution over {1, ..., n} using the rejection
+/// method of Gray et al. ("Quickly generating billion-record synthetic
+/// databases"), the same algorithm used by the Microsoft TPC-H skew tool the
+/// paper generates data with.
+class ZipfSampler {
+ public:
+  /// @param n     Domain size (values 1..n).
+  /// @param z     Skew parameter; z = 0 degenerates to uniform.
+  ZipfSampler(int64_t n, double z);
+
+  /// Draws one sample in [1, n].
+  int64_t Sample(Rng* rng) const;
+
+  int64_t domain_size() const { return n_; }
+  double skew() const { return z_; }
+
+ private:
+  int64_t n_;
+  double z_;
+  double zeta2_ = 0.0;   // zeta(2, z)
+  double zetan_ = 0.0;   // zeta(n, z)
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_COMMON_RNG_H_

@@ -1,0 +1,104 @@
+// Minimal binary serialization helpers (little-endian, in-memory buffers)
+// used by the model store.
+#ifndef RESEST_COMMON_SERIAL_H_
+#define RESEST_COMMON_SERIAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace resest {
+
+/// Appends POD values and simple containers to a byte buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  template <typename T>
+  void Pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+    out_->insert(out_->end(), p, p + sizeof(T));
+  }
+
+  void U32(uint32_t v) { Pod(v); }
+  void F64(double v) { Pod(v); }
+
+  void Bytes(const std::vector<uint8_t>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    out_->insert(out_->end(), v.begin(), v.end());
+  }
+
+  void String(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+
+  template <typename T>
+  void PodVector(const std::vector<T>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    for (const T& x : v) Pod(x);
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+/// Reads values written by ByteWriter; all methods return false on
+/// truncated/corrupt input.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& in) : in_(in) {}
+
+  template <typename T>
+  bool Pod(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > in_.size()) return false;
+    std::memcpy(v, in_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool U32(uint32_t* v) { return Pod(v); }
+  bool F64(double* v) { return Pod(v); }
+
+  bool Bytes(std::vector<uint8_t>* v) {
+    uint32_t n = 0;
+    if (!U32(&n) || pos_ + n > in_.size()) return false;
+    v->assign(in_.begin() + static_cast<long>(pos_),
+              in_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+
+  bool String(std::string* s) {
+    uint32_t n = 0;
+    if (!U32(&n) || pos_ + n > in_.size()) return false;
+    s->assign(reinterpret_cast<const char*>(in_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  template <typename T>
+  bool PodVector(std::vector<T>* v) {
+    uint32_t n = 0;
+    if (!U32(&n)) return false;
+    v->resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (!Pod(&(*v)[i])) return false;
+    }
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == in_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  const std::vector<uint8_t>& in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_COMMON_SERIAL_H_

@@ -1,0 +1,112 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace resest {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size() - 1);
+}
+
+double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double Median(std::vector<double> v) { return Quantile(std::move(v), 0.5); }
+
+double Quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  if (q <= 0.0) return Min(v);
+  if (q >= 1.0) return Max(v);
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v[lo];
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+double Min(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::min_element(v.begin(), v.end());
+}
+
+double Max(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+}
+
+double Correlation(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  const double ma = Mean(a), mb = Mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double L1RelativeError(const std::vector<double>& estimates,
+                       const std::vector<double>& actuals) {
+  if (estimates.empty() || estimates.size() != actuals.size()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    const double est = std::fabs(estimates[i]) < 1e-12 ? 1e-12 : estimates[i];
+    sum += std::fabs((estimates[i] - actuals[i]) / est);
+  }
+  return sum / static_cast<double>(estimates.size());
+}
+
+double RatioError(double estimate, double actual) {
+  const double e = std::fabs(estimate) < 1e-12 ? 1e-12 : std::fabs(estimate);
+  const double a = std::fabs(actual) < 1e-12 ? 1e-12 : std::fabs(actual);
+  return std::max(e / a, a / e);
+}
+
+RatioBuckets ComputeRatioBuckets(const std::vector<double>& estimates,
+                                 const std::vector<double>& actuals) {
+  RatioBuckets b;
+  if (estimates.empty() || estimates.size() != actuals.size()) return b;
+  const double n = static_cast<double>(estimates.size());
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    const double r = RatioError(estimates[i], actuals[i]);
+    if (r <= 1.5) {
+      b.le_1_5 += 1.0;
+    } else if (r <= 2.0) {
+      b.in_1_5_2 += 1.0;
+    } else {
+      b.gt_2 += 1.0;
+    }
+  }
+  b.le_1_5 /= n;
+  b.in_1_5_2 /= n;
+  b.gt_2 /= n;
+  return b;
+}
+
+void Welford::Add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Welford::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Welford::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace resest

@@ -1,0 +1,60 @@
+// Small statistics helpers shared across the library: summary statistics and
+// the two error metrics the paper reports (L1 relative error and the
+// max-ratio error buckets of Section 7.1).
+#ifndef RESEST_COMMON_STATS_H_
+#define RESEST_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace resest {
+
+double Mean(const std::vector<double>& v);
+double Variance(const std::vector<double>& v);
+double StdDev(const std::vector<double>& v);
+double Median(std::vector<double> v);  // by value: needs to sort a copy
+double Quantile(std::vector<double> v, double q);
+double Min(const std::vector<double>& v);
+double Max(const std::vector<double>& v);
+
+/// Pearson correlation of two equal-length series.
+double Correlation(const std::vector<double>& a, const std::vector<double>& b);
+
+/// The paper's L1 error (Section 7.1):
+///   mean over queries of | (estimate - actual) / estimate |.
+/// Note the denominator is the *estimate*, as defined in the paper.
+double L1RelativeError(const std::vector<double>& estimates,
+                       const std::vector<double>& actuals);
+
+/// The paper's ratio error for one query:
+///   max(estimate/actual, actual/estimate).
+double RatioError(double estimate, double actual);
+
+/// Fractions of queries whose ratio error falls in the paper's three buckets.
+struct RatioBuckets {
+  double le_1_5 = 0.0;     ///< ratio <= 1.5
+  double in_1_5_2 = 0.0;   ///< 1.5 < ratio <= 2
+  double gt_2 = 0.0;       ///< ratio > 2
+};
+
+RatioBuckets ComputeRatioBuckets(const std::vector<double>& estimates,
+                                 const std::vector<double>& actuals);
+
+/// Running aggregate used by executors and harnesses.
+class Welford {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_COMMON_STATS_H_

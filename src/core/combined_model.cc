@@ -1,0 +1,384 @@
+#include "src/core/combined_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace resest {
+
+std::string ScaleSpec::ToString() const {
+  if (features.empty()) return "unscaled";
+  std::string out;
+  if (joint) {
+    out = std::string(ScalingFnName(joint_fn)) + "(" +
+          FeatureName(features[0]) + "," + FeatureName(features[1]) + ")";
+    return out;
+  }
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (i > 0) out += " x ";
+    out += std::string(ScalingFnName(fns[i])) + "(" + FeatureName(features[i]) + ")";
+  }
+  return out;
+}
+
+double CombinedModel::ScaleValue(const FeatureVector& raw) const {
+  if (spec_.features.empty()) return 1.0;
+  if (spec_.joint) {
+    return EvalScaling(spec_.joint_fn,
+                       raw[static_cast<size_t>(spec_.features[0])],
+                       raw[static_cast<size_t>(spec_.features[1])]);
+  }
+  double g = 1.0;
+  for (size_t i = 0; i < spec_.features.size(); ++i) {
+    g *= EvalScaling(spec_.fns[i], raw[static_cast<size_t>(spec_.features[i])]);
+  }
+  return std::max(g, 1e-9);
+}
+
+std::vector<double> CombinedModel::TransformInputs(const FeatureVector& raw) const {
+  FeatureVector v = raw;
+  if (normalize_dependents_) {
+    // Section 6.1 (3): divide dependent features by the outlier feature so a
+    // single cause (e.g. an excessive tuple count) does not trigger scaling
+    // through several features at once.
+    for (FeatureId f : spec_.features) {
+      const double denom = std::max(1.0, raw[static_cast<size_t>(f)]);
+      for (FeatureId dep : Dependents(f)) {
+        v[static_cast<size_t>(dep)] /= denom;
+      }
+    }
+  }
+  std::vector<double> inputs;
+  inputs.reserve(input_features_.size());
+  for (FeatureId f : input_features_) {
+    inputs.push_back(v[static_cast<size_t>(f)]);
+  }
+  return inputs;
+}
+
+CombinedModel CombinedModel::Train(OpType op, Resource resource, ScaleSpec spec,
+                                   const std::vector<FeatureVector>& rows,
+                                   const std::vector<double>& targets,
+                                   const MartParams& mart_params,
+                                   bool normalize_dependents) {
+  CombinedModel m;
+  m.op_ = op;
+  m.resource_ = resource;
+  m.spec_ = std::move(spec);
+  m.normalize_dependents_ = normalize_dependents;
+  m.mart_ = Mart(mart_params);
+
+  // Input features: the operator's features minus the scale features
+  // (Section 6.1 step (2)).
+  for (FeatureId f : OperatorFeatures(op)) {
+    if (std::find(m.spec_.features.begin(), m.spec_.features.end(), f) ==
+        m.spec_.features.end()) {
+      m.input_features_.push_back(f);
+    }
+  }
+
+  Dataset data;
+  data.x.reserve(rows.size());
+  data.y.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    // Section 6.1 step (1): the scaled model predicts per-unit-of-g usage.
+    const double g = m.ScaleValue(rows[i]);
+    data.Add(m.TransformInputs(rows[i]), targets[i] / g);
+  }
+  m.mart_.Fit(data);
+
+  // Training feature envelope (for out_ratio) in the transformed space.
+  const size_t nf = m.input_features_.size();
+  m.low_.assign(nf, std::numeric_limits<double>::infinity());
+  m.high_.assign(nf, -std::numeric_limits<double>::infinity());
+  for (const auto& x : data.x) {
+    for (size_t j = 0; j < nf; ++j) {
+      m.low_[j] = std::min(m.low_[j], x[j]);
+      m.high_[j] = std::max(m.high_[j], x[j]);
+    }
+  }
+  if (rows.empty()) {
+    m.low_.assign(nf, 0.0);
+    m.high_.assign(nf, 0.0);
+  }
+
+  // Mean relative training error (used for default-model selection). The
+  // denominator is floored at 1% of the mean target so near-zero-cost
+  // operators do not dominate the comparison.
+  double mean_target = 0.0;
+  for (double t : targets) mean_target += std::fabs(t);
+  mean_target /= std::max<size_t>(1, targets.size());
+  const double floor = std::max(1e-9, 0.01 * mean_target);
+  double err = 0.0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double pred = m.Predict(rows[i]);
+    err += std::fabs(pred - targets[i]) / std::max(floor, std::fabs(targets[i]));
+  }
+  m.train_error_ = rows.empty() ? 0.0 : err / static_cast<double>(rows.size());
+  return m;
+}
+
+double CombinedModel::Predict(const FeatureVector& raw) const {
+  const double per_unit = mart_.Predict(TransformInputs(raw));
+  // Resources are non-negative; clamp pathological negative boosting output.
+  return std::max(0.0, per_unit * ScaleValue(raw));
+}
+
+std::vector<double> CombinedModel::OutRatios(const FeatureVector& raw) const {
+  const std::vector<double> x = TransformInputs(raw);
+  std::vector<double> ratios;
+  ratios.reserve(x.size());
+  for (size_t j = 0; j < x.size(); ++j) {
+    const double lo = low_[j], hi = high_[j];
+    const double span = hi - lo;
+    // Paper formula (Section 6.3) with the obvious fix: the out-of-range
+    // distance is whichever side the value falls out on (the published
+    // formula's "min" would always be 0).
+    const double below = std::max(lo - x[j], 0.0);
+    const double above = std::max(x[j] - hi, 0.0);
+    const double dist = std::max(below, above);
+    if (dist <= 0.0) {
+      ratios.push_back(0.0);
+    } else if (span > 1e-12) {
+      ratios.push_back(dist / span);
+    } else {
+      // Degenerate envelope (constant feature in training): any deviation is
+      // maximally out of range.
+      ratios.push_back(dist / std::max(1.0, std::fabs(lo)));
+    }
+  }
+  std::sort(ratios.begin(), ratios.end(), std::greater<double>());
+  return ratios;
+}
+
+OperatorModelSet OperatorModelSet::Train(OpType op, Resource resource,
+                                         const std::vector<FeatureVector>& rows,
+                                         const std::vector<double>& targets,
+                                         const TrainOptions& options) {
+  OperatorModelSet set;
+  if (rows.empty()) return set;
+
+  // Model 0: the plain (unscaled) MART model.
+  set.models_.push_back(CombinedModel::Train(op, resource, ScaleSpec{}, rows,
+                                             targets, options.mart,
+                                             options.normalize_dependents));
+
+  if (options.enable_scaling) {
+    const std::vector<FeatureId> candidates = ScalableFeatures(op, resource);
+
+    // Single-feature scaled variants.
+    for (FeatureId f : candidates) {
+      ScaleSpec spec;
+      spec.features = {f};
+      spec.fns = {DefaultScalingFn(op, resource, f)};
+      set.models_.push_back(CombinedModel::Train(op, resource, std::move(spec),
+                                                 rows, targets, options.mart,
+                                                 options.normalize_dependents));
+    }
+
+    if (options.max_scale_features >= 2) {
+      // Joint two-input forms (merge join sum, INLJ a*log2(b), ...).
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        for (size_t j = i + 1; j < candidates.size(); ++j) {
+          ScalingFn joint;
+          if (!JointScalingFn(op, resource, candidates[i], candidates[j], &joint)) {
+            continue;
+          }
+          ScaleSpec spec;
+          spec.features = {candidates[i], candidates[j]};
+          spec.joint = true;
+          spec.joint_fn = joint;
+          set.models_.push_back(CombinedModel::Train(
+              op, resource, std::move(spec), rows, targets, options.mart,
+              options.normalize_dependents));
+        }
+      }
+      // Sequential count x width pairs: the classic "more tuples AND wider
+      // tuples" outlier combination (paper's Index Seek example).
+      static const std::pair<FeatureId, FeatureId> kPairs[] = {
+          {FeatureId::kCIn0, FeatureId::kSInAvg0},
+          {FeatureId::kCOut, FeatureId::kSOutAvg},
+          {FeatureId::kTSize, FeatureId::kSOutAvg},
+      };
+      for (const auto& [a, b] : kPairs) {
+        const bool ok =
+            std::find(candidates.begin(), candidates.end(), a) != candidates.end() &&
+            std::find(candidates.begin(), candidates.end(), b) != candidates.end();
+        if (!ok) continue;
+        ScaleSpec spec;
+        spec.features = {a, b};
+        spec.fns = {DefaultScalingFn(op, resource, a),
+                    DefaultScalingFn(op, resource, b)};
+        set.models_.push_back(CombinedModel::Train(op, resource, std::move(spec),
+                                                   rows, targets, options.mart,
+                                                   options.normalize_dependents));
+      }
+    }
+  }
+
+  // Default model DMo: minimum training error over all trained models
+  // (Section 6.1, "Selecting the Default Models").
+  set.default_index_ = 0;
+  for (size_t i = 1; i < set.models_.size(); ++i) {
+    if (set.models_[i].train_error() <
+        set.models_[static_cast<size_t>(set.default_index_)].train_error()) {
+      set.default_index_ = static_cast<int>(i);
+    }
+  }
+
+  // Prune combined models that cannot fit the training data: a scaling
+  // feature whose per-unit targets are not learnable (e.g. scaling a join by
+  // COUT when cost is input-driven) produces wild extrapolations. This
+  // mirrors the paper's Section 6.2 selection, which only admits scaling
+  // functions that fit the observed resource curves well. The unscaled model
+  // is always kept as the in-range workhorse.
+  {
+    const double best_err =
+        set.models_[static_cast<size_t>(set.default_index_)].train_error();
+    const double threshold = 3.0 * best_err + 0.05;
+    std::vector<CombinedModel> kept;
+    int new_default = 0;
+    for (size_t i = 0; i < set.models_.size(); ++i) {
+      const bool is_default = static_cast<int>(i) == set.default_index_;
+      const bool is_base = (i == 0);
+      if (!is_default && !is_base && set.models_[i].train_error() > threshold) {
+        continue;
+      }
+      if (is_default) new_default = static_cast<int>(kept.size());
+      kept.push_back(std::move(set.models_[i]));
+    }
+    set.models_ = std::move(kept);
+    set.default_index_ = new_default;
+  }
+  return set;
+}
+
+const CombinedModel* OperatorModelSet::Select(const FeatureVector& raw) const {
+  if (models_.empty()) return nullptr;
+  const CombinedModel& dm = default_model();
+  const std::vector<double> dm_ratios = dm.OutRatios(raw);
+  if (dm_ratios.empty() || dm_ratios[0] <= 0.0) return &dm;
+
+  // Pick the model minimizing the max out_ratio; break ties by fewer scale
+  // features, then by the remaining ratios in descending order (Section 6.3).
+  const CombinedModel* best = nullptr;
+  std::vector<double> best_ratios;
+  for (const auto& m : models_) {
+    std::vector<double> r = m.OutRatios(raw);
+    if (r.empty()) r.push_back(0.0);
+    if (best == nullptr) {
+      best = &m;
+      best_ratios = std::move(r);
+      continue;
+    }
+    constexpr double kEps = 1e-12;
+    bool better = false;
+    if (r[0] < best_ratios[0] - kEps) {
+      better = true;
+    } else if (r[0] <= best_ratios[0] + kEps) {
+      if (m.NumScaleFeatures() < best->NumScaleFeatures()) {
+        better = true;
+      } else if (m.NumScaleFeatures() == best->NumScaleFeatures()) {
+        // Lexicographic comparison of the remaining sorted ratios.
+        const size_t n = std::min(r.size(), best_ratios.size());
+        for (size_t k = 1; k < n; ++k) {
+          if (r[k] < best_ratios[k] - kEps) {
+            better = true;
+            break;
+          }
+          if (r[k] > best_ratios[k] + kEps) break;
+        }
+      }
+    }
+    if (better) {
+      best = &m;
+      best_ratios = std::move(r);
+    }
+  }
+  return best;
+}
+
+double OperatorModelSet::Predict(const FeatureVector& raw) const {
+  const CombinedModel* m = Select(raw);
+  return m == nullptr ? 0.0 : m->Predict(raw);
+}
+
+size_t OperatorModelSet::SerializedBytes() const {
+  size_t total = 0;
+  for (const auto& m : models_) total += m.SerializedBytes();
+  return total;
+}
+
+void CombinedModel::SerializeTo(ByteWriter* w) const {
+  w->Pod(static_cast<int32_t>(op_));
+  w->Pod(static_cast<int32_t>(resource_));
+  w->Pod(static_cast<uint8_t>(normalize_dependents_ ? 1 : 0));
+  // ScaleSpec.
+  std::vector<int32_t> feats, fns;
+  for (FeatureId f : spec_.features) feats.push_back(static_cast<int32_t>(f));
+  for (ScalingFn f : spec_.fns) fns.push_back(static_cast<int32_t>(f));
+  w->PodVector(feats);
+  w->PodVector(fns);
+  w->Pod(static_cast<uint8_t>(spec_.joint ? 1 : 0));
+  w->Pod(static_cast<int32_t>(spec_.joint_fn));
+  // Inputs + envelope + error.
+  std::vector<int32_t> inputs;
+  for (FeatureId f : input_features_) inputs.push_back(static_cast<int32_t>(f));
+  w->PodVector(inputs);
+  w->PodVector(low_);
+  w->PodVector(high_);
+  w->F64(train_error_);
+  w->Bytes(mart_.Serialize());
+}
+
+bool CombinedModel::DeserializeFrom(ByteReader* r, CombinedModel* out) {
+  int32_t op = 0, resource = 0, joint_fn = 0;
+  uint8_t norm = 0, joint = 0;
+  std::vector<int32_t> feats, fns, inputs;
+  std::vector<uint8_t> mart_bytes;
+  if (!r->Pod(&op) || !r->Pod(&resource) || !r->Pod(&norm) ||
+      !r->PodVector(&feats) || !r->PodVector(&fns) || !r->Pod(&joint) ||
+      !r->Pod(&joint_fn) || !r->PodVector(&inputs) || !r->PodVector(&out->low_) ||
+      !r->PodVector(&out->high_) || !r->F64(&out->train_error_) ||
+      !r->Bytes(&mart_bytes)) {
+    return false;
+  }
+  out->op_ = static_cast<OpType>(op);
+  out->resource_ = static_cast<Resource>(resource);
+  out->normalize_dependents_ = (norm != 0);
+  out->spec_.features.clear();
+  for (int32_t f : feats) out->spec_.features.push_back(static_cast<FeatureId>(f));
+  out->spec_.fns.clear();
+  for (int32_t f : fns) out->spec_.fns.push_back(static_cast<ScalingFn>(f));
+  out->spec_.joint = (joint != 0);
+  out->spec_.joint_fn = static_cast<ScalingFn>(joint_fn);
+  out->input_features_.clear();
+  for (int32_t f : inputs) out->input_features_.push_back(static_cast<FeatureId>(f));
+  return out->mart_.Deserialize(mart_bytes);
+}
+
+void OperatorModelSet::SerializeTo(ByteWriter* w) const {
+  w->U32(static_cast<uint32_t>(models_.size()));
+  w->Pod(static_cast<int32_t>(default_index_));
+  for (const auto& m : models_) m.SerializeTo(w);
+}
+
+bool OperatorModelSet::DeserializeFrom(ByteReader* r, OperatorModelSet* out) {
+  uint32_t n = 0;
+  int32_t default_index = 0;
+  if (!r->U32(&n) || !r->Pod(&default_index)) return false;
+  out->models_.clear();
+  out->models_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CombinedModel m;
+    if (!CombinedModel::DeserializeFrom(r, &m)) return false;
+    out->models_.push_back(std::move(m));
+  }
+  if (default_index < 0 || (n > 0 && default_index >= static_cast<int32_t>(n))) {
+    return false;
+  }
+  out->default_index_ = default_index;
+  return true;
+}
+
+}  // namespace resest

@@ -1,0 +1,123 @@
+// Combined models (paper Section 6.1): a MART model trained on per-unit
+// targets plus scaling function(s), with dependent-feature normalization,
+// and the out_ratio-based online model selection of Section 6.3.
+#ifndef RESEST_CORE_COMBINED_MODEL_H_
+#define RESEST_CORE_COMBINED_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/serial.h"
+#include "src/core/features.h"
+#include "src/core/scaling.h"
+#include "src/ml/mart.h"
+
+namespace resest {
+
+/// How a combined model scales: zero, one or two scale features, either with
+/// per-feature functional forms composed sequentially or a joint two-input
+/// form (paper "Multi-feature Scaling" / "Scaling by Multiple Features").
+struct ScaleSpec {
+  std::vector<FeatureId> features;  ///< 0..2 scale features.
+  std::vector<ScalingFn> fns;       ///< Per-feature forms (unless joint).
+  bool joint = false;               ///< Two-input form over features[0..1].
+  ScalingFn joint_fn = ScalingFn::kSum;
+
+  bool IsDefaultShape() const { return features.empty(); }
+  std::string ToString() const;
+};
+
+/// One trained model: MART over (normalized, scale-feature-free) inputs;
+/// prediction = g(scale features) x MART output.
+class CombinedModel {
+ public:
+  /// Trains on raw per-operator observations.
+  /// @param normalize_dependents  Paper Section 6.1 step (3); disable for
+  ///                              the ablation study.
+  static CombinedModel Train(OpType op, Resource resource, ScaleSpec spec,
+                             const std::vector<FeatureVector>& rows,
+                             const std::vector<double>& targets,
+                             const MartParams& mart_params,
+                             bool normalize_dependents);
+
+  /// Estimated resource usage for an operator's raw feature vector.
+  double Predict(const FeatureVector& raw) const;
+
+  /// out_ratio values (paper Section 6.3) of every model input feature for
+  /// this raw vector, sorted descending. All-zero means the vector lies
+  /// within the training envelope of this model.
+  std::vector<double> OutRatios(const FeatureVector& raw) const;
+
+  /// Mean relative training error (used to pick the default model).
+  double train_error() const { return train_error_; }
+  const ScaleSpec& spec() const { return spec_; }
+  int NumScaleFeatures() const { return static_cast<int>(spec_.features.size()); }
+  const std::vector<FeatureId>& input_features() const { return input_features_; }
+
+  /// Serialized size in bytes (paper Section 7.3 accounting).
+  size_t SerializedBytes() const { return mart_.Serialize().size(); }
+
+  /// Binary (de)serialization for the model store.
+  void SerializeTo(ByteWriter* w) const;
+  static bool DeserializeFrom(ByteReader* r, CombinedModel* out);
+
+ private:
+  /// Scale factor g(raw) of this spec.
+  double ScaleValue(const FeatureVector& raw) const;
+  /// Model inputs after dependent-feature normalization & scale-feature
+  /// removal.
+  std::vector<double> TransformInputs(const FeatureVector& raw) const;
+
+  OpType op_ = OpType::kTableScan;
+  Resource resource_ = Resource::kCpu;
+  ScaleSpec spec_;
+  bool normalize_dependents_ = true;
+  std::vector<FeatureId> input_features_;
+  Mart mart_;
+  std::vector<double> low_;   ///< Training minima per input feature.
+  std::vector<double> high_;  ///< Training maxima per input feature.
+  double train_error_ = 0.0;
+};
+
+/// All models for one (operator type, resource): the default model DMo plus
+/// the scaled variants, with Section 6.3 online selection.
+class OperatorModelSet {
+ public:
+  struct TrainOptions {
+    MartParams mart;
+    bool enable_scaling = true;
+    bool normalize_dependents = true;
+    int max_scale_features = 2;
+  };
+
+  static OperatorModelSet Train(OpType op, Resource resource,
+                                const std::vector<FeatureVector>& rows,
+                                const std::vector<double>& targets,
+                                const TrainOptions& options);
+
+  /// Selects the model per Section 6.3 and predicts.
+  double Predict(const FeatureVector& raw) const;
+
+  /// The model Section 6.3 selects for this feature vector.
+  const CombinedModel* Select(const FeatureVector& raw) const;
+
+  size_t NumModels() const { return models_.size(); }
+  const CombinedModel& model(size_t i) const { return models_[i]; }
+  const CombinedModel& default_model() const {
+    return models_[static_cast<size_t>(default_index_)];
+  }
+  size_t SerializedBytes() const;
+  bool empty() const { return models_.empty(); }
+
+  /// Binary (de)serialization for the model store.
+  void SerializeTo(ByteWriter* w) const;
+  static bool DeserializeFrom(ByteReader* r, OperatorModelSet* out);
+
+ private:
+  std::vector<CombinedModel> models_;
+  int default_index_ = 0;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_CORE_COMBINED_MODEL_H_

@@ -1,0 +1,252 @@
+#include "src/core/estimator.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/serial.h"
+
+namespace resest {
+
+namespace {
+/// Visits every (node, parent) pair in a plan.
+template <typename Fn>
+void VisitWithParent(const PlanNode* node, const PlanNode* parent, Fn&& fn) {
+  fn(node, parent);
+  for (const auto& c : node->children) {
+    VisitWithParent(c.get(), node, fn);
+  }
+}
+}  // namespace
+
+ResourceEstimator ResourceEstimator::Train(
+    const std::vector<ExecutedQuery>& workload, const TrainOptions& options) {
+  ResourceEstimator est;
+  est.options_ = options;
+
+  // Collect per-operator observations across the workload.
+  std::array<std::vector<FeatureVector>, kNumOpTypes> rows;
+  std::array<std::array<std::vector<double>, kNumResources>, kNumOpTypes> targets;
+  for (const auto& eq : workload) {
+    if (!eq.plan.root || eq.database == nullptr) continue;
+    VisitWithParent(eq.plan.root.get(), nullptr,
+                    [&](const PlanNode* node, const PlanNode* parent) {
+                      const int op = static_cast<int>(node->type);
+                      rows[static_cast<size_t>(op)].push_back(ExtractFeatures(
+                          *node, parent, *eq.database, options.mode));
+                      targets[static_cast<size_t>(op)][0].push_back(
+                          node->actual.cpu);
+                      targets[static_cast<size_t>(op)][1].push_back(
+                          static_cast<double>(node->actual.logical_io));
+                    });
+  }
+
+  OperatorModelSet::TrainOptions set_options;
+  set_options.mart = options.mart;
+  set_options.enable_scaling = options.enable_scaling;
+  set_options.normalize_dependents = options.normalize_dependents;
+  set_options.max_scale_features = options.max_scale_features;
+
+  for (int op = 0; op < kNumOpTypes; ++op) {
+    for (int r = 0; r < kNumResources; ++r) {
+      const auto& y = targets[static_cast<size_t>(op)][static_cast<size_t>(r)];
+      double mean = 0.0;
+      for (double v : y) mean += v;
+      est.fallback_mean_[static_cast<size_t>(op)][static_cast<size_t>(r)] =
+          y.empty() ? 0.0 : mean / static_cast<double>(y.size());
+      if (rows[static_cast<size_t>(op)].size() < options.min_rows_per_operator) {
+        continue;  // fallback mean only
+      }
+      est.models_[static_cast<size_t>(op)][static_cast<size_t>(r)] =
+          OperatorModelSet::Train(static_cast<OpType>(op),
+                                  static_cast<Resource>(r),
+                                  rows[static_cast<size_t>(op)], y, set_options);
+    }
+  }
+  return est;
+}
+
+const OperatorModelSet* ResourceEstimator::ModelsFor(OpType op,
+                                                     Resource resource) const {
+  const auto& set =
+      models_[static_cast<size_t>(op)][static_cast<size_t>(resource)];
+  return set.empty() ? nullptr : &set;
+}
+
+double ResourceEstimator::EstimateOperator(const PlanNode& node,
+                                           const PlanNode* parent,
+                                           const Database& db,
+                                           Resource resource) const {
+  const OperatorModelSet* set = ModelsFor(node.type, resource);
+  if (set == nullptr) {
+    return fallback_mean_[static_cast<size_t>(node.type)]
+                         [static_cast<size_t>(resource)];
+  }
+  const FeatureVector v = ExtractFeatures(node, parent, db, options_.mode);
+  return set->Predict(v);
+}
+
+double ResourceEstimator::EstimateQuery(const Plan& plan, const Database& db,
+                                        Resource resource) const {
+  double total = 0.0;
+  if (!plan.root) return 0.0;
+  VisitWithParent(plan.root.get(), nullptr,
+                  [&](const PlanNode* node, const PlanNode* parent) {
+                    total += EstimateOperator(*node, parent, db, resource);
+                  });
+  return total;
+}
+
+std::vector<double> ResourceEstimator::EstimatePipelines(
+    const Plan& plan, const Database& db, Resource resource) const {
+  // Build a parent map once so per-node estimation sees OUTPUTUSAGE.
+  std::vector<std::pair<const PlanNode*, const PlanNode*>> parents;
+  if (plan.root) {
+    VisitWithParent(plan.root.get(), nullptr,
+                    [&](const PlanNode* n, const PlanNode* p) {
+                      parents.emplace_back(n, p);
+                    });
+  }
+  auto parent_of = [&](const PlanNode* n) -> const PlanNode* {
+    for (const auto& [node, parent] : parents) {
+      if (node == n) return parent;
+    }
+    return nullptr;
+  };
+
+  std::vector<double> out;
+  for (const Pipeline& p : DecomposePipelines(plan)) {
+    double total = 0.0;
+    for (const PlanNode* n : p.nodes) {
+      total += EstimateOperator(*n, parent_of(n), db, resource);
+    }
+    out.push_back(total);
+  }
+  return out;
+}
+
+size_t ResourceEstimator::SerializedBytes() const {
+  size_t total = 0;
+  for (const auto& per_op : models_) {
+    for (const auto& set : per_op) total += set.SerializedBytes();
+  }
+  return total;
+}
+
+namespace {
+constexpr uint32_t kStoreMagic = 0x52455354;  // "REST"
+constexpr uint32_t kStoreVersion = 1;
+}  // namespace
+
+std::vector<uint8_t> ResourceEstimator::Serialize() const {
+  std::vector<uint8_t> out;
+  ByteWriter w(&out);
+  w.U32(kStoreMagic);
+  w.U32(kStoreVersion);
+  w.Pod(static_cast<int32_t>(options_.mode));
+  w.Pod(static_cast<uint8_t>(options_.enable_scaling ? 1 : 0));
+  w.Pod(static_cast<uint8_t>(options_.normalize_dependents ? 1 : 0));
+  w.Pod(static_cast<int32_t>(options_.max_scale_features));
+  for (int op = 0; op < kNumOpTypes; ++op) {
+    for (int r = 0; r < kNumResources; ++r) {
+      w.F64(fallback_mean_[static_cast<size_t>(op)][static_cast<size_t>(r)]);
+      const auto& set =
+          models_[static_cast<size_t>(op)][static_cast<size_t>(r)];
+      w.Pod(static_cast<uint8_t>(set.empty() ? 0 : 1));
+      if (!set.empty()) set.SerializeTo(&w);
+    }
+  }
+  return out;
+}
+
+bool ResourceEstimator::Deserialize(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  uint32_t magic = 0, version = 0;
+  int32_t mode = 0, max_scale = 0;
+  uint8_t scaling = 0, norm = 0;
+  if (!r.U32(&magic) || magic != kStoreMagic) return false;
+  if (!r.U32(&version) || version != kStoreVersion) return false;
+  if (!r.Pod(&mode) || !r.Pod(&scaling) || !r.Pod(&norm) || !r.Pod(&max_scale)) {
+    return false;
+  }
+  options_.mode = static_cast<FeatureMode>(mode);
+  options_.enable_scaling = (scaling != 0);
+  options_.normalize_dependents = (norm != 0);
+  options_.max_scale_features = max_scale;
+  for (int op = 0; op < kNumOpTypes; ++op) {
+    for (int res = 0; res < kNumResources; ++res) {
+      uint8_t present = 0;
+      if (!r.F64(&fallback_mean_[static_cast<size_t>(op)][static_cast<size_t>(res)]) ||
+          !r.Pod(&present)) {
+        return false;
+      }
+      auto& set = models_[static_cast<size_t>(op)][static_cast<size_t>(res)];
+      set = OperatorModelSet();
+      if (present != 0 && !OperatorModelSet::DeserializeFrom(&r, &set)) {
+        return false;
+      }
+    }
+  }
+  return r.AtEnd();
+}
+
+bool ResourceEstimator::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const std::vector<uint8_t> bytes = Serialize();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return out.good();
+}
+
+bool ResourceEstimator::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  return Deserialize(bytes);
+}
+
+std::string ResourceEstimator::ExplainOperator(const PlanNode& node,
+                                               const PlanNode* parent,
+                                               const Database& db,
+                                               Resource resource) const {
+  std::ostringstream out;
+  out << OpTypeName(node.type) << " [" << ResourceName(resource) << "]";
+  const OperatorModelSet* set = ModelsFor(node.type, resource);
+  if (set == nullptr) {
+    out << " -> fallback mean "
+        << fallback_mean_[static_cast<size_t>(node.type)]
+                         [static_cast<size_t>(resource)]
+        << " (no model trained)\n";
+    return out.str();
+  }
+  const FeatureVector v = ExtractFeatures(node, parent, db, options_.mode);
+  const CombinedModel* chosen = set->Select(v);
+  out << " -> model " << chosen->spec().ToString();
+  const auto ratios = chosen->OutRatios(v);
+  out << ", max out_ratio " << (ratios.empty() ? 0.0 : ratios[0]);
+  if (chosen == &set->default_model()) out << " (default model DMo)";
+  out << ", estimate " << chosen->Predict(v) << "\n";
+  out << "  features:";
+  for (FeatureId f : OperatorFeatures(node.type)) {
+    out << " " << FeatureName(f) << "=" << v[static_cast<size_t>(f)];
+  }
+  out << "\n";
+  return out.str();
+}
+
+std::string ResourceEstimator::ExplainQuery(const Plan& plan, const Database& db,
+                                            Resource resource) const {
+  std::ostringstream out;
+  if (plan.root) {
+    VisitWithParent(plan.root.get(), nullptr,
+                    [&](const PlanNode* n, const PlanNode* p) {
+                      out << ExplainOperator(*n, p, db, resource);
+                    });
+  }
+  return out.str();
+}
+
+}  // namespace resest

@@ -1,0 +1,85 @@
+// The public resource-estimation API: per-operator, per-pipeline and
+// per-query estimates from trained operator model sets, plus the trainer
+// that builds an estimator from executed-workload observations.
+#ifndef RESEST_CORE_ESTIMATOR_H_
+#define RESEST_CORE_ESTIMATOR_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "src/core/combined_model.h"
+#include "src/core/features.h"
+#include "src/workload/runner.h"
+
+namespace resest {
+
+/// Training configuration for the SCALING estimator.
+struct TrainOptions {
+  FeatureMode mode = FeatureMode::kExact;
+  MartParams mart = [] {
+    MartParams p;
+    p.num_trees = 150;  // combined models are numerous; 150 trees suffice
+    return p;
+  }();
+  bool enable_scaling = true;          ///< false = plain per-operator MART.
+  bool normalize_dependents = true;    ///< Ablation flag (Section 6.1 (3)).
+  int max_scale_features = 2;          ///< Paper uses at most two.
+  size_t min_rows_per_operator = 12;   ///< Below this, a constant model.
+};
+
+/// A trained resource estimator (the paper's deployed artifact, Figure 5).
+class ResourceEstimator {
+ public:
+  /// Trains per-operator model sets from executed queries.
+  static ResourceEstimator Train(const std::vector<ExecutedQuery>& workload,
+                                 const TrainOptions& options);
+
+  /// Estimate for a single operator of an annotated plan.
+  double EstimateOperator(const PlanNode& node, const PlanNode* parent,
+                          const Database& db, Resource resource) const;
+
+  /// Estimate for a whole plan (sum over operators).
+  double EstimateQuery(const Plan& plan, const Database& db,
+                       Resource resource) const;
+
+  /// Per-pipeline estimates (scheduling-granularity API, Section 5.2).
+  std::vector<double> EstimatePipelines(const Plan& plan, const Database& db,
+                                        Resource resource) const;
+
+  /// The model set for one (operator, resource); null if none was trained.
+  const OperatorModelSet* ModelsFor(OpType op, Resource resource) const;
+
+  /// Total serialized model bytes (paper Section 7.3 memory accounting).
+  size_t SerializedBytes() const;
+
+  /// Full model-store (de)serialization: the deployed artifact can be
+  /// trained offline, persisted, and loaded inside the server (the paper's
+  /// "models are retained, training examples are not" deployment).
+  std::vector<uint8_t> Serialize() const;
+  bool Deserialize(const std::vector<uint8_t>& bytes);
+  bool SaveToFile(const std::string& path) const;
+  bool LoadFromFile(const std::string& path);
+
+  /// Human-readable report for one operator: extracted features, the model
+  /// chosen by Section 6.3 selection, its out_ratios and the estimate.
+  std::string ExplainOperator(const PlanNode& node, const PlanNode* parent,
+                              const Database& db, Resource resource) const;
+  /// Explain every operator of a plan.
+  std::string ExplainQuery(const Plan& plan, const Database& db,
+                           Resource resource) const;
+
+  FeatureMode mode() const { return options_.mode; }
+  const TrainOptions& options() const { return options_; }
+
+ private:
+  TrainOptions options_;
+  // models_[op][resource]
+  std::array<std::array<OperatorModelSet, kNumResources>, kNumOpTypes> models_;
+  // Fallback per-operator mean resource (for operators with too little data).
+  std::array<std::array<double, kNumResources>, kNumOpTypes> fallback_mean_{};
+};
+
+}  // namespace resest
+
+#endif  // RESEST_CORE_ESTIMATOR_H_

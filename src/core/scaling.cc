@@ -1,0 +1,145 @@
+#include "src/core/scaling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/matrix.h"
+
+namespace resest {
+
+const char* ScalingFnName(ScalingFn fn) {
+  switch (fn) {
+    case ScalingFn::kLinear: return "linear";
+    case ScalingFn::kLog2: return "log2";
+    case ScalingFn::kNLogN: return "nlogn";
+    case ScalingFn::kSqrt: return "sqrt";
+    case ScalingFn::kPower15: return "pow1.5";
+    case ScalingFn::kQuadratic: return "quadratic";
+    case ScalingFn::kCubic: return "cubic";
+    case ScalingFn::kSum: return "a+b";
+    case ScalingFn::kProduct: return "a*b";
+    case ScalingFn::kALogB: return "a*log2(b)";
+  }
+  return "?";
+}
+
+bool IsTwoInput(ScalingFn fn) {
+  return fn == ScalingFn::kSum || fn == ScalingFn::kProduct ||
+         fn == ScalingFn::kALogB;
+}
+
+double EvalScaling(ScalingFn fn, double a, double b) {
+  a = std::max(1.0, a);
+  b = std::max(1.0, b);
+  switch (fn) {
+    case ScalingFn::kLinear: return a;
+    case ScalingFn::kLog2: return std::log2(std::max(2.0, a));
+    case ScalingFn::kNLogN: return a * std::log2(std::max(2.0, a));
+    case ScalingFn::kSqrt: return std::sqrt(a);
+    case ScalingFn::kPower15: return std::pow(a, 1.5);
+    case ScalingFn::kQuadratic: return a * a;
+    case ScalingFn::kCubic: return a * a * a;
+    case ScalingFn::kSum: return a + b;
+    case ScalingFn::kProduct: return a * b;
+    case ScalingFn::kALogB: return a * std::log2(std::max(2.0, b));
+  }
+  return a;
+}
+
+ScalingFit FitScalingFn(ScalingFn fn, const std::vector<SweepPoint>& sweep) {
+  ScalingFit fit;
+  fit.fn = fn;
+  std::vector<double> g, y;
+  g.reserve(sweep.size());
+  y.reserve(sweep.size());
+  for (const auto& p : sweep) {
+    g.push_back(EvalScaling(fn, p.a, p.b));
+    y.push_back(p.usage);
+  }
+  fit.alpha = FitScale(g, y);
+  double sse = 0.0;
+  for (size_t i = 0; i < g.size(); ++i) {
+    const double e = fit.alpha * g[i] - y[i];
+    sse += e * e;
+  }
+  fit.l2_error = std::sqrt(sse);
+  return fit;
+}
+
+std::vector<ScalingFit> SelectScalingFn(const std::vector<SweepPoint>& sweep,
+                                        bool include_two_input) {
+  static const ScalingFn kOneInput[] = {
+      ScalingFn::kLinear, ScalingFn::kLog2,   ScalingFn::kNLogN,
+      ScalingFn::kSqrt,   ScalingFn::kPower15, ScalingFn::kQuadratic,
+      ScalingFn::kCubic};
+  static const ScalingFn kTwoInput[] = {ScalingFn::kSum, ScalingFn::kProduct,
+                                        ScalingFn::kALogB};
+  std::vector<ScalingFit> fits;
+  for (ScalingFn fn : kOneInput) fits.push_back(FitScalingFn(fn, sweep));
+  if (include_two_input) {
+    for (ScalingFn fn : kTwoInput) fits.push_back(FitScalingFn(fn, sweep));
+  }
+  std::sort(fits.begin(), fits.end(),
+            [](const ScalingFit& a, const ScalingFit& b) {
+              return a.l2_error < b.l2_error;
+            });
+  return fits;
+}
+
+ScalingFn DefaultScalingFn(OpType op, Resource resource, FeatureId feature) {
+  // Offline selection results (Section 6.2). CPU of a sort grows n log n in
+  // its input count; CPU of seeks grows logarithmically in the table size
+  // (index depth); everything else in the candidate set scales linearly.
+  if (resource == Resource::kCpu) {
+    if (op == OpType::kSort &&
+        (feature == FeatureId::kCIn0 || feature == FeatureId::kMinComp)) {
+      return ScalingFn::kNLogN;
+    }
+    if ((op == OpType::kIndexSeek || op == OpType::kIndexNestedLoopJoin) &&
+        (feature == FeatureId::kTSize || feature == FeatureId::kSSeekTable)) {
+      return ScalingFn::kLog2;
+    }
+  } else {
+    if (op == OpType::kIndexNestedLoopJoin && feature == FeatureId::kSSeekTable) {
+      return ScalingFn::kLog2;  // I/O per probe ~ index depth
+    }
+  }
+  return ScalingFn::kLinear;
+}
+
+bool JointScalingFn(OpType op, Resource resource, FeatureId f1, FeatureId f2,
+                    ScalingFn* fn) {
+  auto pair_is = [&](FeatureId a, FeatureId b) {
+    return (f1 == a && f2 == b) || (f1 == b && f2 == a);
+  };
+  switch (op) {
+    case OpType::kMergeJoin:
+    case OpType::kHashJoin:
+      // Both inputs contribute additively (merge: two sorted streams;
+      // hash: build pass + probe pass): scale with the sum of input sizes.
+      if (pair_is(FeatureId::kCIn0, FeatureId::kCIn1)) {
+        *fn = ScalingFn::kSum;
+        return true;
+      }
+      break;
+    case OpType::kIndexNestedLoopJoin:
+      // Figure 8: CPU ~ C_outer * log2(InnerTable).
+      if (pair_is(FeatureId::kCIn0, FeatureId::kSSeekTable)) {
+        *fn = ScalingFn::kALogB;
+        return true;
+      }
+      break;
+    case OpType::kNestedLoopJoin:
+      if (pair_is(FeatureId::kCIn0, FeatureId::kCIn1) ||
+          pair_is(FeatureId::kCIn0, FeatureId::kSSeekTable)) {
+        *fn = resource == Resource::kCpu ? ScalingFn::kProduct : ScalingFn::kSum;
+        return true;
+      }
+      break;
+    default:
+      break;
+  }
+  return false;
+}
+
+}  // namespace resest

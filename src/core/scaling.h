@@ -1,0 +1,73 @@
+// Scaling functions (paper Section 6.2): fixed functional forms that model
+// the asymptotic behaviour of an operator's resource usage in one (or, for
+// joins, two) outlier feature(s), plus the data-driven selection framework
+// that picks the best form from systematic feature sweeps.
+#ifndef RESEST_CORE_SCALING_H_
+#define RESEST_CORE_SCALING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/features.h"
+
+namespace resest {
+
+/// Candidate functional forms. One-input forms use `a`; two-input forms
+/// (join scaling, paper "Multi-feature Scaling") use `a` and `b`.
+enum class ScalingFn {
+  kLinear,     ///< g(a) = a
+  kLog2,       ///< g(a) = log2(a)
+  kNLogN,      ///< g(a) = a log2(a)
+  kSqrt,       ///< g(a) = sqrt(a)
+  kPower15,    ///< g(a) = a^1.5
+  kQuadratic,  ///< g(a) = a^2
+  kCubic,      ///< g(a) = a^3
+  kSum,        ///< g(a,b) = a + b
+  kProduct,    ///< g(a,b) = a * b
+  kALogB,      ///< g(a,b) = a * log2(b)
+};
+
+const char* ScalingFnName(ScalingFn fn);
+bool IsTwoInput(ScalingFn fn);
+
+/// Evaluates g (b ignored for one-input forms). Inputs are clamped to >= 1
+/// so logarithmic forms stay finite near zero.
+double EvalScaling(ScalingFn fn, double a, double b = 0.0);
+
+/// One observation of a feature sweep: feature value(s) and measured usage.
+struct SweepPoint {
+  double a = 0.0;
+  double b = 0.0;      ///< Second feature (two-input candidates only).
+  double usage = 0.0;  ///< Measured resource consumption.
+};
+
+/// Result of fitting one candidate form to a sweep.
+struct ScalingFit {
+  ScalingFn fn = ScalingFn::kLinear;
+  double alpha = 0.0;  ///< Fitted multiplier (least squares).
+  double l2_error = 0.0;
+};
+
+/// Fits alpha for a single candidate by least squares and reports L2 error.
+ScalingFit FitScalingFn(ScalingFn fn, const std::vector<SweepPoint>& sweep);
+
+/// The paper's selection procedure: fit every candidate (one-input forms,
+/// plus two-input forms when the sweep varies b) and return all fits sorted
+/// by ascending L2 error. front() is the selected scaling function.
+std::vector<ScalingFit> SelectScalingFn(const std::vector<SweepPoint>& sweep,
+                                        bool include_two_input);
+
+/// The offline-selected scaling function for (operator, resource, feature) —
+/// the output of running the Section 6.2 selection experiments (regenerated
+/// by bench/fig7_sort_scaling and bench/fig8_inlj_scaling).
+ScalingFn DefaultScalingFn(OpType op, Resource resource, FeatureId feature);
+
+/// Two-feature scaling form for an operator's feature pair, if the pair has
+/// a designated joint form (e.g. INLJ: COuter x log2(InnerTable)); otherwise
+/// the two features scale independently (composed one-input forms).
+bool JointScalingFn(OpType op, Resource resource, FeatureId f1, FeatureId f2,
+                    ScalingFn* fn);
+
+}  // namespace resest
+
+#endif  // RESEST_CORE_SCALING_H_

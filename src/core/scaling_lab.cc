@@ -1,0 +1,130 @@
+#include "src/core/scaling_lab.h"
+
+#include <memory>
+
+#include "src/engine/executor.h"
+
+namespace resest {
+
+namespace {
+
+std::unique_ptr<PlanNode> LineitemPrefixScan(const Database& db, int64_t limit,
+                                             std::vector<std::string> cols) {
+  (void)db;
+  auto scan = std::make_unique<PlanNode>();
+  scan->type = OpType::kTableScan;
+  scan->table = "lineitem";
+  scan->predicates = {Predicate{"l_linekey", Predicate::Op::kLe, 0, limit}};
+  scan->output_columns = std::move(cols);
+  return scan;
+}
+
+/// Step i of `steps` mapped to a prefix size of the lineitem table.
+int64_t PrefixAt(const Database& db, int step, int steps) {
+  const int64_t rows = db.FindTable("lineitem")->row_count();
+  return std::max<int64_t>(50, rows * (step + 1) / steps);
+}
+
+}  // namespace
+
+std::vector<SweepPoint> SweepSortCpu(const Database& db, int steps) {
+  std::vector<SweepPoint> sweep;
+  Executor exec(&db, 99);
+  for (int s = 0; s < steps; ++s) {
+    const int64_t prefix = PrefixAt(db, s, steps);
+    auto sort = std::make_unique<PlanNode>();
+    sort->type = OpType::kSort;
+    // l_extendedprice is uniform and uncorrelated with the clustered order —
+    // the same role as the paper's ORDER BY Random_Function(). The narrow
+    // projection keeps the sweep in the in-memory regime so the curve
+    // isolates the comparison cost (the paper's sweeps hold every other
+    // effect constant).
+    sort->sort_columns = {"lineitem.l_extendedprice"};
+    sort->children.push_back(
+        LineitemPrefixScan(db, prefix, {"l_extendedprice"}));
+    exec.ExecuteNode(sort.get());
+    sweep.push_back(SweepPoint{static_cast<double>(sort->actual.rows_in[0]), 0.0,
+                               sort->actual.cpu});
+  }
+  return sweep;
+}
+
+std::vector<SweepPoint> SweepInljCpu(const Database& db, int steps) {
+  std::vector<SweepPoint> sweep;
+  Executor exec(&db, 99);
+  const Table* orders = db.FindTable("orders");
+  for (int s = 0; s < steps; ++s) {
+    const int64_t prefix = PrefixAt(db, s, steps);
+    auto join = std::make_unique<PlanNode>();
+    join->type = OpType::kIndexNestedLoopJoin;
+    join->left_key = "lineitem.l_orderkey";
+    join->inner_table = "orders";
+    join->inner_key = "o_orderkey";
+    join->inner_output_columns = {"o_orderkey", "o_totalprice"};
+    join->children.push_back(
+        LineitemPrefixScan(db, prefix, {"l_orderkey", "l_quantity"}));
+    exec.ExecuteNode(join.get());
+    sweep.push_back(SweepPoint{static_cast<double>(join->actual.rows_in[0]),
+                               static_cast<double>(orders->row_count()),
+                               join->actual.cpu});
+  }
+  return sweep;
+}
+
+std::vector<SweepPoint> SweepFilterCpu(const Database& db, int steps) {
+  std::vector<SweepPoint> sweep;
+  Executor exec(&db, 99);
+  for (int s = 0; s < steps; ++s) {
+    const int64_t prefix = PrefixAt(db, s, steps);
+    auto filter = std::make_unique<PlanNode>();
+    filter->type = OpType::kFilter;
+    filter->predicates = {
+        Predicate{"lineitem.l_quantity", Predicate::Op::kLe, 0, 25}};
+    filter->children.push_back(
+        LineitemPrefixScan(db, prefix, {"l_quantity", "l_extendedprice"}));
+    exec.ExecuteNode(filter.get());
+    sweep.push_back(SweepPoint{static_cast<double>(filter->actual.rows_in[0]),
+                               0.0, filter->actual.cpu});
+  }
+  return sweep;
+}
+
+std::vector<SweepPoint> SweepSeekIo(const Database& db, int steps) {
+  std::vector<SweepPoint> sweep;
+  Executor exec(&db, 99);
+  const Table* li = db.FindTable("lineitem");
+  for (int s = 0; s < steps; ++s) {
+    const int64_t prefix = PrefixAt(db, s, steps);
+    auto seek = std::make_unique<PlanNode>();
+    seek->type = OpType::kIndexSeek;
+    seek->table = "lineitem";
+    seek->seek_column = "l_linekey";
+    seek->predicates = {Predicate{"l_linekey", Predicate::Op::kLe, 0, prefix}};
+    seek->output_columns = {"l_linekey", "l_quantity"};
+    exec.ExecuteNode(seek.get());
+    sweep.push_back(SweepPoint{static_cast<double>(seek->actual.rows_out), 0.0,
+                               static_cast<double>(seek->actual.logical_io)});
+  }
+  (void)li;
+  return sweep;
+}
+
+std::vector<SweepPoint> SweepHashAggCpu(const Database& db, int steps) {
+  std::vector<SweepPoint> sweep;
+  Executor exec(&db, 99);
+  for (int s = 0; s < steps; ++s) {
+    const int64_t prefix = PrefixAt(db, s, steps);
+    auto agg = std::make_unique<PlanNode>();
+    agg->type = OpType::kHashAggregate;
+    agg->group_columns = {"lineitem.l_partkey"};
+    agg->num_aggregates = 2;
+    agg->children.push_back(
+        LineitemPrefixScan(db, prefix, {"l_partkey", "l_quantity"}));
+    exec.ExecuteNode(agg.get());
+    sweep.push_back(SweepPoint{static_cast<double>(agg->actual.rows_in[0]), 0.0,
+                               agg->actual.cpu});
+  }
+  return sweep;
+}
+
+}  // namespace resest

@@ -1,0 +1,40 @@
+// The Section 6.2 experiment framework: synthetically generated
+// single-operator queries whose target feature is swept over a wide range
+// while dependent features keep a constant ratio to it; the resulting
+// (feature, usage) curves drive scaling-function selection.
+//
+// Regenerates the paper's Figure 7 (sort) and Figure 8 (index nested loop
+// join) selection experiments.
+#ifndef RESEST_CORE_SCALING_LAB_H_
+#define RESEST_CORE_SCALING_LAB_H_
+
+#include <vector>
+
+#include "src/core/scaling.h"
+#include "src/storage/catalog.h"
+
+namespace resest {
+
+/// Sweeps the Sort operator's input count (paper's
+/// "SELECT * FROM lineitem WHERE l_orderkey <= t1 ORDER BY Random()"):
+/// sorts growing prefixes of lineitem on an order-uncorrelated key and
+/// records CPU. SweepPoint::a = CIN.
+std::vector<SweepPoint> SweepSortCpu(const Database& db, int steps);
+
+/// Sweeps the outer cardinality of an index nested loop join into orders
+/// (inner fixed). SweepPoint::a = C_outer, b = inner table rows.
+std::vector<SweepPoint> SweepInljCpu(const Database& db, int steps);
+
+/// Sweeps a filter's input count and records CPU (the paper's canonical
+/// "CPU scales linearly with tuples" example). a = CIN.
+std::vector<SweepPoint> SweepFilterCpu(const Database& db, int steps);
+
+/// Sweeps an index seek's qualifying-tuple count and records logical I/O.
+std::vector<SweepPoint> SweepSeekIo(const Database& db, int steps);
+
+/// Sweeps a hash aggregate's input count and records CPU.
+std::vector<SweepPoint> SweepHashAggCpu(const Database& db, int steps);
+
+}  // namespace resest
+
+#endif  // RESEST_CORE_SCALING_LAB_H_

@@ -1,0 +1,88 @@
+// Calibrated micro-cost constants of the simulated execution engine.
+//
+// These play the role of the hardware: the engine counts *real* work
+// (comparisons, hash operations, page requests) and converts it to simulated
+// CPU time using these weights. Values are in pseudo-milliseconds per unit of
+// work, chosen so typical experiment queries land in the 1..100k pseudo-ms
+// range like the paper's plots. The ML layer never sees these constants —
+// it must learn the resulting (non-linear, noisy) behaviour from observations.
+#ifndef RESEST_ENGINE_COST_CONSTANTS_H_
+#define RESEST_ENGINE_COST_CONSTANTS_H_
+
+#include <cstdint>
+
+namespace resest::cost {
+
+// --- Scans ---
+inline constexpr double kPageOverhead = 0.030;      ///< Per data-page visit.
+inline constexpr double kRowDecode = 0.0035;        ///< Per row touched.
+inline constexpr double kColumnCopy = 0.0012;       ///< Per output column per row.
+inline constexpr double kByteCopy = 0.000035;       ///< Per output byte per row.
+inline constexpr double kPredicateEval = 0.0016;    ///< Per predicate per row.
+/// Smooth cache-unfriendliness surcharge for wide rows: per-row decode cost
+/// is multiplied by 1 + 0.4 * (width/128)^1.3. Sub-linear in width for
+/// narrow rows, super-linear for very wide rows — a shape linear models in
+/// the feature set cannot express exactly.
+inline double WideRowFactor(int64_t row_width_bytes) {
+  const double w = static_cast<double>(row_width_bytes) / 128.0;
+  double p = w;
+  // w^1.3 without <cmath> dependency churn: w * w^0.3 ~ w * exp(0.3 ln w).
+  p = w * __builtin_exp(0.3 * __builtin_log(w > 1e-9 ? w : 1e-9));
+  return 1.0 + 0.4 * p;
+}
+/// Hash probes slow down as the hash table outgrows caches: the per-probe
+/// cost is multiplied by 1 + 0.06 * log2(build rows).
+inline double HashSizeFactor(int64_t build_rows) {
+  const double n = build_rows > 2 ? static_cast<double>(build_rows) : 2.0;
+  return 1.0 + 0.06 * (__builtin_log(n) / 0.6931471805599453);
+}
+
+// --- Index seeks ---
+inline constexpr double kSeekLevel = 0.012;         ///< Per B-tree level visited.
+inline constexpr double kSeekLeafRow = 0.0042;      ///< Per qualifying entry.
+inline constexpr double kRidLookup = 0.011;         ///< Per bookmark lookup.
+
+// --- Sort ---
+inline constexpr double kCompare = 0.0021;          ///< Per key comparison...
+inline constexpr double kComparePerColumn = 0.0009; ///< ...plus per sort column.
+inline constexpr double kSortMove = 0.0028;         ///< Per row moved.
+inline constexpr double kSortMovePerByte = 0.00002;
+/// In-memory sort budget; larger inputs spill to multi-pass external merge.
+inline constexpr int64_t kSortMemoryBytes = 2 * 1024 * 1024;
+inline constexpr int kMergeFanin = 8;
+inline constexpr double kSpillRowCost = 0.004;      ///< Per row per extra pass.
+
+// --- Hashing (join build/probe, aggregation) ---
+inline constexpr double kHashOp = 0.0024;           ///< Per hash function eval...
+inline constexpr double kHashPerColumn = 0.0011;    ///< ...plus per key column.
+inline constexpr double kHashInsert = 0.0031;       ///< Per build-side insert.
+inline constexpr double kHashProbe = 0.0026;        ///< Per probe.
+inline constexpr double kHashChainStep = 0.0011;    ///< Per bucket-chain step.
+inline constexpr double kHashResizeRow = 0.0017;    ///< Amortized rehash cost.
+/// Hash memory budget; larger builds spill (Grace partitioning).
+inline constexpr int64_t kHashMemoryBytes = 4 * 1024 * 1024;
+inline constexpr double kSpillPartitionRow = 0.005;
+
+// --- Joins ---
+inline constexpr double kOutputRow = 0.0030;        ///< Per joined output row.
+inline constexpr double kNestedLoopInnerRow = 0.0008;
+/// Batch-sort optimization of index nested loops (DeWitt et al. [11],
+/// Elhemali et al. [13]): the outer batch is sorted on the join key,
+/// costing extra CPU but localizing inner index accesses.
+inline constexpr double kBatchSortCompare = 0.0016;
+
+// --- Aggregation ---
+inline constexpr double kAggUpdate = 0.0018;        ///< Per row per aggregate.
+inline constexpr double kGroupFinalize = 0.0040;    ///< Per output group.
+
+// --- Misc operators ---
+inline constexpr double kScalarExpr = 0.0015;       ///< Per expression per row.
+inline constexpr double kTopRow = 0.0008;
+
+/// Multiplicative log-normal measurement noise applied to each operator's
+/// CPU (sigma). Logical I/O is exact (it is a count, not a timing).
+inline constexpr double kCpuNoiseSigma = 0.03;
+
+}  // namespace resest::cost
+
+#endif  // RESEST_ENGINE_COST_CONSTANTS_H_

@@ -1,0 +1,723 @@
+#include "src/engine/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/engine/cost_constants.h"
+
+namespace resest {
+
+namespace {
+
+// Mixes a value into a 64-bit hash (splitmix64 finalizer).
+uint64_t MixHash(uint64_t h, Value v) {
+  uint64_t z = h ^ (static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Number of simulated pages occupied by `bytes`.
+int64_t BytesToPages(int64_t bytes) {
+  return std::max<int64_t>(1, (bytes + kPageSize - 1) / kPageSize);
+}
+
+// Resolves a predicate column against a base table; throws on bad plans.
+int ResolveBaseColumn(const Table& table, const std::string& name) {
+  int c = table.FindColumn(name);
+  if (c < 0) {
+    // Accept qualified "table.col" names as well.
+    const size_t dot = name.rfind('.');
+    if (dot != std::string::npos) c = table.FindColumn(name.substr(dot + 1));
+  }
+  if (c < 0) {
+    throw std::runtime_error("unknown column '" + name + "' in table " +
+                             table.name());
+  }
+  return c;
+}
+
+int ResolveRelColumn(const Relation& rel, const std::string& name) {
+  const int c = rel.FindColumn(name);
+  if (c < 0) throw std::runtime_error("unknown column '" + name + "' in relation");
+  return c;
+}
+
+}  // namespace
+
+Executor::Executor(const Database* db, uint64_t seed) : db_(db), noise_(seed) {}
+
+Relation Executor::Execute(Plan* plan) { return ExecuteNode(plan->root.get()); }
+
+Relation Executor::ExecuteNode(PlanNode* node) {
+  switch (node->type) {
+    case OpType::kTableScan: return ExecTableScan(node);
+    case OpType::kIndexSeek: return ExecIndexSeek(node);
+    case OpType::kFilter: return ExecFilter(node);
+    case OpType::kSort: return ExecSort(node);
+    case OpType::kTop: return ExecTop(node);
+    case OpType::kHashJoin: return ExecHashJoin(node);
+    case OpType::kMergeJoin: return ExecMergeJoin(node);
+    case OpType::kNestedLoopJoin: return ExecNestedLoopJoin(node);
+    case OpType::kIndexNestedLoopJoin: return ExecIndexNestedLoopJoin(node);
+    case OpType::kHashAggregate: return ExecHashAggregate(node);
+    case OpType::kStreamAggregate: return ExecStreamAggregate(node);
+    case OpType::kComputeScalar: return ExecComputeScalar(node);
+  }
+  throw std::runtime_error("unknown operator type");
+}
+
+void Executor::NoteInput(PlanNode* node, int i, const Relation& input) {
+  node->actual.rows_in[i] = input.rows();
+  node->actual.bytes_in[i] = static_cast<double>(input.bytes());
+}
+
+void Executor::FinishNode(PlanNode* node, const Relation& output, double cpu,
+                          int64_t logical_io) {
+  node->actual.cpu = cpu * noise_.LogNormalFactor(cost::kCpuNoiseSigma);
+  node->actual.logical_io = logical_io;
+  node->actual.rows_out = output.rows();
+  node->actual.bytes_out = static_cast<double>(output.bytes());
+  node->actual.executed = true;
+}
+
+// --- Scans -----------------------------------------------------------------
+
+Relation Executor::ExecTableScan(PlanNode* node) {
+  const Table* table = db_->FindTable(node->table);
+  if (table == nullptr) throw std::runtime_error("unknown table " + node->table);
+
+  // Resolve projection (empty = all columns) and predicates.
+  std::vector<int> out_cols;
+  if (node->output_columns.empty()) {
+    for (size_t i = 0; i < table->column_count(); ++i)
+      out_cols.push_back(static_cast<int>(i));
+  } else {
+    for (const auto& n : node->output_columns)
+      out_cols.push_back(ResolveBaseColumn(*table, n));
+  }
+  std::vector<std::pair<int, const Predicate*>> preds;
+  for (const auto& p : node->predicates)
+    preds.emplace_back(ResolveBaseColumn(*table, p.column), &p);
+
+  Relation out;
+  for (int c : out_cols) {
+    const Column& col = table->column(static_cast<size_t>(c));
+    out.columns.push_back(
+        {node->table + "." + col.def.name, col.def.width_bytes, {}});
+  }
+
+  const int64_t rows = table->row_count();
+  std::vector<int64_t> selected;
+  selected.reserve(static_cast<size_t>(rows) / 4 + 1);
+  for (int64_t r = 0; r < rows; ++r) {
+    bool ok = true;
+    for (const auto& [c, p] : preds) {
+      if (!p->Matches(table->column(static_cast<size_t>(c)).data[static_cast<size_t>(r)])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) selected.push_back(r);
+  }
+  out.Reserve(static_cast<int64_t>(selected.size()));
+  for (size_t oc = 0; oc < out_cols.size(); ++oc) {
+    const auto& src = table->column(static_cast<size_t>(out_cols[oc])).data;
+    auto& dst = out.columns[oc].data;
+    for (int64_t r : selected) dst.push_back(src[static_cast<size_t>(r)]);
+  }
+
+  // Resource accounting: every data page is requested once; per-row decode
+  // cost depends on row width (cache behaviour), qualifying rows pay copy-out.
+  const int64_t pages = table->data_pages();
+  const double wide = cost::WideRowFactor(table->row_width());
+  double cpu = static_cast<double>(pages) * cost::kPageOverhead;
+  cpu += static_cast<double>(rows) *
+         (cost::kRowDecode * wide +
+          cost::kPredicateEval * static_cast<double>(preds.size()));
+  cpu += static_cast<double>(selected.size()) *
+         (cost::kColumnCopy * static_cast<double>(out_cols.size()) +
+          cost::kByteCopy * static_cast<double>(out.row_width()));
+  FinishNode(node, out, cpu, pages);
+  return out;
+}
+
+Relation Executor::ExecIndexSeek(PlanNode* node) {
+  const Table* table = db_->FindTable(node->table);
+  if (table == nullptr) throw std::runtime_error("unknown table " + node->table);
+  const int key_col = ResolveBaseColumn(*table, node->seek_column);
+  const Index* index = table->IndexOn(key_col);
+  if (index == nullptr) {
+    throw std::runtime_error("no index on " + node->table + "." + node->seek_column);
+  }
+
+  // Split predicates into the seek range (on the key) and residuals.
+  Value lo = INT64_MIN, hi = INT64_MAX;
+  std::vector<std::pair<int, const Predicate*>> residual;
+  for (const auto& p : node->predicates) {
+    const int c = ResolveBaseColumn(*table, p.column);
+    if (c == key_col) {
+      switch (p.op) {
+        case Predicate::Op::kEq: lo = std::max(lo, p.lo); hi = std::min(hi, p.lo); break;
+        case Predicate::Op::kLe: hi = std::min(hi, p.hi); break;
+        case Predicate::Op::kGe: lo = std::max(lo, p.lo); break;
+        case Predicate::Op::kBetween: lo = std::max(lo, p.lo); hi = std::min(hi, p.hi); break;
+      }
+    } else {
+      residual.emplace_back(c, &p);
+    }
+  }
+
+  const auto& entries = index->entries();
+  auto first = std::lower_bound(entries.begin(), entries.end(),
+                                std::make_pair(lo, INT64_MIN));
+  auto last = std::upper_bound(entries.begin(), entries.end(),
+                               std::make_pair(hi, INT64_MAX));
+  const int64_t matches = static_cast<int64_t>(last - first);
+
+  std::vector<int> out_cols;
+  if (node->output_columns.empty()) {
+    for (size_t i = 0; i < table->column_count(); ++i)
+      out_cols.push_back(static_cast<int>(i));
+  } else {
+    for (const auto& n : node->output_columns)
+      out_cols.push_back(ResolveBaseColumn(*table, n));
+  }
+  Relation out;
+  for (int c : out_cols) {
+    const Column& col = table->column(static_cast<size_t>(c));
+    out.columns.push_back(
+        {node->table + "." + col.def.name, col.def.width_bytes, {}});
+  }
+  out.Reserve(matches);
+
+  int64_t kept = 0;
+  for (auto it = first; it != last; ++it) {
+    const int64_t row = it->second;
+    bool ok = true;
+    for (const auto& [c, p] : residual) {
+      if (!p->Matches(table->column(static_cast<size_t>(c)).data[static_cast<size_t>(row)])) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    ++kept;
+    for (size_t oc = 0; oc < out_cols.size(); ++oc) {
+      out.columns[oc].data.push_back(
+          table->column(static_cast<size_t>(out_cols[oc])).data[static_cast<size_t>(row)]);
+    }
+  }
+
+  // I/O: root-to-leaf traversal, the touched leaf range, and (for secondary
+  // indexes) one bookmark lookup per qualifying entry.
+  int64_t io = index->depth() - 1;
+  if (matches > 0) {
+    const int64_t first_leaf = index->LeafPageOf(first - entries.begin());
+    const int64_t last_leaf = index->LeafPageOf(last - entries.begin() - 1);
+    io += last_leaf - first_leaf + 1;
+    if (!index->clustered()) io += matches;
+  } else {
+    io += 1;  // the leaf where the key would be
+  }
+
+  double cpu = static_cast<double>(index->depth()) *
+               (cost::kSeekLevel +
+                cost::kCompare * std::log2(static_cast<double>(kIndexFanout)));
+  cpu += static_cast<double>(matches) *
+         (cost::kSeekLeafRow +
+          cost::kPredicateEval * static_cast<double>(residual.size()));
+  if (!index->clustered()) cpu += static_cast<double>(matches) * cost::kRidLookup;
+  cpu += static_cast<double>(kept) *
+         (cost::kColumnCopy * static_cast<double>(out_cols.size()) +
+          cost::kByteCopy * static_cast<double>(out.row_width()));
+  FinishNode(node, out, cpu, io);
+  return out;
+}
+
+// --- Tuple-at-a-time operators ----------------------------------------------
+
+Relation Executor::ExecFilter(PlanNode* node) {
+  Relation in = ExecuteNode(node->child(0));
+  NoteInput(node, 0, in);
+
+  std::vector<std::pair<int, const Predicate*>> preds;
+  for (const auto& p : node->predicates)
+    preds.emplace_back(ResolveRelColumn(in, p.column), &p);
+
+  Relation out;
+  for (const auto& c : in.columns) out.columns.push_back({c.name, c.width_bytes, {}});
+  const int64_t rows = in.rows();
+  for (int64_t r = 0; r < rows; ++r) {
+    bool ok = true;
+    for (const auto& [c, p] : preds) {
+      if (!p->Matches(in.columns[static_cast<size_t>(c)].data[static_cast<size_t>(r)])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.AppendRow(in, r);
+  }
+
+  double cpu = static_cast<double>(rows) * cost::kPredicateEval *
+               static_cast<double>(std::max<size_t>(1, preds.size()));
+  cpu += static_cast<double>(out.rows()) *
+         (cost::kColumnCopy * static_cast<double>(out.columns.size()));
+  FinishNode(node, out, cpu, 0);
+  return out;
+}
+
+Relation Executor::ExecSort(PlanNode* node) {
+  Relation in = ExecuteNode(node->child(0));
+  NoteInput(node, 0, in);
+
+  std::vector<int> keys;
+  for (const auto& k : node->sort_columns) keys.push_back(ResolveRelColumn(in, k));
+
+  const int64_t rows = in.rows();
+  std::vector<int64_t> order(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) order[static_cast<size_t>(i)] = i;
+
+  int64_t comparisons = 0;
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    ++comparisons;
+    for (int k : keys) {
+      const auto& col = in.columns[static_cast<size_t>(k)].data;
+      if (col[static_cast<size_t>(a)] != col[static_cast<size_t>(b)])
+        return col[static_cast<size_t>(a)] < col[static_cast<size_t>(b)];
+    }
+    return a < b;
+  });
+
+  Relation out;
+  for (const auto& c : in.columns) out.columns.push_back({c.name, c.width_bytes, {}});
+  out.Reserve(rows);
+  for (int64_t r : order) out.AppendRow(in, r);
+
+  const double per_cmp =
+      cost::kCompare + cost::kComparePerColumn * static_cast<double>(keys.size());
+  double cpu = static_cast<double>(comparisons) * per_cmp;
+  cpu += static_cast<double>(rows) *
+         (cost::kSortMove + cost::kSortMovePerByte * static_cast<double>(in.row_width()));
+
+  // External sort: inputs beyond the memory budget are written out in runs and
+  // merged in multiple passes — resource use "jumps" with the pass count, a
+  // discontinuity the paper calls out (Section 4, Properties of MART).
+  int64_t io = 0;
+  const int64_t bytes = in.bytes();
+  if (bytes > cost::kSortMemoryBytes) {
+    int64_t runs = (bytes + cost::kSortMemoryBytes - 1) / cost::kSortMemoryBytes;
+    int passes = 0;
+    while (runs > 1) {
+      runs = (runs + cost::kMergeFanin - 1) / cost::kMergeFanin;
+      ++passes;
+    }
+    const int64_t pages = BytesToPages(bytes);
+    io += 2 * pages * passes;
+    cpu += static_cast<double>(rows) * cost::kSpillRowCost * passes;
+    cpu += static_cast<double>(rows) *
+           std::log2(static_cast<double>(cost::kMergeFanin)) * per_cmp *
+           static_cast<double>(passes);
+  }
+  FinishNode(node, out, cpu, io);
+  return out;
+}
+
+Relation Executor::ExecTop(PlanNode* node) {
+  Relation in = ExecuteNode(node->child(0));
+  NoteInput(node, 0, in);
+
+  Relation out;
+  for (const auto& c : in.columns) out.columns.push_back({c.name, c.width_bytes, {}});
+  const int64_t n = std::min<int64_t>(node->limit, in.rows());
+  out.Reserve(n);
+  for (int64_t r = 0; r < n; ++r) out.AppendRow(in, r);
+
+  const double cpu = static_cast<double>(in.rows()) * cost::kTopRow +
+                     static_cast<double>(n) * cost::kColumnCopy *
+                         static_cast<double>(out.columns.size());
+  FinishNode(node, out, cpu, 0);
+  return out;
+}
+
+// --- Joins -------------------------------------------------------------------
+
+Relation Executor::ExecHashJoin(PlanNode* node) {
+  Relation probe = ExecuteNode(node->child(0));
+  NoteInput(node, 0, probe);
+  Relation build = ExecuteNode(node->child(1));
+  NoteInput(node, 1, build);
+
+  const int pk = ResolveRelColumn(probe, node->left_key);
+  const int bk = ResolveRelColumn(build, node->right_key);
+
+  std::unordered_map<Value, std::vector<int64_t>> ht;
+  ht.reserve(static_cast<size_t>(build.rows()));
+  for (int64_t r = 0; r < build.rows(); ++r) {
+    ht[build.columns[static_cast<size_t>(bk)].data[static_cast<size_t>(r)]].push_back(r);
+  }
+
+  Relation out;
+  for (const auto& c : probe.columns) out.columns.push_back({c.name, c.width_bytes, {}});
+  for (const auto& c : build.columns) out.columns.push_back({c.name, c.width_bytes, {}});
+
+  int64_t chain_steps = 0;
+  for (int64_t r = 0; r < probe.rows(); ++r) {
+    const Value key = probe.columns[static_cast<size_t>(pk)].data[static_cast<size_t>(r)];
+    auto it = ht.find(key);
+    if (it == ht.end()) continue;
+    chain_steps += static_cast<int64_t>(it->second.size());
+    for (int64_t br : it->second) {
+      size_t c = 0;
+      for (; c < probe.columns.size(); ++c)
+        out.columns[c].data.push_back(probe.columns[c].data[static_cast<size_t>(r)]);
+      for (size_t bc = 0; bc < build.columns.size(); ++bc)
+        out.columns[c + bc].data.push_back(build.columns[bc].data[static_cast<size_t>(br)]);
+    }
+  }
+
+  const double hash_cost = cost::kHashOp + cost::kHashPerColumn;  // 1 key column
+  const double cache = cost::HashSizeFactor(build.rows());
+  double cpu = static_cast<double>(build.rows()) *
+               (hash_cost + cost::kHashInsert + cost::kHashResizeRow);
+  cpu += static_cast<double>(probe.rows()) *
+         (hash_cost + cost::kHashProbe * cache);
+  cpu += static_cast<double>(chain_steps) * cost::kHashChainStep * cache;
+  cpu += static_cast<double>(out.rows()) *
+         (cost::kOutputRow + cost::kByteCopy * static_cast<double>(out.row_width()));
+
+  // Grace-style spill when the build side exceeds the memory budget: one
+  // partition pass over both inputs.
+  int64_t io = 0;
+  if (build.bytes() > cost::kHashMemoryBytes) {
+    io += 2 * (BytesToPages(build.bytes()) + BytesToPages(probe.bytes()));
+    cpu += static_cast<double>(build.rows() + probe.rows()) * cost::kSpillPartitionRow;
+  }
+  FinishNode(node, out, cpu, io);
+  return out;
+}
+
+Relation Executor::ExecMergeJoin(PlanNode* node) {
+  Relation left = ExecuteNode(node->child(0));
+  NoteInput(node, 0, left);
+  Relation right = ExecuteNode(node->child(1));
+  NoteInput(node, 1, right);
+
+  const int lk = ResolveRelColumn(left, node->left_key);
+  const int rk = ResolveRelColumn(right, node->right_key);
+  const auto& lv = left.columns[static_cast<size_t>(lk)].data;
+  const auto& rv = right.columns[static_cast<size_t>(rk)].data;
+
+  Relation out;
+  for (const auto& c : left.columns) out.columns.push_back({c.name, c.width_bytes, {}});
+  for (const auto& c : right.columns) out.columns.push_back({c.name, c.width_bytes, {}});
+
+  int64_t steps = 0;
+  int64_t i = 0, j = 0;
+  while (i < left.rows() && j < right.rows()) {
+    ++steps;
+    if (lv[static_cast<size_t>(i)] < rv[static_cast<size_t>(j)]) {
+      ++i;
+    } else if (lv[static_cast<size_t>(i)] > rv[static_cast<size_t>(j)]) {
+      ++j;
+    } else {
+      // Cross-product of the equal-key groups.
+      const Value key = lv[static_cast<size_t>(i)];
+      int64_t i_end = i, j_end = j;
+      while (i_end < left.rows() && lv[static_cast<size_t>(i_end)] == key) ++i_end;
+      while (j_end < right.rows() && rv[static_cast<size_t>(j_end)] == key) ++j_end;
+      for (int64_t a = i; a < i_end; ++a) {
+        for (int64_t b = j; b < j_end; ++b) {
+          size_t c = 0;
+          for (; c < left.columns.size(); ++c)
+            out.columns[c].data.push_back(left.columns[c].data[static_cast<size_t>(a)]);
+          for (size_t bc = 0; bc < right.columns.size(); ++bc)
+            out.columns[c + bc].data.push_back(right.columns[bc].data[static_cast<size_t>(b)]);
+        }
+      }
+      steps += (i_end - i) + (j_end - j);
+      i = i_end;
+      j = j_end;
+    }
+  }
+
+  double cpu = static_cast<double>(steps) * cost::kCompare * 2.0;
+  cpu += static_cast<double>(left.rows() + right.rows()) * cost::kRowDecode;
+  cpu += static_cast<double>(out.rows()) *
+         (cost::kOutputRow + cost::kByteCopy * static_cast<double>(out.row_width()));
+  FinishNode(node, out, cpu, 0);
+  return out;
+}
+
+Relation Executor::ExecNestedLoopJoin(PlanNode* node) {
+  Relation outer = ExecuteNode(node->child(0));
+  NoteInput(node, 0, outer);
+  Relation inner = ExecuteNode(node->child(1));
+  NoteInput(node, 1, inner);
+
+  const int ok = ResolveRelColumn(outer, node->left_key);
+  const int ik = ResolveRelColumn(inner, node->right_key);
+
+  Relation out;
+  for (const auto& c : outer.columns) out.columns.push_back({c.name, c.width_bytes, {}});
+  for (const auto& c : inner.columns) out.columns.push_back({c.name, c.width_bytes, {}});
+
+  for (int64_t a = 0; a < outer.rows(); ++a) {
+    const Value key = outer.columns[static_cast<size_t>(ok)].data[static_cast<size_t>(a)];
+    for (int64_t b = 0; b < inner.rows(); ++b) {
+      if (inner.columns[static_cast<size_t>(ik)].data[static_cast<size_t>(b)] != key) continue;
+      size_t c = 0;
+      for (; c < outer.columns.size(); ++c)
+        out.columns[c].data.push_back(outer.columns[c].data[static_cast<size_t>(a)]);
+      for (size_t bc = 0; bc < inner.columns.size(); ++bc)
+        out.columns[c + bc].data.push_back(inner.columns[bc].data[static_cast<size_t>(b)]);
+    }
+  }
+
+  double cpu = static_cast<double>(outer.rows()) * static_cast<double>(inner.rows()) *
+               cost::kNestedLoopInnerRow;
+  cpu += static_cast<double>(out.rows()) *
+         (cost::kOutputRow + cost::kByteCopy * static_cast<double>(out.row_width()));
+  FinishNode(node, out, cpu, 0);
+  return out;
+}
+
+Relation Executor::ExecIndexNestedLoopJoin(PlanNode* node) {
+  Relation outer = ExecuteNode(node->child(0));
+  NoteInput(node, 0, outer);
+
+  const Table* inner = db_->FindTable(node->inner_table);
+  if (inner == nullptr) throw std::runtime_error("unknown table " + node->inner_table);
+  const int inner_col = ResolveBaseColumn(*inner, node->inner_key);
+  const Index* index = inner->IndexOn(inner_col);
+  if (index == nullptr) {
+    throw std::runtime_error("no index on " + node->inner_table + "." + node->inner_key);
+  }
+  const int ok = ResolveRelColumn(outer, node->left_key);
+  NoteInput(node, 1, outer);  // placeholder; corrected below with seek volume
+  node->actual.rows_in[1] = inner->row_count();
+  node->actual.bytes_in[1] =
+      static_cast<double>(inner->row_count() * inner->row_width());
+
+  std::vector<int> inner_out;
+  if (node->inner_output_columns.empty()) {
+    for (size_t i = 0; i < inner->column_count(); ++i)
+      inner_out.push_back(static_cast<int>(i));
+  } else {
+    for (const auto& n : node->inner_output_columns)
+      inner_out.push_back(ResolveBaseColumn(*inner, n));
+  }
+
+  Relation out;
+  for (const auto& c : outer.columns) out.columns.push_back({c.name, c.width_bytes, {}});
+  for (int c : inner_out) {
+    const Column& col = inner->column(static_cast<size_t>(c));
+    out.columns.push_back(
+        {node->inner_table + "." + col.def.name, col.def.width_bytes, {}});
+  }
+
+  // Batch-sort optimization (paper Section 1): sort the outer rows on the
+  // join key so the inner index is probed with increasing keys. This costs
+  // extra CPU but localizes page references — one of the query-processing
+  // refinements hand-built optimizer cost models tend to miss.
+  const int64_t n_outer = outer.rows();
+  std::vector<int64_t> order(static_cast<size_t>(n_outer));
+  for (int64_t i = 0; i < n_outer; ++i) order[static_cast<size_t>(i)] = i;
+  int64_t batch_comparisons = 0;
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    ++batch_comparisons;
+    return outer.columns[static_cast<size_t>(ok)].data[static_cast<size_t>(a)] <
+           outer.columns[static_cast<size_t>(ok)].data[static_cast<size_t>(b)];
+  });
+
+  int64_t matches = 0;
+  int64_t io = 0;
+  const auto& entries = index->entries();
+  for (int64_t oi : order) {
+    const Value key = outer.columns[static_cast<size_t>(ok)].data[static_cast<size_t>(oi)];
+    auto first = std::lower_bound(entries.begin(), entries.end(),
+                                  std::make_pair(key, INT64_MIN));
+    auto last = std::upper_bound(entries.begin(), entries.end(),
+                                 std::make_pair(key, INT64_MAX));
+    const int64_t m = static_cast<int64_t>(last - first);
+    // Every probe traverses root..leaf (logical reads count cache hits too).
+    io += index->depth();
+    if (!index->clustered()) io += m;
+    matches += m;
+    for (auto it = first; it != last; ++it) {
+      const int64_t row = it->second;
+      size_t c = 0;
+      for (; c < outer.columns.size(); ++c)
+        out.columns[c].data.push_back(outer.columns[c].data[static_cast<size_t>(oi)]);
+      for (size_t ic = 0; ic < inner_out.size(); ++ic) {
+        out.columns[c + ic].data.push_back(
+            inner->column(static_cast<size_t>(inner_out[ic])).data[static_cast<size_t>(row)]);
+      }
+    }
+  }
+
+  double cpu = static_cast<double>(batch_comparisons) * cost::kBatchSortCompare;
+  cpu += static_cast<double>(n_outer) *
+         (static_cast<double>(index->depth()) *
+          (cost::kSeekLevel + cost::kCompare * std::log2(static_cast<double>(kIndexFanout))));
+  cpu += static_cast<double>(matches) * cost::kSeekLeafRow;
+  if (!index->clustered()) cpu += static_cast<double>(matches) * cost::kRidLookup;
+  cpu += static_cast<double>(out.rows()) *
+         (cost::kOutputRow + cost::kByteCopy * static_cast<double>(out.row_width()));
+  FinishNode(node, out, cpu, io);
+  return out;
+}
+
+// --- Aggregation --------------------------------------------------------------
+
+Relation Executor::ExecHashAggregate(PlanNode* node) {
+  Relation in = ExecuteNode(node->child(0));
+  NoteInput(node, 0, in);
+
+  std::vector<int> keys;
+  for (const auto& k : node->group_columns) keys.push_back(ResolveRelColumn(in, k));
+  const int agg_src = keys.empty() ? 0 : keys[0];
+
+  struct Group {
+    int64_t first_row;
+    int64_t count;
+    Value sum;
+  };
+  std::unordered_map<uint64_t, Group> groups;
+  groups.reserve(1024);
+
+  const int64_t rows = in.rows();
+  int64_t chain_steps = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    uint64_t h = 0x12345;
+    for (int k : keys) h = MixHash(h, in.columns[static_cast<size_t>(k)].data[static_cast<size_t>(r)]);
+    auto [it, inserted] = groups.try_emplace(h, Group{r, 0, 0});
+    if (!inserted) ++chain_steps;
+    ++it->second.count;
+    it->second.sum += in.columns[static_cast<size_t>(agg_src)].data[static_cast<size_t>(r)];
+  }
+
+  Relation out;
+  for (int k : keys) {
+    out.columns.push_back({in.columns[static_cast<size_t>(k)].name,
+                           in.columns[static_cast<size_t>(k)].width_bytes, {}});
+  }
+  for (int a = 0; a < node->num_aggregates; ++a) {
+    out.columns.push_back({"agg" + std::to_string(a), 8, {}});
+  }
+  out.Reserve(static_cast<int64_t>(groups.size()));
+  for (const auto& [h, g] : groups) {
+    (void)h;
+    for (size_t k = 0; k < keys.size(); ++k) {
+      out.columns[k].data.push_back(
+          in.columns[static_cast<size_t>(keys[k])].data[static_cast<size_t>(g.first_row)]);
+    }
+    for (int a = 0; a < node->num_aggregates; ++a) {
+      out.columns[keys.size() + static_cast<size_t>(a)].data.push_back(
+          a % 2 == 0 ? g.sum : g.count);
+    }
+  }
+
+  const double hash_cost =
+      cost::kHashOp +
+      cost::kHashPerColumn * static_cast<double>(std::max<size_t>(1, keys.size()));
+  const double cache = cost::HashSizeFactor(static_cast<int64_t>(groups.size()));
+  double cpu = static_cast<double>(rows) *
+               (hash_cost + cost::kHashProbe * cache +
+                cost::kAggUpdate * static_cast<double>(node->num_aggregates));
+  cpu += static_cast<double>(chain_steps) * cost::kHashChainStep * cache;
+  cpu += static_cast<double>(groups.size()) *
+         (cost::kHashInsert + cost::kHashResizeRow +
+          cost::kGroupFinalize * static_cast<double>(node->num_aggregates));
+
+  int64_t io = 0;
+  const int64_t state_bytes =
+      static_cast<int64_t>(groups.size()) * (in.row_width() + 16);
+  if (state_bytes > cost::kHashMemoryBytes) {
+    io += 2 * BytesToPages(in.bytes());
+    cpu += static_cast<double>(rows) * cost::kSpillPartitionRow;
+  }
+  FinishNode(node, out, cpu, io);
+  return out;
+}
+
+Relation Executor::ExecStreamAggregate(PlanNode* node) {
+  Relation in = ExecuteNode(node->child(0));
+  NoteInput(node, 0, in);
+
+  std::vector<int> keys;
+  for (const auto& k : node->group_columns) keys.push_back(ResolveRelColumn(in, k));
+  const int agg_src = keys.empty() ? 0 : keys[0];
+
+  Relation out;
+  for (int k : keys) {
+    out.columns.push_back({in.columns[static_cast<size_t>(k)].name,
+                           in.columns[static_cast<size_t>(k)].width_bytes, {}});
+  }
+  for (int a = 0; a < node->num_aggregates; ++a) {
+    out.columns.push_back({"agg" + std::to_string(a), 8, {}});
+  }
+
+  const int64_t rows = in.rows();
+  int64_t group_start = 0;
+  Value sum = 0;
+  auto same_group = [&](int64_t a, int64_t b) {
+    for (int k : keys) {
+      const auto& col = in.columns[static_cast<size_t>(k)].data;
+      if (col[static_cast<size_t>(a)] != col[static_cast<size_t>(b)]) return false;
+    }
+    return true;
+  };
+  auto emit = [&](int64_t start, int64_t end) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      out.columns[k].data.push_back(
+          in.columns[static_cast<size_t>(keys[k])].data[static_cast<size_t>(start)]);
+    }
+    for (int a = 0; a < node->num_aggregates; ++a) {
+      out.columns[keys.size() + static_cast<size_t>(a)].data.push_back(
+          a % 2 == 0 ? sum : end - start);
+    }
+  };
+  for (int64_t r = 0; r < rows; ++r) {
+    if (r > 0 && !same_group(r - 1, r)) {
+      emit(group_start, r);
+      group_start = r;
+      sum = 0;
+    }
+    sum += in.columns[static_cast<size_t>(agg_src)].data[static_cast<size_t>(r)];
+  }
+  if (rows > 0) emit(group_start, rows);
+
+  double cpu = static_cast<double>(rows) *
+               (cost::kCompare * static_cast<double>(std::max<size_t>(1, keys.size())) +
+                cost::kAggUpdate * static_cast<double>(node->num_aggregates));
+  cpu += static_cast<double>(out.rows()) * cost::kGroupFinalize *
+         static_cast<double>(node->num_aggregates);
+  FinishNode(node, out, cpu, 0);
+  return out;
+}
+
+Relation Executor::ExecComputeScalar(PlanNode* node) {
+  Relation in = ExecuteNode(node->child(0));
+  NoteInput(node, 0, in);
+
+  Relation out = in;
+  for (int e = 0; e < node->num_expressions; ++e) {
+    RelColumn col{"expr" + std::to_string(e), 8, {}};
+    col.data.reserve(static_cast<size_t>(in.rows()));
+    const auto& src = in.columns.empty() ? std::vector<Value>{} : in.columns[0].data;
+    for (int64_t r = 0; r < in.rows(); ++r) {
+      col.data.push_back(src.empty() ? 0 : src[static_cast<size_t>(r)] * 2 + e);
+    }
+    out.columns.push_back(std::move(col));
+  }
+
+  const double cpu = static_cast<double>(in.rows()) * cost::kScalarExpr *
+                     static_cast<double>(node->num_expressions);
+  FinishNode(node, out, cpu, 0);
+  return out;
+}
+
+}  // namespace resest

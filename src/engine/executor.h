@@ -1,0 +1,59 @@
+// The execution engine: runs physical plans over a Database, producing both
+// query results and measured per-operator resource consumption.
+//
+// This is the substrate standing in for SQL Server in the paper's experiments:
+// training data is obtained by executing queries here and reading back each
+// operator's OperatorStats.
+#ifndef RESEST_ENGINE_EXECUTOR_H_
+#define RESEST_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/engine/plan.h"
+#include "src/engine/relation.h"
+#include "src/storage/catalog.h"
+
+namespace resest {
+
+/// Executes plans and charges simulated resource consumption to each node.
+class Executor {
+ public:
+  /// @param db    Database to execute against.
+  /// @param seed  Seed of the measurement-noise stream.
+  explicit Executor(const Database* db, uint64_t seed = 7);
+
+  /// Executes the plan; fills node->actual on every operator and returns the
+  /// root's output relation.
+  Relation Execute(Plan* plan);
+
+  /// Executes a single subtree (used by tests).
+  Relation ExecuteNode(PlanNode* node);
+
+ private:
+  Relation ExecTableScan(PlanNode* node);
+  Relation ExecIndexSeek(PlanNode* node);
+  Relation ExecFilter(PlanNode* node);
+  Relation ExecSort(PlanNode* node);
+  Relation ExecTop(PlanNode* node);
+  Relation ExecHashJoin(PlanNode* node);
+  Relation ExecMergeJoin(PlanNode* node);
+  Relation ExecNestedLoopJoin(PlanNode* node);
+  Relation ExecIndexNestedLoopJoin(PlanNode* node);
+  Relation ExecHashAggregate(PlanNode* node);
+  Relation ExecStreamAggregate(PlanNode* node);
+  Relation ExecComputeScalar(PlanNode* node);
+
+  /// Records input-side stats for child i.
+  static void NoteInput(PlanNode* node, int i, const Relation& input);
+  /// Records output stats and applies CPU measurement noise.
+  void FinishNode(PlanNode* node, const Relation& output, double cpu,
+                  int64_t logical_io);
+
+  const Database* db_;
+  Rng noise_;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_ENGINE_EXECUTOR_H_

@@ -1,0 +1,116 @@
+#include "src/engine/plan.h"
+
+#include <sstream>
+
+namespace resest {
+
+const char* OpTypeName(OpType t) {
+  switch (t) {
+    case OpType::kTableScan: return "TableScan";
+    case OpType::kIndexSeek: return "IndexSeek";
+    case OpType::kFilter: return "Filter";
+    case OpType::kSort: return "Sort";
+    case OpType::kTop: return "Top";
+    case OpType::kHashJoin: return "HashJoin";
+    case OpType::kMergeJoin: return "MergeJoin";
+    case OpType::kNestedLoopJoin: return "NestedLoopJoin";
+    case OpType::kIndexNestedLoopJoin: return "IndexNestedLoopJoin";
+    case OpType::kHashAggregate: return "HashAggregate";
+    case OpType::kStreamAggregate: return "StreamAggregate";
+    case OpType::kComputeScalar: return "ComputeScalar";
+  }
+  return "Unknown";
+}
+
+double Plan::TotalActualCpu() const {
+  double total = 0.0;
+  if (root) root->Visit([&](const PlanNode* n) { total += n->actual.cpu; });
+  return total;
+}
+
+int64_t Plan::TotalActualIo() const {
+  int64_t total = 0;
+  if (root) root->Visit([&](const PlanNode* n) { total += n->actual.logical_io; });
+  return total;
+}
+
+int Plan::NumOperators() const {
+  int count = 0;
+  if (root) root->Visit([&](const PlanNode*) { ++count; });
+  return count;
+}
+
+namespace {
+void PrintNode(const PlanNode* n, int depth, std::ostringstream* out) {
+  for (int i = 0; i < depth; ++i) *out << "  ";
+  *out << OpTypeName(n->type);
+  if (!n->table.empty()) *out << " [" << n->table << "]";
+  if (!n->inner_table.empty()) *out << " inner=[" << n->inner_table << "]";
+  *out << " est_rows=" << n->est.rows_out;
+  if (n->actual.executed) {
+    *out << " rows=" << n->actual.rows_out << " cpu=" << n->actual.cpu
+         << " io=" << n->actual.logical_io;
+  }
+  *out << "\n";
+  for (const auto& c : n->children) PrintNode(c.get(), depth + 1, out);
+}
+}  // namespace
+
+std::string Plan::ToString() const {
+  std::ostringstream out;
+  if (root) PrintNode(root.get(), 0, &out);
+  return out.str();
+}
+
+double Pipeline::TotalCpu() const {
+  double total = 0.0;
+  for (const auto* n : nodes) total += n->actual.cpu;
+  return total;
+}
+
+int64_t Pipeline::TotalIo() const {
+  int64_t total = 0;
+  for (const auto* n : nodes) total += n->actual.logical_io;
+  return total;
+}
+
+namespace {
+// Assigns nodes to pipelines bottom-up. A blocking operator (or a hash-join
+// build side) closes the pipeline below it; the blocking operator itself
+// starts/joins the consumer pipeline above.
+void Decompose(const PlanNode* node, int pipeline_id,
+               std::vector<std::vector<const PlanNode*>>* pipelines) {
+  if (pipeline_id >= static_cast<int>(pipelines->size())) {
+    pipelines->resize(static_cast<size_t>(pipeline_id) + 1);
+  }
+  (*pipelines)[static_cast<size_t>(pipeline_id)].push_back(node);
+  for (size_t i = 0; i < node->num_children(); ++i) {
+    const PlanNode* child = node->child(i);
+    // Child subtrees below a blocking edge run as their own pipeline:
+    //  - input of Sort / HashAggregate,
+    //  - build side (child 1) of a HashJoin.
+    const bool blocking_edge =
+        node->IsBlocking() || (node->type == OpType::kHashJoin && i == 1);
+    if (blocking_edge) {
+      Decompose(child, static_cast<int>(pipelines->size()), pipelines);
+    } else {
+      Decompose(child, pipeline_id, pipelines);
+    }
+  }
+}
+}  // namespace
+
+std::vector<Pipeline> DecomposePipelines(const Plan& plan) {
+  std::vector<std::vector<const PlanNode*>> raw;
+  if (plan.root) Decompose(plan.root.get(), 0, &raw);
+  std::vector<Pipeline> result;
+  result.reserve(raw.size());
+  for (auto& nodes : raw) {
+    Pipeline p;
+    p.nodes = std::move(nodes);
+    result.push_back(std::move(p));
+  }
+  return result;
+}
+
+}  // namespace resest

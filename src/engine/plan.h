@@ -1,0 +1,166 @@
+// Physical execution plan IR.
+//
+// Plans are trees of PlanNode. The optimizer annotates nodes with estimated
+// cardinalities and costs; the executor fills in actual cardinalities and the
+// measured resource consumption. The feature extractor (src/core) reads both.
+#ifndef RESEST_ENGINE_PLAN_H_
+#define RESEST_ENGINE_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/table.h"
+
+namespace resest {
+
+/// Physical operator types. Mirrors the operator set the paper trains
+/// per-operator models for (Figure 5: Scan, Seek, Filter, Sort, Hash
+/// Join/Aggregate, Merge Join, Nested Loop variants, ...).
+enum class OpType {
+  kTableScan,
+  kIndexSeek,
+  kFilter,
+  kSort,
+  kTop,
+  kHashJoin,
+  kMergeJoin,
+  kNestedLoopJoin,        ///< Naive inner-materialized nested loops.
+  kIndexNestedLoopJoin,   ///< Inner side is an index lookup per outer row.
+  kHashAggregate,
+  kStreamAggregate,
+  kComputeScalar,
+};
+
+/// Number of distinct operator types (for per-operator model arrays).
+inline constexpr int kNumOpTypes = 12;
+
+const char* OpTypeName(OpType t);
+
+/// Comparison predicate on a (qualified or unqualified) column name.
+struct Predicate {
+  enum class Op { kEq, kLe, kGe, kBetween };
+  std::string column;
+  Op op = Op::kEq;
+  Value lo = 0;  ///< kEq/kGe/kBetween lower bound.
+  Value hi = 0;  ///< kLe/kBetween upper bound.
+
+  bool Matches(Value v) const {
+    switch (op) {
+      case Op::kEq: return v == lo;
+      case Op::kLe: return v <= hi;
+      case Op::kGe: return v >= lo;
+      case Op::kBetween: return v >= lo && v <= hi;
+    }
+    return false;
+  }
+};
+
+/// Actual, measured execution statistics of one operator.
+struct OperatorStats {
+  double cpu = 0.0;          ///< Simulated CPU time (pseudo-ms).
+  int64_t logical_io = 0;    ///< Logical page requests.
+  int64_t rows_out = 0;
+  int64_t rows_in[2] = {0, 0};
+  double bytes_out = 0.0;
+  double bytes_in[2] = {0.0, 0.0};
+  bool executed = false;
+};
+
+/// Optimizer annotations on one operator.
+struct OptimizerEstimates {
+  double rows_out = 0.0;
+  double rows_in[2] = {0.0, 0.0};
+  double bytes_out = 0.0;
+  double bytes_in[2] = {0.0, 0.0};
+  double cpu_cost = 0.0;    ///< Optimizer cost-model CPU component.
+  double io_cost = 0.0;     ///< Optimizer cost-model I/O component.
+  double total_cost = 0.0;  ///< Cumulative (subtree) cost.
+};
+
+/// A node in a physical plan tree.
+struct PlanNode {
+  OpType type = OpType::kTableScan;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // --- Scan/Seek ---
+  std::string table;                       ///< Base table name.
+  std::vector<std::string> output_columns; ///< Projected base columns.
+  std::vector<Predicate> predicates;       ///< Pushed-down / residual filters.
+  std::string seek_column;                 ///< Seek key column (kIndexSeek).
+
+  // --- Sort ---
+  std::vector<std::string> sort_columns;
+
+  // --- Joins ---
+  std::string left_key;    ///< Join key from child 0 / outer side.
+  std::string right_key;   ///< Join key from child 1 / inner side.
+  std::string inner_table; ///< kIndexNestedLoopJoin: inner base table.
+  std::string inner_key;   ///< kIndexNestedLoopJoin: indexed inner column.
+  std::vector<std::string> inner_output_columns;  ///< INLJ inner projection.
+
+  // --- Aggregation ---
+  std::vector<std::string> group_columns;
+  int num_aggregates = 1;
+
+  // --- ComputeScalar / Top ---
+  int num_expressions = 1;
+  int64_t limit = 0;
+
+  OptimizerEstimates est;
+  OperatorStats actual;
+
+  PlanNode* child(size_t i) const { return children[i].get(); }
+  size_t num_children() const { return children.size(); }
+
+  /// Pre-order traversal over the subtree rooted here.
+  template <typename Fn>
+  void Visit(Fn&& fn) {
+    fn(this);
+    for (auto& c : children) c->Visit(fn);
+  }
+  template <typename Fn>
+  void Visit(Fn&& fn) const {
+    fn(this);
+    for (const auto& c : children) c->Visit(fn);
+  }
+
+  /// True if this operator is blocking (materializes its input before
+  /// producing output) — the boundary used for pipeline decomposition.
+  bool IsBlocking() const {
+    return type == OpType::kSort || type == OpType::kHashAggregate;
+  }
+};
+
+/// A query's physical plan plus query-level totals.
+struct Plan {
+  std::unique_ptr<PlanNode> root;
+  std::string database;
+
+  /// Sum of per-operator actual CPU over the whole plan.
+  double TotalActualCpu() const;
+  /// Sum of per-operator logical I/O over the whole plan.
+  int64_t TotalActualIo() const;
+  /// Number of operators in the plan.
+  int NumOperators() const;
+  /// Human-readable indented plan (EXPLAIN-style).
+  std::string ToString() const;
+};
+
+/// A pipeline: a maximal set of concurrently executing operators (paper §5.2).
+/// Blocking operators terminate a pipeline; their input subtrees form earlier
+/// pipelines. The hash-join build side is likewise a separate pipeline.
+struct Pipeline {
+  std::vector<const PlanNode*> nodes;
+  double TotalCpu() const;
+  int64_t TotalIo() const;
+};
+
+/// Decomposes a plan into pipelines (used by the scheduling example and the
+/// pipeline-granularity estimation API).
+std::vector<Pipeline> DecomposePipelines(const Plan& plan);
+
+}  // namespace resest
+
+#endif  // RESEST_ENGINE_PLAN_H_

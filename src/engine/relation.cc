@@ -1,0 +1,32 @@
+#include "src/engine/relation.h"
+
+namespace resest {
+
+int Relation::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return static_cast<int>(i);
+  }
+  // Fall back to suffix match on the unqualified part.
+  int found = -1;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const std::string& full = columns[i].name;
+    const size_t dot = full.rfind('.');
+    if (dot != std::string::npos && full.compare(dot + 1, std::string::npos, name) == 0) {
+      if (found >= 0) return -1;  // ambiguous
+      found = static_cast<int>(i);
+    }
+  }
+  return found;
+}
+
+void Relation::AppendRow(const Relation& src, int64_t row) {
+  for (size_t c = 0; c < columns.size(); ++c) {
+    columns[c].data.push_back(src.columns[c].data[static_cast<size_t>(row)]);
+  }
+}
+
+void Relation::Reserve(int64_t rows) {
+  for (auto& c : columns) c.data.reserve(static_cast<size_t>(rows));
+}
+
+}  // namespace resest

@@ -1,0 +1,48 @@
+// Materialized intermediate results flowing between physical operators.
+#ifndef RESEST_ENGINE_RELATION_H_
+#define RESEST_ENGINE_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/storage/table.h"
+
+namespace resest {
+
+/// One column of an intermediate result. Names are qualified
+/// ("table.column") so joins can carry both sides' attributes.
+struct RelColumn {
+  std::string name;
+  int width_bytes = 8;
+  std::vector<Value> data;
+};
+
+/// A fully materialized intermediate relation.
+struct Relation {
+  std::vector<RelColumn> columns;
+
+  int64_t rows() const {
+    return columns.empty() ? 0 : static_cast<int64_t>(columns[0].data.size());
+  }
+  int64_t row_width() const {
+    int64_t w = 0;
+    for (const auto& c : columns) w += c.width_bytes;
+    return w;
+  }
+  int64_t bytes() const { return rows() * row_width(); }
+
+  /// Index of the column with the given qualified name, or -1. Also accepts
+  /// an unqualified name if it is unambiguous.
+  int FindColumn(const std::string& name) const;
+
+  /// Appends row `row` of `src` to this relation (columns must match).
+  void AppendRow(const Relation& src, int64_t row);
+
+  /// Reserves capacity in every column.
+  void Reserve(int64_t rows);
+};
+
+}  // namespace resest
+
+#endif  // RESEST_ENGINE_RELATION_H_

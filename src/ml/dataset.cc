@@ -1,0 +1,69 @@
+#include "src/ml/dataset.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace resest {
+
+std::pair<Dataset, Dataset> Dataset::Split(double train_fraction,
+                                           Rng* rng) const {
+  std::vector<size_t> order(NumRows());
+  std::iota(order.begin(), order.end(), 0u);
+  rng->Shuffle(&order);
+  const size_t n_train =
+      static_cast<size_t>(train_fraction * static_cast<double>(NumRows()));
+  std::vector<size_t> train_rows(order.begin(), order.begin() + static_cast<long>(n_train));
+  std::vector<size_t> test_rows(order.begin() + static_cast<long>(n_train), order.end());
+  return {Select(train_rows), Select(test_rows)};
+}
+
+Dataset Dataset::Select(const std::vector<size_t>& rows) const {
+  Dataset out;
+  out.x.reserve(rows.size());
+  out.y.reserve(rows.size());
+  for (size_t r : rows) {
+    out.x.push_back(x[r]);
+    out.y.push_back(y[r]);
+  }
+  return out;
+}
+
+void Standardizer::Fit(const Dataset& data) {
+  const size_t f = data.NumFeatures();
+  means_.assign(f, 0.0);
+  stddevs_.assign(f, 1.0);
+  if (data.NumRows() == 0) return;
+  for (const auto& row : data.x) {
+    for (size_t j = 0; j < f; ++j) means_[j] += row[j];
+  }
+  for (size_t j = 0; j < f; ++j) means_[j] /= static_cast<double>(data.NumRows());
+  std::vector<double> var(f, 0.0);
+  for (const auto& row : data.x) {
+    for (size_t j = 0; j < f; ++j) {
+      const double d = row[j] - means_[j];
+      var[j] += d * d;
+    }
+  }
+  for (size_t j = 0; j < f; ++j) {
+    const double s = std::sqrt(var[j] / static_cast<double>(data.NumRows()));
+    stddevs_[j] = s > 1e-12 ? s : 1.0;
+  }
+}
+
+std::vector<double> Standardizer::Transform(const std::vector<double>& x) const {
+  std::vector<double> out(x.size());
+  for (size_t j = 0; j < x.size() && j < means_.size(); ++j) {
+    out[j] = (x[j] - means_[j]) / stddevs_[j];
+  }
+  return out;
+}
+
+Dataset Standardizer::TransformAll(const Dataset& data) const {
+  Dataset out;
+  out.y = data.y;
+  out.x.reserve(data.x.size());
+  for (const auto& row : data.x) out.x.push_back(Transform(row));
+  return out;
+}
+
+}  // namespace resest

@@ -1,0 +1,61 @@
+// Training data containers and the abstract regressor interface shared by
+// all statistical models (MART, linear, SVR, transform-regression).
+#ifndef RESEST_ML_DATASET_H_
+#define RESEST_ML_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace resest {
+
+/// A dense supervised-regression dataset (row-major features).
+struct Dataset {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+
+  size_t NumRows() const { return x.size(); }
+  size_t NumFeatures() const { return x.empty() ? 0 : x[0].size(); }
+
+  void Add(std::vector<double> features, double target) {
+    x.push_back(std::move(features));
+    y.push_back(target);
+  }
+
+  /// Random split into train/test with the given train fraction.
+  std::pair<Dataset, Dataset> Split(double train_fraction, Rng* rng) const;
+
+  /// Subset by row indices.
+  Dataset Select(const std::vector<size_t>& rows) const;
+};
+
+/// Abstract trained regressor.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+  /// Predicted target for one feature vector.
+  virtual double Predict(const std::vector<double>& features) const = 0;
+  /// Short technique name ("MART", "LINEAR", ...).
+  virtual std::string Name() const = 0;
+};
+
+/// Per-feature standardization (mean/stddev), needed by SVR.
+class Standardizer {
+ public:
+  void Fit(const Dataset& data);
+  std::vector<double> Transform(const std::vector<double>& x) const;
+  Dataset TransformAll(const Dataset& data) const;
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stddevs_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_ML_DATASET_H_

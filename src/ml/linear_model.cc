@@ -1,0 +1,112 @@
+#include "src/ml/linear_model.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/common/matrix.h"
+
+namespace resest {
+
+double LinearModel::FitSubset(const Dataset& data,
+                              const std::vector<size_t>& train_rows,
+                              const std::vector<size_t>& eval_rows,
+                              const std::vector<size_t>& features,
+                              std::vector<double>* beta) {
+  const size_t k = features.size();
+  Matrix x(train_rows.size(), k + 1);
+  std::vector<double> y(train_rows.size());
+  for (size_t i = 0; i < train_rows.size(); ++i) {
+    const size_t r = train_rows[i];
+    for (size_t j = 0; j < k; ++j) x.at(i, j) = data.x[r][features[j]];
+    x.at(i, k) = 1.0;  // intercept
+    y[i] = data.y[r];
+  }
+  if (!LeastSquares(x, y, beta, 1e-7)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double sse = 0.0;
+  for (size_t r : eval_rows) {
+    double pred = (*beta)[k];
+    for (size_t j = 0; j < k; ++j) pred += (*beta)[j] * data.x[r][features[j]];
+    sse += (pred - data.y[r]) * (pred - data.y[r]);
+  }
+  return sse / static_cast<double>(std::max<size_t>(1, eval_rows.size()));
+}
+
+void LinearModel::Fit(const Dataset& data) {
+  selected_.clear();
+  beta_.clear();
+  const size_t f = data.NumFeatures();
+  if (data.NumRows() == 0 || f == 0) {
+    beta_ = {0.0};
+    return;
+  }
+
+  std::vector<size_t> all(data.NumRows());
+  std::iota(all.begin(), all.end(), 0u);
+
+  if (!params_.feature_selection) {
+    selected_.resize(f);
+    std::iota(selected_.begin(), selected_.end(), 0u);
+    FitSubset(data, all, all, selected_, &beta_);
+    if (beta_.empty()) beta_.assign(f + 1, 0.0);
+    return;
+  }
+
+  // Split a holdout for greedy selection.
+  Rng rng(params_.seed);
+  std::vector<size_t> order = all;
+  rng.Shuffle(&order);
+  const size_t n_hold = std::max<size_t>(
+      1, static_cast<size_t>(params_.holdout_fraction * static_cast<double>(order.size())));
+  std::vector<size_t> hold(order.begin(), order.begin() + static_cast<long>(n_hold));
+  std::vector<size_t> train(order.begin() + static_cast<long>(n_hold), order.end());
+  if (train.size() < f + 2) train = all;  // tiny data: no real holdout
+
+  std::vector<size_t> remaining(f);
+  std::iota(remaining.begin(), remaining.end(), 0u);
+  std::vector<double> beta;
+  double best_err = FitSubset(data, train, hold, {}, &beta);  // intercept only
+
+  while (!remaining.empty()) {
+    double round_best = std::numeric_limits<double>::infinity();
+    size_t round_pick = static_cast<size_t>(-1);
+    std::vector<double> round_beta;
+    for (size_t cand_pos = 0; cand_pos < remaining.size(); ++cand_pos) {
+      std::vector<size_t> trial = selected_;
+      trial.push_back(remaining[cand_pos]);
+      std::vector<double> b;
+      const double err = FitSubset(data, train, hold, trial, &b);
+      if (err < round_best) {
+        round_best = err;
+        round_pick = cand_pos;
+        round_beta = std::move(b);
+      }
+    }
+    // Stop when adding the best candidate no longer improves (with a small
+    // tolerance so noise does not add useless features).
+    if (round_pick == static_cast<size_t>(-1) || round_best >= best_err * 0.999) {
+      break;
+    }
+    best_err = round_best;
+    selected_.push_back(remaining[round_pick]);
+    remaining.erase(remaining.begin() + static_cast<long>(round_pick));
+    beta = std::move(round_beta);
+  }
+
+  // Refit the chosen subset on all rows.
+  FitSubset(data, all, all, selected_, &beta_);
+  if (beta_.empty()) beta_.assign(selected_.size() + 1, 0.0);
+}
+
+double LinearModel::Predict(const std::vector<double>& features) const {
+  if (beta_.empty()) return 0.0;
+  double out = beta_.back();
+  for (size_t j = 0; j < selected_.size(); ++j) {
+    out += beta_[j] * features[selected_[j]];
+  }
+  return out;
+}
+
+}  // namespace resest

@@ -1,0 +1,50 @@
+// Ordinary least-squares linear regression with optional greedy forward
+// feature selection — the LINEAR competitor and the statistical model behind
+// the operator-level baseline of Akdere et al. [8].
+#ifndef RESEST_ML_LINEAR_MODEL_H_
+#define RESEST_ML_LINEAR_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ml/dataset.h"
+
+namespace resest {
+
+struct LinearParams {
+  bool feature_selection = true;  ///< Greedy forward selection on a holdout.
+  double holdout_fraction = 0.25;
+  uint64_t seed = 11;
+};
+
+class LinearModel : public Regressor {
+ public:
+  LinearModel() = default;
+  explicit LinearModel(LinearParams params) : params_(params) {}
+
+  void Fit(const Dataset& data);
+
+  double Predict(const std::vector<double>& features) const override;
+  std::string Name() const override { return "LINEAR"; }
+
+  /// Indices of the features kept by greedy selection (all if disabled).
+  const std::vector<size_t>& selected_features() const { return selected_; }
+  /// Coefficients aligned with selected_features(), last entry = intercept.
+  const std::vector<double>& coefficients() const { return beta_; }
+
+ private:
+  /// Trains coefficients on the rows using the given feature subset;
+  /// returns the mean squared error on the eval rows.
+  static double FitSubset(const Dataset& data, const std::vector<size_t>& train_rows,
+                          const std::vector<size_t>& eval_rows,
+                          const std::vector<size_t>& features,
+                          std::vector<double>* beta);
+
+  LinearParams params_;
+  std::vector<size_t> selected_;
+  std::vector<double> beta_;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_ML_LINEAR_MODEL_H_

@@ -1,0 +1,145 @@
+#include "src/ml/mart.h"
+
+#include <cstring>
+#include <numeric>
+
+namespace resest {
+
+void Mart::Fit(const Dataset& data) {
+  trees_.clear();
+  f0_ = 0.0;
+  if (data.NumRows() == 0) return;
+  for (double v : data.y) f0_ += v;
+  f0_ /= static_cast<double>(data.NumRows());
+
+  FeatureBinner binner;
+  binner.Fit(data, params_.num_bins);
+
+  TreeParams tree_params;
+  tree_params.max_leaves = params_.max_leaves;
+  tree_params.min_leaf = params_.min_leaf;
+  tree_params.linear_leaves = params_.linear_leaves;
+
+  const size_t n = data.NumRows();
+  std::vector<double> residual(n);
+  for (size_t i = 0; i < n; ++i) residual[i] = data.y[i] - f0_;
+
+  Rng rng(params_.seed);
+  std::vector<size_t> all_rows(n);
+  std::iota(all_rows.begin(), all_rows.end(), 0u);
+
+  trees_.reserve(static_cast<size_t>(params_.num_trees));
+  for (int t = 0; t < params_.num_trees; ++t) {
+    // Stochastic subsample for this iteration.
+    std::vector<size_t> rows;
+    if (params_.subsample >= 0.999) {
+      rows = all_rows;
+    } else {
+      rows.reserve(static_cast<size_t>(params_.subsample * static_cast<double>(n)) + 1);
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.Bernoulli(params_.subsample)) rows.push_back(i);
+      }
+      if (rows.size() < 2 * static_cast<size_t>(params_.min_leaf)) rows = all_rows;
+    }
+
+    RegressionTree tree;
+    tree.Fit(data, residual, rows, binner, tree_params);
+
+    // Update residuals on ALL rows with the shrunken tree output.
+    for (size_t i = 0; i < n; ++i) {
+      residual[i] -= params_.learning_rate * tree.Predict(data.x[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double Mart::Predict(const std::vector<double>& features) const {
+  double out = f0_;
+  for (const auto& tree : trees_) {
+    out += params_.learning_rate * tree.Predict(features);
+  }
+  return out;
+}
+
+namespace {
+template <typename T>
+void Append(std::vector<uint8_t>* out, const T& v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+bool ReadAt(const std::vector<uint8_t>& in, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+}  // namespace
+
+std::vector<uint8_t> Mart::Serialize() const {
+  std::vector<uint8_t> out;
+  Append(&out, f0_);
+  Append(&out, params_.learning_rate);
+  Append(&out, static_cast<uint32_t>(trees_.size()));
+  const uint8_t linear = params_.linear_leaves ? 1 : 0;
+  Append(&out, linear);
+  for (const auto& tree : trees_) {
+    const auto& nodes = tree.nodes();
+    Append(&out, static_cast<uint8_t>(nodes.size()));
+    for (const auto& n : nodes) {
+      // Node layout (paper 7.3): child offset byte (0 = leaf), feature byte,
+      // float threshold/value. Linear leaves add feature byte + float slope.
+      Append(&out, static_cast<int8_t>(n.feature < 0 ? 0 : n.left));
+      Append(&out, static_cast<int8_t>(n.feature));
+      Append(&out, n.threshold);
+      Append(&out, n.value);
+      if (linear) {
+        Append(&out, static_cast<int8_t>(n.lin_feature));
+        Append(&out, n.slope);
+      }
+    }
+  }
+  return out;
+}
+
+bool Mart::Deserialize(const std::vector<uint8_t>& bytes) {
+  trees_.clear();
+  size_t pos = 0;
+  uint32_t num_trees = 0;
+  uint8_t linear = 0;
+  if (!ReadAt(bytes, &pos, &f0_)) return false;
+  if (!ReadAt(bytes, &pos, &params_.learning_rate)) return false;
+  if (!ReadAt(bytes, &pos, &num_trees)) return false;
+  if (!ReadAt(bytes, &pos, &linear)) return false;
+  params_.linear_leaves = (linear != 0);
+  trees_.reserve(num_trees);
+  for (uint32_t t = 0; t < num_trees; ++t) {
+    uint8_t num_nodes = 0;
+    if (!ReadAt(bytes, &pos, &num_nodes)) return false;
+    RegressionTree tree;
+    auto* nodes = tree.mutable_nodes();
+    nodes->resize(num_nodes);
+    for (uint8_t i = 0; i < num_nodes; ++i) {
+      int8_t left = 0, feature = 0;
+      TreeNode& n = (*nodes)[i];
+      if (!ReadAt(bytes, &pos, &left)) return false;
+      if (!ReadAt(bytes, &pos, &feature)) return false;
+      if (!ReadAt(bytes, &pos, &n.threshold)) return false;
+      if (!ReadAt(bytes, &pos, &n.value)) return false;
+      n.feature = feature;
+      n.left = left;
+      n.right = static_cast<int16_t>(feature >= 0 ? left + 1 : -1);
+      if (linear) {
+        int8_t lf = -1;
+        if (!ReadAt(bytes, &pos, &lf)) return false;
+        if (!ReadAt(bytes, &pos, &n.slope)) return false;
+        n.lin_feature = lf;
+      }
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return pos == bytes.size();
+}
+
+}  // namespace resest

@@ -1,0 +1,58 @@
+// Multiple Additive Regression-Trees (MART): least-squares stochastic
+// gradient boosting (Friedman 2001), the paper's base learner (Section 4).
+//
+// With `linear_leaves = true` this doubles as the REGTREE competitor — a
+// boosted sequence of trees whose leaves hold one-feature linear models,
+// approximating transform regression (paper Section 7, competitor 6).
+#ifndef RESEST_ML_MART_H_
+#define RESEST_ML_MART_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ml/regression_tree.h"
+
+namespace resest {
+
+struct MartParams {
+  int num_trees = 300;          ///< Boosting iterations (paper uses 1000).
+  double learning_rate = 0.1;   ///< Shrinkage.
+  int max_leaves = 10;          ///< Paper: at most 10 leaf nodes per tree.
+  int min_leaf = 3;
+  double subsample = 0.7;       ///< Stochastic gradient boosting fraction.
+  int num_bins = 255;           ///< Histogram split resolution.
+  bool linear_leaves = false;   ///< true = REGTREE variant.
+  uint64_t seed = 1;
+};
+
+class Mart : public Regressor {
+ public:
+  Mart() = default;
+  explicit Mart(MartParams params) : params_(params) {}
+
+  /// Trains on the dataset; safe to call repeatedly (refits from scratch).
+  void Fit(const Dataset& data);
+
+  double Predict(const std::vector<double>& features) const override;
+  std::string Name() const override {
+    return params_.linear_leaves ? "REGTREE" : "MART";
+  }
+
+  const MartParams& params() const { return params_; }
+  size_t NumTrees() const { return trees_.size(); }
+
+  /// Compact binary encoding (paper Section 7.3 discusses ~130 B/tree).
+  std::vector<uint8_t> Serialize() const;
+  /// Restores a model from Serialize() output; returns false on corrupt data.
+  bool Deserialize(const std::vector<uint8_t>& bytes);
+
+ private:
+  MartParams params_;
+  double f0_ = 0.0;          ///< Initial constant prediction (mean target).
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_ML_MART_H_

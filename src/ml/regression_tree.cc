@@ -1,0 +1,249 @@
+#include "src/ml/regression_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace resest {
+
+void FeatureBinner::Fit(const Dataset& data, int num_bins) {
+  const size_t f = data.NumFeatures();
+  edges_.assign(f, {});
+  if (data.NumRows() == 0) return;
+  std::vector<double> values(data.NumRows());
+  for (size_t j = 0; j < f; ++j) {
+    for (size_t i = 0; i < data.NumRows(); ++i) values[i] = data.x[i][j];
+    std::sort(values.begin(), values.end());
+    // Quantile edges, deduplicated.
+    std::vector<double>& e = edges_[j];
+    for (int b = 1; b < num_bins; ++b) {
+      const size_t pos = static_cast<size_t>(
+          static_cast<double>(b) / num_bins * static_cast<double>(values.size() - 1));
+      const double v = values[pos];
+      if (e.empty() || v > e.back()) e.push_back(v);
+    }
+    if (e.empty()) e.push_back(values.back());
+  }
+}
+
+int FeatureBinner::Bin(size_t feature, double value) const {
+  const auto& e = edges_[feature];
+  // Bin b covers (e[b-1], e[b]]; values above the last edge go to the last bin.
+  const auto it = std::lower_bound(e.begin(), e.end(), value);
+  return static_cast<int>(std::min<std::ptrdiff_t>(
+      it - e.begin(), static_cast<std::ptrdiff_t>(e.size()) - 1));
+}
+
+namespace {
+
+struct SplitChoice {
+  double gain = 0.0;
+  int feature = -1;
+  int bin = -1;       // split "Bin(x) <= bin"
+  double threshold = 0.0;
+};
+
+struct NodeWork {
+  int node_index;
+  std::vector<size_t> rows;
+  double sum;
+  SplitChoice best;
+};
+
+// Finds the best histogram split for the rows; gain is the SSE reduction
+// sum_L^2/n_L + sum_R^2/n_R - sum^2/n.
+SplitChoice FindBestSplit(const Dataset& data, const std::vector<double>& targets,
+                          const std::vector<size_t>& rows,
+                          const FeatureBinner& binner, int min_leaf,
+                          std::vector<double>* bin_sum_buf,
+                          std::vector<int64_t>* bin_cnt_buf) {
+  SplitChoice best;
+  const size_t n = rows.size();
+  if (n < 2 * static_cast<size_t>(min_leaf)) return best;
+  double total = 0.0;
+  for (size_t r : rows) total += targets[r];
+  const double parent_score = total * total / static_cast<double>(n);
+
+  for (size_t f = 0; f < binner.NumFeatures(); ++f) {
+    const int bins = binner.NumBins(f);
+    bin_sum_buf->assign(static_cast<size_t>(bins), 0.0);
+    bin_cnt_buf->assign(static_cast<size_t>(bins), 0);
+    for (size_t r : rows) {
+      const int b = binner.Bin(f, data.x[r][f]);
+      (*bin_sum_buf)[static_cast<size_t>(b)] += targets[r];
+      (*bin_cnt_buf)[static_cast<size_t>(b)] += 1;
+    }
+    double left_sum = 0.0;
+    int64_t left_cnt = 0;
+    for (int b = 0; b + 1 < bins; ++b) {
+      left_sum += (*bin_sum_buf)[static_cast<size_t>(b)];
+      left_cnt += (*bin_cnt_buf)[static_cast<size_t>(b)];
+      const int64_t right_cnt = static_cast<int64_t>(n) - left_cnt;
+      if (left_cnt < min_leaf || right_cnt < min_leaf) continue;
+      const double right_sum = total - left_sum;
+      const double score =
+          left_sum * left_sum / static_cast<double>(left_cnt) +
+          right_sum * right_sum / static_cast<double>(right_cnt);
+      const double gain = score - parent_score;
+      if (gain > best.gain) {
+        best.gain = gain;
+        best.feature = static_cast<int>(f);
+        best.bin = b;
+        best.threshold = binner.Edge(f, b);
+      }
+    }
+  }
+  return best;
+}
+
+// Fits the best single-feature linear model within a leaf (REGTREE leaves).
+void FitLinearLeaf(const Dataset& data, const std::vector<double>& targets,
+                   const std::vector<size_t>& rows, TreeNode* leaf) {
+  const size_t n = rows.size();
+  if (n < 5) return;  // constant leaf for tiny regions
+  double mean_y = 0.0;
+  for (size_t r : rows) mean_y += targets[r];
+  mean_y /= static_cast<double>(n);
+  double base_sse = 0.0;
+  for (size_t r : rows) base_sse += (targets[r] - mean_y) * (targets[r] - mean_y);
+
+  double best_sse = base_sse;
+  for (size_t f = 0; f < data.NumFeatures(); ++f) {
+    double sx = 0, sxx = 0, sxy = 0;
+    for (size_t r : rows) {
+      const double xv = data.x[r][f];
+      sx += xv;
+      sxx += xv * xv;
+      sxy += xv * (targets[r] - mean_y);
+    }
+    const double mx = sx / static_cast<double>(n);
+    const double varx = sxx - sx * mx;
+    if (varx < 1e-12) continue;
+    const double cov = sxy - 0.0 /* y already centered */ - mx * 0.0;
+    const double slope = cov / varx;
+    // SSE with this slope: base - slope^2 * varx.
+    const double sse = base_sse - slope * slope * varx;
+    if (sse < best_sse * 0.999) {
+      best_sse = sse;
+      leaf->lin_feature = static_cast<int16_t>(f);
+      leaf->slope = static_cast<float>(slope);
+      leaf->value = static_cast<float>(mean_y - slope * mx);
+    }
+  }
+}
+
+}  // namespace
+
+void RegressionTree::Fit(const Dataset& data, const std::vector<double>& targets,
+                         const std::vector<size_t>& rows,
+                         const FeatureBinner& binner, const TreeParams& params) {
+  nodes_.clear();
+  if (rows.empty()) {
+    nodes_.push_back(TreeNode{});
+    return;
+  }
+
+  std::vector<double> bin_sum;
+  std::vector<int64_t> bin_cnt;
+
+  auto leaf_value = [&](const std::vector<size_t>& r) {
+    double s = 0.0;
+    for (size_t i : r) s += targets[i];
+    return s / static_cast<double>(r.size());
+  };
+
+  // Best-first growth: repeatedly split the frontier node with highest gain.
+  nodes_.push_back(TreeNode{});
+  nodes_[0].value = static_cast<float>(leaf_value(rows));
+
+  struct Frontier {
+    int node;
+    std::vector<size_t> rows;
+    SplitChoice split;
+  };
+  auto cmp = [](const Frontier& a, const Frontier& b) {
+    return a.split.gain < b.split.gain;
+  };
+  std::priority_queue<Frontier, std::vector<Frontier>, decltype(cmp)> frontier(cmp);
+
+  Frontier root{0, rows, FindBestSplit(data, targets, rows, binner,
+                                       params.min_leaf, &bin_sum, &bin_cnt)};
+  frontier.push(std::move(root));
+  int leaves = 1;
+  // Track leaf row sets for optional linear-leaf fitting.
+  std::vector<std::pair<int, std::vector<size_t>>> leaf_rows;
+
+  while (!frontier.empty()) {
+    Frontier top = std::move(const_cast<Frontier&>(frontier.top()));
+    frontier.pop();
+    if (top.split.feature < 0 || top.split.gain <= 1e-12 ||
+        leaves >= params.max_leaves) {
+      leaf_rows.emplace_back(top.node, std::move(top.rows));
+      continue;
+    }
+    // Materialize the split.
+    std::vector<size_t> left_rows, right_rows;
+    left_rows.reserve(top.rows.size());
+    right_rows.reserve(top.rows.size());
+    const size_t f = static_cast<size_t>(top.split.feature);
+    for (size_t r : top.rows) {
+      if (data.x[r][f] <= top.split.threshold) {
+        left_rows.push_back(r);
+      } else {
+        right_rows.push_back(r);
+      }
+    }
+    const int left_idx = static_cast<int>(nodes_.size());
+    nodes_.push_back(TreeNode{});
+    const int right_idx = static_cast<int>(nodes_.size());
+    nodes_.push_back(TreeNode{});
+    nodes_[static_cast<size_t>(top.node)].feature =
+        static_cast<int16_t>(top.split.feature);
+    nodes_[static_cast<size_t>(top.node)].threshold =
+        static_cast<float>(top.split.threshold);
+    nodes_[static_cast<size_t>(top.node)].left = static_cast<int16_t>(left_idx);
+    nodes_[static_cast<size_t>(top.node)].right = static_cast<int16_t>(right_idx);
+    nodes_[static_cast<size_t>(left_idx)].value =
+        static_cast<float>(leaf_value(left_rows));
+    nodes_[static_cast<size_t>(right_idx)].value =
+        static_cast<float>(leaf_value(right_rows));
+    ++leaves;
+
+    frontier.push(Frontier{left_idx, left_rows,
+                           FindBestSplit(data, targets, left_rows, binner,
+                                         params.min_leaf, &bin_sum, &bin_cnt)});
+    frontier.push(Frontier{right_idx, right_rows,
+                           FindBestSplit(data, targets, right_rows, binner,
+                                         params.min_leaf, &bin_sum, &bin_cnt)});
+  }
+
+  if (params.linear_leaves) {
+    for (auto& [node, lrows] : leaf_rows) {
+      FitLinearLeaf(data, targets, lrows, &nodes_[static_cast<size_t>(node)]);
+    }
+  }
+}
+
+double RegressionTree::Predict(const std::vector<double>& features) const {
+  if (nodes_.empty()) return 0.0;
+  int i = 0;
+  while (nodes_[static_cast<size_t>(i)].feature >= 0) {
+    const TreeNode& n = nodes_[static_cast<size_t>(i)];
+    i = features[static_cast<size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+  }
+  const TreeNode& leaf = nodes_[static_cast<size_t>(i)];
+  double out = leaf.value;
+  if (leaf.lin_feature >= 0) {
+    out += leaf.slope * features[static_cast<size_t>(leaf.lin_feature)];
+  }
+  return out;
+}
+
+int RegressionTree::NumLeaves() const {
+  int leaves = 0;
+  for (const auto& n : nodes_) leaves += (n.feature < 0);
+  return leaves;
+}
+
+}  // namespace resest

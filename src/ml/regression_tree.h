@@ -1,0 +1,76 @@
+// CART-style least-squares regression trees with histogram split finding.
+//
+// Used standalone and as the weak learner inside MART (Section 4 of the
+// paper) and inside the REGTREE transform-regression approximation (leaves
+// may carry one-feature linear models instead of constants).
+#ifndef RESEST_ML_REGRESSION_TREE_H_
+#define RESEST_ML_REGRESSION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ml/dataset.h"
+
+namespace resest {
+
+/// Quantile-based feature discretization shared across the trees of one
+/// boosting run (split thresholds are bin edges).
+class FeatureBinner {
+ public:
+  void Fit(const Dataset& data, int num_bins);
+
+  /// Bin index of a value (0..bins-1 for the feature).
+  int Bin(size_t feature, double value) const;
+  /// Split threshold "x <= edge" after the given bin.
+  double Edge(size_t feature, int bin) const {
+    return edges_[feature][static_cast<size_t>(bin)];
+  }
+  int NumBins(size_t feature) const {
+    return static_cast<int>(edges_[feature].size());
+  }
+  size_t NumFeatures() const { return edges_.size(); }
+
+ private:
+  // edges_[f] = ascending split candidates for feature f.
+  std::vector<std::vector<double>> edges_;
+};
+
+struct TreeParams {
+  int max_leaves = 10;   ///< Paper setting: at most 10 leaf nodes.
+  int min_leaf = 3;      ///< Minimum samples per leaf.
+  bool linear_leaves = false;  ///< REGTREE: one-feature linear model per leaf.
+};
+
+/// One tree node; nodes are stored in a flat array (see the paper's
+/// Section 7.3 on compact model encoding).
+struct TreeNode {
+  int16_t feature = -1;   ///< Split feature; -1 marks a leaf.
+  float threshold = 0.0f; ///< Go left iff x[feature] <= threshold.
+  int16_t left = -1;
+  int16_t right = -1;
+  float value = 0.0f;     ///< Leaf constant (or intercept with linear leaf).
+  int16_t lin_feature = -1;  ///< Linear-leaf feature, -1 = constant leaf.
+  float slope = 0.0f;
+};
+
+class RegressionTree : public Regressor {
+ public:
+  /// Fits to `targets` restricted to `rows` of `data` using pre-fit bins.
+  void Fit(const Dataset& data, const std::vector<double>& targets,
+           const std::vector<size_t>& rows, const FeatureBinner& binner,
+           const TreeParams& params);
+
+  double Predict(const std::vector<double>& features) const override;
+  std::string Name() const override { return "RegressionTree"; }
+
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  std::vector<TreeNode>* mutable_nodes() { return &nodes_; }
+  int NumLeaves() const;
+
+ private:
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_ML_REGRESSION_TREE_H_

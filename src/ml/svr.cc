@@ -1,0 +1,223 @@
+#include "src/ml/svr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace resest {
+
+const char* KernelName(KernelType t) {
+  switch (t) {
+    case KernelType::kPoly: return "PK";
+    case KernelType::kNormalizedPoly: return "NPK";
+    case KernelType::kRbf: return "RBF";
+    case KernelType::kPuk: return "Puk";
+  }
+  return "?";
+}
+
+namespace {
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+double SqDist(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return s;
+}
+}  // namespace
+
+double Svr::Kernel(const std::vector<double>& a,
+                   const std::vector<double>& b) const {
+  switch (params_.kernel) {
+    case KernelType::kPoly:
+      return std::pow(Dot(a, b) + 1.0, params_.poly_degree);
+    case KernelType::kNormalizedPoly: {
+      const double kab = std::pow(Dot(a, b) + 1.0, params_.poly_degree);
+      const double kaa = std::pow(Dot(a, a) + 1.0, params_.poly_degree);
+      const double kbb = std::pow(Dot(b, b) + 1.0, params_.poly_degree);
+      return kab / std::sqrt(kaa * kbb);
+    }
+    case KernelType::kRbf:
+      return std::exp(-params_.rbf_gamma * SqDist(a, b));
+    case KernelType::kPuk: {
+      const double d = std::sqrt(SqDist(a, b));
+      const double root = std::sqrt(std::pow(2.0, 1.0 / params_.puk_omega) - 1.0);
+      const double base = 1.0 + std::pow(2.0 * d * root / params_.puk_sigma, 2.0);
+      return 1.0 / std::pow(base, params_.puk_omega);
+    }
+  }
+  return 0.0;
+}
+
+void Svr::Fit(const Dataset& data) {
+  support_.clear();
+  beta_.clear();
+  bias_ = 0.0;
+  if (data.NumRows() == 0) return;
+
+  // Subsample if needed (SMO cost is quadratic in n).
+  Dataset train = data;
+  if (train.NumRows() > params_.max_train_rows) {
+    Rng rng(params_.seed);
+    std::vector<size_t> order(train.NumRows());
+    std::iota(order.begin(), order.end(), 0u);
+    rng.Shuffle(&order);
+    order.resize(params_.max_train_rows);
+    train = train.Select(order);
+  }
+
+  // Standardize inputs and the target.
+  x_std_.Fit(train);
+  const Dataset xs = x_std_.TransformAll(train);
+  y_mean_ = 0.0;
+  for (double v : xs.y) y_mean_ += v;
+  y_mean_ /= static_cast<double>(xs.NumRows());
+  double var = 0.0;
+  for (double v : xs.y) var += (v - y_mean_) * (v - y_mean_);
+  y_std_ = std::sqrt(var / static_cast<double>(xs.NumRows()));
+  if (y_std_ < 1e-12) y_std_ = 1.0;
+  std::vector<double> y(xs.NumRows());
+  for (size_t i = 0; i < xs.NumRows(); ++i) y[i] = (xs.y[i] - y_mean_) / y_std_;
+
+  const size_t n = xs.NumRows();
+  // Kernel cache (float to halve memory).
+  std::vector<float> k(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const float v = static_cast<float>(Kernel(xs.x[i], xs.x[j]));
+      k[i * n + j] = v;
+      k[j * n + i] = v;
+    }
+  }
+
+  // LIBSVM-style expanded problem: t < n are alpha (z=+1), t >= n are
+  // alpha* (z=-1); a_t in [0, C]; G_t = (Q a)_t + p_t.
+  const size_t m = 2 * n;
+  const double c = params_.c;
+  std::vector<double> a(m, 0.0), g(m);
+  auto z = [n](size_t t) { return t < n ? 1.0 : -1.0; };
+  auto idx = [n](size_t t) { return t < n ? t : t - n; };
+  for (size_t t = 0; t < m; ++t) g[t] = params_.epsilon - z(t) * y[idx(t)];
+
+  const double tau = 1e-12;
+  int iter = 0;
+  for (; iter < params_.max_iterations; ++iter) {
+    // Working-set selection (maximal violating pair).
+    double gmax = -std::numeric_limits<double>::infinity();
+    double gmin = std::numeric_limits<double>::infinity();
+    size_t i = m, j = m;
+    for (size_t t = 0; t < m; ++t) {
+      const bool in_up = (z(t) > 0 && a[t] < c) || (z(t) < 0 && a[t] > 0);
+      const bool in_low = (z(t) < 0 && a[t] < c) || (z(t) > 0 && a[t] > 0);
+      const double v = -z(t) * g[t];
+      if (in_up && v > gmax) {
+        gmax = v;
+        i = t;
+      }
+      if (in_low && v < gmin) {
+        gmin = v;
+        j = t;
+      }
+    }
+    if (i == m || j == m || gmax - gmin < params_.tolerance) break;
+
+    const size_t ii = idx(i), jj = idx(j);
+    const double kii = k[ii * n + ii], kjj = k[jj * n + jj], kij = k[ii * n + jj];
+    const double old_ai = a[i], old_aj = a[j];
+
+    if (z(i) != z(j)) {
+      double quad = kii + kjj + 2.0 * kij;
+      if (quad <= 0) quad = tau;
+      const double delta = (-g[i] - g[j]) / quad;
+      const double diff = a[i] - a[j];
+      a[i] += delta;
+      a[j] += delta;
+      if (diff > 0 && a[j] < 0) {
+        a[j] = 0;
+        a[i] = diff;
+      } else if (diff <= 0 && a[i] < 0) {
+        a[i] = 0;
+        a[j] = -diff;
+      }
+      if (diff > 0) {
+        if (a[i] > c) {
+          a[i] = c;
+          a[j] = c - diff;
+        }
+      } else {
+        if (a[j] > c) {
+          a[j] = c;
+          a[i] = c + diff;
+        }
+      }
+    } else {
+      double quad = kii + kjj - 2.0 * kij;
+      if (quad <= 0) quad = tau;
+      const double delta = (g[i] - g[j]) / quad;
+      const double sum = a[i] + a[j];
+      a[i] -= delta;
+      a[j] += delta;
+      if (sum > c) {
+        if (a[i] > c) {
+          a[i] = c;
+          a[j] = sum - c;
+        } else if (a[j] > c) {
+          a[j] = c;
+          a[i] = sum - c;
+        }
+      } else {
+        if (a[j] < 0) {
+          a[j] = 0;
+          a[i] = sum;
+        } else if (a[i] < 0) {
+          a[i] = 0;
+          a[j] = sum;
+        }
+      }
+    }
+
+    const double dai = a[i] - old_ai, daj = a[j] - old_aj;
+    if (dai == 0.0 && daj == 0.0) break;
+    for (size_t t = 0; t < m; ++t) {
+      const size_t tt = idx(t);
+      g[t] += z(t) * (z(i) * k[tt * n + ii] * dai + z(j) * k[tt * n + jj] * daj);
+    }
+  }
+
+  // Bias: midpoint of the KKT bracket.
+  double gmax = -std::numeric_limits<double>::infinity();
+  double gmin = std::numeric_limits<double>::infinity();
+  for (size_t t = 0; t < m; ++t) {
+    const bool in_up = (z(t) > 0 && a[t] < c) || (z(t) < 0 && a[t] > 0);
+    const bool in_low = (z(t) < 0 && a[t] < c) || (z(t) > 0 && a[t] > 0);
+    const double v = -z(t) * g[t];
+    if (in_up) gmax = std::max(gmax, v);
+    if (in_low) gmin = std::min(gmin, v);
+  }
+  bias_ = (std::isfinite(gmax) && std::isfinite(gmin)) ? (gmax + gmin) / 2.0 : 0.0;
+
+  for (size_t i = 0; i < n; ++i) {
+    const double b = a[i] - a[i + n];
+    if (std::fabs(b) > 1e-10) {
+      support_.push_back(xs.x[i]);
+      beta_.push_back(b);
+    }
+  }
+}
+
+double Svr::Predict(const std::vector<double>& features) const {
+  const std::vector<double> x = x_std_.Transform(features);
+  double f = bias_;
+  for (size_t s = 0; s < support_.size(); ++s) {
+    f += beta_[s] * Kernel(support_[s], x);
+  }
+  return f * y_std_ + y_mean_;
+}
+
+size_t Svr::NumSupportVectors() const { return support_.size(); }
+
+}  // namespace resest

@@ -1,0 +1,67 @@
+// Epsilon-SVR trained with SMO, plus the kernel functions the paper
+// evaluates through WEKA's SMOreg (PolyKernel, NormalizedPolyKernel,
+// RBFKernel, Puk). Inputs and targets are standardized internally, matching
+// WEKA's default preprocessing.
+#ifndef RESEST_ML_SVR_H_
+#define RESEST_ML_SVR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ml/dataset.h"
+
+namespace resest {
+
+enum class KernelType {
+  kPoly,            ///< (x.y + 1)^degree
+  kNormalizedPoly,  ///< poly normalized to unit self-similarity
+  kRbf,             ///< exp(-gamma ||x-y||^2)
+  kPuk,             ///< Pearson VII universal kernel
+};
+
+const char* KernelName(KernelType t);
+
+struct SvrParams {
+  KernelType kernel = KernelType::kPoly;
+  double poly_degree = 2.0;
+  double rbf_gamma = 0.5;
+  double puk_omega = 1.0;
+  double puk_sigma = 1.0;
+  double c = 10.0;           ///< Box constraint.
+  double epsilon = 0.01;     ///< Insensitive-tube half-width (on scaled y).
+  int max_iterations = 200000;
+  double tolerance = 1e-3;
+  size_t max_train_rows = 2000;  ///< Subsample cap (SMO is O(n^2)).
+  uint64_t seed = 17;
+};
+
+class Svr : public Regressor {
+ public:
+  Svr() = default;
+  explicit Svr(SvrParams params) : params_(params) {}
+
+  void Fit(const Dataset& data);
+
+  double Predict(const std::vector<double>& features) const override;
+  std::string Name() const override {
+    return std::string("SVM(") + KernelName(params_.kernel) + ")";
+  }
+
+  size_t NumSupportVectors() const;
+
+ private:
+  double Kernel(const std::vector<double>& a, const std::vector<double>& b) const;
+
+  SvrParams params_;
+  Standardizer x_std_;
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+  double bias_ = 0.0;
+  std::vector<std::vector<double>> support_;  ///< Standardized SV features.
+  std::vector<double> beta_;                  ///< Dual coefficients (alpha - alpha*).
+};
+
+}  // namespace resest
+
+#endif  // RESEST_ML_SVR_H_

@@ -1,0 +1,76 @@
+#include "src/optimizer/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace resest {
+
+double CardinalityEstimator::PredicateSelectivity(const std::string& table,
+                                                  const Predicate& pred) const {
+  const Table* t = db_->FindTable(table);
+  if (t == nullptr) return 1.0;
+  std::string col = pred.column;
+  const size_t dot = col.rfind('.');
+  if (dot != std::string::npos) col = col.substr(dot + 1);
+  const int c = t->FindColumn(col);
+  if (c < 0) return 1.0;
+  const Histogram* h = db_->Stats(table, c);
+  if (h == nullptr || h->total_rows() == 0) return 1.0;
+
+  switch (pred.op) {
+    case Predicate::Op::kEq:
+      return h->EstimateEq(pred.lo) / static_cast<double>(h->total_rows());
+    case Predicate::Op::kLe:
+      return h->SelectivityRange(h->min_value(), pred.hi);
+    case Predicate::Op::kGe:
+      return h->SelectivityRange(pred.lo, h->max_value());
+    case Predicate::Op::kBetween:
+      return h->SelectivityRange(pred.lo, pred.hi);
+  }
+  return 1.0;
+}
+
+double CardinalityEstimator::ConjunctionSelectivity(
+    const std::string& table, const std::vector<Predicate>& preds) const {
+  double sel = 1.0;
+  for (const auto& p : preds) sel *= PredicateSelectivity(table, p);
+  return sel;
+}
+
+double CardinalityEstimator::ScanRows(const std::string& table,
+                                      const std::vector<Predicate>& preds) const {
+  const Table* t = db_->FindTable(table);
+  if (t == nullptr) return 0.0;
+  const double rows =
+      static_cast<double>(t->row_count()) * ConjunctionSelectivity(table, preds);
+  return std::max(1.0, rows);
+}
+
+double CardinalityEstimator::DistinctValues(const std::string& table,
+                                            const std::string& column) const {
+  const Table* t = db_->FindTable(table);
+  if (t == nullptr) return 1.0;
+  const int c = t->FindColumn(column);
+  if (c < 0) return 1.0;
+  const Histogram* h = db_->Stats(table, c);
+  if (h == nullptr) return 1.0;
+  return std::max<double>(1.0, static_cast<double>(h->total_distinct()));
+}
+
+double CardinalityEstimator::JoinRows(double left_rows, double right_rows,
+                                      double left_distinct,
+                                      double right_distinct) {
+  const double d = std::max(1.0, std::max(left_distinct, right_distinct));
+  return std::max(1.0, left_rows * right_rows / d);
+}
+
+double CardinalityEstimator::GroupCount(double rows,
+                                        const std::vector<double>& distincts) {
+  if (distincts.empty()) return 1.0;
+  double groups = 1.0;
+  for (double d : distincts) groups *= std::max(1.0, d);
+  // Cannot exceed the input rows; dampen the product like real optimizers do.
+  return std::max(1.0, std::min(groups, rows));
+}
+
+}  // namespace resest

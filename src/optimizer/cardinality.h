@@ -1,0 +1,52 @@
+// Histogram-based cardinality estimation with textbook assumptions
+// (per-bucket uniformity, cross-predicate independence, join containment).
+//
+// These assumptions fail in realistic ways on skewed/correlated data, which
+// is exactly the estimation bias the paper's "optimizer-estimated features"
+// experiments (Tables 7-9) exercise.
+#ifndef RESEST_OPTIMIZER_CARDINALITY_H_
+#define RESEST_OPTIMIZER_CARDINALITY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/engine/plan.h"
+#include "src/storage/catalog.h"
+
+namespace resest {
+
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const Database* db) : db_(db) {}
+
+  /// Selectivity (0..1) of one predicate on a base-table column.
+  double PredicateSelectivity(const std::string& table,
+                              const Predicate& pred) const;
+
+  /// Combined selectivity of a conjunction (independence assumption).
+  double ConjunctionSelectivity(const std::string& table,
+                                const std::vector<Predicate>& preds) const;
+
+  /// Estimated output rows of scanning `table` with `preds`.
+  double ScanRows(const std::string& table,
+                  const std::vector<Predicate>& preds) const;
+
+  /// Estimated distinct values of a base column (from statistics).
+  double DistinctValues(const std::string& table, const std::string& column) const;
+
+  /// Estimated rows of an equi-join given input cardinalities and the
+  /// base-column distinct counts of both keys (containment assumption).
+  static double JoinRows(double left_rows, double right_rows,
+                         double left_distinct, double right_distinct);
+
+  /// Estimated number of groups when grouping `rows` input rows by columns
+  /// with the given distinct counts (capped product formula).
+  static double GroupCount(double rows, const std::vector<double>& distincts);
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_OPTIMIZER_CARDINALITY_H_

@@ -1,0 +1,112 @@
+#include "src/optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace resest {
+
+namespace {
+// Classic weighted-count constants (arbitrary optimizer units).
+constexpr double kCpuPerRow = 0.0011;
+constexpr double kCpuPerSeek = 0.0040;
+constexpr double kCpuPerCompare = 0.0016;
+constexpr double kCpuPerHash = 0.0017;
+constexpr double kCpuPerProbe = 0.0011;
+constexpr double kCpuPerOutputRow = 0.0009;
+constexpr double kCpuPerFilterRow = 0.0005;
+constexpr double kCpuPerAggRow = 0.0015;
+constexpr double kCpuPerScalar = 0.0006;
+constexpr double kIoPerPage = 0.03;
+
+double Log2Safe(double x) { return std::log2(std::max(2.0, x)); }
+}  // namespace
+
+CostEstimate CostModel::NodeCost(const PlanNode& node) const {
+  CostEstimate c;
+  const double out = node.est.rows_out;
+  const double in0 = node.est.rows_in[0];
+  const double in1 = node.est.rows_in[1];
+
+  switch (node.type) {
+    case OpType::kTableScan: {
+      const Table* t = db_->FindTable(node.table);
+      const double pages = t ? static_cast<double>(t->data_pages()) : 1.0;
+      c.io = pages * kIoPerPage;
+      c.cpu = (t ? static_cast<double>(t->row_count()) : out) * kCpuPerRow;
+      break;
+    }
+    case OpType::kIndexSeek: {
+      const Table* t = db_->FindTable(node.table);
+      double depth = 2.0, per_leaf = 100.0;
+      if (t != nullptr) {
+        const int col = t->FindColumn(node.seek_column);
+        const Index* idx = col >= 0 ? t->IndexOn(col) : nullptr;
+        if (idx != nullptr) {
+          depth = static_cast<double>(idx->depth());
+          per_leaf = static_cast<double>(idx->entries_per_leaf());
+        }
+      }
+      c.io = (depth + out / per_leaf) * kIoPerPage;
+      c.cpu = depth * kCpuPerSeek + out * kCpuPerRow;
+      break;
+    }
+    case OpType::kFilter:
+      c.cpu = in0 * kCpuPerFilterRow *
+              static_cast<double>(std::max<size_t>(1, node.predicates.size()));
+      break;
+    case OpType::kSort:
+      // n log n comparisons; no modeling of spills or key widths.
+      c.cpu = in0 * Log2Safe(in0) * kCpuPerCompare;
+      break;
+    case OpType::kTop:
+      c.cpu = out * kCpuPerRow;
+      break;
+    case OpType::kHashJoin:
+      c.cpu = in1 * kCpuPerHash + in0 * kCpuPerProbe + out * kCpuPerOutputRow;
+      break;
+    case OpType::kMergeJoin:
+      c.cpu = (in0 + in1) * kCpuPerCompare + out * kCpuPerOutputRow;
+      break;
+    case OpType::kNestedLoopJoin:
+      c.cpu = in0 * in1 * 0.0002 + out * kCpuPerOutputRow;
+      break;
+    case OpType::kIndexNestedLoopJoin: {
+      // Flat per-seek cost: ignores that each probe costs O(log inner) and
+      // ignores the batch-sort optimization entirely.
+      const Table* t = db_->FindTable(node.inner_table);
+      double depth = 2.0;
+      if (t != nullptr) {
+        const int col = t->FindColumn(node.inner_key);
+        const Index* idx = col >= 0 ? t->IndexOn(col) : nullptr;
+        if (idx != nullptr) depth = static_cast<double>(idx->depth());
+      }
+      c.cpu = in0 * kCpuPerSeek + out * kCpuPerOutputRow;
+      c.io = in0 * depth * kIoPerPage;
+      break;
+    }
+    case OpType::kHashAggregate:
+      c.cpu = in0 * kCpuPerAggRow + out * kCpuPerHash;
+      break;
+    case OpType::kStreamAggregate:
+      c.cpu = in0 * kCpuPerAggRow * 0.5;
+      break;
+    case OpType::kComputeScalar:
+      c.cpu = in0 * kCpuPerScalar * static_cast<double>(node.num_expressions);
+      break;
+  }
+  return c;
+}
+
+void CostModel::Annotate(PlanNode* node) const {
+  double children_total = 0.0;
+  for (auto& child : node->children) {
+    Annotate(child.get());
+    children_total += child->est.total_cost;
+  }
+  const CostEstimate c = NodeCost(*node);
+  node->est.cpu_cost = c.cpu;
+  node->est.io_cost = c.io;
+  node->est.total_cost = c.total() + children_total;
+}
+
+}  // namespace resest

@@ -1,0 +1,43 @@
+// The hand-crafted optimizer cost model.
+//
+// Deliberately built the way classical optimizers cost plans: weighted tuple
+// counts and page counts, with *no* modeling of row widths, cache effects,
+// external-sort passes, hash spills, or the nested-loop batch-sort
+// optimization. Its systematic errors against the execution engine's actual
+// behaviour reproduce the gap in the paper's Figure 1, and it is the basis of
+// the OPT competitor (optimizer estimate × per-operator adjustment factor).
+#ifndef RESEST_OPTIMIZER_COST_MODEL_H_
+#define RESEST_OPTIMIZER_COST_MODEL_H_
+
+#include "src/engine/plan.h"
+#include "src/storage/catalog.h"
+
+namespace resest {
+
+/// Optimizer cost of a single operator, split into CPU and I/O components
+/// (in the optimizer's own arbitrary units, like real optimizers).
+struct CostEstimate {
+  double cpu = 0.0;
+  double io = 0.0;
+  double total() const { return cpu + io; }
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const Database* db) : db_(db) {}
+
+  /// Local (non-cumulative) cost of `node`, which must already carry
+  /// cardinality annotations in node->est.
+  CostEstimate NodeCost(const PlanNode& node) const;
+
+  /// Fills node->est.cpu_cost / io_cost / total_cost over a whole subtree
+  /// (total_cost is cumulative over children, like real optimizer output).
+  void Annotate(PlanNode* node) const;
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,508 @@
+#include "src/optimizer/plan_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace resest {
+
+namespace {
+
+std::string Unqualify(const std::string& name) {
+  const size_t dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+std::string TableOf(const std::string& qualified) {
+  const size_t dot = qualified.rfind('.');
+  return dot == std::string::npos ? std::string() : qualified.substr(0, dot);
+}
+
+}  // namespace
+
+int64_t PlanBuilder::ColumnWidth(const std::string& table,
+                                 const std::string& column) const {
+  const Table* t = db_->FindTable(table);
+  if (t == nullptr) return 8;
+  const int c = t->FindColumn(Unqualify(column));
+  return c < 0 ? 8 : t->column(static_cast<size_t>(c)).def.width_bytes;
+}
+
+std::vector<std::string> PlanBuilder::NeededColumns(const QuerySpec& spec,
+                                                    int table_idx) const {
+  const TableRef& ref = spec.tables[static_cast<size_t>(table_idx)];
+  std::vector<std::string> cols = ref.columns;
+  auto add = [&cols](const std::string& c) {
+    if (std::find(cols.begin(), cols.end(), c) == cols.end()) cols.push_back(c);
+  };
+  if (cols.empty()) {
+    // No explicit projection: take all base columns.
+    const Table* t = db_->FindTable(ref.table);
+    if (t != nullptr) {
+      for (size_t i = 0; i < t->column_count(); ++i)
+        cols.push_back(t->column(i).def.name);
+    }
+    return cols;
+  }
+  for (const auto& e : spec.joins) {
+    if (e.left == table_idx) add(e.left_col);
+    if (e.right == table_idx) add(e.right_col);
+  }
+  for (const auto& g : spec.group_columns) {
+    if (TableOf(g) == ref.table) add(Unqualify(g));
+  }
+  for (const auto& o : spec.order_by) {
+    if (TableOf(o) == ref.table) add(Unqualify(o));
+  }
+  return cols;
+}
+
+PlanBuilder::Sub PlanBuilder::BuildAccessPath(const QuerySpec& spec,
+                                              int table_idx) const {
+  const TableRef& ref = spec.tables[static_cast<size_t>(table_idx)];
+  const Table* t = db_->FindTable(ref.table);
+  if (t == nullptr) throw std::runtime_error("unknown table " + ref.table);
+
+  const std::vector<std::string> cols = NeededColumns(spec, table_idx);
+  int64_t width = 0;
+  for (const auto& c : cols) width += ColumnWidth(ref.table, c);
+
+  const double out_rows = cardinality_.ScanRows(ref.table, ref.predicates);
+
+  // Candidate 1: full table scan.
+  auto scan = std::make_unique<PlanNode>();
+  scan->type = OpType::kTableScan;
+  scan->table = ref.table;
+  scan->output_columns = cols;
+  scan->predicates = ref.predicates;
+  scan->est.rows_out = out_rows;
+  scan->est.rows_in[0] = static_cast<double>(t->row_count());
+  scan->est.bytes_in[0] = static_cast<double>(t->row_count() * t->row_width());
+  scan->est.bytes_out = out_rows * static_cast<double>(width);
+  cost_model_.Annotate(scan.get());
+
+  // Candidate 2: index seek on the most selective indexed predicate.
+  std::unique_ptr<PlanNode> seek;
+  double best_sel = 0.35;  // only consider reasonably selective seeks
+  for (const auto& p : ref.predicates) {
+    const int c = t->FindColumn(Unqualify(p.column));
+    if (c < 0 || t->IndexOn(c) == nullptr) continue;
+    const double sel = cardinality_.PredicateSelectivity(ref.table, p);
+    if (sel >= best_sel) continue;
+    best_sel = sel;
+    seek = std::make_unique<PlanNode>();
+    seek->type = OpType::kIndexSeek;
+    seek->table = ref.table;
+    seek->seek_column = Unqualify(p.column);
+    seek->output_columns = cols;
+    seek->predicates = ref.predicates;
+    seek->est.rows_out = out_rows;
+    seek->est.rows_in[0] =
+        static_cast<double>(t->row_count()) * sel;  // entries touched
+    seek->est.bytes_in[0] = seek->est.rows_in[0] * static_cast<double>(t->row_width());
+    seek->est.bytes_out = out_rows * static_cast<double>(width);
+    cost_model_.Annotate(seek.get());
+  }
+
+  Sub sub;
+  sub.rows = out_rows;
+  sub.width = width;
+  sub.tables.insert(table_idx);
+  if (seek != nullptr && seek->est.total_cost < scan->est.total_cost) {
+    sub.node = std::move(seek);
+  } else {
+    sub.node = std::move(scan);
+  }
+  return sub;
+}
+
+PlanBuilder::Sub PlanBuilder::AddJoin(const QuerySpec& spec, Sub current,
+                                      int edge_idx) const {
+  const JoinEdge& edge = spec.joins[static_cast<size_t>(edge_idx)];
+  // Orient the edge: `cur_col` comes from the current subtree, `new_idx` is
+  // the table being added.
+  const bool left_in_cur = current.tables.count(edge.left) > 0;
+  const int new_idx = left_in_cur ? edge.right : edge.left;
+  const std::string cur_table =
+      spec.tables[static_cast<size_t>(left_in_cur ? edge.left : edge.right)].table;
+  const std::string cur_col = left_in_cur ? edge.left_col : edge.right_col;
+  const std::string new_col = left_in_cur ? edge.right_col : edge.left_col;
+  const TableRef& new_ref = spec.tables[static_cast<size_t>(new_idx)];
+  const Table* new_table = db_->FindTable(new_ref.table);
+  if (new_table == nullptr) throw std::runtime_error("unknown table " + new_ref.table);
+
+  const double d_cur = cardinality_.DistinctValues(cur_table, cur_col);
+  const double d_new = cardinality_.DistinctValues(new_ref.table, new_col);
+  const double new_sel =
+      cardinality_.ConjunctionSelectivity(new_ref.table, new_ref.predicates);
+
+  Sub inner_ap = BuildAccessPath(spec, new_idx);
+  const double join_rows =
+      CardinalityEstimator::JoinRows(current.rows, inner_ap.rows, d_cur, d_new);
+
+  const std::string cur_key = cur_table + "." + cur_col;
+  const std::string new_key = new_ref.table + "." + new_col;
+
+  // --- Option A: hash join (build side = smaller input). ---
+  auto MakeHashJoin = [&](Sub cur, Sub inner) {
+    auto node = std::make_unique<PlanNode>();
+    node->type = OpType::kHashJoin;
+    const bool cur_is_build = cur.rows < inner.rows;
+    Sub& probe = cur_is_build ? inner : cur;
+    Sub& build = cur_is_build ? cur : inner;
+    node->left_key = cur_is_build ? new_key : cur_key;
+    node->right_key = cur_is_build ? cur_key : new_key;
+    node->est.rows_in[0] = probe.rows;
+    node->est.rows_in[1] = build.rows;
+    node->est.bytes_in[0] = probe.rows * static_cast<double>(probe.width);
+    node->est.bytes_in[1] = build.rows * static_cast<double>(build.width);
+    node->est.rows_out = join_rows;
+    node->est.bytes_out = join_rows * static_cast<double>(cur.width + inner.width);
+    node->children.push_back(std::move(probe.node));
+    node->children.push_back(std::move(build.node));
+    cost_model_.Annotate(node.get());
+    return node;
+  };
+
+  // --- Option B: merge join (sort both inputs). ---
+  auto MakeMergeJoin = [&](Sub cur, Sub inner) {
+    auto sort_l = std::make_unique<PlanNode>();
+    sort_l->type = OpType::kSort;
+    sort_l->sort_columns = {cur_key};
+    sort_l->est.rows_out = cur.rows;
+    sort_l->est.rows_in[0] = cur.rows;
+    sort_l->est.bytes_in[0] = cur.rows * static_cast<double>(cur.width);
+    sort_l->est.bytes_out = sort_l->est.bytes_in[0];
+    sort_l->children.push_back(std::move(cur.node));
+
+    auto sort_r = std::make_unique<PlanNode>();
+    sort_r->type = OpType::kSort;
+    sort_r->sort_columns = {new_key};
+    sort_r->est.rows_out = inner.rows;
+    sort_r->est.rows_in[0] = inner.rows;
+    sort_r->est.bytes_in[0] = inner.rows * static_cast<double>(inner.width);
+    sort_r->est.bytes_out = sort_r->est.bytes_in[0];
+    sort_r->children.push_back(std::move(inner.node));
+
+    auto node = std::make_unique<PlanNode>();
+    node->type = OpType::kMergeJoin;
+    node->left_key = cur_key;
+    node->right_key = new_key;
+    node->est.rows_in[0] = cur.rows;
+    node->est.rows_in[1] = inner.rows;
+    node->est.bytes_in[0] = cur.rows * static_cast<double>(cur.width);
+    node->est.bytes_in[1] = inner.rows * static_cast<double>(inner.width);
+    node->est.rows_out = join_rows;
+    node->est.bytes_out = join_rows * static_cast<double>(cur.width + inner.width);
+    node->children.push_back(std::move(sort_l));
+    node->children.push_back(std::move(sort_r));
+    cost_model_.Annotate(node.get());
+    return node;
+  };
+
+  // --- Option C: index nested loop join (inner must be indexed on the key). ---
+  const int inner_col_idx = new_table->FindColumn(new_col);
+  const Index* inner_index =
+      inner_col_idx >= 0 ? new_table->IndexOn(inner_col_idx) : nullptr;
+  auto MakeInlj = [&](Sub cur) {
+    auto node = std::make_unique<PlanNode>();
+    node->type = OpType::kIndexNestedLoopJoin;
+    node->left_key = cur_key;
+    node->inner_table = new_ref.table;
+    node->inner_key = new_col;
+    // Inner projection must cover columns referenced by post-join filters.
+    node->inner_output_columns = NeededColumns(spec, new_idx);
+    for (const auto& p : new_ref.predicates) {
+      const std::string c = Unqualify(p.column);
+      if (std::find(node->inner_output_columns.begin(),
+                    node->inner_output_columns.end(),
+                    c) == node->inner_output_columns.end()) {
+        node->inner_output_columns.push_back(c);
+      }
+    }
+    int64_t inner_width = 0;
+    for (const auto& c : node->inner_output_columns)
+      inner_width += ColumnWidth(new_ref.table, c);
+    // All matching inner rows come back; predicates are applied above.
+    const double raw_join_rows = CardinalityEstimator::JoinRows(
+        current.rows, static_cast<double>(new_table->row_count()), d_cur, d_new);
+    node->est.rows_in[0] = current.rows;
+    node->est.rows_in[1] = static_cast<double>(new_table->row_count());
+    node->est.bytes_in[0] = current.rows * static_cast<double>(current.width);
+    node->est.bytes_in[1] =
+        static_cast<double>(new_table->row_count() * new_table->row_width());
+    node->est.rows_out = raw_join_rows;
+    node->est.bytes_out =
+        raw_join_rows * static_cast<double>(current.width + inner_width);
+    node->children.push_back(std::move(cur.node));
+    cost_model_.Annotate(node.get());
+
+    if (new_ref.predicates.empty()) {
+      return std::make_pair(std::move(node), raw_join_rows);
+    }
+    auto filter = std::make_unique<PlanNode>();
+    filter->type = OpType::kFilter;
+    for (const auto& p : new_ref.predicates) {
+      Predicate q = p;
+      q.column = new_ref.table + "." + Unqualify(p.column);
+      filter->predicates.push_back(q);
+    }
+    const double filtered = std::max(1.0, raw_join_rows * new_sel);
+    filter->est.rows_in[0] = raw_join_rows;
+    filter->est.bytes_in[0] = node->est.bytes_out;
+    filter->est.rows_out = filtered;
+    filter->est.bytes_out =
+        filtered * static_cast<double>(current.width + inner_width);
+    filter->children.push_back(std::move(node));
+    cost_model_.Annotate(filter.get());
+    return std::make_pair(std::move(filter), filtered);
+  };
+
+  // Cost the candidates. Hash and merge both consume the inner access path;
+  // we clone-by-rebuild since plans own their children.
+  const int64_t joined_width = current.width + inner_ap.width;
+
+  {
+    // The current subtree can only be consumed once; we must decide the
+    // physical operator *before* moving it. Cost candidates on synthetic
+    // nodes first.
+    PlanNode probe_hash;
+    probe_hash.type = OpType::kHashJoin;
+    probe_hash.est.rows_in[0] = std::max(current.rows, inner_ap.rows);
+    probe_hash.est.rows_in[1] = std::min(current.rows, inner_ap.rows);
+    probe_hash.est.rows_out = join_rows;
+    const double hash_cost =
+        cost_model_.NodeCost(probe_hash).total() + inner_ap.node->est.total_cost;
+
+    PlanNode merge;
+    merge.type = OpType::kMergeJoin;
+    merge.est.rows_in[0] = current.rows;
+    merge.est.rows_in[1] = inner_ap.rows;
+    merge.est.rows_out = join_rows;
+    PlanNode sort_l_probe;
+    sort_l_probe.type = OpType::kSort;
+    sort_l_probe.est.rows_in[0] = current.rows;
+    PlanNode sort_r_probe;
+    sort_r_probe.type = OpType::kSort;
+    sort_r_probe.est.rows_in[0] = inner_ap.rows;
+    const double merge_cost = cost_model_.NodeCost(merge).total() +
+                              cost_model_.NodeCost(sort_l_probe).total() +
+                              cost_model_.NodeCost(sort_r_probe).total() +
+                              inner_ap.node->est.total_cost;
+
+    double inlj_cost = std::numeric_limits<double>::infinity();
+    if (inner_index != nullptr) {
+      PlanNode inlj;
+      inlj.type = OpType::kIndexNestedLoopJoin;
+      inlj.inner_table = new_ref.table;
+      inlj.inner_key = new_col;
+      inlj.est.rows_in[0] = current.rows;
+      inlj.est.rows_in[1] = static_cast<double>(new_table->row_count());
+      inlj.est.rows_out = join_rows;
+      inlj_cost = cost_model_.NodeCost(inlj).total();
+    }
+
+    Sub result;
+    result.tables = current.tables;
+    result.tables.insert(new_idx);
+    result.width = joined_width;
+
+    if (inlj_cost <= hash_cost && inlj_cost <= merge_cost) {
+      auto [node, rows] = MakeInlj(std::move(current));
+      result.node = std::move(node);
+      result.rows = rows;
+    } else if (merge_cost < hash_cost) {
+      result.node = MakeMergeJoin(std::move(current), std::move(inner_ap));
+      result.rows = join_rows;
+    } else {
+      result.node = MakeHashJoin(std::move(current), std::move(inner_ap));
+      result.rows = join_rows;
+    }
+    return result;
+  }
+}
+
+Plan PlanBuilder::Build(const QuerySpec& spec) const {
+  if (spec.tables.empty()) throw std::runtime_error("query without tables");
+
+  // Start the greedy join search from the smallest estimated access path.
+  int start = 0;
+  double best_rows = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < spec.tables.size(); ++i) {
+    const double rows = cardinality_.ScanRows(spec.tables[i].table,
+                                              spec.tables[i].predicates);
+    if (rows < best_rows) {
+      best_rows = rows;
+      start = static_cast<int>(i);
+    }
+  }
+
+  Sub current = BuildAccessPath(spec, start);
+  std::vector<bool> used(spec.joins.size(), false);
+  size_t remaining = spec.joins.size();
+  while (remaining > 0) {
+    // Pick the applicable edge minimizing estimated join output.
+    int best_edge = -1;
+    double best_out = std::numeric_limits<double>::infinity();
+    for (size_t e = 0; e < spec.joins.size(); ++e) {
+      if (used[e]) continue;
+      const JoinEdge& edge = spec.joins[e];
+      const bool l = current.tables.count(edge.left) > 0;
+      const bool r = current.tables.count(edge.right) > 0;
+      if (l && r) {  // both sides already joined: edge is redundant
+        used[e] = true;
+        --remaining;
+        continue;
+      }
+      if (!l && !r) continue;
+      const int new_idx = l ? edge.right : edge.left;
+      const TableRef& nref = spec.tables[static_cast<size_t>(new_idx)];
+      const double nrows =
+          cardinality_.ScanRows(nref.table, nref.predicates);
+      const double d1 = cardinality_.DistinctValues(
+          spec.tables[static_cast<size_t>(edge.left)].table, edge.left_col);
+      const double d2 = cardinality_.DistinctValues(
+          spec.tables[static_cast<size_t>(edge.right)].table, edge.right_col);
+      const double out =
+          CardinalityEstimator::JoinRows(current.rows, nrows, d1, d2);
+      if (out < best_out) {
+        best_out = out;
+        best_edge = static_cast<int>(e);
+      }
+    }
+    if (best_edge < 0) {
+      if (remaining > 0) throw std::runtime_error("disconnected join graph");
+      break;
+    }
+    used[static_cast<size_t>(best_edge)] = true;
+    --remaining;
+    current = AddJoin(spec, std::move(current), best_edge);
+  }
+  if (current.tables.size() != spec.tables.size()) {
+    throw std::runtime_error(
+        "disconnected join graph: not every table is reachable");
+  }
+
+  // Aggregation.
+  if (spec.num_aggregates > 0 || !spec.group_columns.empty()) {
+    std::vector<double> distincts;
+    for (const auto& g : spec.group_columns) {
+      distincts.push_back(cardinality_.DistinctValues(TableOf(g), Unqualify(g)));
+    }
+    const double groups =
+        CardinalityEstimator::GroupCount(current.rows, distincts);
+
+    // Hash aggregate vs. sort + stream aggregate, decided by model cost.
+    PlanNode hash_probe;
+    hash_probe.type = OpType::kHashAggregate;
+    hash_probe.est.rows_in[0] = current.rows;
+    hash_probe.est.rows_out = groups;
+    const double hash_cost = cost_model_.NodeCost(hash_probe).total();
+    PlanNode sort_probe;
+    sort_probe.type = OpType::kSort;
+    sort_probe.est.rows_in[0] = current.rows;
+    PlanNode stream_probe;
+    stream_probe.type = OpType::kStreamAggregate;
+    stream_probe.est.rows_in[0] = current.rows;
+    stream_probe.est.rows_out = groups;
+    const double stream_cost = cost_model_.NodeCost(sort_probe).total() +
+                               cost_model_.NodeCost(stream_probe).total();
+
+    const int64_t agg_width =
+        [&] {
+          int64_t w = 0;
+          for (const auto& g : spec.group_columns)
+            w += ColumnWidth(TableOf(g), Unqualify(g));
+          return w + 8 * std::max(1, spec.num_aggregates);
+        }();
+
+    if (!spec.group_columns.empty() && stream_cost < hash_cost) {
+      auto sort = std::make_unique<PlanNode>();
+      sort->type = OpType::kSort;
+      sort->sort_columns = spec.group_columns;
+      sort->est.rows_in[0] = current.rows;
+      sort->est.bytes_in[0] = current.rows * static_cast<double>(current.width);
+      sort->est.rows_out = current.rows;
+      sort->est.bytes_out = sort->est.bytes_in[0];
+      sort->children.push_back(std::move(current.node));
+      cost_model_.Annotate(sort.get());
+
+      auto agg = std::make_unique<PlanNode>();
+      agg->type = OpType::kStreamAggregate;
+      agg->group_columns = spec.group_columns;
+      agg->num_aggregates = std::max(1, spec.num_aggregates);
+      agg->est.rows_in[0] = current.rows;
+      agg->est.bytes_in[0] = current.rows * static_cast<double>(current.width);
+      agg->est.rows_out = groups;
+      agg->est.bytes_out = groups * static_cast<double>(agg_width);
+      agg->children.push_back(std::move(sort));
+      cost_model_.Annotate(agg.get());
+      current.node = std::move(agg);
+    } else {
+      auto agg = std::make_unique<PlanNode>();
+      agg->type = OpType::kHashAggregate;
+      agg->group_columns = spec.group_columns;
+      agg->num_aggregates = std::max(1, spec.num_aggregates);
+      agg->est.rows_in[0] = current.rows;
+      agg->est.bytes_in[0] = current.rows * static_cast<double>(current.width);
+      agg->est.rows_out = groups;
+      agg->est.bytes_out = groups * static_cast<double>(agg_width);
+      agg->children.push_back(std::move(current.node));
+      cost_model_.Annotate(agg.get());
+      current.node = std::move(agg);
+    }
+    current.rows = groups;
+    current.width = agg_width;
+  }
+
+  // Scalar expressions.
+  if (spec.num_scalar_exprs > 0) {
+    auto cs = std::make_unique<PlanNode>();
+    cs->type = OpType::kComputeScalar;
+    cs->num_expressions = spec.num_scalar_exprs;
+    cs->est.rows_in[0] = current.rows;
+    cs->est.bytes_in[0] = current.rows * static_cast<double>(current.width);
+    cs->est.rows_out = current.rows;
+    current.width += 8 * spec.num_scalar_exprs;
+    cs->est.bytes_out = current.rows * static_cast<double>(current.width);
+    cs->children.push_back(std::move(current.node));
+    cost_model_.Annotate(cs.get());
+    current.node = std::move(cs);
+  }
+
+  // Final ordering.
+  if (!spec.order_by.empty()) {
+    auto sort = std::make_unique<PlanNode>();
+    sort->type = OpType::kSort;
+    sort->sort_columns = spec.order_by;
+    sort->est.rows_in[0] = current.rows;
+    sort->est.bytes_in[0] = current.rows * static_cast<double>(current.width);
+    sort->est.rows_out = current.rows;
+    sort->est.bytes_out = sort->est.bytes_in[0];
+    sort->children.push_back(std::move(current.node));
+    cost_model_.Annotate(sort.get());
+    current.node = std::move(sort);
+  }
+
+  // TOP.
+  if (spec.limit > 0) {
+    auto top = std::make_unique<PlanNode>();
+    top->type = OpType::kTop;
+    top->limit = spec.limit;
+    top->est.rows_in[0] = current.rows;
+    top->est.bytes_in[0] = current.rows * static_cast<double>(current.width);
+    top->est.rows_out = std::min(current.rows, static_cast<double>(spec.limit));
+    top->est.bytes_out = top->est.rows_out * static_cast<double>(current.width);
+    top->children.push_back(std::move(current.node));
+    cost_model_.Annotate(top.get());
+    current.node = std::move(top);
+  }
+
+  Plan plan;
+  plan.root = std::move(current.node);
+  plan.database = db_->name();
+  return plan;
+}
+
+}  // namespace resest

@@ -1,0 +1,60 @@
+// Turns logical QuerySpecs into annotated physical plans.
+//
+// The builder performs the classical optimizer steps: access-path selection
+// (scan vs. index seek), greedy join ordering, cost-based physical join
+// selection (hash / merge / index nested loops), aggregation strategy choice
+// (hash vs. sort+stream) and final sort/top placement. Every node is
+// annotated with estimated cardinalities (from the histogram estimator) and
+// optimizer costs (from the hand-crafted cost model) so the ML layer can be
+// driven by either exact or optimizer-estimated features.
+#ifndef RESEST_OPTIMIZER_PLAN_BUILDER_H_
+#define RESEST_OPTIMIZER_PLAN_BUILDER_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/engine/plan.h"
+#include "src/optimizer/cardinality.h"
+#include "src/optimizer/cost_model.h"
+#include "src/optimizer/query_spec.h"
+#include "src/storage/catalog.h"
+
+namespace resest {
+
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(const Database* db)
+      : db_(db), cardinality_(db), cost_model_(db) {}
+
+  /// Builds an annotated physical plan for the query.
+  Plan Build(const QuerySpec& spec) const;
+
+ private:
+  /// A partially built subtree with bookkeeping for the greedy join search.
+  struct Sub {
+    std::unique_ptr<PlanNode> node;
+    double rows = 0.0;        ///< Estimated output rows.
+    int64_t width = 0;        ///< Output row width in bytes.
+    std::set<int> tables;     ///< QuerySpec table indexes covered.
+  };
+
+  Sub BuildAccessPath(const QuerySpec& spec, int table_idx) const;
+  Sub AddJoin(const QuerySpec& spec, Sub current, int edge_idx) const;
+
+  /// Columns of `table_idx` needed above the access path (projection,
+  /// join keys, grouping, ordering).
+  std::vector<std::string> NeededColumns(const QuerySpec& spec,
+                                         int table_idx) const;
+
+  int64_t ColumnWidth(const std::string& table, const std::string& column) const;
+
+  const Database* db_;
+  CardinalityEstimator cardinality_;
+  CostModel cost_model_;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_OPTIMIZER_PLAN_BUILDER_H_

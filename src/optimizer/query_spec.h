@@ -1,0 +1,47 @@
+// Logical query IR.
+//
+// There is no SQL parser in this reproduction; workload generators build
+// QuerySpec values directly (select-project-join-aggregate blocks with
+// optional ordering and limits), and the plan builder turns them into
+// physical plans.
+#ifndef RESEST_OPTIMIZER_QUERY_SPEC_H_
+#define RESEST_OPTIMIZER_QUERY_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/engine/plan.h"
+
+namespace resest {
+
+/// A base-table reference with pushed-down predicates and projection.
+struct TableRef {
+  std::string table;
+  std::vector<Predicate> predicates;      ///< On unqualified column names.
+  std::vector<std::string> columns;       ///< Projection; empty = all columns.
+};
+
+/// An equi-join edge between two table references.
+struct JoinEdge {
+  int left = 0;            ///< Index into QuerySpec::tables.
+  int right = 0;
+  std::string left_col;    ///< Unqualified column in tables[left].
+  std::string right_col;   ///< Unqualified column in tables[right].
+};
+
+/// A logical query: SPJ block + optional aggregation / ordering / limit.
+struct QuerySpec {
+  std::string name;                       ///< Template id, e.g. "tpch_q3".
+  std::vector<TableRef> tables;
+  std::vector<JoinEdge> joins;
+  std::vector<std::string> group_columns; ///< Qualified ("table.col").
+  int num_aggregates = 0;                 ///< 0 = no aggregation.
+  int num_scalar_exprs = 0;               ///< Projected computed expressions.
+  std::vector<std::string> order_by;      ///< Qualified; empty = no sort.
+  int64_t limit = 0;                      ///< 0 = no TOP.
+};
+
+}  // namespace resest
+
+#endif  // RESEST_OPTIMIZER_QUERY_SPEC_H_

@@ -1,0 +1,101 @@
+#include "src/storage/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace resest {
+
+Table* Database::AddTable(const std::string& name) {
+  tables_.push_back(std::make_unique<Table>(name));
+  return tables_.back().get();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+Table* Database::FindTable(const std::string& name) {
+  for (auto& t : tables_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+void Database::BuildStatistics(int max_buckets) {
+  stats_.clear();
+  for (const auto& t : tables_) {
+    for (size_t c = 0; c < t->column_count(); ++c) {
+      stats_.emplace(std::make_pair(t->name(), static_cast<int>(c)),
+                     Histogram::Build(t->column(c).data, max_buckets));
+    }
+  }
+}
+
+const Histogram* Database::Stats(const std::string& table, int column) const {
+  auto it = stats_.find(std::make_pair(table, column));
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+std::unique_ptr<Database> GenerateDatabase(const SchemaSpec& spec, double sf,
+                                           double skew, uint64_t seed) {
+  auto db = std::make_unique<Database>(spec.name, sf, skew);
+  Rng master(seed);
+
+  for (const auto& tspec : spec.tables) {
+    Rng rng = master.Fork();
+    Table* table = db->AddTable(tspec.name);
+    const int64_t rows =
+        tspec.fixed_size
+            ? tspec.rows_per_sf
+            : std::max<int64_t>(1, static_cast<int64_t>(
+                                       std::llround(tspec.rows_per_sf * sf)));
+
+    for (const auto& cspec : tspec.columns) {
+      Column col;
+      col.def.name = cspec.name;
+      col.def.width_bytes = cspec.width_bytes;
+      col.def.zipf_z = cspec.zipf_z < 0 ? skew : cspec.zipf_z;
+      col.def.indexed = cspec.indexed;
+      col.def.fk_table = cspec.fk_table;
+      col.data.reserve(static_cast<size_t>(rows));
+
+      if (&cspec == &tspec.columns[0]) {
+        // Sequential primary key; keeps the table clustered on column 0.
+        for (int64_t i = 1; i <= rows; ++i) col.data.push_back(i);
+        col.def.domain = rows;
+      } else if (!cspec.fk_table.empty()) {
+        const Table* parent = db->FindTable(cspec.fk_table);
+        const int64_t parent_rows = parent ? parent->row_count() : 1;
+        col.def.domain = parent_rows;
+        ZipfSampler zipf(parent_rows, col.def.zipf_z);
+        for (int64_t i = 0; i < rows; ++i) col.data.push_back(zipf.Sample(&rng));
+      } else if (!cspec.corr_col.empty()) {
+        // Correlated column: base column value plus a small skewed offset.
+        const int base = table->FindColumn(cspec.corr_col);
+        ZipfSampler off(std::max<int64_t>(1, cspec.corr_span), col.def.zipf_z);
+        const Column& base_col = table->column(static_cast<size_t>(base));
+        Value max_seen = 1;
+        for (int64_t i = 0; i < rows; ++i) {
+          const Value v = base_col.data[static_cast<size_t>(i)] + off.Sample(&rng);
+          col.data.push_back(v);
+          max_seen = std::max(max_seen, v);
+        }
+        col.def.domain = max_seen;
+      } else {
+        const int64_t domain = std::max<int64_t>(1, cspec.domain);
+        col.def.domain = domain;
+        ZipfSampler zipf(domain, col.def.zipf_z);
+        for (int64_t i = 0; i < rows; ++i) col.data.push_back(zipf.Sample(&rng));
+      }
+      table->AddColumn(std::move(col));
+    }
+    table->BuildIndexes();
+  }
+  db->BuildStatistics();
+  return db;
+}
+
+}  // namespace resest

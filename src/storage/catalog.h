@@ -1,0 +1,91 @@
+// Schema specifications, the generated database (catalog), and the synthetic
+// data generator.
+//
+// The generator stands in for TPC-H dbgen + the Microsoft skew tool the paper
+// uses ([2] in the paper): every non-key column is drawn from a Zipf(z)
+// distribution, and table sizes scale linearly with a scale factor, so the
+// experiments can vary data size (SF 1..10) and skew (z in {1, 2}) the same
+// way the paper does.
+#ifndef RESEST_STORAGE_CATALOG_H_
+#define RESEST_STORAGE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/storage/histogram.h"
+#include "src/storage/table.h"
+
+namespace resest {
+
+/// Generator-facing description of one column.
+struct ColumnSpec {
+  std::string name;
+  int width_bytes = 8;
+  int64_t domain = 0;        ///< Values in [1, domain]; 0 = sequential key.
+  double zipf_z = -1.0;      ///< Skew; negative = use the database default.
+  bool indexed = false;
+  std::string fk_table;      ///< FK target table (values in [1, target rows]).
+  std::string corr_col;      ///< If set: value = corr_col value + small offset,
+                             ///< creating cross-column correlation that breaks
+                             ///< the optimizer's independence assumption.
+  int64_t corr_span = 30;    ///< Max offset added to the correlated base.
+};
+
+/// Generator-facing description of one table.
+struct TableSpec {
+  std::string name;
+  int64_t rows_per_sf = 1000;  ///< Rows at scale factor 1.
+  bool fixed_size = false;     ///< Dimension tables that do not scale.
+  std::vector<ColumnSpec> columns;  ///< columns[0] must be the sequential key.
+};
+
+/// A whole schema to generate.
+struct SchemaSpec {
+  std::string name;
+  std::vector<TableSpec> tables;  ///< Topologically ordered (FK targets first).
+};
+
+/// A generated database: tables plus per-column statistics.
+class Database {
+ public:
+  Database(std::string name, double scale_factor, double skew)
+      : name_(std::move(name)), scale_factor_(scale_factor), skew_(skew) {}
+
+  const std::string& name() const { return name_; }
+  double scale_factor() const { return scale_factor_; }
+  double skew() const { return skew_; }
+
+  Table* AddTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+  Table* FindTable(const std::string& name);
+  const std::vector<std::unique_ptr<Table>>& tables() const { return tables_; }
+
+  /// Builds equi-depth histograms (statistics) for every column.
+  void BuildStatistics(int max_buckets = 64);
+  /// Histogram for (table, column), or nullptr if statistics are missing.
+  const Histogram* Stats(const std::string& table, int column) const;
+
+ private:
+  std::string name_;
+  double scale_factor_;
+  double skew_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::map<std::pair<std::string, int>, Histogram> stats_;
+};
+
+/// Generates a database from a schema spec.
+///
+/// @param spec   Schema to generate.
+/// @param sf     Scale factor; scaling tables get rows_per_sf * sf rows.
+/// @param skew   Default Zipf z for columns that do not override it.
+/// @param seed   PRNG seed; identical seeds yield identical databases.
+std::unique_ptr<Database> GenerateDatabase(const SchemaSpec& spec, double sf,
+                                           double skew, uint64_t seed);
+
+}  // namespace resest
+
+#endif  // RESEST_STORAGE_CATALOG_H_

@@ -1,0 +1,74 @@
+#include "src/storage/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace resest {
+
+Histogram Histogram::Build(const std::vector<Value>& values, int max_buckets) {
+  Histogram h;
+  if (values.empty() || max_buckets < 1) return h;
+
+  std::vector<Value> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  h.total_rows_ = static_cast<int64_t>(sorted.size());
+
+  const int64_t n = h.total_rows_;
+  const int64_t per_bucket = std::max<int64_t>(1, (n + max_buckets - 1) / max_buckets);
+
+  size_t i = 0;
+  while (i < sorted.size()) {
+    HistogramBucket b;
+    b.lo = sorted[i];
+    size_t end = std::min(sorted.size(), i + static_cast<size_t>(per_bucket));
+    // Never split a run of equal keys across buckets (equi-depth with
+    // boundary snapping, as real systems do).
+    while (end < sorted.size() && sorted[end] == sorted[end - 1]) ++end;
+    b.hi = sorted[end - 1];
+    b.rows = static_cast<int64_t>(end - i);
+    int64_t distinct = 1;
+    for (size_t j = i + 1; j < end; ++j) {
+      if (sorted[j] != sorted[j - 1]) ++distinct;
+    }
+    b.distinct = distinct;
+    h.total_distinct_ += distinct;
+    h.buckets_.push_back(b);
+    i = end;
+  }
+  return h;
+}
+
+double Histogram::EstimateEq(Value v) const {
+  for (const auto& b : buckets_) {
+    if (v < b.lo || v > b.hi) continue;
+    // Uniformity assumption inside the bucket.
+    return static_cast<double>(b.rows) / static_cast<double>(std::max<int64_t>(1, b.distinct));
+  }
+  return 0.0;
+}
+
+double Histogram::EstimateRange(Value lo, Value hi) const {
+  if (hi < lo) return 0.0;
+  double rows = 0.0;
+  for (const auto& b : buckets_) {
+    if (b.hi < lo || b.lo > hi) continue;
+    if (lo <= b.lo && b.hi <= hi) {
+      rows += static_cast<double>(b.rows);
+      continue;
+    }
+    // Partial overlap: continuous-uniform interpolation inside the bucket.
+    const double span = static_cast<double>(b.hi - b.lo) + 1.0;
+    const double from = static_cast<double>(std::max(lo, b.lo));
+    const double to = static_cast<double>(std::min(hi, b.hi));
+    const double frac = (to - from + 1.0) / span;
+    rows += static_cast<double>(b.rows) * std::clamp(frac, 0.0, 1.0);
+  }
+  return rows;
+}
+
+double Histogram::SelectivityRange(Value lo, Value hi) const {
+  if (total_rows_ <= 0) return 0.0;
+  return EstimateRange(lo, hi) / static_cast<double>(total_rows_);
+}
+
+}  // namespace resest

@@ -1,0 +1,51 @@
+// Equi-depth histograms: the optimizer substrate's statistics objects.
+//
+// Cardinality estimates derived from these histograms carry the realistic
+// error structure the paper depends on (limited resolution within buckets,
+// independence assumptions across predicates), especially on skewed data.
+#ifndef RESEST_STORAGE_HISTOGRAM_H_
+#define RESEST_STORAGE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/storage/table.h"
+
+namespace resest {
+
+/// One histogram bucket over a half-open key range.
+struct HistogramBucket {
+  Value lo = 0;              ///< Smallest key in the bucket (inclusive).
+  Value hi = 0;              ///< Largest key in the bucket (inclusive).
+  int64_t rows = 0;          ///< Rows in the bucket.
+  int64_t distinct = 0;      ///< Approximate distinct keys in the bucket.
+};
+
+/// Equi-depth histogram with a bounded number of buckets.
+class Histogram {
+ public:
+  /// Builds from raw values with at most `max_buckets` buckets.
+  static Histogram Build(const std::vector<Value>& values, int max_buckets);
+
+  /// Estimated rows satisfying value == v.
+  double EstimateEq(Value v) const;
+  /// Estimated rows satisfying lo <= value <= hi.
+  double EstimateRange(Value lo, Value hi) const;
+  /// Estimated selectivity (0..1) of lo <= value <= hi.
+  double SelectivityRange(Value lo, Value hi) const;
+
+  int64_t total_rows() const { return total_rows_; }
+  int64_t total_distinct() const { return total_distinct_; }
+  Value min_value() const { return buckets_.empty() ? 0 : buckets_.front().lo; }
+  Value max_value() const { return buckets_.empty() ? 0 : buckets_.back().hi; }
+  const std::vector<HistogramBucket>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<HistogramBucket> buckets_;
+  int64_t total_rows_ = 0;
+  int64_t total_distinct_ = 0;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_STORAGE_HISTOGRAM_H_

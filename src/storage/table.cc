@@ -1,0 +1,94 @@
+#include "src/storage/table.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace resest {
+
+void Index::Build(const std::vector<Value>& values, int64_t entry_width_bytes) {
+  entries_.clear();
+  entries_.reserve(values.size());
+  for (int64_t i = 0; i < static_cast<int64_t>(values.size()); ++i) {
+    entries_.emplace_back(values[static_cast<size_t>(i)], i);
+  }
+  std::sort(entries_.begin(), entries_.end());
+
+  entries_per_leaf_ = std::max<int64_t>(1, kPageSize / std::max<int64_t>(1, entry_width_bytes));
+  leaf_pages_ = std::max<int64_t>(
+      1, (static_cast<int64_t>(entries_.size()) + entries_per_leaf_ - 1) /
+             entries_per_leaf_);
+  // Leaf level + inner levels until a single root page.
+  depth_ = 1;
+  int64_t level_pages = leaf_pages_;
+  while (level_pages > 1) {
+    level_pages = (level_pages + kIndexFanout - 1) / kIndexFanout;
+    ++depth_;
+  }
+}
+
+std::vector<int64_t> Index::LookupRange(Value lo, Value hi) const {
+  std::vector<int64_t> rows;
+  auto first = std::lower_bound(
+      entries_.begin(), entries_.end(), std::make_pair(lo, INT64_MIN));
+  auto last = std::upper_bound(entries_.begin(), entries_.end(),
+                               std::make_pair(hi, INT64_MAX));
+  rows.reserve(static_cast<size_t>(last - first));
+  for (auto it = first; it != last; ++it) rows.push_back(it->second);
+  return rows;
+}
+
+int64_t Index::CountRange(Value lo, Value hi) const {
+  auto first = std::lower_bound(
+      entries_.begin(), entries_.end(), std::make_pair(lo, INT64_MIN));
+  auto last = std::upper_bound(entries_.begin(), entries_.end(),
+                               std::make_pair(hi, INT64_MAX));
+  return static_cast<int64_t>(last - first);
+}
+
+int64_t Table::row_width() const {
+  int64_t w = 0;
+  for (const auto& c : columns_) w += c.def.width_bytes;
+  return std::max<int64_t>(1, w);
+}
+
+int64_t Table::rows_per_page() const {
+  return std::max<int64_t>(1, kPageSize / row_width());
+}
+
+int64_t Table::data_pages() const {
+  const int64_t rpp = rows_per_page();
+  return std::max<int64_t>(1, (row_count() + rpp - 1) / rpp);
+}
+
+int64_t Table::PageOfRow(int64_t row) const { return row / rows_per_page(); }
+
+int Table::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].def.name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Table::BuildIndexes() {
+  indexes_.clear();
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const bool clustered = (i == 0);
+    if (!clustered && !columns_[i].def.indexed) continue;
+    // Secondary index entries hold (key, row-id): key width + 8-byte rid.
+    const int64_t entry_width =
+        clustered ? row_width() : columns_[i].def.width_bytes + 8;
+    Index idx(name_ + "_idx_" + columns_[i].def.name, static_cast<int>(i),
+              clustered);
+    idx.Build(columns_[i].data, entry_width);
+    indexes_.push_back(std::move(idx));
+  }
+}
+
+const Index* Table::IndexOn(int column) const {
+  for (const auto& idx : indexes_) {
+    if (idx.column() == column) return &idx;
+  }
+  return nullptr;
+}
+
+}  // namespace resest

@@ -1,0 +1,128 @@
+// In-memory relational storage with a page model.
+//
+// Tables hold typed integer columns (synthetic data; widths are metadata used
+// for byte accounting). The page model maps rows to fixed-size pages so the
+// execution engine can count logical I/O exactly, and index metadata exposes
+// B-tree depth/fanout the way a real system's catalog would.
+#ifndef RESEST_STORAGE_TABLE_H_
+#define RESEST_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace resest {
+
+using Value = int64_t;
+
+/// Fixed page size of the simulated buffer pool, in bytes.
+inline constexpr int64_t kPageSize = 8192;
+/// Fanout of simulated B-tree inner nodes (keys per inner page).
+inline constexpr int64_t kIndexFanout = 256;
+
+/// Static description of a column.
+struct ColumnDef {
+  std::string name;
+  int width_bytes = 8;      ///< On-disk width used for byte/page accounting.
+  int64_t domain = 0;       ///< Values drawn from [1, domain]; 0 = sequential key.
+  double zipf_z = 0.0;      ///< Skew of the value distribution (0 = uniform).
+  bool indexed = false;     ///< Whether a secondary index exists on the column.
+  std::string fk_table;     ///< Non-empty if this is a foreign key.
+};
+
+/// A column: definition plus materialized values (one per row).
+struct Column {
+  ColumnDef def;
+  std::vector<Value> data;
+};
+
+/// Secondary (or clustered-key) index: sorted (value, row) pairs plus B-tree
+/// shape metadata. Lookups are binary searches; the engine charges one page
+/// access per traversed level plus the touched leaf pages.
+class Index {
+ public:
+  Index(std::string name, int column, bool clustered)
+      : name_(std::move(name)), column_(column), clustered_(clustered) {}
+
+  /// Bulk-builds the index from a column's data.
+  void Build(const std::vector<Value>& values, int64_t entry_width_bytes);
+
+  /// Row ids whose key is in [lo, hi] (inclusive), in key order.
+  std::vector<int64_t> LookupRange(Value lo, Value hi) const;
+
+  /// Number of index entries with key in [lo, hi].
+  int64_t CountRange(Value lo, Value hi) const;
+
+  const std::string& name() const { return name_; }
+  int column() const { return column_; }
+  bool clustered() const { return clustered_; }
+  /// Number of B-tree levels, including the leaf level (>= 1).
+  int depth() const { return depth_; }
+  int64_t leaf_pages() const { return leaf_pages_; }
+  int64_t entries_per_leaf() const { return entries_per_leaf_; }
+
+  /// Leaf page id holding the i-th entry in key order.
+  int64_t LeafPageOf(int64_t position) const {
+    return entries_per_leaf_ > 0 ? position / entries_per_leaf_ : 0;
+  }
+
+  const std::vector<std::pair<Value, int64_t>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::string name_;
+  int column_;
+  bool clustered_;
+  int depth_ = 1;
+  int64_t leaf_pages_ = 1;
+  int64_t entries_per_leaf_ = 1;
+  std::vector<std::pair<Value, int64_t>> entries_;
+};
+
+/// A heap table with a clustered layout on its first column (the synthetic
+/// primary key, generated in increasing order).
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  int64_t row_count() const {
+    return columns_.empty() ? 0 : static_cast<int64_t>(columns_[0].data.size());
+  }
+  size_t column_count() const { return columns_.size(); }
+
+  /// Total bytes of one row (sum of column widths).
+  int64_t row_width() const;
+  /// Rows that fit on one data page.
+  int64_t rows_per_page() const;
+  /// Number of data pages occupied by the table.
+  int64_t data_pages() const;
+  /// Data page id that holds a given row.
+  int64_t PageOfRow(int64_t row) const;
+
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& mutable_column(size_t i) { return columns_[i]; }
+
+  /// Index of the column with the given name, or -1.
+  int FindColumn(const std::string& name) const;
+
+  /// Builds indexes for every column whose def requests one (plus the
+  /// clustered primary-key index on column 0).
+  void BuildIndexes();
+  const std::vector<Index>& indexes() const { return indexes_; }
+  /// The index on a column, or nullptr.
+  const Index* IndexOn(int column) const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<Index> indexes_;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_STORAGE_TABLE_H_

@@ -1,0 +1,247 @@
+#include "src/workload/real_queries.h"
+
+#include <algorithm>
+#include <string>
+
+namespace resest {
+
+namespace {
+
+Predicate Le(const std::string& col, Value hi) {
+  return Predicate{col, Predicate::Op::kLe, 0, hi};
+}
+Predicate Eq(const std::string& col, Value v) {
+  return Predicate{col, Predicate::Op::kEq, v, v};
+}
+Predicate Between(const std::string& col, Value lo, Value hi) {
+  return Predicate{col, Predicate::Op::kBetween, lo, hi};
+}
+
+/// A dimension that can hang off the Real-1 fact table.
+struct Real1Dim {
+  const char* table;
+  const char* fact_col;  ///< FK column on sales_fact.
+  const char* key_col;   ///< PK on the dimension.
+  const char* filter_col;
+  int64_t filter_domain;
+  const char* group_col;
+};
+
+constexpr Real1Dim kReal1Dims[] = {
+    {"calendar", "sf_cal", "cal_key", "cal_year", 4, "cal_month"},
+    {"account", "sf_acct", "acct_key", "acct_segment", 12, "acct_tier"},
+    {"product", "sf_prod", "prod_key", "prod_category", 15, "prod_category"},
+    {"rep", "sf_rep", "rep_key", "rep_team", 25, "rep_team"},
+    {"channel", "sf_ch", "ch_key", "ch_type", 4, "ch_type"},
+    {"promo_dim", "sf_promo", "promo_key", "promo_kind", 6, "promo_kind"},
+};
+
+}  // namespace
+
+std::vector<QuerySpec> GenerateReal1Workload(int count, Rng* rng) {
+  std::vector<QuerySpec> out;
+  out.reserve(static_cast<size_t>(count));
+
+  for (int qi = 0; qi < count; ++qi) {
+    QuerySpec q;
+    q.name = "real1_q" + std::to_string(qi);
+
+    // Fact table with an optional date-range or measure predicate.
+    TableRef fact;
+    fact.table = "sales_fact";
+    fact.columns = {"sf_units", "sf_revenue", "sf_margin"};
+    if (rng->Bernoulli(0.65)) {
+      const Value lo = rng->UniformInt(1, 1100);
+      fact.predicates.push_back(
+          Between("sf_bookdate", lo, lo + rng->UniformInt(20, 500)));
+    }
+    if (rng->Bernoulli(0.3)) {
+      fact.predicates.push_back(Le("sf_revenue", rng->UniformInt(20000, 250000)));
+    }
+    q.tables.push_back(fact);
+
+    // Pick 4-7 dimensions (query joins 5-8 tables total, like the paper).
+    std::vector<int> dims = {0, 1, 2, 3, 4, 5};
+    rng->Shuffle(&dims);
+    const int ndims = static_cast<int>(rng->UniformInt(4, 6));
+    bool has_geo = false;
+    for (int d = 0; d < ndims; ++d) {
+      const Real1Dim& dim = kReal1Dims[static_cast<size_t>(dims[static_cast<size_t>(d)])];
+      TableRef ref;
+      ref.table = dim.table;
+      ref.columns = {dim.key_col, dim.group_col};
+      if (rng->Bernoulli(0.55)) {
+        const Value v = rng->UniformInt(1, dim.filter_domain);
+        if (rng->Bernoulli(0.5)) {
+          ref.predicates.push_back(Eq(dim.filter_col, v));
+        } else {
+          ref.predicates.push_back(Le(dim.filter_col, v));
+        }
+        if (std::find(ref.columns.begin(), ref.columns.end(), dim.filter_col) ==
+            ref.columns.end()) {
+          ref.columns.push_back(dim.filter_col);
+        }
+      }
+      const int ref_idx = static_cast<int>(q.tables.size());
+      q.tables.push_back(ref);
+      q.joins.push_back(JoinEdge{0, ref_idx, dim.fact_col, dim.key_col});
+
+      // Snowflake out to geography via account or rep (once).
+      if (!has_geo && rng->Bernoulli(0.5) &&
+          (std::string(dim.table) == "account" || std::string(dim.table) == "rep")) {
+        has_geo = true;
+        TableRef geo;
+        geo.table = "geography";
+        geo.columns = {"geo_key", "geo_region"};
+        if (rng->Bernoulli(0.5)) {
+          geo.predicates.push_back(Eq("geo_region", rng->UniformInt(1, 8)));
+        }
+        const int geo_idx = static_cast<int>(q.tables.size());
+        q.tables.push_back(geo);
+        const char* fk = std::string(dim.table) == "account" ? "acct_geo" : "rep_geo";
+        q.joins.push_back(JoinEdge{ref_idx, geo_idx, fk, "geo_key"});
+      }
+    }
+
+    // Group by 1-2 dimension attributes; aggregate 1-3 measures.
+    const int ngroups = static_cast<int>(rng->UniformInt(1, 2));
+    for (int g = 0; g < ngroups && g + 1 < static_cast<int>(q.tables.size()); ++g) {
+      const TableRef& ref = q.tables[static_cast<size_t>(g + 1)];
+      q.group_columns.push_back(ref.table + "." + ref.columns[1]);
+    }
+    q.num_aggregates = static_cast<int>(rng->UniformInt(1, 3));
+    if (rng->Bernoulli(0.4)) q.num_scalar_exprs = static_cast<int>(rng->UniformInt(1, 2));
+    if (rng->Bernoulli(0.6)) {
+      q.order_by = {"agg0"};
+      if (rng->Bernoulli(0.5)) q.limit = rng->UniformInt(10, 500);
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<QuerySpec> GenerateReal2Workload(int count, Rng* rng) {
+  std::vector<QuerySpec> out;
+  out.reserve(static_cast<size_t>(count));
+
+  for (int qi = 0; qi < count; ++qi) {
+    QuerySpec q;
+    q.name = "real2_q" + std::to_string(qi);
+
+    // Fact table.
+    TableRef fact;
+    fact.table = "txn_fact";
+    fact.columns = {"tx_qty", "tx_amount", "tx_disc"};
+    if (rng->Bernoulli(0.5)) {
+      fact.predicates.push_back(Le("tx_amount", rng->UniformInt(20000, 150000)));
+    }
+    q.tables.push_back(fact);
+    int idx_time = -1, idx_store = -1, idx_shopper = -1, idx_product = -1,
+        idx_vendor = -1;
+
+    auto add = [&](const char* table, std::vector<std::string> cols,
+                   std::vector<Predicate> preds) {
+      TableRef r;
+      r.table = table;
+      r.columns = std::move(cols);
+      r.predicates = std::move(preds);
+      q.tables.push_back(std::move(r));
+      return static_cast<int>(q.tables.size()) - 1;
+    };
+
+    // Core dimensions: time is (almost) always there; others usually.
+    if (rng->Bernoulli(0.9)) {
+      std::vector<Predicate> p;
+      if (rng->Bernoulli(0.7)) p.push_back(Eq("tm_year", rng->UniformInt(1, 5)));
+      idx_time = add("time2", {"tm_key", "tm_month", "tm_year"}, std::move(p));
+      q.joins.push_back(JoinEdge{0, idx_time, "tx_time", "tm_key"});
+    }
+    if (rng->Bernoulli(0.85)) {
+      idx_store = add("store2", {"st2_key", "st2_format"}, {});
+      q.joins.push_back(JoinEdge{0, idx_store, "tx_store", "st2_key"});
+    }
+    if (rng->Bernoulli(0.8)) {
+      std::vector<Predicate> p;
+      if (rng->Bernoulli(0.4))
+        p.push_back(Le("sh_age_band", rng->UniformInt(2, 8)));
+      idx_shopper = add("shopper2", {"sh_key", "sh_loyalty", "sh_age_band"},
+                        std::move(p));
+      q.joins.push_back(JoinEdge{0, idx_shopper, "tx_shopper", "sh_key"});
+    }
+    if (rng->Bernoulli(0.9)) {
+      std::vector<Predicate> p;
+      if (rng->Bernoulli(0.4)) p.push_back(Le("pd_price", rng->UniformInt(1000, 8000)));
+      idx_product = add("product2", {"pd_key", "pd_brand", "pd_cat"}, std::move(p));
+      q.joins.push_back(JoinEdge{0, idx_product, "tx_product", "pd_key"});
+    }
+    if (rng->Bernoulli(0.7)) {
+      idx_vendor = add("vendor2", {"vd_key", "vd_rating", "vd_city"}, {});
+      q.joins.push_back(JoinEdge{0, idx_vendor, "tx_vendor", "vd_key"});
+    }
+
+    // Snowflake chains (never join the same table twice).
+    if (idx_product >= 0 && rng->Bernoulli(0.8)) {
+      std::vector<Predicate> p;
+      if (rng->Bernoulli(0.5)) p.push_back(Le("br_tier", rng->UniformInt(1, 5)));
+      const int idx = add("brand2", {"br_key", "br_tier"}, std::move(p));
+      q.joins.push_back(JoinEdge{idx_product, idx, "pd_brand", "br_key"});
+    }
+    if (idx_product >= 0 && rng->Bernoulli(0.7)) {
+      const int idx = add("category2", {"cat_key", "cat_dept"}, {});
+      q.joins.push_back(JoinEdge{idx_product, idx, "pd_cat", "cat_key"});
+    }
+    // Exactly one path into the city chain.
+    int city_parent = -1;
+    const char* city_fk = nullptr;
+    if (idx_store >= 0 && rng->Bernoulli(0.5)) {
+      city_parent = idx_store;
+      city_fk = "st2_city";
+    } else if (idx_shopper >= 0 && rng->Bernoulli(0.5)) {
+      city_parent = idx_shopper;
+      city_fk = "sh_city";
+    } else if (idx_vendor >= 0 && rng->Bernoulli(0.5)) {
+      city_parent = idx_vendor;
+      city_fk = "vd_city";
+    }
+    if (city_parent >= 0) {
+      const int idx_city = add("city2", {"ci_key", "ci_country", "ci_size_band"}, {});
+      q.joins.push_back(JoinEdge{city_parent, idx_city, city_fk, "ci_key"});
+      if (rng->Bernoulli(0.8)) {
+        const int idx_country = add("country2", {"co_key", "co_region", "co_gdp_band"}, {});
+        q.joins.push_back(JoinEdge{idx_city, idx_country, "ci_country", "co_key"});
+        if (rng->Bernoulli(0.7)) {
+          std::vector<Predicate> p;
+          if (rng->Bernoulli(0.5)) p.push_back(Eq("rg_zone", rng->UniformInt(1, 6)));
+          const int idx_region = add("region2", {"rg_key", "rg_zone"}, std::move(p));
+          q.joins.push_back(JoinEdge{idx_country, idx_region, "co_region", "rg_key"});
+        }
+      }
+    }
+
+    // Grouping on 1-3 attributes from joined dimensions.
+    std::vector<std::pair<std::string, std::string>> group_candidates;
+    if (idx_time >= 0) group_candidates.emplace_back("time2", "tm_month");
+    if (idx_store >= 0) group_candidates.emplace_back("store2", "st2_format");
+    if (idx_shopper >= 0) group_candidates.emplace_back("shopper2", "sh_loyalty");
+    if (idx_product >= 0) group_candidates.emplace_back("product2", "pd_cat");
+    if (idx_vendor >= 0) group_candidates.emplace_back("vendor2", "vd_rating");
+    rng->Shuffle(&group_candidates);
+    const int ngroups =
+        std::min<int>(static_cast<int>(rng->UniformInt(1, 3)),
+                      static_cast<int>(group_candidates.size()));
+    for (int g = 0; g < ngroups; ++g) {
+      q.group_columns.push_back(group_candidates[static_cast<size_t>(g)].first +
+                                "." + group_candidates[static_cast<size_t>(g)].second);
+    }
+    q.num_aggregates = static_cast<int>(rng->UniformInt(1, 4));
+    if (rng->Bernoulli(0.35)) q.num_scalar_exprs = 1;
+    if (rng->Bernoulli(0.55)) {
+      q.order_by = {"agg0"};
+      if (rng->Bernoulli(0.5)) q.limit = rng->UniformInt(20, 1000);
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace resest

@@ -1,0 +1,28 @@
+// Synthetic "real-life decision support" workload generators.
+//
+// The paper's Real-1 (222 distinct queries, 5-8 way joins) and Real-2
+// (887 distinct queries, ~12-way joins) workloads are proprietary; these
+// generators produce random-but-reproducible query populations with matching
+// query counts, join arities and analytic structure over the Real1/Real2
+// schemas (see DESIGN.md, substitution table).
+#ifndef RESEST_WORKLOAD_REAL_QUERIES_H_
+#define RESEST_WORKLOAD_REAL_QUERIES_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/optimizer/query_spec.h"
+
+namespace resest {
+
+/// Generates the Real-1 workload: `count` distinct decision-support queries
+/// over the Real1Schema (paper uses 222).
+std::vector<QuerySpec> GenerateReal1Workload(int count, Rng* rng);
+
+/// Generates the Real-2 workload: `count` distinct, deeper queries over the
+/// Real2Schema (paper uses 887).
+std::vector<QuerySpec> GenerateReal2Workload(int count, Rng* rng);
+
+}  // namespace resest
+
+#endif  // RESEST_WORKLOAD_REAL_QUERIES_H_

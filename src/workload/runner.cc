@@ -1,0 +1,31 @@
+#include "src/workload/runner.h"
+
+#include <stdexcept>
+
+namespace resest {
+
+std::vector<ExecutedQuery> RunWorkload(const Database* db,
+                                       const std::vector<QuerySpec>& queries,
+                                       uint64_t noise_seed) {
+  std::vector<ExecutedQuery> out;
+  out.reserve(queries.size());
+  PlanBuilder builder(db);
+  Executor exec(db, noise_seed);
+  for (const auto& spec : queries) {
+    try {
+      ExecutedQuery eq;
+      eq.spec = spec;
+      eq.plan = builder.Build(spec);
+      exec.Execute(&eq.plan);
+      eq.database = db;
+      eq.scale_factor = db->scale_factor();
+      out.push_back(std::move(eq));
+    } catch (const std::exception&) {
+      // Malformed template for this schema; skip (mirrors dropping queries
+      // that fail to run in a real experimental harness).
+    }
+  }
+  return out;
+}
+
+}  // namespace resest

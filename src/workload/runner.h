@@ -1,0 +1,35 @@
+// Executes workloads and collects the training/test observations
+// (annotated plans with measured resource consumption).
+#ifndef RESEST_WORKLOAD_RUNNER_H_
+#define RESEST_WORKLOAD_RUNNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/executor.h"
+#include "src/optimizer/plan_builder.h"
+#include "src/optimizer/query_spec.h"
+#include "src/storage/catalog.h"
+
+namespace resest {
+
+/// One executed query: the plan carries optimizer annotations (est) and
+/// measured resource consumption (actual) on every operator.
+struct ExecutedQuery {
+  QuerySpec spec;
+  Plan plan;
+  const Database* database = nullptr;
+  double scale_factor = 1.0;
+};
+
+/// Builds, runs and collects plans for a batch of queries on one database.
+/// Queries whose plans cannot be built or executed (e.g. a template asking
+/// for a column the schema lacks) are skipped.
+std::vector<ExecutedQuery> RunWorkload(const Database* db,
+                                       const std::vector<QuerySpec>& queries,
+                                       uint64_t noise_seed = 7);
+
+}  // namespace resest
+
+#endif  // RESEST_WORKLOAD_RUNNER_H_

@@ -1,0 +1,311 @@
+#include "src/workload/schemas.h"
+
+namespace resest {
+
+namespace {
+ColumnSpec Key(const std::string& name) {
+  return ColumnSpec{name, 8, 0, 0.0, false, "", "", 0};
+}
+ColumnSpec Fk(const std::string& name, const std::string& target, bool indexed) {
+  ColumnSpec c;
+  c.name = name;
+  c.width_bytes = 8;
+  c.fk_table = target;
+  c.indexed = indexed;
+  return c;
+}
+ColumnSpec Val(const std::string& name, int64_t domain, int width = 8,
+               bool indexed = false) {
+  ColumnSpec c;
+  c.name = name;
+  c.width_bytes = width;
+  c.domain = domain;
+  c.indexed = indexed;
+  return c;
+}
+/// Uniformly distributed value column (dates, prices, measures): range
+/// predicates over these behave sensibly regardless of the database skew,
+/// while FK and categorical columns keep the Zipf skew that drives variance.
+ColumnSpec UVal(const std::string& name, int64_t domain, int width = 8,
+                bool indexed = false) {
+  ColumnSpec c = Val(name, domain, width, indexed);
+  c.zipf_z = 0.0;
+  return c;
+}
+ColumnSpec Corr(const std::string& name, const std::string& base, int64_t span) {
+  ColumnSpec c;
+  c.name = name;
+  c.width_bytes = 8;
+  c.corr_col = base;
+  c.corr_span = span;
+  return c;
+}
+/// Wide filler column standing in for string payloads (comments, names).
+ColumnSpec Payload(const std::string& name, int width) {
+  ColumnSpec c;
+  c.name = name;
+  c.width_bytes = width;
+  c.domain = 1000000;
+  c.zipf_z = 0.0;
+  return c;
+}
+}  // namespace
+
+SchemaSpec TpchSchema() {
+  SchemaSpec s;
+  s.name = "tpch";
+
+  s.tables.push_back(TableSpec{
+      "region", 5, true, {Key("r_regionkey"), Payload("r_name", 26)}});
+  s.tables.push_back(TableSpec{"nation",
+                               25,
+                               true,
+                               {Key("n_nationkey"), Payload("n_name", 26),
+                                Fk("n_regionkey", "region", false)}});
+  s.tables.push_back(
+      TableSpec{"supplier",
+                50,
+                false,
+                {Key("s_suppkey"), Fk("s_nationkey", "nation", false),
+                 UVal("s_acctbal", 11000), Payload("s_address", 25),
+                 Payload("s_phone", 15), Payload("s_comment", 62)}});
+  s.tables.push_back(
+      TableSpec{"customer",
+                750,
+                false,
+                {Key("c_custkey"), Fk("c_nationkey", "nation", false),
+                 Val("c_mktsegment", tpch::kMktSegments),
+                 UVal("c_acctbal", 11000), Payload("c_address", 25),
+                 Payload("c_phone", 15), Payload("c_comment", 73)}});
+  s.tables.push_back(
+      TableSpec{"part",
+                1000,
+                false,
+                {Key("p_partkey"), Val("p_brand", tpch::kBrands),
+                 Val("p_type", tpch::kPartTypes),
+                 UVal("p_size", tpch::kPartSizes), Val("p_container", 40),
+                 UVal("p_retailprice", 2000), Payload("p_name", 32),
+                 Payload("p_comment", 14)}});
+  s.tables.push_back(
+      TableSpec{"partsupp",
+                4000,
+                false,
+                {Key("ps_key"), Fk("ps_partkey", "part", true),
+                 Fk("ps_suppkey", "supplier", true), UVal("ps_availqty", 10000),
+                 UVal("ps_supplycost", 1000), Payload("ps_comment", 124)}});
+  s.tables.push_back(
+      TableSpec{"orders",
+                7500,
+                false,
+                {Key("o_orderkey"), Fk("o_custkey", "customer", true),
+                 UVal("o_orderdate", tpch::kDateDomain, 8, true),
+                 UVal("o_totalprice", 500000),
+                 Val("o_orderpriority", tpch::kOrderPriorities),
+                 Val("o_orderstatus", 3), Payload("o_comment", 49)}});
+  s.tables.push_back(TableSpec{
+      "lineitem",
+      30000,
+      false,
+      {Key("l_linekey"), Fk("l_orderkey", "orders", true),
+       Fk("l_partkey", "part", true), Fk("l_suppkey", "supplier", false),
+       UVal("l_quantity", tpch::kQuantityDomain),
+       UVal("l_extendedprice", tpch::kPriceDomain),
+       UVal("l_discount", 11), UVal("l_tax", 9),
+       UVal("l_shipdate", tpch::kDateDomain, 8, true),
+       Corr("l_commitdate", "l_shipdate", 30),
+       Corr("l_receiptdate", "l_shipdate", 30),
+       Val("l_shipmode", tpch::kShipModes), Val("l_returnflag", 3),
+       Val("l_linestatus", 2), Payload("l_comment", 44)}});
+  return s;
+}
+
+SchemaSpec TpcdsSchema() {
+  SchemaSpec s;
+  s.name = "tpcds";
+
+  s.tables.push_back(TableSpec{"date_dim",
+                               2500,
+                               true,
+                               {Key("d_datekey"), UVal("d_year", 7),
+                                UVal("d_month", 12), UVal("d_quarter", 28),
+                                UVal("d_dow", 7), Payload("d_name", 20)}});
+  s.tables.push_back(
+      TableSpec{"store", tpcds::kStoreCount, true,
+                {Key("st_storekey"), Val("st_state", 10), UVal("st_size", 100),
+                 Payload("st_name", 30), Payload("st_address", 40)}});
+  s.tables.push_back(TableSpec{"promotion",
+                               30,
+                               true,
+                               {Key("pr_promokey"), Val("pr_channel", 5),
+                                Payload("pr_name", 25)}});
+  s.tables.push_back(
+      TableSpec{"item",
+                1500,
+                false,
+                {Key("i_itemkey"), Val("i_category", tpcds::kItemCategories),
+                 Val("i_brand", tpcds::kItemBrands), UVal("i_price", 1000),
+                 Val("i_class", 40), Payload("i_name", 40),
+                 Payload("i_desc", 60)}});
+  s.tables.push_back(
+      TableSpec{"customer_dim",
+                2000,
+                false,
+                {Key("cd_custkey"), Val("cd_demo", tpcds::kDemographics),
+                 Val("cd_state", 50), UVal("cd_income_band", 20),
+                 Payload("cd_name", 30), Payload("cd_address", 45)}});
+  s.tables.push_back(TableSpec{
+      "store_sales",
+      40000,
+      false,
+      {Key("ss_saleskey"), Fk("ss_datekey", "date_dim", true),
+       Fk("ss_itemkey", "item", true), Fk("ss_custkey", "customer_dim", true),
+       Fk("ss_storekey", "store", false), Fk("ss_promokey", "promotion", false),
+       UVal("ss_quantity", 100), UVal("ss_salesprice", 20000),
+       UVal("ss_discount", 20), UVal("ss_netprofit", 30000),
+       Payload("ss_pad", 36)}});
+  s.tables.push_back(TableSpec{
+      "web_sales",
+      15000,
+      false,
+      {Key("ws_saleskey"), Fk("ws_datekey", "date_dim", true),
+       Fk("ws_itemkey", "item", true), Fk("ws_custkey", "customer_dim", true),
+       UVal("ws_quantity", 100), UVal("ws_salesprice", 20000),
+       UVal("ws_shipcost", 1000), Payload("ws_pad", 48)}});
+  return s;
+}
+
+SchemaSpec Real1Schema() {
+  SchemaSpec s;
+  s.name = "real1";
+
+  // A sales-reporting warehouse: one wide fact, 7 dimensions; queries in the
+  // paper's Real-1 workload join 5-8 tables and nest aggregations.
+  s.tables.push_back(TableSpec{"calendar",
+                               1200,
+                               true,
+                               {Key("cal_key"), UVal("cal_year", 4),
+                                UVal("cal_month", 12), UVal("cal_week", 53)}});
+  s.tables.push_back(TableSpec{"geography",
+                               300,
+                               true,
+                               {Key("geo_key"), Val("geo_region", 8),
+                                Val("geo_country", 40), Payload("geo_name", 35)}});
+  s.tables.push_back(TableSpec{
+      "product",
+      2500,
+      false,
+      {Key("prod_key"), Val("prod_category", 15), Val("prod_line", 60),
+       UVal("prod_cost", 5000), Payload("prod_name", 45),
+       Payload("prod_desc", 80)}});
+  s.tables.push_back(TableSpec{"account",
+                               1800,
+                               false,
+                               {Key("acct_key"), Fk("acct_geo", "geography", false),
+                                Val("acct_segment", 12), Val("acct_tier", 5),
+                                Payload("acct_name", 50)}});
+  s.tables.push_back(TableSpec{"rep",
+                               400,
+                               false,
+                               {Key("rep_key"), Fk("rep_geo", "geography", false),
+                                Val("rep_team", 25), Payload("rep_name", 30)}});
+  s.tables.push_back(TableSpec{"channel",
+                               12,
+                               true,
+                               {Key("ch_key"), Val("ch_type", 4),
+                                Payload("ch_name", 20)}});
+  s.tables.push_back(TableSpec{"promo_dim",
+                               150,
+                               true,
+                               {Key("promo_key"), Val("promo_kind", 6),
+                                UVal("promo_budget", 10000)}});
+  s.tables.push_back(TableSpec{
+      "sales_fact",
+      60000,
+      false,
+      {Key("sf_key"), Fk("sf_cal", "calendar", true),
+       Fk("sf_acct", "account", true), Fk("sf_prod", "product", true),
+       Fk("sf_rep", "rep", true), Fk("sf_ch", "channel", false),
+       Fk("sf_promo", "promo_dim", false), UVal("sf_units", 500),
+       UVal("sf_revenue", 250000), UVal("sf_margin", 60000),
+       UVal("sf_bookdate", 1200, 8, true), Payload("sf_pad", 52)}});
+  return s;
+}
+
+SchemaSpec Real2Schema() {
+  SchemaSpec s;
+  s.name = "real2";
+
+  // A larger snowflake: dimension chains hang off two facts so that typical
+  // queries traverse ~12 join edges, matching the paper's Real-2 profile.
+  s.tables.push_back(TableSpec{"region2",
+                               50,
+                               true,
+                               {Key("rg_key"), Val("rg_zone", 6),
+                                Payload("rg_name", 28)}});
+  s.tables.push_back(TableSpec{"country2",
+                               200,
+                               true,
+                               {Key("co_key"), Fk("co_region", "region2", false),
+                                UVal("co_gdp_band", 10)}});
+  s.tables.push_back(TableSpec{"city2",
+                               1500,
+                               false,
+                               {Key("ci_key"), Fk("ci_country", "country2", false),
+                                UVal("ci_size_band", 8), Payload("ci_name", 32)}});
+  s.tables.push_back(TableSpec{"vendor2",
+                               600,
+                               false,
+                               {Key("vd_key"), Fk("vd_city", "city2", false),
+                                UVal("vd_rating", 10), Payload("vd_name", 40)}});
+  s.tables.push_back(TableSpec{"brand2",
+                               350,
+                               true,
+                               {Key("br_key"), Val("br_tier", 5),
+                                Payload("br_name", 30)}});
+  s.tables.push_back(TableSpec{"category2",
+                               80,
+                               true,
+                               {Key("cat_key"), Val("cat_dept", 12)}});
+  s.tables.push_back(TableSpec{
+      "product2",
+      4000,
+      false,
+      {Key("pd_key"), Fk("pd_brand", "brand2", false),
+       Fk("pd_cat", "category2", false), UVal("pd_price", 8000),
+       Payload("pd_name", 48), Payload("pd_spec", 90)}});
+  s.tables.push_back(TableSpec{"shopper2",
+                               3000,
+                               false,
+                               {Key("sh_key"), Fk("sh_city", "city2", false),
+                                UVal("sh_age_band", 8), Val("sh_loyalty", 5),
+                                Payload("sh_name", 35)}});
+  s.tables.push_back(TableSpec{"store2",
+                               250,
+                               false,
+                               {Key("st2_key"), Fk("st2_city", "city2", false),
+                                Val("st2_format", 6)}});
+  s.tables.push_back(TableSpec{"time2",
+                               1800,
+                               true,
+                               {Key("tm_key"), UVal("tm_year", 5),
+                                UVal("tm_month", 12), UVal("tm_week", 53)}});
+  s.tables.push_back(TableSpec{
+      "txn_fact",
+      90000,
+      false,
+      {Key("tx_key"), Fk("tx_time", "time2", true),
+       Fk("tx_store", "store2", true), Fk("tx_shopper", "shopper2", true),
+       Fk("tx_product", "product2", true), Fk("tx_vendor", "vendor2", true),
+       UVal("tx_qty", 200), UVal("tx_amount", 150000), UVal("tx_disc", 25),
+       Payload("tx_pad", 60)}});
+  s.tables.push_back(TableSpec{
+      "return_fact",
+      12000,
+      false,
+      {Key("rf_key"), Fk("rf_time", "time2", true),
+       Fk("rf_store", "store2", false), Fk("rf_product", "product2", true),
+       UVal("rf_qty", 50), UVal("rf_amount", 40000), Payload("rf_pad", 40)}});
+  return s;
+}
+
+}  // namespace resest

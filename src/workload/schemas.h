@@ -1,0 +1,53 @@
+// Schema definitions of the four experimental datasets.
+//
+// Row counts are scaled-down (~1/200) versions of the benchmarks' official
+// ratios so that thousands of training queries execute in seconds while
+// preserving the relative table sizes, widths and key structure that drive
+// plan selection and resource behaviour.
+#ifndef RESEST_WORKLOAD_SCHEMAS_H_
+#define RESEST_WORKLOAD_SCHEMAS_H_
+
+#include "src/storage/catalog.h"
+
+namespace resest {
+
+/// Domain sizes shared between schema definition and query templates.
+namespace tpch {
+inline constexpr int64_t kDateDomain = 2526;     ///< days 1992-01-01..1998-12-01
+inline constexpr int64_t kQuantityDomain = 50;
+inline constexpr int64_t kPriceDomain = 100000;
+inline constexpr int64_t kMktSegments = 5;
+inline constexpr int64_t kBrands = 25;
+inline constexpr int64_t kPartTypes = 150;
+inline constexpr int64_t kPartSizes = 50;
+inline constexpr int64_t kShipModes = 7;
+inline constexpr int64_t kOrderPriorities = 5;
+}  // namespace tpch
+
+namespace tpcds {
+inline constexpr int64_t kDateDomain = 2500;
+inline constexpr int64_t kItemCategories = 10;
+inline constexpr int64_t kItemBrands = 100;
+inline constexpr int64_t kStoreCount = 20;
+inline constexpr int64_t kDemographics = 80;
+}  // namespace tpcds
+
+/// TPC-H-shaped schema (lineitem/orders/customer/part/supplier/partsupp/
+/// nation/region). SF 1 fact table: 30,000 rows.
+SchemaSpec TpchSchema();
+
+/// TPC-DS-shaped star schema (store_sales/web_sales facts + dimensions).
+/// SF 1 fact table: 40,000 rows.
+SchemaSpec TpcdsSchema();
+
+/// "Real-1": sales decision-support/reporting schema (9 GB in the paper);
+/// moderately wide fact with 7 dimension tables, queries join 5-8 tables.
+SchemaSpec Real1Schema();
+
+/// "Real-2": larger decision-support schema (12 GB in the paper); snowflake
+/// with dimension chains so typical queries join ~12 tables.
+SchemaSpec Real2Schema();
+
+}  // namespace resest
+
+#endif  // RESEST_WORKLOAD_SCHEMAS_H_

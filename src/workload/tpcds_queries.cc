@@ -1,0 +1,232 @@
+#include "src/workload/tpcds_queries.h"
+
+#include <algorithm>
+
+#include "src/workload/schemas.h"
+
+namespace resest {
+
+namespace {
+
+Predicate Le(const std::string& col, Value hi) {
+  return Predicate{col, Predicate::Op::kLe, 0, hi};
+}
+Predicate Eq(const std::string& col, Value v) {
+  return Predicate{col, Predicate::Op::kEq, v, v};
+}
+Predicate Between(const std::string& col, Value lo, Value hi) {
+  return Predicate{col, Predicate::Op::kBetween, lo, hi};
+}
+
+// Store sales by item category for a date window.
+QuerySpec D1(Rng* rng, const Database* db) {
+  (void)db;
+  const Value lo = rng->UniformInt(1, tpcds::kDateDomain - 120);
+  QuerySpec q;
+  q.name = "tpcds_d1";
+  q.tables.push_back(TableRef{
+      "store_sales", {}, {"ss_datekey", "ss_itemkey", "ss_salesprice",
+                          "ss_quantity"}});
+  q.tables.push_back(TableRef{
+      "date_dim", {Between("d_datekey", lo, lo + rng->UniformInt(30, 360))},
+      {"d_datekey", "d_month"}});
+  q.tables.push_back(TableRef{"item", {}, {"i_itemkey", "i_category"}});
+  q.joins.push_back(JoinEdge{0, 1, "ss_datekey", "d_datekey"});
+  q.joins.push_back(JoinEdge{0, 2, "ss_itemkey", "i_itemkey"});
+  q.group_columns = {"item.i_category"};
+  q.num_aggregates = 2;
+  q.order_by = {"agg0"};
+  return q;
+}
+
+// Customer demographics rollup.
+QuerySpec D2(Rng* rng, const Database* db) {
+  (void)db;
+  QuerySpec q;
+  q.name = "tpcds_d2";
+  q.tables.push_back(TableRef{
+      "store_sales", {Le("ss_salesprice", rng->UniformInt(2000, 20000))},
+      {"ss_custkey", "ss_salesprice", "ss_netprofit"}});
+  q.tables.push_back(TableRef{
+      "customer_dim", {Eq("cd_state", rng->UniformInt(1, 50))},
+      {"cd_custkey", "cd_demo", "cd_income_band"}});
+  q.joins.push_back(JoinEdge{0, 1, "ss_custkey", "cd_custkey"});
+  q.group_columns = {"customer_dim.cd_income_band"};
+  q.num_aggregates = 2;
+  q.order_by = {"customer_dim.cd_income_band"};
+  return q;
+}
+
+// Store performance for a year.
+QuerySpec D3(Rng* rng, const Database* db) {
+  (void)db;
+  QuerySpec q;
+  q.name = "tpcds_d3";
+  q.tables.push_back(TableRef{
+      "store_sales", {}, {"ss_datekey", "ss_storekey", "ss_salesprice"}});
+  q.tables.push_back(TableRef{"date_dim",
+                              {Eq("d_year", rng->UniformInt(1, 7))},
+                              {"d_datekey"}});
+  q.tables.push_back(TableRef{"store", {}, {"st_storekey", "st_state"}});
+  q.joins.push_back(JoinEdge{0, 1, "ss_datekey", "d_datekey"});
+  q.joins.push_back(JoinEdge{0, 2, "ss_storekey", "st_storekey"});
+  q.group_columns = {"store.st_state"};
+  q.num_aggregates = 1;
+  q.order_by = {"agg0"};
+  q.limit = 10;
+  return q;
+}
+
+// Web vs brand: web_sales x item with brand filter.
+QuerySpec D4(Rng* rng, const Database* db) {
+  (void)db;
+  QuerySpec q;
+  q.name = "tpcds_d4";
+  q.tables.push_back(TableRef{
+      "web_sales", {Le("ws_quantity", rng->UniformInt(20, 100))},
+      {"ws_itemkey", "ws_salesprice", "ws_shipcost"}});
+  q.tables.push_back(TableRef{
+      "item", {Le("i_brand", rng->UniformInt(10, tpcds::kItemBrands))},
+      {"i_itemkey", "i_brand", "i_class"}});
+  q.joins.push_back(JoinEdge{0, 1, "ws_itemkey", "i_itemkey"});
+  q.group_columns = {"item.i_brand"};
+  q.num_aggregates = 2;
+  q.order_by = {"agg0"};
+  q.limit = 25;
+  return q;
+}
+
+// 5-way star: sales with date, item, customer, store.
+QuerySpec D5(Rng* rng, const Database* db) {
+  (void)db;
+  const Value lo = rng->UniformInt(1, tpcds::kDateDomain - 200);
+  QuerySpec q;
+  q.name = "tpcds_d5";
+  q.tables.push_back(TableRef{
+      "store_sales", {}, {"ss_datekey", "ss_itemkey", "ss_custkey",
+                          "ss_storekey", "ss_quantity", "ss_netprofit"}});
+  q.tables.push_back(TableRef{
+      "date_dim", {Between("d_datekey", lo, lo + rng->UniformInt(14, 180))},
+      {"d_datekey"}});
+  q.tables.push_back(TableRef{
+      "item", {Eq("i_category", rng->UniformInt(1, tpcds::kItemCategories))},
+      {"i_itemkey"}});
+  q.tables.push_back(TableRef{"customer_dim", {}, {"cd_custkey", "cd_demo"}});
+  q.tables.push_back(TableRef{"store", {}, {"st_storekey", "st_state"}});
+  q.joins.push_back(JoinEdge{0, 1, "ss_datekey", "d_datekey"});
+  q.joins.push_back(JoinEdge{0, 2, "ss_itemkey", "i_itemkey"});
+  q.joins.push_back(JoinEdge{0, 3, "ss_custkey", "cd_custkey"});
+  q.joins.push_back(JoinEdge{0, 4, "ss_storekey", "st_storekey"});
+  q.group_columns = {"store.st_state", "customer_dim.cd_demo"};
+  q.num_aggregates = 2;
+  q.order_by = {"agg0"};
+  q.limit = 100;
+  return q;
+}
+
+// Promotion effectiveness.
+QuerySpec D6(Rng* rng, const Database* db) {
+  (void)db;
+  QuerySpec q;
+  q.name = "tpcds_d6";
+  q.tables.push_back(TableRef{
+      "store_sales", {}, {"ss_promokey", "ss_itemkey", "ss_salesprice"}});
+  q.tables.push_back(TableRef{
+      "promotion", {Eq("pr_channel", rng->UniformInt(1, 5))}, {"pr_promokey"}});
+  q.tables.push_back(TableRef{"item", {}, {"i_itemkey", "i_category"}});
+  q.joins.push_back(JoinEdge{0, 1, "ss_promokey", "pr_promokey"});
+  q.joins.push_back(JoinEdge{0, 2, "ss_itemkey", "i_itemkey"});
+  q.group_columns = {"item.i_category"};
+  q.num_aggregates = 1;
+  return q;
+}
+
+// Raw web sales drill with sort.
+QuerySpec D7(Rng* rng, const Database* db) {
+  (void)db;
+  QuerySpec q;
+  q.name = "tpcds_d7";
+  q.tables.push_back(TableRef{
+      "web_sales",
+      {Between("ws_salesprice", rng->UniformInt(1, 5000),
+               rng->UniformInt(8000, 20000))},
+      {"ws_saleskey", "ws_itemkey", "ws_salesprice", "ws_pad"}});
+  q.order_by = {"web_sales.ws_salesprice"};
+  q.limit = rng->UniformInt(50, 2000);
+  return q;
+}
+
+// Item-key range seek on the fact (selective index path).
+QuerySpec D8(Rng* rng, const Database* db) {
+  const Table* fact = db->FindTable("store_sales");
+  const Value rows = fact == nullptr ? 2 : fact->row_count();
+  const Value lo = rng->UniformInt(1, std::max<Value>(2, rows - 200));
+  QuerySpec q;
+  q.name = "tpcds_d8";
+  q.tables.push_back(TableRef{
+      "store_sales",
+      {Between("ss_saleskey", lo, lo + rng->UniformInt(100, 5000))},
+      {"ss_saleskey", "ss_quantity", "ss_salesprice", "ss_discount"}});
+  q.num_aggregates = 2;
+  return q;
+}
+
+// Web sales by customer state for one year (FK-only star; joining two fact
+// tables through a shared dimension key would cross-product per item).
+QuerySpec D9(Rng* rng, const Database* db) {
+  (void)db;
+  QuerySpec q;
+  q.name = "tpcds_d9";
+  q.tables.push_back(TableRef{
+      "web_sales", {Le("ws_quantity", rng->UniformInt(30, 100))},
+      {"ws_datekey", "ws_custkey", "ws_salesprice"}});
+  q.tables.push_back(TableRef{"date_dim",
+                              {Eq("d_year", rng->UniformInt(1, 7))},
+                              {"d_datekey", "d_quarter"}});
+  q.tables.push_back(TableRef{"customer_dim", {}, {"cd_custkey", "cd_state"}});
+  q.joins.push_back(JoinEdge{0, 1, "ws_datekey", "d_datekey"});
+  q.joins.push_back(JoinEdge{0, 2, "ws_custkey", "cd_custkey"});
+  q.group_columns = {"customer_dim.cd_state"};
+  q.num_aggregates = 2;
+  q.order_by = {"agg0"};
+  return q;
+}
+
+// Big ungrouped aggregate over the fact with correlated-ish filters.
+QuerySpec D10(Rng* rng, const Database* db) {
+  (void)db;
+  QuerySpec q;
+  q.name = "tpcds_d10";
+  q.tables.push_back(TableRef{
+      "store_sales",
+      {Le("ss_discount", rng->UniformInt(5, 20)),
+       Le("ss_netprofit", rng->UniformInt(5000, 30000))},
+      {"ss_salesprice", "ss_netprofit"}});
+  q.num_aggregates = 3;
+  q.num_scalar_exprs = 1;
+  return q;
+}
+
+using TemplateFn = QuerySpec (*)(Rng*, const Database*);
+constexpr TemplateFn kTemplates[] = {D1, D2, D3, D4, D5, D6, D7, D8, D9, D10};
+
+}  // namespace
+
+int NumTpcdsTemplates() {
+  return static_cast<int>(sizeof(kTemplates) / sizeof(kTemplates[0]));
+}
+
+QuerySpec MakeTpcdsQuery(int id, Rng* rng, const Database* db) {
+  const int n = NumTpcdsTemplates();
+  return kTemplates[((id % n) + n) % n](rng, db);
+}
+
+std::vector<QuerySpec> GenerateTpcdsWorkload(int count, Rng* rng,
+                                             const Database* db) {
+  std::vector<QuerySpec> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(MakeTpcdsQuery(i, rng, db));
+  return out;
+}
+
+}  // namespace resest

@@ -1,0 +1,21 @@
+// Parameterized TPC-DS-like query templates over the star schema.
+// Used as the cross-schema generalization test set (paper Tables 6/9/12).
+#ifndef RESEST_WORKLOAD_TPCDS_QUERIES_H_
+#define RESEST_WORKLOAD_TPCDS_QUERIES_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/optimizer/query_spec.h"
+#include "src/storage/catalog.h"
+
+namespace resest {
+
+int NumTpcdsTemplates();
+QuerySpec MakeTpcdsQuery(int id, Rng* rng, const Database* db);
+std::vector<QuerySpec> GenerateTpcdsWorkload(int count, Rng* rng,
+                                             const Database* db);
+
+}  // namespace resest
+
+#endif  // RESEST_WORKLOAD_TPCDS_QUERIES_H_

@@ -1,0 +1,394 @@
+#include "src/workload/tpch_queries.h"
+
+#include <algorithm>
+
+#include "src/workload/schemas.h"
+
+namespace resest {
+
+namespace {
+
+using tpch::kDateDomain;
+using tpch::kPriceDomain;
+using tpch::kQuantityDomain;
+
+Predicate Le(const std::string& col, Value hi) {
+  return Predicate{col, Predicate::Op::kLe, 0, hi};
+}
+Predicate Ge(const std::string& col, Value lo) {
+  return Predicate{col, Predicate::Op::kGe, lo, 0};
+}
+Predicate Eq(const std::string& col, Value v) {
+  return Predicate{col, Predicate::Op::kEq, v, v};
+}
+Predicate Between(const std::string& col, Value lo, Value hi) {
+  return Predicate{col, Predicate::Op::kBetween, lo, hi};
+}
+
+/// Rows of a base table in the target database (for key-range parameters).
+int64_t RowsOf(const Database* db, const char* table) {
+  const Table* t = db->FindTable(table);
+  return t == nullptr ? 1 : t->row_count();
+}
+
+/// Random date with a random window length; windows between ~1 week and
+/// ~2 years give selectivities spanning three orders of magnitude.
+std::pair<Value, Value> DateWindow(Rng* rng) {
+  const Value lo = rng->UniformInt(1, kDateDomain - 30);
+  const Value len = rng->UniformInt(7, 700);
+  return {lo, std::min<Value>(kDateDomain, lo + len)};
+}
+
+// Template bodies. Each mirrors the plan shape of a TPC-H query (pricing
+// summary, shipping-priority join, local-supplier 6-way join, ...).
+
+// Q1: pricing summary report — big scan + aggregation.
+QuerySpec Q1(Rng* rng, const Database* db) {
+  (void)db;
+  QuerySpec q;
+  q.name = "tpch_q1";
+  q.tables.push_back(TableRef{
+      "lineitem",
+      {Le("l_shipdate", rng->UniformInt(kDateDomain / 2, kDateDomain))},
+      {"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
+       "l_discount", "l_tax"}});
+  q.group_columns = {"lineitem.l_returnflag", "lineitem.l_linestatus"};
+  q.num_aggregates = 4;
+  q.order_by = {"lineitem.l_returnflag", "lineitem.l_linestatus"};
+  return q;
+}
+
+// Q3: shipping priority — customer x orders x lineitem with date filters.
+QuerySpec Q3(Rng* rng, const Database* db) {
+  (void)db;
+  const auto [olo, ohi] = DateWindow(rng);
+  QuerySpec q;
+  q.name = "tpch_q3";
+  q.tables.push_back(TableRef{
+      "customer",
+      {Eq("c_mktsegment", rng->UniformInt(1, tpch::kMktSegments))},
+      {"c_custkey"}});
+  q.tables.push_back(
+      TableRef{"orders", {Between("o_orderdate", olo, ohi)},
+               {"o_orderkey", "o_custkey", "o_orderdate"}});
+  q.tables.push_back(TableRef{
+      "lineitem",
+      {Ge("l_shipdate", ohi)},
+      {"l_orderkey", "l_extendedprice", "l_discount"}});
+  q.joins.push_back(JoinEdge{0, 1, "c_custkey", "o_custkey"});
+  q.joins.push_back(JoinEdge{1, 2, "o_orderkey", "l_orderkey"});
+  q.group_columns = {"orders.o_orderkey", "orders.o_orderdate"};
+  q.num_aggregates = 1;
+  q.order_by = {"agg0"};
+  q.limit = 10;
+  return q;
+}
+
+// Q4: order priority checking.
+QuerySpec Q4(Rng* rng, const Database* db) {
+  (void)db;
+  const auto [lo, hi] = DateWindow(rng);
+  QuerySpec q;
+  q.name = "tpch_q4";
+  q.tables.push_back(TableRef{"orders",
+                              {Between("o_orderdate", lo, hi)},
+                              {"o_orderkey", "o_orderpriority"}});
+  q.tables.push_back(TableRef{
+      "lineitem",
+      {Le("l_commitdate", rng->UniformInt(kDateDomain / 3, kDateDomain))},
+      {"l_orderkey"}});
+  q.joins.push_back(JoinEdge{0, 1, "o_orderkey", "l_orderkey"});
+  q.group_columns = {"orders.o_orderpriority"};
+  q.num_aggregates = 1;
+  q.order_by = {"orders.o_orderpriority"};
+  return q;
+}
+
+// Q5: local supplier volume — 6-way join with region filter.
+QuerySpec Q5(Rng* rng, const Database* db) {
+  (void)db;
+  const auto [lo, hi] = DateWindow(rng);
+  QuerySpec q;
+  q.name = "tpch_q5";
+  q.tables.push_back(TableRef{"customer", {}, {"c_custkey", "c_nationkey"}});
+  q.tables.push_back(TableRef{"orders",
+                              {Between("o_orderdate", lo, hi)},
+                              {"o_orderkey", "o_custkey"}});
+  q.tables.push_back(TableRef{
+      "lineitem", {}, {"l_orderkey", "l_suppkey", "l_extendedprice",
+                       "l_discount"}});
+  q.tables.push_back(TableRef{"supplier", {}, {"s_suppkey", "s_nationkey"}});
+  q.tables.push_back(TableRef{"nation", {}, {"n_nationkey", "n_regionkey",
+                                             "n_name"}});
+  q.tables.push_back(TableRef{
+      "region", {Eq("r_regionkey", rng->UniformInt(1, 5))}, {"r_regionkey"}});
+  q.joins.push_back(JoinEdge{0, 1, "c_custkey", "o_custkey"});
+  q.joins.push_back(JoinEdge{1, 2, "o_orderkey", "l_orderkey"});
+  q.joins.push_back(JoinEdge{2, 3, "l_suppkey", "s_suppkey"});
+  q.joins.push_back(JoinEdge{3, 4, "s_nationkey", "n_nationkey"});
+  q.joins.push_back(JoinEdge{4, 5, "n_regionkey", "r_regionkey"});
+  q.group_columns = {"nation.n_name"};
+  q.num_aggregates = 1;
+  q.order_by = {"agg0"};
+  return q;
+}
+
+// Q6: forecasting revenue change — selective scan, scalar aggregate.
+QuerySpec Q6(Rng* rng, const Database* db) {
+  (void)db;
+  const auto [lo, hi] = DateWindow(rng);
+  const Value disc = rng->UniformInt(2, 9);
+  QuerySpec q;
+  q.name = "tpch_q6";
+  q.tables.push_back(TableRef{
+      "lineitem",
+      {Between("l_shipdate", lo, hi), Between("l_discount", disc - 1, disc + 1),
+       Le("l_quantity", rng->UniformInt(10, kQuantityDomain))},
+      {"l_extendedprice", "l_discount"}});
+  q.num_aggregates = 1;
+  return q;
+}
+
+// Q10: returned item reporting.
+QuerySpec Q10(Rng* rng, const Database* db) {
+  (void)db;
+  const auto [lo, hi] = DateWindow(rng);
+  QuerySpec q;
+  q.name = "tpch_q10";
+  q.tables.push_back(TableRef{
+      "customer", {}, {"c_custkey", "c_nationkey", "c_acctbal"}});
+  q.tables.push_back(TableRef{"orders",
+                              {Between("o_orderdate", lo, hi)},
+                              {"o_orderkey", "o_custkey"}});
+  q.tables.push_back(TableRef{"lineitem",
+                              {Eq("l_returnflag", rng->UniformInt(1, 3))},
+                              {"l_orderkey", "l_extendedprice", "l_discount"}});
+  q.tables.push_back(TableRef{"nation", {}, {"n_nationkey", "n_name"}});
+  q.joins.push_back(JoinEdge{0, 1, "c_custkey", "o_custkey"});
+  q.joins.push_back(JoinEdge{1, 2, "o_orderkey", "l_orderkey"});
+  q.joins.push_back(JoinEdge{0, 3, "c_nationkey", "n_nationkey"});
+  q.group_columns = {"customer.c_custkey", "nation.n_name"};
+  q.num_aggregates = 1;
+  q.order_by = {"agg0"};
+  q.limit = 20;
+  return q;
+}
+
+// Q12: shipping modes and order priority.
+QuerySpec Q12(Rng* rng, const Database* db) {
+  (void)db;
+  const auto [lo, hi] = DateWindow(rng);
+  QuerySpec q;
+  q.name = "tpch_q12";
+  q.tables.push_back(
+      TableRef{"orders", {}, {"o_orderkey", "o_orderpriority"}});
+  q.tables.push_back(TableRef{
+      "lineitem",
+      {Eq("l_shipmode", rng->UniformInt(1, tpch::kShipModes)),
+       Between("l_receiptdate", lo, hi)},
+      {"l_orderkey", "l_shipmode"}});
+  q.joins.push_back(JoinEdge{0, 1, "o_orderkey", "l_orderkey"});
+  q.group_columns = {"lineitem.l_shipmode"};
+  q.num_aggregates = 2;
+  q.order_by = {"lineitem.l_shipmode"};
+  return q;
+}
+
+// Q14: promotion effect — lineitem x part.
+QuerySpec Q14(Rng* rng, const Database* db) {
+  (void)db;
+  const auto [lo, hi] = DateWindow(rng);
+  QuerySpec q;
+  q.name = "tpch_q14";
+  q.tables.push_back(TableRef{"lineitem",
+                              {Between("l_shipdate", lo, hi)},
+                              {"l_partkey", "l_extendedprice", "l_discount"}});
+  q.tables.push_back(TableRef{"part", {}, {"p_partkey", "p_type"}});
+  q.joins.push_back(JoinEdge{0, 1, "l_partkey", "p_partkey"});
+  q.num_aggregates = 2;
+  q.num_scalar_exprs = 1;
+  return q;
+}
+
+// Q18: large volume customers — join + big group-by.
+QuerySpec Q18(Rng* rng, const Database* db) {
+  (void)db;
+  QuerySpec q;
+  q.name = "tpch_q18";
+  q.tables.push_back(TableRef{"orders", {}, {"o_orderkey", "o_custkey",
+                                             "o_totalprice", "o_orderdate"}});
+  q.tables.push_back(TableRef{"lineitem",
+                              {Ge("l_quantity", rng->UniformInt(20, 45))},
+                              {"l_orderkey", "l_quantity"}});
+  q.joins.push_back(JoinEdge{0, 1, "o_orderkey", "l_orderkey"});
+  q.group_columns = {"orders.o_custkey"};
+  q.num_aggregates = 1;
+  q.order_by = {"agg0"};
+  q.limit = 100;
+  return q;
+}
+
+// Q19: discounted revenue — part filters + quantity bands.
+QuerySpec Q19(Rng* rng, const Database* db) {
+  (void)db;
+  const Value qty = rng->UniformInt(5, 30);
+  QuerySpec q;
+  q.name = "tpch_q19";
+  q.tables.push_back(TableRef{
+      "lineitem",
+      {Between("l_quantity", qty, qty + 10),
+       Eq("l_shipmode", rng->UniformInt(1, tpch::kShipModes))},
+      {"l_partkey", "l_extendedprice", "l_discount"}});
+  q.tables.push_back(TableRef{
+      "part",
+      {Eq("p_brand", rng->UniformInt(1, tpch::kBrands)),
+       Le("p_size", rng->UniformInt(5, tpch::kPartSizes))},
+      {"p_partkey"}});
+  q.joins.push_back(JoinEdge{0, 1, "l_partkey", "p_partkey"});
+  q.num_aggregates = 1;
+  return q;
+}
+
+// Partsupp join: part x partsupp x supplier (Q2/Q11-like).
+QuerySpec Q11(Rng* rng, const Database* db) {
+  (void)db;
+  QuerySpec q;
+  q.name = "tpch_q11";
+  q.tables.push_back(TableRef{"partsupp", {}, {"ps_partkey", "ps_suppkey",
+                                               "ps_availqty", "ps_supplycost"}});
+  q.tables.push_back(TableRef{"supplier", {}, {"s_suppkey", "s_nationkey"}});
+  q.tables.push_back(TableRef{
+      "nation", {Eq("n_nationkey", rng->UniformInt(1, 25))}, {"n_nationkey"}});
+  q.joins.push_back(JoinEdge{0, 1, "ps_suppkey", "s_suppkey"});
+  q.joins.push_back(JoinEdge{1, 2, "s_nationkey", "n_nationkey"});
+  q.group_columns = {"partsupp.ps_partkey"};
+  q.num_aggregates = 1;
+  q.order_by = {"agg0"};
+  q.limit = 50;
+  return q;
+}
+
+// Point/range order lookup with lineitem expansion (drill-down query).
+QuerySpec OrderDrill(Rng* rng, const Database* db) {
+  const Value lo = rng->UniformInt(1, std::max<Value>(2, RowsOf(db, "orders") - 100));
+  QuerySpec q;
+  q.name = "tpch_drill";
+  q.tables.push_back(TableRef{
+      "orders",
+      {Between("o_orderkey", lo, lo + rng->UniformInt(50, 2000))},
+      {"o_orderkey", "o_custkey", "o_totalprice", "o_comment"}});
+  q.tables.push_back(TableRef{
+      "lineitem", {}, {"l_orderkey", "l_quantity", "l_extendedprice",
+                       "l_comment"}});
+  q.joins.push_back(JoinEdge{0, 1, "o_orderkey", "l_orderkey"});
+  q.order_by = {"orders.o_orderkey"};
+  return q;
+}
+
+// Wide-row sort: top-K of a filtered lineitem scan carrying payload columns.
+QuerySpec SortHeavy(Rng* rng, const Database* db) {
+  (void)db;
+  const auto [lo, hi] = DateWindow(rng);
+  QuerySpec q;
+  q.name = "tpch_sort";
+  q.tables.push_back(TableRef{
+      "lineitem",
+      {Between("l_shipdate", lo, hi)},
+      {"l_orderkey", "l_extendedprice", "l_quantity", "l_comment",
+       "l_shipmode"}});
+  q.order_by = {"lineitem.l_extendedprice"};
+  q.limit = rng->UniformInt(10, 1000);
+  return q;
+}
+
+// Customer-order fan-out with selective customer predicate (seek-friendly).
+QuerySpec CustOrders(Rng* rng, const Database* db) {
+  const Value lo = rng->UniformInt(1, std::max<Value>(2, RowsOf(db, "customer") - 50));
+  QuerySpec q;
+  q.name = "tpch_custorders";
+  q.tables.push_back(TableRef{
+      "customer",
+      {Between("c_custkey", lo, lo + rng->UniformInt(5, 200))},
+      {"c_custkey", "c_acctbal"}});
+  q.tables.push_back(TableRef{"orders", {}, {"o_custkey", "o_totalprice",
+                                             "o_orderdate"}});
+  q.joins.push_back(JoinEdge{0, 1, "c_custkey", "o_custkey"});
+  q.group_columns = {"customer.c_custkey"};
+  q.num_aggregates = 2;
+  return q;
+}
+
+// Date-seek on orders then group by priority (index-seek driver).
+QuerySpec DateSeek(Rng* rng, const Database* db) {
+  (void)db;
+  const Value lo = rng->UniformInt(1, kDateDomain - 40);
+  QuerySpec q;
+  q.name = "tpch_dateseek";
+  q.tables.push_back(TableRef{
+      "orders",
+      {Between("o_orderdate", lo, lo + rng->UniformInt(3, 60))},
+      {"o_orderkey", "o_orderdate", "o_orderpriority", "o_totalprice"}});
+  q.group_columns = {"orders.o_orderpriority"};
+  q.num_aggregates = 1;
+  return q;
+}
+
+// Part popularity: part x lineitem grouped by brand (big hash join).
+QuerySpec PartVolume(Rng* rng, const Database* db) {
+  (void)db;
+  QuerySpec q;
+  q.name = "tpch_partvolume";
+  q.tables.push_back(TableRef{
+      "part", {Le("p_size", rng->UniformInt(10, tpch::kPartSizes))},
+      {"p_partkey", "p_brand"}});
+  q.tables.push_back(TableRef{
+      "lineitem",
+      {Ge("l_extendedprice", rng->UniformInt(1, kPriceDomain / 2))},
+      {"l_partkey", "l_quantity"}});
+  q.joins.push_back(JoinEdge{0, 1, "p_partkey", "l_partkey"});
+  q.group_columns = {"part.p_brand"};
+  q.num_aggregates = 2;
+  q.order_by = {"part.p_brand"};
+  return q;
+}
+
+// Pure scan with wide projection and mild filter (width stressor).
+QuerySpec WideScan(Rng* rng, const Database* db) {
+  (void)db;
+  QuerySpec q;
+  q.name = "tpch_widescan";
+  q.tables.push_back(TableRef{
+      "orders",
+      {Le("o_totalprice", rng->UniformInt(100000, 500000))},
+      {}});  // all columns
+  q.num_aggregates = 1;
+  return q;
+}
+
+using TemplateFn = QuerySpec (*)(Rng*, const Database*);
+constexpr TemplateFn kTemplates[] = {
+    Q1,  Q3,  Q4,        Q5,        Q6,        Q10,      Q12,      Q14,
+    Q18, Q19, Q11,       OrderDrill, SortHeavy, CustOrders, DateSeek,
+    PartVolume, WideScan,
+};
+
+}  // namespace
+
+int NumTpchTemplates() {
+  return static_cast<int>(sizeof(kTemplates) / sizeof(kTemplates[0]));
+}
+
+QuerySpec MakeTpchQuery(int id, Rng* rng, const Database* db) {
+  const int n = NumTpchTemplates();
+  return kTemplates[((id % n) + n) % n](rng, db);
+}
+
+std::vector<QuerySpec> GenerateTpchWorkload(int count, Rng* rng,
+                                            const Database* db) {
+  std::vector<QuerySpec> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(MakeTpchQuery(i, rng, db));
+  return out;
+}
+
+}  // namespace resest

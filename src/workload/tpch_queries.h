@@ -1,0 +1,31 @@
+// Parameterized TPC-H-like query templates.
+//
+// Stands in for the QGEN tool: each call instantiates a template with random
+// parameters drawn from the data domains, so repeated instantiations of one
+// template vary widely in selectivity — and, on skewed data, in resource
+// consumption — as in the paper's 2500-query TPC-H workload.
+#ifndef RESEST_WORKLOAD_TPCH_QUERIES_H_
+#define RESEST_WORKLOAD_TPCH_QUERIES_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/optimizer/query_spec.h"
+#include "src/storage/catalog.h"
+
+namespace resest {
+
+/// Number of distinct TPC-H-like templates.
+int NumTpchTemplates();
+
+/// Instantiates template `id` (0-based, modulo the template count) with
+/// random parameters.
+QuerySpec MakeTpchQuery(int id, Rng* rng, const Database* db);
+
+/// Generates `count` queries cycling through all templates.
+std::vector<QuerySpec> GenerateTpchWorkload(int count, Rng* rng,
+                                            const Database* db);
+
+}  // namespace resest
+
+#endif  // RESEST_WORKLOAD_TPCH_QUERIES_H_

@@ -1,0 +1,115 @@
+// Tests for src/baselines: each competing technique trains, produces finite
+// positive estimates, and the harness reproduces the paper's qualitative
+// ordering in-distribution.
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "src/baselines/harness.h"
+#include "src/workload/runner.h"
+#include "src/workload/schemas.h"
+#include "src/workload/tpch_queries.h"
+
+namespace resest {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = GenerateDatabase(TpchSchema(), 1.0, 1.5, 42).release();
+    Rng rng(7);
+    auto queries = GenerateTpchWorkload(160, &rng, db_);
+    auto all = RunWorkload(db_, queries);
+    train_ = new std::vector<ExecutedQuery>();
+    test_ = new std::vector<ExecutedQuery>();
+    for (size_t i = 0; i < all.size(); ++i) {
+      ((i % 5 == 0) ? test_ : train_)->push_back(std::move(all[i]));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete train_;
+    delete test_;
+    delete db_;
+    train_ = nullptr;
+    test_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+  static std::vector<ExecutedQuery>* train_;
+  static std::vector<ExecutedQuery>* test_;
+};
+
+Database* BaselinesTest::db_ = nullptr;
+std::vector<ExecutedQuery>* BaselinesTest::train_ = nullptr;
+std::vector<ExecutedQuery>* BaselinesTest::test_ = nullptr;
+
+TEST_F(BaselinesTest, AllTechniquesTrainAndEstimateFinite) {
+  for (const std::string name :
+       {"OPT", "[8]", "LINEAR", "MART", "REGTREE", "SVM(PK)", "SVM(RBF)",
+        "SCALING", "SCALING-nonorm", "SCALING-1f"}) {
+    const auto est = TrainTechnique(name, *train_, FeatureMode::kExact);
+    ASSERT_NE(est, nullptr) << name;
+    for (const auto& eq : *test_) {
+      for (Resource r : {Resource::kCpu, Resource::kIo}) {
+        const double v = est->Estimate(eq, r);
+        EXPECT_TRUE(std::isfinite(v)) << name;
+        EXPECT_GE(v, 0.0) << name;
+      }
+    }
+  }
+}
+
+TEST_F(BaselinesTest, OptAlphaMapsCostToResourceScale) {
+  const auto opt = OptBaseline::Train(*train_);
+  // Total estimated CPU across the test set should be the right order of
+  // magnitude (alpha is a least-squares fit, Figure 1's regression line).
+  double est_sum = 0, act_sum = 0;
+  for (const auto& eq : *test_) {
+    est_sum += opt->Estimate(eq, Resource::kCpu);
+    act_sum += ActualUsage(eq, Resource::kCpu);
+  }
+  EXPECT_GT(est_sum, 0.2 * act_sum);
+  EXPECT_LT(est_sum, 5.0 * act_sum);
+}
+
+TEST_F(BaselinesTest, ScalingBeatsOptInDistribution) {
+  const auto scores = EvaluateTechniques({"OPT", "SCALING"}, *train_, *test_,
+                                         Resource::kCpu, FeatureMode::kEstimated);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_LT(scores[1].l1_error, scores[0].l1_error);
+  EXPECT_GT(scores[1].buckets.le_1_5, scores[0].buckets.le_1_5);
+}
+
+TEST_F(BaselinesTest, ScalingStrongInDistributionExactFeatures) {
+  const auto scores = EvaluateTechniques({"SCALING"}, *train_, *test_,
+                                         Resource::kCpu, FeatureMode::kExact);
+  ASSERT_EQ(scores.size(), 1u);
+  // Paper Table 4 shape: low L1, most queries within ratio 1.5.
+  EXPECT_LT(scores[0].l1_error, 0.5);
+  EXPECT_GT(scores[0].buckets.le_1_5, 0.7);
+}
+
+TEST_F(BaselinesTest, AkderePropagatesCumulativeEstimates) {
+  const auto akdere = AkdereEstimator::Train(*train_, FeatureMode::kExact);
+  // Estimates grow with plan size: a root estimate includes its subtree.
+  for (const auto& eq : *test_) {
+    const double v = akdere->Estimate(eq, Resource::kCpu);
+    EXPECT_GE(v, 0.0);
+  }
+  const auto score = ScoreEstimator(*akdere, *test_, Resource::kCpu);
+  EXPECT_LT(score.l1_error, 10.0);  // sane, not necessarily great
+}
+
+TEST_F(BaselinesTest, ScoreEstimatorMatchesManualComputation) {
+  const auto opt = OptBaseline::Train(*train_);
+  const auto score = ScoreEstimator(*opt, *test_, Resource::kCpu);
+  std::vector<double> est, act;
+  for (const auto& eq : *test_) {
+    est.push_back(std::max(0.01, opt->Estimate(eq, Resource::kCpu)));
+    act.push_back(ActualUsage(eq, Resource::kCpu));
+  }
+  EXPECT_DOUBLE_EQ(score.l1_error, L1RelativeError(est, act));
+}
+
+}  // namespace
+}  // namespace resest

@@ -1,0 +1,334 @@
+// Tests for src/core: feature extraction, dependencies, scaling functions,
+// sweep-based scaling selection, combined models, out_ratio selection, and
+// the end-to-end estimator including the paper's headline robustness
+// property (Figures 3 and 6).
+#include <cmath>
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "src/common/stats.h"
+#include "src/core/estimator.h"
+#include "src/core/scaling_lab.h"
+#include "src/workload/runner.h"
+#include "src/workload/schemas.h"
+#include "src/workload/tpch_queries.h"
+
+namespace resest {
+namespace {
+
+class CoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = GenerateDatabase(TpchSchema(), 1.0, 1.0, 42).release();
+    Rng rng(7);
+    auto queries = GenerateTpchWorkload(120, &rng, db_);
+    workload_ = new std::vector<ExecutedQuery>(RunWorkload(db_, queries));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+  static std::vector<ExecutedQuery>* workload_;
+};
+
+Database* CoreTest::db_ = nullptr;
+std::vector<ExecutedQuery>* CoreTest::workload_ = nullptr;
+
+TEST_F(CoreTest, FeatureExtractionScanBasics) {
+  // Find a table scan in some executed plan and check Table 1/2 features.
+  const PlanNode* scan = nullptr;
+  const Database* db = nullptr;
+  for (const auto& eq : *workload_) {
+    eq.plan.root->Visit([&](const PlanNode* n) {
+      if (n->type == OpType::kTableScan && scan == nullptr) {
+        scan = n;
+        db = eq.database;
+      }
+    });
+    if (scan != nullptr) break;
+  }
+  ASSERT_NE(scan, nullptr);
+  const FeatureVector v = ExtractFeatures(*scan, nullptr, *db, FeatureMode::kExact);
+  const Table* t = db->FindTable(scan->table);
+  EXPECT_DOUBLE_EQ(v[static_cast<size_t>(FeatureId::kTSize)],
+                   static_cast<double>(t->row_count()));
+  EXPECT_DOUBLE_EQ(v[static_cast<size_t>(FeatureId::kPages)],
+                   static_cast<double>(t->data_pages()));
+  EXPECT_DOUBLE_EQ(v[static_cast<size_t>(FeatureId::kCOut)],
+                   static_cast<double>(scan->actual.rows_out));
+  EXPECT_EQ(v[static_cast<size_t>(FeatureId::kOutputUsage)], -1.0);
+}
+
+TEST_F(CoreTest, FeatureModesDiffer) {
+  // Exact and estimated features must diverge somewhere (cardinality errors).
+  int differing = 0, total = 0;
+  for (const auto& eq : *workload_) {
+    eq.plan.root->Visit([&](const PlanNode* n) {
+      const FeatureVector e =
+          ExtractFeatures(*n, nullptr, *eq.database, FeatureMode::kExact);
+      const FeatureVector o =
+          ExtractFeatures(*n, nullptr, *eq.database, FeatureMode::kEstimated);
+      ++total;
+      const double ce = e[static_cast<size_t>(FeatureId::kCOut)];
+      const double co = o[static_cast<size_t>(FeatureId::kCOut)];
+      if (std::fabs(ce - co) > 0.5) ++differing;
+    });
+  }
+  EXPECT_GT(differing, total / 10);
+}
+
+TEST_F(CoreTest, DependencyTableIsConsistent) {
+  // Derived features are dependents of their inputs.
+  auto has = [](const std::vector<FeatureId>& v, FeatureId f) {
+    return std::find(v.begin(), v.end(), f) != v.end();
+  };
+  EXPECT_TRUE(has(Dependents(FeatureId::kCIn0), FeatureId::kSInTot0));
+  EXPECT_TRUE(has(Dependents(FeatureId::kSInAvg0), FeatureId::kSInTot0));
+  EXPECT_TRUE(has(Dependents(FeatureId::kCOut), FeatureId::kSOutTot));
+  EXPECT_TRUE(has(Dependents(FeatureId::kTSize), FeatureId::kPages));
+  // Independent pairs stay independent (paper: CIN vs SINAVG).
+  EXPECT_FALSE(has(Dependents(FeatureId::kCIn0), FeatureId::kSInAvg0));
+}
+
+TEST_F(CoreTest, OperatorFeatureListsExcludeIrrelevant) {
+  const auto& scan = OperatorFeatures(OpType::kTableScan);
+  EXPECT_EQ(std::count(scan.begin(), scan.end(), FeatureId::kMinComp), 0);
+  const auto& sort = OperatorFeatures(OpType::kSort);
+  EXPECT_EQ(std::count(sort.begin(), sort.end(), FeatureId::kMinComp), 1);
+  EXPECT_EQ(std::count(sort.begin(), sort.end(), FeatureId::kIndexDepth), 0);
+}
+
+TEST_F(CoreTest, NonScalingFeaturesExcludedForIo) {
+  const auto cpu = ScalableFeatures(OpType::kHashAggregate, Resource::kCpu);
+  const auto io = ScalableFeatures(OpType::kHashAggregate, Resource::kIo);
+  auto has = [](const std::vector<FeatureId>& v, FeatureId f) {
+    return std::find(v.begin(), v.end(), f) != v.end();
+  };
+  EXPECT_TRUE(has(cpu, FeatureId::kHashOpTot));
+  EXPECT_FALSE(has(io, FeatureId::kHashOpTot));
+  // Categorical features are never candidates.
+  EXPECT_FALSE(has(cpu, FeatureId::kOutputUsage));
+}
+
+TEST(ScalingFnTest, EvaluationsMatchDefinitions) {
+  EXPECT_DOUBLE_EQ(EvalScaling(ScalingFn::kLinear, 8), 8.0);
+  EXPECT_DOUBLE_EQ(EvalScaling(ScalingFn::kLog2, 8), 3.0);
+  EXPECT_DOUBLE_EQ(EvalScaling(ScalingFn::kNLogN, 8), 24.0);
+  EXPECT_DOUBLE_EQ(EvalScaling(ScalingFn::kQuadratic, 8), 64.0);
+  EXPECT_DOUBLE_EQ(EvalScaling(ScalingFn::kSum, 3, 4), 7.0);
+  EXPECT_DOUBLE_EQ(EvalScaling(ScalingFn::kProduct, 3, 4), 12.0);
+  EXPECT_DOUBLE_EQ(EvalScaling(ScalingFn::kALogB, 3, 8), 9.0);
+}
+
+TEST(ScalingFnTest, SelectionRecoversGeneratingForm) {
+  // Synthetic sweeps where the true law is known.
+  Rng rng(5);
+  std::vector<SweepPoint> nlogn_sweep;
+  for (int i = 1; i <= 60; ++i) {
+    const double n = 500.0 * i;
+    nlogn_sweep.push_back(
+        {n, 0.0, 0.7 * n * std::log2(n) * rng.LogNormalFactor(0.02)});
+  }
+  auto fits = SelectScalingFn(nlogn_sweep, false);
+  EXPECT_EQ(fits.front().fn, ScalingFn::kNLogN);
+
+  std::vector<SweepPoint> quad_sweep;
+  for (int i = 1; i <= 60; ++i) {
+    const double n = 100.0 * i;
+    quad_sweep.push_back({n, 0.0, 0.01 * n * n * rng.LogNormalFactor(0.02)});
+  }
+  fits = SelectScalingFn(quad_sweep, false);
+  EXPECT_EQ(fits.front().fn, ScalingFn::kQuadratic);
+}
+
+TEST_F(CoreTest, SortSweepSelectsNLogN) {
+  // Paper Figure 7: the sort CPU sweep is fit best by n log n.
+  const auto sweep = SweepSortCpu(*db_, 25);
+  ASSERT_GE(sweep.size(), 20u);
+  const auto fits = SelectScalingFn(sweep, false);
+  EXPECT_TRUE(fits.front().fn == ScalingFn::kNLogN ||
+              fits.front().fn == ScalingFn::kLinear)
+      << ScalingFnName(fits.front().fn);
+  // n log n must beat quadratic by a clear margin (the paper's comparison).
+  double nlogn_err = 0, quad_err = 0;
+  for (const auto& f : fits) {
+    if (f.fn == ScalingFn::kNLogN) nlogn_err = f.l2_error;
+    if (f.fn == ScalingFn::kQuadratic) quad_err = f.l2_error;
+  }
+  EXPECT_LT(nlogn_err, quad_err);
+}
+
+TEST_F(CoreTest, FilterSweepSelectsLinear) {
+  const auto sweep = SweepFilterCpu(*db_, 25);
+  const auto fits = SelectScalingFn(sweep, false);
+  EXPECT_EQ(fits.front().fn, ScalingFn::kLinear)
+      << ScalingFnName(fits.front().fn);
+}
+
+TEST_F(CoreTest, CombinedModelPredictsReasonably) {
+  // Train a sort-CPU combined model on small inputs, test on larger ones.
+  std::vector<FeatureVector> rows;
+  std::vector<double> targets;
+  for (const auto& eq : *workload_) {
+    eq.plan.root->Visit([&](const PlanNode* n) {
+      if (n->type != OpType::kSort) return;
+      rows.push_back(ExtractFeatures(*n, nullptr, *eq.database, FeatureMode::kExact));
+      targets.push_back(n->actual.cpu);
+    });
+  }
+  ASSERT_GT(rows.size(), 30u);
+  OperatorModelSet::TrainOptions options;
+  options.mart.num_trees = 100;
+  const auto set = OperatorModelSet::Train(OpType::kSort, Resource::kCpu, rows,
+                                           targets, options);
+  EXPECT_GT(set.NumModels(), 3u);
+  // In-range prediction should land within 2x for most non-trivial sorts
+  // (tiny sorts of a few rows have meaningless relative errors).
+  std::vector<double> est, act;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (targets[i] < 0.1) continue;
+    est.push_back(std::max(0.01, set.Predict(rows[i])));
+    act.push_back(targets[i]);
+  }
+  ASSERT_GT(est.size(), 5u);
+  const RatioBuckets b = ComputeRatioBuckets(est, act);
+  EXPECT_GT(b.le_1_5 + b.in_1_5_2, 0.6);
+}
+
+TEST_F(CoreTest, OutRatioZeroInsideEnvelopeAndGrowsOutside) {
+  std::vector<FeatureVector> rows;
+  std::vector<double> targets;
+  for (const auto& eq : *workload_) {
+    eq.plan.root->Visit([&](const PlanNode* n) {
+      if (n->type != OpType::kFilter) return;
+      rows.push_back(ExtractFeatures(*n, nullptr, *eq.database, FeatureMode::kExact));
+      targets.push_back(n->actual.cpu);
+    });
+  }
+  if (rows.size() < 20u) GTEST_SKIP() << "not enough filters in workload";
+  OperatorModelSet::TrainOptions options;
+  options.mart.num_trees = 50;
+  const auto set = OperatorModelSet::Train(OpType::kFilter, Resource::kCpu, rows,
+                                           targets, options);
+  // A training row is inside every model's envelope.
+  const auto in_ratios = set.model(0).OutRatios(rows[0]);
+  EXPECT_DOUBLE_EQ(in_ratios[0], 0.0);
+  // Blow up CIN far beyond training (starting from the LARGEST training
+  // filter so the inflated value is guaranteed out of range).
+  size_t biggest = 0;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i][static_cast<size_t>(FeatureId::kCIn0)] >
+        rows[biggest][static_cast<size_t>(FeatureId::kCIn0)]) {
+      biggest = i;
+    }
+  }
+  FeatureVector big = rows[biggest];
+  big[static_cast<size_t>(FeatureId::kCIn0)] *= 1000.0;
+  big[static_cast<size_t>(FeatureId::kSInTot0)] *= 1000.0;
+  big[static_cast<size_t>(FeatureId::kCOut)] *= 1000.0;
+  big[static_cast<size_t>(FeatureId::kSOutTot)] *= 1000.0;
+  const auto out_ratios = set.model(0).OutRatios(big);
+  EXPECT_GT(out_ratios[0], 0.0);
+  // Selection must switch away from a model that is out of range when a
+  // scaled alternative brings the features back in range.
+  const CombinedModel* chosen = set.Select(big);
+  ASSERT_NE(chosen, nullptr);
+  EXPECT_GT(chosen->NumScaleFeatures(), 0);
+}
+
+TEST_F(CoreTest, SelectionPrefersDefaultInRange) {
+  std::vector<FeatureVector> rows;
+  std::vector<double> targets;
+  for (const auto& eq : *workload_) {
+    eq.plan.root->Visit([&](const PlanNode* n) {
+      if (n->type != OpType::kHashJoin) return;
+      rows.push_back(ExtractFeatures(*n, nullptr, *eq.database, FeatureMode::kExact));
+      targets.push_back(n->actual.cpu);
+    });
+  }
+  if (rows.size() < 20u) GTEST_SKIP() << "not enough hash joins";
+  OperatorModelSet::TrainOptions options;
+  options.mart.num_trees = 50;
+  const auto set = OperatorModelSet::Train(OpType::kHashJoin, Resource::kCpu,
+                                           rows, targets, options);
+  const CombinedModel* chosen = set.Select(rows[rows.size() / 2]);
+  EXPECT_EQ(chosen, &set.default_model());
+}
+
+TEST_F(CoreTest, EstimatorQueryEqualsOperatorSum) {
+  TrainOptions options;
+  options.mart.num_trees = 60;
+  const ResourceEstimator est = ResourceEstimator::Train(*workload_, options);
+  const auto& eq = (*workload_)[3];
+  const double query_est =
+      est.EstimateQuery(eq.plan, *eq.database, Resource::kCpu);
+  const auto pipeline_est =
+      est.EstimatePipelines(eq.plan, *eq.database, Resource::kCpu);
+  double pipeline_sum = 0;
+  for (double p : pipeline_est) pipeline_sum += p;
+  EXPECT_NEAR(query_est, pipeline_sum, 1e-6 * std::max(1.0, query_est));
+}
+
+TEST_F(CoreTest, EstimatorAccurateInDistribution) {
+  Rng rng(99);
+  auto test_queries = GenerateTpchWorkload(40, &rng, db_);
+  const auto test = RunWorkload(db_, test_queries, /*noise_seed=*/1234);
+
+  TrainOptions options;
+  const ResourceEstimator est = ResourceEstimator::Train(*workload_, options);
+  std::vector<double> preds, acts;
+  for (const auto& eq : test) {
+    preds.push_back(
+        std::max(0.01, est.EstimateQuery(eq.plan, *eq.database, Resource::kCpu)));
+    acts.push_back(eq.plan.TotalActualCpu());
+  }
+  EXPECT_LT(L1RelativeError(preds, acts), 0.45);
+  const RatioBuckets b = ComputeRatioBuckets(preds, acts);
+  EXPECT_GT(b.le_1_5, 0.6);
+}
+
+TEST_F(CoreTest, ScalingGeneralizesAcrossDataSizesMartDoesNot) {
+  // The Figure 3 / Figure 6 experiment in miniature: train scans on SF<=1,
+  // test on SF 4. Plain MART underestimates systematically; SCALING tracks.
+  auto big_db = GenerateDatabase(TpchSchema(), 4.0, 1.0, 43);
+  Rng rng(31);
+  auto big_queries = GenerateTpchWorkload(30, &rng, big_db.get());
+  const auto big = RunWorkload(big_db.get(), big_queries, 77);
+
+  TrainOptions scaled;
+  const ResourceEstimator with_scaling =
+      ResourceEstimator::Train(*workload_, scaled);
+  TrainOptions unscaled;
+  unscaled.enable_scaling = false;
+  const ResourceEstimator without_scaling =
+      ResourceEstimator::Train(*workload_, unscaled);
+
+  double mart_sum = 0, scaling_sum = 0, actual_sum = 0;
+  for (const auto& eq : big) {
+    mart_sum += without_scaling.EstimateQuery(eq.plan, *eq.database, Resource::kCpu);
+    scaling_sum += with_scaling.EstimateQuery(eq.plan, *eq.database, Resource::kCpu);
+    actual_sum += eq.plan.TotalActualCpu();
+  }
+  ASSERT_GT(actual_sum, 0.0);
+  // MART saturates at the training envelope: big underestimate in total.
+  EXPECT_LT(mart_sum, 0.75 * actual_sum);
+  // SCALING must recover a large part of that gap.
+  EXPECT_GT(scaling_sum, mart_sum * 1.15);
+  EXPECT_GT(scaling_sum, 0.55 * actual_sum);
+}
+
+TEST_F(CoreTest, SerializedModelSizeIsModest) {
+  TrainOptions options;
+  options.mart.num_trees = 150;
+  const ResourceEstimator est = ResourceEstimator::Train(*workload_, options);
+  // Paper Section 7.3: all models fit in a few megabytes.
+  EXPECT_LT(est.SerializedBytes(), 32u * 1024u * 1024u);
+  EXPECT_GT(est.SerializedBytes(), 10u * 1024u);
+}
+
+}  // namespace
+}  // namespace resest

@@ -1,0 +1,242 @@
+// Edge-case and failure-injection tests: degenerate inputs, empty results,
+// malformed plans, extreme parameter values.
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "src/core/estimator.h"
+#include "src/engine/executor.h"
+#include "src/ml/linear_model.h"
+#include "src/ml/mart.h"
+#include "src/ml/svr.h"
+#include "src/optimizer/plan_builder.h"
+#include "src/workload/runner.h"
+#include "src/workload/schemas.h"
+#include "src/workload/tpch_queries.h"
+
+namespace resest {
+namespace {
+
+class EdgeCaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = GenerateDatabase(TpchSchema(), 0.3, 1.0, 42);
+  }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(EdgeCaseTest, ScanWithImpossiblePredicateYieldsEmptyResult) {
+  auto scan = std::make_unique<PlanNode>();
+  scan->type = OpType::kTableScan;
+  scan->table = "orders";
+  scan->predicates = {Predicate{"o_orderdate", Predicate::Op::kBetween, 900, 100}};
+  Executor exec(db_.get(), 1);
+  const Relation r = exec.ExecuteNode(scan.get());
+  EXPECT_EQ(r.rows(), 0);
+  EXPECT_DOUBLE_EQ(scan->actual.bytes_out, 0.0);
+  // The scan still pays for reading the table.
+  EXPECT_GT(scan->actual.cpu, 0.0);
+  EXPECT_GT(scan->actual.logical_io, 0);
+}
+
+TEST_F(EdgeCaseTest, SeekOutsideDomainYieldsEmptyResultCheaply) {
+  auto seek = std::make_unique<PlanNode>();
+  seek->type = OpType::kIndexSeek;
+  seek->table = "orders";
+  seek->seek_column = "o_orderkey";
+  seek->predicates = {
+      Predicate{"o_orderkey", Predicate::Op::kBetween, 10000000, 20000000}};
+  Executor exec(db_.get(), 1);
+  const Relation r = exec.ExecuteNode(seek.get());
+  EXPECT_EQ(r.rows(), 0);
+  EXPECT_LE(seek->actual.logical_io, 4);  // root-to-leaf only
+}
+
+TEST_F(EdgeCaseTest, ExecutorThrowsOnUnknownTable) {
+  auto scan = std::make_unique<PlanNode>();
+  scan->type = OpType::kTableScan;
+  scan->table = "no_such_table";
+  Executor exec(db_.get(), 1);
+  EXPECT_THROW(exec.ExecuteNode(scan.get()), std::runtime_error);
+}
+
+TEST_F(EdgeCaseTest, ExecutorThrowsOnUnknownColumn) {
+  auto scan = std::make_unique<PlanNode>();
+  scan->type = OpType::kTableScan;
+  scan->table = "orders";
+  scan->predicates = {Predicate{"no_such_col", Predicate::Op::kEq, 1, 1}};
+  Executor exec(db_.get(), 1);
+  EXPECT_THROW(exec.ExecuteNode(scan.get()), std::runtime_error);
+}
+
+TEST_F(EdgeCaseTest, ExecutorThrowsOnSeekWithoutIndex) {
+  auto seek = std::make_unique<PlanNode>();
+  seek->type = OpType::kIndexSeek;
+  seek->table = "orders";
+  seek->seek_column = "o_totalprice";  // not indexed
+  Executor exec(db_.get(), 1);
+  EXPECT_THROW(exec.ExecuteNode(seek.get()), std::runtime_error);
+}
+
+TEST_F(EdgeCaseTest, JoinWithEmptySideProducesEmptyOutput) {
+  auto empty_scan = std::make_unique<PlanNode>();
+  empty_scan->type = OpType::kTableScan;
+  empty_scan->table = "customer";
+  empty_scan->output_columns = {"c_custkey"};
+  empty_scan->predicates = {
+      Predicate{"c_custkey", Predicate::Op::kGe, 100000000, 0}};
+  auto full_scan = std::make_unique<PlanNode>();
+  full_scan->type = OpType::kTableScan;
+  full_scan->table = "orders";
+  full_scan->output_columns = {"o_custkey", "o_totalprice"};
+
+  auto join = std::make_unique<PlanNode>();
+  join->type = OpType::kHashJoin;
+  join->left_key = "orders.o_custkey";
+  join->right_key = "customer.c_custkey";
+  join->children.push_back(std::move(full_scan));
+  join->children.push_back(std::move(empty_scan));
+  Executor exec(db_.get(), 1);
+  const Relation r = exec.ExecuteNode(join.get());
+  EXPECT_EQ(r.rows(), 0);
+  EXPECT_TRUE(join->actual.executed);
+}
+
+TEST_F(EdgeCaseTest, PlanBuilderRejectsEmptyQuery) {
+  PlanBuilder builder(db_.get());
+  EXPECT_THROW(builder.Build(QuerySpec{}), std::runtime_error);
+}
+
+TEST_F(EdgeCaseTest, PlanBuilderRejectsDisconnectedJoinGraph) {
+  QuerySpec q;
+  q.tables.push_back(TableRef{"orders", {}, {"o_orderkey"}});
+  q.tables.push_back(TableRef{"customer", {}, {"c_custkey"}});
+  // No join edge between them.
+  PlanBuilder builder(db_.get());
+  EXPECT_THROW(builder.Build(q), std::runtime_error);
+}
+
+TEST_F(EdgeCaseTest, TopLargerThanInputKeepsAllRows) {
+  auto scan = std::make_unique<PlanNode>();
+  scan->type = OpType::kTableScan;
+  scan->table = "nation";
+  auto top = std::make_unique<PlanNode>();
+  top->type = OpType::kTop;
+  top->limit = 1000000;
+  top->children.push_back(std::move(scan));
+  Executor exec(db_.get(), 1);
+  const Relation r = exec.ExecuteNode(top.get());
+  EXPECT_EQ(r.rows(), db_->FindTable("nation")->row_count());
+}
+
+TEST_F(EdgeCaseTest, SortOnEmptyInput) {
+  auto scan = std::make_unique<PlanNode>();
+  scan->type = OpType::kTableScan;
+  scan->table = "orders";
+  scan->predicates = {Predicate{"o_orderkey", Predicate::Op::kGe, 100000000, 0}};
+  auto sort = std::make_unique<PlanNode>();
+  sort->type = OpType::kSort;
+  sort->sort_columns = {"orders.o_orderkey"};
+  sort->children.push_back(std::move(scan));
+  Executor exec(db_.get(), 1);
+  const Relation r = exec.ExecuteNode(sort.get());
+  EXPECT_EQ(r.rows(), 0);
+}
+
+TEST_F(EdgeCaseTest, AggregateWithoutGroupColumnsYieldsOneRow) {
+  auto scan = std::make_unique<PlanNode>();
+  scan->type = OpType::kTableScan;
+  scan->table = "orders";
+  scan->output_columns = {"o_totalprice"};
+  auto agg = std::make_unique<PlanNode>();
+  agg->type = OpType::kHashAggregate;
+  agg->num_aggregates = 2;
+  agg->children.push_back(std::move(scan));
+  Executor exec(db_.get(), 1);
+  const Relation r = exec.ExecuteNode(agg.get());
+  EXPECT_EQ(r.rows(), 1);
+}
+
+// --- ML models on degenerate training data ---------------------------------
+
+TEST(MlEdgeCaseTest, ModelsHandleEmptyTrainingData) {
+  const Dataset empty;
+  Mart mart;
+  mart.Fit(empty);
+  EXPECT_DOUBLE_EQ(mart.Predict({1.0, 2.0}), 0.0);
+  LinearModel lm;
+  lm.Fit(empty);
+  EXPECT_DOUBLE_EQ(lm.Predict({1.0, 2.0}), 0.0);
+  Svr svr;
+  svr.Fit(empty);
+  EXPECT_DOUBLE_EQ(svr.Predict({1.0, 2.0}), 0.0);
+}
+
+TEST(MlEdgeCaseTest, ModelsHandleConstantTargets) {
+  Dataset d;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) d.Add({rng.Uniform(0, 10)}, 5.0);
+  Mart mart;
+  mart.Fit(d);
+  EXPECT_NEAR(mart.Predict({3.0}), 5.0, 1e-6);
+  LinearModel lm;
+  lm.Fit(d);
+  EXPECT_NEAR(lm.Predict({3.0}), 5.0, 1e-6);
+  Svr svr;
+  svr.Fit(d);
+  EXPECT_NEAR(svr.Predict({3.0}), 5.0, 0.2);
+}
+
+TEST(MlEdgeCaseTest, ModelsHandleConstantFeatures) {
+  Dataset d;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) d.Add({7.0, 7.0}, rng.Uniform(0, 10));
+  Mart mart;
+  mart.Fit(d);
+  EXPECT_TRUE(std::isfinite(mart.Predict({7.0, 7.0})));
+  LinearModel lm;
+  lm.Fit(d);
+  EXPECT_TRUE(std::isfinite(lm.Predict({7.0, 7.0})));
+}
+
+TEST(MlEdgeCaseTest, MartSingleRowTraining) {
+  Dataset d;
+  d.Add({1.0}, 42.0);
+  MartParams p;
+  p.min_leaf = 1;
+  Mart mart(p);
+  mart.Fit(d);
+  EXPECT_NEAR(mart.Predict({1.0}), 42.0, 1.0);
+}
+
+// --- Estimator with sparse training -----------------------------------------
+
+TEST(EstimatorEdgeCaseTest, FallsBackGracefullyWithTinyWorkload) {
+  auto db = GenerateDatabase(TpchSchema(), 0.3, 1.0, 42);
+  Rng rng(7);
+  const auto workload =
+      RunWorkload(db.get(), GenerateTpchWorkload(3, &rng, db.get()));
+  TrainOptions options;
+  options.mart.num_trees = 10;
+  const ResourceEstimator est = ResourceEstimator::Train(workload, options);
+  // Some operators lack models; estimates must still be finite/non-negative.
+  for (const auto& eq : workload) {
+    const double v = est.EstimateQuery(eq.plan, *db, Resource::kCpu);
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(EstimatorEdgeCaseTest, EmptyWorkloadTrainsEmptyEstimator) {
+  TrainOptions options;
+  const ResourceEstimator est = ResourceEstimator::Train({}, options);
+  EXPECT_EQ(est.SerializedBytes(), 0u);
+  auto db = GenerateDatabase(TpchSchema(), 0.3, 1.0, 42);
+  PlanBuilder builder(db.get());
+  QuerySpec q;
+  q.tables.push_back(TableRef{"nation", {}, {"n_nationkey"}});
+  const Plan plan = builder.Build(q);
+  EXPECT_DOUBLE_EQ(est.EstimateQuery(plan, *db, Resource::kCpu), 0.0);
+}
+
+}  // namespace
+}  // namespace resest

@@ -1,0 +1,346 @@
+// Unit tests for src/engine: operator correctness and resource accounting.
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "src/common/stats.h"
+#include "src/engine/cost_constants.h"
+#include "src/engine/executor.h"
+#include "src/engine/plan.h"
+#include "src/storage/catalog.h"
+#include "src/workload/schemas.h"
+
+namespace resest {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = GenerateDatabase(TpchSchema(), 0.5, 1.0, 42);
+    exec_ = std::make_unique<Executor>(db_.get(), 7);
+  }
+
+  static std::unique_ptr<PlanNode> Scan(
+      const std::string& table, std::vector<Predicate> preds = {},
+      std::vector<std::string> cols = {}) {
+    auto n = std::make_unique<PlanNode>();
+    n->type = OpType::kTableScan;
+    n->table = table;
+    n->predicates = std::move(preds);
+    n->output_columns = std::move(cols);
+    return n;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Executor> exec_;
+};
+
+TEST_F(EngineTest, TableScanReturnsAllRowsWithoutPredicates) {
+  auto scan = Scan("orders");
+  const Relation r = exec_->ExecuteNode(scan.get());
+  EXPECT_EQ(r.rows(), db_->FindTable("orders")->row_count());
+  EXPECT_EQ(scan->actual.rows_out, r.rows());
+  EXPECT_EQ(scan->actual.logical_io, db_->FindTable("orders")->data_pages());
+  EXPECT_GT(scan->actual.cpu, 0.0);
+  EXPECT_TRUE(scan->actual.executed);
+}
+
+TEST_F(EngineTest, TableScanAppliesPredicates) {
+  auto scan = Scan("lineitem",
+                   {Predicate{"l_quantity", Predicate::Op::kLe, 0, 10}});
+  const Relation r = exec_->ExecuteNode(scan.get());
+  const Table* li = db_->FindTable("lineitem");
+  int64_t expected = 0;
+  const int qcol = li->FindColumn("l_quantity");
+  for (Value v : li->column(static_cast<size_t>(qcol)).data) expected += (v <= 10);
+  EXPECT_EQ(r.rows(), expected);
+}
+
+TEST_F(EngineTest, TableScanProjectionControlsWidth) {
+  auto narrow = Scan("lineitem", {}, {"l_quantity"});
+  auto wide = Scan("lineitem", {}, {});
+  const Relation rn = exec_->ExecuteNode(narrow.get());
+  const Relation rw = exec_->ExecuteNode(wide.get());
+  EXPECT_LT(rn.row_width(), rw.row_width());
+  EXPECT_EQ(rn.rows(), rw.rows());
+  EXPECT_LT(narrow->actual.bytes_out, wide->actual.bytes_out);
+}
+
+TEST_F(EngineTest, IndexSeekMatchesScanSemantics) {
+  // A selective range: unselective seeks through a secondary index would pay
+  // one bookmark lookup per match and legitimately exceed scan I/O.
+  const Predicate range{"o_orderdate", Predicate::Op::kBetween, 100, 110};
+  auto scan = Scan("orders", {range});
+  auto seek = std::make_unique<PlanNode>();
+  seek->type = OpType::kIndexSeek;
+  seek->table = "orders";
+  seek->seek_column = "o_orderdate";
+  seek->predicates = {range};
+  const Relation rs = exec_->ExecuteNode(scan.get());
+  const Relation rk = exec_->ExecuteNode(seek.get());
+  EXPECT_EQ(rs.rows(), rk.rows());
+  // The seek should do far less I/O than the scan for a selective range.
+  EXPECT_LT(seek->actual.logical_io, scan->actual.logical_io);
+}
+
+TEST_F(EngineTest, IndexSeekResidualPredicate) {
+  auto seek = std::make_unique<PlanNode>();
+  seek->type = OpType::kIndexSeek;
+  seek->table = "orders";
+  seek->seek_column = "o_orderdate";
+  seek->predicates = {Predicate{"o_orderdate", Predicate::Op::kBetween, 100, 400},
+                      Predicate{"o_orderstatus", Predicate::Op::kEq, 1, 1}};
+  const Relation r = exec_->ExecuteNode(seek.get());
+  const Table* o = db_->FindTable("orders");
+  const int dcol = o->FindColumn("o_orderdate");
+  const int scol = o->FindColumn("o_orderstatus");
+  int64_t expected = 0;
+  for (int64_t i = 0; i < o->row_count(); ++i) {
+    const Value d = o->column(static_cast<size_t>(dcol)).data[static_cast<size_t>(i)];
+    const Value s = o->column(static_cast<size_t>(scol)).data[static_cast<size_t>(i)];
+    expected += (d >= 100 && d <= 400 && s == 1);
+  }
+  EXPECT_EQ(r.rows(), expected);
+}
+
+TEST_F(EngineTest, FilterReducesRows) {
+  auto filter = std::make_unique<PlanNode>();
+  filter->type = OpType::kFilter;
+  filter->predicates = {Predicate{"l_quantity", Predicate::Op::kLe, 0, 25}};
+  filter->children.push_back(Scan("lineitem"));
+  const Relation r = exec_->ExecuteNode(filter.get());
+  EXPECT_GT(r.rows(), 0);
+  EXPECT_LT(r.rows(), db_->FindTable("lineitem")->row_count());
+  EXPECT_EQ(filter->actual.rows_in[0], db_->FindTable("lineitem")->row_count());
+}
+
+TEST_F(EngineTest, SortOrdersOutput) {
+  auto sort = std::make_unique<PlanNode>();
+  sort->type = OpType::kSort;
+  sort->sort_columns = {"lineitem.l_extendedprice"};
+  sort->children.push_back(Scan("lineitem", {}, {"l_extendedprice", "l_quantity"}));
+  const Relation r = exec_->ExecuteNode(sort.get());
+  const int c = r.FindColumn("lineitem.l_extendedprice");
+  ASSERT_GE(c, 0);
+  for (int64_t i = 1; i < r.rows(); ++i) {
+    EXPECT_LE(r.columns[static_cast<size_t>(c)].data[static_cast<size_t>(i - 1)],
+              r.columns[static_cast<size_t>(c)].data[static_cast<size_t>(i)]);
+  }
+  EXPECT_GT(sort->actual.cpu, 0.0);
+}
+
+TEST_F(EngineTest, LargeSortSpillsAndChargesIo) {
+  // lineitem at SF 0.5 with all columns is ~2.6 MB > 2 MB sort budget.
+  auto sort = std::make_unique<PlanNode>();
+  sort->type = OpType::kSort;
+  sort->sort_columns = {"lineitem.l_extendedprice"};
+  sort->children.push_back(Scan("lineitem"));
+  exec_->ExecuteNode(sort.get());
+  EXPECT_GT(sort->actual.logical_io, 0) << "expected external sort spill";
+
+  // A narrow projection fits in memory: no spill I/O.
+  auto small = std::make_unique<PlanNode>();
+  small->type = OpType::kSort;
+  small->sort_columns = {"lineitem.l_quantity"};
+  small->children.push_back(Scan("lineitem", {}, {"l_quantity"}));
+  exec_->ExecuteNode(small.get());
+  EXPECT_EQ(small->actual.logical_io, 0);
+}
+
+TEST_F(EngineTest, TopLimitsRows) {
+  auto top = std::make_unique<PlanNode>();
+  top->type = OpType::kTop;
+  top->limit = 17;
+  top->children.push_back(Scan("orders"));
+  const Relation r = exec_->ExecuteNode(top.get());
+  EXPECT_EQ(r.rows(), 17);
+}
+
+TEST_F(EngineTest, HashJoinMatchesNestedLoopSemantics) {
+  auto hash = std::make_unique<PlanNode>();
+  hash->type = OpType::kHashJoin;
+  hash->left_key = "orders.o_custkey";
+  hash->right_key = "customer.c_custkey";
+  hash->children.push_back(Scan("orders", {}, {"o_orderkey", "o_custkey"}));
+  hash->children.push_back(Scan("customer", {}, {"c_custkey", "c_acctbal"}));
+  const Relation rh = exec_->ExecuteNode(hash.get());
+
+  auto nl = std::make_unique<PlanNode>();
+  nl->type = OpType::kNestedLoopJoin;
+  nl->left_key = "orders.o_custkey";
+  nl->right_key = "customer.c_custkey";
+  nl->children.push_back(Scan("orders", {}, {"o_orderkey", "o_custkey"}));
+  nl->children.push_back(Scan("customer", {}, {"c_custkey", "c_acctbal"}));
+  const Relation rn = exec_->ExecuteNode(nl.get());
+
+  EXPECT_EQ(rh.rows(), rn.rows());
+  // Every order has exactly one customer: output rows = orders rows.
+  EXPECT_EQ(rh.rows(), db_->FindTable("orders")->row_count());
+}
+
+TEST_F(EngineTest, MergeJoinMatchesHashJoin) {
+  auto make_sorted = [&](const char* table, std::vector<std::string> cols,
+                         const std::string& key) {
+    auto sort = std::make_unique<PlanNode>();
+    sort->type = OpType::kSort;
+    sort->sort_columns = {key};
+    sort->children.push_back(Scan(table, {}, std::move(cols)));
+    return sort;
+  };
+  auto merge = std::make_unique<PlanNode>();
+  merge->type = OpType::kMergeJoin;
+  merge->left_key = "orders.o_custkey";
+  merge->right_key = "customer.c_custkey";
+  merge->children.push_back(
+      make_sorted("orders", {"o_orderkey", "o_custkey"}, "orders.o_custkey"));
+  merge->children.push_back(
+      make_sorted("customer", {"c_custkey", "c_acctbal"}, "customer.c_custkey"));
+  const Relation rm = exec_->ExecuteNode(merge.get());
+  EXPECT_EQ(rm.rows(), db_->FindTable("orders")->row_count());
+}
+
+TEST_F(EngineTest, IndexNestedLoopJoinMatchesHashJoin) {
+  auto inlj = std::make_unique<PlanNode>();
+  inlj->type = OpType::kIndexNestedLoopJoin;
+  inlj->left_key = "customer.c_custkey";
+  inlj->inner_table = "orders";
+  inlj->inner_key = "o_custkey";
+  inlj->inner_output_columns = {"o_orderkey", "o_custkey"};
+  inlj->children.push_back(
+      Scan("customer", {Predicate{"c_custkey", Predicate::Op::kLe, 0, 50}},
+           {"c_custkey"}));
+  const Relation r = exec_->ExecuteNode(inlj.get());
+
+  const Table* o = db_->FindTable("orders");
+  const int ck = o->FindColumn("o_custkey");
+  int64_t expected = 0;
+  for (Value v : o->column(static_cast<size_t>(ck)).data) expected += (v <= 50);
+  EXPECT_EQ(r.rows(), expected);
+  EXPECT_GT(inlj->actual.logical_io, 0);
+}
+
+TEST_F(EngineTest, HashAggregateGroupCountsMatchDistinct) {
+  auto agg = std::make_unique<PlanNode>();
+  agg->type = OpType::kHashAggregate;
+  agg->group_columns = {"lineitem.l_returnflag"};
+  agg->num_aggregates = 2;
+  agg->children.push_back(Scan("lineitem", {}, {"l_returnflag", "l_quantity"}));
+  const Relation r = exec_->ExecuteNode(agg.get());
+  EXPECT_EQ(r.rows(), 3);  // l_returnflag has 3 values
+  EXPECT_EQ(static_cast<int>(r.columns.size()), 3);  // group col + 2 aggs
+}
+
+TEST_F(EngineTest, StreamAggregateMatchesHashAggregate) {
+  auto sorted_scan = std::make_unique<PlanNode>();
+  sorted_scan->type = OpType::kSort;
+  sorted_scan->sort_columns = {"lineitem.l_shipmode"};
+  sorted_scan->children.push_back(Scan("lineitem", {}, {"l_shipmode", "l_quantity"}));
+
+  auto agg = std::make_unique<PlanNode>();
+  agg->type = OpType::kStreamAggregate;
+  agg->group_columns = {"lineitem.l_shipmode"};
+  agg->num_aggregates = 1;
+  agg->children.push_back(std::move(sorted_scan));
+  const Relation rs = exec_->ExecuteNode(agg.get());
+
+  auto hash = std::make_unique<PlanNode>();
+  hash->type = OpType::kHashAggregate;
+  hash->group_columns = {"lineitem.l_shipmode"};
+  hash->num_aggregates = 1;
+  hash->children.push_back(Scan("lineitem", {}, {"l_shipmode", "l_quantity"}));
+  const Relation rh = exec_->ExecuteNode(hash.get());
+
+  EXPECT_EQ(rs.rows(), rh.rows());
+}
+
+TEST_F(EngineTest, ComputeScalarAddsColumns) {
+  auto cs = std::make_unique<PlanNode>();
+  cs->type = OpType::kComputeScalar;
+  cs->num_expressions = 2;
+  cs->children.push_back(Scan("customer", {}, {"c_custkey"}));
+  const Relation r = exec_->ExecuteNode(cs.get());
+  EXPECT_EQ(static_cast<int>(r.columns.size()), 3);
+  EXPECT_EQ(r.rows(), db_->FindTable("customer")->row_count());
+}
+
+TEST_F(EngineTest, CpuNoiseIsBoundedAndIoDeterministic) {
+  // Re-running the same scan with different noise seeds changes CPU slightly
+  // but never logical I/O.
+  std::vector<double> cpus;
+  int64_t io = -1;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Executor e(db_.get(), seed);
+    auto scan = Scan("orders");
+    e.ExecuteNode(scan.get());
+    cpus.push_back(scan->actual.cpu);
+    if (io < 0) io = scan->actual.logical_io;
+    EXPECT_EQ(scan->actual.logical_io, io);
+  }
+  const double spread = (Max(cpus) - Min(cpus)) / Mean(cpus);
+  EXPECT_GT(spread, 0.0);
+  EXPECT_LT(spread, 0.5);
+}
+
+TEST_F(EngineTest, SortCpuScalesSuperlinearly) {
+  // CPU(sort of 4n rows) should exceed 4x CPU(sort of n rows) thanks to the
+  // n log n comparison count (noise is far smaller than the gap).
+  auto run_sort = [&](Value max_key) {
+    auto sort = std::make_unique<PlanNode>();
+    sort->type = OpType::kSort;
+    sort->sort_columns = {"lineitem.l_extendedprice"};
+    sort->children.push_back(
+        Scan("lineitem", {Predicate{"l_linekey", Predicate::Op::kLe, 0, max_key}},
+             {"l_extendedprice"}));
+    exec_->ExecuteNode(sort.get());
+    return sort->actual.cpu;
+  };
+  const double small = run_sort(2000);
+  const double large = run_sort(8000);
+  EXPECT_GT(large, 4.0 * small);
+}
+
+TEST_F(EngineTest, PipelineDecompositionBreaksAtBlockingOperators) {
+  // Sort(HashJoin(Scan, Scan)) -> pipelines: {Sort}, {HashJoin, probe Scan},
+  // {build Scan}.
+  Plan plan;
+  auto join = std::make_unique<PlanNode>();
+  join->type = OpType::kHashJoin;
+  join->left_key = "orders.o_custkey";
+  join->right_key = "customer.c_custkey";
+  join->children.push_back(Scan("orders", {}, {"o_custkey"}));
+  join->children.push_back(Scan("customer", {}, {"c_custkey"}));
+  auto sort = std::make_unique<PlanNode>();
+  sort->type = OpType::kSort;
+  sort->sort_columns = {"orders.o_custkey"};
+  sort->children.push_back(std::move(join));
+  plan.root = std::move(sort);
+
+  const auto pipelines = DecomposePipelines(plan);
+  ASSERT_EQ(pipelines.size(), 3u);
+  EXPECT_EQ(pipelines[0].nodes.size(), 1u);  // Sort alone
+  EXPECT_EQ(pipelines[1].nodes.size(), 2u);  // HashJoin + probe scan
+  EXPECT_EQ(pipelines[2].nodes.size(), 1u);  // build scan
+}
+
+TEST_F(EngineTest, PlanTotalsSumOperators) {
+  Plan plan;
+  auto agg = std::make_unique<PlanNode>();
+  agg->type = OpType::kHashAggregate;
+  agg->group_columns = {"lineitem.l_shipmode"};
+  agg->num_aggregates = 1;
+  agg->children.push_back(Scan("lineitem", {}, {"l_shipmode", "l_quantity"}));
+  plan.root = std::move(agg);
+  Executor e(db_.get(), 3);
+  e.Execute(&plan);
+  double cpu = 0;
+  int64_t io = 0;
+  plan.root->Visit([&](const PlanNode* n) {
+    cpu += n->actual.cpu;
+    io += n->actual.logical_io;
+  });
+  EXPECT_DOUBLE_EQ(plan.TotalActualCpu(), cpu);
+  EXPECT_EQ(plan.TotalActualIo(), io);
+  EXPECT_EQ(plan.NumOperators(), 2);
+}
+
+}  // namespace
+}  // namespace resest

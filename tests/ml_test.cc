@@ -1,0 +1,294 @@
+// Unit and property tests for the ML library: regression trees, MART,
+// linear regression with feature selection, SVR, REGTREE, serialization.
+#include <cmath>
+#include <numeric>
+
+#include "gtest/gtest.h"
+#include "src/common/stats.h"
+#include "src/ml/dataset.h"
+#include "src/ml/linear_model.h"
+#include "src/ml/mart.h"
+#include "src/ml/regression_tree.h"
+#include "src/ml/svr.h"
+
+namespace resest {
+namespace {
+
+// y = 3*x0 + noise; x1 irrelevant.
+Dataset MakeLinearData(size_t n, uint64_t seed, double noise = 0.5) {
+  Rng rng(seed);
+  Dataset d;
+  for (size_t i = 0; i < n; ++i) {
+    const double x0 = rng.Uniform(0, 100);
+    const double x1 = rng.Uniform(0, 100);
+    d.Add({x0, x1}, 3.0 * x0 + rng.Gaussian(0.0, noise));
+  }
+  return d;
+}
+
+// y = x0 * log2(x0) + 5*x1 (non-linear, two relevant features).
+Dataset MakeNlognData(size_t n, uint64_t seed, double x0_max = 1000.0) {
+  Rng rng(seed);
+  Dataset d;
+  for (size_t i = 0; i < n; ++i) {
+    const double x0 = rng.Uniform(2, x0_max);
+    const double x1 = rng.Uniform(0, 50);
+    d.Add({x0, x1}, x0 * std::log2(x0) + 5.0 * x1 + rng.Gaussian(0.0, 1.0));
+  }
+  return d;
+}
+
+double Rmse(const Regressor& model, const Dataset& data) {
+  double sse = 0.0;
+  for (size_t i = 0; i < data.NumRows(); ++i) {
+    const double e = model.Predict(data.x[i]) - data.y[i];
+    sse += e * e;
+  }
+  return std::sqrt(sse / static_cast<double>(data.NumRows()));
+}
+
+double TargetStd(const Dataset& d) { return StdDev(d.y); }
+
+TEST(DatasetTest, SplitPartitionsRows) {
+  Dataset d = MakeLinearData(100, 1);
+  Rng rng(2);
+  auto [train, test] = d.Split(0.8, &rng);
+  EXPECT_EQ(train.NumRows(), 80u);
+  EXPECT_EQ(test.NumRows(), 20u);
+}
+
+TEST(DatasetTest, StandardizerZeroMeanUnitVariance) {
+  Dataset d = MakeLinearData(500, 3);
+  Standardizer s;
+  s.Fit(d);
+  const Dataset t = s.TransformAll(d);
+  std::vector<double> col0;
+  for (const auto& row : t.x) col0.push_back(row[0]);
+  EXPECT_NEAR(Mean(col0), 0.0, 1e-9);
+  EXPECT_NEAR(StdDev(col0), 1.0, 0.01);
+}
+
+TEST(FeatureBinnerTest, BinsAreMonotonic) {
+  Dataset d = MakeLinearData(1000, 5);
+  FeatureBinner binner;
+  binner.Fit(d, 32);
+  int prev = -1;
+  for (double v = 0; v <= 100; v += 1.0) {
+    const int b = binner.Bin(0, v);
+    EXPECT_GE(b, prev);
+    prev = b;
+    EXPECT_LT(b, binner.NumBins(0));
+  }
+}
+
+TEST(RegressionTreeTest, FitsPiecewiseConstantSignal) {
+  // y = step function on x0.
+  Rng rng(7);
+  Dataset d;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.Uniform(0, 10);
+    d.Add({x}, x < 5 ? 1.0 : 9.0);
+  }
+  FeatureBinner binner;
+  binner.Fit(d, 32);
+  std::vector<size_t> rows(d.NumRows());
+  std::iota(rows.begin(), rows.end(), 0u);
+  RegressionTree tree;
+  tree.Fit(d, d.y, rows, binner, TreeParams{});
+  EXPECT_NEAR(tree.Predict({2.0}), 1.0, 0.1);
+  EXPECT_NEAR(tree.Predict({8.0}), 9.0, 0.1);
+}
+
+TEST(RegressionTreeTest, RespectsMaxLeaves) {
+  Dataset d = MakeNlognData(3000, 9);
+  FeatureBinner binner;
+  binner.Fit(d, 32);
+  std::vector<size_t> rows(d.NumRows());
+  std::iota(rows.begin(), rows.end(), 0u);
+  for (int max_leaves : {2, 5, 10}) {
+    TreeParams p;
+    p.max_leaves = max_leaves;
+    RegressionTree tree;
+    tree.Fit(d, d.y, rows, binner, p);
+    EXPECT_LE(tree.NumLeaves(), max_leaves);
+    EXPECT_GE(tree.NumLeaves(), 2);
+  }
+}
+
+TEST(MartTest, FitsNonlinearFunctionWell) {
+  Dataset train = MakeNlognData(4000, 11);
+  Dataset test = MakeNlognData(500, 12);
+  Mart mart(MartParams{});
+  mart.Fit(train);
+  EXPECT_LT(Rmse(mart, test), 0.1 * TargetStd(test));
+}
+
+TEST(MartTest, DoesNotExtrapolateBeyondTraining) {
+  // The paper's Figure 3 phenomenon: a tree model caps its output at the
+  // training range, so test points far outside are underestimated.
+  Dataset train = MakeNlognData(3000, 13, /*x0_max=*/1000.0);
+  Mart mart(MartParams{});
+  mart.Fit(train);
+  const double big = 8000.0;
+  const double truth = big * std::log2(big);
+  EXPECT_LT(mart.Predict({big, 25.0}), 0.35 * truth);
+}
+
+TEST(MartTest, MoreTreesImproveFit) {
+  Dataset train = MakeNlognData(3000, 15);
+  Dataset test = MakeNlognData(500, 16);
+  MartParams few;
+  few.num_trees = 20;
+  MartParams many;
+  many.num_trees = 300;
+  Mart m1(few), m2(many);
+  m1.Fit(train);
+  m2.Fit(train);
+  EXPECT_LT(Rmse(m2, test), Rmse(m1, test));
+}
+
+TEST(MartTest, SerializationRoundTrips) {
+  Dataset train = MakeNlognData(2000, 17);
+  Mart mart(MartParams{});
+  mart.Fit(train);
+  const auto bytes = mart.Serialize();
+  Mart restored;
+  ASSERT_TRUE(restored.Deserialize(bytes));
+  for (int i = 0; i < 50; ++i) {
+    const auto& x = train.x[static_cast<size_t>(i * 7 % 2000)];
+    EXPECT_NEAR(mart.Predict(x), restored.Predict(x), 1e-4);
+  }
+}
+
+TEST(MartTest, SerializedSizeMatchesPaperBallpark) {
+  // Paper Section 7.3: one <=10-leaf tree encodes in ~130 bytes; 1K trees in
+  // ~127KB. Our per-tree encoding is 10 bytes/node * <=19 nodes ~= 190 B.
+  Dataset train = MakeNlognData(2000, 19);
+  MartParams p;
+  p.num_trees = 1000;
+  Mart mart(p);
+  mart.Fit(train);
+  const auto bytes = mart.Serialize();
+  EXPECT_LT(bytes.size(), 300u * 1024u);
+  EXPECT_GT(bytes.size(), 20u * 1024u);
+}
+
+TEST(MartTest, DeserializeRejectsCorruptData) {
+  Dataset train = MakeNlognData(500, 21);
+  Mart mart(MartParams{});
+  mart.Fit(train);
+  auto bytes = mart.Serialize();
+  bytes.resize(bytes.size() / 2);
+  Mart restored;
+  EXPECT_FALSE(restored.Deserialize(bytes));
+}
+
+TEST(RegTreeTest, LinearLeavesExtrapolateLocally) {
+  // REGTREE (linear leaves) should beat constant-leaf MART slightly outside
+  // the training range of a linear function.
+  Dataset train = MakeLinearData(3000, 23);
+  MartParams constant;
+  MartParams linear;
+  linear.linear_leaves = true;
+  Mart m_const(constant), m_lin(linear);
+  m_const.Fit(train);
+  m_lin.Fit(train);
+  const double x_out = 130.0;  // training range is [0, 100]
+  const double truth = 3.0 * x_out;
+  EXPECT_LT(std::fabs(m_lin.Predict({x_out, 50.0}) - truth),
+            std::fabs(m_const.Predict({x_out, 50.0}) - truth));
+}
+
+TEST(LinearModelTest, RecoversLinearSignal) {
+  Dataset train = MakeLinearData(2000, 25);
+  LinearModel lm;
+  lm.Fit(train);
+  EXPECT_NEAR(lm.Predict({50.0, 10.0}), 150.0, 2.0);
+}
+
+TEST(LinearModelTest, FeatureSelectionDropsIrrelevantFeature) {
+  Dataset train = MakeLinearData(2000, 27);
+  LinearModel lm;
+  lm.Fit(train);
+  // Only x0 matters; selection should keep exactly it.
+  ASSERT_EQ(lm.selected_features().size(), 1u);
+  EXPECT_EQ(lm.selected_features()[0], 0u);
+}
+
+TEST(LinearModelTest, ExtrapolatesLinearly) {
+  Dataset train = MakeLinearData(2000, 29);
+  LinearModel lm;
+  lm.Fit(train);
+  EXPECT_NEAR(lm.Predict({1000.0, 0.0}), 3000.0, 30.0);  // 10x beyond training
+}
+
+TEST(LinearModelTest, PoorFitOnNonlinearData) {
+  Dataset train = MakeNlognData(2000, 31);
+  Dataset test = MakeNlognData(300, 32);
+  LinearModel lm;
+  lm.Fit(train);
+  Mart mart(MartParams{});
+  mart.Fit(train);
+  EXPECT_GT(Rmse(lm, test), 2.0 * Rmse(mart, test));
+}
+
+TEST(SvrTest, FitsLinearData) {
+  Dataset train = MakeLinearData(800, 33);
+  Dataset test = MakeLinearData(100, 34);
+  Svr svr(SvrParams{});
+  svr.Fit(train);
+  EXPECT_LT(Rmse(svr, test), 0.1 * TargetStd(test));
+}
+
+TEST(SvrTest, AllKernelsTrainAndPredictFinite) {
+  Dataset train = MakeNlognData(500, 35);
+  for (KernelType kt : {KernelType::kPoly, KernelType::kNormalizedPoly,
+                        KernelType::kRbf, KernelType::kPuk}) {
+    SvrParams p;
+    p.kernel = kt;
+    Svr svr(p);
+    svr.Fit(train);
+    const double pred = svr.Predict(train.x[0]);
+    EXPECT_TRUE(std::isfinite(pred)) << KernelName(kt);
+    EXPECT_GT(svr.NumSupportVectors(), 0u) << KernelName(kt);
+  }
+}
+
+TEST(SvrTest, RbfInterpolatesNonlinearData) {
+  Dataset train = MakeNlognData(800, 37);
+  Dataset test = MakeNlognData(150, 38);
+  SvrParams p;
+  p.kernel = KernelType::kRbf;
+  Svr svr(p);
+  svr.Fit(train);
+  EXPECT_LT(Rmse(svr, test), 0.25 * TargetStd(test));
+}
+
+TEST(SvrTest, SubsamplesLargeTrainingSets) {
+  Dataset train = MakeLinearData(5000, 39);
+  SvrParams p;
+  p.max_train_rows = 500;
+  Svr svr(p);
+  svr.Fit(train);
+  EXPECT_LE(svr.NumSupportVectors(), 500u);
+  EXPECT_NEAR(svr.Predict({50.0, 10.0}), 150.0, 10.0);
+}
+
+TEST(MlPropertyTest, MartBeatsLinearOnDiscontinuousData) {
+  // Multi-pass sort style discontinuity: cost jumps at a threshold.
+  Rng rng(41);
+  Dataset train, test;
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.Uniform(0, 100);
+    const double y = x + (x > 60 ? 500.0 : 0.0) + rng.Gaussian(0, 1);
+    (i % 10 == 0 ? test : train).Add({x}, y);
+  }
+  Mart mart(MartParams{});
+  LinearModel lm;
+  mart.Fit(train);
+  lm.Fit(train);
+  EXPECT_LT(Rmse(mart, test), 0.25 * Rmse(lm, test));
+}
+
+}  // namespace
+}  // namespace resest

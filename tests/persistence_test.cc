@@ -1,0 +1,147 @@
+// Tests for the model store: full-estimator serialization round-trips,
+// file persistence, corruption rejection, and the explain facility.
+#include <cstdio>
+#include <filesystem>
+
+#include "gtest/gtest.h"
+#include "src/common/serial.h"
+#include "src/core/estimator.h"
+#include "src/workload/runner.h"
+#include "src/workload/schemas.h"
+#include "src/workload/tpch_queries.h"
+
+namespace resest {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = GenerateDatabase(TpchSchema(), 1.0, 1.0, 42).release();
+    Rng rng(7);
+    const auto queries = GenerateTpchWorkload(100, &rng, db_);
+    workload_ = new std::vector<ExecutedQuery>(RunWorkload(db_, queries));
+    TrainOptions options;
+    options.mart.num_trees = 60;
+    estimator_ = new ResourceEstimator(
+        ResourceEstimator::Train(*workload_, options));
+  }
+  static void TearDownTestSuite() {
+    delete estimator_;
+    delete workload_;
+    delete db_;
+    estimator_ = nullptr;
+    workload_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+  static std::vector<ExecutedQuery>* workload_;
+  static ResourceEstimator* estimator_;
+};
+
+Database* PersistenceTest::db_ = nullptr;
+std::vector<ExecutedQuery>* PersistenceTest::workload_ = nullptr;
+ResourceEstimator* PersistenceTest::estimator_ = nullptr;
+
+TEST(ByteIoTest, PodRoundTrip) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(&buf);
+  w.U32(42);
+  w.F64(3.25);
+  w.String("hello");
+  w.PodVector(std::vector<int32_t>{1, -2, 3});
+  ByteReader r(buf);
+  uint32_t u = 0;
+  double d = 0;
+  std::string s;
+  std::vector<int32_t> v;
+  ASSERT_TRUE(r.U32(&u));
+  ASSERT_TRUE(r.F64(&d));
+  ASSERT_TRUE(r.String(&s));
+  ASSERT_TRUE(r.PodVector(&v));
+  EXPECT_EQ(u, 42u);
+  EXPECT_DOUBLE_EQ(d, 3.25);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(v, (std::vector<int32_t>{1, -2, 3}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteIoTest, ReaderRejectsTruncation) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(&buf);
+  w.F64(1.0);
+  buf.resize(4);
+  ByteReader r(buf);
+  double d = 0;
+  EXPECT_FALSE(r.F64(&d));
+}
+
+TEST_F(PersistenceTest, SerializeRoundTripPreservesPredictions) {
+  const auto bytes = estimator_->Serialize();
+  ASSERT_GT(bytes.size(), 1000u);
+  ResourceEstimator restored;
+  ASSERT_TRUE(restored.Deserialize(bytes));
+  for (size_t i = 0; i < workload_->size(); i += 7) {
+    const auto& eq = (*workload_)[i];
+    for (Resource r : {Resource::kCpu, Resource::kIo}) {
+      EXPECT_NEAR(estimator_->EstimateQuery(eq.plan, *db_, r),
+                  restored.EstimateQuery(eq.plan, *db_, r), 1e-6)
+          << eq.spec.name;
+    }
+  }
+}
+
+TEST_F(PersistenceTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "resest_model_store.bin").string();
+  ASSERT_TRUE(estimator_->SaveToFile(path));
+  ResourceEstimator restored;
+  ASSERT_TRUE(restored.LoadFromFile(path));
+  const auto& eq = (*workload_)[0];
+  EXPECT_NEAR(estimator_->EstimateQuery(eq.plan, *db_, Resource::kCpu),
+              restored.EstimateQuery(eq.plan, *db_, Resource::kCpu), 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST_F(PersistenceTest, DeserializeRejectsCorruptData) {
+  auto bytes = estimator_->Serialize();
+  ResourceEstimator restored;
+  // Bad magic.
+  auto bad = bytes;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(restored.Deserialize(bad));
+  // Truncated.
+  bytes.resize(bytes.size() / 3);
+  EXPECT_FALSE(restored.Deserialize(bytes));
+  // Empty.
+  EXPECT_FALSE(restored.Deserialize({}));
+}
+
+TEST_F(PersistenceTest, LoadFromMissingFileFails) {
+  ResourceEstimator restored;
+  EXPECT_FALSE(restored.LoadFromFile("/nonexistent/path/model.bin"));
+}
+
+TEST_F(PersistenceTest, ExplainNamesChosenModelAndFeatures) {
+  const auto& eq = (*workload_)[1];
+  const std::string report =
+      estimator_->ExplainQuery(eq.plan, *db_, Resource::kCpu);
+  // Every operator of the plan appears with a model and its features.
+  eq.plan.root->Visit([&](const PlanNode* n) {
+    EXPECT_NE(report.find(OpTypeName(n->type)), std::string::npos);
+  });
+  EXPECT_NE(report.find("estimate"), std::string::npos);
+  EXPECT_NE(report.find("COUT="), std::string::npos);
+  EXPECT_NE(report.find("out_ratio"), std::string::npos);
+}
+
+TEST_F(PersistenceTest, SerializedSizeMatchesAccounting) {
+  // The full store is larger than the sum of raw tree bytes (specs,
+  // envelopes) but within a small factor.
+  const auto bytes = estimator_->Serialize();
+  EXPECT_GE(bytes.size(), estimator_->SerializedBytes());
+  EXPECT_LE(bytes.size(), 2 * estimator_->SerializedBytes() + 4096);
+}
+
+}  // namespace
+}  // namespace resest

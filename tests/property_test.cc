@@ -1,0 +1,214 @@
+// Parameterized property tests (TEST_P sweeps) across operators, scale
+// factors, skews and resources: invariants that must hold for any
+// configuration, not just the fixtures the unit tests pin down.
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "src/common/stats.h"
+#include "src/core/estimator.h"
+#include "src/engine/executor.h"
+#include "src/workload/runner.h"
+#include "src/workload/schemas.h"
+#include "src/workload/tpch_queries.h"
+
+namespace resest {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Engine invariants over (scale factor, skew).
+// ---------------------------------------------------------------------------
+
+class EngineInvariantTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(EngineInvariantTest, ExecutionAccountingInvariants) {
+  const auto [sf, skew] = GetParam();
+  auto db = GenerateDatabase(TpchSchema(), sf, skew, 42);
+  Rng rng(11);
+  const auto queries = GenerateTpchWorkload(17, &rng, db.get());
+  const auto executed = RunWorkload(db.get(), queries);
+  ASSERT_FALSE(executed.empty());
+  for (const auto& eq : executed) {
+    eq.plan.root->Visit([&](const PlanNode* n) {
+      // Every operator executed, with non-negative resources.
+      EXPECT_TRUE(n->actual.executed);
+      EXPECT_GE(n->actual.cpu, 0.0);
+      EXPECT_GE(n->actual.logical_io, 0);
+      EXPECT_GE(n->actual.rows_out, 0);
+      // Output bytes are rows x width: zero rows means zero bytes.
+      if (n->actual.rows_out == 0) EXPECT_DOUBLE_EQ(n->actual.bytes_out, 0.0);
+      // Filters and Tops never increase cardinality.
+      if (n->type == OpType::kFilter || n->type == OpType::kTop) {
+        EXPECT_LE(n->actual.rows_out, n->actual.rows_in[0]);
+      }
+      // Sorts and scalar computations preserve cardinality.
+      if (n->type == OpType::kSort) {
+        EXPECT_EQ(n->actual.rows_out, n->actual.rows_in[0]);
+      }
+    });
+  }
+}
+
+TEST_P(EngineInvariantTest, ExecutionIsDeterministicUpToNoiseSeed) {
+  const auto [sf, skew] = GetParam();
+  auto db = GenerateDatabase(TpchSchema(), sf, skew, 42);
+  Rng rng(11);
+  const auto queries = GenerateTpchWorkload(5, &rng, db.get());
+  const auto a = RunWorkload(db.get(), queries, 7);
+  const auto b = RunWorkload(db.get(), queries, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].plan.TotalActualCpu(), b[i].plan.TotalActualCpu());
+    EXPECT_EQ(a[i].plan.TotalActualIo(), b[i].plan.TotalActualIo());
+    EXPECT_EQ(a[i].plan.root->actual.rows_out, b[i].plan.root->actual.rows_out);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScaleAndSkew, EngineInvariantTest,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 2.0),
+                       ::testing::Values(0.0, 1.0, 2.0)));
+
+// ---------------------------------------------------------------------------
+// Feature-extraction invariants per operator type.
+// ---------------------------------------------------------------------------
+
+class FeatureInvariantTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = GenerateDatabase(TpchSchema(), 1.0, 1.0, 42).release();
+    Rng rng(7);
+    const auto queries = GenerateTpchWorkload(80, &rng, db_);
+    workload_ = new std::vector<ExecutedQuery>(RunWorkload(db_, queries));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    delete db_;
+    workload_ = nullptr;
+    db_ = nullptr;
+  }
+  static Database* db_;
+  static std::vector<ExecutedQuery>* workload_;
+};
+
+Database* FeatureInvariantTest::db_ = nullptr;
+std::vector<ExecutedQuery>* FeatureInvariantTest::workload_ = nullptr;
+
+TEST_P(FeatureInvariantTest, ExtractedFeaturesAreConsistent) {
+  const OpType op = static_cast<OpType>(GetParam());
+  int seen = 0;
+  for (const auto& eq : *workload_) {
+    eq.plan.root->Visit([&](const PlanNode* n) {
+      if (n->type != op) return;
+      ++seen;
+      for (const FeatureMode mode :
+           {FeatureMode::kExact, FeatureMode::kEstimated}) {
+        const FeatureVector v = ExtractFeatures(*n, nullptr, *db_, mode);
+        for (int f = 0; f < kNumFeatures; ++f) {
+          EXPECT_TRUE(std::isfinite(v[static_cast<size_t>(f)]))
+              << OpTypeName(op) << " " << FeatureName(static_cast<FeatureId>(f));
+        }
+        // SOUTTOT == COUT x SOUTAVG (within rounding).
+        const double cout = v[static_cast<size_t>(FeatureId::kCOut)];
+        const double avg = v[static_cast<size_t>(FeatureId::kSOutAvg)];
+        const double tot = v[static_cast<size_t>(FeatureId::kSOutTot)];
+        EXPECT_NEAR(cout * avg, tot, 1e-6 * std::max(1.0, tot));
+        // No negative counts or widths.
+        EXPECT_GE(cout, 0.0);
+        EXPECT_GE(avg, 0.0);
+      }
+    });
+  }
+  if (seen == 0) GTEST_SKIP() << OpTypeName(op) << " not present in workload";
+}
+
+TEST_P(FeatureInvariantTest, OperatorFeatureListNonEmptyAndUnique) {
+  const OpType op = static_cast<OpType>(GetParam());
+  const auto& feats = OperatorFeatures(op);
+  EXPECT_GE(feats.size(), 4u);
+  for (size_t i = 0; i < feats.size(); ++i) {
+    for (size_t j = i + 1; j < feats.size(); ++j) {
+      EXPECT_NE(feats[i], feats[j]) << OpTypeName(op);
+    }
+  }
+  // Scalable candidates are a subset of the operator's features.
+  for (Resource r : {Resource::kCpu, Resource::kIo}) {
+    for (FeatureId f : ScalableFeatures(op, r)) {
+      EXPECT_NE(std::find(feats.begin(), feats.end(), f), feats.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOperators, FeatureInvariantTest,
+                         ::testing::Range(0, kNumOpTypes));
+
+// ---------------------------------------------------------------------------
+// Scaling-function properties.
+// ---------------------------------------------------------------------------
+
+class ScalingFnPropertyTest : public ::testing::TestWithParam<ScalingFn> {};
+
+TEST_P(ScalingFnPropertyTest, MonotoneNondecreasingInFirstArg) {
+  const ScalingFn fn = GetParam();
+  double prev = 0.0;
+  for (double a = 1; a <= 1e7; a *= 3) {
+    const double g = EvalScaling(fn, a, 50.0);
+    EXPECT_TRUE(std::isfinite(g));
+    EXPECT_GE(g, prev) << ScalingFnName(fn) << " at a=" << a;
+    prev = g;
+  }
+}
+
+TEST_P(ScalingFnPropertyTest, PositiveAndFiniteOnDegenerateInputs) {
+  const ScalingFn fn = GetParam();
+  for (double a : {0.0, 0.5, 1.0, 1e-9}) {
+    const double g = EvalScaling(fn, a, 0.0);
+    EXPECT_TRUE(std::isfinite(g)) << ScalingFnName(fn);
+    EXPECT_GE(g, 0.0) << ScalingFnName(fn);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllForms, ScalingFnPropertyTest,
+    ::testing::Values(ScalingFn::kLinear, ScalingFn::kLog2, ScalingFn::kNLogN,
+                      ScalingFn::kSqrt, ScalingFn::kPower15,
+                      ScalingFn::kQuadratic, ScalingFn::kCubic, ScalingFn::kSum,
+                      ScalingFn::kProduct, ScalingFn::kALogB));
+
+// ---------------------------------------------------------------------------
+// Combined-model properties per resource.
+// ---------------------------------------------------------------------------
+
+class EstimatorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EstimatorPropertyTest, EstimatesNonNegativeAndFinite) {
+  const Resource resource = static_cast<Resource>(GetParam());
+  auto db = GenerateDatabase(TpchSchema(), 1.0, 1.5, 42);
+  Rng rng(7);
+  const auto train =
+      RunWorkload(db.get(), GenerateTpchWorkload(100, &rng, db.get()));
+  TrainOptions options;
+  options.mart.num_trees = 60;
+  const ResourceEstimator est = ResourceEstimator::Train(train, options);
+  const auto test =
+      RunWorkload(db.get(), GenerateTpchWorkload(30, &rng, db.get()), 99);
+  for (const auto& eq : test) {
+    const double v = est.EstimateQuery(eq.plan, *db, resource);
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+    // Pipeline estimates sum to the query estimate.
+    double pipeline_sum = 0;
+    for (double p : est.EstimatePipelines(eq.plan, *db, resource)) {
+      pipeline_sum += p;
+    }
+    EXPECT_NEAR(v, pipeline_sum, 1e-6 * std::max(1.0, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothResources, EstimatorPropertyTest,
+                         ::testing::Values(0, 1));
+
+}  // namespace
+}  // namespace resest

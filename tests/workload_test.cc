@@ -1,0 +1,119 @@
+// Tests for src/workload: template generation, the four workload families,
+// and the end-to-end runner over multiple scale factors.
+#include <set>
+
+#include "gtest/gtest.h"
+#include "src/common/stats.h"
+#include "src/workload/real_queries.h"
+#include "src/workload/runner.h"
+#include "src/workload/schemas.h"
+#include "src/workload/tpcds_queries.h"
+#include "src/workload/tpch_queries.h"
+
+namespace resest {
+namespace {
+
+TEST(TpchWorkloadTest, TemplatesProduceDistinctParameters) {
+  auto db = GenerateDatabase(TpchSchema(), 0.5, 1.0, 42);
+  Rng rng(3);
+  const QuerySpec a = MakeTpchQuery(1, &rng, db.get());
+  const QuerySpec b = MakeTpchQuery(1, &rng, db.get());
+  ASSERT_EQ(a.name, b.name);
+  // Same template, different parameter draws.
+  ASSERT_FALSE(a.tables[1].predicates.empty());
+  EXPECT_TRUE(a.tables[1].predicates[0].lo != b.tables[1].predicates[0].lo ||
+              a.tables[1].predicates[0].hi != b.tables[1].predicates[0].hi);
+}
+
+TEST(TpchWorkloadTest, WorkloadCyclesAllTemplates) {
+  auto db = GenerateDatabase(TpchSchema(), 0.5, 1.0, 42);
+  Rng rng(3);
+  const auto ws = GenerateTpchWorkload(2 * NumTpchTemplates(), &rng, db.get());
+  std::set<std::string> names;
+  for (const auto& q : ws) names.insert(q.name);
+  EXPECT_EQ(static_cast<int>(names.size()), NumTpchTemplates());
+}
+
+TEST(TpchWorkloadTest, AllTemplatesRunOnTpch) {
+  auto db = GenerateDatabase(TpchSchema(), 0.5, 1.0, 42);
+  Rng rng(5);
+  const auto ws = GenerateTpchWorkload(NumTpchTemplates(), &rng, db.get());
+  const auto executed = RunWorkload(db.get(), ws);
+  EXPECT_EQ(executed.size(), ws.size()) << "every template should execute";
+}
+
+TEST(TpcdsWorkloadTest, AllTemplatesRunOnTpcds) {
+  auto db = GenerateDatabase(TpcdsSchema(), 0.5, 1.0, 42);
+  Rng rng(5);
+  const auto ws = GenerateTpcdsWorkload(NumTpcdsTemplates(), &rng, db.get());
+  const auto executed = RunWorkload(db.get(), ws);
+  EXPECT_EQ(executed.size(), ws.size());
+}
+
+TEST(RealWorkloadTest, Real1QueriesJoinFiveToEightTables) {
+  Rng rng(5);
+  const auto ws = GenerateReal1Workload(50, &rng);
+  ASSERT_EQ(ws.size(), 50u);
+  for (const auto& q : ws) {
+    EXPECT_GE(q.tables.size(), 5u) << q.name;
+    EXPECT_LE(q.tables.size(), 8u) << q.name;
+    // Connected join graph: #edges >= #tables - 1.
+    EXPECT_GE(q.joins.size() + 1, q.tables.size()) << q.name;
+  }
+}
+
+TEST(RealWorkloadTest, Real2QueriesAreDeep) {
+  Rng rng(5);
+  const auto ws = GenerateReal2Workload(100, &rng);
+  double total_tables = 0;
+  size_t max_tables = 0;
+  for (const auto& q : ws) {
+    total_tables += static_cast<double>(q.tables.size());
+    max_tables = std::max(max_tables, q.tables.size());
+    // No table joined twice (the executor would see ambiguous columns).
+    std::set<std::string> names;
+    for (const auto& t : q.tables) EXPECT_TRUE(names.insert(t.table).second) << q.name;
+  }
+  EXPECT_GT(total_tables / 100.0, 6.0);
+  EXPECT_GE(max_tables, 10u);
+}
+
+TEST(RealWorkloadTest, RealWorkloadsExecute) {
+  auto db1 = GenerateDatabase(Real1Schema(), 0.3, 1.0, 42);
+  auto db2 = GenerateDatabase(Real2Schema(), 0.3, 1.0, 42);
+  Rng rng(5);
+  const auto w1 = GenerateReal1Workload(30, &rng);
+  const auto w2 = GenerateReal2Workload(30, &rng);
+  EXPECT_EQ(RunWorkload(db1.get(), w1).size(), w1.size());
+  EXPECT_EQ(RunWorkload(db2.get(), w2).size(), w2.size());
+}
+
+TEST(RunnerTest, ResourceVarianceAcrossParametersIsLarge) {
+  // Under skew, instances of the same template differ strongly in resource
+  // use (the property the paper's TPC-H workload is designed to have).
+  auto db = GenerateDatabase(TpchSchema(), 1.0, 2.0, 42);
+  Rng rng(5);
+  std::vector<QuerySpec> qs;
+  for (int i = 0; i < 12; ++i) qs.push_back(MakeTpchQuery(4, &rng, db.get()));  // Q6
+  const auto executed = RunWorkload(db.get(), qs);
+  std::vector<double> cpus;
+  for (const auto& eq : executed) cpus.push_back(eq.plan.TotalActualCpu());
+  ASSERT_GT(cpus.size(), 6u);
+  EXPECT_GT(Max(cpus) / std::max(1e-9, Min(cpus)), 1.5);
+}
+
+TEST(RunnerTest, CpuGrowsWithScaleFactor) {
+  Rng rng(5);
+  auto small = GenerateDatabase(TpchSchema(), 1.0, 1.0, 42);
+  auto large = GenerateDatabase(TpchSchema(), 4.0, 1.0, 42);
+  std::vector<QuerySpec> qs = {MakeTpchQuery(0, &rng, small.get())};  // Q1
+  const auto es = RunWorkload(small.get(), qs);
+  const auto el = RunWorkload(large.get(), qs);
+  ASSERT_EQ(es.size(), 1u);
+  ASSERT_EQ(el.size(), 1u);
+  EXPECT_GT(el[0].plan.TotalActualCpu(), 2.0 * es[0].plan.TotalActualCpu());
+  EXPECT_GT(el[0].plan.TotalActualIo(), 2 * es[0].plan.TotalActualIo());
+}
+
+}  // namespace
+}  // namespace resest
