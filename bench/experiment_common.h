@@ -32,14 +32,17 @@ struct Corpus {
   std::vector<ExecutedQuery> queries;
 };
 
-inline int TotalTpchQueries() {
-  const char* env = std::getenv("RESEST_QUERIES");
+/// Positive integer from the environment, or `fallback` if unset/invalid.
+inline int EnvInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
   if (env != nullptr) {
     const int v = std::atoi(env);
     if (v > 0) return v;
   }
-  return 1200;
+  return fallback;
 }
+
+inline int TotalTpchQueries() { return EnvInt("RESEST_QUERIES", 1200); }
 
 /// The paper's TPC-H corpus: scale factors 1,2,4,6,8,10 with Zipf skew.
 inline Corpus BuildTpchCorpus(int total_queries, double skew, uint64_t seed) {

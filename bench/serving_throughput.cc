@@ -1,0 +1,108 @@
+// Serving throughput: single-thread serial estimation loop vs. the batched
+// EstimationService fanning the same requests across a worker pool.
+//
+// Also verifies the serving contract end-to-end: batched results must be
+// bit-identical to the serial ResourceEstimator output.
+//
+// Environment knobs:
+//   RESEST_SERVING_THREADS   worker pool size          (default 8)
+//   RESEST_SERVING_REQUESTS  requests per measurement  (default 2000)
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/experiment_common.h"
+#include "src/serving/estimation_service.h"
+#include "src/serving/model_registry.h"
+#include "src/serving/thread_pool.h"
+#include "src/workload/runner.h"
+#include "src/workload/schemas.h"
+#include "src/workload/tpch_queries.h"
+
+using namespace resest;
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const int num_threads = bench::EnvInt("RESEST_SERVING_THREADS", 8);
+  const int num_requests = bench::EnvInt("RESEST_SERVING_REQUESTS", 2000);
+
+  std::printf("== serving throughput: serial loop vs. %d-worker batched ==\n\n",
+              num_threads);
+  std::printf("hardware concurrency: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  // Train once, serve many: the paper's deployment model.
+  auto db = GenerateDatabase(TpchSchema(), 1.0, 1.5, 42);
+  Rng rng(7);
+  const auto train =
+      RunWorkload(db.get(), GenerateTpchWorkload(150, &rng, db.get()));
+  TrainOptions options;
+  const auto estimator = std::make_shared<const ResourceEstimator>(
+      ResourceEstimator::Train(train, options));
+
+  // Request stream: cycle the executed plans until we have num_requests.
+  std::vector<EstimateRequest> requests;
+  requests.reserve(static_cast<size_t>(num_requests));
+  for (int i = 0; i < num_requests; ++i) {
+    const auto& eq = train[static_cast<size_t>(i) % train.size()];
+    requests.push_back({&eq.plan, eq.database,
+                        i % 2 == 0 ? Resource::kCpu : Resource::kIo});
+  }
+
+  // --- Serial baseline: one thread, one request at a time. ---
+  std::vector<double> serial(requests.size());
+  // Untimed warm-up pass, mirroring the batched path's warm-up below, so
+  // neither side pays first-touch cache/page costs inside the measurement.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    serial[i] = estimator->EstimateQuery(*requests[i].plan,
+                                         *requests[i].database,
+                                         requests[i].resource);
+  }
+  const auto serial_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < requests.size(); ++i) {
+    serial[i] = estimator->EstimateQuery(*requests[i].plan,
+                                         *requests[i].database,
+                                         requests[i].resource);
+  }
+  const double serial_sec = SecondsSince(serial_start);
+
+  // --- Batched service path. ---
+  ModelRegistry registry;
+  registry.Publish("default", estimator);
+  ThreadPool pool(static_cast<size_t>(num_threads));
+  ServiceOptions service_options;
+  service_options.max_batch_size = requests.size();
+  EstimationService service(&registry, &pool, service_options);
+
+  service.EstimateBatch(requests);  // warm-up (threads running, pages hot)
+  const auto batch_start = std::chrono::steady_clock::now();
+  const auto results = service.EstimateBatch(requests);
+  const double batch_sec = SecondsSince(batch_start);
+
+  size_t mismatches = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!results[i].ok() || results[i].value != serial[i]) ++mismatches;
+  }
+
+  const double serial_qps = static_cast<double>(requests.size()) / serial_sec;
+  const double batch_qps = static_cast<double>(requests.size()) / batch_sec;
+  std::printf("%-24s %12s %14s\n", "path", "time (s)", "throughput");
+  std::printf("%-24s %12.3f %11.0f q/s\n", "serial loop", serial_sec,
+              serial_qps);
+  std::printf("%-24s %12.3f %11.0f q/s\n", "batched (pooled)", batch_sec,
+              batch_qps);
+  std::printf("\nspeedup: %.2fx  (%d workers)\n", serial_sec / batch_sec,
+              num_threads);
+  std::printf("bit-identical to serial: %s (%zu/%zu mismatches)\n",
+              mismatches == 0 ? "yes" : "NO", mismatches, requests.size());
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,4 +1,8 @@
-// Admission control — the paper's first motivating application (Section 1).
+// Admission control — the paper's first motivating application (Section 1),
+// now wired through the serving subsystem: the SCALING estimator is trained
+// offline, serialized, published into a ModelRegistry, and the admission
+// queue is estimated in one batched EstimationService call fanned across a
+// worker pool (the paper's Figure 5 deployment).
 //
 // A server with a CPU budget per scheduling window must decide, before
 // executing each submitted query, whether to admit it now or defer it.
@@ -9,6 +13,9 @@
 #include <vector>
 
 #include "src/baselines/harness.h"
+#include "src/serving/estimation_service.h"
+#include "src/serving/model_registry.h"
+#include "src/serving/thread_pool.h"
 #include "src/workload/runner.h"
 #include "src/workload/schemas.h"
 #include "src/workload/tpch_queries.h"
@@ -69,18 +76,57 @@ int main() {
   const auto queue =
       RunWorkload(prod_db.get(), GenerateTpchWorkload(120, &rng, prod_db.get()), 55);
 
-  const auto scaling = TrainTechnique("SCALING", train, FeatureMode::kEstimated);
-  const auto opt = TrainTechnique("OPT", train, FeatureMode::kEstimated);
+  // Offline: train SCALING, persist the model store, publish into the server.
+  TrainOptions scaling_options;
+  scaling_options.mode = FeatureMode::kEstimated;
+  const ResourceEstimator trained =
+      ResourceEstimator::Train(train, scaling_options);
+  ModelRegistry registry;
+  const uint64_t version =
+      registry.PublishSerialized("admission", trained.Serialize());
+  if (version == 0) {
+    std::printf("model publish failed\n");
+    return 1;
+  }
 
+  // Online: one batched estimation call for the whole admission queue.
+  ThreadPool pool(4);
+  ServiceOptions service_options;
+  service_options.model_name = "admission";
+  EstimationService service(&registry, &pool, service_options);
+
+  std::vector<EstimateRequest> requests;
+  for (const auto& eq : queue) {
+    requests.push_back({&eq.plan, eq.database, Resource::kCpu});
+  }
+  if (requests.empty()) {
+    std::printf("no executable queries in the admission queue\n");
+    return 1;
+  }
+  const auto batched = service.EstimateBatch(requests);
+
+  const auto opt = TrainTechnique("OPT", train, FeatureMode::kEstimated);
   std::vector<double> scaling_est, opt_est, oracle_est;
   double total_cpu = 0;
-  for (const auto& eq : queue) {
-    scaling_est.push_back(scaling->Estimate(eq, Resource::kCpu));
-    opt_est.push_back(opt->Estimate(eq, Resource::kCpu));
-    oracle_est.push_back(eq.plan.TotalActualCpu());
-    total_cpu += eq.plan.TotalActualCpu();
+  for (size_t i = 0; i < queue.size(); ++i) {
+    if (!batched[i].ok()) {
+      std::printf("estimate %zu failed: %s\n", i,
+                  EstimateStatusName(batched[i].status));
+      return 1;
+    }
+    scaling_est.push_back(batched[i].value);
+    opt_est.push_back(opt->Estimate(queue[i], Resource::kCpu));
+    oracle_est.push_back(queue[i].plan.TotalActualCpu());
+    total_cpu += queue[i].plan.TotalActualCpu();
   }
   const double budget = total_cpu / 8.0;  // ~8 scheduling windows
+  const ServiceStats stats = service.stats();
+  std::printf("served %llu estimates in %llu batch(es) from model v%llu "
+              "(%zu workers)\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(batched[0].model_version),
+              pool.num_threads());
   std::printf("queue: %zu queries, CPU budget per window: %.0f ms\n\n",
               queue.size(), budget);
 

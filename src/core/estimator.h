@@ -29,6 +29,14 @@ struct TrainOptions {
 };
 
 /// A trained resource estimator (the paper's deployed artifact, Figure 5).
+///
+/// Thread safety: after Train()/Deserialize() completes, all const methods
+/// are safe to call concurrently from any number of threads. The entire
+/// estimation path (feature extraction, model selection, scaling, MART
+/// inference) is free of mutable or lazily-initialized state — the serving
+/// layer (src/serving/) relies on this to share one estimator across a
+/// worker pool without locking. Keep it that way: no caches inside const
+/// methods without synchronization.
 class ResourceEstimator {
  public:
   /// Trains per-operator model sets from executed queries.

@@ -1,0 +1,133 @@
+#include "src/serving/estimation_service.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+namespace resest {
+
+const char* EstimateStatusName(EstimateStatus s) {
+  switch (s) {
+    case EstimateStatus::kOk:
+      return "OK";
+    case EstimateStatus::kModelNotFound:
+      return "MODEL_NOT_FOUND";
+    case EstimateStatus::kInvalidRequest:
+      return "INVALID_REQUEST";
+    case EstimateStatus::kBatchTooLarge:
+      return "BATCH_TOO_LARGE";
+  }
+  return "UNKNOWN";
+}
+
+EstimationService::EstimationService(const ModelRegistry* registry,
+                                     ThreadPool* pool, ServiceOptions options)
+    : registry_(registry), pool_(pool), options_(std::move(options)) {
+  if (options_.chunk_size == 0) options_.chunk_size = 1;
+}
+
+EstimateResult EstimationService::EstimateWith(
+    const ModelSnapshot& snapshot, const EstimateRequest& request) const {
+  EstimateResult result;
+  if (!snapshot) {
+    result.status = EstimateStatus::kModelNotFound;
+    return result;
+  }
+  result.model_version = snapshot.version;
+  if (request.plan == nullptr || request.database == nullptr) {
+    result.status = EstimateStatus::kInvalidRequest;
+    return result;
+  }
+  result.value = snapshot.estimator->EstimateQuery(
+      *request.plan, *request.database, request.resource);
+  return result;
+}
+
+EstimateResult EstimationService::Estimate(
+    const EstimateRequest& request) const {
+  const EstimateResult result = EstimateWith(registry_->Get(options_.model_name),
+                                             request);
+  if (result.ok()) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+std::vector<EstimateResult> EstimationService::EstimateBatch(
+    const std::vector<EstimateRequest>& requests) const {
+  std::vector<EstimateResult> results(requests.size());
+  if (requests.empty()) return results;
+  if (requests.size() > options_.max_batch_size) {
+    rejected_batches_.fetch_add(1, std::memory_order_relaxed);
+    errors_.fetch_add(requests.size(), std::memory_order_relaxed);
+    for (auto& r : results) r.status = EstimateStatus::kBatchTooLarge;
+    return results;
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+
+  // One snapshot for the whole batch: a concurrent Publish never splits a
+  // batch across model versions.
+  const ModelSnapshot snapshot = registry_->Get(options_.model_name);
+  if (!snapshot) {
+    errors_.fetch_add(requests.size(), std::memory_order_relaxed);
+    for (auto& r : results) r.status = EstimateStatus::kModelNotFound;
+    return results;
+  }
+
+  // Fan chunks out across the pool; each chunk writes disjoint result slots,
+  // so request order is preserved without any post-hoc reordering.
+  std::vector<std::future<void>> pending;
+  pending.reserve(requests.size() / options_.chunk_size + 1);
+  try {
+    for (size_t begin = 0; begin < requests.size();
+         begin += options_.chunk_size) {
+      const size_t end = std::min(begin + options_.chunk_size, requests.size());
+      pending.push_back(pool_->Submit([this, &snapshot, &requests, &results,
+                                       begin, end]() {
+        for (size_t i = begin; i < end; ++i) {
+          results[i] = EstimateWith(snapshot, requests[i]);
+        }
+      }));
+    }
+  } catch (...) {
+    // Submit can throw (pool shutdown, bad_alloc). Already-enqueued chunks
+    // reference this frame's locals; wait them out before unwinding.
+    for (auto& f : pending) f.wait();
+    throw;
+  }
+  // Same hazard on the result path: wait for every chunk before the first
+  // rethrowing get() can unwind the frame.
+  for (auto& f : pending) f.wait();
+  for (auto& f : pending) f.get();
+
+  uint64_t ok = 0, failed = 0;
+  for (const auto& r : results) (r.ok() ? ok : failed)++;
+  requests_.fetch_add(ok, std::memory_order_relaxed);
+  errors_.fetch_add(failed, std::memory_order_relaxed);
+  return results;
+}
+
+std::vector<double> EstimationService::EstimatePipelines(
+    const EstimateRequest& request) const {
+  const ModelSnapshot snapshot = registry_->Get(options_.model_name);
+  if (!snapshot || request.plan == nullptr || request.database == nullptr) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  return snapshot.estimator->EstimatePipelines(*request.plan, *request.database,
+                                               request.resource);
+}
+
+ServiceStats EstimationService::stats() const {
+  ServiceStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.rejected_batches = rejected_batches_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace resest

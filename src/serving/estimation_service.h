@@ -1,0 +1,110 @@
+// The prediction-serving front end (paper Figure 5): a thread-safe service
+// answering single and batched resource-estimate requests from the active
+// model in a ModelRegistry, fanning batches out across a ThreadPool.
+//
+// Results are returned in request order and are bit-identical to calling
+// ResourceEstimator::EstimateQuery serially: each request's estimate is an
+// independent computation against an immutable estimator snapshot, so the
+// floating-point evaluation order within a request never changes.
+#ifndef RESEST_SERVING_ESTIMATION_SERVICE_H_
+#define RESEST_SERVING_ESTIMATION_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/serving/model_registry.h"
+#include "src/serving/thread_pool.h"
+
+namespace resest {
+
+/// One estimation request: an annotated plan on a database, for a resource.
+/// `plan` and `database` must outlive the call.
+struct EstimateRequest {
+  const Plan* plan = nullptr;
+  const Database* database = nullptr;
+  Resource resource = Resource::kCpu;
+};
+
+enum class EstimateStatus {
+  kOk = 0,
+  kModelNotFound,   ///< No active model under the service's model name.
+  kInvalidRequest,  ///< Null plan or database.
+  kBatchTooLarge,   ///< Batch exceeds ServiceOptions::max_batch_size.
+};
+const char* EstimateStatusName(EstimateStatus s);
+
+struct EstimateResult {
+  EstimateStatus status = EstimateStatus::kOk;
+  double value = 0.0;
+  uint64_t model_version = 0;  ///< Version that served the request.
+
+  bool ok() const { return status == EstimateStatus::kOk; }
+};
+
+struct ServiceOptions {
+  std::string model_name = "default";
+  size_t max_batch_size = 4096;  ///< Larger batches are rejected whole.
+  /// Requests per pool task when fanning out a batch. Small chunks balance
+  /// load across workers; large chunks amortize queueing overhead.
+  size_t chunk_size = 8;
+};
+
+/// Aggregate counters; values are monotonically increasing.
+struct ServiceStats {
+  uint64_t requests = 0;          ///< Individual estimates served OK.
+  uint64_t batches = 0;           ///< Batch calls accepted.
+  uint64_t rejected_batches = 0;  ///< Batch calls rejected as oversized.
+  uint64_t errors = 0;            ///< Requests that returned a non-OK status.
+};
+
+/// Thread-safe estimation front end. All methods may be called concurrently;
+/// the registry and pool must outlive the service.
+///
+/// Reentrancy: EstimateBatch blocks on tasks submitted to the service's own
+/// pool, so it must NOT be called from a task running on that pool — with
+/// few (or busy) workers the chunks it waits on can only run on the blocked
+/// worker itself, deadlocking the pool. Callers composing serving with other
+/// pool work (async APIs, parallel training) need a separate pool.
+class EstimationService {
+ public:
+  EstimationService(const ModelRegistry* registry, ThreadPool* pool,
+                    ServiceOptions options = {});
+
+  /// Estimates one plan on the calling thread (no pool hop).
+  EstimateResult Estimate(const EstimateRequest& request) const;
+
+  /// Estimates a batch, fanned out across the pool in chunks. The whole
+  /// batch is served from one model snapshot, so all results carry the same
+  /// model_version even if a publish races the call. Returns one result per
+  /// request, in request order. Empty input returns an empty vector;
+  /// oversized input returns kBatchTooLarge for every request.
+  std::vector<EstimateResult> EstimateBatch(
+      const std::vector<EstimateRequest>& requests) const;
+
+  /// Per-pipeline estimates for one plan (scheduling granularity). An empty
+  /// vector signals failure (no active model, or null plan/database) —
+  /// served plans always have at least one pipeline.
+  std::vector<double> EstimatePipelines(const EstimateRequest& request) const;
+
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  EstimateResult EstimateWith(const ModelSnapshot& snapshot,
+                              const EstimateRequest& request) const;
+
+  const ModelRegistry* registry_;
+  ThreadPool* pool_;
+  ServiceOptions options_;
+
+  mutable std::atomic<uint64_t> requests_{0};
+  mutable std::atomic<uint64_t> batches_{0};
+  mutable std::atomic<uint64_t> rejected_batches_{0};
+  mutable std::atomic<uint64_t> errors_{0};
+};
+
+}  // namespace resest
+
+#endif  // RESEST_SERVING_ESTIMATION_SERVICE_H_

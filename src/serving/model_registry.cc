@@ -1,0 +1,90 @@
+#include "src/serving/model_registry.h"
+
+#include <utility>
+
+namespace resest {
+
+uint64_t ModelRegistry::Publish(
+    const std::string& name,
+    std::shared_ptr<const ResourceEstimator> estimator) {
+  if (!estimator) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  const uint64_t version = next_version_++;
+  entry.versions[version] = std::move(estimator);
+  entry.active = version;
+  EvictLocked(&entry);
+  return version;
+}
+
+uint64_t ModelRegistry::PublishSerialized(const std::string& name,
+                                          const std::vector<uint8_t>& bytes) {
+  auto estimator = std::make_shared<ResourceEstimator>();
+  if (!estimator->Deserialize(bytes)) return 0;
+  return Publish(name, std::move(estimator));
+}
+
+ModelSnapshot ModelRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return {};
+  auto vit = it->second.versions.find(it->second.active);
+  if (vit == it->second.versions.end()) return {};
+  return {vit->second, vit->first};
+}
+
+ModelSnapshot ModelRegistry::GetVersion(const std::string& name,
+                                        uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return {};
+  auto vit = it->second.versions.find(version);
+  if (vit == it->second.versions.end()) return {};
+  return {vit->second, vit->first};
+}
+
+bool ModelRegistry::Activate(const std::string& name, uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  if (it->second.versions.count(version) == 0) return false;
+  it->second.active = version;
+  return true;
+}
+
+void ModelRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(name);
+}
+
+std::vector<uint64_t> ModelRegistry::Versions(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> out;
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return out;
+  for (const auto& [v, _] : it->second.versions) out.push_back(v);
+  return out;
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, _] : entries_) out.push_back(name);
+  return out;
+}
+
+void ModelRegistry::EvictLocked(Entry* entry) {
+  while (entry->versions.size() > max_versions_) {
+    auto oldest = entry->versions.begin();
+    if (oldest->first == entry->active) {
+      // The active version is pinned; evict the next-oldest instead.
+      auto next = std::next(oldest);
+      if (next == entry->versions.end()) return;
+      entry->versions.erase(next);
+    } else {
+      entry->versions.erase(oldest);
+    }
+  }
+}
+
+}  // namespace resest

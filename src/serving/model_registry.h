@@ -1,0 +1,87 @@
+// Versioned registry of trained ResourceEstimators with atomic hot-swap.
+//
+// The serving deployment of the paper (Figure 5): models are trained
+// offline, serialized, and published into a long-lived server process.
+// Readers take a shared_ptr snapshot of the active model under a brief
+// lock, then predict lock-free; publishing a new version swaps the active
+// pointer without disturbing in-flight readers, which keep their snapshot
+// alive until they drop it.
+#ifndef RESEST_SERVING_MODEL_REGISTRY_H_
+#define RESEST_SERVING_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/estimator.h"
+
+namespace resest {
+
+/// A snapshot handle: the estimator plus the version it was published as.
+struct ModelSnapshot {
+  std::shared_ptr<const ResourceEstimator> estimator;
+  uint64_t version = 0;
+
+  explicit operator bool() const { return estimator != nullptr; }
+};
+
+/// Thread-safe, versioned store of named estimators.
+class ModelRegistry {
+ public:
+  /// Publishes an estimator under `name`; returns its (monotonic) version.
+  /// The new version becomes the active one for subsequent Get() calls.
+  uint64_t Publish(const std::string& name,
+                   std::shared_ptr<const ResourceEstimator> estimator);
+
+  /// Deserializes `bytes` (ResourceEstimator::Serialize format) and
+  /// publishes the result. Returns 0 on corrupt input.
+  uint64_t PublishSerialized(const std::string& name,
+                             const std::vector<uint8_t>& bytes);
+
+  /// Snapshot of the active version of `name` (empty snapshot if absent).
+  ModelSnapshot Get(const std::string& name) const;
+
+  /// Snapshot of a specific retained version (empty snapshot if evicted or
+  /// never published).
+  ModelSnapshot GetVersion(const std::string& name, uint64_t version) const;
+
+  /// Reactivates a retained older version (rollback). Returns false if that
+  /// version is not retained.
+  bool Activate(const std::string& name, uint64_t version);
+
+  /// Removes the name and all retained versions.
+  void Remove(const std::string& name);
+
+  /// Versions currently retained for `name`, oldest first.
+  std::vector<uint64_t> Versions(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+  /// How many versions to retain per name (older ones are evicted on
+  /// publish; the active version is never evicted). Default 2: current
+  /// plus one rollback target.
+  void set_max_versions(size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_versions_ = n == 0 ? 1 : n;
+  }
+
+ private:
+  struct Entry {
+    std::map<uint64_t, std::shared_ptr<const ResourceEstimator>> versions;
+    uint64_t active = 0;
+  };
+
+  void EvictLocked(Entry* entry);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  uint64_t next_version_ = 1;
+  size_t max_versions_ = 2;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_SERVING_MODEL_REGISTRY_H_

@@ -1,0 +1,66 @@
+// A fixed-size worker pool with a lock-based task queue. Shared by the
+// serving layer (batched estimation fan-out) and, later, parallel training.
+#ifndef RESEST_SERVING_THREAD_POOL_H_
+#define RESEST_SERVING_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace resest {
+
+/// Fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// Tasks are `std::function<void()>`; `Submit` wraps a callable and returns
+/// a future for its result. The destructor drains the queue (every task
+/// submitted before destruction runs) and joins all workers. All public
+/// methods are thread-safe.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a callable; returns a future for its result. Submitting after
+  /// shutdown has begun throws std::runtime_error.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return result;
+  }
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks currently queued (excludes running tasks); for tests/metrics.
+  size_t QueueDepth() const;
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;       ///< Tasks currently executing.
+  bool shutdown_ = false;   ///< Set once by the destructor.
+};
+
+}  // namespace resest
+
+#endif  // RESEST_SERVING_THREAD_POOL_H_

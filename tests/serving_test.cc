@@ -1,0 +1,388 @@
+// Tests for src/serving: thread pool semantics, registry versioning and
+// hot-swap under concurrent readers, and the batched estimation service —
+// including the core contract that pooled batched results are bit-identical
+// to the serial ResourceEstimator path.
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/serving/estimation_service.h"
+#include "src/serving/model_registry.h"
+#include "src/serving/thread_pool.h"
+#include "src/workload/runner.h"
+#include "src/workload/schemas.h"
+#include "src/workload/tpch_queries.h"
+
+namespace resest {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&count, i]() {
+      count.fetch_add(1);
+      return i;
+    }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i);
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&done]() { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 16);
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&done]() { done.fetch_add(1); });
+    }
+  }  // ~ThreadPool must run every queued task before joining.
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.Submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Shared serving fixture: one small trained estimator + workload.
+// ---------------------------------------------------------------------------
+
+class ServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = GenerateDatabase(TpchSchema(), 0.6, 1.0, 42).release();
+    Rng rng(7);
+    auto queries = GenerateTpchWorkload(70, &rng, db_);
+    workload_ = new std::vector<ExecutedQuery>(RunWorkload(db_, queries));
+    TrainOptions options;
+    options.mart.num_trees = 40;  // small models keep the suite fast
+    estimator_ = new ResourceEstimator(
+        ResourceEstimator::Train(*workload_, options));
+  }
+  static void TearDownTestSuite() {
+    delete estimator_;
+    estimator_ = nullptr;
+    delete workload_;
+    workload_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static std::shared_ptr<const ResourceEstimator> SharedEstimator() {
+    // Non-owning alias: the fixture owns the estimator for the whole suite.
+    return std::shared_ptr<const ResourceEstimator>(estimator_,
+                                                    [](const auto*) {});
+  }
+
+  static std::vector<EstimateRequest> QueueRequests(Resource resource) {
+    std::vector<EstimateRequest> requests;
+    for (const auto& eq : *workload_) {
+      requests.push_back({&eq.plan, eq.database, resource});
+    }
+    return requests;
+  }
+
+  static Database* db_;
+  static std::vector<ExecutedQuery>* workload_;
+  static ResourceEstimator* estimator_;
+};
+
+Database* ServingTest::db_ = nullptr;
+std::vector<ExecutedQuery>* ServingTest::workload_ = nullptr;
+ResourceEstimator* ServingTest::estimator_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// ModelRegistry
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingTest, RegistryPublishGetRoundTrip) {
+  ModelRegistry registry;
+  EXPECT_FALSE(registry.Get("m"));
+  const uint64_t v1 = registry.Publish("m", SharedEstimator());
+  EXPECT_GT(v1, 0u);
+  ModelSnapshot snap = registry.Get("m");
+  ASSERT_TRUE(snap);
+  EXPECT_EQ(snap.version, v1);
+  EXPECT_EQ(snap.estimator.get(), estimator_);
+}
+
+TEST_F(ServingTest, RegistryVersioningAndRollback) {
+  ModelRegistry registry;
+  const uint64_t v1 = registry.Publish("m", SharedEstimator());
+  const uint64_t v2 = registry.Publish("m", SharedEstimator());
+  EXPECT_GT(v2, v1);
+  EXPECT_EQ(registry.Get("m").version, v2);
+  EXPECT_EQ(registry.Versions("m").size(), 2u);
+  // Rollback to v1, then verify eviction keeps the active version pinned.
+  ASSERT_TRUE(registry.Activate("m", v1));
+  EXPECT_EQ(registry.Get("m").version, v1);
+  EXPECT_FALSE(registry.Activate("m", 999999));
+  registry.Remove("m");
+  EXPECT_FALSE(registry.Get("m"));
+}
+
+TEST_F(ServingTest, RegistryEvictsOldVersionsButSnapshotsStayAlive) {
+  ModelRegistry registry;
+  registry.set_max_versions(2);
+  auto v1_model = std::make_shared<const ResourceEstimator>(*estimator_);
+  const uint64_t v1 = registry.Publish("m", v1_model);
+  const ModelSnapshot held = registry.Get("m");  // in-flight reader of v1
+  v1_model.reset();
+  const uint64_t v2 = registry.Publish("m", SharedEstimator());
+  const uint64_t v3 = registry.Publish("m", SharedEstimator());  // evicts v1
+  EXPECT_FALSE(registry.GetVersion("m", v1));
+  EXPECT_TRUE(registry.GetVersion("m", v2));
+  EXPECT_EQ(registry.Get("m").version, v3);
+  // The held snapshot outlives eviction: the estimator stays fully usable.
+  const auto& eq = workload_->front();
+  EXPECT_EQ(held.estimator->EstimateQuery(eq.plan, *eq.database, Resource::kCpu),
+            estimator_->EstimateQuery(eq.plan, *eq.database, Resource::kCpu));
+}
+
+TEST_F(ServingTest, RegistrySerializedPublishRoundTrip) {
+  ModelRegistry registry;
+  const std::vector<uint8_t> bytes = estimator_->Serialize();
+  const uint64_t v = registry.PublishSerialized("m", bytes);
+  ASSERT_GT(v, 0u);
+  // The deserialized model must reproduce the original's estimates exactly.
+  const auto& eq = workload_->front();
+  ModelSnapshot snap = registry.Get("m");
+  EXPECT_EQ(snap.estimator->EstimateQuery(eq.plan, *eq.database, Resource::kCpu),
+            estimator_->EstimateQuery(eq.plan, *eq.database, Resource::kCpu));
+  // Corrupt input is rejected without disturbing the active version.
+  std::vector<uint8_t> corrupt(bytes.begin(), bytes.begin() + 40);
+  EXPECT_EQ(registry.PublishSerialized("m", corrupt), 0u);
+  EXPECT_EQ(registry.Get("m").version, v);
+}
+
+TEST_F(ServingTest, RegistryHotSwapUnderConcurrentReaders) {
+  ModelRegistry registry;
+  registry.Publish("m", SharedEstimator());
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+
+  const auto& eq = workload_->front();
+  const double expected =
+      estimator_->EstimateQuery(eq.plan, *eq.database, Resource::kCpu);
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        ModelSnapshot snap = registry.Get("m");
+        ASSERT_TRUE(snap);
+        // Every retained snapshot must stay fully usable mid-swap.
+        EXPECT_EQ(snap.estimator->EstimateQuery(eq.plan, *eq.database,
+                                                Resource::kCpu),
+                  expected);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Writer: publish new versions (triggering eviction) while readers spin.
+  for (int i = 0; i < 50; ++i) {
+    registry.Publish("m", SharedEstimator());
+  }
+  // Bounded wait: if a reader dies on an assertion, fail fast instead of
+  // spinning until the ctest timeout.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (reads.load() < 200 && !::testing::Test::HasFailure() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& r : readers) r.join();
+  EXPECT_GE(reads.load(), 200u);
+  EXPECT_GE(registry.Versions("m").size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// EstimationService
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingTest, BatchedResultsBitIdenticalToSerial) {
+  ModelRegistry registry;
+  registry.Publish("default", SharedEstimator());
+  ThreadPool pool(4);
+  EstimationService service(&registry, &pool);
+
+  for (Resource resource : {Resource::kCpu, Resource::kIo}) {
+    const auto requests = QueueRequests(resource);
+    const auto results = service.EstimateBatch(requests);
+    ASSERT_EQ(results.size(), requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      ASSERT_TRUE(results[i].ok());
+      const double serial = estimator_->EstimateQuery(
+          *requests[i].plan, *requests[i].database, resource);
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(results[i].value, serial) << "request " << i;
+    }
+  }
+}
+
+TEST_F(ServingTest, ConcurrentCallersSmokeTest) {
+  // N caller threads x M requests each, all against one shared service; every
+  // result must equal the serial estimate (shared read path is totally const).
+  ModelRegistry registry;
+  registry.Publish("default", SharedEstimator());
+  ThreadPool pool(4);
+  EstimationService service(&registry, &pool);
+
+  const auto requests = QueueRequests(Resource::kCpu);
+  std::vector<double> serial(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    serial[i] = estimator_->EstimateQuery(*requests[i].plan,
+                                          *requests[i].database, Resource::kCpu);
+  }
+
+  constexpr int kCallers = 4;
+  std::vector<std::thread> callers;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t]() {
+      for (int round = 0; round < 3; ++round) {
+        if ((t + round) % 2 == 0) {
+          const auto results = service.EstimateBatch(requests);
+          for (size_t i = 0; i < results.size(); ++i) {
+            if (!results[i].ok() || results[i].value != serial[i]) {
+              mismatches.fetch_add(1);
+            }
+          }
+        } else {
+          for (size_t i = 0; i < requests.size(); ++i) {
+            const auto r = service.Estimate(requests[i]);
+            if (!r.ok() || r.value != serial[i]) mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, kCallers * 3 * requests.size());
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST_F(ServingTest, EmptyBatchReturnsEmpty) {
+  ModelRegistry registry;
+  registry.Publish("default", SharedEstimator());
+  ThreadPool pool(2);
+  EstimationService service(&registry, &pool);
+  EXPECT_TRUE(service.EstimateBatch({}).empty());
+  EXPECT_EQ(service.stats().batches, 0u);
+}
+
+TEST_F(ServingTest, OversizedBatchRejectedWhole) {
+  ModelRegistry registry;
+  registry.Publish("default", SharedEstimator());
+  ThreadPool pool(2);
+  ServiceOptions options;
+  options.max_batch_size = 8;
+  EstimationService service(&registry, &pool, options);
+
+  std::vector<EstimateRequest> requests(9, QueueRequests(Resource::kCpu)[0]);
+  const auto results = service.EstimateBatch(requests);
+  ASSERT_EQ(results.size(), 9u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.status, EstimateStatus::kBatchTooLarge);
+  }
+  EXPECT_EQ(service.stats().rejected_batches, 1u);
+  EXPECT_EQ(service.stats().requests, 0u);
+}
+
+TEST_F(ServingTest, MissingModelAndInvalidRequest) {
+  ModelRegistry registry;
+  ThreadPool pool(2);
+  EstimationService service(&registry, &pool);
+
+  EstimateRequest req = QueueRequests(Resource::kCpu)[0];
+  EXPECT_EQ(service.Estimate(req).status, EstimateStatus::kModelNotFound);
+
+  registry.Publish("default", SharedEstimator());
+  EstimateRequest null_plan = req;
+  null_plan.plan = nullptr;
+  EXPECT_EQ(service.Estimate(null_plan).status,
+            EstimateStatus::kInvalidRequest);
+  // A batch mixing valid and invalid requests fails only the invalid slots.
+  const auto results = service.EstimateBatch({req, null_plan, req});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[1].status, EstimateStatus::kInvalidRequest);
+  EXPECT_TRUE(results[2].ok());
+}
+
+TEST_F(ServingTest, BatchServedFromSingleSnapshotDuringHotSwap) {
+  ModelRegistry registry;
+  registry.Publish("default", SharedEstimator());
+  ThreadPool pool(4);
+  EstimationService service(&registry, &pool);
+
+  const auto requests = QueueRequests(Resource::kCpu);
+  std::atomic<bool> stop{false};
+  std::thread publisher([&]() {
+    while (!stop.load()) registry.Publish("default", SharedEstimator());
+  });
+  for (int round = 0; round < 5; ++round) {
+    const auto results = service.EstimateBatch(requests);
+    ASSERT_FALSE(results.empty());
+    const uint64_t version = results[0].model_version;
+    for (const auto& r : results) {
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r.model_version, version);  // never split across versions
+    }
+  }
+  stop.store(true);
+  publisher.join();
+}
+
+TEST_F(ServingTest, PipelineEstimatesMatchDirectCall) {
+  ModelRegistry registry;
+  registry.Publish("default", SharedEstimator());
+  ThreadPool pool(2);
+  EstimationService service(&registry, &pool);
+
+  const auto& eq = workload_->front();
+  const EstimateRequest req{&eq.plan, eq.database, Resource::kCpu};
+  const auto via_service = service.EstimatePipelines(req);
+  const auto direct =
+      estimator_->EstimatePipelines(eq.plan, *eq.database, Resource::kCpu);
+  ASSERT_EQ(via_service.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(via_service[i], direct[i]);
+  }
+}
+
+}  // namespace
+}  // namespace resest
