@@ -1,21 +1,29 @@
 // Serving throughput: single-thread serial estimation loop vs. the batched
-// EstimationService fanning the same requests across a worker pool.
+// EstimationService fanning the same requests across a worker pool — with
+// and without the cross-request operator-estimate cache.
 //
-// Also verifies the serving contract end-to-end: batched results must be
-// bit-identical to the serial ResourceEstimator output.
+// The repeated-plan scenario models the paper's deployment inside a query
+// optimizer: the same (operator, feature-vector) pairs recur across the
+// candidate plans of one optimization session, so the version-keyed cache
+// turns most operator inferences into lookups.
+//
+// Also verifies the serving contract end-to-end: batched results — cached
+// or not — must be bit-identical to the serial ResourceEstimator output.
 //
 // Environment knobs:
 //   RESEST_SERVING_THREADS   worker pool size          (default 8)
 //   RESEST_SERVING_REQUESTS  requests per measurement  (default 2000)
+//   RESEST_SERVING_PLANS     distinct plans in the repeated stream
+//                            (default 25; lower = more cache hits)
 #include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "bench/experiment_common.h"
+#include "src/common/thread_pool.h"
 #include "src/serving/estimation_service.h"
 #include "src/serving/model_registry.h"
-#include "src/serving/thread_pool.h"
 #include "src/workload/runner.h"
 #include "src/workload/schemas.h"
 #include "src/workload/tpch_queries.h"
@@ -29,13 +37,39 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+struct Measurement {
+  double seconds = 0.0;
+  size_t mismatches = 0;
+};
+
+Measurement MeasureBatch(const EstimationService& service,
+                         const std::vector<EstimateRequest>& requests,
+                         const std::vector<double>& serial) {
+  service.EstimateBatch(requests);  // warm-up (threads running, pages hot)
+  const auto start = std::chrono::steady_clock::now();
+  const auto results = service.EstimateBatch(requests);
+  Measurement m;
+  m.seconds = SecondsSince(start);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!results[i].ok() || results[i].value != serial[i]) ++m.mismatches;
+  }
+  return m;
+}
+
+void PrintRow(const char* label, double seconds, size_t n, double baseline) {
+  std::printf("%-28s %10.3f %11.0f q/s %9.2fx\n", label, seconds,
+              static_cast<double>(n) / seconds, baseline / seconds);
+}
+
 }  // namespace
 
 int main() {
   const int num_threads = bench::EnvInt("RESEST_SERVING_THREADS", 8);
   const int num_requests = bench::EnvInt("RESEST_SERVING_REQUESTS", 2000);
+  const int num_plans = bench::EnvInt("RESEST_SERVING_PLANS", 25);
 
-  std::printf("== serving throughput: serial loop vs. %d-worker batched ==\n\n",
+  std::printf("== serving throughput: serial vs. %d-worker batched, "
+              "cache off/on ==\n\n",
               num_threads);
   std::printf("hardware concurrency: %u\n\n",
               std::thread::hardware_concurrency());
@@ -46,22 +80,28 @@ int main() {
   const auto train =
       RunWorkload(db.get(), GenerateTpchWorkload(150, &rng, db.get()));
   TrainOptions options;
+  options.train_threads = 0;  // all cores; identical output to serial
   const auto estimator = std::make_shared<const ResourceEstimator>(
       ResourceEstimator::Train(train, options));
 
-  // Request stream: cycle the executed plans until we have num_requests.
+  // Repeated-plan request stream: an optimization session revisits a small
+  // set of plans, alternating resources, until we have num_requests.
+  const size_t distinct =
+      std::min<size_t>(train.size(), static_cast<size_t>(num_plans));
   std::vector<EstimateRequest> requests;
   requests.reserve(static_cast<size_t>(num_requests));
   for (int i = 0; i < num_requests; ++i) {
-    const auto& eq = train[static_cast<size_t>(i) % train.size()];
+    const auto& eq = train[static_cast<size_t>(i) % distinct];
     requests.push_back({&eq.plan, eq.database,
                         i % 2 == 0 ? Resource::kCpu : Resource::kIo});
   }
+  std::printf("request stream: %d requests over %zu distinct plans\n\n",
+              num_requests, distinct);
 
   // --- Serial baseline: one thread, one request at a time. ---
   std::vector<double> serial(requests.size());
-  // Untimed warm-up pass, mirroring the batched path's warm-up below, so
-  // neither side pays first-touch cache/page costs inside the measurement.
+  // Untimed warm-up pass, mirroring the batched paths' warm-ups, so no
+  // contender pays first-touch cache/page costs inside the measurement.
   for (size_t i = 0; i < requests.size(); ++i) {
     serial[i] = estimator->EstimateQuery(*requests[i].plan,
                                          *requests[i].database,
@@ -75,34 +115,43 @@ int main() {
   }
   const double serial_sec = SecondsSince(serial_start);
 
-  // --- Batched service path. ---
+  // --- Batched service, cache disabled: pure fan-out. ---
   ModelRegistry registry;
   registry.Publish("default", estimator);
   ThreadPool pool(static_cast<size_t>(num_threads));
-  ServiceOptions service_options;
-  service_options.max_batch_size = requests.size();
-  EstimationService service(&registry, &pool, service_options);
+  ServiceOptions uncached_options;
+  uncached_options.max_batch_size = requests.size();
+  uncached_options.enable_cache = false;
+  EstimationService uncached(&registry, &pool, uncached_options);
+  const Measurement fanout = MeasureBatch(uncached, requests, serial);
 
-  service.EstimateBatch(requests);  // warm-up (threads running, pages hot)
-  const auto batch_start = std::chrono::steady_clock::now();
-  const auto results = service.EstimateBatch(requests);
-  const double batch_sec = SecondsSince(batch_start);
+  // --- Batched service, cache enabled (warmed by the warm-up batch). ---
+  ServiceOptions cached_options;
+  cached_options.max_batch_size = requests.size();
+  EstimationService cached(&registry, &pool, cached_options);
+  const Measurement memoized = MeasureBatch(cached, requests, serial);
+  const ServiceStats stats = cached.stats();
 
-  size_t mismatches = 0;
-  for (size_t i = 0; i < requests.size(); ++i) {
-    if (!results[i].ok() || results[i].value != serial[i]) ++mismatches;
-  }
+  std::printf("%-28s %10s %15s %10s\n", "path", "time (s)", "throughput",
+              "speedup");
+  PrintRow("serial loop", serial_sec, requests.size(), serial_sec);
+  PrintRow("batched, cache off", fanout.seconds, requests.size(), serial_sec);
+  PrintRow("batched, cache on (warm)", memoized.seconds, requests.size(),
+           serial_sec);
 
-  const double serial_qps = static_cast<double>(requests.size()) / serial_sec;
-  const double batch_qps = static_cast<double>(requests.size()) / batch_sec;
-  std::printf("%-24s %12s %14s\n", "path", "time (s)", "throughput");
-  std::printf("%-24s %12.3f %11.0f q/s\n", "serial loop", serial_sec,
-              serial_qps);
-  std::printf("%-24s %12.3f %11.0f q/s\n", "batched (pooled)", batch_sec,
-              batch_qps);
-  std::printf("\nspeedup: %.2fx  (%d workers)\n", serial_sec / batch_sec,
-              num_threads);
+  std::printf("\ncache: %.1f%% hit rate (%llu hits / %llu misses), "
+              "%zu entries, %llu evictions\n",
+              100.0 * stats.CacheHitRate(),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses),
+              stats.cache_entries,
+              static_cast<unsigned long long>(stats.cache_evictions));
+  const size_t mismatches = fanout.mismatches + memoized.mismatches;
   std::printf("bit-identical to serial: %s (%zu/%zu mismatches)\n",
-              mismatches == 0 ? "yes" : "NO", mismatches, requests.size());
+              mismatches == 0 ? "yes" : "NO", mismatches,
+              2 * requests.size());
+  if (memoized.seconds >= fanout.seconds) {
+    std::printf("WARNING: cached batch was not faster than uncached\n");
+  }
   return mismatches == 0 ? 0 : 1;
 }

@@ -1,4 +1,4 @@
-#include "src/serving/thread_pool.h"
+#include "src/common/thread_pool.h"
 
 #include <stdexcept>
 #include <utility>

@@ -1,7 +1,9 @@
 // A fixed-size worker pool with a lock-based task queue. Shared by the
-// serving layer (batched estimation fan-out) and, later, parallel training.
-#ifndef RESEST_SERVING_THREAD_POOL_H_
-#define RESEST_SERVING_THREAD_POOL_H_
+// serving layer (batched estimation fan-out) and parallel model training
+// (ResourceEstimator::Train), which is why it lives in src/common/ rather
+// than src/serving/.
+#ifndef RESEST_COMMON_THREAD_POOL_H_
+#define RESEST_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
@@ -63,4 +65,4 @@ class ThreadPool {
 
 }  // namespace resest
 
-#endif  // RESEST_SERVING_THREAD_POOL_H_
+#endif  // RESEST_COMMON_THREAD_POOL_H_

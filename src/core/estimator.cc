@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <future>
 #include <sstream>
+#include <thread>
 
 #include "src/common/serial.h"
+#include "src/common/thread_pool.h"
 
 namespace resest {
 
@@ -27,7 +30,8 @@ ResourceEstimator ResourceEstimator::Train(
 
   // Collect per-operator observations across the workload.
   std::array<std::vector<FeatureVector>, kNumOpTypes> rows;
-  std::array<std::array<std::vector<double>, kNumResources>, kNumOpTypes> targets;
+  std::array<std::array<std::vector<double>, kNumResources>, kNumOpTypes>
+      targets;
   for (const auto& eq : workload) {
     if (!eq.plan.root || eq.database == nullptr) continue;
     VisitWithParent(eq.plan.root.get(), nullptr,
@@ -48,6 +52,15 @@ ResourceEstimator ResourceEstimator::Train(
   set_options.normalize_dependents = options.normalize_dependents;
   set_options.max_scale_features = options.max_scale_features;
 
+  // The per-(operator, resource) fits are mutually independent: each reads
+  // only its own rows/targets and writes only its own slot, and MART is
+  // seeded, so fanning them out over a pool reproduces the serial result
+  // exactly for any thread count.
+  size_t train_threads = options.train_threads;
+  if (train_threads == 0) {
+    train_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  std::vector<std::pair<int, int>> to_fit;
   for (int op = 0; op < kNumOpTypes; ++op) {
     for (int r = 0; r < kNumResources; ++r) {
       const auto& y = targets[static_cast<size_t>(op)][static_cast<size_t>(r)];
@@ -55,14 +68,36 @@ ResourceEstimator ResourceEstimator::Train(
       for (double v : y) mean += v;
       est.fallback_mean_[static_cast<size_t>(op)][static_cast<size_t>(r)] =
           y.empty() ? 0.0 : mean / static_cast<double>(y.size());
-      if (rows[static_cast<size_t>(op)].size() < options.min_rows_per_operator) {
+      if (rows[static_cast<size_t>(op)].size() <
+          options.min_rows_per_operator) {
         continue;  // fallback mean only
       }
-      est.models_[static_cast<size_t>(op)][static_cast<size_t>(r)] =
-          OperatorModelSet::Train(static_cast<OpType>(op),
-                                  static_cast<Resource>(r),
-                                  rows[static_cast<size_t>(op)], y, set_options);
+      to_fit.emplace_back(op, r);
     }
+  }
+
+  auto fit_one = [&](int op, int r) {
+    est.models_[static_cast<size_t>(op)][static_cast<size_t>(r)] =
+        OperatorModelSet::Train(
+            static_cast<OpType>(op), static_cast<Resource>(r),
+            rows[static_cast<size_t>(op)],
+            targets[static_cast<size_t>(op)][static_cast<size_t>(r)],
+            set_options);
+  };
+
+  if (train_threads <= 1 || to_fit.size() <= 1) {
+    for (const auto& [op, r] : to_fit) fit_one(op, r);
+  } else {
+    ThreadPool pool(std::min(train_threads, to_fit.size()));
+    std::vector<std::future<void>> fits;
+    fits.reserve(to_fit.size());
+    for (const auto& fit : to_fit) {
+      // Structured bindings are not capturable in C++17; name them first.
+      const int op = fit.first;
+      const int r = fit.second;
+      fits.push_back(pool.Submit([&fit_one, op, r]() { fit_one(op, r); }));
+    }
+    for (auto& f : fits) f.get();
   }
   return est;
 }
@@ -85,6 +120,17 @@ double ResourceEstimator::EstimateOperator(const PlanNode& node,
   }
   const FeatureVector v = ExtractFeatures(node, parent, db, options_.mode);
   return set->Predict(v);
+}
+
+double ResourceEstimator::EstimateFromFeatures(OpType op,
+                                               const FeatureVector& features,
+                                               Resource resource) const {
+  const OperatorModelSet* set = ModelsFor(op, resource);
+  if (set == nullptr) {
+    return fallback_mean_[static_cast<size_t>(op)]
+                         [static_cast<size_t>(resource)];
+  }
+  return set->Predict(features);
 }
 
 double ResourceEstimator::EstimateQuery(const Plan& plan, const Database& db,
@@ -124,6 +170,16 @@ std::vector<double> ResourceEstimator::EstimatePipelines(
     out.push_back(total);
   }
   return out;
+}
+
+void VisitPlanOperators(
+    const Plan& plan,
+    const std::function<void(const PlanNode&, const PlanNode*)>& fn) {
+  if (!plan.root) return;
+  VisitWithParent(plan.root.get(), nullptr,
+                  [&fn](const PlanNode* node, const PlanNode* parent) {
+                    fn(*node, parent);
+                  });
 }
 
 size_t ResourceEstimator::SerializedBytes() const {
@@ -167,7 +223,8 @@ bool ResourceEstimator::Deserialize(const std::vector<uint8_t>& bytes) {
   uint8_t scaling = 0, norm = 0;
   if (!r.U32(&magic) || magic != kStoreMagic) return false;
   if (!r.U32(&version) || version != kStoreVersion) return false;
-  if (!r.Pod(&mode) || !r.Pod(&scaling) || !r.Pod(&norm) || !r.Pod(&max_scale)) {
+  if (!r.Pod(&mode) || !r.Pod(&scaling) || !r.Pod(&norm) ||
+      !r.Pod(&max_scale)) {
     return false;
   }
   options_.mode = static_cast<FeatureMode>(mode);
@@ -177,7 +234,8 @@ bool ResourceEstimator::Deserialize(const std::vector<uint8_t>& bytes) {
   for (int op = 0; op < kNumOpTypes; ++op) {
     for (int res = 0; res < kNumResources; ++res) {
       uint8_t present = 0;
-      if (!r.F64(&fallback_mean_[static_cast<size_t>(op)][static_cast<size_t>(res)]) ||
+      if (!r.F64(&fallback_mean_[static_cast<size_t>(op)]
+                                [static_cast<size_t>(res)]) ||
           !r.Pod(&present)) {
         return false;
       }
@@ -237,7 +295,8 @@ std::string ResourceEstimator::ExplainOperator(const PlanNode& node,
   return out.str();
 }
 
-std::string ResourceEstimator::ExplainQuery(const Plan& plan, const Database& db,
+std::string ResourceEstimator::ExplainQuery(const Plan& plan,
+                                            const Database& db,
                                             Resource resource) const {
   std::ostringstream out;
   if (plan.root) {

@@ -5,6 +5,7 @@
 #define RESEST_CORE_ESTIMATOR_H_
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -26,6 +27,11 @@ struct TrainOptions {
   bool normalize_dependents = true;    ///< Ablation flag (Section 6.1 (3)).
   int max_scale_features = 2;          ///< Paper uses at most two.
   size_t min_rows_per_operator = 12;   ///< Below this, a constant model.
+  /// Worker threads for fitting the per-(operator, resource) model sets,
+  /// which are mutually independent. 1 = serial; 0 = hardware concurrency.
+  /// The trained estimator is identical for any thread count: every model
+  /// set is fitted from the same inputs (MART is seeded) into its own slot.
+  size_t train_threads = 1;
 };
 
 /// A trained resource estimator (the paper's deployed artifact, Figure 5).
@@ -36,7 +42,10 @@ struct TrainOptions {
 /// inference) is free of mutable or lazily-initialized state — the serving
 /// layer (src/serving/) relies on this to share one estimator across a
 /// worker pool without locking. Keep it that way: no caches inside const
-/// methods without synchronization.
+/// methods, synchronized or not. Memoization belongs in the serving layer
+/// (src/serving/estimate_cache.h), where entries are keyed by model version
+/// and invalidated on hot-swap; a cache hidden inside the estimator could
+/// not be version-keyed and would silently survive a registry publish.
 class ResourceEstimator {
  public:
   /// Trains per-operator model sets from executed queries.
@@ -46,6 +55,15 @@ class ResourceEstimator {
   /// Estimate for a single operator of an annotated plan.
   double EstimateOperator(const PlanNode& node, const PlanNode* parent,
                           const Database& db, Resource resource) const;
+
+  /// Keyed per-operator entry point: predicts from an already-extracted
+  /// feature vector. EstimateOperator(node, parent, db, r) is exactly
+  /// EstimateFromFeatures(node.type, ExtractFeatures(node, parent, db,
+  /// mode()), r) — the serving cache relies on this identity to memoize
+  /// per-operator estimates under a (version, op, resource, features) key
+  /// with bit-identical results.
+  double EstimateFromFeatures(OpType op, const FeatureVector& features,
+                              Resource resource) const;
 
   /// Estimate for a whole plan (sum over operators).
   double EstimateQuery(const Plan& plan, const Database& db,
@@ -87,6 +105,14 @@ class ResourceEstimator {
   // Fallback per-operator mean resource (for operators with too little data).
   std::array<std::array<double, kNumResources>, kNumOpTypes> fallback_mean_{};
 };
+
+/// Calls fn(node, parent) for every operator of `plan` in the canonical
+/// estimation order (pre-order, parent before children) — the same order
+/// EstimateQuery sums in. The serving layer traverses plans with this so
+/// its per-operator memoized sums stay bit-identical to EstimateQuery.
+void VisitPlanOperators(
+    const Plan& plan,
+    const std::function<void(const PlanNode&, const PlanNode*)>& fn);
 
 }  // namespace resest
 

@@ -1,6 +1,7 @@
 #include "src/core/features.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/storage/catalog.h"
 
@@ -39,6 +40,25 @@ const char* FeatureName(FeatureId f) {
     case FeatureId::kNumFeatures: break;
   }
   return "?";
+}
+
+uint64_t HashFeatureVector(const FeatureVector& v) {
+  // FNV-1a over the 8-byte bit pattern of each slot.
+  uint64_t h = 1469598103934665603ull;
+  for (double d : v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d), "double must be 64-bit");
+    std::memcpy(&bits, &d, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+bool FeatureVectorHashEqual(const FeatureVector& a, const FeatureVector& b) {
+  return std::memcmp(a.data(), b.data(), sizeof(double) * a.size()) == 0;
 }
 
 namespace {
@@ -226,7 +246,9 @@ FeatureVector ExtractFeatures(const PlanNode& node, const PlanNode* parent,
         set(F::kSSeekTable, static_cast<double>(t->row_count()));
         const int col = t->FindColumn(node.inner_key);
         const Index* idx = col >= 0 ? t->IndexOn(col) : nullptr;
-        if (idx != nullptr) set(F::kIndexDepth, static_cast<double>(idx->depth()));
+        if (idx != nullptr) {
+          set(F::kIndexDepth, static_cast<double>(idx->depth()));
+        }
       }
       break;
     }
@@ -245,9 +267,8 @@ FeatureVector ExtractFeatures(const PlanNode& node, const PlanNode* parent,
     case OpType::kSort:
       set(F::kCSortCol,
           static_cast<double>(std::max<size_t>(1, node.sort_columns.size())));
-      set(F::kMinComp,
-          rows_in(0) *
-              static_cast<double>(std::max<size_t>(1, node.sort_columns.size())));
+      set(F::kMinComp, rows_in(0) * static_cast<double>(std::max<size_t>(
+                                         1, node.sort_columns.size())));
       break;
     default:
       break;

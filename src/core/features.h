@@ -5,6 +5,7 @@
 #define RESEST_CORE_FEATURES_H_
 
 #include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,19 @@ const char* FeatureName(FeatureId f);
 
 /// A raw per-operator feature vector (values indexed by FeatureId).
 using FeatureVector = std::array<double, kNumFeatures>;
+
+/// Canonical 64-bit hash of a feature vector, computed over the raw bit
+/// patterns of its doubles (FNV-1a). Bitwise hashing keeps the hash
+/// consistent with HashEqual below: distinct bit patterns that compare
+/// equal under operator== (-0.0 vs +0.0) hash differently on purpose, so
+/// equality for hashed containers must be bitwise too.
+uint64_t HashFeatureVector(const FeatureVector& v);
+
+/// Bitwise equality companion to HashFeatureVector: true iff every slot has
+/// the same bit pattern. Stricter than operator== (-0.0 != +0.0 here, and
+/// NaN == NaN); the right notion for memoization keys, where a spurious
+/// mismatch costs a cache miss but a spurious match would corrupt results.
+bool FeatureVectorHashEqual(const FeatureVector& a, const FeatureVector& b);
 
 /// Whether to populate cardinality-derived features from exact (measured)
 /// values or from optimizer estimates (paper Sections 7.1.1 vs 7.1.2).

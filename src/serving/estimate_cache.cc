@@ -1,0 +1,107 @@
+#include "src/serving/estimate_cache.h"
+
+#include <algorithm>
+
+namespace resest {
+
+EstimateCache::EstimateCache(EstimateCacheOptions options) {
+  const size_t num_shards = std::max<size_t>(1, options.shards);
+  const size_t capacity = std::max<size_t>(num_shards, options.capacity);
+  shard_capacity_ = (capacity + num_shards - 1) / num_shards;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+uint64_t EstimateCache::HashKey(const Key& k) {
+  uint64_t h = HashFeatureVector(k.features);
+  h ^= k.model_version + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h ^= (static_cast<uint64_t>(k.op) << 8 |
+        static_cast<uint64_t>(k.resource)) +
+       0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+bool EstimateCache::KeysEqual(const Key& a, const Key& b) {
+  return a.model_version == b.model_version && a.op == b.op &&
+         a.resource == b.resource &&
+         FeatureVectorHashEqual(a.features, b.features);
+}
+
+std::list<std::pair<EstimateCache::Key, double>>::iterator
+EstimateCache::FindLocked(Shard& shard, uint64_t hash, const Key& key) {
+  auto [lo, hi] = shard.map.equal_range(hash);
+  for (auto it = lo; it != hi; ++it) {
+    if (KeysEqual(it->second->first, key)) return it->second;
+  }
+  return shard.lru.end();
+}
+
+bool EstimateCache::Lookup(const Key& key, double* value) {
+  const uint64_t hash = HashKey(key);
+  Shard& shard = *shards_[hash % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto node = FindLocked(shard, hash, key);
+  if (node == shard.lru.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, node);
+  *value = node->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void EstimateCache::Insert(const Key& key, double value) {
+  const uint64_t hash = HashKey(key);
+  Shard& shard = *shards_[hash % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto node = FindLocked(shard, hash, key);
+  if (node != shard.lru.end()) {
+    // Estimation is deterministic, so a refresh carries the same value;
+    // still update in case two models ever race, and promote to front.
+    node->second = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, node);
+    return;
+  }
+  shard.lru.emplace_front(key, value);
+  shard.map.emplace(hash, shard.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (shard.map.size() > shard_capacity_) {
+    auto victim = std::prev(shard.lru.end());
+    const uint64_t victim_hash = HashKey(victim->first);
+    auto [lo, hi] = shard.map.equal_range(victim_hash);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == victim) {
+        shard.map.erase(it);
+        break;
+      }
+    }
+    shard.lru.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void EstimateCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+    shard->lru.clear();
+  }
+}
+
+EstimateCacheStats EstimateCache::stats() const {
+  EstimateCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.entries += shard->map.size();
+  }
+  return s;
+}
+
+}  // namespace resest

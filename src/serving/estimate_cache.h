@@ -1,0 +1,120 @@
+// Sharded, bounded, version-keyed memoization of per-operator estimates.
+//
+// The paper's deployment sits inside a query optimizer, where the same
+// (operator, feature-vector) pair recurs across thousands of candidate
+// plans in one optimization session. Model inference is deterministic, so
+// the service memoizes it across requests under the key
+//   (model_version, operator type, resource, feature vector)
+// Keying by model version makes invalidation automatic: a ModelRegistry
+// hot-swap changes the version, every stale entry stops matching, and the
+// per-shard LRU bound reclaims the dead entries under insertion pressure.
+//
+// Entries hold the exact double produced by
+// ResourceEstimator::EstimateFromFeatures, so a hit is bit-identical to
+// recomputing. Feature-vector equality is bitwise (see
+// FeatureVectorHashEqual): a spurious mismatch costs one miss, while a
+// value-based match could alias distinct inputs.
+//
+// All methods are thread-safe; shards are independently locked so readers
+// of different shards never contend.
+#ifndef RESEST_SERVING_ESTIMATE_CACHE_H_
+#define RESEST_SERVING_ESTIMATE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/features.h"
+#include "src/engine/plan.h"
+
+namespace resest {
+
+struct EstimateCacheOptions {
+  size_t capacity = 64 * 1024;  ///< Total entries across all shards.
+  size_t shards = 16;           ///< Clamped to at least 1.
+};
+
+/// Hit fraction of a (hits, misses) counter pair; 0 when nothing was
+/// counted. Shared by EstimateCacheStats and ServiceStats.
+inline double CacheHitRate(uint64_t hits, uint64_t misses) {
+  const uint64_t total = hits + misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+/// Monotonic counters plus the current entry count.
+struct EstimateCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;  ///< Entries dropped by the LRU bound.
+  size_t entries = 0;      ///< Current size (point-in-time, not monotonic).
+
+  double HitRate() const { return CacheHitRate(hits, misses); }
+};
+
+/// Thread-safe sharded LRU map from (model_version, op, resource, features)
+/// to a memoized per-operator estimate.
+class EstimateCache {
+ public:
+  struct Key {
+    uint64_t model_version = 0;
+    OpType op = OpType::kTableScan;
+    Resource resource = Resource::kCpu;
+    FeatureVector features{};
+  };
+
+  explicit EstimateCache(EstimateCacheOptions options = {});
+
+  /// True (and *value set) on a hit; promotes the entry to most-recent.
+  bool Lookup(const Key& key, double* value);
+
+  /// Inserts or refreshes an entry, evicting the shard's least-recently-used
+  /// entry when the shard is at its bound.
+  void Insert(const Key& key, double value);
+
+  /// Drops every entry (counters are retained). Used when the service
+  /// observes a model hot-swap: version keying already guarantees stale
+  /// entries never hit, Clear just reclaims their space immediately.
+  void Clear();
+
+  EstimateCacheStats stats() const;
+  size_t capacity() const { return shard_capacity_ * shards_.size(); }
+
+ private:
+  static uint64_t HashKey(const Key& k);
+  static bool KeysEqual(const Key& a, const Key& b);
+
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<Key, double>> lru;
+    /// Keyed by the precomputed key hash (computed once per Lookup/Insert);
+    /// hash collisions are resolved by KeysEqual against the list node, so
+    /// each full Key is stored exactly once (in the LRU node).
+    std::unordered_multimap<uint64_t,
+                            std::list<std::pair<Key, double>>::iterator>
+        map;
+  };
+
+  /// The list iterator under (hash, key) in this shard, or lru.end().
+  static std::list<std::pair<Key, double>>::iterator FindLocked(
+      Shard& shard, uint64_t hash, const Key& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_capacity_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace resest
+
+#endif  // RESEST_SERVING_ESTIMATE_CACHE_H_

@@ -1,8 +1,9 @@
 #include "src/serving/estimation_service.h"
 
 #include <algorithm>
-#include <future>
 #include <utility>
+
+#include "src/core/estimator.h"
 
 namespace resest {
 
@@ -16,14 +17,115 @@ const char* EstimateStatusName(EstimateStatus s) {
       return "INVALID_REQUEST";
     case EstimateStatus::kBatchTooLarge:
       return "BATCH_TOO_LARGE";
+    case EstimateStatus::kInternalError:
+      return "INTERNAL_ERROR";
   }
   return "UNKNOWN";
 }
+
+/// Shared state of one submitted batch. Owned jointly (shared_ptr) by the
+/// pool helper tasks and, for blocking calls, the submitting frame; the
+/// last chunk's owner completes it. Requests are copied in so the state is
+/// self-contained after the submitting call returns.
+struct EstimationService::BatchState {
+  std::vector<EstimateRequest> requests;
+  std::vector<EstimateResult> results;
+  ModelSnapshot snapshot;
+  size_t chunk_size = 1;
+  size_t num_chunks = 0;
+  /// Completed at creation (empty, rejected, or no model): no chunks run.
+  bool degenerate = false;
+
+  std::atomic<size_t> next_chunk{0};   ///< Work-stealing chunk cursor.
+  std::atomic<size_t> chunks_left{0};  ///< Countdown to completion.
+
+  std::promise<std::vector<EstimateResult>> promise;
+  bool has_promise = false;
+  BatchCallback callback;
+};
 
 EstimationService::EstimationService(const ModelRegistry* registry,
                                      ThreadPool* pool, ServiceOptions options)
     : registry_(registry), pool_(pool), options_(std::move(options)) {
   if (options_.chunk_size == 0) options_.chunk_size = 1;
+  if (options_.enable_cache) {
+    EstimateCacheOptions cache_options;
+    cache_options.capacity = options_.cache_capacity;
+    cache_options.shards = options_.cache_shards;
+    cache_ = std::make_unique<EstimateCache>(cache_options);
+  }
+}
+
+EstimationService::~EstimationService() {
+  // Every helper task holds `this`; wait for all of them so no in-flight
+  // batch outlives the service (futures are ready and callbacks delivered
+  // strictly before a task releases its in-flight slot).
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  inflight_idle_.wait(lock, [this]() { return inflight_ == 0; });
+}
+
+void EstimationService::AcquireInflight() const {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  ++inflight_;
+}
+
+void EstimationService::ReleaseInflight() const {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  if (--inflight_ == 0) inflight_idle_.notify_all();
+}
+
+void EstimationService::NoteServedVersion(uint64_t version) const {
+  // Version-keyed entries from an older model can never be hit again after
+  // a hot-swap; clearing on the first request served from the new version
+  // reclaims their space at once instead of waiting for LRU pressure. Only
+  // a version *increase* clears: an in-flight batch still serving the old
+  // snapshot (or a rollback via Activate) must not wipe fresh entries —
+  // ping-ponging Clears would effectively disable the cache, while stale
+  // entries are merely capacity pressure the LRU bound already handles.
+  uint64_t prev = served_version_.load(std::memory_order_relaxed);
+  while (prev < version) {
+    if (served_version_.compare_exchange_weak(prev, version,
+                                              std::memory_order_relaxed)) {
+      if (prev != 0) cache_->Clear();
+      return;
+    }
+  }
+}
+
+double EstimationService::CachedEstimateQuery(const ModelSnapshot& snapshot,
+                                              const Plan& plan,
+                                              const Database& db,
+                                              Resource resource) const {
+  // Same pre-order traversal and summation order as EstimateQuery, with
+  // each operator's estimate memoized. A hit returns the exact double the
+  // estimator produced on the original miss, so the sum is bit-identical
+  // to the uncached path.
+  const FeatureMode mode = snapshot.estimator->mode();
+  double total = 0.0;
+  VisitPlanOperators(plan, [&](const PlanNode& node, const PlanNode* parent) {
+    // Operators without a trained model set estimate to a feature-free
+    // constant (the fallback mean) — hashing and caching them would only
+    // cost time and LRU slots, so take the constant directly, exactly as
+    // the uncached EstimateOperator does.
+    if (snapshot.estimator->ModelsFor(node.type, resource) == nullptr) {
+      total += snapshot.estimator->EstimateFromFeatures(node.type, {},
+                                                        resource);
+      return;
+    }
+    EstimateCache::Key key;
+    key.model_version = snapshot.version;
+    key.op = node.type;
+    key.resource = resource;
+    key.features = ExtractFeatures(node, parent, db, mode);
+    double value = 0.0;
+    if (!cache_->Lookup(key, &value)) {
+      value = snapshot.estimator->EstimateFromFeatures(node.type, key.features,
+                                                       resource);
+      cache_->Insert(key, value);
+    }
+    total += value;
+  });
+  return total;
 }
 
 EstimateResult EstimationService::EstimateWith(
@@ -38,15 +140,21 @@ EstimateResult EstimationService::EstimateWith(
     result.status = EstimateStatus::kInvalidRequest;
     return result;
   }
-  result.value = snapshot.estimator->EstimateQuery(
-      *request.plan, *request.database, request.resource);
+  if (cache_) {
+    NoteServedVersion(snapshot.version);
+    result.value = CachedEstimateQuery(snapshot, *request.plan,
+                                       *request.database, request.resource);
+  } else {
+    result.value = snapshot.estimator->EstimateQuery(
+        *request.plan, *request.database, request.resource);
+  }
   return result;
 }
 
 EstimateResult EstimationService::Estimate(
     const EstimateRequest& request) const {
-  const EstimateResult result = EstimateWith(registry_->Get(options_.model_name),
-                                             request);
+  const EstimateResult result =
+      EstimateWith(registry_->Get(options_.model_name), request);
   if (result.ok()) {
     requests_.fetch_add(1, std::memory_order_relaxed);
   } else {
@@ -55,58 +163,162 @@ EstimateResult EstimationService::Estimate(
   return result;
 }
 
-std::vector<EstimateResult> EstimationService::EstimateBatch(
-    const std::vector<EstimateRequest>& requests) const {
-  std::vector<EstimateResult> results(requests.size());
-  if (requests.empty()) return results;
-  if (requests.size() > options_.max_batch_size) {
+std::shared_ptr<EstimationService::BatchState> EstimationService::MakeBatch(
+    std::vector<EstimateRequest> requests) const {
+  auto state = std::make_shared<BatchState>();
+  state->requests = std::move(requests);
+  const size_t n = state->requests.size();
+  state->results.resize(n);
+  if (n == 0) {
+    state->degenerate = true;
+    return state;
+  }
+  if (n > options_.max_batch_size) {
     rejected_batches_.fetch_add(1, std::memory_order_relaxed);
-    errors_.fetch_add(requests.size(), std::memory_order_relaxed);
-    for (auto& r : results) r.status = EstimateStatus::kBatchTooLarge;
-    return results;
+    for (auto& r : state->results) r.status = EstimateStatus::kBatchTooLarge;
+    state->degenerate = true;
+    return state;
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
 
   // One snapshot for the whole batch: a concurrent Publish never splits a
   // batch across model versions.
-  const ModelSnapshot snapshot = registry_->Get(options_.model_name);
-  if (!snapshot) {
-    errors_.fetch_add(requests.size(), std::memory_order_relaxed);
-    for (auto& r : results) r.status = EstimateStatus::kModelNotFound;
-    return results;
+  state->snapshot = registry_->Get(options_.model_name);
+  if (!state->snapshot) {
+    for (auto& r : state->results) r.status = EstimateStatus::kModelNotFound;
+    state->degenerate = true;
+    return state;
   }
 
-  // Fan chunks out across the pool; each chunk writes disjoint result slots,
-  // so request order is preserved without any post-hoc reordering.
-  std::vector<std::future<void>> pending;
-  pending.reserve(requests.size() / options_.chunk_size + 1);
-  try {
-    for (size_t begin = 0; begin < requests.size();
-         begin += options_.chunk_size) {
-      const size_t end = std::min(begin + options_.chunk_size, requests.size());
-      pending.push_back(pool_->Submit([this, &snapshot, &requests, &results,
-                                       begin, end]() {
-        for (size_t i = begin; i < end; ++i) {
-          results[i] = EstimateWith(snapshot, requests[i]);
-        }
-      }));
+  state->chunk_size = options_.chunk_size;
+  state->num_chunks = (n + state->chunk_size - 1) / state->chunk_size;
+  state->chunks_left.store(state->num_chunks, std::memory_order_relaxed);
+  return state;
+}
+
+void EstimationService::RunChunks(
+    const std::shared_ptr<BatchState>& state) const {
+  BatchState& batch = *state;
+  for (;;) {
+    const size_t chunk =
+        batch.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= batch.num_chunks) return;
+    const size_t begin = chunk * batch.chunk_size;
+    const size_t end =
+        std::min(begin + batch.chunk_size, batch.requests.size());
+    for (size_t i = begin; i < end; ++i) {
+      try {
+        batch.results[i] = EstimateWith(batch.snapshot, batch.requests[i]);
+      } catch (...) {
+        // Estimation only throws on resource exhaustion (allocation).
+        // Surface it per-request — the promise and callback flavors then
+        // report failures identically, and the countdown still reaches
+        // zero so completion is delivered exactly once.
+        batch.results[i] = EstimateResult{};
+        batch.results[i].status = EstimateStatus::kInternalError;
+        batch.results[i].model_version = batch.snapshot.version;
+      }
     }
-  } catch (...) {
-    // Submit can throw (pool shutdown, bad_alloc). Already-enqueued chunks
-    // reference this frame's locals; wait them out before unwinding.
-    for (auto& f : pending) f.wait();
-    throw;
+    // acq_rel: the final decrement observes every other chunk's writes, so
+    // the finisher publishes fully-written results.
+    if (batch.chunks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      FinishBatch(&batch);
+    }
   }
-  // Same hazard on the result path: wait for every chunk before the first
-  // rethrowing get() can unwind the frame.
-  for (auto& f : pending) f.wait();
-  for (auto& f : pending) f.get();
+}
 
+void EstimationService::FinishBatch(BatchState* state) const {
   uint64_t ok = 0, failed = 0;
-  for (const auto& r : results) (r.ok() ? ok : failed)++;
+  for (const auto& r : state->results) (r.ok() ? ok : failed)++;
   requests_.fetch_add(ok, std::memory_order_relaxed);
   errors_.fetch_add(failed, std::memory_order_relaxed);
-  return results;
+  if (state->has_promise) {
+    state->promise.set_value(std::move(state->results));
+  } else if (state->callback) {
+    try {
+      state->callback(std::move(state->results));
+    } catch (...) {
+      // Swallow: a throwing callback must not prevent the helper task from
+      // releasing its in-flight slot (the destructor waits on that count).
+    }
+  }
+}
+
+void EstimationService::LaunchBatch(
+    const std::shared_ptr<BatchState>& state) const {
+  if (state->degenerate) {
+    FinishBatch(state.get());
+    return;
+  }
+  // Seed one helper per available worker (never more than there are
+  // chunks); helpers steal chunks until the cursor runs dry, so a stalled
+  // or saturated pool only reduces parallelism, never correctness.
+  const size_t helpers =
+      std::min(state->num_chunks, pool_->num_threads());
+  for (size_t i = 0; i < helpers; ++i) {
+    AcquireInflight();
+    try {
+      pool_->Submit([this, state]() {
+        RunChunks(state);
+        ReleaseInflight();
+      });
+    } catch (...) {
+      // Pool shutting down: run the remaining chunks on this thread so the
+      // batch still completes (the pool contract is that the service
+      // outlives it, but degrade gracefully rather than dropping work).
+      ReleaseInflight();
+      RunChunks(state);
+      return;
+    }
+  }
+}
+
+std::vector<EstimateResult> EstimationService::EstimateBatch(
+    const std::vector<EstimateRequest>& requests) const {
+  auto state = MakeBatch(requests);
+  state->has_promise = true;
+  auto future = state->promise.get_future();
+  LaunchBatch(state);
+  // Help drain our own chunks: a caller running on a pool worker finishes
+  // the whole batch itself if no other worker is free, which is what makes
+  // nested blocking calls deadlock-free.
+  if (!state->degenerate) RunChunks(state);
+  return future.get();
+}
+
+std::future<std::vector<EstimateResult>> EstimationService::SubmitBatch(
+    std::vector<EstimateRequest> requests) const {
+  auto state = MakeBatch(std::move(requests));
+  state->has_promise = true;
+  auto future = state->promise.get_future();
+  LaunchBatch(state);
+  return future;
+}
+
+void EstimationService::SubmitBatch(std::vector<EstimateRequest> requests,
+                                    BatchCallback done) const {
+  auto state = MakeBatch(std::move(requests));
+  state->callback = std::move(done);
+  LaunchBatch(state);
+}
+
+std::future<EstimateResult> EstimationService::SubmitEstimate(
+    const EstimateRequest& request) const {
+  auto result = std::make_shared<std::promise<EstimateResult>>();
+  std::future<EstimateResult> future = result->get_future();
+  SubmitBatch(std::vector<EstimateRequest>{request},
+              [result](std::vector<EstimateResult> results) {
+                result->set_value(std::move(results.front()));
+              });
+  return future;
+}
+
+void EstimationService::SubmitEstimate(const EstimateRequest& request,
+                                       EstimateCallback done) const {
+  SubmitBatch(std::vector<EstimateRequest>{request},
+              [done = std::move(done)](std::vector<EstimateResult> results) {
+                done(std::move(results.front()));
+              });
 }
 
 std::vector<double> EstimationService::EstimatePipelines(
@@ -127,6 +339,13 @@ ServiceStats EstimationService::stats() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.rejected_batches = rejected_batches_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
+  if (cache_) {
+    const EstimateCacheStats cache_stats = cache_->stats();
+    s.cache_hits = cache_stats.hits;
+    s.cache_misses = cache_stats.misses;
+    s.cache_evictions = cache_stats.evictions;
+    s.cache_entries = cache_stats.entries;
+  }
   return s;
 }
 

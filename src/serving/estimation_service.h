@@ -5,22 +5,31 @@
 // Results are returned in request order and are bit-identical to calling
 // ResourceEstimator::EstimateQuery serially: each request's estimate is an
 // independent computation against an immutable estimator snapshot, so the
-// floating-point evaluation order within a request never changes.
+// floating-point evaluation order within a request never changes. The
+// cross-request estimate cache preserves this bit-for-bit — a hit returns
+// the exact double a miss would have computed (see estimate_cache.h).
 #ifndef RESEST_SERVING_ESTIMATION_SERVICE_H_
 #define RESEST_SERVING_ESTIMATION_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/thread_pool.h"
+#include "src/serving/estimate_cache.h"
 #include "src/serving/model_registry.h"
-#include "src/serving/thread_pool.h"
 
 namespace resest {
 
 /// One estimation request: an annotated plan on a database, for a resource.
-/// `plan` and `database` must outlive the call.
+/// `plan` and `database` must outlive the call (for Submit* overloads:
+/// until the future is ready / the callback has run).
 struct EstimateRequest {
   const Plan* plan = nullptr;
   const Database* database = nullptr;
@@ -32,6 +41,7 @@ enum class EstimateStatus {
   kModelNotFound,   ///< No active model under the service's model name.
   kInvalidRequest,  ///< Null plan or database.
   kBatchTooLarge,   ///< Batch exceeds ServiceOptions::max_batch_size.
+  kInternalError,   ///< Estimation threw (e.g. allocation failure).
 };
 const char* EstimateStatusName(EstimateStatus s);
 
@@ -49,60 +59,142 @@ struct ServiceOptions {
   /// Requests per pool task when fanning out a batch. Small chunks balance
   /// load across workers; large chunks amortize queueing overhead.
   size_t chunk_size = 8;
+  /// Cross-request (model_version, op, resource, features) estimate cache.
+  bool enable_cache = true;
+  size_t cache_capacity = 64 * 1024;  ///< Entries, across all shards.
+  size_t cache_shards = 16;
 };
 
-/// Aggregate counters; values are monotonically increasing.
+/// Aggregate counters; values are monotonically increasing except
+/// cache_entries (a point-in-time size).
 struct ServiceStats {
   uint64_t requests = 0;          ///< Individual estimates served OK.
   uint64_t batches = 0;           ///< Batch calls accepted.
   uint64_t rejected_batches = 0;  ///< Batch calls rejected as oversized.
   uint64_t errors = 0;            ///< Requests that returned a non-OK status.
+  // Operator-estimate cache counters (all zero when the cache is disabled).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  size_t cache_entries = 0;
+
+  double CacheHitRate() const {
+    return resest::CacheHitRate(cache_hits, cache_misses);
+  }
 };
 
+/// Invoked exactly once per submitted batch, with one result per request in
+/// request order. Runs on whichever thread completes the batch's last chunk
+/// (a pool worker, or the submitter for degenerate/rejected batches).
+/// Callbacks must not throw; an escaping exception is swallowed so batch
+/// completion and service shutdown can never be derailed by a callback.
+using BatchCallback = std::function<void(std::vector<EstimateResult>)>;
+/// Single-request flavor of BatchCallback; same delivery guarantees.
+using EstimateCallback = std::function<void(EstimateResult)>;
+
 /// Thread-safe estimation front end. All methods may be called concurrently;
-/// the registry and pool must outlive the service.
+/// the registry and pool must outlive the service. The destructor blocks
+/// until every submitted batch has completed (callbacks delivered, futures
+/// ready), so in-flight work never touches a dead service.
 ///
-/// Reentrancy: EstimateBatch blocks on tasks submitted to the service's own
-/// pool, so it must NOT be called from a task running on that pool — with
-/// few (or busy) workers the chunks it waits on can only run on the blocked
-/// worker itself, deadlocking the pool. Callers composing serving with other
-/// pool work (async APIs, parallel training) need a separate pool.
+/// Reentrancy: all entry points, including the blocking EstimateBatch, are
+/// safe to call from tasks running on the service's own pool. Batches are
+/// completion-driven (an atomic chunk countdown, finished by whichever
+/// thread drains the last chunk), and a blocking caller helps execute its
+/// own chunks instead of parking on workers — so even a saturated or
+/// single-threaded pool cannot deadlock a nested call.
 class EstimationService {
  public:
   EstimationService(const ModelRegistry* registry, ThreadPool* pool,
                     ServiceOptions options = {});
+  ~EstimationService();
+
+  EstimationService(const EstimationService&) = delete;
+  EstimationService& operator=(const EstimationService&) = delete;
 
   /// Estimates one plan on the calling thread (no pool hop).
   EstimateResult Estimate(const EstimateRequest& request) const;
 
-  /// Estimates a batch, fanned out across the pool in chunks. The whole
-  /// batch is served from one model snapshot, so all results carry the same
-  /// model_version even if a publish races the call. Returns one result per
-  /// request, in request order. Empty input returns an empty vector;
-  /// oversized input returns kBatchTooLarge for every request.
+  /// Estimates a batch, fanned out across the pool in chunks; blocks until
+  /// every result is ready. The whole batch is served from one model
+  /// snapshot, so all results carry the same model_version even if a
+  /// publish races the call. Returns one result per request, in request
+  /// order. Empty input returns an empty vector; oversized input returns
+  /// kBatchTooLarge for every request.
   std::vector<EstimateResult> EstimateBatch(
       const std::vector<EstimateRequest>& requests) const;
 
+  /// Non-blocking batch submission: returns immediately with a future that
+  /// becomes ready when the last chunk completes. Same semantics as
+  /// EstimateBatch otherwise. The service copies `requests`; the pointed-to
+  /// plans and databases must outlive completion.
+  std::future<std::vector<EstimateResult>> SubmitBatch(
+      std::vector<EstimateRequest> requests) const;
+
+  /// Callback flavor: `done` is invoked exactly once, possibly before this
+  /// call returns (degenerate batches complete on the submitting thread).
+  void SubmitBatch(std::vector<EstimateRequest> requests,
+                   BatchCallback done) const;
+
+  /// Non-blocking single-request submission (one pool hop).
+  std::future<EstimateResult> SubmitEstimate(
+      const EstimateRequest& request) const;
+  void SubmitEstimate(const EstimateRequest& request,
+                      EstimateCallback done) const;
+
   /// Per-pipeline estimates for one plan (scheduling granularity). An empty
   /// vector signals failure (no active model, or null plan/database) —
-  /// served plans always have at least one pipeline.
+  /// served plans always have at least one pipeline. Not memoized.
   std::vector<double> EstimatePipelines(const EstimateRequest& request) const;
 
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
 
  private:
+  struct BatchState;
+
   EstimateResult EstimateWith(const ModelSnapshot& snapshot,
                               const EstimateRequest& request) const;
+  /// EstimateQuery through the per-operator cache; bit-identical to the
+  /// direct call (same traversal order, memoized per-operator doubles).
+  double CachedEstimateQuery(const ModelSnapshot& snapshot, const Plan& plan,
+                             const Database& db, Resource resource) const;
+  /// Drops stale cache space when the active model version changes.
+  void NoteServedVersion(uint64_t version) const;
+
+  /// Builds a batch state; `results` pre-filled for rejected batches.
+  std::shared_ptr<BatchState> MakeBatch(std::vector<EstimateRequest> requests)
+      const;
+  /// Seeds pool helpers for a runnable batch, or completes a degenerate one
+  /// inline. Never blocks.
+  void LaunchBatch(const std::shared_ptr<BatchState>& state) const;
+  /// Chunk-draining loop shared by pool helpers and blocking callers.
+  void RunChunks(const std::shared_ptr<BatchState>& state) const;
+  /// Publishes results (promise or callback) and tallies per-request stats.
+  /// Called exactly once per batch, by whichever thread drains last.
+  void FinishBatch(BatchState* state) const;
+
+  /// In-flight accounting for pool helper tasks (each holds `this`); the
+  /// destructor waits for the count to reach zero.
+  void AcquireInflight() const;
+  void ReleaseInflight() const;
 
   const ModelRegistry* registry_;
   ThreadPool* pool_;
   ServiceOptions options_;
+  mutable std::unique_ptr<EstimateCache> cache_;  ///< Null when disabled.
 
   mutable std::atomic<uint64_t> requests_{0};
   mutable std::atomic<uint64_t> batches_{0};
   mutable std::atomic<uint64_t> rejected_batches_{0};
   mutable std::atomic<uint64_t> errors_{0};
+  mutable std::atomic<uint64_t> served_version_{0};
+
+  mutable std::mutex inflight_mu_;
+  mutable std::condition_variable inflight_idle_;
+  /// Outstanding pool helper tasks (not batches: one batch holds up to
+  /// min(num_chunks, pool threads) slots until its helpers exit).
+  mutable size_t inflight_ = 0;
 };
 
 }  // namespace resest

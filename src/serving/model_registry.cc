@@ -1,5 +1,7 @@
 #include "src/serving/model_registry.h"
 
+#include <filesystem>
+#include <system_error>
 #include <utility>
 
 namespace resest {
@@ -22,6 +24,25 @@ uint64_t ModelRegistry::PublishSerialized(const std::string& name,
   auto estimator = std::make_shared<ResourceEstimator>();
   if (!estimator->Deserialize(bytes)) return 0;
   return Publish(name, std::move(estimator));
+}
+
+uint64_t ModelRegistry::PublishFromFile(const std::string& name,
+                                        const std::string& path) {
+  auto estimator = std::make_shared<ResourceEstimator>();
+  if (!estimator->LoadFromFile(path)) return 0;
+  return Publish(name, std::move(estimator));
+}
+
+bool ModelRegistry::SaveActive(const std::string& name,
+                               const std::string& dir) const {
+  const ModelSnapshot snapshot = Get(name);
+  if (!snapshot) return false;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / (name + ".model");
+  return snapshot.estimator->SaveToFile(path.string());
 }
 
 ModelSnapshot ModelRegistry::Get(const std::string& name) const {

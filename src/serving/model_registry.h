@@ -41,6 +41,17 @@ class ModelRegistry {
   uint64_t PublishSerialized(const std::string& name,
                              const std::vector<uint8_t>& bytes);
 
+  /// Loads a model store written by SaveActive (or
+  /// ResourceEstimator::SaveToFile) and publishes it — how a restarted
+  /// server comes back without retraining. Returns 0 on a missing or
+  /// corrupt file; the active version is untouched on failure.
+  uint64_t PublishFromFile(const std::string& name, const std::string& path);
+
+  /// Persists the active version of `name` as `<dir>/<name>.model`
+  /// (creating `dir` if needed), in the format PublishFromFile loads.
+  /// Returns false if `name` has no active version or the write fails.
+  bool SaveActive(const std::string& name, const std::string& dir) const;
+
   /// Snapshot of the active version of `name` (empty snapshot if absent).
   ModelSnapshot Get(const std::string& name) const;
 

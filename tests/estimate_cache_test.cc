@@ -1,0 +1,342 @@
+// Tests for the cross-request operator-estimate cache: the EstimateCache
+// container itself (counters, LRU eviction, version-keyed entries) and its
+// integration into EstimationService (bit-identical hits, invalidation when
+// a publish hot-swaps the model mid-stream).
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/thread_pool.h"
+#include "src/serving/estimate_cache.h"
+#include "src/serving/estimation_service.h"
+#include "src/serving/model_registry.h"
+#include "src/workload/runner.h"
+#include "src/workload/schemas.h"
+#include "src/workload/tpch_queries.h"
+
+namespace resest {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FeatureVector hashing / equality (the cache's key primitives)
+// ---------------------------------------------------------------------------
+
+TEST(FeatureVectorHashTest, EqualVectorsHashEqual) {
+  FeatureVector a{};
+  a.fill(0.0);
+  a[0] = 1.5;
+  a[3] = -2.25;
+  FeatureVector b = a;
+  EXPECT_TRUE(FeatureVectorHashEqual(a, b));
+  EXPECT_EQ(HashFeatureVector(a), HashFeatureVector(b));
+}
+
+TEST(FeatureVectorHashTest, DifferentVectorsHashDifferently) {
+  FeatureVector a{};
+  a.fill(0.0);
+  FeatureVector b = a;
+  b[5] = 1.0;
+  EXPECT_FALSE(FeatureVectorHashEqual(a, b));
+  EXPECT_NE(HashFeatureVector(a), HashFeatureVector(b));
+}
+
+TEST(FeatureVectorHashTest, BitwiseSemanticsForZeroAndNan) {
+  FeatureVector pos{};
+  pos.fill(0.0);
+  FeatureVector neg = pos;
+  neg[0] = -0.0;
+  // -0.0 == +0.0 under operator==, but the bitwise notion keeps equality
+  // consistent with the bit-pattern hash: they are distinct keys.
+  EXPECT_FALSE(FeatureVectorHashEqual(pos, neg));
+  EXPECT_NE(HashFeatureVector(pos), HashFeatureVector(neg));
+  // NaN never compares == to itself, but identical NaN bits are one key.
+  FeatureVector nan_a{};
+  nan_a.fill(0.0);
+  nan_a[1] = std::nan("");
+  FeatureVector nan_b = nan_a;
+  EXPECT_TRUE(FeatureVectorHashEqual(nan_a, nan_b));
+  EXPECT_EQ(HashFeatureVector(nan_a), HashFeatureVector(nan_b));
+}
+
+// ---------------------------------------------------------------------------
+// EstimateCache container semantics
+// ---------------------------------------------------------------------------
+
+EstimateCache::Key MakeKey(uint64_t version, double distinguishing_value) {
+  EstimateCache::Key key;
+  key.model_version = version;
+  key.op = OpType::kHashJoin;
+  key.resource = Resource::kCpu;
+  key.features.fill(0.0);
+  key.features[0] = distinguishing_value;
+  return key;
+}
+
+TEST(EstimateCacheTest, MissInsertHitCounters) {
+  EstimateCache cache;
+  double value = 0.0;
+  EXPECT_FALSE(cache.Lookup(MakeKey(1, 10.0), &value));
+  cache.Insert(MakeKey(1, 10.0), 42.5);
+  ASSERT_TRUE(cache.Lookup(MakeKey(1, 10.0), &value));
+  EXPECT_EQ(value, 42.5);
+
+  const EstimateCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(EstimateCacheTest, VersionIsPartOfTheKey) {
+  EstimateCache cache;
+  cache.Insert(MakeKey(1, 10.0), 1.0);
+  double value = 0.0;
+  // Same (op, resource, features) under a new model version: a miss.
+  EXPECT_FALSE(cache.Lookup(MakeKey(2, 10.0), &value));
+  cache.Insert(MakeKey(2, 10.0), 2.0);
+  ASSERT_TRUE(cache.Lookup(MakeKey(1, 10.0), &value));
+  EXPECT_EQ(value, 1.0);
+  ASSERT_TRUE(cache.Lookup(MakeKey(2, 10.0), &value));
+  EXPECT_EQ(value, 2.0);
+}
+
+TEST(EstimateCacheTest, EvictsLeastRecentlyUsedUnderBound) {
+  EstimateCacheOptions options;
+  options.capacity = 3;
+  options.shards = 1;  // single shard so the bound is exact
+  EstimateCache cache(options);
+  cache.Insert(MakeKey(1, 1.0), 1.0);
+  cache.Insert(MakeKey(1, 2.0), 2.0);
+  cache.Insert(MakeKey(1, 3.0), 3.0);
+
+  double value = 0.0;
+  ASSERT_TRUE(cache.Lookup(MakeKey(1, 1.0), &value));  // promote key 1
+
+  cache.Insert(MakeKey(1, 4.0), 4.0);  // bound exceeded: evict LRU (key 2)
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_TRUE(cache.Lookup(MakeKey(1, 1.0), &value));
+  EXPECT_FALSE(cache.Lookup(MakeKey(1, 2.0), &value));
+  EXPECT_TRUE(cache.Lookup(MakeKey(1, 3.0), &value));
+  EXPECT_TRUE(cache.Lookup(MakeKey(1, 4.0), &value));
+}
+
+TEST(EstimateCacheTest, ClearDropsEntriesKeepsCounters) {
+  EstimateCache cache;
+  cache.Insert(MakeKey(1, 1.0), 1.0);
+  double value = 0.0;
+  ASSERT_TRUE(cache.Lookup(MakeKey(1, 1.0), &value));
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);  // monotonic counters survive Clear
+  EXPECT_FALSE(cache.Lookup(MakeKey(1, 1.0), &value));
+}
+
+// ---------------------------------------------------------------------------
+// Service integration: one small trained model pair (the second model is
+// deliberately different so a hot-swap visibly changes estimates).
+// ---------------------------------------------------------------------------
+
+class ServiceCacheTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = GenerateDatabase(TpchSchema(), 0.5, 1.0, 42).release();
+    Rng rng(7);
+    auto queries = GenerateTpchWorkload(50, &rng, db_);
+    workload_ = new std::vector<ExecutedQuery>(RunWorkload(db_, queries));
+    TrainOptions options;
+    options.mart.num_trees = 30;
+    model_a_ = new ResourceEstimator(
+        ResourceEstimator::Train(*workload_, options));
+    options.mart.num_trees = 12;  // different model => different estimates
+    model_b_ = new ResourceEstimator(
+        ResourceEstimator::Train(*workload_, options));
+  }
+  static void TearDownTestSuite() {
+    delete model_b_;
+    model_b_ = nullptr;
+    delete model_a_;
+    model_a_ = nullptr;
+    delete workload_;
+    workload_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static std::shared_ptr<const ResourceEstimator> Shared(
+      const ResourceEstimator* est) {
+    return std::shared_ptr<const ResourceEstimator>(est, [](const auto*) {});
+  }
+
+  static std::vector<EstimateRequest> Requests(Resource resource) {
+    std::vector<EstimateRequest> requests;
+    for (const auto& eq : *workload_) {
+      requests.push_back({&eq.plan, eq.database, resource});
+    }
+    return requests;
+  }
+
+  static Database* db_;
+  static std::vector<ExecutedQuery>* workload_;
+  static ResourceEstimator* model_a_;
+  static ResourceEstimator* model_b_;
+};
+
+Database* ServiceCacheTest::db_ = nullptr;
+std::vector<ExecutedQuery>* ServiceCacheTest::workload_ = nullptr;
+ResourceEstimator* ServiceCacheTest::model_a_ = nullptr;
+ResourceEstimator* ServiceCacheTest::model_b_ = nullptr;
+
+TEST_F(ServiceCacheTest, HitsAreBitIdenticalToMissesAndSerial) {
+  ModelRegistry registry;
+  registry.Publish("default", Shared(model_a_));
+  ThreadPool pool(4);
+  EstimationService service(&registry, &pool);
+
+  const auto requests = Requests(Resource::kCpu);
+  const auto cold = service.EstimateBatch(requests);  // all misses
+  const ServiceStats after_cold = service.stats();
+  EXPECT_GT(after_cold.cache_misses, 0u);
+
+  const auto warm = service.EstimateBatch(requests);  // all hits
+  const ServiceStats after_warm = service.stats();
+  EXPECT_GT(after_warm.cache_hits, after_cold.cache_hits);
+  // The repeat pass is served entirely from the cache: no new misses.
+  EXPECT_EQ(after_warm.cache_misses, after_cold.cache_misses);
+
+  ASSERT_EQ(cold.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(cold[i].ok());
+    ASSERT_TRUE(warm[i].ok());
+    const double serial = model_a_->EstimateQuery(
+        *requests[i].plan, *requests[i].database, Resource::kCpu);
+    EXPECT_EQ(cold[i].value, serial) << "cold request " << i;
+    EXPECT_EQ(warm[i].value, serial) << "warm request " << i;
+  }
+}
+
+TEST_F(ServiceCacheTest, DisabledCacheMatchesEnabledCache) {
+  ModelRegistry registry;
+  registry.Publish("default", Shared(model_a_));
+  ThreadPool pool(4);
+  ServiceOptions no_cache;
+  no_cache.enable_cache = false;
+  EstimationService cached(&registry, &pool);
+  EstimationService uncached(&registry, &pool, no_cache);
+
+  const auto requests = Requests(Resource::kIo);
+  const auto with = cached.EstimateBatch(requests);
+  const auto without = uncached.EstimateBatch(requests);
+  ASSERT_EQ(with.size(), without.size());
+  for (size_t i = 0; i < with.size(); ++i) {
+    EXPECT_EQ(with[i].value, without[i].value);
+  }
+  EXPECT_EQ(uncached.stats().cache_hits, 0u);
+  EXPECT_EQ(uncached.stats().cache_misses, 0u);
+}
+
+TEST_F(ServiceCacheTest, EvictionUnderTinyBoundStaysCorrect) {
+  ModelRegistry registry;
+  registry.Publish("default", Shared(model_a_));
+  ThreadPool pool(2);
+  ServiceOptions options;
+  options.cache_capacity = 8;  // far fewer slots than distinct operators
+  options.cache_shards = 1;
+  EstimationService service(&registry, &pool, options);
+
+  const auto requests = Requests(Resource::kCpu);
+  service.EstimateBatch(requests);
+  service.EstimateBatch(requests);
+  const ServiceStats stats = service.stats();
+  EXPECT_GT(stats.cache_evictions, 0u);
+  EXPECT_LE(stats.cache_entries, 8u);
+
+  // Thrashing changes performance, never values.
+  const auto results = service.EstimateBatch(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    EXPECT_EQ(results[i].value,
+              model_a_->EstimateQuery(*requests[i].plan, *requests[i].database,
+                                      Resource::kCpu));
+  }
+}
+
+TEST_F(ServiceCacheTest, PublishInvalidatesMidStream) {
+  ModelRegistry registry;
+  const uint64_t v1 = registry.Publish("default", Shared(model_a_));
+  ThreadPool pool(4);
+  EstimationService service(&registry, &pool);
+
+  const auto requests = Requests(Resource::kCpu);
+  const auto before = service.EstimateBatch(requests);
+  ASSERT_TRUE(before[0].ok());
+  EXPECT_EQ(before[0].model_version, v1);
+
+  // Hot-swap mid-stream: same requests must now be served by model B —
+  // version-keyed entries from model A can never satisfy them.
+  const uint64_t v2 = registry.Publish("default", Shared(model_b_));
+  const ServiceStats at_swap = service.stats();
+  const auto after = service.EstimateBatch(requests);
+  const ServiceStats post = service.stats();
+  EXPECT_GT(post.cache_misses, at_swap.cache_misses);
+
+  bool any_changed = false;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(after[i].ok());
+    EXPECT_EQ(after[i].model_version, v2);
+    const double serial_b = model_b_->EstimateQuery(
+        *requests[i].plan, *requests[i].database, Resource::kCpu);
+    EXPECT_EQ(after[i].value, serial_b) << "request " << i;
+    if (after[i].value != before[i].value) any_changed = true;
+  }
+  // The two models genuinely differ, so a stale cache would be visible.
+  EXPECT_TRUE(any_changed);
+
+  // Roll back to model A: still correct (fresh misses, then A's values).
+  ASSERT_TRUE(registry.Activate("default", v1));
+  const auto rolled_back = service.EstimateBatch(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(rolled_back[i].ok());
+    EXPECT_EQ(rolled_back[i].value, before[i].value);
+  }
+}
+
+TEST_F(ServiceCacheTest, ConcurrentBatchesSharingTheCacheStayCorrect) {
+  ModelRegistry registry;
+  registry.Publish("default", Shared(model_a_));
+  ThreadPool pool(4);
+  EstimationService service(&registry, &pool);
+
+  const auto requests = Requests(Resource::kCpu);
+  std::vector<double> serial(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    serial[i] = model_a_->EstimateQuery(*requests[i].plan,
+                                        *requests[i].database, Resource::kCpu);
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&]() {
+      for (int round = 0; round < 3; ++round) {
+        const auto results = service.EstimateBatch(requests);
+        for (size_t i = 0; i < results.size(); ++i) {
+          if (!results[i].ok() || results[i].value != serial[i]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(service.stats().cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace resest

@@ -1,17 +1,19 @@
 // Tests for src/serving: thread pool semantics, registry versioning and
-// hot-swap under concurrent readers, and the batched estimation service —
-// including the core contract that pooled batched results are bit-identical
-// to the serial ResourceEstimator path.
+// hot-swap under concurrent readers, and the estimation service — blocking
+// and async submission — including the core contract that pooled batched
+// results are bit-identical to the serial ResourceEstimator path.
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/common/thread_pool.h"
 #include "src/serving/estimation_service.h"
 #include "src/serving/model_registry.h"
-#include "src/serving/thread_pool.h"
 #include "src/workload/runner.h"
 #include "src/workload/schemas.h"
 #include "src/workload/tpch_queries.h"
@@ -165,8 +167,9 @@ TEST_F(ServingTest, RegistryEvictsOldVersionsButSnapshotsStayAlive) {
   EXPECT_EQ(registry.Get("m").version, v3);
   // The held snapshot outlives eviction: the estimator stays fully usable.
   const auto& eq = workload_->front();
-  EXPECT_EQ(held.estimator->EstimateQuery(eq.plan, *eq.database, Resource::kCpu),
-            estimator_->EstimateQuery(eq.plan, *eq.database, Resource::kCpu));
+  EXPECT_EQ(
+      held.estimator->EstimateQuery(eq.plan, *eq.database, Resource::kCpu),
+      estimator_->EstimateQuery(eq.plan, *eq.database, Resource::kCpu));
 }
 
 TEST_F(ServingTest, RegistrySerializedPublishRoundTrip) {
@@ -177,8 +180,9 @@ TEST_F(ServingTest, RegistrySerializedPublishRoundTrip) {
   // The deserialized model must reproduce the original's estimates exactly.
   const auto& eq = workload_->front();
   ModelSnapshot snap = registry.Get("m");
-  EXPECT_EQ(snap.estimator->EstimateQuery(eq.plan, *eq.database, Resource::kCpu),
-            estimator_->EstimateQuery(eq.plan, *eq.database, Resource::kCpu));
+  EXPECT_EQ(
+      snap.estimator->EstimateQuery(eq.plan, *eq.database, Resource::kCpu),
+      estimator_->EstimateQuery(eq.plan, *eq.database, Resource::kCpu));
   // Corrupt input is rejected without disturbing the active version.
   std::vector<uint8_t> corrupt(bytes.begin(), bytes.begin() + 40);
   EXPECT_EQ(registry.PublishSerialized("m", corrupt), 0u);
@@ -262,8 +266,8 @@ TEST_F(ServingTest, ConcurrentCallersSmokeTest) {
   const auto requests = QueueRequests(Resource::kCpu);
   std::vector<double> serial(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
-    serial[i] = estimator_->EstimateQuery(*requests[i].plan,
-                                          *requests[i].database, Resource::kCpu);
+    serial[i] = estimator_->EstimateQuery(
+        *requests[i].plan, *requests[i].database, Resource::kCpu);
   }
 
   constexpr int kCallers = 4;
@@ -365,6 +369,255 @@ TEST_F(ServingTest, BatchServedFromSingleSnapshotDuringHotSwap) {
   }
   stop.store(true);
   publisher.join();
+}
+
+// ---------------------------------------------------------------------------
+// Async submission (SubmitBatch / SubmitEstimate)
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingTest, SubmitBatchFutureBitIdenticalToSerial) {
+  ModelRegistry registry;
+  registry.Publish("default", SharedEstimator());
+  ThreadPool pool(4);
+  EstimationService service(&registry, &pool);
+
+  const auto requests = QueueRequests(Resource::kCpu);
+  auto future = service.SubmitBatch(requests);
+  const auto results = future.get();
+  ASSERT_EQ(results.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    EXPECT_EQ(results[i].value,
+              estimator_->EstimateQuery(*requests[i].plan,
+                                        *requests[i].database, Resource::kCpu))
+        << "request " << i;
+  }
+}
+
+TEST_F(ServingTest, NestedBlockingBatchFromPoolTaskDoesNotDeadlock) {
+  // The old EstimateBatch parked the caller on futures its own pool had to
+  // run, so calling it from a pool task deadlocked a saturated pool. The
+  // completion-driven batch lets a blocking caller drain its own chunks:
+  // even on a single-worker pool, the nested call below must finish.
+  ModelRegistry registry;
+  registry.Publish("default", SharedEstimator());
+  ThreadPool pool(1);
+  EstimationService service(&registry, &pool);
+
+  const auto requests = QueueRequests(Resource::kCpu);
+  auto outer = pool.Submit([&service, &requests]() {
+    return service.EstimateBatch(requests);  // nested blocking call
+  });
+  ASSERT_EQ(outer.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready)
+      << "nested EstimateBatch deadlocked the pool";
+  const auto results = outer.get();
+  ASSERT_EQ(results.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    EXPECT_EQ(results[i].value,
+              estimator_->EstimateQuery(*requests[i].plan,
+                                        *requests[i].database, Resource::kCpu));
+  }
+}
+
+TEST_F(ServingTest, NestedSubmitBatchFromPoolTaskCompletes) {
+  ModelRegistry registry;
+  registry.Publish("default", SharedEstimator());
+  ThreadPool pool(2);
+  EstimationService service(&registry, &pool);
+
+  const auto requests = QueueRequests(Resource::kIo);
+  // A pool task composes with the service without a second pool: it submits
+  // a nested batch and returns the future instead of blocking.
+  auto nested = pool.Submit([&service, &requests]() {
+    return service.SubmitBatch(requests);
+  });
+  auto results_future = nested.get();
+  ASSERT_EQ(results_future.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready);
+  const auto results = results_future.get();
+  ASSERT_EQ(results.size(), requests.size());
+  for (const auto& r : results) EXPECT_TRUE(r.ok());
+}
+
+TEST_F(ServingTest, BatchCallbackDeliveredExactlyOnce) {
+  ModelRegistry registry;
+  registry.Publish("default", SharedEstimator());
+  ThreadPool pool(4);
+
+  const auto requests = QueueRequests(Resource::kCpu);
+  std::atomic<int> calls{0};
+  std::atomic<size_t> delivered_size{0};
+  {
+    EstimationService service(&registry, &pool);
+    service.SubmitBatch(requests,
+                        [&](std::vector<EstimateResult> results) {
+                          calls.fetch_add(1);
+                          delivered_size.store(results.size());
+                        });
+    // ~EstimationService waits for the in-flight batch: the callback has
+    // run exactly once by the time the destructor returns.
+  }
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(delivered_size.load(), requests.size());
+}
+
+TEST_F(ServingTest, DegenerateBatchesStillDeliverExactlyOnce) {
+  ModelRegistry registry;  // deliberately empty: no model published
+  ThreadPool pool(2);
+  ServiceOptions options;
+  options.max_batch_size = 4;
+  EstimationService service(&registry, &pool, options);
+
+  int empty_calls = 0;
+  service.SubmitBatch({}, [&](std::vector<EstimateResult> results) {
+    ++empty_calls;
+    EXPECT_TRUE(results.empty());
+  });
+  EXPECT_EQ(empty_calls, 1);
+
+  const EstimateRequest req = QueueRequests(Resource::kCpu)[0];
+  int oversized_calls = 0;
+  service.SubmitBatch(std::vector<EstimateRequest>(5, req),
+                      [&](std::vector<EstimateResult> results) {
+                        ++oversized_calls;
+                        ASSERT_EQ(results.size(), 5u);
+                        for (const auto& r : results) {
+                          EXPECT_EQ(r.status, EstimateStatus::kBatchTooLarge);
+                        }
+                      });
+  EXPECT_EQ(oversized_calls, 1);
+
+  auto missing_model = service.SubmitBatch({req, req});
+  const auto results = missing_model.get();
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.status, EstimateStatus::kModelNotFound);
+  }
+}
+
+TEST_F(ServingTest, DrainOnDestroyCompletesInFlightBatches) {
+  ModelRegistry registry;
+  registry.Publish("default", SharedEstimator());
+  ThreadPool pool(4);
+
+  const auto requests = QueueRequests(Resource::kCpu);
+  std::vector<std::future<std::vector<EstimateResult>>> futures;
+  {
+    EstimationService service(&registry, &pool);
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(service.SubmitBatch(requests));
+    }
+  }  // destructor must wait: every future is ready afterwards
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    const auto results = f.get();
+    ASSERT_EQ(results.size(), requests.size());
+    for (const auto& r : results) EXPECT_TRUE(r.ok());
+  }
+}
+
+TEST_F(ServingTest, SubmitEstimateFutureAndCallback) {
+  ModelRegistry registry;
+  registry.Publish("default", SharedEstimator());
+  ThreadPool pool(2);
+  EstimationService service(&registry, &pool);
+
+  const EstimateRequest req = QueueRequests(Resource::kCpu)[0];
+  const double expected =
+      estimator_->EstimateQuery(*req.plan, *req.database, Resource::kCpu);
+
+  auto future = service.SubmitEstimate(req);
+  const EstimateResult via_future = future.get();
+  ASSERT_TRUE(via_future.ok());
+  EXPECT_EQ(via_future.value, expected);
+
+  std::promise<EstimateResult> delivered;
+  service.SubmitEstimate(req, [&delivered](EstimateResult r) {
+    delivered.set_value(r);
+  });
+  const EstimateResult via_callback = delivered.get_future().get();
+  ASSERT_TRUE(via_callback.ok());
+  EXPECT_EQ(via_callback.value, expected);
+}
+
+TEST_F(ServingTest, ConcurrentMixedSubmittersAgreeWithSerial) {
+  ModelRegistry registry;
+  registry.Publish("default", SharedEstimator());
+  ThreadPool pool(4);
+  EstimationService service(&registry, &pool);
+
+  const auto requests = QueueRequests(Resource::kCpu);
+  std::vector<double> serial(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    serial[i] = estimator_->EstimateQuery(
+        *requests[i].plan, *requests[i].database, Resource::kCpu);
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&, t]() {
+      for (int round = 0; round < 2; ++round) {
+        std::vector<EstimateResult> results;
+        if ((t + round) % 2 == 0) {
+          results = service.SubmitBatch(requests).get();
+        } else {
+          results = service.EstimateBatch(requests);
+        }
+        for (size_t i = 0; i < results.size(); ++i) {
+          if (!results[i].ok() || results[i].value != serial[i]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel training and the file-backed registry
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingTest, ParallelTrainingBitIdenticalToSerial) {
+  TrainOptions options;
+  options.mart.num_trees = 15;  // identity is what matters, keep it cheap
+  const ResourceEstimator serial =
+      ResourceEstimator::Train(*workload_, options);
+  options.train_threads = 4;
+  const ResourceEstimator parallel =
+      ResourceEstimator::Train(*workload_, options);
+  // Byte-equal serialized stores: same models, same splits, same leaves.
+  EXPECT_EQ(serial.Serialize(), parallel.Serialize());
+}
+
+TEST_F(ServingTest, FileBackedRegistryRestartRoundTrip) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "resest_registry_test";
+  std::filesystem::remove_all(dir);
+
+  ModelRegistry registry;
+  registry.Publish("m", SharedEstimator());
+  ASSERT_TRUE(registry.SaveActive("m", dir.string()));
+  EXPECT_FALSE(registry.SaveActive("absent", dir.string()));
+
+  // "Restart": a fresh registry loads the persisted store, no retraining.
+  ModelRegistry restarted;
+  const uint64_t v =
+      restarted.PublishFromFile("m", (dir / "m.model").string());
+  ASSERT_GT(v, 0u);
+  EXPECT_EQ(restarted.PublishFromFile("m", (dir / "missing.model").string()),
+            0u);
+  EXPECT_EQ(restarted.Get("m").version, v);
+
+  const auto& eq = workload_->front();
+  EXPECT_EQ(restarted.Get("m").estimator->EstimateQuery(eq.plan, *eq.database,
+                                                        Resource::kCpu),
+            estimator_->EstimateQuery(eq.plan, *eq.database, Resource::kCpu));
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(ServingTest, PipelineEstimatesMatchDirectCall) {
