@@ -1,0 +1,126 @@
+// Raw model-inference throughput: the legacy per-tree scalar walk vs. the
+// compiled SoA forest, scalar and batched (tree-outer/row-inner), in
+// rows/sec on a paper-sized ensemble (~150 trees, <=10 leaves each).
+//
+// With the async pipeline and estimate cache landed, model inference is the
+// dominant cache-miss cost in serving; this bench tracks that hot path and
+// emits machine-readable BENCH_inference.json for the perf trajectory.
+// Exit code covers correctness only (compiled paths must be bit-identical
+// to the legacy walk); timings never fail the run, so tiny CI smoke
+// iterations stay meaningful.
+//
+// Environment knobs:
+//   RESEST_INFER_TREES   ensemble size            (default 150)
+//   RESEST_INFER_ROWS    rows per pass            (default 100000)
+//   RESEST_INFER_PASSES  timed passes per path    (default 3; best is kept)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/experiment_common.h"
+#include "bench/json_writer.h"
+#include "src/ml/mart.h"
+
+using namespace resest;
+
+namespace {
+
+constexpr size_t kFeatures = 8;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void PrintRow(const char* label, double rows_per_sec, double baseline) {
+  std::printf("%-26s %14.0f rows/s %9.2fx\n", label, rows_per_sec,
+              rows_per_sec / baseline);
+}
+
+}  // namespace
+
+int main() {
+  const int num_trees = bench::EnvInt("RESEST_INFER_TREES", 150);
+  const int num_rows = bench::EnvInt("RESEST_INFER_ROWS", 100000);
+  const int num_passes = bench::EnvInt("RESEST_INFER_PASSES", 3);
+
+  std::printf("== inference throughput: %d-tree MART, %d rows, best of %d "
+              "passes ==\n\n",
+              num_trees, num_rows, num_passes);
+
+  // Paper-sized model: ~150 trees of <=10 leaves over operator-like curves.
+  Rng rng(11);
+  Dataset train;
+  for (int i = 0; i < 4000; ++i) {
+    std::vector<double> x(kFeatures);
+    for (auto& v : x) v = rng.Uniform(1.0, 10000.0);
+    const double y = x[0] * std::log2(x[0]) + 0.01 * x[1] * x[2] +
+                     rng.Gaussian(0.0, 10.0);
+    train.Add(std::move(x), y);
+  }
+  MartParams params;
+  params.num_trees = num_trees;
+  Mart mart(params);
+  mart.Fit(train);
+
+  // Row set: contiguous matrix (batched path) + per-row vectors (legacy).
+  const size_t n = static_cast<size_t>(num_rows);
+  std::vector<double> matrix(n * kFeatures);
+  std::vector<std::vector<double>> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double>& x = rows[i];
+    x.resize(kFeatures);
+    for (size_t j = 0; j < kFeatures; ++j) {
+      x[j] = rng.Uniform(1.0, 12000.0);
+      matrix[i * kFeatures + j] = x[j];
+    }
+  }
+
+  std::vector<double> legacy(n), scalar(n), batched(n);
+  double legacy_sec = 1e100, scalar_sec = 1e100, batched_sec = 1e100;
+  for (int pass = 0; pass < num_passes + 1; ++pass) {
+    // Pass 0 is an untimed warm-up; afterwards keep each path's best time.
+    auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < n; ++i) legacy[i] = mart.PredictReference(rows[i]);
+    if (pass > 0) legacy_sec = std::min(legacy_sec, SecondsSince(start));
+
+    start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < n; ++i) {
+      scalar[i] = mart.Predict(matrix.data() + i * kFeatures, kFeatures);
+    }
+    if (pass > 0) scalar_sec = std::min(scalar_sec, SecondsSince(start));
+
+    start = std::chrono::steady_clock::now();
+    mart.compiled().PredictBatch(matrix.data(), n, kFeatures, batched.data());
+    if (pass > 0) batched_sec = std::min(batched_sec, SecondsSince(start));
+  }
+
+  size_t mismatches = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (scalar[i] != legacy[i] || batched[i] != legacy[i]) ++mismatches;
+  }
+
+  const double dn = static_cast<double>(n);
+  std::printf("%-26s %14s %10s\n", "path", "throughput", "speedup");
+  PrintRow("legacy per-tree scalar", dn / legacy_sec, dn / legacy_sec);
+  PrintRow("compiled scalar", dn / scalar_sec, dn / legacy_sec);
+  PrintRow("compiled batched", dn / batched_sec, dn / legacy_sec);
+  std::printf("\nbit-identical to legacy: %s (%zu/%zu mismatches)\n",
+              mismatches == 0 ? "yes" : "NO", mismatches, n);
+
+  bench::JsonWriter json;
+  json.Str("bench", "inference_throughput");
+  json.Int("num_trees", num_trees);
+  json.Int("rows", num_rows);
+  json.Int("passes", num_passes);
+  json.Number("legacy_rows_per_sec", dn / legacy_sec);
+  json.Number("compiled_scalar_rows_per_sec", dn / scalar_sec);
+  json.Number("compiled_batched_rows_per_sec", dn / batched_sec);
+  json.Number("batched_speedup_vs_legacy", legacy_sec / batched_sec);
+  json.Bool("bit_identical", mismatches == 0);
+  json.WriteFile("BENCH_inference.json");
+
+  return mismatches == 0 ? 0 : 1;
+}

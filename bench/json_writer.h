@@ -1,0 +1,74 @@
+// Minimal machine-readable bench output: a flat, insertion-ordered JSON
+// object written to a BENCH_*.json file so CI can archive a performance
+// trajectory alongside the human-readable stdout tables.
+#ifndef RESEST_BENCH_JSON_WRITER_H_
+#define RESEST_BENCH_JSON_WRITER_H_
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace resest::bench {
+
+/// Builds a flat JSON object field by field and writes it in one shot.
+/// Values are rendered on insertion; doubles use %.17g so readers recover
+/// the exact measurement.
+class JsonWriter {
+ public:
+  void Number(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void Int(const std::string& key, long long value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Bool(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+  void Str(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + Escape(value) + "\"");
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\n  \"" + Escape(fields_[i].first) + "\": " + fields_[i].second;
+    }
+    out += "\n}\n";
+    return out;
+  }
+
+  /// Writes the object to `path`; returns false (and prints a warning) on
+  /// I/O failure so benches can keep their exit code for correctness only.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = ToString();
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    std::fclose(f);
+    if (ok) std::printf("wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace resest::bench
+
+#endif  // RESEST_BENCH_JSON_WRITER_H_

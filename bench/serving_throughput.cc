@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench/experiment_common.h"
+#include "bench/json_writer.h"
 #include "src/common/thread_pool.h"
 #include "src/serving/estimation_service.h"
 #include "src/serving/model_registry.h"
@@ -153,5 +154,19 @@ int main() {
   if (memoized.seconds >= fanout.seconds) {
     std::printf("WARNING: cached batch was not faster than uncached\n");
   }
+
+  const double dn = static_cast<double>(requests.size());
+  bench::JsonWriter json;
+  json.Str("bench", "serving_throughput");
+  json.Int("threads", num_threads);
+  json.Int("requests", num_requests);
+  json.Int("distinct_plans", static_cast<long long>(distinct));
+  json.Number("serial_qps", dn / serial_sec);
+  json.Number("batched_uncached_qps", dn / fanout.seconds);
+  json.Number("batched_cached_qps", dn / memoized.seconds);
+  json.Number("cache_hit_rate", stats.CacheHitRate());
+  json.Bool("bit_identical", mismatches == 0);
+  json.WriteFile("BENCH_serving.json");
+
   return mismatches == 0 ? 0 : 1;
 }

@@ -35,7 +35,8 @@ double CombinedModel::ScaleValue(const FeatureVector& raw) const {
   return std::max(g, 1e-9);
 }
 
-std::vector<double> CombinedModel::TransformInputs(const FeatureVector& raw) const {
+void CombinedModel::TransformInputsInto(const FeatureVector& raw,
+                                        double* out) const {
   FeatureVector v = raw;
   if (normalize_dependents_) {
     // Section 6.1 (3): divide dependent features by the outlier feature so a
@@ -48,11 +49,14 @@ std::vector<double> CombinedModel::TransformInputs(const FeatureVector& raw) con
       }
     }
   }
-  std::vector<double> inputs;
-  inputs.reserve(input_features_.size());
-  for (FeatureId f : input_features_) {
-    inputs.push_back(v[static_cast<size_t>(f)]);
+  for (size_t i = 0; i < input_features_.size(); ++i) {
+    out[i] = v[static_cast<size_t>(input_features_[i])];
   }
+}
+
+std::vector<double> CombinedModel::TransformInputs(const FeatureVector& raw) const {
+  std::vector<double> inputs(input_features_.size());
+  TransformInputsInto(raw, inputs.data());
   return inputs;
 }
 
@@ -119,8 +123,32 @@ CombinedModel CombinedModel::Train(OpType op, Resource resource, ScaleSpec spec,
 }
 
 double CombinedModel::Predict(const FeatureVector& raw) const {
-  const double per_unit = mart_.Predict(TransformInputs(raw));
+  // Transformed rows have at most kNumFeatures inputs; a stack buffer keeps
+  // the hot path allocation-free.
+  double inputs[kNumFeatures];
+  TransformInputsInto(raw, inputs);
+  const double per_unit = mart_.Predict(inputs, input_features_.size());
   // Resources are non-negative; clamp pathological negative boosting output.
+  return std::max(0.0, per_unit * ScaleValue(raw));
+}
+
+void CombinedModel::PredictBatch(const FeatureVector* const* rows, size_t n,
+                                 double* out) const {
+  const size_t nf = input_features_.size();
+  std::vector<double> inputs(n * nf);
+  for (size_t i = 0; i < n; ++i) {
+    TransformInputsInto(*rows[i], inputs.data() + i * nf);
+  }
+  // out[i] = per-unit MART output, accumulated per row exactly as the
+  // scalar path does (see CompiledForest::PredictBatch).
+  mart_.compiled().PredictBatch(inputs.data(), n, nf, out);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = std::max(0.0, out[i] * ScaleValue(*rows[i]));
+  }
+}
+
+double CombinedModel::PredictReference(const FeatureVector& raw) const {
+  const double per_unit = mart_.PredictReference(TransformInputs(raw));
   return std::max(0.0, per_unit * ScaleValue(raw));
 }
 
@@ -303,6 +331,33 @@ double OperatorModelSet::Predict(const FeatureVector& raw) const {
   return m == nullptr ? 0.0 : m->Predict(raw);
 }
 
+void OperatorModelSet::PredictBatch(const FeatureVector* const* rows, size_t n,
+                                    double* out) const {
+  if (models_.empty()) {
+    for (size_t i = 0; i < n; ++i) out[i] = 0.0;
+    return;
+  }
+  // Group rows by the model Section 6.3 selects for them; each group then
+  // runs through its model's compiled forest in one tree-outer sweep.
+  std::vector<std::vector<size_t>> groups(models_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const CombinedModel* m = Select(*rows[i]);
+    groups[static_cast<size_t>(m - models_.data())].push_back(i);
+  }
+  std::vector<const FeatureVector*> group_rows;
+  std::vector<double> group_out;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const std::vector<size_t>& idx = groups[g];
+    if (idx.empty()) continue;
+    group_rows.clear();
+    group_rows.reserve(idx.size());
+    for (size_t i : idx) group_rows.push_back(rows[i]);
+    group_out.resize(idx.size());
+    models_[g].PredictBatch(group_rows.data(), idx.size(), group_out.data());
+    for (size_t k = 0; k < idx.size(); ++k) out[idx[k]] = group_out[k];
+  }
+}
+
 size_t OperatorModelSet::SerializedBytes() const {
   size_t total = 0;
   for (const auto& m : models_) total += m.SerializedBytes();
@@ -343,6 +398,21 @@ bool CombinedModel::DeserializeFrom(ByteReader* r, CombinedModel* out) {
       !r->Bytes(&mart_bytes)) {
     return false;
   }
+  // Feature ids index FeatureVector slots (and, via TransformInputsInto, a
+  // kNumFeatures-sized stack buffer); reject a corrupt store rather than
+  // read — or write — out of bounds at predict time.
+  const auto valid_feature_ids = [](const std::vector<int32_t>& ids) {
+    for (int32_t f : ids) {
+      if (f < 0 || f >= kNumFeatures) return false;
+    }
+    return true;
+  };
+  if (inputs.size() > static_cast<size_t>(kNumFeatures) ||
+      !valid_feature_ids(inputs) || feats.size() > 2 ||
+      !valid_feature_ids(feats) || (joint != 0 && feats.size() != 2) ||
+      (joint == 0 && fns.size() != feats.size())) {
+    return false;
+  }
   out->op_ = static_cast<OpType>(op);
   out->resource_ = static_cast<Resource>(resource);
   out->normalize_dependents_ = (norm != 0);
@@ -354,7 +424,13 @@ bool CombinedModel::DeserializeFrom(ByteReader* r, CombinedModel* out) {
   out->spec_.joint_fn = static_cast<ScalingFn>(joint_fn);
   out->input_features_.clear();
   for (int32_t f : inputs) out->input_features_.push_back(static_cast<FeatureId>(f));
-  return out->mart_.Deserialize(mart_bytes);
+  if (!out->mart_.Deserialize(mart_bytes)) return false;
+  // The mart blob cannot validate its feature indices in isolation (it does
+  // not know the input width); here the width is known, so reject corrupt
+  // stores whose splits would read past a transformed-input row at predict
+  // time.
+  return out->mart_.compiled().NumFeaturesReferenced() <=
+         out->input_features_.size();
 }
 
 void OperatorModelSet::SerializeTo(ByteWriter* w) const {

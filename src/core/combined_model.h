@@ -43,6 +43,17 @@ class CombinedModel {
   /// Estimated resource usage for an operator's raw feature vector.
   double Predict(const FeatureVector& raw) const;
 
+  /// Batched prediction: out[i] is bit-identical to Predict(*rows[i]). The
+  /// transformed inputs of all rows are packed into one matrix and swept
+  /// through the compiled forest tree-by-tree (see CompiledForest).
+  void PredictBatch(const FeatureVector* const* rows, size_t n,
+                    double* out) const;
+
+  /// Reference oracle for tests: Predict computed through the legacy
+  /// per-tree scalar walk (Mart::PredictReference) instead of the compiled
+  /// forest. Production code must use Predict/PredictBatch.
+  double PredictReference(const FeatureVector& raw) const;
+
   /// out_ratio values (paper Section 6.3) of every model input feature for
   /// this raw vector, sorted descending. All-zero means the vector lies
   /// within the training envelope of this model.
@@ -67,6 +78,9 @@ class CombinedModel {
   /// Model inputs after dependent-feature normalization & scale-feature
   /// removal.
   std::vector<double> TransformInputs(const FeatureVector& raw) const;
+  /// Allocation-free flavor: writes input_features().size() doubles into
+  /// `out` (callers use a kNumFeatures-sized stack buffer or matrix row).
+  void TransformInputsInto(const FeatureVector& raw, double* out) const;
 
   OpType op_ = OpType::kTableScan;
   Resource resource_ = Resource::kCpu;
@@ -97,6 +111,12 @@ class OperatorModelSet {
 
   /// Selects the model per Section 6.3 and predicts.
   double Predict(const FeatureVector& raw) const;
+
+  /// Batched flavor: out[i] is bit-identical to Predict(*rows[i]). Rows are
+  /// grouped by the model Section 6.3 selects for them, and each group runs
+  /// through that model's compiled forest in one sweep.
+  void PredictBatch(const FeatureVector* const* rows, size_t n,
+                    double* out) const;
 
   /// The model Section 6.3 selects for this feature vector.
   const CombinedModel* Select(const FeatureVector& raw) const;

@@ -133,6 +133,19 @@ double ResourceEstimator::EstimateFromFeatures(OpType op,
   return set->Predict(features);
 }
 
+void ResourceEstimator::EstimateBatchFromFeatures(
+    OpType op, const FeatureVector* const* features, size_t n,
+    Resource resource, double* out) const {
+  const OperatorModelSet* set = ModelsFor(op, resource);
+  if (set == nullptr) {
+    const double mean =
+        fallback_mean_[static_cast<size_t>(op)][static_cast<size_t>(resource)];
+    for (size_t i = 0; i < n; ++i) out[i] = mean;
+    return;
+  }
+  set->PredictBatch(features, n, out);
+}
+
 double ResourceEstimator::EstimateQuery(const Plan& plan, const Database& db,
                                         Resource resource) const {
   double total = 0.0;
@@ -192,7 +205,10 @@ size_t ResourceEstimator::SerializedBytes() const {
 
 namespace {
 constexpr uint32_t kStoreMagic = 0x52455354;  // "REST"
-constexpr uint32_t kStoreVersion = 1;
+// v2: Mart tree blobs widened (uint16 node count, int16 child/feature
+// indices) so the kMaxTreeNodes guard is enforceable; v1 stores no longer
+// load.
+constexpr uint32_t kStoreVersion = 2;
 }  // namespace
 
 std::vector<uint8_t> ResourceEstimator::Serialize() const {

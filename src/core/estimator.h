@@ -46,6 +46,13 @@ struct TrainOptions {
 /// (src/serving/estimate_cache.h), where entries are keyed by model version
 /// and invalidated on hot-swap; a cache hidden inside the estimator could
 /// not be version-keyed and would silently survive a registry publish.
+///
+/// The same contract covers the compiled inference representation: every
+/// Mart's CompiledForest (the contiguous SoA tree layout all prediction,
+/// scalar and batched, routes through) is built exactly once, inside
+/// Train()/Deserialize() before the estimator is published, and is never
+/// mutated by const paths afterwards — it is part of the immutable model,
+/// not a lazily-built cache.
 class ResourceEstimator {
  public:
   /// Trains per-operator model sets from executed queries.
@@ -64,6 +71,15 @@ class ResourceEstimator {
   /// with bit-identical results.
   double EstimateFromFeatures(OpType op, const FeatureVector& features,
                               Resource resource) const;
+
+  /// Batched keyed entry point: out[i] is bit-identical to
+  /// EstimateFromFeatures(op, *features[i], resource), but all rows of one
+  /// (op, resource) run through the compiled forests in grouped sweeps
+  /// instead of one tree walk per row. The serving layer feeds a plan's
+  /// cache-miss operators through this.
+  void EstimateBatchFromFeatures(OpType op,
+                                 const FeatureVector* const* features, size_t n,
+                                 Resource resource, double* out) const;
 
   /// Estimate for a whole plan (sum over operators).
   double EstimateQuery(const Plan& plan, const Database& db,

@@ -1,0 +1,186 @@
+#include "src/ml/compiled_forest.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace resest {
+
+namespace {
+/// Max root-to-leaf edge count of the subtree at `node` (0 for a leaf).
+int32_t SubtreeDepth(const std::vector<TreeNode>& nodes, size_t node) {
+  const TreeNode& n = nodes[node];
+  if (n.feature < 0) return 0;
+  const int32_t l = SubtreeDepth(nodes, static_cast<size_t>(n.left));
+  const int32_t r = SubtreeDepth(nodes, static_cast<size_t>(n.right));
+  return 1 + (l > r ? l : r);
+}
+}  // namespace
+
+void CompiledForest::Compile(double f0, double learning_rate,
+                             const std::vector<RegressionTree>& trees) {
+  f0_ = f0;
+  learning_rate_ = learning_rate;
+  roots_.clear();
+  depths_.clear();
+  feature_.clear();
+  threshold_.clear();
+  left_.clear();
+  right_.clear();
+  value_.clear();
+  lin_feature_.clear();
+  slope_.clear();
+
+  size_t total_nodes = 0;
+  for (const auto& tree : trees) {
+    total_nodes += tree.nodes().empty() ? 1 : tree.nodes().size();
+  }
+  roots_.reserve(trees.size());
+  depths_.reserve(trees.size());
+  feature_.reserve(total_nodes);
+  threshold_.reserve(total_nodes);
+  left_.reserve(total_nodes);
+  right_.reserve(total_nodes);
+  value_.reserve(total_nodes);
+  lin_feature_.reserve(total_nodes);
+  slope_.reserve(total_nodes);
+
+  num_features_referenced_ = 0;
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  for (const auto& tree : trees) {
+    const int32_t base = static_cast<int32_t>(feature_.size());
+    roots_.push_back(base);
+    if (tree.nodes().empty()) {
+      // An empty tree predicts 0.0; encode it as one constant zero leaf.
+      depths_.push_back(0);
+      feature_.push_back(0);
+      threshold_.push_back(kInf);
+      left_.push_back(base);
+      right_.push_back(base);
+      value_.push_back(0.0f);
+      lin_feature_.push_back(-1);
+      slope_.push_back(0.0f);
+      continue;
+    }
+    depths_.push_back(SubtreeDepth(tree.nodes(), 0));
+    for (size_t j = 0; j < tree.nodes().size(); ++j) {
+      const TreeNode& n = tree.nodes()[j];
+      const bool leaf = n.feature < 0;
+      const int32_t self = base + static_cast<int32_t>(j);
+      // Leaves self-loop on an always-true comparison so the fixed-depth
+      // walk can overshoot a short path without leaving the leaf. Trees
+      // with any split have >= 1 input feature, so x[0] is readable.
+      feature_.push_back(leaf ? 0 : n.feature);
+      threshold_.push_back(leaf ? kInf : n.threshold);
+      left_.push_back(leaf ? self : base + n.left);
+      right_.push_back(leaf ? self : base + n.right);
+      value_.push_back(n.value);
+      lin_feature_.push_back(n.lin_feature);
+      slope_.push_back(n.slope);
+      if (!leaf) {
+        num_features_referenced_ = std::max(
+            num_features_referenced_, static_cast<size_t>(n.feature) + 1);
+      }
+      if (n.lin_feature >= 0) {
+        num_features_referenced_ = std::max(
+            num_features_referenced_, static_cast<size_t>(n.lin_feature) + 1);
+      }
+    }
+  }
+}
+
+namespace {
+/// One branchless traversal step. `!(x <= t)` picks the right child exactly
+/// when the legacy walk does (including for NaN features), and the
+/// arithmetic select compiles to setcc+imul instead of a data-dependent
+/// branch — tree navigation is inherently unpredictable, and a mispredict
+/// per step would serialize the interleaved row chains PredictBatch relies
+/// on.
+inline size_t Step(size_t i, const double* x, const int16_t* feature,
+                   const float* threshold, const int32_t* left,
+                   const int32_t* right) {
+  const double xf = x[static_cast<size_t>(feature[i])];
+  const size_t go_right = static_cast<size_t>(!(xf <= threshold[i]));
+  const size_t l = static_cast<size_t>(left[i]);
+  const size_t r = static_cast<size_t>(right[i]);
+  return l + (r - l) * go_right;
+}
+}  // namespace
+
+double CompiledForest::Predict(const double* features, size_t count) const {
+  (void)count;
+  const int16_t* feature = feature_.data();
+  const float* threshold = threshold_.data();
+  const int32_t* left = left_.data();
+  const int32_t* right = right_.data();
+  double out = f0_;
+  const size_t num_trees = roots_.size();
+  for (size_t t = 0; t < num_trees; ++t) {
+    size_t i = static_cast<size_t>(roots_[t]);
+    for (int32_t d = depths_[t]; d > 0; --d) {
+      i = Step(i, features, feature, threshold, left, right);
+    }
+    double v = value_[i];
+    if (lin_feature_[i] >= 0) {
+      v += slope_[i] * features[static_cast<size_t>(lin_feature_[i])];
+    }
+    out += learning_rate_ * v;
+  }
+  return out;
+}
+
+void CompiledForest::PredictBatch(const double* rows, size_t num_rows,
+                                  size_t stride, double* out) const {
+  for (size_t r = 0; r < num_rows; ++r) out[r] = f0_;
+  // Tree-outer/row-inner: one tree's handful of SoA nodes stays cache-hot
+  // across the whole batch, and each out[r] still receives the trees in
+  // boosting order — the per-row floating-point accumulation matches
+  // Predict exactly. Four rows walk the tree in lockstep: the fixed-depth,
+  // self-looping traversal has no data-dependent exit, so the four
+  // load-compare chains are independent and overlap in the pipeline
+  // (memory-level parallelism), which is where the batched speedup over
+  // the one-row-at-a-time scalar walk comes from.
+  const int16_t* feature = feature_.data();
+  const float* threshold = threshold_.data();
+  const int32_t* left = left_.data();
+  const int32_t* right = right_.data();
+  auto leaf_value = [&](size_t i, const double* x) {
+    double v = value_[i];
+    if (lin_feature_[i] >= 0) {
+      v += slope_[i] * x[static_cast<size_t>(lin_feature_[i])];
+    }
+    return v;
+  };
+  const size_t num_trees = roots_.size();
+  for (size_t t = 0; t < num_trees; ++t) {
+    const size_t root = static_cast<size_t>(roots_[t]);
+    const int32_t depth = depths_[t];
+    size_t r = 0;
+    for (; r + 4 <= num_rows; r += 4) {
+      const double* x0 = rows + r * stride;
+      const double* x1 = x0 + stride;
+      const double* x2 = x1 + stride;
+      const double* x3 = x2 + stride;
+      size_t i0 = root, i1 = root, i2 = root, i3 = root;
+      for (int32_t d = depth; d > 0; --d) {
+        i0 = Step(i0, x0, feature, threshold, left, right);
+        i1 = Step(i1, x1, feature, threshold, left, right);
+        i2 = Step(i2, x2, feature, threshold, left, right);
+        i3 = Step(i3, x3, feature, threshold, left, right);
+      }
+      out[r] += learning_rate_ * leaf_value(i0, x0);
+      out[r + 1] += learning_rate_ * leaf_value(i1, x1);
+      out[r + 2] += learning_rate_ * leaf_value(i2, x2);
+      out[r + 3] += learning_rate_ * leaf_value(i3, x3);
+    }
+    for (; r < num_rows; ++r) {
+      const double* x = rows + r * stride;
+      size_t i = root;
+      for (int32_t d = depth; d > 0; --d) {
+        i = Step(i, x, feature, threshold, left, right);
+      }
+      out[r] += learning_rate_ * leaf_value(i, x);
+    }
+  }
+}
+
+}  // namespace resest

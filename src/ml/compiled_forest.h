@@ -1,0 +1,89 @@
+// Ahead-of-time compiled forest inference (paper Section 7.3: the deployed
+// artifact is the compactly encoded per-operator MART ensemble; inference
+// must stay cheap inside the server).
+//
+// A trained Mart stores one heap-allocated std::vector<TreeNode> per tree
+// (~150 per model), so a single prediction chases ~150 scattered blocks.
+// CompiledForest flattens the whole ensemble at Train/Deserialize time into
+// one contiguous structure-of-arrays block — features[], thresholds[],
+// left[], right[], leaf values and the linear-leaf fields each in their own
+// array, with absolute node indices and per-tree root offsets — so scalar
+// traversal touches one allocation and batched traversal (tree-outer /
+// row-inner) keeps each tree's nodes hot in cache across the whole batch.
+//
+// Bit-identity contract: Predict and PredictBatch reproduce the legacy
+// per-tree scalar path (Mart::PredictReference) byte for byte. Every row is
+// accumulated in the exact order f0 + sum_i lr * tree_i(x), with the same
+// float->double promotions the TreeNode walk performs; the batched loop
+// only reorders work *across* rows, never within one row's sum.
+//
+// Immutability: Compile() fully builds the representation; afterwards all
+// methods are const and touch no mutable state, so a compiled forest can be
+// shared by any number of serving threads without synchronization.
+#ifndef RESEST_ML_COMPILED_FOREST_H_
+#define RESEST_ML_COMPILED_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ml/regression_tree.h"
+
+namespace resest {
+
+class CompiledForest {
+ public:
+  /// Flattens `trees` (the boosted sequence of a Mart) into the contiguous
+  /// layout. Trees with no nodes compile to a single zero-value leaf, which
+  /// is what an empty RegressionTree predicts.
+  void Compile(double f0, double learning_rate,
+               const std::vector<RegressionTree>& trees);
+
+  /// f0 + sum_i lr * tree_i(x), accumulated in tree order. `count` is the
+  /// row width (number of model input features); traversal never reads past
+  /// the features the trees were fitted on.
+  double Predict(const double* features, size_t count) const;
+
+  /// Batched prediction over `num_rows` contiguous rows of width `stride`
+  /// (row i starts at rows + i * stride). out[i] is bit-identical to
+  /// Predict(rows + i * stride, stride): the loop is tree-outer/row-inner
+  /// for cache locality, but each row still accumulates f0 first and then
+  /// the trees in boosting order.
+  void PredictBatch(const double* rows, size_t num_rows, size_t stride,
+                    double* out) const;
+
+  size_t NumTrees() const { return roots_.size(); }
+  size_t NumNodes() const { return feature_.size(); }
+  bool empty() const { return roots_.empty(); }
+
+  /// 1 + the largest feature index any split or linear leaf reads; 0 for a
+  /// leaf-only forest. Predict/PredictBatch rows must be at least this
+  /// wide. Loaders with a known input width use this to reject corrupt
+  /// models whose (unvalidatable in isolation) feature indices would read
+  /// out of bounds at predict time.
+  size_t NumFeaturesReferenced() const { return num_features_referenced_; }
+
+ private:
+  double f0_ = 0.0;
+  double learning_rate_ = 0.0;
+  std::vector<int32_t> roots_;   ///< Absolute root node index per tree.
+  /// Max root-to-leaf edge count per tree. Traversal runs exactly this many
+  /// steps: leaves self-loop (left = right = own index, threshold +inf), so
+  /// a row that reaches its leaf early just stays put. This makes the walk
+  /// branch-free — no data-dependent loop exit to mispredict — without
+  /// changing which leaf a row lands on.
+  std::vector<int32_t> depths_;
+  // One contiguous SoA node block; indices in left_/right_ are absolute.
+  // Leaves are the self-looping nodes (left_[i] == i).
+  std::vector<int16_t> feature_;      ///< Split feature (0 on leaves).
+  std::vector<float> threshold_;      ///< Go left iff x[feature] <= threshold.
+  std::vector<int32_t> left_;
+  std::vector<int32_t> right_;
+  std::vector<float> value_;          ///< Leaf constant (or intercept).
+  std::vector<int16_t> lin_feature_;  ///< Linear-leaf feature; -1 = constant.
+  std::vector<float> slope_;
+  size_t num_features_referenced_ = 0;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_ML_COMPILED_FOREST_H_

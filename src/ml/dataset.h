@@ -37,6 +37,13 @@ class Regressor {
   virtual ~Regressor() = default;
   /// Predicted target for one feature vector.
   virtual double Predict(const std::vector<double>& features) const = 0;
+  /// Span-style overload over a contiguous row of `count` features, so hot
+  /// call sites (stack buffers, matrix rows) need no std::vector copy. The
+  /// default bridges to the vector overload; models with allocation-free
+  /// inference (trees, MART) override it directly.
+  virtual double Predict(const double* features, size_t count) const {
+    return Predict(std::vector<double>(features, features + count));
+  }
   /// Short technique name ("MART", "LINEAR", ...).
   virtual std::string Name() const = 0;
 };

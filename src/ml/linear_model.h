@@ -19,6 +19,8 @@ struct LinearParams {
 
 class LinearModel : public Regressor {
  public:
+  using Regressor::Predict;
+
   LinearModel() = default;
   explicit LinearModel(LinearParams params) : params_(params) {}
 

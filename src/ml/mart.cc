@@ -2,13 +2,17 @@
 
 #include <cstring>
 #include <numeric>
+#include <stdexcept>
 
 namespace resest {
 
 void Mart::Fit(const Dataset& data) {
   trees_.clear();
   f0_ = 0.0;
-  if (data.NumRows() == 0) return;
+  if (data.NumRows() == 0) {
+    compiled_.Compile(f0_, params_.learning_rate, trees_);
+    return;
+  }
   for (double v : data.y) f0_ += v;
   f0_ /= static_cast<double>(data.NumRows());
 
@@ -51,9 +55,18 @@ void Mart::Fit(const Dataset& data) {
     }
     trees_.push_back(std::move(tree));
   }
+  compiled_.Compile(f0_, params_.learning_rate, trees_);
 }
 
 double Mart::Predict(const std::vector<double>& features) const {
+  return compiled_.Predict(features.data(), features.size());
+}
+
+double Mart::Predict(const double* features, size_t count) const {
+  return compiled_.Predict(features, count);
+}
+
+double Mart::PredictReference(const std::vector<double>& features) const {
   double out = f0_;
   for (const auto& tree : trees_) {
     out += params_.learning_rate * tree.Predict(features);
@@ -86,16 +99,22 @@ std::vector<uint8_t> Mart::Serialize() const {
   Append(&out, linear);
   for (const auto& tree : trees_) {
     const auto& nodes = tree.nodes();
-    Append(&out, static_cast<uint8_t>(nodes.size()));
+    if (nodes.size() > kMaxTreeNodes) {
+      throw std::length_error(
+          "Mart::Serialize: tree exceeds kMaxTreeNodes (32767)");
+    }
+    Append(&out, static_cast<uint16_t>(nodes.size()));
     for (const auto& n : nodes) {
-      // Node layout (paper 7.3): child offset byte (0 = leaf), feature byte,
-      // float threshold/value. Linear leaves add feature byte + float slope.
-      Append(&out, static_cast<int8_t>(n.feature < 0 ? 0 : n.left));
-      Append(&out, static_cast<int8_t>(n.feature));
+      // Node layout (paper 7.3, widened): int16 left-child index (-1 =
+      // leaf), int16 feature, float threshold/value. Linear leaves add an
+      // int16 feature + float slope. The right child is always left + 1
+      // (children are appended pairwise by Fit), so it is not stored.
+      Append(&out, static_cast<int16_t>(n.feature < 0 ? -1 : n.left));
+      Append(&out, n.feature);
       Append(&out, n.threshold);
       Append(&out, n.value);
       if (linear) {
-        Append(&out, static_cast<int8_t>(n.lin_feature));
+        Append(&out, n.lin_feature);
         Append(&out, n.slope);
       }
     }
@@ -105,6 +124,7 @@ std::vector<uint8_t> Mart::Serialize() const {
 
 bool Mart::Deserialize(const std::vector<uint8_t>& bytes) {
   trees_.clear();
+  compiled_ = CompiledForest();
   size_t pos = 0;
   uint32_t num_trees = 0;
   uint8_t linear = 0;
@@ -115,31 +135,54 @@ bool Mart::Deserialize(const std::vector<uint8_t>& bytes) {
   params_.linear_leaves = (linear != 0);
   trees_.reserve(num_trees);
   for (uint32_t t = 0; t < num_trees; ++t) {
-    uint8_t num_nodes = 0;
+    uint16_t num_nodes = 0;
     if (!ReadAt(bytes, &pos, &num_nodes)) return false;
+    // int16_t child links cannot address a larger tree; reject rather than
+    // let truncated indices walk the wrong nodes.
+    if (num_nodes > kMaxTreeNodes) {
+      trees_.clear();
+      return false;
+    }
     RegressionTree tree;
     auto* nodes = tree.mutable_nodes();
     nodes->resize(num_nodes);
-    for (uint8_t i = 0; i < num_nodes; ++i) {
-      int8_t left = 0, feature = 0;
+    for (uint16_t i = 0; i < num_nodes; ++i) {
+      int16_t left = 0, feature = 0;
       TreeNode& n = (*nodes)[i];
       if (!ReadAt(bytes, &pos, &left)) return false;
       if (!ReadAt(bytes, &pos, &feature)) return false;
       if (!ReadAt(bytes, &pos, &n.threshold)) return false;
       if (!ReadAt(bytes, &pos, &n.value)) return false;
       n.feature = feature;
-      n.left = left;
-      n.right = static_cast<int16_t>(feature >= 0 ? left + 1 : -1);
+      if (feature >= 0) {
+        // Fit appends children strictly after their parent, so valid links
+        // point forward and both children fit in the node array; anything
+        // else is corruption (and could make traversal loop or run off the
+        // end).
+        if (left <= static_cast<int16_t>(i) ||
+            static_cast<size_t>(left) + 1 >= num_nodes) {
+          trees_.clear();
+          return false;
+        }
+        n.left = left;
+        n.right = static_cast<int16_t>(left + 1);
+      } else {
+        n.left = -1;
+        n.right = -1;
+      }
       if (linear) {
-        int8_t lf = -1;
-        if (!ReadAt(bytes, &pos, &lf)) return false;
+        if (!ReadAt(bytes, &pos, &n.lin_feature)) return false;
         if (!ReadAt(bytes, &pos, &n.slope)) return false;
-        n.lin_feature = lf;
       }
     }
     trees_.push_back(std::move(tree));
   }
-  return pos == bytes.size();
+  if (pos != bytes.size()) {
+    trees_.clear();
+    return false;
+  }
+  compiled_.Compile(f0_, params_.learning_rate, trees_);
+  return true;
 }
 
 }  // namespace resest

@@ -4,6 +4,11 @@
 // With `linear_leaves = true` this doubles as the REGTREE competitor — a
 // boosted sequence of trees whose leaves hold one-feature linear models,
 // approximating transform regression (paper Section 7, competitor 6).
+//
+// Inference is served from an ahead-of-time CompiledForest built at the end
+// of Fit()/Deserialize(): one contiguous structure-of-arrays block instead
+// of ~150 per-tree heap vectors. Predict routes through it; the legacy
+// per-tree walk survives as PredictReference, the bit-identity oracle.
 #ifndef RESEST_ML_MART_H_
 #define RESEST_ML_MART_H_
 
@@ -11,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/ml/compiled_forest.h"
 #include "src/ml/regression_tree.h"
 
 namespace resest {
@@ -28,6 +34,8 @@ struct MartParams {
 
 class Mart : public Regressor {
  public:
+  using Regressor::Predict;
+
   Mart() = default;
   explicit Mart(MartParams params) : params_(params) {}
 
@@ -35,22 +43,35 @@ class Mart : public Regressor {
   void Fit(const Dataset& data);
 
   double Predict(const std::vector<double>& features) const override;
+  double Predict(const double* features, size_t count) const override;
   std::string Name() const override {
     return params_.linear_leaves ? "REGTREE" : "MART";
   }
+
+  /// Legacy per-tree scalar prediction (walks each tree's own node vector).
+  /// Kept as the reference oracle: Predict and CompiledForest::PredictBatch
+  /// must be bit-identical to this.
+  double PredictReference(const std::vector<double>& features) const;
+
+  /// The contiguous inference representation; rebuilt by Fit/Deserialize,
+  /// immutable afterwards (safe to share across serving threads).
+  const CompiledForest& compiled() const { return compiled_; }
 
   const MartParams& params() const { return params_; }
   size_t NumTrees() const { return trees_.size(); }
 
   /// Compact binary encoding (paper Section 7.3 discusses ~130 B/tree).
+  /// Throws std::length_error on a tree exceeding kMaxTreeNodes.
   std::vector<uint8_t> Serialize() const;
-  /// Restores a model from Serialize() output; returns false on corrupt data.
+  /// Restores a model from Serialize() output; returns false on corrupt
+  /// data, including trees past kMaxTreeNodes or out-of-bounds child links.
   bool Deserialize(const std::vector<uint8_t>& bytes);
 
  private:
   MartParams params_;
   double f0_ = 0.0;          ///< Initial constant prediction (mean target).
   std::vector<RegressionTree> trees_;
+  CompiledForest compiled_;
 };
 
 }  // namespace resest

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <queue>
+#include <stdexcept>
 
 namespace resest {
 
@@ -182,7 +183,14 @@ void RegressionTree::Fit(const Dataset& data, const std::vector<double>& targets
       leaf_rows.emplace_back(top.node, std::move(top.rows));
       continue;
     }
-    // Materialize the split.
+    // Materialize the split. Child links are int16_t; refuse to grow a tree
+    // whose indices would silently truncate (satisfiable only with
+    // max_leaves orders of magnitude beyond the paper's ten).
+    if (nodes_.size() + 2 > kMaxTreeNodes) {
+      throw std::length_error(
+          "RegressionTree::Fit: tree exceeds kMaxTreeNodes (32767); "
+          "lower TreeParams::max_leaves");
+    }
     std::vector<size_t> left_rows, right_rows;
     left_rows.reserve(top.rows.size());
     right_rows.reserve(top.rows.size());
@@ -226,6 +234,11 @@ void RegressionTree::Fit(const Dataset& data, const std::vector<double>& targets
 }
 
 double RegressionTree::Predict(const std::vector<double>& features) const {
+  return Predict(features.data(), features.size());
+}
+
+double RegressionTree::Predict(const double* features, size_t count) const {
+  (void)count;
   if (nodes_.empty()) return 0.0;
   int i = 0;
   while (nodes_[static_cast<size_t>(i)].feature >= 0) {

@@ -41,6 +41,12 @@ struct TreeParams {
   bool linear_leaves = false;  ///< REGTREE: one-feature linear model per leaf.
 };
 
+/// Hard cap on nodes per tree: TreeNode child links are int16_t, so a tree
+/// past 32k nodes would silently truncate its indices. RegressionTree::Fit
+/// throws std::length_error instead of growing past this, and
+/// Mart::Serialize/Deserialize fail loudly on out-of-bounds trees.
+inline constexpr size_t kMaxTreeNodes = 32767;
+
 /// One tree node; nodes are stored in a flat array (see the paper's
 /// Section 7.3 on compact model encoding).
 struct TreeNode {
@@ -55,12 +61,17 @@ struct TreeNode {
 
 class RegressionTree : public Regressor {
  public:
+  using Regressor::Predict;
+
   /// Fits to `targets` restricted to `rows` of `data` using pre-fit bins.
+  /// Throws std::length_error if the tree would exceed kMaxTreeNodes (only
+  /// reachable with max_leaves far beyond the paper's settings).
   void Fit(const Dataset& data, const std::vector<double>& targets,
            const std::vector<size_t>& rows, const FeatureBinner& binner,
            const TreeParams& params);
 
   double Predict(const std::vector<double>& features) const override;
+  double Predict(const double* features, size_t count) const override;
   std::string Name() const override { return "RegressionTree"; }
 
   const std::vector<TreeNode>& nodes() const { return nodes_; }

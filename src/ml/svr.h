@@ -38,6 +38,8 @@ struct SvrParams {
 
 class Svr : public Regressor {
  public:
+  using Regressor::Predict;
+
   Svr() = default;
   explicit Svr(SvrParams params) : params_(params) {}
 

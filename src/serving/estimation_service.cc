@@ -1,6 +1,7 @@
 #include "src/serving/estimation_service.h"
 
 #include <algorithm>
+#include <array>
 #include <utility>
 
 #include "src/core/estimator.h"
@@ -92,39 +93,91 @@ void EstimationService::NoteServedVersion(uint64_t version) const {
   }
 }
 
-double EstimationService::CachedEstimateQuery(const ModelSnapshot& snapshot,
-                                              const Plan& plan,
-                                              const Database& db,
-                                              Resource resource) const {
-  // Same pre-order traversal and summation order as EstimateQuery, with
-  // each operator's estimate memoized. A hit returns the exact double the
-  // estimator produced on the original miss, so the sum is bit-identical
-  // to the uncached path.
-  const FeatureMode mode = snapshot.estimator->mode();
-  double total = 0.0;
+double EstimationService::GroupedEstimateQuery(const ModelSnapshot& snapshot,
+                                               const Plan& plan,
+                                               const Database& db,
+                                               Resource resource) const {
+  // Same pre-order traversal and summation order as EstimateQuery. Each
+  // operator resolves to one double in `values`: a fallback constant, a
+  // cache hit (the exact double the estimator produced on the original
+  // miss), or — for misses — a slot filled by a batched compiled-forest
+  // sweep over all of the plan's missed operators of that type. Batched
+  // predictions are bit-identical to scalar ones, so the ordered sum equals
+  // the direct EstimateQuery byte for byte.
+  const ResourceEstimator& estimator = *snapshot.estimator;
+  const FeatureMode mode = estimator.mode();
+  std::vector<double> values;
+  struct Miss {
+    size_t slot = 0;
+    EstimateCache::Key key;
+  };
+  std::array<std::vector<Miss>, kNumOpTypes> misses;
   VisitPlanOperators(plan, [&](const PlanNode& node, const PlanNode* parent) {
     // Operators without a trained model set estimate to a feature-free
-    // constant (the fallback mean) — hashing and caching them would only
-    // cost time and LRU slots, so take the constant directly, exactly as
-    // the uncached EstimateOperator does.
-    if (snapshot.estimator->ModelsFor(node.type, resource) == nullptr) {
-      total += snapshot.estimator->EstimateFromFeatures(node.type, {},
-                                                        resource);
+    // constant (the fallback mean) — hashing, caching, or batching them
+    // would only cost time, so take the constant directly, exactly as the
+    // uncached EstimateOperator does.
+    if (estimator.ModelsFor(node.type, resource) == nullptr) {
+      values.push_back(estimator.EstimateFromFeatures(node.type, {}, resource));
       return;
     }
-    EstimateCache::Key key;
-    key.model_version = snapshot.version;
-    key.op = node.type;
-    key.resource = resource;
-    key.features = ExtractFeatures(node, parent, db, mode);
+    Miss miss;
+    miss.key.model_version = snapshot.version;
+    miss.key.op = node.type;
+    miss.key.resource = resource;
+    miss.key.features = ExtractFeatures(node, parent, db, mode);
     double value = 0.0;
-    if (!cache_->Lookup(key, &value)) {
-      value = snapshot.estimator->EstimateFromFeatures(node.type, key.features,
-                                                       resource);
-      cache_->Insert(key, value);
+    if (cache_ != nullptr && cache_->Lookup(miss.key, &value)) {
+      values.push_back(value);
+      return;
     }
-    total += value;
+    miss.slot = values.size();
+    values.push_back(0.0);
+    misses[static_cast<size_t>(node.type)].push_back(std::move(miss));
   });
+
+  std::vector<const FeatureVector*> rows;
+  std::vector<size_t> row_of;         // miss index -> unique batch row
+  std::vector<size_t> defining_miss;  // unique batch row -> first miss index
+  std::vector<double> batch_out;
+  for (int op = 0; op < kNumOpTypes; ++op) {
+    const std::vector<Miss>& group = misses[static_cast<size_t>(op)];
+    if (group.empty()) continue;
+    // Deduplicate bitwise-identical feature vectors (self-similar plans
+    // repeat operators): each distinct key is predicted and inserted once,
+    // matching the per-operator lookup path's cost on duplicates. Groups
+    // are plan-sized, so the quadratic scan stays trivial.
+    rows.clear();
+    defining_miss.clear();
+    row_of.resize(group.size());
+    for (size_t i = 0; i < group.size(); ++i) {
+      size_t u = 0;
+      while (u < rows.size() &&
+             !FeatureVectorHashEqual(*rows[u], group[i].key.features)) {
+        ++u;
+      }
+      if (u == rows.size()) {
+        rows.push_back(&group[i].key.features);
+        defining_miss.push_back(i);
+      }
+      row_of[i] = u;
+    }
+    batch_out.resize(rows.size());
+    estimator.EstimateBatchFromFeatures(static_cast<OpType>(op), rows.data(),
+                                        rows.size(), resource,
+                                        batch_out.data());
+    for (size_t i = 0; i < group.size(); ++i) {
+      values[group[i].slot] = batch_out[row_of[i]];
+    }
+    if (cache_ != nullptr) {
+      for (size_t u = 0; u < rows.size(); ++u) {
+        cache_->Insert(group[defining_miss[u]].key, batch_out[u]);
+      }
+    }
+  }
+
+  double total = 0.0;
+  for (double v : values) total += v;
   return total;
 }
 
@@ -140,14 +193,9 @@ EstimateResult EstimationService::EstimateWith(
     result.status = EstimateStatus::kInvalidRequest;
     return result;
   }
-  if (cache_) {
-    NoteServedVersion(snapshot.version);
-    result.value = CachedEstimateQuery(snapshot, *request.plan,
-                                       *request.database, request.resource);
-  } else {
-    result.value = snapshot.estimator->EstimateQuery(
-        *request.plan, *request.database, request.resource);
-  }
+  if (cache_) NoteServedVersion(snapshot.version);
+  result.value = GroupedEstimateQuery(snapshot, *request.plan,
+                                      *request.database, request.resource);
   return result;
 }
 

@@ -155,10 +155,17 @@ class EstimationService {
 
   EstimateResult EstimateWith(const ModelSnapshot& snapshot,
                               const EstimateRequest& request) const;
-  /// EstimateQuery through the per-operator cache; bit-identical to the
-  /// direct call (same traversal order, memoized per-operator doubles).
-  double CachedEstimateQuery(const ModelSnapshot& snapshot, const Plan& plan,
-                             const Database& db, Resource resource) const;
+  /// EstimateQuery with the compiled-forest fast path: the plan's operators
+  /// that miss the cache (all of them when the cache is disabled) are
+  /// grouped by operator type and predicted in one batched sweep per (op,
+  /// resource) group, then summed in the canonical traversal order.
+  /// Bit-identical to the direct ResourceEstimator::EstimateQuery call:
+  /// batched predictions equal their scalar counterparts byte for byte,
+  /// cache hits return memoized doubles, and the summation order is
+  /// unchanged. Requests are chunk-parallel, so grouping is per plan — the
+  /// unit one thread serves — rather than across the whole batch.
+  double GroupedEstimateQuery(const ModelSnapshot& snapshot, const Plan& plan,
+                              const Database& db, Resource resource) const;
   /// Drops stale cache space when the active model version changes.
   void NoteServedVersion(uint64_t version) const;
 

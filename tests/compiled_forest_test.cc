@@ -1,0 +1,221 @@
+// Golden bit-identity tests for the compiled-forest inference layer: the
+// contiguous SoA representation (scalar and batched) must reproduce the
+// legacy per-tree scalar walk byte for byte, at every level of the stack —
+// Mart, CombinedModel/OperatorModelSet, ResourceEstimator — for MART,
+// linear-leaf REGTREE, and constant-fallback models alike.
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/estimator.h"
+#include "src/ml/mart.h"
+#include "src/workload/runner.h"
+#include "src/workload/schemas.h"
+#include "src/workload/tpch_queries.h"
+
+namespace resest {
+namespace {
+
+// y = x0*log2(x0) + 5*x1 + noise over a few features, mimicking operator
+// cost curves.
+Dataset MakeData(size_t n, size_t num_features, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> x(num_features);
+    for (auto& v : x) v = rng.Uniform(1.0, 1000.0);
+    const double y = x[0] * std::log2(x[0]) + 5.0 * x[1 % num_features] +
+                     rng.Gaussian(0.0, 1.0);
+    d.Add(std::move(x), y);
+  }
+  return d;
+}
+
+// Random raw operator feature vectors, spanning in-range and far-out-of-range
+// magnitudes so Section 6.3 selection exercises every trained model.
+std::vector<FeatureVector> RandomFeatureVectors(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeatureVector> rows(n);
+  for (auto& v : rows) {
+    const double scale = std::pow(10.0, rng.Uniform(0.0, 7.0));
+    for (auto& f : v) f = rng.Uniform(0.0, scale);
+  }
+  return rows;
+}
+
+class MartBitIdentityTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MartBitIdentityTest, CompiledMatchesReferenceBitwise) {
+  const bool linear_leaves = GetParam();
+  const size_t kFeatures = 6;
+  Dataset train = MakeData(2500, kFeatures, 101);
+  MartParams params;
+  params.num_trees = 150;
+  params.linear_leaves = linear_leaves;
+  Mart mart(params);
+  mart.Fit(train);
+  ASSERT_EQ(mart.compiled().NumTrees(), 150u);
+  EXPECT_GE(mart.compiled().NumFeaturesReferenced(), 1u);
+  EXPECT_LE(mart.compiled().NumFeaturesReferenced(), kFeatures);
+
+  Rng rng(7);
+  std::vector<double> matrix;
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> x(kFeatures);
+    // Include far-out-of-range rows: traversal must agree everywhere.
+    for (auto& v : x) v = rng.Uniform(-100.0, 5000.0);
+    matrix.insert(matrix.end(), x.begin(), x.end());
+    rows.push_back(std::move(x));
+  }
+
+  std::vector<double> batched(rows.size());
+  mart.compiled().PredictBatch(matrix.data(), rows.size(), kFeatures,
+                               batched.data());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double reference = mart.PredictReference(rows[i]);
+    // EXPECT_EQ, not NEAR: the contract is bitwise identity.
+    EXPECT_EQ(mart.Predict(rows[i]), reference);
+    EXPECT_EQ(mart.Predict(rows[i].data(), kFeatures), reference);
+    EXPECT_EQ(batched[i], reference);
+  }
+}
+
+TEST_P(MartBitIdentityTest, SerializeRoundTripPreservesCompiledOutput) {
+  const bool linear_leaves = GetParam();
+  Dataset train = MakeData(1200, 4, 103);
+  MartParams params;
+  params.num_trees = 80;
+  params.linear_leaves = linear_leaves;
+  Mart mart(params);
+  mart.Fit(train);
+
+  Mart restored;
+  ASSERT_TRUE(restored.Deserialize(mart.Serialize()));
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> x(4);
+    for (auto& v : x) v = rng.Uniform(0.0, 3000.0);
+    EXPECT_EQ(restored.Predict(x), mart.Predict(x));
+    EXPECT_EQ(restored.PredictReference(x), mart.PredictReference(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MartAndRegtree, MartBitIdentityTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "REGTREE" : "MART";
+                         });
+
+TEST(CompiledForestTest, UntrainedAndEmptyFitsPredictZero) {
+  Mart untrained;
+  EXPECT_EQ(untrained.Predict(std::vector<double>{1.0, 2.0}), 0.0);
+  EXPECT_EQ(untrained.PredictReference({1.0, 2.0}), 0.0);
+
+  Mart empty_fit;
+  empty_fit.Fit(Dataset{});
+  EXPECT_EQ(empty_fit.Predict(std::vector<double>{1.0, 2.0}), 0.0);
+  EXPECT_EQ(empty_fit.compiled().NumTrees(), 0u);
+}
+
+// The estimator-level golden sweep: every (OpType, Resource) model set of a
+// trained estimator — plus the constant-fallback operators without one —
+// must produce bit-identical scalar, reference, and batched estimates.
+class EstimatorSweepTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = GenerateDatabase(TpchSchema(), 1.0, 1.0, 42).release();
+    Rng rng(7);
+    auto queries = GenerateTpchWorkload(80, &rng, db_);
+    workload_ =
+        new std::vector<ExecutedQuery>(RunWorkload(db_, queries));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static void SweepAllModelSets(const ResourceEstimator& est) {
+    const std::vector<FeatureVector> raws = RandomFeatureVectors(64, 1234);
+    std::vector<const FeatureVector*> ptrs;
+    for (const auto& v : raws) ptrs.push_back(&v);
+    std::vector<double> batched(raws.size());
+
+    size_t sets_seen = 0, fallbacks_seen = 0;
+    for (int op = 0; op < kNumOpTypes; ++op) {
+      for (int r = 0; r < kNumResources; ++r) {
+        const OpType op_type = static_cast<OpType>(op);
+        const Resource resource = static_cast<Resource>(r);
+        const OperatorModelSet* set = est.ModelsFor(op_type, resource);
+        est.EstimateBatchFromFeatures(op_type, ptrs.data(), ptrs.size(),
+                                      resource, batched.data());
+        for (size_t i = 0; i < raws.size(); ++i) {
+          const double scalar =
+              est.EstimateFromFeatures(op_type, raws[i], resource);
+          EXPECT_EQ(batched[i], scalar)
+              << "op " << op << " resource " << r << " row " << i;
+          if (set != nullptr) {
+            const CombinedModel* chosen = set->Select(raws[i]);
+            ASSERT_NE(chosen, nullptr);
+            EXPECT_EQ(scalar, chosen->PredictReference(raws[i]))
+                << "op " << op << " resource " << r << " row " << i;
+          }
+        }
+        (set != nullptr ? sets_seen : fallbacks_seen)++;
+      }
+    }
+    // The sweep must actually cover trained model sets AND constant
+    // fallbacks, or the golden test is vacuous.
+    EXPECT_GT(sets_seen, 0u);
+    EXPECT_GT(fallbacks_seen, 0u);
+  }
+
+  static Database* db_;
+  static std::vector<ExecutedQuery>* workload_;
+};
+
+Database* EstimatorSweepTest::db_ = nullptr;
+std::vector<ExecutedQuery>* EstimatorSweepTest::workload_ = nullptr;
+
+TEST_F(EstimatorSweepTest, MartModelsBitIdentical) {
+  TrainOptions options;
+  options.mart.num_trees = 60;
+  options.train_threads = 0;
+  SweepAllModelSets(ResourceEstimator::Train(*workload_, options));
+}
+
+TEST_F(EstimatorSweepTest, RegtreeModelsBitIdentical) {
+  TrainOptions options;
+  options.mart.num_trees = 60;
+  options.mart.linear_leaves = true;  // REGTREE: linear-leaf trees
+  options.train_threads = 0;
+  SweepAllModelSets(ResourceEstimator::Train(*workload_, options));
+}
+
+TEST_F(EstimatorSweepTest, DeserializedEstimatorStaysBitIdentical) {
+  TrainOptions options;
+  options.mart.num_trees = 40;
+  options.train_threads = 0;
+  const ResourceEstimator trained =
+      ResourceEstimator::Train(*workload_, options);
+  ResourceEstimator restored;
+  ASSERT_TRUE(restored.Deserialize(trained.Serialize()));
+
+  const std::vector<FeatureVector> raws = RandomFeatureVectors(32, 555);
+  for (int op = 0; op < kNumOpTypes; ++op) {
+    for (int r = 0; r < kNumResources; ++r) {
+      for (const auto& v : raws) {
+        EXPECT_EQ(restored.EstimateFromFeatures(static_cast<OpType>(op), v,
+                                                static_cast<Resource>(r)),
+                  trained.EstimateFromFeatures(static_cast<OpType>(op), v,
+                                               static_cast<Resource>(r)));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace resest

@@ -1,7 +1,10 @@
 // Unit and property tests for the ML library: regression trees, MART,
 // linear regression with feature selection, SVR, REGTREE, serialization.
 #include <cmath>
+#include <cstdint>
 #include <numeric>
+#include <stdexcept>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "src/common/stats.h"
@@ -181,6 +184,68 @@ TEST(MartTest, DeserializeRejectsCorruptData) {
   bytes.resize(bytes.size() / 2);
   Mart restored;
   EXPECT_FALSE(restored.Deserialize(bytes));
+}
+
+namespace {
+template <typename T>
+void AppendPod(std::vector<uint8_t>* out, const T& v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+}  // namespace
+
+TEST(MartTest, DeserializeRejectsOversizedTree) {
+  // A tree past kMaxTreeNodes would truncate its int16_t child links;
+  // Deserialize must reject it outright.
+  std::vector<uint8_t> bytes;
+  AppendPod(&bytes, 0.0);                          // f0
+  AppendPod(&bytes, 0.1);                          // learning rate
+  AppendPod(&bytes, static_cast<uint32_t>(1));     // num_trees
+  AppendPod(&bytes, static_cast<uint8_t>(0));      // linear_leaves
+  AppendPod(&bytes, static_cast<uint16_t>(40000));  // num_nodes > 32767
+  Mart restored;
+  EXPECT_FALSE(restored.Deserialize(bytes));
+}
+
+TEST(MartTest, DeserializeRejectsOutOfBoundsChildLink) {
+  // One internal node whose left child points past the node array.
+  std::vector<uint8_t> bytes;
+  AppendPod(&bytes, 0.0);
+  AppendPod(&bytes, 0.1);
+  AppendPod(&bytes, static_cast<uint32_t>(1));
+  AppendPod(&bytes, static_cast<uint8_t>(0));
+  AppendPod(&bytes, static_cast<uint16_t>(1));  // one node...
+  AppendPod(&bytes, static_cast<int16_t>(7));   // ...with children at 7/8
+  AppendPod(&bytes, static_cast<int16_t>(0));   // split feature 0
+  AppendPod(&bytes, 1.0f);                      // threshold
+  AppendPod(&bytes, 0.0f);                      // value
+  Mart restored;
+  EXPECT_FALSE(restored.Deserialize(bytes));
+}
+
+TEST(RegressionTreeTest, FitThrowsPastNodeLimit) {
+  // 33k rows on a distinct (x0, x1) bin grid, min_leaf 1 and an effectively
+  // unbounded leaf budget: best-first growth would fully isolate every row,
+  // crossing kMaxTreeNodes (32767 nodes = 16384 leaves) long before running
+  // out of gain. Fit must fail loudly instead of truncating int16_t links.
+  const int kRows = 33000;
+  const int kGrid = 181;  // 181^2 > kRows distinct cells
+  Dataset d;
+  Rng rng(43);
+  for (int i = 0; i < kRows; ++i) {
+    const double x0 = static_cast<double>(i % kGrid);
+    const double x1 = static_cast<double>(i / kGrid);
+    d.Add({x0, x1}, x0 * 1000.0 + x1 + rng.Uniform(0.0, 0.1));
+  }
+  FeatureBinner binner;
+  binner.Fit(d, kGrid + 1);
+  std::vector<size_t> rows(d.NumRows());
+  std::iota(rows.begin(), rows.end(), 0u);
+  TreeParams params;
+  params.max_leaves = 1 << 20;
+  params.min_leaf = 1;
+  RegressionTree tree;
+  EXPECT_THROW(tree.Fit(d, d.y, rows, binner, params), std::length_error);
 }
 
 TEST(RegTreeTest, LinearLeavesExtrapolateLocally) {
