@@ -1,20 +1,29 @@
 // Serving throughput: single-thread serial estimation loop vs. the batched
 // EstimationService fanning the same requests across a worker pool — with
-// and without the cross-request operator-estimate cache.
+// and without the cross-request operator-estimate cache — plus a
+// latency-under-load scenario: the p99 of small urgent probes while bulk
+// scan batches saturate the pool, with FIFO scheduling (probes share the
+// bulk lane) vs. priority lanes (probes ride TaskPriority::kUrgent).
 //
 // The repeated-plan scenario models the paper's deployment inside a query
 // optimizer: the same (operator, feature-vector) pairs recur across the
 // candidate plans of one optimization session, so the version-keyed cache
-// turns most operator inferences into lookups.
+// turns most operator inferences into lookups. The latency scenario models
+// the admission-control deployment: per-query probes must not queue behind
+// the optimizer's bulk re-optimization scans.
 //
 // Also verifies the serving contract end-to-end: batched results — cached
-// or not — must be bit-identical to the serial ResourceEstimator output.
+// or not, prioritized or not — must be bit-identical to the serial
+// ResourceEstimator output.
 //
 // Environment knobs:
 //   RESEST_SERVING_THREADS   worker pool size          (default 8)
 //   RESEST_SERVING_REQUESTS  requests per measurement  (default 2000)
 //   RESEST_SERVING_PLANS     distinct plans in the repeated stream
 //                            (default 25; lower = more cache hits)
+//   RESEST_SERVING_PROBES    urgent probes per latency scenario (default 80)
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -62,12 +71,87 @@ void PrintRow(const char* label, double seconds, size_t n, double baseline) {
               static_cast<double>(n) / seconds, baseline / seconds);
 }
 
+struct LatencySummary {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  size_t mismatches = 0;
+};
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+/// Urgent-probe latency while bulk scans keep the pool saturated. Probes
+/// are submitted at `probe_priority`: kBulk puts them on the same lane as
+/// the scans — FIFO, each probe waits for every scan request ahead of it —
+/// while kUrgent lets the chunk scheduler serve them next.
+LatencySummary MeasureProbeLatencyUnderBulk(
+    const ModelRegistry& registry, ThreadPool& pool,
+    const std::vector<EstimateRequest>& bulk_requests,
+    const std::vector<EstimateRequest>& probe_requests,
+    const std::vector<double>& probe_serial, TaskPriority probe_priority,
+    int num_probes) {
+  ServiceOptions options;
+  // Uncached: a warm cache would turn the bulk scans into no-ops and
+  // nothing would contend with the probes.
+  options.enable_cache = false;
+  options.max_batch_size = bulk_requests.size();
+  EstimationService service(&registry, &pool, options);
+
+  // Bulk load: a few blocking callers resubmitting the full scan until the
+  // probes are done (blocking callers drain their own batches, so this also
+  // keeps pool helpers busy without unbounded queue growth).
+  std::atomic<bool> stop{false};
+  SubmitOptions bulk;
+  bulk.priority = TaskPriority::kBulk;
+  std::vector<std::thread> bulk_callers;
+  for (int t = 0; t < 2; ++t) {
+    bulk_callers.emplace_back([&service, &bulk_requests, &bulk, &stop]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        service.EstimateBatch(bulk_requests, bulk);
+      }
+    });
+  }
+  // Let the bulk load reach a steady state before probing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  SubmitOptions probe_options;
+  probe_options.priority = probe_priority;
+  LatencySummary summary;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<size_t>(num_probes));
+  for (int i = 0; i < num_probes; ++i) {
+    const size_t slot = static_cast<size_t>(i) % probe_requests.size();
+    const auto start = std::chrono::steady_clock::now();
+    const EstimateResult result =
+        service.SubmitEstimate(probe_requests[slot], probe_options).get();
+    latencies_ms.push_back(1000.0 * SecondsSince(start));
+    if (!result.ok() || result.value != probe_serial[slot]) {
+      ++summary.mismatches;
+    }
+  }
+  stop.store(true);
+  for (auto& caller : bulk_callers) caller.join();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  summary.p50_ms = Percentile(latencies_ms, 0.50);
+  summary.p99_ms = Percentile(latencies_ms, 0.99);
+  summary.max_ms = latencies_ms.empty() ? 0.0 : latencies_ms.back();
+  return summary;
+}
+
 }  // namespace
 
 int main() {
   const int num_threads = bench::EnvInt("RESEST_SERVING_THREADS", 8);
   const int num_requests = bench::EnvInt("RESEST_SERVING_REQUESTS", 2000);
   const int num_plans = bench::EnvInt("RESEST_SERVING_PLANS", 25);
+  const int num_probes = bench::EnvInt("RESEST_SERVING_PROBES", 80);
 
   std::printf("== serving throughput: serial vs. %d-worker batched, "
               "cache off/on ==\n\n",
@@ -147,13 +231,50 @@ int main() {
               static_cast<unsigned long long>(stats.cache_misses),
               stats.cache_entries,
               static_cast<unsigned long long>(stats.cache_evictions));
-  const size_t mismatches = fanout.mismatches + memoized.mismatches;
-  std::printf("bit-identical to serial: %s (%zu/%zu mismatches)\n",
-              mismatches == 0 ? "yes" : "NO", mismatches,
-              2 * requests.size());
   if (memoized.seconds >= fanout.seconds) {
     std::printf("WARNING: cached batch was not faster than uncached\n");
   }
+
+  // --- Latency under load: urgent probes vs. background bulk scans. ---
+  // One probe per distinct plan, always kCpu, with precomputed serial
+  // values for the bit-identity check.
+  std::vector<EstimateRequest> probe_requests;
+  std::vector<double> probe_serial;
+  for (size_t i = 0; i < distinct; ++i) {
+    const auto& eq = train[i];
+    probe_requests.push_back({&eq.plan, eq.database, Resource::kCpu});
+    probe_serial.push_back(
+        estimator->EstimateQuery(eq.plan, *eq.database, Resource::kCpu));
+  }
+  std::printf("\n-- latency under load: %d urgent probes over continuous "
+              "%zu-request bulk scans --\n",
+              num_probes, requests.size());
+  const LatencySummary fifo = MeasureProbeLatencyUnderBulk(
+      registry, pool, requests, probe_requests, probe_serial,
+      TaskPriority::kBulk, num_probes);
+  const LatencySummary prioritized = MeasureProbeLatencyUnderBulk(
+      registry, pool, requests, probe_requests, probe_serial,
+      TaskPriority::kUrgent, num_probes);
+  std::printf("%-28s %10s %10s %10s\n", "probe scheduling", "p50 (ms)",
+              "p99 (ms)", "max (ms)");
+  std::printf("%-28s %10.3f %10.3f %10.3f\n", "FIFO (bulk lane)", fifo.p50_ms,
+              fifo.p99_ms, fifo.max_ms);
+  std::printf("%-28s %10.3f %10.3f %10.3f\n", "priority lanes (urgent)",
+              prioritized.p50_ms, prioritized.p99_ms, prioritized.max_ms);
+  if (prioritized.p99_ms > 0.0) {
+    std::printf("urgent p99 improvement: %.1fx\n",
+                fifo.p99_ms / prioritized.p99_ms);
+  }
+  if (prioritized.p99_ms >= fifo.p99_ms) {
+    std::printf("WARNING: priority lanes did not improve urgent p99\n");
+  }
+
+  const size_t mismatches = fanout.mismatches + memoized.mismatches +
+                            fifo.mismatches + prioritized.mismatches;
+  const size_t checks =
+      2 * requests.size() + 2 * static_cast<size_t>(num_probes);
+  std::printf("\nbit-identical to serial: %s (%zu/%zu mismatches)\n",
+              mismatches == 0 ? "yes" : "NO", mismatches, checks);
 
   const double dn = static_cast<double>(requests.size());
   bench::JsonWriter json;
@@ -165,6 +286,12 @@ int main() {
   json.Number("batched_uncached_qps", dn / fanout.seconds);
   json.Number("batched_cached_qps", dn / memoized.seconds);
   json.Number("cache_hit_rate", stats.CacheHitRate());
+  json.Int("latency_probes", num_probes);
+  json.Number("urgent_p50_ms_fifo", fifo.p50_ms);
+  json.Number("urgent_p99_ms_fifo", fifo.p99_ms);
+  json.Number("urgent_p50_ms_priority", prioritized.p50_ms);
+  json.Number("urgent_p99_ms_priority", prioritized.p99_ms);
+  json.Bool("urgent_p99_improved", prioritized.p99_ms < fifo.p99_ms);
   json.Bool("bit_identical", mismatches == 0);
   json.WriteFile("BENCH_serving.json");
 

@@ -1,23 +1,33 @@
 // Admission control — the paper's first motivating application (Section 1),
-// now wired through the async serving subsystem: the SCALING estimator is
-// trained offline (per-operator fits fanned across a pool), serialized,
-// published into a ModelRegistry, and the admission queue is submitted as a
-// non-blocking batch (the paper's Figure 5 deployment). While the pool
-// computes the estimates, the admission thread trains the adjusted-optimizer
-// baseline — the overlap the old blocking EstimateBatch could not express.
+// wired through the priority-scheduled serving subsystem: the SCALING
+// estimator is trained offline (per-operator fits fanned across a pool),
+// serialized, published into a ModelRegistry, and served concurrently to
+// two very different clients (the paper's Figure 5 deployment under mixed
+// load):
+//   * a background *re-optimization scan* — the optimizer re-costing its
+//     whole candidate-plan corpus after a data change — submitted as
+//     TaskPriority::kBulk batches, and
+//   * the admission queue's per-query probes, each a small latency-critical
+//     TaskPriority::kUrgent request with a deadline.
+// The urgent probes overtake the queued bulk work at chunk granularity, so
+// admission decisions stay fast while the scan grinds on; any probe that
+// misses its deadline falls back to the adjusted-optimizer estimate instead
+// of blocking the admission loop.
 //
 // A server with a CPU budget per scheduling window must decide, before
 // executing each submitted query, whether to admit it now or defer it.
 // Good resource estimates keep the window full without overload. We compare
 // the decisions made with SCALING estimates against (a) an oracle that knows
 // the true cost and (b) the adjusted-optimizer baseline (OPT).
+#include <chrono>
 #include <cstdio>
+#include <future>
 #include <vector>
 
 #include "src/baselines/harness.h"
+#include "src/common/thread_pool.h"
 #include "src/serving/estimation_service.h"
 #include "src/serving/model_registry.h"
-#include "src/common/thread_pool.h"
 #include "src/workload/runner.h"
 #include "src/workload/schemas.h"
 #include "src/workload/tpch_queries.h"
@@ -63,6 +73,18 @@ WindowStats Simulate(const std::vector<ExecutedQuery>& queue,
   return stats;
 }
 
+void PrintLane(const ServiceStats& stats, TaskPriority priority) {
+  const PriorityLaneStats& lane = stats.ForPriority(priority);
+  std::printf("  %-8s %6llu batches %7llu ok %5llu expired  "
+              "mean %8.3f ms  p99 <= %8.3f ms  max %8.3f ms\n",
+              TaskPriorityName(priority),
+              static_cast<unsigned long long>(lane.batches),
+              static_cast<unsigned long long>(lane.requests),
+              static_cast<unsigned long long>(lane.expired),
+              lane.MeanLatencyMs(), lane.ApproxLatencyPercentileMs(0.99),
+              lane.max_latency_ms);
+}
+
 }  // namespace
 
 int main() {
@@ -93,49 +115,98 @@ int main() {
     return 1;
   }
 
-  // Online: submit the whole admission queue as one non-blocking batch.
   ThreadPool pool(4);
   ServiceOptions service_options;
   service_options.model_name = "admission";
+  // The cache would collapse the repeated scan passes into lookups; real
+  // re-optimization re-costs *new* candidate plans each pass, so keep the
+  // bulk load honest by disabling memoization for this demo.
+  service_options.enable_cache = false;
   EstimationService service(&registry, &pool, service_options);
 
-  std::vector<EstimateRequest> requests;
-  for (const auto& eq : queue) {
-    requests.push_back({&eq.plan, eq.database, Resource::kCpu});
+  // Background kBulk load: three full passes over the training corpus, both
+  // resources per plan — the re-optimization scan the admission probes must
+  // overtake.
+  std::vector<EstimateRequest> scan;
+  for (const auto& eq : train) {
+    scan.push_back({&eq.plan, eq.database, Resource::kCpu});
+    scan.push_back({&eq.plan, eq.database, Resource::kIo});
   }
-  if (requests.empty()) {
+  SubmitOptions bulk;
+  bulk.priority = TaskPriority::kBulk;
+  std::vector<std::future<std::vector<EstimateResult>>> scan_futures;
+  for (int pass = 0; pass < 3; ++pass) {
+    scan_futures.push_back(service.SubmitBatch(scan, bulk));
+  }
+
+  // Admission probes: one kUrgent request per queued query, each with a
+  // deadline. With FIFO scheduling these would queue behind ~1500 scan
+  // requests; the urgent lane answers them at chunk granularity instead.
+  std::vector<EstimateRequest> probes;
+  for (const auto& eq : queue) {
+    probes.push_back({&eq.plan, eq.database, Resource::kCpu});
+  }
+  if (probes.empty()) {
     std::printf("no executable queries in the admission queue\n");
     return 1;
   }
-  auto batched_future = service.SubmitBatch(requests);
+  SubmitOptions urgent;
+  urgent.priority = TaskPriority::kUrgent;
+  urgent.deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::vector<std::future<EstimateResult>> probe_futures;
+  probe_futures.reserve(probes.size());
+  for (const auto& probe : probes) {
+    probe_futures.push_back(service.SubmitEstimate(probe, urgent));
+  }
 
   // The admission thread is free while the pool estimates: train the OPT
-  // baseline concurrently, then collect the batch.
+  // baseline concurrently, then collect probes and (later) the scan.
   const auto opt = TrainTechnique("OPT", train, FeatureMode::kEstimated);
-  const auto batched = batched_future.get();
 
   std::vector<double> scaling_est, opt_est, oracle_est;
   double total_cpu = 0;
+  size_t expired_probes = 0;
   for (size_t i = 0; i < queue.size(); ++i) {
-    if (!batched[i].ok()) {
-      std::printf("estimate %zu failed: %s\n", i,
-                  EstimateStatusName(batched[i].status));
-      return 1;
-    }
-    scaling_est.push_back(batched[i].value);
+    const EstimateResult result = probe_futures[i].get();
     opt_est.push_back(opt->Estimate(queue[i], Resource::kCpu));
+    if (result.status == EstimateStatus::kDeadlineExceeded) {
+      // Deadline policy: never stall admission on a late estimate — degrade
+      // to the optimizer baseline for this query.
+      ++expired_probes;
+      scaling_est.push_back(opt_est.back());
+    } else if (!result.ok()) {
+      std::printf("probe %zu failed: %s\n", i,
+                  EstimateStatusName(result.status));
+      return 1;
+    } else {
+      scaling_est.push_back(result.value);
+    }
     oracle_est.push_back(queue[i].plan.TotalActualCpu());
     total_cpu += queue[i].plan.TotalActualCpu();
   }
+  for (auto& f : scan_futures) {
+    for (const auto& r : f.get()) {
+      if (!r.ok()) {
+        std::printf("bulk scan request failed: %s\n",
+                    EstimateStatusName(r.status));
+        return 1;
+      }
+    }
+  }
+
   const double budget = total_cpu / 8.0;  // ~8 scheduling windows
   const ServiceStats stats = service.stats();
-  std::printf("served %llu estimates in %llu async batch(es) from model "
-              "v%llu (%zu workers, %.0f%% cache hit rate)\n",
+  std::printf("served %llu estimates from model v%llu on %zu workers: "
+              "%zu urgent probes (%zu past deadline) over %zu-request "
+              "bulk scan batches\n",
               static_cast<unsigned long long>(stats.requests),
-              static_cast<unsigned long long>(stats.batches),
-              static_cast<unsigned long long>(batched[0].model_version),
-              pool.num_threads(), 100.0 * stats.CacheHitRate());
-  std::printf("queue: %zu queries, CPU budget per window: %.0f ms\n\n",
+              static_cast<unsigned long long>(version), pool.num_threads(),
+              probes.size(), expired_probes, scan.size());
+  std::printf("per-priority serving stats:\n");
+  PrintLane(stats, TaskPriority::kUrgent);
+  PrintLane(stats, TaskPriority::kBulk);
+  std::printf("\nqueue: %zu queries, CPU budget per window: %.0f ms\n\n",
               queue.size(), budget);
 
   std::printf("%-10s %10s %10s %12s %12s\n", "policy", "admitted", "deferred",

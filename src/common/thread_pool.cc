@@ -5,6 +5,18 @@
 
 namespace resest {
 
+const char* TaskPriorityName(TaskPriority p) {
+  switch (p) {
+    case TaskPriority::kUrgent:
+      return "urgent";
+    case TaskPriority::kNormal:
+      return "normal";
+    case TaskPriority::kBulk:
+      return "bulk";
+  }
+  return "unknown";
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
@@ -39,25 +51,40 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::Enqueue(std::function<void()> task) {
+bool ThreadPool::AllLanesEmptyLocked() const {
+  for (const auto& lane : lanes_) {
+    if (!lane.empty()) return false;
+  }
+  return true;
+}
+
+void ThreadPool::Enqueue(TaskPriority priority, std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
       throw std::runtime_error("ThreadPool: Submit after shutdown");
     }
-    queue_.push_back(std::move(task));
+    lanes_[static_cast<size_t>(priority)].push_back(std::move(task));
   }
   work_available_.notify_one();
 }
 
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
-  all_idle_.wait(lock, [this]() { return queue_.empty() && active_ == 0; });
+  all_idle_.wait(lock,
+                 [this]() { return AllLanesEmptyLocked() && active_ == 0; });
 }
 
 size_t ThreadPool::QueueDepth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  size_t depth = 0;
+  for (const auto& lane : lanes_) depth += lane.size();
+  return depth;
+}
+
+size_t ThreadPool::QueueDepth(TaskPriority priority) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lanes_[static_cast<size_t>(priority)].size();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -65,19 +92,26 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this]() { return shutdown_ || !queue_.empty(); });
-      // Drain the queue before exiting so ~ThreadPool never drops work.
-      if (queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      work_available_.wait(
+          lock, [this]() { return shutdown_ || !AllLanesEmptyLocked(); });
+      // Drain every lane before exiting so ~ThreadPool never drops work.
+      std::deque<std::function<void()>>* lane = nullptr;
+      for (auto& candidate : lanes_) {
+        if (!candidate.empty()) {
+          lane = &candidate;
+          break;
+        }
+      }
+      if (lane == nullptr) return;
+      task = std::move(lane->front());
+      lane->pop_front();
       ++active_;
     }
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+      if (AllLanesEmptyLocked() && active_ == 0) all_idle_.notify_all();
     }
   }
 }

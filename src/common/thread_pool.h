@@ -1,10 +1,11 @@
-// A fixed-size worker pool with a lock-based task queue. Shared by the
-// serving layer (batched estimation fan-out) and parallel model training
-// (ResourceEstimator::Train), which is why it lives in src/common/ rather
-// than src/serving/.
+// A fixed-size worker pool with a lock-based, priority-laned task queue.
+// Shared by the serving layer (batched estimation fan-out) and parallel
+// model training (ResourceEstimator::Train), which is why it lives in
+// src/common/ rather than src/serving/.
 #ifndef RESEST_COMMON_THREAD_POOL_H_
 #define RESEST_COMMON_THREAD_POOL_H_
 
+#include <array>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -16,10 +17,23 @@
 
 namespace resest {
 
-/// Fixed-size pool of worker threads draining a FIFO task queue.
+/// Scheduling lane of a submitted task. Lanes are strictly ordered: a
+/// worker never starts a kNormal task while a kUrgent task is queued, and
+/// never starts a kBulk task while anything else is queued. Within a lane,
+/// tasks run FIFO. The serving layer maps request priorities onto these
+/// lanes (admission probes ride kUrgent over kBulk re-optimization scans).
+enum class TaskPriority : int {
+  kUrgent = 0,  ///< Small latency-critical work (admission probes).
+  kNormal = 1,  ///< Default; everything that predates lanes lands here.
+  kBulk = 2,    ///< Large background scans that must never delay the rest.
+};
+inline constexpr size_t kNumTaskPriorities = 3;
+const char* TaskPriorityName(TaskPriority p);
+
+/// Fixed-size pool of worker threads draining prioritized FIFO task lanes.
 ///
 /// Tasks are `std::function<void()>`; `Submit` wraps a callable and returns
-/// a future for its result. The destructor drains the queue (every task
+/// a future for its result. The destructor drains every lane (every task
 /// submitted before destruction runs) and joins all workers. All public
 /// methods are thread-safe.
 class ThreadPool {
@@ -31,33 +45,44 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a callable; returns a future for its result. Submitting after
-  /// shutdown has begun throws std::runtime_error.
+  /// Enqueues a callable on the kNormal lane; returns a future for its
+  /// result. Submitting after shutdown has begun throws std::runtime_error.
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<decltype(fn())> {
+    return Submit(TaskPriority::kNormal, std::forward<Fn>(fn));
+  }
+
+  /// Enqueues a callable on the given lane. Strict lane ordering: the task
+  /// starts only when no higher-priority task is queued.
+  template <typename Fn>
+  auto Submit(TaskPriority priority, Fn&& fn) -> std::future<decltype(fn())> {
     using R = decltype(fn());
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> result = task->get_future();
-    Enqueue([task]() { (*task)(); });
+    Enqueue(priority, [task]() { (*task)(); });
     return result;
   }
 
-  /// Blocks until the queue is empty and no task is running.
+  /// Blocks until every lane is empty and no task is running.
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Tasks currently queued (excludes running tasks); for tests/metrics.
+  /// Tasks currently queued across all lanes (excludes running tasks).
   size_t QueueDepth() const;
+  /// Tasks currently queued on one lane; for tests/metrics.
+  size_t QueueDepth(TaskPriority priority) const;
 
  private:
-  void Enqueue(std::function<void()> task);
+  void Enqueue(TaskPriority priority, std::function<void()> task);
   void WorkerLoop();
+  bool AllLanesEmptyLocked() const;
 
   mutable std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable all_idle_;
-  std::deque<std::function<void()>> queue_;
+  /// Index = TaskPriority; lower index drains first, FIFO within a lane.
+  std::array<std::deque<std::function<void()>>, kNumTaskPriorities> lanes_;
   std::vector<std::thread> workers_;
   size_t active_ = 0;       ///< Tasks currently executing.
   bool shutdown_ = false;   ///< Set once by the destructor.

@@ -44,12 +44,12 @@ bool EstimateCache::Lookup(const Key& key, double* value) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto node = FindLocked(shard, hash, key);
   if (node == shard.lru.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.misses;
     return false;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, node);
   *value = node->second;
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.hits;
   return true;
 }
 
@@ -67,7 +67,7 @@ void EstimateCache::Insert(const Key& key, double value) {
   }
   shard.lru.emplace_front(key, value);
   shard.map.emplace(hash, shard.lru.begin());
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.insertions;
   if (shard.map.size() > shard_capacity_) {
     auto victim = std::prev(shard.lru.end());
     const uint64_t victim_hash = HashKey(victim->first);
@@ -79,7 +79,7 @@ void EstimateCache::Insert(const Key& key, double value) {
       }
     }
     shard.lru.erase(victim);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.evictions;
   }
 }
 
@@ -93,13 +93,23 @@ void EstimateCache::Clear() {
 
 EstimateCacheStats EstimateCache::stats() const {
   EstimateCacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.insertions = insertions_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    s.entries += shard->map.size();
+    EstimateCacheShardStats slice;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      slice.hits = shard->hits;
+      slice.misses = shard->misses;
+      slice.insertions = shard->insertions;
+      slice.evictions = shard->evictions;
+      slice.entries = shard->map.size();
+    }
+    s.hits += slice.hits;
+    s.misses += slice.misses;
+    s.insertions += slice.insertions;
+    s.evictions += slice.evictions;
+    s.entries += slice.entries;
+    s.shards.push_back(slice);
   }
   return s;
 }

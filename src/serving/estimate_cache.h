@@ -20,7 +20,6 @@
 #ifndef RESEST_SERVING_ESTIMATE_CACHE_H_
 #define RESEST_SERVING_ESTIMATE_CACHE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -47,13 +46,29 @@ inline double CacheHitRate(uint64_t hits, uint64_t misses) {
                     : static_cast<double>(hits) / static_cast<double>(total);
 }
 
-/// Monotonic counters plus the current entry count.
+/// One shard's slice of the counters. Feature vectors are spread over
+/// shards by hash, so a shard whose traffic dwarfs the others flags a
+/// skewed feature distribution (a few hot operator keys) that the LRU
+/// bound of that single shard then thrashes on.
+struct EstimateCacheShardStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;  ///< Entries dropped by the shard's LRU bound.
+  size_t entries = 0;      ///< Current size (point-in-time, not monotonic).
+
+  double HitRate() const { return CacheHitRate(hits, misses); }
+};
+
+/// Monotonic counters plus the current entry count, totalled across
+/// shards; `shards` holds the per-shard breakdown in shard order.
 struct EstimateCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;  ///< Entries dropped by the LRU bound.
   size_t entries = 0;      ///< Current size (point-in-time, not monotonic).
+  std::vector<EstimateCacheShardStats> shards;
 
   double HitRate() const { return CacheHitRate(hits, misses); }
 };
@@ -100,6 +115,12 @@ class EstimateCache {
     std::unordered_multimap<uint64_t,
                             std::list<std::pair<Key, double>>::iterator>
         map;
+    // Counters live with the shard (guarded by `mu`, which Lookup/Insert
+    // already hold) so stats can report the per-shard traffic breakdown.
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
   };
 
   /// The list iterator under (hash, key) in this shard, or lru.end().
@@ -108,11 +129,6 @@ class EstimateCache {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t shard_capacity_;
-
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> insertions_{0};
-  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace resest

@@ -7,6 +7,28 @@
 #include "src/core/estimator.h"
 
 namespace resest {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedMicros(Clock::time_point start) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+      Clock::now() - start);
+  return us.count() < 0 ? 0 : static_cast<uint64_t>(us.count());
+}
+
+/// Histogram bucket for a latency: smallest i with latency_us < 2^i,
+/// clamped to the last (open-ended) bucket.
+size_t LatencyBucket(uint64_t latency_us) {
+  size_t bucket = 0;
+  while (bucket + 1 < kServiceLatencyBuckets &&
+         latency_us >= (uint64_t{1} << bucket)) {
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
 
 const char* EstimateStatusName(EstimateStatus s) {
   switch (s) {
@@ -20,22 +42,52 @@ const char* EstimateStatusName(EstimateStatus s) {
       return "BATCH_TOO_LARGE";
     case EstimateStatus::kInternalError:
       return "INTERNAL_ERROR";
+    case EstimateStatus::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
 
+double PriorityLaneStats::ApproxLatencyPercentileMs(double p) const {
+  uint64_t total = 0;
+  for (uint64_t count : latency_histogram) total += count;
+  if (total == 0) return 0.0;
+  p = std::min(1.0, std::max(0.0, p));
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(p * static_cast<double>(total) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kServiceLatencyBuckets; ++i) {
+    seen += latency_histogram[i];
+    if (seen >= target) {
+      return static_cast<double>(uint64_t{1} << i) / 1000.0;
+    }
+  }
+  return static_cast<double>(uint64_t{1} << (kServiceLatencyBuckets - 1)) /
+         1000.0;
+}
+
 /// Shared state of one submitted batch. Owned jointly (shared_ptr) by the
-/// pool helper tasks and, for blocking calls, the submitting frame; the
-/// last chunk's owner completes it. Requests are copied in so the state is
-/// self-contained after the submitting call returns.
+/// scheduler lanes, the pool helper tasks and, for blocking calls, the
+/// submitting frame; the last chunk's owner completes it. Requests are
+/// copied in so the state is self-contained after the submitting call
+/// returns.
 struct EstimationService::BatchState {
   std::vector<EstimateRequest> requests;
   std::vector<EstimateResult> results;
   ModelSnapshot snapshot;
   size_t chunk_size = 1;
   size_t num_chunks = 0;
-  /// Completed at creation (empty, rejected, or no model): no chunks run.
+  /// Completed at creation (empty, rejected, expired, or no model): no
+  /// chunks run.
   bool degenerate = false;
+  /// Passed the admission checks (non-empty, within max_batch_size); only
+  /// admitted batches count toward per-priority lane stats.
+  bool admitted = false;
+
+  TaskPriority priority = TaskPriority::kNormal;
+  bool has_deadline = false;
+  Clock::time_point deadline = Clock::time_point::max();
+  Clock::time_point start;  ///< Submission time, for lane latency stats.
 
   std::atomic<size_t> next_chunk{0};   ///< Work-stealing chunk cursor.
   std::atomic<size_t> chunks_left{0};  ///< Countdown to completion.
@@ -212,9 +264,14 @@ EstimateResult EstimationService::Estimate(
 }
 
 std::shared_ptr<EstimationService::BatchState> EstimationService::MakeBatch(
-    std::vector<EstimateRequest> requests) const {
+    std::vector<EstimateRequest> requests,
+    const SubmitOptions& submit_options) const {
   auto state = std::make_shared<BatchState>();
   state->requests = std::move(requests);
+  state->priority = submit_options.priority;
+  state->has_deadline = submit_options.has_deadline();
+  state->deadline = submit_options.deadline;
+  state->start = Clock::now();
   const size_t n = state->requests.size();
   state->results.resize(n);
   if (n == 0) {
@@ -228,10 +285,25 @@ std::shared_ptr<EstimationService::BatchState> EstimationService::MakeBatch(
     return state;
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
+  state->admitted = true;
 
   // One snapshot for the whole batch: a concurrent Publish never splits a
-  // batch across model versions.
+  // batch across model versions. Fetched before the expiry check (a
+  // registry read, not execution) so expired-at-submit results carry the
+  // same model_version a per-chunk expiry would.
   state->snapshot = registry_->Get(options_.model_name);
+
+  // A batch submitted past its own deadline expires whole — expiry wins
+  // over a missing model: nothing executes, no cache traffic.
+  if (state->has_deadline && state->start > state->deadline) {
+    for (auto& r : state->results) {
+      r.status = EstimateStatus::kDeadlineExceeded;
+      r.model_version = state->snapshot.version;
+    }
+    state->degenerate = true;
+    return state;
+  }
+
   if (!state->snapshot) {
     for (auto& r : state->results) r.status = EstimateStatus::kModelNotFound;
     state->degenerate = true;
@@ -244,42 +316,141 @@ std::shared_ptr<EstimationService::BatchState> EstimationService::MakeBatch(
   return state;
 }
 
-void EstimationService::RunChunks(
+bool EstimationService::RunOneChunk(
     const std::shared_ptr<BatchState>& state) const {
   BatchState& batch = *state;
-  for (;;) {
-    const size_t chunk =
-        batch.next_chunk.fetch_add(1, std::memory_order_relaxed);
-    if (chunk >= batch.num_chunks) return;
-    const size_t begin = chunk * batch.chunk_size;
-    const size_t end =
-        std::min(begin + batch.chunk_size, batch.requests.size());
-    for (size_t i = begin; i < end; ++i) {
-      try {
-        batch.results[i] = EstimateWith(batch.snapshot, batch.requests[i]);
-      } catch (...) {
-        // Estimation only throws on resource exhaustion (allocation).
-        // Surface it per-request — the promise and callback flavors then
-        // report failures identically, and the countdown still reaches
-        // zero so completion is delivered exactly once.
-        batch.results[i] = EstimateResult{};
-        batch.results[i].status = EstimateStatus::kInternalError;
-        batch.results[i].model_version = batch.snapshot.version;
-      }
+  const size_t chunk = batch.next_chunk.fetch_add(1, std::memory_order_relaxed);
+  if (chunk >= batch.num_chunks) return false;
+  const size_t begin = chunk * batch.chunk_size;
+  const size_t end = std::min(begin + batch.chunk_size, batch.requests.size());
+  // Best-effort deadline: decided once, when the chunk starts. A chunk that
+  // begins before the deadline always runs to completion (results stay
+  // bit-identical for every request that completes); one that would begin
+  // after it expires without executing.
+  const bool expired = batch.has_deadline && Clock::now() > batch.deadline;
+  if (options_.chunk_claim_hook) {
+    options_.chunk_claim_hook(batch.priority, expired);
+  }
+  for (size_t i = begin; i < end; ++i) {
+    if (expired) {
+      batch.results[i] = EstimateResult{};
+      batch.results[i].status = EstimateStatus::kDeadlineExceeded;
+      batch.results[i].model_version = batch.snapshot.version;
+      continue;
     }
-    // acq_rel: the final decrement observes every other chunk's writes, so
-    // the finisher publishes fully-written results.
-    if (batch.chunks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      FinishBatch(&batch);
+    try {
+      batch.results[i] = EstimateWith(batch.snapshot, batch.requests[i]);
+    } catch (...) {
+      // Estimation only throws on resource exhaustion (allocation).
+      // Surface it per-request — the promise and callback flavors then
+      // report failures identically, and the countdown still reaches
+      // zero so completion is delivered exactly once.
+      batch.results[i] = EstimateResult{};
+      batch.results[i].status = EstimateStatus::kInternalError;
+      batch.results[i].model_version = batch.snapshot.version;
+    }
+  }
+  // acq_rel: the final decrement observes every other chunk's writes, so
+  // the finisher publishes fully-written results.
+  if (batch.chunks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    UnscheduleBatch(&batch);
+    FinishBatch(&batch);
+  }
+  return true;
+}
+
+void EstimationService::RunChunks(
+    const std::shared_ptr<BatchState>& state) const {
+  while (RunOneChunk(state)) {
+  }
+}
+
+std::shared_ptr<EstimationService::BatchState>
+EstimationService::PickRunnable(TaskPriority lane_floor) const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  for (size_t p = 0; p <= static_cast<size_t>(lane_floor); ++p) {
+    auto& lane = runnable_[p];
+    while (!lane.empty()) {
+      std::shared_ptr<BatchState>& front = lane.front();
+      if (front->next_chunk.load(std::memory_order_relaxed) >=
+          front->num_chunks) {
+        // Fully claimed (possibly still executing elsewhere; completion is
+        // the chunk countdown's job, not the scheduler's).
+        lane.pop_front();
+        runnable_count_[p].fetch_sub(1, std::memory_order_relaxed);
+        continue;
+      }
+      return front;
+    }
+  }
+  return nullptr;
+}
+
+bool EstimationService::HigherPriorityRunnable(TaskPriority priority) const {
+  for (size_t p = 0; p < static_cast<size_t>(priority); ++p) {
+    if (runnable_count_[p].load(std::memory_order_relaxed) > 0) return true;
+  }
+  return false;
+}
+
+void EstimationService::UnscheduleBatch(const BatchState* state) const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  const size_t p = static_cast<size_t>(state->priority);
+  auto& lane = runnable_[p];
+  for (auto it = lane.begin(); it != lane.end(); ++it) {
+    if (it->get() == state) {
+      lane.erase(it);
+      runnable_count_[p].fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void EstimationService::HelperLoop(TaskPriority lane_floor) const {
+  // Serve the highest-priority runnable batch at or above the helper's
+  // seed lane, switching batches only when the current one is exhausted or
+  // higher-priority work arrives (a cheap atomic poll) — the steady state
+  // claims chunks with a single fetch_add, no scheduler lock. A false
+  // RunOneChunk (the pick raced the batch's last claim) just re-picks; the
+  // exhausted batch is popped by the next PickRunnable scan. Newly
+  // submitted urgent batches preempt in-progress lower-priority work at
+  // chunk granularity without cancelling anything.
+  std::shared_ptr<BatchState> batch = PickRunnable(lane_floor);
+  while (batch != nullptr) {
+    if (!RunOneChunk(batch) || HigherPriorityRunnable(batch->priority)) {
+      batch = PickRunnable(lane_floor);
     }
   }
 }
 
 void EstimationService::FinishBatch(BatchState* state) const {
-  uint64_t ok = 0, failed = 0;
-  for (const auto& r : state->results) (r.ok() ? ok : failed)++;
+  uint64_t ok = 0, expired = 0, failed = 0;
+  for (const auto& r : state->results) {
+    if (r.ok()) {
+      ++ok;
+    } else if (r.status == EstimateStatus::kDeadlineExceeded) {
+      ++expired;
+    } else {
+      ++failed;
+    }
+  }
   requests_.fetch_add(ok, std::memory_order_relaxed);
   errors_.fetch_add(failed, std::memory_order_relaxed);
+  deadline_expired_.fetch_add(expired, std::memory_order_relaxed);
+  if (state->admitted) {
+    LaneCounters& lane = lane_counters_[static_cast<size_t>(state->priority)];
+    lane.batches.fetch_add(1, std::memory_order_relaxed);
+    lane.requests.fetch_add(ok, std::memory_order_relaxed);
+    lane.expired.fetch_add(expired, std::memory_order_relaxed);
+    const uint64_t us = ElapsedMicros(state->start);
+    lane.latency_total_us.fetch_add(us, std::memory_order_relaxed);
+    uint64_t prev_max = lane.latency_max_us.load(std::memory_order_relaxed);
+    while (prev_max < us &&
+           !lane.latency_max_us.compare_exchange_weak(
+               prev_max, us, std::memory_order_relaxed)) {
+    }
+    lane.histogram[LatencyBucket(us)].fetch_add(1, std::memory_order_relaxed);
+  }
   if (state->has_promise) {
     state->promise.set_value(std::move(state->results));
   } else if (state->callback) {
@@ -298,22 +469,32 @@ void EstimationService::LaunchBatch(
     FinishBatch(state.get());
     return;
   }
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    const size_t p = static_cast<size_t>(state->priority);
+    runnable_[p].push_back(state);
+    runnable_count_[p].fetch_add(1, std::memory_order_relaxed);
+  }
   // Seed one helper per available worker (never more than there are
-  // chunks); helpers steal chunks until the cursor runs dry, so a stalled
-  // or saturated pool only reduces parallelism, never correctness.
-  const size_t helpers =
-      std::min(state->num_chunks, pool_->num_threads());
+  // chunks) on the batch's pool lane; helpers steal chunks — highest
+  // priority first, floored at their seed lane — until no such batch is
+  // runnable, so a stalled or saturated pool only reduces parallelism,
+  // never correctness: every batch's completion rests on its own helpers
+  // (and, for blocking calls, its submitter), never on higher-lane ones.
+  const size_t helpers = std::min(state->num_chunks, pool_->num_threads());
+  const TaskPriority lane_floor = state->priority;
   for (size_t i = 0; i < helpers; ++i) {
     AcquireInflight();
     try {
-      pool_->Submit([this, state]() {
-        RunChunks(state);
+      pool_->Submit(lane_floor, [this, lane_floor]() {
+        HelperLoop(lane_floor);
         ReleaseInflight();
       });
     } catch (...) {
-      // Pool shutting down: run the remaining chunks on this thread so the
-      // batch still completes (the pool contract is that the service
-      // outlives it, but degrade gracefully rather than dropping work).
+      // Pool shutting down: run this batch's remaining chunks on this
+      // thread so the batch still completes (the pool contract is that the
+      // service outlives it, but degrade gracefully rather than dropping
+      // work).
       ReleaseInflight();
       RunChunks(state);
       return;
@@ -323,20 +504,33 @@ void EstimationService::LaunchBatch(
 
 std::vector<EstimateResult> EstimationService::EstimateBatch(
     const std::vector<EstimateRequest>& requests) const {
-  auto state = MakeBatch(requests);
+  return EstimateBatch(requests, SubmitOptions{});
+}
+
+std::vector<EstimateResult> EstimationService::EstimateBatch(
+    const std::vector<EstimateRequest>& requests,
+    const SubmitOptions& submit_options) const {
+  auto state = MakeBatch(requests, submit_options);
   state->has_promise = true;
   auto future = state->promise.get_future();
   LaunchBatch(state);
-  // Help drain our own chunks: a caller running on a pool worker finishes
-  // the whole batch itself if no other worker is free, which is what makes
-  // nested blocking calls deadlock-free.
+  // Help drain our own chunks — and only our own: a caller running on a
+  // pool worker finishes the whole batch itself if no other worker is free
+  // (which is what makes nested blocking calls deadlock-free), and a
+  // blocking urgent caller never burns its thread on queued bulk work.
   if (!state->degenerate) RunChunks(state);
   return future.get();
 }
 
 std::future<std::vector<EstimateResult>> EstimationService::SubmitBatch(
     std::vector<EstimateRequest> requests) const {
-  auto state = MakeBatch(std::move(requests));
+  return SubmitBatch(std::move(requests), SubmitOptions{});
+}
+
+std::future<std::vector<EstimateResult>> EstimationService::SubmitBatch(
+    std::vector<EstimateRequest> requests,
+    const SubmitOptions& submit_options) const {
+  auto state = MakeBatch(std::move(requests), submit_options);
   state->has_promise = true;
   auto future = state->promise.get_future();
   LaunchBatch(state);
@@ -345,16 +539,28 @@ std::future<std::vector<EstimateResult>> EstimationService::SubmitBatch(
 
 void EstimationService::SubmitBatch(std::vector<EstimateRequest> requests,
                                     BatchCallback done) const {
-  auto state = MakeBatch(std::move(requests));
+  SubmitBatch(std::move(requests), SubmitOptions{}, std::move(done));
+}
+
+void EstimationService::SubmitBatch(std::vector<EstimateRequest> requests,
+                                    const SubmitOptions& submit_options,
+                                    BatchCallback done) const {
+  auto state = MakeBatch(std::move(requests), submit_options);
   state->callback = std::move(done);
   LaunchBatch(state);
 }
 
 std::future<EstimateResult> EstimationService::SubmitEstimate(
     const EstimateRequest& request) const {
+  return SubmitEstimate(request, SubmitOptions{});
+}
+
+std::future<EstimateResult> EstimationService::SubmitEstimate(
+    const EstimateRequest& request,
+    const SubmitOptions& submit_options) const {
   auto result = std::make_shared<std::promise<EstimateResult>>();
   std::future<EstimateResult> future = result->get_future();
-  SubmitBatch(std::vector<EstimateRequest>{request},
+  SubmitBatch(std::vector<EstimateRequest>{request}, submit_options,
               [result](std::vector<EstimateResult> results) {
                 result->set_value(std::move(results.front()));
               });
@@ -363,7 +569,13 @@ std::future<EstimateResult> EstimationService::SubmitEstimate(
 
 void EstimationService::SubmitEstimate(const EstimateRequest& request,
                                        EstimateCallback done) const {
-  SubmitBatch(std::vector<EstimateRequest>{request},
+  SubmitEstimate(request, SubmitOptions{}, std::move(done));
+}
+
+void EstimationService::SubmitEstimate(const EstimateRequest& request,
+                                       const SubmitOptions& submit_options,
+                                       EstimateCallback done) const {
+  SubmitBatch(std::vector<EstimateRequest>{request}, submit_options,
               [done = std::move(done)](std::vector<EstimateResult> results) {
                 done(std::move(results.front()));
               });
@@ -387,6 +599,26 @@ ServiceStats EstimationService::stats() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.rejected_batches = rejected_batches_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  for (size_t p = 0; p < kNumTaskPriorities; ++p) {
+    const LaneCounters& src = lane_counters_[p];
+    PriorityLaneStats& dst = s.priorities[p];
+    dst.batches = src.batches.load(std::memory_order_relaxed);
+    dst.requests = src.requests.load(std::memory_order_relaxed);
+    dst.expired = src.expired.load(std::memory_order_relaxed);
+    dst.total_latency_ms =
+        static_cast<double>(
+            src.latency_total_us.load(std::memory_order_relaxed)) /
+        1000.0;
+    dst.max_latency_ms =
+        static_cast<double>(
+            src.latency_max_us.load(std::memory_order_relaxed)) /
+        1000.0;
+    for (size_t b = 0; b < kServiceLatencyBuckets; ++b) {
+      dst.latency_histogram[b] =
+          src.histogram[b].load(std::memory_order_relaxed);
+    }
+  }
   if (cache_) {
     const EstimateCacheStats cache_stats = cache_->stats();
     s.cache_hits = cache_stats.hits;
@@ -395,6 +627,10 @@ ServiceStats EstimationService::stats() const {
     s.cache_entries = cache_stats.entries;
   }
   return s;
+}
+
+EstimateCacheStats EstimationService::cache_stats() const {
+  return cache_ ? cache_->stats() : EstimateCacheStats{};
 }
 
 }  // namespace resest

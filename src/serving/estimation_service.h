@@ -8,12 +8,26 @@
 // floating-point evaluation order within a request never changes. The
 // cross-request estimate cache preserves this bit-for-bit — a hit returns
 // the exact double a miss would have computed (see estimate_cache.h).
+//
+// Scheduling: every batch carries a TaskPriority and an optional deadline
+// (SubmitOptions). Chunks are fanned out on the pool lane matching the
+// batch's priority, and the service's own chunk scheduler serves runnable
+// batches highest-priority-first with FIFO order within a priority — so
+// small urgent batches (admission probes) overtake queued bulk scans at
+// chunk granularity instead of waiting for them to drain. Deadlines are
+// best-effort expiry, not cancellation: a chunk that has not started when
+// its batch's deadline passes completes with kDeadlineExceeded without
+// executing, while a started chunk always runs to completion and returns
+// the normal bit-identical value.
 #ifndef RESEST_SERVING_ESTIMATION_SERVICE_H_
 #define RESEST_SERVING_ESTIMATION_SERVICE_H_
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
@@ -42,6 +56,7 @@ enum class EstimateStatus {
   kInvalidRequest,  ///< Null plan or database.
   kBatchTooLarge,   ///< Batch exceeds ServiceOptions::max_batch_size.
   kInternalError,   ///< Estimation threw (e.g. allocation failure).
+  kDeadlineExceeded,  ///< Expired before its chunk started executing.
 };
 const char* EstimateStatusName(EstimateStatus s);
 
@@ -51,6 +66,23 @@ struct EstimateResult {
   uint64_t model_version = 0;  ///< Version that served the request.
 
   bool ok() const { return status == EstimateStatus::kOk; }
+};
+
+/// Per-submission scheduling knobs for EstimateBatch/SubmitBatch/
+/// SubmitEstimate. Default-constructed options reproduce the pre-lane
+/// behavior exactly: kNormal priority, no deadline.
+struct SubmitOptions {
+  TaskPriority priority = TaskPriority::kNormal;
+  /// Best-effort expiry point (steady clock). Chunks not yet started when
+  /// the deadline passes return kDeadlineExceeded without executing;
+  /// started chunks always finish with their normal value. The default
+  /// (time_point::max()) means "no deadline".
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
 };
 
 struct ServiceOptions {
@@ -63,6 +95,37 @@ struct ServiceOptions {
   bool enable_cache = true;
   size_t cache_capacity = 64 * 1024;  ///< Entries, across all shards.
   size_t cache_shards = 16;
+  /// Observability/test seam: invoked on the executing thread each time a
+  /// chunk is claimed — after the deadline check, before any request runs
+  /// (`expired` tells which way it went). Must not call back into the
+  /// service. Null (the default) costs nothing.
+  std::function<void(TaskPriority priority, bool expired)> chunk_claim_hook;
+};
+
+/// Latency histogram: bucket `i` counts batches that completed in under
+/// 2^i microseconds (the last bucket also absorbs anything slower). Coarse
+/// by design — enough for a p99 trend line, cheap enough for the hot path.
+inline constexpr size_t kServiceLatencyBuckets = 20;
+
+/// Per-priority accounting of the batched pipeline (Estimate(), the
+/// synchronous single-request path, bypasses the scheduler and is counted
+/// only in the aggregate ServiceStats fields). Latency is measured per
+/// batch, submission to completion; single-request Submits are one-request
+/// batches, so their batch latency is the request latency.
+struct PriorityLaneStats {
+  uint64_t batches = 0;   ///< Batches finished at this priority.
+  uint64_t requests = 0;  ///< Requests completed OK.
+  uint64_t expired = 0;   ///< Requests expired by their deadline.
+  double total_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  std::array<uint64_t, kServiceLatencyBuckets> latency_histogram{};
+
+  double MeanLatencyMs() const {
+    return batches == 0 ? 0.0 : total_latency_ms / static_cast<double>(batches);
+  }
+  /// Upper bound (ms) of the histogram bucket containing the p-th
+  /// percentile batch (p in [0, 1]); 0 when no batch finished yet.
+  double ApproxLatencyPercentileMs(double p) const;
 };
 
 /// Aggregate counters; values are monotonically increasing except
@@ -71,15 +134,21 @@ struct ServiceStats {
   uint64_t requests = 0;          ///< Individual estimates served OK.
   uint64_t batches = 0;           ///< Batch calls accepted.
   uint64_t rejected_batches = 0;  ///< Batch calls rejected as oversized.
-  uint64_t errors = 0;            ///< Requests that returned a non-OK status.
+  uint64_t errors = 0;  ///< Non-OK requests other than deadline expiry.
+  uint64_t deadline_expired = 0;  ///< Requests expired by their deadline.
   // Operator-estimate cache counters (all zero when the cache is disabled).
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
   size_t cache_entries = 0;
+  /// Indexed by TaskPriority; see PriorityLaneStats.
+  std::array<PriorityLaneStats, kNumTaskPriorities> priorities{};
 
   double CacheHitRate() const {
     return resest::CacheHitRate(cache_hits, cache_misses);
+  }
+  const PriorityLaneStats& ForPriority(TaskPriority p) const {
+    return priorities[static_cast<size_t>(p)];
   }
 };
 
@@ -103,6 +172,15 @@ using EstimateCallback = std::function<void(EstimateResult)>;
 /// thread drains the last chunk), and a blocking caller helps execute its
 /// own chunks instead of parking on workers — so even a saturated or
 /// single-threaded pool cannot deadlock a nested call.
+///
+/// Priority: pool helper tasks are chunk drainers that serve the
+/// highest-priority runnable batch at or above the lane they were seeded
+/// on (FIFO within a priority), switching batches at chunk boundaries — a
+/// bulk scan in progress delays an urgent probe by at most one chunk per
+/// busy worker, while an urgent-lane pool slot never executes bulk work
+/// (which would starve other normal-lane pool users). Blocking callers
+/// only ever drain their own batch, so a blocking urgent caller never
+/// executes bulk work either.
 class EstimationService {
  public:
   EstimationService(const ModelRegistry* registry, ThreadPool* pool,
@@ -120,9 +198,13 @@ class EstimationService {
   /// snapshot, so all results carry the same model_version even if a
   /// publish races the call. Returns one result per request, in request
   /// order. Empty input returns an empty vector; oversized input returns
-  /// kBatchTooLarge for every request.
+  /// kBatchTooLarge for every request; a batch whose deadline has already
+  /// passed returns kDeadlineExceeded for every request without executing.
   std::vector<EstimateResult> EstimateBatch(
       const std::vector<EstimateRequest>& requests) const;
+  std::vector<EstimateResult> EstimateBatch(
+      const std::vector<EstimateRequest>& requests,
+      const SubmitOptions& submit_options) const;
 
   /// Non-blocking batch submission: returns immediately with a future that
   /// becomes ready when the last chunk completes. Same semantics as
@@ -130,16 +212,28 @@ class EstimationService {
   /// plans and databases must outlive completion.
   std::future<std::vector<EstimateResult>> SubmitBatch(
       std::vector<EstimateRequest> requests) const;
+  std::future<std::vector<EstimateResult>> SubmitBatch(
+      std::vector<EstimateRequest> requests,
+      const SubmitOptions& submit_options) const;
 
   /// Callback flavor: `done` is invoked exactly once, possibly before this
   /// call returns (degenerate batches complete on the submitting thread).
   void SubmitBatch(std::vector<EstimateRequest> requests,
                    BatchCallback done) const;
+  void SubmitBatch(std::vector<EstimateRequest> requests,
+                   const SubmitOptions& submit_options,
+                   BatchCallback done) const;
 
   /// Non-blocking single-request submission (one pool hop).
   std::future<EstimateResult> SubmitEstimate(
       const EstimateRequest& request) const;
+  std::future<EstimateResult> SubmitEstimate(
+      const EstimateRequest& request,
+      const SubmitOptions& submit_options) const;
   void SubmitEstimate(const EstimateRequest& request,
+                      EstimateCallback done) const;
+  void SubmitEstimate(const EstimateRequest& request,
+                      const SubmitOptions& submit_options,
                       EstimateCallback done) const;
 
   /// Per-pipeline estimates for one plan (scheduling granularity). An empty
@@ -148,6 +242,11 @@ class EstimationService {
   std::vector<double> EstimatePipelines(const EstimateRequest& request) const;
 
   ServiceStats stats() const;
+  /// Full cache statistics including the per-shard breakdown (ServiceStats
+  /// carries only the totals) — how an operator spots a skewed feature
+  /// distribution hammering one shard of the live serving cache. All-zero
+  /// with an empty `shards` vector when the cache is disabled.
+  EstimateCacheStats cache_stats() const;
   const ServiceOptions& options() const { return options_; }
 
  private:
@@ -169,16 +268,43 @@ class EstimationService {
   /// Drops stale cache space when the active model version changes.
   void NoteServedVersion(uint64_t version) const;
 
-  /// Builds a batch state; `results` pre-filled for rejected batches.
-  std::shared_ptr<BatchState> MakeBatch(std::vector<EstimateRequest> requests)
+  /// Builds a batch state; `results` pre-filled for degenerate batches
+  /// (empty, oversized, expired-at-submit, no model).
+  std::shared_ptr<BatchState> MakeBatch(std::vector<EstimateRequest> requests,
+                                        const SubmitOptions& submit_options)
       const;
-  /// Seeds pool helpers for a runnable batch, or completes a degenerate one
-  /// inline. Never blocks.
+  /// Registers a runnable batch with the chunk scheduler and seeds pool
+  /// helpers on its priority lane, or completes a degenerate batch inline.
+  /// Never blocks.
   void LaunchBatch(const std::shared_ptr<BatchState>& state) const;
-  /// Chunk-draining loop shared by pool helpers and blocking callers.
+  /// Claims and runs one chunk of `state` (expiring it instead when the
+  /// batch deadline has passed); finishes the batch when it was the last.
+  /// Returns false once the batch's chunk cursor is exhausted.
+  bool RunOneChunk(const std::shared_ptr<BatchState>& state) const;
+  /// Drains all remaining chunks of one batch; used by blocking callers
+  /// (who must only ever execute their own batch) and shutdown fallback.
   void RunChunks(const std::shared_ptr<BatchState>& state) const;
-  /// Publishes results (promise or callback) and tallies per-request stats.
-  /// Called exactly once per batch, by whichever thread drains last.
+  /// Pool helper body: repeatedly serve the highest-priority runnable
+  /// batch at priority >= lane_floor, one chunk at a time, until none has
+  /// unclaimed chunks. The floor is the pool lane the helper was seeded
+  /// on: a helper occupying an urgent pool slot must not drain bulk work
+  /// there (it would starve other subsystems' normal-lane pool tasks);
+  /// lower-lane helpers serve higher-priority batches freely — that is the
+  /// chunk-granular preemption.
+  void HelperLoop(TaskPriority lane_floor) const;
+  /// Highest-priority batch with unclaimed chunks at priority >=
+  /// lane_floor (FIFO within a priority), or null. Pops exhausted batches
+  /// as it scans.
+  std::shared_ptr<BatchState> PickRunnable(TaskPriority lane_floor) const;
+  /// True when some runnable batch outranks `priority`; a cheap relaxed
+  /// read so helpers stay on their current batch lock-free until there is
+  /// a reason to switch.
+  bool HigherPriorityRunnable(TaskPriority priority) const;
+  /// Removes a completed batch from its scheduler lane.
+  void UnscheduleBatch(const BatchState* state) const;
+  /// Publishes results (promise or callback) and tallies per-request and
+  /// per-priority stats. Called exactly once per batch, by whichever
+  /// thread drains last.
   void FinishBatch(BatchState* state) const;
 
   /// In-flight accounting for pool helper tasks (each holds `this`); the
@@ -195,7 +321,32 @@ class EstimationService {
   mutable std::atomic<uint64_t> batches_{0};
   mutable std::atomic<uint64_t> rejected_batches_{0};
   mutable std::atomic<uint64_t> errors_{0};
+  mutable std::atomic<uint64_t> deadline_expired_{0};
   mutable std::atomic<uint64_t> served_version_{0};
+
+  /// Per-priority accounting, aggregated into ServiceStats::priorities.
+  struct LaneCounters {
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> expired{0};
+    std::atomic<uint64_t> latency_total_us{0};
+    std::atomic<uint64_t> latency_max_us{0};
+    std::array<std::atomic<uint64_t>, kServiceLatencyBuckets> histogram{};
+  };
+  mutable std::array<LaneCounters, kNumTaskPriorities> lane_counters_;
+
+  /// Chunk scheduler: runnable (non-degenerate, unexhausted) batches per
+  /// priority, FIFO within a lane. Helpers always serve the front of the
+  /// lowest-indexed non-empty lane at or above their floor.
+  mutable std::mutex sched_mu_;
+  mutable std::array<std::deque<std::shared_ptr<BatchState>>,
+                     kNumTaskPriorities>
+      runnable_;
+  /// Mirror of each lane's deque size, readable without sched_mu_ — lets a
+  /// helper poll "did higher-priority work arrive?" per chunk without
+  /// serializing all chunk claims on the scheduler mutex.
+  mutable std::array<std::atomic<size_t>, kNumTaskPriorities>
+      runnable_count_{};
 
   mutable std::mutex inflight_mu_;
   mutable std::condition_variable inflight_idle_;

@@ -2,6 +2,7 @@
 // container itself (counters, LRU eviction, version-keyed entries) and its
 // integration into EstimationService (bit-identical hits, invalidation when
 // a publish hot-swaps the model mid-stream).
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <memory>
@@ -124,6 +125,84 @@ TEST(EstimateCacheTest, EvictsLeastRecentlyUsedUnderBound) {
   EXPECT_FALSE(cache.Lookup(MakeKey(1, 2.0), &value));
   EXPECT_TRUE(cache.Lookup(MakeKey(1, 3.0), &value));
   EXPECT_TRUE(cache.Lookup(MakeKey(1, 4.0), &value));
+}
+
+TEST(EstimateCacheTest, SingleShardBreakdownMatchesAggregate) {
+  EstimateCacheOptions options;
+  options.shards = 1;
+  EstimateCache cache(options);
+  double value = 0.0;
+  cache.Lookup(MakeKey(1, 1.0), &value);  // miss
+  cache.Insert(MakeKey(1, 1.0), 1.0);
+  cache.Lookup(MakeKey(1, 1.0), &value);  // hit
+
+  const EstimateCacheStats stats = cache.stats();
+  ASSERT_EQ(stats.shards.size(), 1u);
+  EXPECT_EQ(stats.shards[0].hits, stats.hits);
+  EXPECT_EQ(stats.shards[0].misses, stats.misses);
+  EXPECT_EQ(stats.shards[0].insertions, stats.insertions);
+  EXPECT_EQ(stats.shards[0].evictions, stats.evictions);
+  EXPECT_EQ(stats.shards[0].entries, stats.entries);
+  EXPECT_DOUBLE_EQ(stats.shards[0].HitRate(), stats.HitRate());
+}
+
+TEST(EstimateCacheTest, PerShardCountersSumToAggregate) {
+  EstimateCacheOptions options;
+  options.shards = 4;
+  EstimateCache cache(options);
+  double value = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    const auto key = MakeKey(1, static_cast<double>(i));
+    cache.Lookup(key, &value);  // miss
+    cache.Insert(key, static_cast<double>(i));
+    cache.Lookup(key, &value);  // hit
+  }
+
+  const EstimateCacheStats stats = cache.stats();
+  ASSERT_EQ(stats.shards.size(), 4u);
+  uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0;
+  size_t entries = 0, populated_shards = 0;
+  for (const EstimateCacheShardStats& shard : stats.shards) {
+    hits += shard.hits;
+    misses += shard.misses;
+    insertions += shard.insertions;
+    evictions += shard.evictions;
+    entries += shard.entries;
+    if (shard.entries > 0) ++populated_shards;
+  }
+  EXPECT_EQ(hits, stats.hits);
+  EXPECT_EQ(misses, stats.misses);
+  EXPECT_EQ(insertions, stats.insertions);
+  EXPECT_EQ(evictions, stats.evictions);
+  EXPECT_EQ(entries, stats.entries);
+  // 64 distinct feature vectors hash across shards: more than one shard
+  // sees traffic (the point of the breakdown is spotting when they don't).
+  EXPECT_GT(populated_shards, 1u);
+}
+
+TEST(EstimateCacheTest, SkewedKeyTrafficLandsOnOneShard) {
+  EstimateCacheOptions options;
+  options.shards = 8;
+  EstimateCache cache(options);
+  // A single hot key — the skewed-feature-distribution scenario the
+  // per-shard counters exist to expose.
+  cache.Insert(MakeKey(1, 42.0), 7.0);
+  double value = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cache.Lookup(MakeKey(1, 42.0), &value));
+  }
+
+  const EstimateCacheStats stats = cache.stats();
+  ASSERT_EQ(stats.shards.size(), 8u);
+  size_t shards_with_hits = 0;
+  uint64_t max_shard_hits = 0;
+  for (const EstimateCacheShardStats& shard : stats.shards) {
+    if (shard.hits > 0) ++shards_with_hits;
+    max_shard_hits = std::max(max_shard_hits, shard.hits);
+  }
+  EXPECT_EQ(shards_with_hits, 1u);
+  EXPECT_EQ(max_shard_hits, 100u);
+  EXPECT_EQ(stats.hits, 100u);
 }
 
 TEST(EstimateCacheTest, ClearDropsEntriesKeepsCounters) {
@@ -304,6 +383,47 @@ TEST_F(ServiceCacheTest, PublishInvalidatesMidStream) {
     ASSERT_TRUE(rolled_back[i].ok());
     EXPECT_EQ(rolled_back[i].value, before[i].value);
   }
+}
+
+TEST_F(ServiceCacheTest, PerShardBreakdownReachableThroughTheService) {
+  ModelRegistry registry;
+  registry.Publish("default", Shared(model_a_));
+  ThreadPool pool(2);
+  ServiceOptions options;
+  options.cache_shards = 4;
+  EstimationService service(&registry, &pool, options);
+
+  service.EstimateBatch(Requests(Resource::kCpu));
+  service.EstimateBatch(Requests(Resource::kCpu));
+
+  // The live serving cache's shard breakdown (skew detection) must be
+  // visible to operators, not just to unit tests holding a bare cache.
+  const EstimateCacheStats cache_stats = service.cache_stats();
+  ASSERT_EQ(cache_stats.shards.size(), 4u);
+  uint64_t shard_hits = 0, shard_misses = 0;
+  size_t shard_entries = 0;
+  for (const EstimateCacheShardStats& shard : cache_stats.shards) {
+    shard_hits += shard.hits;
+    shard_misses += shard.misses;
+    shard_entries += shard.entries;
+  }
+  EXPECT_EQ(shard_hits, cache_stats.hits);
+  EXPECT_EQ(shard_misses, cache_stats.misses);
+  EXPECT_EQ(shard_entries, cache_stats.entries);
+  EXPECT_GT(cache_stats.hits, 0u);
+
+  // And it agrees with the scalar totals ServiceStats reports.
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, cache_stats.hits);
+  EXPECT_EQ(stats.cache_misses, cache_stats.misses);
+  EXPECT_EQ(stats.cache_entries, cache_stats.entries);
+
+  // Disabled cache: empty breakdown, not a crash.
+  ServiceOptions no_cache;
+  no_cache.enable_cache = false;
+  EstimationService uncached(&registry, &pool, no_cache);
+  EXPECT_TRUE(uncached.cache_stats().shards.empty());
+  EXPECT_EQ(uncached.cache_stats().hits, 0u);
 }
 
 TEST_F(ServiceCacheTest, ConcurrentBatchesSharingTheCacheStayCorrect) {

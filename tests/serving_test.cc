@@ -75,6 +75,75 @@ TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
   EXPECT_THROW(f.get(), std::runtime_error);
 }
 
+TEST(ThreadPoolTest, LanesDrainInStrictPriorityOrderFifoWithinLane) {
+  ThreadPool pool(1);
+  // Park the only worker so every subsequent Submit queues; the drain order
+  // after release is then exactly the scheduler's choice.
+  std::promise<void> gate_entered;
+  std::promise<void> gate_release;
+  std::shared_future<void> release = gate_release.get_future().share();
+  pool.Submit([&gate_entered, release]() {
+    gate_entered.set_value();
+    release.wait();
+  });
+  gate_entered.get_future().wait();
+
+  std::mutex mu;
+  std::vector<int> order;
+  auto record = [&mu, &order](int id) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(id);
+  };
+  pool.Submit(TaskPriority::kBulk, [&record]() { record(100); });
+  pool.Submit(TaskPriority::kNormal, [&record]() { record(10); });
+  pool.Submit(TaskPriority::kUrgent, [&record]() { record(1); });
+  pool.Submit(TaskPriority::kUrgent, [&record]() { record(2); });
+  pool.Submit(TaskPriority::kBulk, [&record]() { record(101); });
+  pool.Submit(TaskPriority::kNormal, [&record]() { record(11); });
+
+  EXPECT_EQ(pool.QueueDepth(), 6u);
+  EXPECT_EQ(pool.QueueDepth(TaskPriority::kUrgent), 2u);
+  EXPECT_EQ(pool.QueueDepth(TaskPriority::kNormal), 2u);
+  EXPECT_EQ(pool.QueueDepth(TaskPriority::kBulk), 2u);
+
+  gate_release.set_value();
+  pool.Wait();
+  // All urgent before all normal before all bulk; submission order within
+  // each lane.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 10, 11, 100, 101}));
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+TEST(ThreadPoolTest, DefaultSubmitLandsOnTheNormalLane) {
+  ThreadPool pool(1);
+  std::promise<void> gate_entered;
+  std::promise<void> gate_release;
+  std::shared_future<void> release = gate_release.get_future().share();
+  pool.Submit(TaskPriority::kUrgent, [&gate_entered, release]() {
+    gate_entered.set_value();
+    release.wait();
+  });
+  gate_entered.get_future().wait();
+  auto f = pool.Submit([]() { return 3; });
+  EXPECT_EQ(pool.QueueDepth(TaskPriority::kNormal), 1u);
+  EXPECT_EQ(pool.QueueDepth(TaskPriority::kUrgent), 0u);
+  gate_release.set_value();
+  EXPECT_EQ(f.get(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsAllLanes) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit(TaskPriority::kBulk, [&done]() { done.fetch_add(1); });
+      pool.Submit(TaskPriority::kUrgent, [&done]() { done.fetch_add(1); });
+      pool.Submit(TaskPriority::kNormal, [&done]() { done.fetch_add(1); });
+    }
+  }  // ~ThreadPool must run every queued task on every lane before joining.
+  EXPECT_EQ(done.load(), 24);
+}
+
 // ---------------------------------------------------------------------------
 // Shared serving fixture: one small trained estimator + workload.
 // ---------------------------------------------------------------------------
@@ -576,6 +645,249 @@ TEST_F(ServingTest, ConcurrentMixedSubmittersAgreeWithSerial) {
   }
   for (auto& c : callers) c.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Priority lanes and deadlines through the batch pipeline
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingTest, PrioritizedBatchesBitIdenticalToSerial) {
+  ModelRegistry registry;
+  registry.Publish("default", SharedEstimator());
+  ThreadPool pool(4);
+  EstimationService service(&registry, &pool);
+
+  const auto requests = QueueRequests(Resource::kCpu);
+  SubmitOptions urgent;
+  urgent.priority = TaskPriority::kUrgent;
+  SubmitOptions bulk_with_deadline;
+  bulk_with_deadline.priority = TaskPriority::kBulk;
+  bulk_with_deadline.deadline =
+      std::chrono::steady_clock::now() + std::chrono::minutes(5);
+  for (const SubmitOptions& opts : {urgent, bulk_with_deadline}) {
+    const auto results = service.EstimateBatch(requests, opts);
+    ASSERT_EQ(results.size(), requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      ASSERT_TRUE(results[i].ok());
+      EXPECT_EQ(results[i].value,
+                estimator_->EstimateQuery(*requests[i].plan,
+                                          *requests[i].database,
+                                          Resource::kCpu))
+          << "request " << i;
+    }
+  }
+  EXPECT_EQ(service.stats().deadline_expired, 0u);
+}
+
+TEST_F(ServingTest, UrgentBatchOvertakesQueuedBulkBatch) {
+  ModelRegistry registry;
+  registry.Publish("default", SharedEstimator());
+  ThreadPool pool(1);
+  EstimationService service(&registry, &pool);
+
+  // Park the only worker so both batches are queued before anything runs.
+  std::promise<void> gate_entered;
+  std::promise<void> gate_release;
+  std::shared_future<void> release = gate_release.get_future().share();
+  pool.Submit([&gate_entered, release]() {
+    gate_entered.set_value();
+    release.wait();
+  });
+  gate_entered.get_future().wait();
+
+  std::mutex mu;
+  std::vector<const char*> completion_order;
+  std::promise<void> bulk_done, urgent_done;
+  const auto requests = QueueRequests(Resource::kCpu);
+  SubmitOptions bulk;
+  bulk.priority = TaskPriority::kBulk;
+  service.SubmitBatch(requests, bulk, [&](std::vector<EstimateResult>) {
+    std::lock_guard<std::mutex> lock(mu);
+    completion_order.push_back("bulk");
+    bulk_done.set_value();
+  });
+  SubmitOptions urgent;
+  urgent.priority = TaskPriority::kUrgent;
+  service.SubmitBatch(requests, urgent, [&](std::vector<EstimateResult>) {
+    std::lock_guard<std::mutex> lock(mu);
+    completion_order.push_back("urgent");
+    urgent_done.set_value();
+  });
+
+  gate_release.set_value();
+  urgent_done.get_future().wait();
+  bulk_done.get_future().wait();
+  // The urgent batch was submitted second but must complete first: the
+  // worker serves the urgent pool lane and the scheduler's urgent batch
+  // lane before touching bulk work.
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(completion_order.size(), 2u);
+  EXPECT_STREQ(completion_order[0], "urgent");
+  EXPECT_STREQ(completion_order[1], "bulk");
+}
+
+TEST_F(ServingTest, AlreadyExpiredBatchReturnsDeadlineExceededUnexecuted) {
+  ModelRegistry registry;
+  const uint64_t version = registry.Publish("default", SharedEstimator());
+  ThreadPool pool(2);
+  EstimationService service(&registry, &pool);
+
+  const auto requests = QueueRequests(Resource::kCpu);
+  SubmitOptions opts;
+  opts.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  const auto results = service.EstimateBatch(requests, opts);
+  ASSERT_EQ(results.size(), requests.size());
+  for (const auto& r : results) {
+    EXPECT_EQ(r.status, EstimateStatus::kDeadlineExceeded);
+    // Same version stamp as a per-chunk expiry: which model *would* have
+    // served the request, even though nothing executed.
+    EXPECT_EQ(r.model_version, version);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.batches, 1u);  // well-formed, accepted, then expired
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.deadline_expired, requests.size());
+  // "Without executing" is observable: no estimation ever touched the cache.
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
+  EXPECT_EQ(stats.ForPriority(TaskPriority::kNormal).expired, requests.size());
+}
+
+TEST_F(ServingTest, DeadlineExpiresUnstartedChunksButStartedChunksFinish) {
+  ModelRegistry registry;
+  registry.Publish("default", SharedEstimator());
+  ThreadPool pool(1);
+
+  // Two requests, one-request chunks, one worker: exactly one helper claims
+  // chunk 0 then chunk 1 in order. The hook parks the helper between the
+  // deadline check and the execution of chunk 0, the test lets the deadline
+  // pass, and chunk 1's claim must then expire while chunk 0 — already
+  // started — still completes with its normal value.
+  std::promise<void> first_chunk_claimed;
+  std::promise<void> resume_first_chunk;
+  std::shared_future<void> resume = resume_first_chunk.get_future().share();
+  std::atomic<int> claims{0};
+  std::mutex mu;
+  std::vector<bool> expired_flags;
+  ServiceOptions options;
+  options.chunk_size = 1;
+  options.chunk_claim_hook = [&](TaskPriority, bool expired) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      expired_flags.push_back(expired);
+    }
+    if (claims.fetch_add(1) == 0) {
+      first_chunk_claimed.set_value();
+      resume.wait();
+    }
+  };
+  EstimationService service(&registry, &pool, options);
+
+  const auto all = QueueRequests(Resource::kCpu);
+  const std::vector<EstimateRequest> requests(all.begin(), all.begin() + 2);
+  SubmitOptions opts;
+  opts.deadline = std::chrono::steady_clock::now() + std::chrono::seconds(1);
+  auto future = service.SubmitBatch(requests, opts);
+
+  first_chunk_claimed.get_future().wait();
+  std::this_thread::sleep_until(opts.deadline + std::chrono::milliseconds(100));
+  resume_first_chunk.set_value();
+
+  const auto results = future.get();
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].ok()) << EstimateStatusName(results[0].status);
+  EXPECT_EQ(results[0].value,
+            estimator_->EstimateQuery(*requests[0].plan, *requests[0].database,
+                                      Resource::kCpu));
+  EXPECT_EQ(results[1].status, EstimateStatus::kDeadlineExceeded);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(expired_flags.size(), 2u);
+    EXPECT_FALSE(expired_flags[0]);
+    EXPECT_TRUE(expired_flags[1]);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.deadline_expired, 1u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST_F(ServingTest, DeadlineStatusPropagatesThroughFutureAndCallback) {
+  ModelRegistry registry;
+  registry.Publish("default", SharedEstimator());
+  ThreadPool pool(2);
+  EstimationService service(&registry, &pool);
+
+  const EstimateRequest req = QueueRequests(Resource::kCpu)[0];
+  SubmitOptions expired;
+  expired.priority = TaskPriority::kUrgent;
+  expired.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+
+  EXPECT_EQ(service.SubmitEstimate(req, expired).get().status,
+            EstimateStatus::kDeadlineExceeded);
+
+  std::promise<EstimateResult> delivered;
+  service.SubmitEstimate(req, expired, [&delivered](EstimateResult r) {
+    delivered.set_value(r);
+  });
+  EXPECT_EQ(delivered.get_future().get().status,
+            EstimateStatus::kDeadlineExceeded);
+
+  std::promise<std::vector<EstimateResult>> batch_delivered;
+  service.SubmitBatch({req, req}, expired,
+                      [&batch_delivered](std::vector<EstimateResult> results) {
+                        batch_delivered.set_value(std::move(results));
+                      });
+  const auto batch_results = batch_delivered.get_future().get();
+  ASSERT_EQ(batch_results.size(), 2u);
+  for (const auto& r : batch_results) {
+    EXPECT_EQ(r.status, EstimateStatus::kDeadlineExceeded);
+  }
+  EXPECT_EQ(service.stats().ForPriority(TaskPriority::kUrgent).expired, 4u);
+}
+
+TEST_F(ServingTest, PerPriorityStatsTrackBatchesRequestsAndLatency) {
+  ModelRegistry registry;
+  registry.Publish("default", SharedEstimator());
+  ThreadPool pool(4);
+  EstimationService service(&registry, &pool);
+
+  const auto requests = QueueRequests(Resource::kCpu);
+  SubmitOptions urgent;
+  urgent.priority = TaskPriority::kUrgent;
+  service.EstimateBatch(requests, urgent);
+  SubmitOptions bulk;
+  bulk.priority = TaskPriority::kBulk;
+  service.EstimateBatch(requests, bulk);
+  service.EstimateBatch(requests, bulk);
+
+  const ServiceStats stats = service.stats();
+  const PriorityLaneStats& u = stats.ForPriority(TaskPriority::kUrgent);
+  EXPECT_EQ(u.batches, 1u);
+  EXPECT_EQ(u.requests, requests.size());
+  EXPECT_EQ(u.expired, 0u);
+  EXPECT_GT(u.total_latency_ms, 0.0);
+  EXPECT_GE(u.max_latency_ms, u.MeanLatencyMs());
+  uint64_t histogram_total = 0;
+  for (uint64_t count : u.latency_histogram) histogram_total += count;
+  EXPECT_EQ(histogram_total, 1u);
+  EXPECT_GT(u.ApproxLatencyPercentileMs(0.99), 0.0);
+
+  const PriorityLaneStats& b = stats.ForPriority(TaskPriority::kBulk);
+  EXPECT_EQ(b.batches, 2u);
+  EXPECT_EQ(b.requests, 2 * requests.size());
+
+  const PriorityLaneStats& n = stats.ForPriority(TaskPriority::kNormal);
+  EXPECT_EQ(n.batches, 0u);
+  EXPECT_EQ(n.requests, 0u);
+  EXPECT_EQ(n.ApproxLatencyPercentileMs(0.99), 0.0);
+
+  // The aggregate counters are the lane totals.
+  EXPECT_EQ(stats.requests, u.requests + b.requests);
+  EXPECT_EQ(stats.batches, u.batches + b.batches);
 }
 
 // ---------------------------------------------------------------------------
