@@ -16,12 +16,21 @@
 // or not, prioritized or not — must be bit-identical to the serial
 // ResourceEstimator output.
 //
+// A refit-under-load scenario rounds out the living-system story: while a
+// background incremental refit retrains drifted model slots on the same
+// pool (at TaskPriority::kBulk) and delta-publishes the result, the bench
+// keeps bulk scans and urgent probes flowing and reports the throughput and
+// urgent p99 the swap costs — every response still bit-identical to one of
+// the two published versions.
+//
 // Environment knobs:
 //   RESEST_SERVING_THREADS   worker pool size          (default 8)
 //   RESEST_SERVING_REQUESTS  requests per measurement  (default 2000)
 //   RESEST_SERVING_PLANS     distinct plans in the repeated stream
 //                            (default 25; lower = more cache hits)
 //   RESEST_SERVING_PROBES    urgent probes per latency scenario (default 80)
+//   RESEST_SERVING_REFIT_QUERIES  feedback queries folded into the logs
+//                                 before the refit scenario (default 60)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -34,6 +43,7 @@
 #include "src/common/thread_pool.h"
 #include "src/serving/estimation_service.h"
 #include "src/serving/model_registry.h"
+#include "src/training/incremental_trainer.h"
 #include "src/workload/runner.h"
 #include "src/workload/schemas.h"
 #include "src/workload/tpch_queries.h"
@@ -145,6 +155,121 @@ LatencySummary MeasureProbeLatencyUnderBulk(
   return summary;
 }
 
+struct RefitScenario {
+  double refit_seconds = 0.0;
+  double bulk_qps = 0.0;        ///< Estimate throughput while refitting.
+  LatencySummary probes;        ///< Urgent probe latency while refitting.
+  size_t refitted_slots = 0;
+  uint64_t base_version = 0;
+  uint64_t delta_version = 0;
+  size_t mismatches = 0;
+  size_t probes_served = 0;
+};
+
+/// Estimate throughput and urgent p99 while a background refit retrains the
+/// drifted slots at kBulk on the same pool and delta-publishes. Every probe
+/// must be bit-identical to the published version that served it.
+RefitScenario MeasureRefitUnderLoad(
+    ModelRegistry& registry, ThreadPool& pool, IncrementalTrainer& trainer,
+    const std::vector<ExecutedQuery>& feedback,
+    const std::vector<EstimateRequest>& bulk_requests,
+    const std::vector<EstimateRequest>& probe_requests,
+    const std::vector<double>& probe_serial_v1) {
+  RefitScenario scenario;
+  scenario.base_version = trainer.base_version();
+
+  ServiceOptions options;
+  options.enable_cache = false;  // keep the load honest, as above
+  options.max_batch_size = bulk_requests.size();
+  EstimationService service(&registry, &pool, options);
+
+  // The feedback stream crosses the refit policy for every operator it
+  // touches — the refit ahead is a real multi-slot retrain, not a toy.
+  trainer.ObserveAll(feedback);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> bulk_served{0};
+  SubmitOptions bulk;
+  bulk.priority = TaskPriority::kBulk;
+  std::vector<std::thread> bulk_callers;
+  for (int t = 0; t < 2; ++t) {
+    bulk_callers.emplace_back([&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        service.EstimateBatch(bulk_requests, bulk);
+        bulk_served.fetch_add(bulk_requests.size(),
+                              std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  IncrementalTrainer::RefitResult delta;
+  std::atomic<bool> refit_done{false};
+  const auto refit_start = std::chrono::steady_clock::now();
+  const uint64_t bulk_at_start = bulk_served.load();
+  std::thread refitter([&]() {
+    delta = trainer.RefitAndPublish(&registry, "default", &service);
+    refit_done.store(true, std::memory_order_release);
+  });
+
+  // Urgent probes for as long as the refit runs; versions recorded so each
+  // response can be checked against the model that actually served it.
+  struct Probe {
+    size_t slot;
+    uint64_t version;
+    double value;
+    bool ok;
+  };
+  std::vector<Probe> probes;
+  std::vector<double> latencies_ms;
+  SubmitOptions urgent;
+  urgent.priority = TaskPriority::kUrgent;
+  size_t i = 0;
+  while (!refit_done.load(std::memory_order_acquire)) {
+    const size_t slot = i++ % probe_requests.size();
+    const auto start = std::chrono::steady_clock::now();
+    const EstimateResult result =
+        service.SubmitEstimate(probe_requests[slot], urgent).get();
+    latencies_ms.push_back(1000.0 * SecondsSince(start));
+    probes.push_back({slot, result.model_version, result.value, result.ok()});
+  }
+  refitter.join();
+  scenario.refit_seconds = SecondsSince(refit_start);
+  const uint64_t bulk_in_window = bulk_served.load() - bulk_at_start;
+  stop.store(true);
+  for (auto& caller : bulk_callers) caller.join();
+
+  scenario.bulk_qps =
+      static_cast<double>(bulk_in_window) / scenario.refit_seconds;
+  scenario.probes_served = probes.size();
+  scenario.refitted_slots = delta ? delta.refitted.size() : 0;
+  scenario.delta_version = delta.version;
+
+  // Bit-identity: each probe matches the serial answer of the version that
+  // served it — v1 before the swap, the delta after.
+  std::vector<double> probe_serial_v2(probe_requests.size(), 0.0);
+  if (delta) {
+    for (size_t p = 0; p < probe_requests.size(); ++p) {
+      probe_serial_v2[p] = delta.estimator->EstimateQuery(
+          *probe_requests[p].plan, *probe_requests[p].database,
+          probe_requests[p].resource);
+    }
+  }
+  for (const Probe& probe : probes) {
+    const double expected = probe.version == scenario.base_version
+                                ? probe_serial_v1[probe.slot]
+                                : probe_serial_v2[probe.slot];
+    if (!probe.ok || probe.value != expected) ++scenario.mismatches;
+  }
+  if (!delta) ++scenario.mismatches;  // the refit must actually publish
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  scenario.probes.p50_ms = Percentile(latencies_ms, 0.50);
+  scenario.probes.p99_ms = Percentile(latencies_ms, 0.99);
+  scenario.probes.max_ms = latencies_ms.empty() ? 0.0 : latencies_ms.back();
+  return scenario;
+}
+
 }  // namespace
 
 int main() {
@@ -152,6 +277,8 @@ int main() {
   const int num_requests = bench::EnvInt("RESEST_SERVING_REQUESTS", 2000);
   const int num_plans = bench::EnvInt("RESEST_SERVING_PLANS", 25);
   const int num_probes = bench::EnvInt("RESEST_SERVING_PROBES", 80);
+  const int num_refit_queries =
+      bench::EnvInt("RESEST_SERVING_REFIT_QUERIES", 60);
 
   std::printf("== serving throughput: serial vs. %d-worker batched, "
               "cache off/on ==\n\n",
@@ -159,15 +286,20 @@ int main() {
   std::printf("hardware concurrency: %u\n\n",
               std::thread::hardware_concurrency());
 
-  // Train once, serve many: the paper's deployment model.
+  // Train once, serve many: the paper's deployment model. Training runs
+  // through the incremental trainer (per-slot fits on the pool at kBulk,
+  // byte-identical to ResourceEstimator::Train) so the refit-under-load
+  // scenario below can fold feedback into the same observation logs.
   auto db = GenerateDatabase(TpchSchema(), 1.0, 1.5, 42);
   Rng rng(7);
   const auto train =
       RunWorkload(db.get(), GenerateTpchWorkload(150, &rng, db.get()));
+  ThreadPool pool(static_cast<size_t>(num_threads));
   TrainOptions options;
-  options.train_threads = 0;  // all cores; identical output to serial
-  const auto estimator = std::make_shared<const ResourceEstimator>(
-      ResourceEstimator::Train(train, options));
+  RefitPolicy policy;
+  policy.min_new_rows = 1;  // any feedback refits its slot: a meaty retrain
+  IncrementalTrainer trainer(options, policy, &pool);
+  const auto estimator = trainer.SeedAndTrain(train);
 
   // Repeated-plan request stream: an optimization session revisits a small
   // set of plans, alternating resources, until we have num_requests.
@@ -202,8 +334,7 @@ int main() {
 
   // --- Batched service, cache disabled: pure fan-out. ---
   ModelRegistry registry;
-  registry.Publish("default", estimator);
-  ThreadPool pool(static_cast<size_t>(num_threads));
+  trainer.PublishBaseline(&registry, "default");
   ServiceOptions uncached_options;
   uncached_options.max_batch_size = requests.size();
   uncached_options.enable_cache = false;
@@ -269,10 +400,38 @@ int main() {
     std::printf("WARNING: priority lanes did not improve urgent p99\n");
   }
 
+  // --- Refit under load: background incremental retrain + delta publish
+  // while bulk scans and urgent probes keep flowing. ---
+  Rng feedback_rng(99);
+  const auto feedback = RunWorkload(
+      db.get(),
+      GenerateTpchWorkload(num_refit_queries, &feedback_rng, db.get()), 23);
+  std::printf("\n-- refit under load: %zu feedback queries folded in, "
+              "refit + delta publish racing bulk scans and urgent probes --\n",
+              feedback.size());
+  const RefitScenario refit = MeasureRefitUnderLoad(
+      registry, pool, trainer, feedback, requests, probe_requests,
+      probe_serial);
+  std::printf("refit: %zu slots retrained in %.3f s (v%llu -> v%llu)\n",
+              refit.refitted_slots, refit.refit_seconds,
+              static_cast<unsigned long long>(refit.base_version),
+              static_cast<unsigned long long>(refit.delta_version));
+  std::printf("during refit: %11.0f q/s bulk estimate throughput, "
+              "%zu urgent probes p50 %.3f ms  p99 %.3f ms  max %.3f ms\n",
+              refit.bulk_qps, refit.probes_served, refit.probes.p50_ms,
+              refit.probes.p99_ms, refit.probes.max_ms);
+  if (refit.mismatches != 0) {
+    std::printf("WARNING: %zu refit-scenario responses matched neither "
+                "published version\n",
+                refit.mismatches);
+  }
+
   const size_t mismatches = fanout.mismatches + memoized.mismatches +
-                            fifo.mismatches + prioritized.mismatches;
-  const size_t checks =
-      2 * requests.size() + 2 * static_cast<size_t>(num_probes);
+                            fifo.mismatches + prioritized.mismatches +
+                            refit.mismatches;
+  const size_t checks = 2 * requests.size() +
+                        2 * static_cast<size_t>(num_probes) +
+                        refit.probes_served;
   std::printf("\nbit-identical to serial: %s (%zu/%zu mismatches)\n",
               mismatches == 0 ? "yes" : "NO", mismatches, checks);
 
@@ -292,6 +451,13 @@ int main() {
   json.Number("urgent_p50_ms_priority", prioritized.p50_ms);
   json.Number("urgent_p99_ms_priority", prioritized.p99_ms);
   json.Bool("urgent_p99_improved", prioritized.p99_ms < fifo.p99_ms);
+  json.Int("refit_feedback_queries", static_cast<long long>(feedback.size()));
+  json.Int("refit_slots", static_cast<long long>(refit.refitted_slots));
+  json.Number("refit_seconds", refit.refit_seconds);
+  json.Number("refit_bulk_qps", refit.bulk_qps);
+  json.Int("refit_probes", static_cast<long long>(refit.probes_served));
+  json.Number("refit_urgent_p50_ms", refit.probes.p50_ms);
+  json.Number("refit_urgent_p99_ms", refit.probes.p99_ms);
   json.Bool("bit_identical", mismatches == 0);
   json.WriteFile("BENCH_serving.json");
 

@@ -19,6 +19,14 @@
 // Good resource estimates keep the window full without overload. We compare
 // the decisions made with SCALING estimates against (a) an oracle that knows
 // the true cost and (b) the adjusted-optimizer baseline (OPT).
+//
+// The example closes the loop afterwards (execute -> observe -> refit ->
+// republish): every executed queue query streams into the incremental
+// trainer's observation logs as it runs, and once the window is decided the
+// slots whose logs crossed the refit policy are retrained on the same pool
+// at kBulk and delta-published — untouched operators keep their exact
+// models (and their cache entries, were the cache enabled), while the
+// production database's measurements sharpen the refitted ones.
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -28,6 +36,7 @@
 #include "src/common/thread_pool.h"
 #include "src/serving/estimation_service.h"
 #include "src/serving/model_registry.h"
+#include "src/training/incremental_trainer.h"
 #include "src/workload/runner.h"
 #include "src/workload/schemas.h"
 #include "src/workload/tpch_queries.h"
@@ -97,25 +106,28 @@ int main() {
   Rng rng(7);
   const auto train = RunWorkload(
       train_db.get(), GenerateTpchWorkload(250, &rng, train_db.get()));
-  const auto queue = RunWorkload(
-      prod_db.get(), GenerateTpchWorkload(120, &rng, prod_db.get()), 55);
 
-  // Offline: train SCALING (parallel per-operator fits — byte-identical to
-  // serial training), persist the model store, publish into the server.
+  // Offline: seed the incremental trainer with the training workload and
+  // fit SCALING (per-operator fits fanned across the pool at kBulk —
+  // byte-identical to ResourceEstimator::Train), then publish the baseline.
+  ThreadPool pool(4);
   TrainOptions scaling_options;
   scaling_options.mode = FeatureMode::kEstimated;
-  scaling_options.train_threads = 0;  // hardware concurrency
-  const ResourceEstimator trained =
-      ResourceEstimator::Train(train, scaling_options);
+  IncrementalTrainer trainer(scaling_options, RefitPolicy{}, &pool);
+  trainer.SeedAndTrain(train);
   ModelRegistry registry;
-  const uint64_t version =
-      registry.PublishSerialized("admission", trained.Serialize());
+  const uint64_t version = trainer.PublishBaseline(&registry, "admission");
   if (version == 0) {
     std::printf("model publish failed\n");
     return 1;
   }
 
-  ThreadPool pool(4);
+  // The admission queue executes on the production database; the runner's
+  // execution observer streams every executed query straight into the
+  // trainer's observation logs (the feedback edge of the loop).
+  const auto queue = RunWorkload(
+      prod_db.get(), GenerateTpchWorkload(120, &rng, prod_db.get()), 55,
+      [&trainer](const ExecutedQuery& eq) { trainer.Observe(eq); });
   ServiceOptions service_options;
   service_options.model_name = "admission";
   // The cache would collapse the repeated scan passes into lookups; real
@@ -226,5 +238,57 @@ int main() {
   std::printf("\n(SCALING should track the oracle's admissions closely; OPT "
               "misjudges query weights and either overloads windows or "
               "under-utilizes them)\n");
+
+  // --- Close the loop: refit the drifted slots, delta-publish, re-probe. ---
+  // The executed queue streamed into the observation logs as it ran; now
+  // retrain only the (operator, resource) slots whose logs crossed the
+  // policy — on this same pool at kBulk, under whatever traffic is live —
+  // and hot-swap the delta. InvalidateOperators scopes the cache work to
+  // the refitted slots (a no-op here with the cache disabled).
+  std::printf(
+      "\n== feedback loop: refit drifted operators, delta-publish ==\n");
+  std::printf("pending observations: %zu rows across the per-operator logs\n",
+              trainer.TotalPendingRows());
+  const auto refit = trainer.RefitAndPublish(&registry, "admission", &service);
+  if (!refit) {
+    std::printf("no slot crossed the refit policy; nothing republished\n");
+    return 0;
+  }
+  std::printf("refitted %zu/%zu model slots -> delta-published v%llu "
+              "(untouched operators share v%llu's exact models):\n",
+              refit.refitted.size(), kNumModelSlots,
+              static_cast<unsigned long long>(refit.version),
+              static_cast<unsigned long long>(version));
+  for (const auto& [op, resource] : refit.refitted) {
+    std::printf("  %s/%s", OpTypeName(op), ResourceName(resource));
+  }
+  std::printf("\n");
+
+  // Re-probe the queue through the service (now serving the delta): the
+  // production measurements folded in should tighten the admission quality
+  // toward the oracle.
+  std::vector<double> refit_est;
+  refit_est.reserve(queue.size());
+  for (const auto& eq : queue) {
+    const EstimateResult r =
+        service.Estimate({&eq.plan, eq.database, Resource::kCpu});
+    if (!r.ok() || r.model_version != refit.version) {
+      std::printf("post-refit probe failed: %s\n",
+                  EstimateStatusName(r.status));
+      return 1;
+    }
+    refit_est.push_back(r.value);
+  }
+  const WindowStats with_refit = Simulate(queue, refit_est, budget);
+  std::printf("\n%-12s %10s %10s %12s %12s\n", "policy", "admitted",
+              "deferred", "overloads", "utilization");
+  std::printf("%-12s %10d %10d %12d %11.0f%%\n", "oracle", oracle.admitted,
+              oracle.deferred, oracle.overloads, 100 * oracle.utilization);
+  std::printf("%-12s %10d %10d %12d %11.0f%%\n", "SCALING",
+              with_scaling.admitted, with_scaling.deferred,
+              with_scaling.overloads, 100 * with_scaling.utilization);
+  std::printf("%-12s %10d %10d %12d %11.0f%%\n", "SCALING+refit",
+              with_refit.admitted, with_refit.deferred, with_refit.overloads,
+              100 * with_refit.utilization);
   return 0;
 }

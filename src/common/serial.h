@@ -1,14 +1,60 @@
 // Minimal binary serialization helpers (little-endian, in-memory buffers)
-// used by the model store.
+// used by the model store, plus the shared whole-file byte-blob read/write
+// all persisted artifacts (model store, delta lineage, observation logs)
+// go through.
 #ifndef RESEST_COMMON_SERIAL_H_
 #define RESEST_COMMON_SERIAL_H_
 
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
+#include <system_error>
 #include <vector>
 
 namespace resest {
+
+/// Writes `bytes` to `path` atomically: the content lands in `<path>.tmp`
+/// first and is renamed over `path` only once fully written, so a crash
+/// mid-write never destroys an existing good file — the property the
+/// trainer's checkpoint/restore crash-recovery story rests on.
+inline bool WriteFileAtomic(const std::string& path,
+                            const std::vector<uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    // Close before checking: the final flush can fail (e.g. ENOSPC), and a
+    // truncated tmp must never be renamed over the good file.
+    out.close();
+    if (!out.good()) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+/// Reads the whole file into `*bytes`; false if it cannot be opened.
+inline bool ReadFileBytes(const std::string& path,
+                          std::vector<uint8_t>* bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  bytes->assign((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  return true;
+}
 
 /// Appends POD values and simple containers to a byte buffer.
 class ByteWriter {

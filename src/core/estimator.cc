@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <future>
 #include <sstream>
 #include <thread>
@@ -78,11 +77,11 @@ ResourceEstimator ResourceEstimator::Train(
 
   auto fit_one = [&](int op, int r) {
     est.models_[static_cast<size_t>(op)][static_cast<size_t>(r)] =
-        OperatorModelSet::Train(
+        std::make_shared<const OperatorModelSet>(OperatorModelSet::Train(
             static_cast<OpType>(op), static_cast<Resource>(r),
             rows[static_cast<size_t>(op)],
             targets[static_cast<size_t>(op)][static_cast<size_t>(r)],
-            set_options);
+            set_options));
   };
 
   if (train_threads <= 1 || to_fit.size() <= 1) {
@@ -106,7 +105,16 @@ const OperatorModelSet* ResourceEstimator::ModelsFor(OpType op,
                                                      Resource resource) const {
   const auto& set =
       models_[static_cast<size_t>(op)][static_cast<size_t>(resource)];
-  return set.empty() ? nullptr : &set;
+  return (set == nullptr || set->empty()) ? nullptr : set.get();
+}
+
+void ResourceEstimator::ReplaceModelSet(
+    OpType op, Resource resource, std::shared_ptr<const OperatorModelSet> set,
+    double fallback_mean) {
+  models_[static_cast<size_t>(op)][static_cast<size_t>(resource)] =
+      std::move(set);
+  fallback_mean_[static_cast<size_t>(op)][static_cast<size_t>(resource)] =
+      fallback_mean;
 }
 
 double ResourceEstimator::EstimateOperator(const PlanNode& node,
@@ -198,7 +206,9 @@ void VisitPlanOperators(
 size_t ResourceEstimator::SerializedBytes() const {
   size_t total = 0;
   for (const auto& per_op : models_) {
-    for (const auto& set : per_op) total += set.SerializedBytes();
+    for (const auto& set : per_op) {
+      if (set != nullptr) total += set->SerializedBytes();
+    }
   }
   return total;
 }
@@ -223,10 +233,10 @@ std::vector<uint8_t> ResourceEstimator::Serialize() const {
   for (int op = 0; op < kNumOpTypes; ++op) {
     for (int r = 0; r < kNumResources; ++r) {
       w.F64(fallback_mean_[static_cast<size_t>(op)][static_cast<size_t>(r)]);
-      const auto& set =
-          models_[static_cast<size_t>(op)][static_cast<size_t>(r)];
-      w.Pod(static_cast<uint8_t>(set.empty() ? 0 : 1));
-      if (!set.empty()) set.SerializeTo(&w);
+      const OperatorModelSet* set =
+          ModelsFor(static_cast<OpType>(op), static_cast<Resource>(r));
+      w.Pod(static_cast<uint8_t>(set == nullptr ? 0 : 1));
+      if (set != nullptr) set->SerializeTo(&w);
     }
   }
   return out;
@@ -256,9 +266,11 @@ bool ResourceEstimator::Deserialize(const std::vector<uint8_t>& bytes) {
         return false;
       }
       auto& set = models_[static_cast<size_t>(op)][static_cast<size_t>(res)];
-      set = OperatorModelSet();
-      if (present != 0 && !OperatorModelSet::DeserializeFrom(&r, &set)) {
-        return false;
+      set = nullptr;
+      if (present != 0) {
+        auto loaded = std::make_shared<OperatorModelSet>();
+        if (!OperatorModelSet::DeserializeFrom(&r, loaded.get())) return false;
+        set = std::move(loaded);
       }
     }
   }
@@ -266,20 +278,12 @@ bool ResourceEstimator::Deserialize(const std::vector<uint8_t>& bytes) {
 }
 
 bool ResourceEstimator::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  const std::vector<uint8_t> bytes = Serialize();
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  return out.good();
+  return WriteFileAtomic(path, Serialize());
 }
 
 bool ResourceEstimator::LoadFromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                             std::istreambuf_iterator<char>());
-  return Deserialize(bytes);
+  std::vector<uint8_t> bytes;
+  return ReadFileBytes(path, &bytes) && Deserialize(bytes);
 }
 
 std::string ResourceEstimator::ExplainOperator(const PlanNode& node,

@@ -92,6 +92,24 @@ class ResourceEstimator {
   /// The model set for one (operator, resource); null if none was trained.
   const OperatorModelSet* ModelsFor(OpType op, Resource resource) const;
 
+  /// Training-time mutator used by the incremental trainer to assemble a
+  /// delta: replaces one slot's model set (null = fall back to the mean)
+  /// and its fallback mean. Must only be called on an estimator that is not
+  /// yet shared with readers — published estimators are immutable. Model
+  /// sets are immutable after training, so a delta built as a copy of its
+  /// predecessor shares every slot this is *not* called on — compiled
+  /// forests included — by holding the same pointer; ModelsFor() pointer
+  /// equality across versions is the sharing guarantee tests assert on.
+  void ReplaceModelSet(OpType op, Resource resource,
+                       std::shared_ptr<const OperatorModelSet> set,
+                       double fallback_mean);
+
+  /// The fallback mean served when a slot has no trained model.
+  double FallbackMean(OpType op, Resource resource) const {
+    return fallback_mean_[static_cast<size_t>(op)]
+                         [static_cast<size_t>(resource)];
+  }
+
   /// Total serialized model bytes (paper Section 7.3 memory accounting).
   size_t SerializedBytes() const;
 
@@ -116,8 +134,13 @@ class ResourceEstimator {
 
  private:
   TrainOptions options_;
-  // models_[op][resource]
-  std::array<std::array<OperatorModelSet, kNumResources>, kNumOpTypes> models_;
+  // models_[op][resource]; null = untrained slot (fallback mean). Slots are
+  // shared_ptr so a copy of the estimator shares every immutable model set
+  // with the original — the representation of a delta publish.
+  std::array<std::array<std::shared_ptr<const OperatorModelSet>,
+                        kNumResources>,
+             kNumOpTypes>
+      models_;
   // Fallback per-operator mean resource (for operators with too little data).
   std::array<std::array<double, kNumResources>, kNumOpTypes> fallback_mean_{};
 };

@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/engine/plan.h"
@@ -18,6 +19,12 @@ namespace resest {
 enum class Resource { kCpu = 0, kIo = 1 };
 inline constexpr int kNumResources = 2;
 const char* ResourceName(Resource r);
+
+/// One (operator type, resource) model slot of a ResourceEstimator — the
+/// unit of incremental retraining and of scoped (delta) cache invalidation.
+using ModelSlotId = std::pair<OpType, Resource>;
+inline constexpr size_t kNumModelSlots =
+    static_cast<size_t>(kNumOpTypes) * static_cast<size_t>(kNumResources);
 
 /// All features from Tables 1 and 2. Per-child features (CIN, SINAVG,
 /// SINTOT — "1 feature per child") get two slots since operators have at

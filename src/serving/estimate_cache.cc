@@ -91,6 +91,35 @@ void EstimateCache::Clear() {
   }
 }
 
+void EstimateCache::EvictOperators(const std::vector<ModelSlotId>& ops) {
+  if (ops.empty()) return;
+  auto matches = [&ops](const Key& key) {
+    for (const auto& [op, resource] : ops) {
+      if (key.op == op && key.resource == resource) return true;
+    }
+    return false;
+  };
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (!matches(it->first)) {
+        ++it;
+        continue;
+      }
+      const uint64_t hash = HashKey(it->first);
+      auto [lo, hi] = shard->map.equal_range(hash);
+      for (auto mit = lo; mit != hi; ++mit) {
+        if (mit->second == it) {
+          shard->map.erase(mit);
+          break;
+        }
+      }
+      it = shard->lru.erase(it);
+      ++shard->invalidated;
+    }
+  }
+}
+
 EstimateCacheStats EstimateCache::stats() const {
   EstimateCacheStats s;
   s.shards.reserve(shards_.size());
@@ -102,12 +131,14 @@ EstimateCacheStats EstimateCache::stats() const {
       slice.misses = shard->misses;
       slice.insertions = shard->insertions;
       slice.evictions = shard->evictions;
+      slice.invalidated = shard->invalidated;
       slice.entries = shard->map.size();
     }
     s.hits += slice.hits;
     s.misses += slice.misses;
     s.insertions += slice.insertions;
     s.evictions += slice.evictions;
+    s.invalidated += slice.invalidated;
     s.entries += slice.entries;
     s.shards.push_back(slice);
   }

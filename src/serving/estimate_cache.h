@@ -55,6 +55,7 @@ struct EstimateCacheShardStats {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;  ///< Entries dropped by the shard's LRU bound.
+  uint64_t invalidated = 0;  ///< Entries dropped by scoped EvictOperators.
   size_t entries = 0;      ///< Current size (point-in-time, not monotonic).
 
   double HitRate() const { return CacheHitRate(hits, misses); }
@@ -67,6 +68,7 @@ struct EstimateCacheStats {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;  ///< Entries dropped by the LRU bound.
+  uint64_t invalidated = 0;  ///< Entries dropped by scoped EvictOperators.
   size_t entries = 0;      ///< Current size (point-in-time, not monotonic).
   std::vector<EstimateCacheShardStats> shards;
 
@@ -94,9 +96,17 @@ class EstimateCache {
   void Insert(const Key& key, double value);
 
   /// Drops every entry (counters are retained). Used when the service
-  /// observes a model hot-swap: version keying already guarantees stale
-  /// entries never hit, Clear just reclaims their space immediately.
+  /// observes a *full* model hot-swap: version keying already guarantees
+  /// stale entries never hit, Clear just reclaims their space immediately.
   void Clear();
+
+  /// Scoped invalidation for a delta publish: drops only entries whose
+  /// (op, resource) is in `ops`, across all versions — the refitted slots'
+  /// old entries are the only ones a delta makes dead, so every other
+  /// operator's entries survive (and keep hitting, since their slot-version
+  /// keys are unchanged across the swap). Counters are retained; dropped
+  /// entries count under `invalidated`, not `evictions`.
+  void EvictOperators(const std::vector<ModelSlotId>& ops);
 
   EstimateCacheStats stats() const;
   size_t capacity() const { return shard_capacity_ * shards_.size(); }
@@ -121,6 +131,7 @@ class EstimateCache {
     uint64_t misses = 0;
     uint64_t insertions = 0;
     uint64_t evictions = 0;
+    uint64_t invalidated = 0;
   };
 
   /// The list iterator under (hash, key) in this shard, or lru.end().

@@ -128,20 +128,51 @@ void EstimationService::ReleaseInflight() const {
 }
 
 void EstimationService::NoteServedVersion(uint64_t version) const {
-  // Version-keyed entries from an older model can never be hit again after
-  // a hot-swap; clearing on the first request served from the new version
-  // reclaims their space at once instead of waiting for LRU pressure. Only
-  // a version *increase* clears: an in-flight batch still serving the old
-  // snapshot (or a rollback via Activate) must not wipe fresh entries —
-  // ping-ponging Clears would effectively disable the cache, while stale
-  // entries are merely capacity pressure the LRU bound already handles.
+  // Slot-version-keyed entries from an older model can never be hit again
+  // after a hot-swap; clearing on the first request served from the new
+  // version reclaims their space at once instead of waiting for LRU
+  // pressure. Only a version *increase* acts: an in-flight batch still
+  // serving the old snapshot (or a rollback via Activate) must not wipe
+  // fresh entries — ping-ponging Clears would effectively disable the
+  // cache, while stale entries are merely capacity pressure the LRU bound
+  // already handles. A swap registered as a delta (InvalidateOperators)
+  // skips the Clear entirely: the only dead entries it created — the
+  // refitted slots' — were evicted at registration, and every other
+  // operator's entries are still live under their unchanged slot versions.
   uint64_t prev = served_version_.load(std::memory_order_relaxed);
   while (prev < version) {
     if (served_version_.compare_exchange_weak(prev, version,
                                               std::memory_order_relaxed)) {
-      if (prev != 0) cache_->Clear();
+      if (prev == 0) return;
+      bool scoped = false;
+      {
+        std::lock_guard<std::mutex> lock(scoped_mu_);
+        for (auto it = scoped_versions_.begin();
+             it != scoped_versions_.end();) {
+          if (*it == version) scoped = true;
+          it = *it <= version ? scoped_versions_.erase(it) : std::next(it);
+        }
+      }
+      if (!scoped) cache_->Clear();
       return;
     }
+  }
+}
+
+void EstimationService::InvalidateOperators(
+    uint64_t version, const std::vector<ModelSlotId>& ops) {
+  if (cache_ == nullptr) return;
+  cache_->EvictOperators(ops);
+  std::lock_guard<std::mutex> lock(scoped_mu_);
+  if (version <= served_version_.load(std::memory_order_relaxed)) {
+    // The swap was already observed (a request raced this call and took the
+    // conservative full Clear); a stale mark would wrongly scope some
+    // *future* unrelated swap to this delta.
+    return;
+  }
+  scoped_versions_.push_back(version);
+  if (scoped_versions_.size() > 8) {
+    scoped_versions_.erase(scoped_versions_.begin());
   }
 }
 
@@ -174,7 +205,13 @@ double EstimationService::GroupedEstimateQuery(const ModelSnapshot& snapshot,
       return;
     }
     Miss miss;
-    miss.key.model_version = snapshot.version;
+    // Keyed by the *slot* version — the version at which this (op, resource)
+    // model last changed — not the estimator version: a delta publish leaves
+    // untouched slots' versions (and thus their live cache entries) intact,
+    // while refitted slots miss exactly once and repopulate under the new
+    // version. For full publishes every slot version equals the snapshot
+    // version, reproducing the old behavior exactly.
+    miss.key.model_version = snapshot.SlotVersion(node.type, resource);
     miss.key.op = node.type;
     miss.key.resource = resource;
     miss.key.features = ExtractFeatures(node, parent, db, mode);

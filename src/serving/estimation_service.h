@@ -241,6 +241,22 @@ class EstimationService {
   /// served plans always have at least one pipeline. Not memoized.
   std::vector<double> EstimatePipelines(const EstimateRequest& request) const;
 
+  /// Scopes the cache work of an upcoming (or just-performed) hot-swap to a
+  /// delta publish: `version` is the newly published registry version and
+  /// `ops` the (op, resource) slots it refitted. The refitted slots' now-
+  /// dead entries are evicted immediately, and when the service first
+  /// serves `version` it skips the full Clear it would otherwise perform —
+  /// entries for untouched operators survive the swap and keep hitting
+  /// (their keys carry per-slot versions, which a delta leaves unchanged;
+  /// see ModelSnapshot::SlotVersion). Correctness never depends on this
+  /// call: slot-version keying alone guarantees stale entries cannot hit —
+  /// invalidation scope only decides how much live cache a swap preserves.
+  /// Call it right after ModelRegistry::PublishDelta, before traffic is
+  /// served from the new version (a request racing the call may still
+  /// trigger the conservative full Clear).
+  void InvalidateOperators(uint64_t version,
+                           const std::vector<ModelSlotId>& ops);
+
   ServiceStats stats() const;
   /// Full cache statistics including the per-shard breakdown (ServiceStats
   /// carries only the totals) — how an operator spots a skewed feature
@@ -323,6 +339,13 @@ class EstimationService {
   mutable std::atomic<uint64_t> errors_{0};
   mutable std::atomic<uint64_t> deadline_expired_{0};
   mutable std::atomic<uint64_t> served_version_{0};
+
+  /// Versions whose swap was scoped by InvalidateOperators: serving one of
+  /// these for the first time skips the full cache Clear (the delta's dead
+  /// entries were already evicted). Bounded; stale marks are pruned as the
+  /// served version advances past them.
+  mutable std::mutex scoped_mu_;
+  mutable std::vector<uint64_t> scoped_versions_;
 
   /// Per-priority accounting, aggregated into ServiceStats::priorities.
   struct LaneCounters {

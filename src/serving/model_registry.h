@@ -9,6 +9,7 @@
 #ifndef RESEST_SERVING_MODEL_REGISTRY_H_
 #define RESEST_SERVING_MODEL_REGISTRY_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -20,10 +21,30 @@
 
 namespace resest {
 
+/// Per-slot delta lineage: the registry version at which each (operator,
+/// resource) model slot last changed. A full publish stamps every slot with
+/// the new version; a delta publish (PublishDelta) stamps only the refitted
+/// slots and inherits the rest from the base version — which is what lets
+/// the serving cache keep entries for untouched operators alive across a
+/// hot-swap (keys carry the slot version, not the estimator version).
+using SlotVersionMap =
+    std::array<std::array<uint64_t, kNumResources>, kNumOpTypes>;
+
 /// A snapshot handle: the estimator plus the version it was published as.
 struct ModelSnapshot {
   std::shared_ptr<const ResourceEstimator> estimator;
   uint64_t version = 0;
+  /// Delta lineage of this version; null for snapshots that predate lineage
+  /// tracking (every slot then counts as last-changed at `version`).
+  std::shared_ptr<const SlotVersionMap> slots;
+
+  /// Version at which this snapshot's (op, resource) slot last changed.
+  uint64_t SlotVersion(OpType op, Resource resource) const {
+    return slots == nullptr
+               ? version
+               : (*slots)[static_cast<size_t>(op)]
+                         [static_cast<size_t>(resource)];
+  }
 
   explicit operator bool() const { return estimator != nullptr; }
 };
@@ -36,6 +57,19 @@ class ModelRegistry {
   uint64_t Publish(const std::string& name,
                    std::shared_ptr<const ResourceEstimator> estimator);
 
+  /// Publishes `estimator` as a *delta* over `base_version`: only the
+  /// `refitted` slots are stamped with the new version in the lineage, every
+  /// other slot inherits its last-changed version from the base (the caller
+  /// guarantees those slots share the base's model sets — see
+  /// ResourceEstimator::ReplaceModelSet). If the base version is no longer
+  /// retained, the publish degrades to a full one (all slots stamped new),
+  /// which is always safe — lineage only ever widens invalidation. Returns
+  /// the new version, 0 on a null estimator.
+  uint64_t PublishDelta(const std::string& name,
+                        std::shared_ptr<const ResourceEstimator> estimator,
+                        uint64_t base_version,
+                        const std::vector<ModelSlotId>& refitted);
+
   /// Deserializes `bytes` (ResourceEstimator::Serialize format) and
   /// publishes the result. Returns 0 on corrupt input.
   uint64_t PublishSerialized(const std::string& name,
@@ -43,13 +77,21 @@ class ModelRegistry {
 
   /// Loads a model store written by SaveActive (or
   /// ResourceEstimator::SaveToFile) and publishes it — how a restarted
-  /// server comes back without retraining. Returns 0 on a missing or
-  /// corrupt file; the active version is untouched on failure.
+  /// server comes back without retraining. If a `<path>.lineage` sidecar
+  /// (written by SaveActive) is present and valid, the saved delta lineage
+  /// and version numbering are restored too: the model is republished at a
+  /// version no smaller than any saved slot version, so lineage versions
+  /// stay unique within the restarted registry and a resumed incremental
+  /// trainer can keep delta-publishing mid-stream. Returns 0 on a missing
+  /// or corrupt model file; the active version is untouched on failure.
   uint64_t PublishFromFile(const std::string& name, const std::string& path);
 
   /// Persists the active version of `name` as `<dir>/<name>.model`
-  /// (creating `dir` if needed), in the format PublishFromFile loads.
-  /// Returns false if `name` has no active version or the write fails.
+  /// (creating `dir` if needed), in the format PublishFromFile loads, plus
+  /// a `<name>.model.lineage` sidecar carrying the version and delta
+  /// lineage. Returns false if `name` has no active version or the model
+  /// write fails (the lineage sidecar is best-effort: PublishFromFile falls
+  /// back to a full-stamp lineage without it).
   bool SaveActive(const std::string& name, const std::string& dir) const;
 
   /// Snapshot of the active version of `name` (empty snapshot if absent).
@@ -80,10 +122,26 @@ class ModelRegistry {
   }
 
  private:
+  struct Version {
+    std::shared_ptr<const ResourceEstimator> estimator;
+    std::shared_ptr<const SlotVersionMap> slots;
+  };
   struct Entry {
-    std::map<uint64_t, std::shared_ptr<const ResourceEstimator>> versions;
+    std::map<uint64_t, Version> versions;
     uint64_t active = 0;
   };
+
+  /// Publishes under the registry lock. `slots` (null = stamp every slot
+  /// with the new version) is the inherited lineage; the `refitted` slots
+  /// are stamped with the assigned version *after* it is minted, so the
+  /// stamp can never diverge from the version actually published.
+  /// `min_version` floors the assigned number (used when restoring
+  /// persisted lineage).
+  uint64_t PublishLocked(const std::string& name,
+                         std::shared_ptr<const ResourceEstimator> estimator,
+                         std::shared_ptr<SlotVersionMap> slots,
+                         uint64_t min_version,
+                         const std::vector<ModelSlotId>& refitted);
 
   void EvictLocked(Entry* entry);
 

@@ -1,0 +1,416 @@
+#include "src/training/incremental_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <future>
+#include <utility>
+
+#include "src/common/serial.h"
+#include "src/serving/estimation_service.h"
+#include "src/serving/model_registry.h"
+
+namespace resest {
+
+namespace {
+
+constexpr uint32_t kLogMagic = 0x524f424c;  // "ROBL"
+constexpr uint32_t kLogVersion = 1;
+
+std::string LogPath(const std::string& dir, const std::string& name) {
+  return (std::filesystem::path(dir) / (name + ".obslog")).string();
+}
+
+std::string ModelPath(const std::string& dir, const std::string& name) {
+  return (std::filesystem::path(dir) / (name + ".model")).string();
+}
+
+}  // namespace
+
+IncrementalTrainer::IncrementalTrainer(TrainOptions options, RefitPolicy policy,
+                                       ThreadPool* pool)
+    : options_(options), policy_(policy), pool_(pool) {}
+
+std::shared_ptr<const ResourceEstimator> IncrementalTrainer::SeedAndTrain(
+    const std::vector<ExecutedQuery>& workload) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A blank estimator carrying the training options: every slot falls
+    // back to mean 0 with no model, exactly what from-scratch training on
+    // an empty workload yields. The seed fit below is then a forced refit
+    // of every slot with data — the same code path every later delta uses.
+    base_ = std::make_shared<const ResourceEstimator>(
+        ResourceEstimator::Train({}, options_));
+    base_version_ = 0;
+  }
+  ObserveAll(workload);
+  RefitAll();
+  return base();
+}
+
+void IncrementalTrainer::Observe(const ExecutedQuery& executed) {
+  // Same admission rule and same pre-order operator visit as
+  // ResourceEstimator::Train — log order is fit order, and fit order is
+  // part of the byte-identity contract.
+  if (!executed.plan.root || executed.database == nullptr) return;
+  const FeatureMode mode = options_.mode;
+  std::lock_guard<std::mutex> lock(mu_);
+  VisitPlanOperators(
+      executed.plan, [&](const PlanNode& node, const PlanNode* parent) {
+        const FeatureVector row =
+            ExtractFeatures(node, parent, *executed.database, mode);
+        const size_t op = static_cast<size_t>(node.type);
+        const double labels[kNumResources] = {
+            node.actual.cpu, static_cast<double>(node.actual.logical_io)};
+        for (size_t r = 0; r < kNumResources; ++r) {
+          ObservationLog& log = logs_[op][r];
+          log.rows.push_back(row);
+          log.labels.push_back(labels[r]);
+          log.label_sum += labels[r];
+        }
+      });
+}
+
+void IncrementalTrainer::ObserveAll(
+    const std::vector<ExecutedQuery>& workload) {
+  for (const ExecutedQuery& eq : workload) Observe(eq);
+}
+
+void IncrementalTrainer::Append(OpType op, Resource resource,
+                                const FeatureVector& row, double label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ObservationLog& log =
+      logs_[static_cast<size_t>(op)][static_cast<size_t>(resource)];
+  log.rows.push_back(row);
+  log.labels.push_back(label);
+  log.label_sum += label;
+}
+
+bool IncrementalTrainer::CrossedLocked(const ObservationLog& log) const {
+  const size_t pending = log.rows.size() - log.refit_rows;
+  if (pending == 0) return false;
+  if (pending >= policy_.min_new_rows) return true;
+  if (policy_.drift_threshold > 0.0 && log.refit_rows > 0) {
+    const double mean =
+        log.label_sum / static_cast<double>(log.labels.size());
+    const double denom = std::abs(log.refit_mean) > 0.0
+                             ? std::abs(log.refit_mean)
+                             : 1.0;
+    if (std::abs(mean - log.refit_mean) / denom >= policy_.drift_threshold) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ModelSlotId> IncrementalTrainer::AffectedSlots() const {
+  std::vector<ModelSlotId> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int op = 0; op < kNumOpTypes; ++op) {
+    for (int r = 0; r < kNumResources; ++r) {
+      if (CrossedLocked(
+              logs_[static_cast<size_t>(op)][static_cast<size_t>(r)])) {
+        out.emplace_back(static_cast<OpType>(op), static_cast<Resource>(r));
+      }
+    }
+  }
+  return out;
+}
+
+IncrementalTrainer::RefitResult IncrementalTrainer::RefitAffected() {
+  std::lock_guard<std::mutex> refit_lock(refit_mu_);
+  return RefitLocked(false);
+}
+
+IncrementalTrainer::RefitResult IncrementalTrainer::RefitAll() {
+  std::lock_guard<std::mutex> refit_lock(refit_mu_);
+  return RefitLocked(true);
+}
+
+IncrementalTrainer::RefitResult IncrementalTrainer::RefitLocked(bool force) {
+  struct Work {
+    ModelSlotId slot{OpType::kTableScan, Resource::kCpu};
+    std::vector<FeatureVector> rows;
+    std::vector<double> labels;
+  };
+  std::vector<Work> work;
+  std::shared_ptr<const ResourceEstimator> base;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (base_ == nullptr) return {};
+    base = base_;
+    for (int op = 0; op < kNumOpTypes; ++op) {
+      for (int r = 0; r < kNumResources; ++r) {
+        const ObservationLog& log =
+            logs_[static_cast<size_t>(op)][static_cast<size_t>(r)];
+        const bool due = force ? !log.rows.empty() : CrossedLocked(log);
+        if (!due) continue;
+        Work w;
+        w.slot = {static_cast<OpType>(op), static_cast<Resource>(r)};
+        // Copy a consistent snapshot: appends racing the fit stay pending.
+        w.rows = log.rows;
+        w.labels = log.labels;
+        work.push_back(std::move(w));
+      }
+    }
+  }
+  if (work.empty()) return {};  // below threshold: a no-op, publish nothing
+
+  OperatorModelSet::TrainOptions set_options;
+  set_options.mart = options_.mart;
+  set_options.enable_scaling = options_.enable_scaling;
+  set_options.normalize_dependents = options_.normalize_dependents;
+  set_options.max_scale_features = options_.max_scale_features;
+
+  struct FitOut {
+    std::shared_ptr<const OperatorModelSet> set;
+    double mean = 0.0;
+  };
+  // Per-slot fits from the cumulative log, mirroring from-scratch training
+  // exactly: ordered label sum for the fallback mean, the
+  // min_rows_per_operator rule, and the same OperatorModelSet::Train
+  // inputs. Fits are mutually independent and MART is seeded, so pool
+  // fan-out reproduces the serial bytes for any thread count.
+  auto fit_one = [this, &set_options](const Work& w) {
+    FitOut out;
+    double sum = 0.0;
+    for (double v : w.labels) sum += v;
+    out.mean =
+        w.labels.empty() ? 0.0 : sum / static_cast<double>(w.labels.size());
+    if (w.rows.size() >= options_.min_rows_per_operator) {
+      out.set = std::make_shared<const OperatorModelSet>(
+          OperatorModelSet::Train(w.slot.first, w.slot.second, w.rows,
+                                  w.labels, set_options));
+    }
+    return out;
+  };
+
+  std::vector<FitOut> fitted(work.size());
+  if (pool_ == nullptr || work.size() <= 1) {
+    for (size_t i = 0; i < work.size(); ++i) fitted[i] = fit_one(work[i]);
+  } else {
+    // kBulk: a background refit must never displace serving traffic on the
+    // shared pool — urgent and normal estimation lanes drain first.
+    std::vector<std::future<void>> fits;
+    fits.reserve(work.size());
+    for (size_t i = 0; i < work.size(); ++i) {
+      fits.push_back(pool_->Submit(TaskPriority::kBulk, [&, i]() {
+        fitted[i] = fit_one(work[i]);
+      }));
+    }
+    for (auto& f : fits) f.get();
+  }
+
+  auto delta = std::make_shared<ResourceEstimator>(*base);
+  RefitResult result;
+  for (size_t i = 0; i < work.size(); ++i) {
+    delta->ReplaceModelSet(work[i].slot.first, work[i].slot.second,
+                           fitted[i].set, fitted[i].mean);
+    result.refitted.push_back(work[i].slot);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < work.size(); ++i) {
+      ObservationLog& log =
+          logs_[static_cast<size_t>(work[i].slot.first)]
+               [static_cast<size_t>(work[i].slot.second)];
+      log.refit_rows = work[i].rows.size();
+      log.refit_mean = fitted[i].mean;
+      if (std::find(unpublished_refits_.begin(), unpublished_refits_.end(),
+                    work[i].slot) == unpublished_refits_.end()) {
+        unpublished_refits_.push_back(work[i].slot);
+      }
+    }
+    base_ = delta;
+  }
+  result.estimator = std::move(delta);
+  return result;
+}
+
+uint64_t IncrementalTrainer::PublishBaseline(ModelRegistry* registry,
+                                             const std::string& name) {
+  std::shared_ptr<const ResourceEstimator> base;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    base = base_;
+  }
+  if (base == nullptr) return 0;
+  const uint64_t version = registry->Publish(name, base);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (base_ == base) {
+    base_version_ = version;
+    // A full publish stamps every slot; nothing diverges from it.
+    unpublished_refits_.clear();
+  }
+  return version;
+}
+
+IncrementalTrainer::RefitResult IncrementalTrainer::RefitAndPublish(
+    ModelRegistry* registry, const std::string& name,
+    EstimationService* service) {
+  // Hold refit_mu_ across refit *and* publish: a second publisher must see
+  // this delta's version as its base, or its lineage would stamp our
+  // refitted slots as unchanged-since-an-older-version and stale cache
+  // entries could hit under them.
+  std::lock_guard<std::mutex> refit_lock(refit_mu_);
+  uint64_t published_base = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    published_base = base_version_;
+  }
+  RefitResult result = RefitLocked(false);
+  if (!result) return result;
+  // Stamp and invalidate every slot that diverged from the published base
+  // — this round's refits plus any earlier unpublished RefitAffected/
+  // RefitAll rounds (unpublished_refits_ accumulated them), which the
+  // delta's estimator also carries.
+  std::vector<ModelSlotId> diverged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    diverged = unpublished_refits_;
+  }
+  result.version =
+      registry->PublishDelta(name, result.estimator, published_base, diverged);
+  if (service != nullptr) {
+    service->InvalidateOperators(result.version, diverged);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  base_version_ = result.version;
+  unpublished_refits_.clear();
+  return result;
+}
+
+void IncrementalTrainer::Attach(std::shared_ptr<const ResourceEstimator> base,
+                                uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  base_ = std::move(base);
+  base_version_ = version;
+  unpublished_refits_.clear();
+}
+
+bool IncrementalTrainer::Checkpoint(const ModelRegistry& registry,
+                                    const std::string& name,
+                                    const std::string& dir) const {
+  if (!registry.SaveActive(name, dir)) return false;
+  return SaveLogs(LogPath(dir, name));
+}
+
+uint64_t IncrementalTrainer::Restore(ModelRegistry* registry,
+                                     const std::string& name,
+                                     const std::string& dir) {
+  // Parse everything before mutating anything: a failure at any step must
+  // leave both the trainer and the registry exactly as they were.
+  std::vector<uint8_t> bytes;
+  LogArray loaded;
+  if (!ReadFileBytes(LogPath(dir, name), &bytes) ||
+      !ParseLogs(bytes, &loaded)) {
+    return 0;
+  }
+  const uint64_t version =
+      registry->PublishFromFile(name, ModelPath(dir, name));
+  if (version == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  logs_ = std::move(loaded);
+  base_ = registry->Get(name).estimator;
+  base_version_ = version;
+  unpublished_refits_.clear();
+  return version;
+}
+
+bool IncrementalTrainer::SaveLogs(const std::string& path) const {
+  std::vector<uint8_t> bytes;
+  ByteWriter w(&bytes);
+  w.U32(kLogMagic);
+  w.U32(kLogVersion);
+  w.U32(static_cast<uint32_t>(kNumFeatures));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& per_op : logs_) {
+    for (const ObservationLog& log : per_op) {
+      w.Pod(static_cast<uint64_t>(log.rows.size()));
+      for (const FeatureVector& row : log.rows) w.Pod(row);
+      for (double label : log.labels) w.F64(label);
+      w.Pod(static_cast<uint64_t>(log.refit_rows));
+      w.F64(log.refit_mean);
+    }
+  }
+  return WriteFileAtomic(path, bytes);
+}
+
+bool IncrementalTrainer::LoadLogs(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  LogArray loaded;
+  if (!ReadFileBytes(path, &bytes) || !ParseLogs(bytes, &loaded)) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  logs_ = std::move(loaded);
+  return true;
+}
+
+bool IncrementalTrainer::ParseLogs(const std::vector<uint8_t>& bytes,
+                                   LogArray* out) {
+  ByteReader r(bytes);
+  uint32_t magic = 0, format = 0, num_features = 0;
+  if (!r.U32(&magic) || magic != kLogMagic) return false;
+  if (!r.U32(&format) || format != kLogVersion) return false;
+  if (!r.U32(&num_features) || num_features != kNumFeatures) return false;
+
+  LogArray& loaded = *out;
+  for (auto& per_op : loaded) {
+    for (ObservationLog& log : per_op) {
+      uint64_t count = 0, refit_rows = 0;
+      if (!r.Pod(&count)) return false;
+      // Bound the count by the bytes actually present before resizing, so
+      // a corrupt count field fails the parse instead of throwing on a
+      // huge allocation.
+      const uint64_t remaining = bytes.size() - r.position();
+      if (count > remaining / sizeof(FeatureVector)) return false;
+      log.rows.resize(count);
+      for (FeatureVector& row : log.rows) {
+        if (!r.Pod(&row)) return false;
+      }
+      log.labels.resize(count);
+      for (double& label : log.labels) {
+        if (!r.F64(&label)) return false;
+      }
+      if (!r.Pod(&refit_rows) || !r.F64(&log.refit_mean)) return false;
+      if (refit_rows > count) return false;
+      log.refit_rows = refit_rows;
+      // Running ordered sum, identical to what incremental appends build.
+      log.label_sum = 0.0;
+      for (double label : log.labels) log.label_sum += label;
+    }
+  }
+  return r.AtEnd();
+}
+
+IncrementalTrainer::SlotLogStats IncrementalTrainer::LogStats(
+    OpType op, Resource resource) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ObservationLog& log =
+      logs_[static_cast<size_t>(op)][static_cast<size_t>(resource)];
+  return {log.rows.size(), log.rows.size() - log.refit_rows};
+}
+
+size_t IncrementalTrainer::TotalPendingRows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t pending = 0;
+  for (const auto& per_op : logs_) {
+    for (const ObservationLog& log : per_op) {
+      pending += log.rows.size() - log.refit_rows;
+    }
+  }
+  return pending;
+}
+
+std::shared_ptr<const ResourceEstimator> IncrementalTrainer::base() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_;
+}
+
+uint64_t IncrementalTrainer::base_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_version_;
+}
+
+}  // namespace resest

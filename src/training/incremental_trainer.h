@@ -1,0 +1,210 @@
+// Incremental retraining with delta publish (the paper's Section 8 "living
+// system" direction): executed queries flow back into per-(operator,
+// resource) append-only observation logs, and only the model slots whose
+// logs crossed a refit policy are retrained — on the shared ThreadPool at
+// TaskPriority::kBulk, so serving traffic is never displaced. The result is
+// published as a *delta*: a new ResourceEstimator that shares (by
+// shared_ptr) every untouched model set — compiled forests included — with
+// its predecessor, pushed through ModelRegistry::PublishDelta plus
+// EstimationService::InvalidateOperators so cache entries for unaffected
+// operators survive the hot-swap.
+//
+// Determinism contract (pinned by tests/incremental_trainer_test.cc): a
+// refit of a slot from its cumulative log (seed rows + appended rows) is
+// byte-identical to what a from-scratch ResourceEstimator::Train on the
+// concatenated dataset would produce for that slot, for every (OpType,
+// Resource) pair — same fit inputs in the same order, seeded MART, and the
+// same fallback-mean summation order. A delta therefore never changes an
+// untouched operator's estimates by even one bit (it shares the pointer),
+// and a forced full refit reproduces from-scratch training byte for byte.
+#ifndef RESEST_TRAINING_INCREMENTAL_TRAINER_H_
+#define RESEST_TRAINING_INCREMENTAL_TRAINER_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/estimator.h"
+
+namespace resest {
+
+class EstimationService;
+class ModelRegistry;
+
+/// When a slot's observation log has accumulated enough to refit: either a
+/// row-count threshold (enough new evidence) or a relative drift of the
+/// cumulative mean label away from its value at the last refit (the
+/// workload's cost distribution moved, even if slowly).
+struct RefitPolicy {
+  /// Appended rows since the last refit that force a refit on their own.
+  size_t min_new_rows = 64;
+  /// Relative mean-label drift (|mean - refit_mean| / |refit_mean|) that
+  /// forces a refit regardless of row count; 0 disables the drift trigger.
+  /// Only consulted for slots that have been fitted at least once.
+  double drift_threshold = 0.25;
+};
+
+/// Owns the per-(OpType, Resource) observation logs and the retrain-only-
+/// what-changed loop. All methods are thread-safe; Observe/Append may race
+/// RefitAffected freely (a refit trains from a consistent copy of each
+/// affected log, and appends that race it simply stay pending for the next
+/// round). Refits are serialized with each other. Do not call Refit* from a
+/// task running on the shared pool — it blocks on pool futures.
+class IncrementalTrainer {
+ public:
+  /// `pool` (optional) runs per-slot fits at TaskPriority::kBulk; null fits
+  /// serially. Either way the trained bytes are identical (MART is seeded
+  /// and every fit is independent).
+  explicit IncrementalTrainer(TrainOptions options, RefitPolicy policy = {},
+                              ThreadPool* pool = nullptr);
+
+  /// Seeds the logs from an executed workload and trains the baseline
+  /// estimator from them — byte-identical to
+  /// ResourceEstimator::Train(workload, options), but running through the
+  /// same per-slot refit path every later delta uses.
+  std::shared_ptr<const ResourceEstimator> SeedAndTrain(
+      const std::vector<ExecutedQuery>& workload);
+
+  /// Appends one executed query's per-operator feature/label rows to the
+  /// logs (the feedback edge: execute -> observe). Skips queries with no
+  /// plan or database, exactly as training does.
+  void Observe(const ExecutedQuery& executed);
+  void ObserveAll(const std::vector<ExecutedQuery>& workload);
+
+  /// Low-level log append for a single slot — the seam for per-operator
+  /// feedback sources (and for tests steering exactly which slots cross
+  /// the refit policy).
+  void Append(OpType op, Resource resource, const FeatureVector& row,
+              double label);
+
+  /// Slots whose logs currently cross the refit policy.
+  std::vector<ModelSlotId> AffectedSlots() const;
+
+  struct RefitResult {
+    /// The delta estimator; null when no slot crossed the policy (the
+    /// refit was a no-op and nothing was published).
+    std::shared_ptr<const ResourceEstimator> estimator;
+    std::vector<ModelSlotId> refitted;
+    /// Registry version when published via RefitAndPublish; 0 otherwise.
+    uint64_t version = 0;
+
+    explicit operator bool() const { return estimator != nullptr; }
+  };
+
+  /// Retrains only the slots whose logs crossed the policy and returns the
+  /// delta (untouched slots share the predecessor's model sets by pointer).
+  /// A no-op — returning a null estimator — when nothing crossed.
+  RefitResult RefitAffected();
+
+  /// Forces a refit of every slot that has any rows — a full rebuild from
+  /// the cumulative logs (byte-identical to from-scratch training on them).
+  RefitResult RefitAll();
+
+  /// Publishes the current baseline (after SeedAndTrain/Restore) under
+  /// `name`; later RefitAndPublish calls delta-publish against it. Returns
+  /// the version, 0 if there is no baseline.
+  uint64_t PublishBaseline(ModelRegistry* registry, const std::string& name);
+
+  /// RefitAffected + ModelRegistry::PublishDelta + (optionally)
+  /// EstimationService::InvalidateOperators, in that order — the complete
+  /// observe -> refit -> republish step. Below-threshold refits publish
+  /// nothing and leave the registry untouched.
+  RefitResult RefitAndPublish(ModelRegistry* registry, const std::string& name,
+                              EstimationService* service = nullptr);
+
+  /// Adopts an externally obtained baseline without touching the logs.
+  /// CAUTION: a refit trains each slot from its cumulative log *only* — the
+  /// log is the slot's complete dataset. Attaching a baseline whose
+  /// training rows are not in the logs means a later refit of a slot
+  /// discards that baseline's data for it (down to a constant model if the
+  /// log holds fewer than min_rows_per_operator rows). Use Restore(), which
+  /// reloads logs and model together, for the restart path; after a bare
+  /// Attach, re-seed the logs (ObserveAll) before relying on refits.
+  void Attach(std::shared_ptr<const ResourceEstimator> base, uint64_t version);
+
+  /// Persists registry model + lineage (ModelRegistry::SaveActive) and the
+  /// observation logs (`<dir>/<name>.obslog`) so a restarted process can
+  /// Restore() and resume mid-stream — pending rows and all. Checkpoint at
+  /// a *published* boundary (right after RefitAndPublish, or before any
+  /// refit): the saved model is the registry's active version, so refits
+  /// performed but not yet published are not represented in it, while the
+  /// logs would record their slots as already covered.
+  bool Checkpoint(const ModelRegistry& registry, const std::string& name,
+                  const std::string& dir) const;
+
+  /// Reloads the logs, republishes the persisted model (PublishFromFile,
+  /// lineage included) and attaches it as the baseline. Returns the
+  /// published version, 0 on failure (registry untouched when the log file
+  /// is missing or corrupt).
+  uint64_t Restore(ModelRegistry* registry, const std::string& name,
+                   const std::string& dir);
+
+  /// Raw log (de)serialization; Checkpoint/Restore are the usual entry.
+  bool SaveLogs(const std::string& path) const;
+  bool LoadLogs(const std::string& path);
+
+  struct SlotLogStats {
+    size_t rows = 0;     ///< Cumulative rows in the slot's log.
+    size_t pending = 0;  ///< Rows appended since the slot's last refit.
+  };
+  SlotLogStats LogStats(OpType op, Resource resource) const;
+  size_t TotalPendingRows() const;
+
+  std::shared_ptr<const ResourceEstimator> base() const;
+  uint64_t base_version() const;
+  const TrainOptions& options() const { return options_; }
+  const RefitPolicy& policy() const { return policy_; }
+
+ private:
+  /// Append-only per-slot dataset. `rows`/`labels` grow in observation
+  /// order; `refit_rows` marks the prefix covered by the last refit, and
+  /// `label_sum` is the running ordered sum (so the refit's fallback mean
+  /// is bit-identical to from-scratch training's ordered summation).
+  struct ObservationLog {
+    std::vector<FeatureVector> rows;
+    std::vector<double> labels;
+    double label_sum = 0.0;
+    size_t refit_rows = 0;
+    double refit_mean = 0.0;
+  };
+
+  using LogArray =
+      std::array<std::array<ObservationLog, kNumResources>, kNumOpTypes>;
+
+  bool CrossedLocked(const ObservationLog& log) const;
+  /// The refit body; caller must hold refit_mu_.
+  RefitResult RefitLocked(bool force);
+  /// Parses a SaveLogs byte image; false on corrupt input (`*out`
+  /// unspecified then).
+  static bool ParseLogs(const std::vector<uint8_t>& bytes, LogArray* out);
+
+  const TrainOptions options_;
+  const RefitPolicy policy_;
+  ThreadPool* const pool_;
+
+  mutable std::mutex mu_;  ///< Guards logs_, base_, base_version_,
+                           ///< unpublished_refits_.
+  LogArray logs_;
+  std::shared_ptr<const ResourceEstimator> base_;
+  uint64_t base_version_ = 0;
+  /// Slots refitted since base_version_ was last published. A publish must
+  /// stamp (and invalidate) every slot that diverged from the published
+  /// base — including ones refitted by earlier unpublished RefitAffected/
+  /// RefitAll rounds — or stale cache entries could hit under an
+  /// unchanged-looking slot version.
+  std::vector<ModelSlotId> unpublished_refits_;
+
+  /// Serializes refits — and, in RefitAndPublish, the whole
+  /// refit-then-publish step — with each other: two concurrent publishers
+  /// must not delta-publish against the same base version, or the second
+  /// delta's lineage would under-stamp the first's refitted slots.
+  std::mutex refit_mu_;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_TRAINING_INCREMENTAL_TRAINER_H_

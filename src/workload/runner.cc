@@ -6,7 +6,8 @@ namespace resest {
 
 std::vector<ExecutedQuery> RunWorkload(const Database* db,
                                        const std::vector<QuerySpec>& queries,
-                                       uint64_t noise_seed) {
+                                       uint64_t noise_seed,
+                                       const ExecutionObserver& on_executed) {
   std::vector<ExecutedQuery> out;
   out.reserve(queries.size());
   PlanBuilder builder(db);
@@ -20,6 +21,7 @@ std::vector<ExecutedQuery> RunWorkload(const Database* db,
       eq.database = db;
       eq.scale_factor = db->scale_factor();
       out.push_back(std::move(eq));
+      if (on_executed) on_executed(out.back());
     } catch (const std::exception&) {
       // Malformed template for this schema; skip (mirrors dropping queries
       // that fail to run in a real experimental harness).

@@ -3,6 +3,7 @@
 #ifndef RESEST_WORKLOAD_RUNNER_H_
 #define RESEST_WORKLOAD_RUNNER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,12 +24,22 @@ struct ExecutedQuery {
   double scale_factor = 1.0;
 };
 
+/// Invoked once per successfully executed query, right after its measured
+/// stats are filled in — the feedback edge a living deployment uses to
+/// stream executions into training logs (see
+/// src/training/incremental_trainer.h) without a second pass.
+using ExecutionObserver = std::function<void(const ExecutedQuery&)>;
+
 /// Builds, runs and collects plans for a batch of queries on one database.
 /// Queries whose plans cannot be built or executed (e.g. a template asking
-/// for a column the schema lacks) are skipped.
+/// for a column the schema lacks) are skipped — skipped queries are not
+/// observed. `on_executed` (optional) sees each executed query in
+/// completion order, before the batch returns.
 std::vector<ExecutedQuery> RunWorkload(const Database* db,
                                        const std::vector<QuerySpec>& queries,
-                                       uint64_t noise_seed = 7);
+                                       uint64_t noise_seed = 7,
+                                       const ExecutionObserver& on_executed =
+                                           nullptr);
 
 }  // namespace resest
 

@@ -205,6 +205,70 @@ TEST(EstimateCacheTest, SkewedKeyTrafficLandsOnOneShard) {
   EXPECT_EQ(stats.hits, 100u);
 }
 
+EstimateCache::Key MakeSlotKey(OpType op, Resource resource, double value) {
+  EstimateCache::Key key;
+  key.model_version = 1;
+  key.op = op;
+  key.resource = resource;
+  key.features.fill(0.0);
+  key.features[0] = value;
+  return key;
+}
+
+TEST(EstimateCacheTest, EvictOperatorsDropsOnlyMatchingSlots) {
+  EstimateCacheOptions options;
+  options.shards = 4;
+  EstimateCache cache(options);
+  // A mixed population across three slots; the kSort/kCpu slot also gets
+  // entries under two versions (scoped eviction must drop all versions of
+  // a refitted slot — every one of them is dead after the refit).
+  for (int i = 0; i < 16; ++i) {
+    cache.Insert(MakeSlotKey(OpType::kSort, Resource::kCpu, i), 1.0);
+    cache.Insert(MakeSlotKey(OpType::kSort, Resource::kIo, i), 2.0);
+    cache.Insert(MakeSlotKey(OpType::kHashJoin, Resource::kCpu, i), 3.0);
+  }
+  auto old_version = MakeSlotKey(OpType::kSort, Resource::kCpu, 99.0);
+  old_version.model_version = 7;
+  cache.Insert(old_version, 4.0);
+  ASSERT_EQ(cache.stats().entries, 49u);
+
+  cache.EvictOperators({{OpType::kSort, Resource::kCpu}});
+
+  const EstimateCacheStats stats = cache.stats();
+  // Exactly the 17 kSort/kCpu entries dropped, accounted as scoped
+  // invalidations — LRU eviction counters untouched.
+  EXPECT_EQ(stats.entries, 32u);
+  EXPECT_EQ(stats.invalidated, 17u);
+  EXPECT_EQ(stats.evictions, 0u);
+  uint64_t shard_invalidated = 0;
+  size_t shard_entries = 0;
+  for (const EstimateCacheShardStats& shard : stats.shards) {
+    shard_invalidated += shard.invalidated;
+    shard_entries += shard.entries;
+  }
+  EXPECT_EQ(shard_invalidated, stats.invalidated);
+  EXPECT_EQ(shard_entries, stats.entries);
+
+  // The untouched slots still hit; the refitted slot misses.
+  double value = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(
+        cache.Lookup(MakeSlotKey(OpType::kSort, Resource::kCpu, i), &value));
+    ASSERT_TRUE(
+        cache.Lookup(MakeSlotKey(OpType::kSort, Resource::kIo, i), &value));
+    EXPECT_EQ(value, 2.0);
+    ASSERT_TRUE(cache.Lookup(MakeSlotKey(OpType::kHashJoin, Resource::kCpu, i),
+                             &value));
+    EXPECT_EQ(value, 3.0);
+  }
+  EXPECT_FALSE(cache.Lookup(old_version, &value));
+
+  // An empty scope is a no-op.
+  cache.EvictOperators({});
+  EXPECT_EQ(cache.stats().entries, 32u);
+  EXPECT_EQ(cache.stats().invalidated, 17u);
+}
+
 TEST(EstimateCacheTest, ClearDropsEntriesKeepsCounters) {
   EstimateCache cache;
   cache.Insert(MakeKey(1, 1.0), 1.0);

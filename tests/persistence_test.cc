@@ -1,11 +1,15 @@
 // Tests for the model store: full-estimator serialization round-trips,
-// file persistence, corruption rejection, and the explain facility.
+// file persistence, corruption rejection, the explain facility, and
+// crash-recovery of the incremental retraining pipeline (persisted
+// observation logs + delta lineage replay byte-identically).
 #include <cstdio>
 #include <filesystem>
 
 #include "gtest/gtest.h"
 #include "src/common/serial.h"
 #include "src/core/estimator.h"
+#include "src/serving/model_registry.h"
+#include "src/training/incremental_trainer.h"
 #include "src/workload/runner.h"
 #include "src/workload/schemas.h"
 #include "src/workload/tpch_queries.h"
@@ -133,6 +137,82 @@ TEST_F(PersistenceTest, ExplainNamesChosenModelAndFeatures) {
   EXPECT_NE(report.find("estimate"), std::string::npos);
   EXPECT_NE(report.find("COUT="), std::string::npos);
   EXPECT_NE(report.find("out_ratio"), std::string::npos);
+}
+
+TEST_F(PersistenceTest, SerializeRoundTripIsByteStable) {
+  // Serialize(Deserialize(bytes)) == bytes — the property the crash
+  // recovery below leans on: a delta built over a *reloaded* base must
+  // serialize its untouched slots identically to one built over the
+  // original in-memory base.
+  const auto bytes = estimator_->Serialize();
+  ResourceEstimator restored;
+  ASSERT_TRUE(restored.Deserialize(bytes));
+  EXPECT_EQ(restored.Serialize(), bytes);
+}
+
+TEST_F(PersistenceTest, CrashBetweenLogAppendAndDeltaPublishRecovers) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "resest_crash_recovery";
+  std::filesystem::remove_all(dir);
+
+  TrainOptions options;
+  options.mart.num_trees = 20;
+  RefitPolicy policy;
+  policy.min_new_rows = 1;
+  policy.drift_threshold = 0.0;
+
+  Rng rng(21);
+  auto extra_queries = GenerateTpchWorkload(20, &rng, db_);
+  const auto extra = RunWorkload(db_, extra_queries, 17);
+  ASSERT_FALSE(extra.empty());
+
+  // Uninterrupted run: seed, publish, observe, refit — the golden bytes.
+  IncrementalTrainer uninterrupted(options, policy);
+  uninterrupted.SeedAndTrain(*workload_);
+  ModelRegistry registry_a;
+  ASSERT_GT(uninterrupted.PublishBaseline(&registry_a, "m"), 0u);
+  uninterrupted.ObserveAll(extra);
+  const auto golden = uninterrupted.RefitAndPublish(&registry_a, "m");
+  ASSERT_TRUE(golden);
+  const auto golden_bytes = golden.estimator->Serialize();
+
+  // Interrupted run: identical up to the log append, checkpointed, then
+  // "killed" before the delta publish (trainer and registry abandoned).
+  const uint64_t v1 = [&]() {
+    IncrementalTrainer doomed(options, policy);
+    doomed.SeedAndTrain(*workload_);
+    ModelRegistry registry_b;
+    const uint64_t version = doomed.PublishBaseline(&registry_b, "m");
+    EXPECT_GT(version, 0u);
+    doomed.ObserveAll(extra);
+    EXPECT_TRUE(doomed.Checkpoint(registry_b, "m", dir.string()));
+    return version;  // crash: no refit, no delta publish
+  }();
+
+  // Restart: a fresh registry and trainer resume from disk. The log
+  // replays (the appended rows are still pending) and the refit completes
+  // exactly as the uninterrupted run's did.
+  ModelRegistry restarted;
+  IncrementalTrainer resumed(options, policy);
+  const uint64_t v = resumed.Restore(&restarted, "m", dir.string());
+  ASSERT_GT(v, 0u);
+  EXPECT_GE(v, v1);
+  EXPECT_EQ(restarted.Get("m").version, v);
+  EXPECT_GT(resumed.TotalPendingRows(), 0u) << "pending rows must replay";
+
+  const auto recovered = resumed.RefitAndPublish(&restarted, "m");
+  ASSERT_TRUE(recovered);
+  EXPECT_GT(recovered.version, v);
+  EXPECT_EQ(recovered.estimator->Serialize(), golden_bytes)
+      << "recovered refit must match the uninterrupted run byte-for-byte";
+  EXPECT_EQ(restarted.Get("m").version, recovered.version);
+
+  // Missing or corrupt state fails cleanly without touching the registry.
+  ModelRegistry untouched;
+  IncrementalTrainer fresh(options, policy);
+  EXPECT_EQ(fresh.Restore(&untouched, "absent", dir.string()), 0u);
+  EXPECT_TRUE(untouched.Names().empty());
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(PersistenceTest, SerializedSizeMatchesAccounting) {

@@ -14,6 +14,7 @@
 #include "src/common/thread_pool.h"
 #include "src/serving/estimation_service.h"
 #include "src/serving/model_registry.h"
+#include "src/training/incremental_trainer.h"
 #include "src/workload/runner.h"
 #include "src/workload/schemas.h"
 #include "src/workload/tpch_queries.h"
@@ -930,6 +931,288 @@ TEST_F(ServingTest, FileBackedRegistryRestartRoundTrip) {
                                                         Resource::kCpu),
             estimator_->EstimateQuery(eq.plan, *eq.database, Resource::kCpu));
   std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Delta publish: incremental refits hot-swapped with scoped invalidation
+// ---------------------------------------------------------------------------
+
+/// Unique (bitwise) feature vectors of one operator type across a workload
+/// — the number of distinct cache keys that operator contributes per
+/// resource.
+size_t CountUniqueOperatorKeys(const std::vector<ExecutedQuery>& workload,
+                               OpType op, FeatureMode mode) {
+  std::vector<FeatureVector> unique;
+  for (const auto& eq : workload) {
+    VisitPlanOperators(
+        eq.plan, [&](const PlanNode& node, const PlanNode* parent) {
+          if (node.type != op) return;
+          const FeatureVector v =
+              ExtractFeatures(node, parent, *eq.database, mode);
+          for (const auto& u : unique) {
+            if (FeatureVectorHashEqual(u, v)) return;
+          }
+          unique.push_back(v);
+        });
+  }
+  return unique.size();
+}
+
+TEST_F(ServingTest, DeltaPublishPreservesUntouchedEstimatesAndCacheEntries) {
+  ModelRegistry registry;
+  ThreadPool pool(4);
+  TrainOptions options;
+  options.mart.num_trees = 15;
+  RefitPolicy policy;
+  policy.min_new_rows = 8;
+  policy.drift_threshold = 0.0;
+  IncrementalTrainer trainer(options, policy, &pool);
+  const auto base = trainer.SeedAndTrain(*workload_);
+  const uint64_t v1 = trainer.PublishBaseline(&registry, "default");
+  ASSERT_GT(v1, 0u);
+  // The refit target must have a trained model, or there is nothing to
+  // swap (TPC-H workloads sort, so this holds by construction).
+  ASSERT_NE(base->ModelsFor(OpType::kSort, Resource::kCpu), nullptr);
+
+  EstimationService service(&registry, &pool);
+  const auto cpu_requests = QueueRequests(Resource::kCpu);
+  const auto io_requests = QueueRequests(Resource::kIo);
+  const auto cpu_before = service.EstimateBatch(cpu_requests);
+  const auto io_before = service.EstimateBatch(io_requests);
+  // Warm pass: every key is now cached.
+  service.EstimateBatch(cpu_requests);
+  service.EstimateBatch(io_requests);
+
+  // Drifted sort feedback: only (kSort, kCpu) crosses the policy.
+  {
+    std::vector<std::pair<FeatureVector, double>> sort_rows;
+    for (const auto& w : *workload_) {
+      VisitPlanOperators(
+          w.plan, [&](const PlanNode& node, const PlanNode* parent) {
+            if (node.type == OpType::kSort) {
+              sort_rows.emplace_back(
+                  ExtractFeatures(node, parent, *w.database, base->mode()),
+                  node.actual.cpu);
+            }
+          });
+    }
+    ASSERT_FALSE(sort_rows.empty());
+    for (size_t i = 0; i < policy.min_new_rows; ++i) {
+      const auto& [row, cpu] = sort_rows[i % sort_rows.size()];
+      trainer.Append(OpType::kSort, Resource::kCpu, row, cpu * 1.5);
+    }
+  }
+  const auto delta = trainer.RefitAndPublish(&registry, "default", &service);
+  ASSERT_TRUE(delta);
+  ASSERT_EQ(delta.refitted,
+            (std::vector<ModelSlotId>{{OpType::kSort, Resource::kCpu}}));
+  EXPECT_GT(delta.version, v1);
+
+  // The delta shares every untouched model set with its predecessor by
+  // pointer; only the refitted slot was replaced.
+  for (int op = 0; op < kNumOpTypes; ++op) {
+    for (int r = 0; r < kNumResources; ++r) {
+      const OpType o = static_cast<OpType>(op);
+      const Resource res = static_cast<Resource>(r);
+      if (o == OpType::kSort && res == Resource::kCpu) {
+        EXPECT_NE(delta.estimator->ModelsFor(o, res), base->ModelsFor(o, res));
+      } else {
+        EXPECT_EQ(delta.estimator->ModelsFor(o, res), base->ModelsFor(o, res))
+            << OpTypeName(o) << "/" << ResourceName(res);
+      }
+    }
+  }
+
+  // Untouched resource across the swap: every estimate bit-identical, and
+  // served entirely from surviving cache entries — zero new misses, the hit
+  // counter alone grows.
+  const ServiceStats pre_io = service.stats();
+  const auto io_after = service.EstimateBatch(io_requests);
+  ASSERT_EQ(io_after.size(), io_before.size());
+  for (size_t i = 0; i < io_after.size(); ++i) {
+    ASSERT_TRUE(io_after[i].ok());
+    EXPECT_EQ(io_after[i].model_version, delta.version);
+    EXPECT_EQ(io_after[i].value, io_before[i].value) << "io request " << i;
+  }
+  const ServiceStats post_io = service.stats();
+  EXPECT_EQ(post_io.cache_misses, pre_io.cache_misses);
+  EXPECT_GT(post_io.cache_hits, pre_io.cache_hits);
+
+  // CPU pass, serially (Estimate() bypasses chunk parallelism, so the
+  // miss accounting is exact): refitted sort keys miss exactly once, every
+  // other operator's entries still hit.
+  const size_t unique_sort_keys =
+      CountUniqueOperatorKeys(*workload_, OpType::kSort, base->mode());
+  ASSERT_GT(unique_sort_keys, 0u);
+  const ServiceStats pre_cpu = service.stats();
+  std::vector<EstimateResult> cpu_after;
+  for (const auto& req : cpu_requests) {
+    cpu_after.push_back(service.Estimate(req));
+  }
+  const ServiceStats post_cpu = service.stats();
+  EXPECT_EQ(post_cpu.cache_misses - pre_cpu.cache_misses, unique_sort_keys);
+
+  for (const auto& req : cpu_requests) (void)service.Estimate(req);
+  EXPECT_EQ(service.stats().cache_misses, post_cpu.cache_misses)
+      << "refitted-operator entries must miss exactly once";
+
+  // Plans without a sort operator are bit-identical across the swap; all
+  // plans match the delta estimator's direct (uncached) answer.
+  for (size_t i = 0; i < cpu_requests.size(); ++i) {
+    ASSERT_TRUE(cpu_after[i].ok());
+    bool has_sort = false;
+    (*workload_)[i].plan.root->Visit([&](const PlanNode* n) {
+      if (n->type == OpType::kSort) has_sort = true;
+    });
+    if (!has_sort) {
+      EXPECT_EQ(cpu_after[i].value, cpu_before[i].value) << "request " << i;
+    }
+    EXPECT_EQ(cpu_after[i].value,
+              delta.estimator->EstimateQuery(*cpu_requests[i].plan,
+                                             *cpu_requests[i].database,
+                                             Resource::kCpu))
+        << "request " << i;
+  }
+}
+
+TEST_F(ServingTest, ScopedInvalidationReflectsInCacheShardStats) {
+  // Regression for the whole-cache-drop on hot-swap: a delta publish must
+  // leave the untouched operators' entries resident (per-shard entry counts
+  // prove it) and account the dropped ones as `invalidated`, not LRU
+  // evictions.
+  ModelRegistry registry;
+  ThreadPool pool(2);
+  TrainOptions options;
+  options.mart.num_trees = 12;
+  RefitPolicy policy;
+  policy.min_new_rows = 4;
+  policy.drift_threshold = 0.0;
+  IncrementalTrainer trainer(options, policy, &pool);
+  const auto base = trainer.SeedAndTrain(*workload_);
+  trainer.PublishBaseline(&registry, "default");
+  ASSERT_NE(base->ModelsFor(OpType::kSort, Resource::kCpu), nullptr);
+
+  EstimationService service(&registry, &pool);
+  service.EstimateBatch(QueueRequests(Resource::kCpu));
+  service.EstimateBatch(QueueRequests(Resource::kIo));
+  const EstimateCacheStats warm = service.cache_stats();
+  ASSERT_GT(warm.entries, 0u);
+  EXPECT_EQ(warm.invalidated, 0u);
+
+  FeatureVector row{};
+  row.fill(3.0);
+  for (size_t i = 0; i < policy.min_new_rows; ++i) {
+    row[0] = static_cast<double>(i);
+    trainer.Append(OpType::kSort, Resource::kCpu, row, 9.0);
+  }
+  const auto delta = trainer.RefitAndPublish(&registry, "default", &service);
+  ASSERT_TRUE(delta);
+
+  const size_t unique_sort_keys =
+      CountUniqueOperatorKeys(*workload_, OpType::kSort, base->mode());
+  const EstimateCacheStats swapped = service.cache_stats();
+  // Only the refitted slot's entries were dropped — and they are accounted
+  // as scoped invalidations, not LRU evictions.
+  EXPECT_EQ(swapped.entries, warm.entries - unique_sort_keys);
+  EXPECT_EQ(swapped.invalidated, unique_sort_keys);
+  EXPECT_EQ(swapped.evictions, warm.evictions);
+  uint64_t shard_invalidated = 0;
+  size_t shard_entries = 0;
+  for (const EstimateCacheShardStats& shard : swapped.shards) {
+    shard_invalidated += shard.invalidated;
+    shard_entries += shard.entries;
+  }
+  EXPECT_EQ(shard_invalidated, swapped.invalidated);
+  EXPECT_EQ(shard_entries, swapped.entries);
+}
+
+TEST_F(ServingTest, TrafficRacingRefitServesOneOfTheTwoPublishedVersions) {
+  // Continuous SubmitEstimate traffic racing RefitAffected() + hot-swap on
+  // the shared pool (the refit rides kBulk under the serving lanes): every
+  // response must be bit-identical to one of the two published versions —
+  // no torn reads, no half-swapped models, cache hits included.
+  ModelRegistry registry;
+  ThreadPool pool(4);
+  TrainOptions options;
+  options.mart.num_trees = 12;
+  RefitPolicy policy;
+  policy.min_new_rows = 1;
+  policy.drift_threshold = 0.0;
+  IncrementalTrainer trainer(options, policy, &pool);
+  const auto base = trainer.SeedAndTrain(*workload_);
+  const uint64_t v1 = trainer.PublishBaseline(&registry, "default");
+  ASSERT_GT(v1, 0u);
+  EstimationService service(&registry, &pool);
+
+  const auto requests = QueueRequests(Resource::kCpu);
+  std::vector<double> serial_v1(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    serial_v1[i] = base->EstimateQuery(*requests[i].plan,
+                                       *requests[i].database, Resource::kCpu);
+  }
+
+  // Drifted feedback so the refit touches at least one slot.
+  FeatureVector row{};
+  row.fill(2.0);
+  for (int i = 0; i < 4; ++i) {
+    row[0] = static_cast<double>(i);
+    trainer.Append(OpType::kSort, Resource::kCpu, row, 7.0 + i);
+  }
+
+  struct Observation {
+    size_t idx;
+    uint64_t version;
+    double value;
+    EstimateStatus status;
+  };
+  std::atomic<bool> stop{false};
+  std::mutex obs_mu;
+  std::vector<Observation> observations;
+  std::vector<std::thread> traffic;
+  for (int t = 0; t < 3; ++t) {
+    traffic.emplace_back([&, t]() {
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t idx = i++ % requests.size();
+        const EstimateResult r = service.SubmitEstimate(requests[idx]).get();
+        std::lock_guard<std::mutex> lock(obs_mu);
+        observations.push_back({idx, r.model_version, r.value, r.status});
+      }
+    });
+  }
+
+  const auto delta = trainer.RefitAndPublish(&registry, "default", &service);
+  ASSERT_TRUE(delta);
+  const uint64_t v2 = delta.version;
+  // Let some traffic observe the new version before stopping.
+  for (int i = 0; i < 20; ++i) {
+    (void)service.SubmitEstimate(requests[static_cast<size_t>(i) %
+                                          requests.size()])
+        .get();
+  }
+  stop.store(true);
+  for (auto& t : traffic) t.join();
+
+  std::vector<double> serial_v2(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    serial_v2[i] = delta.estimator->EstimateQuery(
+        *requests[i].plan, *requests[i].database, Resource::kCpu);
+  }
+  ASSERT_FALSE(observations.empty());
+  for (const Observation& obs : observations) {
+    ASSERT_EQ(obs.status, EstimateStatus::kOk);
+    if (obs.version == v1) {
+      EXPECT_EQ(obs.value, serial_v1[obs.idx]) << "request " << obs.idx;
+    } else {
+      ASSERT_EQ(obs.version, v2) << "response from an unpublished version";
+      EXPECT_EQ(obs.value, serial_v2[obs.idx]) << "request " << obs.idx;
+    }
+  }
+  // After the swap settles, everything serves from the delta.
+  const EstimateResult settled = service.Estimate(requests[0]);
+  ASSERT_TRUE(settled.ok());
+  EXPECT_EQ(settled.model_version, v2);
+  EXPECT_EQ(settled.value, serial_v2[0]);
 }
 
 TEST_F(ServingTest, PipelineEstimatesMatchDirectCall) {
