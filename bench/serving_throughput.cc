@@ -31,16 +31,30 @@
 //   RESEST_SERVING_PROBES    urgent probes per latency scenario (default 80)
 //   RESEST_SERVING_REFIT_QUERIES  feedback queries folded into the logs
 //                                 before the refit scenario (default 60)
+//   RESEST_SERVING_HTTP_BATCHES   operator batches per side of the HTTP
+//                                 loopback scenario (default 30)
+//
+// A server-loopback scenario prices the HTTP front end (src/server/): the
+// same operator-feature batches are estimated in-process and over a
+// loopback resest_server round trip (JSON parse, batch pipeline, JSON
+// format, socket both ways), reporting qps and p99 batch latency for both
+// sides — and checking the wire's %.17g doubles land bit-identical.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "bench/experiment_common.h"
 #include "bench/json_writer.h"
 #include "src/common/thread_pool.h"
+#include "src/server/http_client.h"
+#include "src/server/http_server.h"
+#include "src/server/json.h"
+#include "src/server/serving_frontend.h"
+#include "src/server/wire_api.h"
 #include "src/serving/estimation_service.h"
 #include "src/serving/model_registry.h"
 #include "src/training/incremental_trainer.h"
@@ -270,6 +284,141 @@ RefitScenario MeasureRefitUnderLoad(
   return scenario;
 }
 
+struct LoopbackScenario {
+  double inproc_qps = 0.0;
+  double inproc_p99_ms = 0.0;
+  double http_qps = 0.0;
+  double http_p99_ms = 0.0;
+  size_t requests = 0;
+  size_t mismatches = 0;
+  bool ran = false;
+};
+
+/// The same operator-feature batches, in-process vs over a loopback HTTP
+/// round trip through the serving front end. Both sides run against the
+/// same warmed service, so the gap is pure wire overhead: JSON parse,
+/// response format, and two socket crossings per batch.
+LoopbackScenario MeasureServerLoopback(const ModelRegistry& registry,
+                                       ThreadPool& pool, int num_batches,
+                                       int batch_size) {
+  LoopbackScenario scenario;
+  EstimationService service(&registry, &pool);
+  ServingFrontend frontend(&service, &registry, "default");
+  HttpServer server(
+      &pool, [&frontend](const HttpRequest& r) { return frontend.Handle(r); });
+  std::string error;
+  if (!server.Start(&error)) {
+    std::printf("WARNING: loopback server failed to start: %s\n",
+                error.c_str());
+    return scenario;
+  }
+  HttpClient client;
+  if (!client.Connect("127.0.0.1", server.port(), &error)) {
+    std::printf("WARNING: loopback connect failed: %s\n", error.c_str());
+    server.Stop();
+    return scenario;
+  }
+
+  // Synthetic operator batches (the wire API ships features, not plans);
+  // distinct per batch so the comparison isn't one memoized batch replayed.
+  std::vector<std::vector<EstimateRequest>> batches;
+  std::vector<std::string> bodies;
+  for (int b = 0; b < num_batches; ++b) {
+    std::vector<EstimateRequest> requests;
+    std::string body = "{\"requests\":[";
+    for (int i = 0; i < batch_size; ++i) {
+      const int salt = b * batch_size + i;
+      FeatureVector features{};
+      for (int f = 0; f < kNumFeatures; ++f) {
+        features[static_cast<size_t>(f)] =
+            1.0 + static_cast<double>(salt % 97) * 3.7 +
+            static_cast<double>(f) * 0.91;
+      }
+      const OpType op = static_cast<OpType>(salt % kNumOpTypes);
+      const Resource resource = i % 2 == 0 ? Resource::kCpu : Resource::kIo;
+      requests.push_back(EstimateRequest::ForOperator(op, features, resource));
+      if (i > 0) body += ',';
+      body += "{\"op\":\"";
+      body += OpTypeName(op);
+      body += "\",\"resource\":\"";
+      body += ResourceName(resource);
+      body += "\",\"features\":[";
+      for (int f = 0; f < kNumFeatures; ++f) {
+        if (f > 0) body += ',';
+        AppendJsonNumber(features[static_cast<size_t>(f)], &body);
+      }
+      body += "]}";
+    }
+    body += "]}";
+    batches.push_back(std::move(requests));
+    bodies.push_back(std::move(body));
+  }
+  scenario.requests = static_cast<size_t>(num_batches) *
+                      static_cast<size_t>(batch_size);
+
+  // Warm the cache (and the connection) so both timed sides serve the
+  // steady state.
+  std::vector<std::vector<EstimateResult>> expected;
+  for (const auto& batch : batches) expected.push_back(service.EstimateBatch(batch));
+
+  std::vector<double> inproc_ms;
+  const auto inproc_start = std::chrono::steady_clock::now();
+  for (size_t b = 0; b < batches.size(); ++b) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto results = service.EstimateBatch(batches[b]);
+    inproc_ms.push_back(1000.0 * SecondsSince(start));
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok() || results[i].value != expected[b][i].value) {
+        ++scenario.mismatches;
+      }
+    }
+  }
+  const double inproc_sec = SecondsSince(inproc_start);
+
+  std::vector<double> http_ms;
+  const auto http_start = std::chrono::steady_clock::now();
+  for (size_t b = 0; b < bodies.size(); ++b) {
+    const auto start = std::chrono::steady_clock::now();
+    HttpClientResponse response;
+    if (!client.Post("/v1/estimate", bodies[b], &response, &error) ||
+        response.status != 200) {
+      scenario.mismatches += batches[b].size();
+      continue;
+    }
+    http_ms.push_back(1000.0 * SecondsSince(start));
+    JsonValue parsed;
+    std::string json_error;
+    const JsonValue* results =
+        JsonValue::Parse(response.body, &parsed, &json_error)
+            ? parsed.Find("results")
+            : nullptr;
+    if (results == nullptr ||
+        results->items().size() != batches[b].size()) {
+      scenario.mismatches += batches[b].size();
+      continue;
+    }
+    for (size_t i = 0; i < results->items().size(); ++i) {
+      const JsonValue* value = results->items()[i].Find("value");
+      const double got = value != nullptr ? value->as_number() : 0.0;
+      if (std::memcmp(&got, &expected[b][i].value, sizeof(double)) != 0) {
+        ++scenario.mismatches;
+      }
+    }
+  }
+  const double http_sec = SecondsSince(http_start);
+  server.Stop();
+
+  const double dn = static_cast<double>(scenario.requests);
+  scenario.inproc_qps = dn / inproc_sec;
+  scenario.http_qps = dn / http_sec;
+  std::sort(inproc_ms.begin(), inproc_ms.end());
+  std::sort(http_ms.begin(), http_ms.end());
+  scenario.inproc_p99_ms = Percentile(inproc_ms, 0.99);
+  scenario.http_p99_ms = Percentile(http_ms, 0.99);
+  scenario.ran = true;
+  return scenario;
+}
+
 }  // namespace
 
 int main() {
@@ -279,6 +428,7 @@ int main() {
   const int num_probes = bench::EnvInt("RESEST_SERVING_PROBES", 80);
   const int num_refit_queries =
       bench::EnvInt("RESEST_SERVING_REFIT_QUERIES", 60);
+  const int num_http_batches = bench::EnvInt("RESEST_SERVING_HTTP_BATCHES", 30);
 
   std::printf("== serving throughput: serial vs. %d-worker batched, "
               "cache off/on ==\n\n",
@@ -426,12 +576,36 @@ int main() {
                 refit.mismatches);
   }
 
+  // --- Server loopback: the same batches in-process vs over HTTP, so the
+  // wire overhead of the serving front end is a measured number. ---
+  std::printf("\n-- server loopback: %d batches of 64 operator estimates, "
+              "in-process vs HTTP round trip --\n",
+              num_http_batches);
+  const LoopbackScenario loopback =
+      MeasureServerLoopback(registry, pool, num_http_batches,
+                            /*batch_size=*/64);
+  if (loopback.ran) {
+    std::printf("%-28s %11.0f q/s  p99 %.3f ms/batch\n", "in-process",
+                loopback.inproc_qps, loopback.inproc_p99_ms);
+    std::printf("%-28s %11.0f q/s  p99 %.3f ms/batch\n", "HTTP loopback",
+                loopback.http_qps, loopback.http_p99_ms);
+    std::printf("wire overhead: %.2fx in-process throughput over HTTP\n",
+                loopback.http_qps > 0.0
+                    ? loopback.inproc_qps / loopback.http_qps
+                    : 0.0);
+    if (loopback.mismatches != 0) {
+      std::printf("WARNING: %zu HTTP responses were not bit-identical to "
+                  "the in-process results\n",
+                  loopback.mismatches);
+    }
+  }
+
   const size_t mismatches = fanout.mismatches + memoized.mismatches +
                             fifo.mismatches + prioritized.mismatches +
-                            refit.mismatches;
+                            refit.mismatches + loopback.mismatches;
   const size_t checks = 2 * requests.size() +
                         2 * static_cast<size_t>(num_probes) +
-                        refit.probes_served;
+                        refit.probes_served + 2 * loopback.requests;
   std::printf("\nbit-identical to serial: %s (%zu/%zu mismatches)\n",
               mismatches == 0 ? "yes" : "NO", mismatches, checks);
 
@@ -458,6 +632,11 @@ int main() {
   json.Int("refit_probes", static_cast<long long>(refit.probes_served));
   json.Number("refit_urgent_p50_ms", refit.probes.p50_ms);
   json.Number("refit_urgent_p99_ms", refit.probes.p99_ms);
+  json.Int("http_batches", num_http_batches);
+  json.Number("server_inprocess_qps", loopback.inproc_qps);
+  json.Number("server_inprocess_p99_ms", loopback.inproc_p99_ms);
+  json.Number("server_http_qps", loopback.http_qps);
+  json.Number("server_http_p99_ms", loopback.http_p99_ms);
   json.Bool("bit_identical", mismatches == 0);
   json.WriteFile("BENCH_serving.json");
 

@@ -1,0 +1,109 @@
+#include "src/common/shutdown.h"
+
+#include <csignal>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <mutex>
+
+namespace resest {
+namespace {
+
+// The self-pipe. fds are created once on first use and never closed: the
+// latch lives as long as the process, and signal handlers must be able to
+// write the fd at any point after Install().
+int g_pipe_read = -1;
+int g_pipe_write = -1;
+std::once_flag g_pipe_once;
+
+// Written by the handler (async-signal-safe), read by Requested()/Signal().
+volatile std::sig_atomic_t g_signal = 0;
+
+void EnsurePipe() {
+  std::call_once(g_pipe_once, []() {
+    int fds[2];
+    if (::pipe(fds) != 0) return;
+    // Non-blocking on both ends: a handler firing many times must not block
+    // on a full pipe, and Reset() drains without risk of hanging.
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+    ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+    g_pipe_read = fds[0];
+    g_pipe_write = fds[1];
+  });
+}
+
+void Handler(int signum) {
+  g_signal = signum;
+  if (g_pipe_write >= 0) {
+    const char byte = 1;
+    // The only failure that matters is EAGAIN (pipe full), and then a wakeup
+    // byte is already pending — the latch still trips.
+    [[maybe_unused]] ssize_t n = ::write(g_pipe_write, &byte, 1);
+  }
+}
+
+}  // namespace
+
+bool ShutdownLatch::Install() {
+  EnsurePipe();
+  if (g_pipe_read < 0) return false;
+  struct sigaction action;
+  sigemptyset(&action.sa_mask);
+  action.sa_handler = Handler;
+  // No SA_RESTART: a blocking accept() should fail with EINTR so a serve
+  // loop that forgot to poll Requested() still unblocks.
+  action.sa_flags = 0;
+  bool ok = true;
+  for (int signum : {SIGTERM, SIGINT}) {
+    if (::sigaction(signum, &action, nullptr) != 0) ok = false;
+  }
+  return ok;
+}
+
+bool ShutdownLatch::Requested() { return g_signal != 0; }
+
+int ShutdownLatch::Signal() { return g_signal; }
+
+void ShutdownLatch::Wait() {
+  while (!WaitFor(std::chrono::milliseconds(1000))) {
+  }
+}
+
+bool ShutdownLatch::WaitFor(std::chrono::milliseconds timeout) {
+  if (Requested()) return true;
+  EnsurePipe();
+  if (g_pipe_read < 0) {
+    // Pipe creation failed; degrade to polling the flag.
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!Requested() && std::chrono::steady_clock::now() < deadline) {
+      ::usleep(1000);
+    }
+    return Requested();
+  }
+  struct pollfd pfd;
+  pfd.fd = g_pipe_read;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+  return Requested();
+}
+
+void ShutdownLatch::Trigger() {
+  EnsurePipe();
+  Handler(SIGTERM);
+}
+
+void ShutdownLatch::Reset() {
+  g_signal = 0;
+  if (g_pipe_read >= 0) {
+    char drain[64];
+    while (::read(g_pipe_read, drain, sizeof(drain)) > 0) {
+    }
+  }
+}
+
+}  // namespace resest

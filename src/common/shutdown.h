@@ -1,0 +1,52 @@
+// Process-wide graceful-shutdown latch for server binaries.
+//
+// A signal handler may only touch async-signal-safe state, so the latch is
+// the classic self-pipe: the handler writes one byte to a pipe and sets a
+// sig_atomic_t; waiters poll the pipe's read end. Signal dispositions are
+// process-global, hence the static interface — there is one shutdown latch
+// per process, shared by however many servers it runs.
+//
+// Typical server main:
+//   ShutdownLatch::Install();            // SIGTERM + SIGINT
+//   ...serve...
+//   ShutdownLatch::Wait();               // blocks until a signal arrives
+//   server.Stop();                       // stop accepting, drain in-flight
+#ifndef RESEST_COMMON_SHUTDOWN_H_
+#define RESEST_COMMON_SHUTDOWN_H_
+
+#include <chrono>
+
+namespace resest {
+
+class ShutdownLatch {
+ public:
+  /// Installs the latch's handler for SIGTERM and SIGINT (idempotent).
+  /// Returns false if the pipe or a sigaction call failed; dispositions
+  /// already installed stay installed.
+  static bool Install();
+
+  /// True once a shutdown signal has been received (or Trigger was called).
+  static bool Requested();
+
+  /// The signal number that tripped the latch; 0 if none yet (Trigger
+  /// reports SIGTERM).
+  static int Signal();
+
+  /// Blocks until the latch trips.
+  static void Wait();
+
+  /// Bounded wait; true iff the latch tripped within `timeout`.
+  static bool WaitFor(std::chrono::milliseconds timeout);
+
+  /// Trips the latch programmatically (tests, admin endpoints). Safe to call
+  /// whether or not Install() ran.
+  static void Trigger();
+
+  /// Re-arms a tripped latch so one process can run several serve/drain
+  /// cycles (tests). Not safe concurrently with a delivering signal.
+  static void Reset();
+};
+
+}  // namespace resest
+
+#endif  // RESEST_COMMON_SHUTDOWN_H_

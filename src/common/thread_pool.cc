@@ -17,6 +17,17 @@ const char* TaskPriorityName(TaskPriority p) {
   return "unknown";
 }
 
+bool ParseTaskPriority(const std::string& name, TaskPriority* out) {
+  for (size_t i = 0; i < kNumTaskPriorities; ++i) {
+    const TaskPriority p = static_cast<TaskPriority>(static_cast<int>(i));
+    if (name == TaskPriorityName(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);

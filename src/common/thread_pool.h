@@ -12,6 +12,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -29,6 +30,10 @@ enum class TaskPriority : int {
 };
 inline constexpr size_t kNumTaskPriorities = 3;
 const char* TaskPriorityName(TaskPriority p);
+
+/// Inverse of TaskPriorityName ("urgent"/"normal"/"bulk"). True (and sets
+/// *out) iff `name` matches a lane.
+bool ParseTaskPriority(const std::string& name, TaskPriority* out);
 
 /// Fixed-size pool of worker threads draining prioritized FIFO task lanes.
 ///

@@ -1,6 +1,7 @@
 #include "src/core/features.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstring>
 
 #include "src/storage/catalog.h"
@@ -9,6 +10,20 @@ namespace resest {
 
 const char* ResourceName(Resource r) {
   return r == Resource::kCpu ? "CPU" : "IO";
+}
+
+bool ParseResource(const std::string& name, Resource* out) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  for (int i = 0; i < kNumResources; ++i) {
+    const Resource r = static_cast<Resource>(i);
+    if (upper == ResourceName(r)) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
 }
 
 const char* FeatureName(FeatureId f) {

@@ -20,6 +20,10 @@ enum class Resource { kCpu = 0, kIo = 1 };
 inline constexpr int kNumResources = 2;
 const char* ResourceName(Resource r);
 
+/// Inverse of ResourceName, case-insensitive ("CPU"/"cpu", "IO"/"io").
+/// True (and sets *out) iff `name` matches a resource.
+bool ParseResource(const std::string& name, Resource* out);
+
 /// One (operator type, resource) model slot of a ResourceEstimator — the
 /// unit of incremental retraining and of scoped (delta) cache invalidation.
 using ModelSlotId = std::pair<OpType, Resource>;

@@ -22,6 +22,17 @@ const char* OpTypeName(OpType t) {
   return "Unknown";
 }
 
+bool ParseOpType(const std::string& name, OpType* out) {
+  for (int i = 0; i < kNumOpTypes; ++i) {
+    const OpType t = static_cast<OpType>(i);
+    if (name == OpTypeName(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
 double Plan::TotalActualCpu() const {
   double total = 0.0;
   if (root) root->Visit([&](const PlanNode* n) { total += n->actual.cpu; });

@@ -38,6 +38,10 @@ inline constexpr int kNumOpTypes = 12;
 
 const char* OpTypeName(OpType t);
 
+/// Inverse of OpTypeName. True (and sets *out) iff `name` is the exact
+/// name of some operator type.
+bool ParseOpType(const std::string& name, OpType* out);
+
 /// Comparison predicate on a (qualified or unqualified) column name.
 struct Predicate {
   enum class Op { kEq, kLe, kGe, kBetween };

@@ -1,0 +1,166 @@
+#include "src/server/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace resest {
+namespace {
+
+bool SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message + ": " + std::strerror(errno);
+  return false;
+}
+
+/// Reads from fd into *buffer until it contains at least `need` bytes or
+/// the peer closes. True iff `need` bytes are available.
+bool ReadUntil(int fd, std::string* buffer, size_t need) {
+  char chunk[8192];
+  while (buffer->size() < need) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+/// Reads until *buffer contains `delim`; returns its position or npos.
+size_t ReadUntilDelim(int fd, std::string* buffer, const char* delim) {
+  size_t at = buffer->find(delim);
+  while (at == std::string::npos) {
+    const size_t had = buffer->size();
+    if (!ReadUntil(fd, buffer, had + 1)) return std::string::npos;
+    at = buffer->find(delim, had < 4 ? 0 : had - 4);
+  }
+  return at;
+}
+
+}  // namespace
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool HttpClient::Connect(const std::string& host, uint16_t port,
+                         std::string* error) {
+  Close();
+  host_ = host;
+  port_ = port;
+  return Reconnect(error);
+}
+
+bool HttpClient::Reconnect(std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return SetError(error, "socket");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    Close();
+    return SetError(error, "inet_pton(" + host_ + ")");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Close();
+    return SetError(error, "connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+bool HttpClient::Request(const std::string& method, const std::string& target,
+                         const std::string& body,
+                         HttpClientResponse* response, std::string* error) {
+  if (fd_ < 0 && !Reconnect(error)) return false;
+  if (DoRequest(method, target, body, response, error)) return true;
+  // The kept-alive connection may have been closed between requests (idle
+  // timeout, server drain); one reconnect distinguishes that from a down
+  // server.
+  if (!Reconnect(error)) return false;
+  return DoRequest(method, target, body, response, error);
+}
+
+bool HttpClient::DoRequest(const std::string& method,
+                           const std::string& target, const std::string& body,
+                           HttpClientResponse* response, std::string* error) {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  out += "Host: " + host_ + "\r\n";
+  if (!body.empty() || method == "POST") {
+    out += "Content-Type: application/json\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return SetError(error, "send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string buffer;
+  const size_t header_end = ReadUntilDelim(fd_, &buffer, "\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return SetError(error, "connection closed before response headers");
+  }
+  const std::string head = buffer.substr(0, header_end);
+
+  // Status line: HTTP/1.1 NNN Reason
+  const size_t sp = head.find(' ');
+  if (sp == std::string::npos) {
+    if (error != nullptr) *error = "malformed status line";
+    return false;
+  }
+  response->status = std::atoi(head.c_str() + sp + 1);
+
+  size_t content_length = 0;
+  bool server_closes = false;
+  size_t pos = head.find("\r\n");
+  pos = pos == std::string::npos ? head.size() : pos + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    for (char& c : line) c = static_cast<char>(std::tolower(c));
+    if (line.rfind("content-length:", 0) == 0) {
+      content_length = static_cast<size_t>(
+          std::strtoull(line.c_str() + 15, nullptr, 10));
+    } else if (line.rfind("connection:", 0) == 0 &&
+               line.find("close") != std::string::npos) {
+      server_closes = true;
+    }
+  }
+
+  const size_t body_start = header_end + 4;
+  if (!ReadUntil(fd_, &buffer, body_start + content_length)) {
+    return SetError(error, "connection closed mid-body");
+  }
+  response->body = buffer.substr(body_start, content_length);
+  if (server_closes) Close();
+  return true;
+}
+
+}  // namespace resest

@@ -1,0 +1,63 @@
+// A minimal blocking HTTP/1.1 client for loopback use: the integration
+// tests, the server-overhead bench scenario, and the example walkthrough
+// all drive resest_server through this instead of shelling out to curl.
+// One connection per client, keep-alive reuse, transparent reconnect when
+// the server closed the previous connection.
+#ifndef RESEST_SERVER_HTTP_CLIENT_H_
+#define RESEST_SERVER_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace resest {
+
+struct HttpClientResponse {
+  int status = 0;
+  std::string body;
+};
+
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1"). False
+  /// (with the reason in *error if non-null) on failure.
+  bool Connect(const std::string& host, uint16_t port,
+               std::string* error = nullptr);
+
+  /// Issues one request and reads the full response. Reconnects once if the
+  /// kept-alive connection turned out dead. False on transport failure.
+  bool Request(const std::string& method, const std::string& target,
+               const std::string& body, HttpClientResponse* response,
+               std::string* error = nullptr);
+
+  /// Convenience wrappers.
+  bool Get(const std::string& target, HttpClientResponse* response,
+           std::string* error = nullptr) {
+    return Request("GET", target, "", response, error);
+  }
+  bool Post(const std::string& target, const std::string& body,
+            HttpClientResponse* response, std::string* error = nullptr) {
+    return Request("POST", target, body, response, error);
+  }
+
+  void Close();
+
+ private:
+  bool DoRequest(const std::string& method, const std::string& target,
+                 const std::string& body, HttpClientResponse* response,
+                 std::string* error);
+  bool Reconnect(std::string* error);
+
+  int fd_ = -1;
+  std::string host_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_SERVER_HTTP_CLIENT_H_

@@ -1,0 +1,384 @@
+#include "src/server/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace resest {
+namespace {
+
+bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+HttpResponse MakeError(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.body = message;
+  response.body.push_back('\n');
+  return response;
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(const std::string& name) const {
+  for (const auto& header : headers) {
+    if (EqualsIgnoreCase(header.first, name)) return &header.second;
+  }
+  return nullptr;
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+  }
+  return "Status";
+}
+
+HttpServer::HttpServer(ThreadPool* pool, HttpHandler handler,
+                       HttpServerOptions options)
+    : pool_(pool), handler_(std::move(handler)), options_(std::move(options)) {
+  if (options_.poll_interval_ms <= 0) options_.poll_interval_ms = 100;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+bool HttpServer::Start(std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      CloseFd(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  if (listen_fd_ >= 0) {
+    if (error != nullptr) *error = "already started";
+    return false;
+  }
+  stopping_.store(false, std::memory_order_relaxed);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    errno = EINVAL;
+    return fail("inet_pton(" + options_.bind_address + ")");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) return fail("listen");
+
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  accept_thread_ = std::thread([this]() { AcceptLoop(); });
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  // Closing the listener makes the accept loop's poll report an error and
+  // exit; connections notice stopping_ at their next poll tick.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  conn_idle_.wait(lock, [this]() { return open_connections_ == 0; });
+  port_ = 0;
+}
+
+size_t HttpServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return open_connections_;
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop()
+    }
+    if (ready == 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener closed by Stop()
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      ++open_connections_;
+    }
+    try {
+      pool_->Submit([this, fd]() { ServeConnection(fd); });
+    } catch (...) {
+      // Pool shutting down under us (lifecycle misuse); serve inline so the
+      // accepted client still gets answers and the drain count balances.
+      ServeConnection(fd);
+    }
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string buffer;
+  while (true) {
+    HttpRequest request;
+    HttpResponse error_response;
+    bool keep_alive = true;
+    const int got =
+        ReadRequest(fd, &buffer, &request, &keep_alive, &error_response);
+    if (got == 0) break;
+    if (got < 0) {
+      // Count before writing: once a client has read its response, the
+      // counter is guaranteed to include it.
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      WriteResponse(fd, error_response, /*keep_alive=*/false);
+      break;
+    }
+    HttpResponse response;
+    try {
+      response = handler_(request);
+    } catch (...) {
+      response = MakeError(500, "internal error");
+    }
+    // A response is written even when Stop() raced the handler — draining
+    // means answering everything accepted, then closing.
+    if (stopping_.load(std::memory_order_relaxed)) keep_alive = false;
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    const bool written = WriteResponse(fd, response, keep_alive);
+    if (!written || !keep_alive) break;
+  }
+  CloseFd(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  if (--open_connections_ == 0) conn_idle_.notify_all();
+}
+
+int HttpServer::ReadRequest(int fd, std::string* buffer, HttpRequest* request,
+                            bool* keep_alive, HttpResponse* error_response) {
+  auto fail = [&](int status, const std::string& message) {
+    *error_response = MakeError(status, message);
+    return -1;
+  };
+
+  size_t header_end = std::string::npos;
+  int idle_ms = 0;
+  while (true) {
+    header_end = buffer->find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    if (buffer->size() > options_.max_header_bytes) {
+      return fail(400, "request headers too large");
+    }
+    // Idle keep-alive connections close on server drain or idle timeout;
+    // a half-received request keeps its grace period until the idle clock
+    // runs out. A request whose bytes reached the socket before the drain
+    // began is NOT idle — one zero-timeout poll decides, so anything a
+    // client finished sending pre-SIGTERM is still answered.
+    if (buffer->empty() && stopping_.load(std::memory_order_relaxed)) {
+      struct pollfd pending;
+      pending.fd = fd;
+      pending.events = POLLIN;
+      pending.revents = 0;
+      if (::poll(&pending, 1, 0) <= 0 || (pending.revents & POLLIN) == 0) {
+        return 0;
+      }
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return 0;
+    }
+    if (ready == 0) {
+      idle_ms += options_.poll_interval_ms;
+      if (idle_ms >= options_.idle_timeout_ms) return 0;
+      continue;
+    }
+    char chunk[8192];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return 0;
+    }
+    if (n == 0) return 0;  // peer closed (mid-request or between requests)
+    idle_ms = 0;
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+
+  // --- Request line. ---
+  const std::string head = buffer->substr(0, header_end);
+  size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    return fail(400, "malformed request line");
+  }
+  request->method = request_line.substr(0, sp1);
+  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = request_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return fail(400, "unsupported HTTP version");
+  }
+  const size_t question = target.find('?');
+  if (question != std::string::npos) {
+    request->query = target.substr(question + 1);
+    target.resize(question);
+  }
+  request->target = std::move(target);
+
+  // --- Headers. ---
+  request->headers.clear();
+  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) return fail(400, "malformed header");
+    std::string value = line.substr(colon + 1);
+    const size_t first = value.find_first_not_of(" \t");
+    const size_t last = value.find_last_not_of(" \t");
+    value = first == std::string::npos
+                ? std::string()
+                : value.substr(first, last - first + 1);
+    request->headers.emplace_back(line.substr(0, colon), std::move(value));
+  }
+
+  // --- Body. ---
+  if (request->FindHeader("Transfer-Encoding") != nullptr) {
+    return fail(400, "transfer encodings not supported");
+  }
+  size_t content_length = 0;
+  if (const std::string* cl = request->FindHeader("Content-Length")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(cl->c_str(), &end, 10);
+    if (end == cl->c_str() || *end != '\0') {
+      return fail(400, "malformed Content-Length");
+    }
+    content_length = static_cast<size_t>(parsed);
+  }
+  if (content_length > options_.max_body_bytes) {
+    return fail(400, "request body too large");
+  }
+  const size_t body_start = header_end + 4;
+  idle_ms = 0;
+  while (buffer->size() - body_start < content_length) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (ready < 0 && errno != EINTR) return 0;
+    if (ready == 0) {
+      idle_ms += options_.poll_interval_ms;
+      if (idle_ms >= options_.idle_timeout_ms) return 0;
+      continue;
+    }
+    if (ready <= 0) continue;
+    char chunk[8192];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return 0;
+    }
+    if (n == 0) return 0;
+    idle_ms = 0;
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+  request->body = buffer->substr(body_start, content_length);
+  // Preserve pipelined bytes beyond this request for the next read.
+  buffer->erase(0, body_start + content_length);
+
+  const std::string* connection = request->FindHeader("Connection");
+  if (connection != nullptr && EqualsIgnoreCase(*connection, "close")) {
+    *keep_alive = false;
+  } else if (version == "HTTP/1.0") {
+    *keep_alive =
+        connection != nullptr && EqualsIgnoreCase(*connection, "keep-alive");
+  } else {
+    *keep_alive = true;
+  }
+  return 1;
+}
+
+bool HttpServer::WriteResponse(int fd, const HttpResponse& response,
+                               bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer gone; nothing further to deliver
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace resest

@@ -1,0 +1,140 @@
+// A small dependency-free HTTP/1.1 server: a blocking accept() loop on one
+// listener thread, per-connection handling as tasks on the shared
+// ThreadPool, and a minimal request parser / response writer. Exactly what
+// the estimation front end needs — POST bodies with Content-Length,
+// keep-alive, graceful drain — and nothing more (no TLS, no chunked
+// transfer encoding, no multiplexing).
+//
+// Lifecycle: Start() binds and spawns the accept thread; Stop() closes the
+// listener (no new connections), asks idle keep-alive connections to close,
+// and blocks until every in-flight request has been answered — the server's
+// half of the zero-dropped-responses drain contract (the service destructor
+// provides the other half by draining submitted batches). The destructor
+// calls Stop().
+//
+// Threading: each accepted connection is one pool task that lives for the
+// connection's keep-alive lifetime, so the pool must be sized for the
+// expected concurrent connections on top of its estimation work. Handlers
+// run on pool threads and may block (EstimationService::EstimateBatch is
+// safe there: blocking callers drain their own chunks).
+#ifndef RESEST_SERVER_HTTP_SERVER_H_
+#define RESEST_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+namespace resest {
+
+struct HttpRequest {
+  std::string method;  ///< Uppercase as sent: "GET", "POST", ...
+  std::string target;  ///< Path part of the request target (no query).
+  std::string query;   ///< Query string after '?', or empty.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; null if absent.
+  const std::string* FindHeader(const std::string& name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Returns the canonical reason phrase for the handful of codes the wire
+/// API uses; "Status" for anything unrecognized.
+const char* HttpReasonPhrase(int status);
+
+/// Handles one parsed request; runs on a pool thread. Must not throw — an
+/// escaping exception is answered with a 500 so the connection (and drain
+/// accounting) stays intact.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral; the bound port is port().
+  int backlog = 128;
+  size_t max_header_bytes = 16 * 1024;
+  /// Requests whose body exceeds this answer 400 without invoking the
+  /// handler (the wire contract: oversized bodies never touch the service).
+  size_t max_body_bytes = 4 * 1024 * 1024;
+  /// Granularity at which idle keep-alive connections notice Stop() and at
+  /// which dead peers time out; bounds drain latency, not request latency.
+  int poll_interval_ms = 100;
+  /// An idle keep-alive connection is closed after this many milliseconds
+  /// without a new request byte.
+  int idle_timeout_ms = 30 * 1000;
+};
+
+class HttpServer {
+ public:
+  HttpServer(ThreadPool* pool, HttpHandler handler,
+             HttpServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spawns the accept thread. False (with the reason
+  /// in *error if non-null) on bind/listen failure; the server is then
+  /// inert and Start() may be retried with different options.
+  bool Start(std::string* error = nullptr);
+
+  /// Graceful drain: stop accepting, close idle connections, wait for
+  /// in-flight requests to be answered. Idempotent; safe to call from any
+  /// thread except a handler.
+  void Stop();
+
+  /// The bound port (after Start); 0 before.
+  uint16_t port() const { return port_; }
+
+  /// Connections currently open (point-in-time; for tests/metrics).
+  size_t active_connections() const;
+
+  /// Requests answered since Start (including error responses the parser
+  /// generated without reaching the handler).
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Reads one request off `fd` into *request (*keep_alive = whether the
+  /// protocol default plus the request's Connection header allow reuse).
+  /// Returns 1 on success, 0 on clean close / idle shutdown (nothing
+  /// buffered), -1 on a parse/limit error with *error_response filled in
+  /// (caller answers it and closes).
+  int ReadRequest(int fd, std::string* buffer, HttpRequest* request,
+                  bool* keep_alive, HttpResponse* error_response);
+  static bool WriteResponse(int fd, const HttpResponse& response,
+                            bool keep_alive);
+
+  ThreadPool* pool_;
+  HttpHandler handler_;
+  HttpServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+
+  mutable std::mutex conn_mu_;
+  std::condition_variable conn_idle_;
+  size_t open_connections_ = 0;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_SERVER_HTTP_SERVER_H_

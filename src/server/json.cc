@@ -1,0 +1,299 @@
+#include "src/server/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace resest {
+
+struct JsonValue::Parser {
+  const char* p;
+  const char* end;
+  const char* begin;
+  std::string* error;
+
+  bool Fail(const std::string& message) {
+    if (error != nullptr) {
+      *error = "JSON error at byte " + std::to_string(p - begin) + ": " +
+               message;
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (p < end &&
+           (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool Literal(const char* text) {
+    const char* q = text;
+    const char* save = p;
+    while (*q != '\0') {
+      if (p >= end || *p != *q) {
+        p = save;
+        return false;
+      }
+      ++p;
+      ++q;
+    }
+    return true;
+  }
+
+  bool ParseHex4(unsigned* out) {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (p >= end) return false;
+      const char c = *p++;
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    *out = value;
+    return true;
+  }
+
+  static void AppendUtf8(unsigned cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (p >= end || *p != '"') return Fail("expected string");
+    ++p;
+    out->clear();
+    while (p < end) {
+      const unsigned char c = static_cast<unsigned char>(*p);
+      if (c == '"') {
+        ++p;
+        return true;
+      }
+      if (c == '\\') {
+        ++p;
+        if (p >= end) break;
+        const char esc = *p++;
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            unsigned cp = 0;
+            if (!ParseHex4(&cp)) return Fail("bad \\u escape");
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: require the paired low surrogate.
+              unsigned lo = 0;
+              if (p + 1 < end && p[0] == '\\' && p[1] == 'u') {
+                p += 2;
+                if (!ParseHex4(&lo) || lo < 0xDC00 || lo > 0xDFFF) {
+                  return Fail("bad surrogate pair");
+                }
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+              } else {
+                return Fail("unpaired surrogate");
+              }
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return Fail("unpaired surrogate");
+            }
+            AppendUtf8(cp, out);
+            break;
+          }
+          default:
+            return Fail("bad escape character");
+        }
+        continue;
+      }
+      if (c < 0x20) return Fail("unescaped control character in string");
+      out->push_back(static_cast<char>(c));
+      ++p;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(double* out) {
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    if (p >= end || *p < '0' || *p > '9') return Fail("bad number");
+    if (*p == '0') {
+      ++p;
+    } else {
+      while (p < end && *p >= '0' && *p <= '9') ++p;
+    }
+    if (p < end && *p == '.') {
+      ++p;
+      if (p >= end || *p < '0' || *p > '9') return Fail("bad fraction");
+      while (p < end && *p >= '0' && *p <= '9') ++p;
+    }
+    if (p < end && (*p == 'e' || *p == 'E')) {
+      ++p;
+      if (p < end && (*p == '+' || *p == '-')) ++p;
+      if (p >= end || *p < '0' || *p > '9') return Fail("bad exponent");
+      while (p < end && *p >= '0' && *p <= '9') ++p;
+    }
+    // The grammar check above guarantees strtod consumes exactly [start, p).
+    std::string token(start, p);
+    *out = std::strtod(token.c_str(), nullptr);
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, size_t depth) {
+    if (depth >= kMaxJsonDepth) return Fail("nesting too deep");
+    SkipSpace();
+    if (p >= end) return Fail("unexpected end of input");
+    switch (*p) {
+      case 'n':
+        if (!Literal("null")) return Fail("bad literal");
+        out->type_ = Type::kNull;
+        return true;
+      case 't':
+        if (!Literal("true")) return Fail("bad literal");
+        out->type_ = Type::kBool;
+        out->bool_ = true;
+        return true;
+      case 'f':
+        if (!Literal("false")) return Fail("bad literal");
+        out->type_ = Type::kBool;
+        out->bool_ = false;
+        return true;
+      case '"':
+        out->type_ = Type::kString;
+        return ParseString(&out->string_);
+      case '[': {
+        ++p;
+        out->type_ = Type::kArray;
+        SkipSpace();
+        if (p < end && *p == ']') {
+          ++p;
+          return true;
+        }
+        while (true) {
+          out->items_.emplace_back();
+          if (!ParseValue(&out->items_.back(), depth + 1)) return false;
+          SkipSpace();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == ']') {
+            ++p;
+            return true;
+          }
+          return Fail("expected ',' or ']' in array");
+        }
+      }
+      case '{': {
+        ++p;
+        out->type_ = Type::kObject;
+        SkipSpace();
+        if (p < end && *p == '}') {
+          ++p;
+          return true;
+        }
+        while (true) {
+          SkipSpace();
+          std::string key;
+          if (!ParseString(&key)) return false;
+          SkipSpace();
+          if (p >= end || *p != ':') return Fail("expected ':' in object");
+          ++p;
+          out->members_.emplace_back(std::move(key), JsonValue());
+          if (!ParseValue(&out->members_.back().second, depth + 1)) {
+            return false;
+          }
+          SkipSpace();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == '}') {
+            ++p;
+            return true;
+          }
+          return Fail("expected ',' or '}' in object");
+        }
+      }
+      default:
+        out->type_ = Type::kNumber;
+        return ParseNumber(&out->number_);
+    }
+  }
+};
+
+bool JsonValue::Parse(const std::string& text, JsonValue* out,
+                      std::string* error) {
+  *out = JsonValue();
+  Parser parser{text.data(), text.data() + text.size(), text.data(), error};
+  if (!parser.ParseValue(out, 0)) return false;
+  parser.SkipSpace();
+  if (parser.p != parser.end) return parser.Fail("trailing characters");
+  return true;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  const JsonValue* found = nullptr;
+  for (const auto& member : members_) {
+    if (member.first == key) found = &member.second;
+  }
+  return found;
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const unsigned char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonNumber(double value, std::string* out) {
+  if (!std::isfinite(value)) {
+    out->append("null");
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out->append(buf);
+}
+
+}  // namespace resest

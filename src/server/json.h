@@ -1,0 +1,81 @@
+// Minimal dependency-free JSON for the wire API: a recursive-descent parser
+// into a tagged value tree, plus the escaping/formatting helpers the
+// response writers need.
+//
+// Scope is deliberately small — exactly RFC 8259 syntax with two serving
+// requirements layered on:
+//  - Untrusted input: hard caps on nesting depth; the parser never recurses
+//    past kMaxJsonDepth and reports a position-tagged error instead.
+//  - Bit-exact doubles: AppendJsonNumber prints with enough digits
+//    (%.17g) that strtod round-trips the exact bit pattern, which is what
+//    lets the HTTP front end promise bit-identical estimates end to end.
+#ifndef RESEST_SERVER_JSON_H_
+#define RESEST_SERVER_JSON_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace resest {
+
+inline constexpr size_t kMaxJsonDepth = 48;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  /// Parses `text` (one JSON value, optionally whitespace-padded). On
+  /// failure returns false and sets *error to a byte-offset-tagged message;
+  /// *out is unspecified.
+  static bool Parse(const std::string& text, JsonValue* out,
+                    std::string* error);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  /// Object members in document order (empty for non-objects). Lets strict
+  /// consumers reject keys they don't understand.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member by key, or null if absent (or not an object). Duplicate
+  /// keys resolve to the last occurrence, matching common parsers.
+  const JsonValue* Find(const std::string& key) const;
+
+ private:
+  struct Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                       ///< Array elements.
+  std::vector<std::pair<std::string, JsonValue>> members_;  ///< Object.
+};
+
+/// Appends `s` as a JSON string literal (quotes included) with all
+/// mandatory escapes.
+void AppendJsonString(const std::string& s, std::string* out);
+
+/// Appends a double with round-trip precision: parsing the printed text
+/// recovers the identical bit pattern for every finite value. Non-finite
+/// values (unrepresentable in JSON) are emitted as null.
+void AppendJsonNumber(double value, std::string* out);
+
+}  // namespace resest
+
+#endif  // RESEST_SERVER_JSON_H_

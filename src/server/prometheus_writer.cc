@@ -1,0 +1,241 @@
+#include "src/server/prometheus_writer.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace resest {
+namespace {
+
+std::string FormatDouble(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(value)) return "NaN";
+  // Shortest representation that still round-trips: bucket bounds like
+  // 0.004 read as "0.004", not "0.0040000000000000001".
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+void AppendLabelValue(const std::string& value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '"': *out += "\\\""; break;
+      case '\n': *out += "\\n"; break;
+      default: *out += c;
+    }
+  }
+}
+
+}  // namespace
+
+void PrometheusWriter::BeginFamily(const std::string& name,
+                                   const std::string& help,
+                                   const char* type) {
+  text_ += "# HELP " + name + " " + help + "\n";
+  text_ += "# TYPE " + name + " ";
+  text_ += type;
+  text_ += "\n";
+}
+
+void PrometheusWriter::SampleLine(const std::string& name,
+                                  const PrometheusLabels& labels,
+                                  const std::string& value) {
+  text_ += name;
+  if (!labels.empty()) {
+    text_ += '{';
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) text_ += ',';
+      text_ += labels[i].first;
+      text_ += "=\"";
+      AppendLabelValue(labels[i].second, &text_);
+      text_ += '"';
+    }
+    text_ += '}';
+  }
+  text_ += ' ';
+  text_ += value;
+  text_ += '\n';
+}
+
+void PrometheusWriter::Sample(const std::string& name,
+                              const PrometheusLabels& labels, double value) {
+  SampleLine(name, labels, FormatDouble(value));
+}
+
+void PrometheusWriter::Sample(const std::string& name,
+                              const PrometheusLabels& labels,
+                              uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  SampleLine(name, labels, buf);
+}
+
+void PrometheusWriter::Histogram(const std::string& name,
+                                 const PrometheusLabels& labels,
+                                 const std::vector<double>& upper_bounds,
+                                 const std::vector<uint64_t>& bucket_counts,
+                                 double sum, uint64_t count) {
+  uint64_t cumulative = 0;
+  PrometheusLabels bucket_labels = labels;
+  bucket_labels.emplace_back("le", "");
+  for (size_t i = 0; i < upper_bounds.size(); ++i) {
+    cumulative += i < bucket_counts.size() ? bucket_counts[i] : 0;
+    bucket_labels.back().second = FormatDouble(upper_bounds[i]);
+    Sample(name + "_bucket", bucket_labels, cumulative);
+  }
+  bucket_labels.back().second = "+Inf";
+  Sample(name + "_bucket", bucket_labels, count);
+  Sample(name + "_sum", labels, sum);
+  Sample(name + "_count", labels, count);
+}
+
+std::string RenderServiceMetrics(const ServerMetricsSnapshot& snapshot) {
+  PrometheusWriter w;
+  const ServiceStats& s = snapshot.service;
+
+  w.BeginFamily("resest_requests_total",
+                "Individual estimates served OK.", "counter");
+  w.Sample("resest_requests_total", {}, s.requests);
+  w.BeginFamily("resest_batches_total", "Batch calls accepted.", "counter");
+  w.Sample("resest_batches_total", {}, s.batches);
+  w.BeginFamily("resest_rejected_batches_total",
+                "Batch calls rejected as oversized.", "counter");
+  w.Sample("resest_rejected_batches_total", {}, s.rejected_batches);
+  w.BeginFamily("resest_errors_total",
+                "Non-OK requests other than deadline expiry.", "counter");
+  w.Sample("resest_errors_total", {}, s.errors);
+  w.BeginFamily("resest_deadline_expired_total",
+                "Requests expired by their deadline.", "counter");
+  w.Sample("resest_deadline_expired_total", {}, s.deadline_expired);
+
+  // Per-priority-lane accounting of the batched pipeline.
+  w.BeginFamily("resest_lane_batches_total",
+                "Batches finished, by priority lane.", "counter");
+  for (size_t p = 0; p < kNumTaskPriorities; ++p) {
+    w.Sample("resest_lane_batches_total",
+             {{"priority", TaskPriorityName(static_cast<TaskPriority>(p))}},
+             s.priorities[p].batches);
+  }
+  w.BeginFamily("resest_lane_requests_total",
+                "Requests completed OK, by priority lane.", "counter");
+  for (size_t p = 0; p < kNumTaskPriorities; ++p) {
+    w.Sample("resest_lane_requests_total",
+             {{"priority", TaskPriorityName(static_cast<TaskPriority>(p))}},
+             s.priorities[p].requests);
+  }
+  w.BeginFamily("resest_lane_expired_total",
+                "Requests expired by their deadline, by priority lane.",
+                "counter");
+  for (size_t p = 0; p < kNumTaskPriorities; ++p) {
+    w.Sample("resest_lane_expired_total",
+             {{"priority", TaskPriorityName(static_cast<TaskPriority>(p))}},
+             s.priorities[p].expired);
+  }
+  w.BeginFamily("resest_lane_latency_mean_ms",
+                "Mean batch latency (ms), by priority lane.", "gauge");
+  for (size_t p = 0; p < kNumTaskPriorities; ++p) {
+    w.Sample("resest_lane_latency_mean_ms",
+             {{"priority", TaskPriorityName(static_cast<TaskPriority>(p))}},
+             s.priorities[p].MeanLatencyMs());
+  }
+  w.BeginFamily("resest_lane_latency_max_ms",
+                "Max batch latency (ms), by priority lane.", "gauge");
+  for (size_t p = 0; p < kNumTaskPriorities; ++p) {
+    w.Sample("resest_lane_latency_max_ms",
+             {{"priority", TaskPriorityName(static_cast<TaskPriority>(p))}},
+             s.priorities[p].max_latency_ms);
+  }
+
+  // The service's power-of-two latency histogram: bucket i counts batches
+  // under 2^i microseconds, exposed in seconds per Prometheus convention.
+  w.BeginFamily("resest_batch_latency_seconds",
+                "Batch latency, submission to completion, by priority lane.",
+                "histogram");
+  std::vector<double> bounds(kServiceLatencyBuckets);
+  for (size_t i = 0; i < kServiceLatencyBuckets; ++i) {
+    bounds[i] = static_cast<double>(uint64_t{1} << i) / 1e6;
+  }
+  for (size_t p = 0; p < kNumTaskPriorities; ++p) {
+    const PriorityLaneStats& lane = s.priorities[p];
+    std::vector<uint64_t> counts(lane.latency_histogram.begin(),
+                                 lane.latency_histogram.end());
+    w.Histogram("resest_batch_latency_seconds",
+                {{"priority", TaskPriorityName(static_cast<TaskPriority>(p))}},
+                bounds, counts, lane.total_latency_ms / 1e3, lane.batches);
+  }
+
+  // Estimate cache, totals then the per-shard breakdown.
+  w.BeginFamily("resest_cache_hits_total", "Estimate cache hits.", "counter");
+  w.Sample("resest_cache_hits_total", {}, s.cache_hits);
+  w.BeginFamily("resest_cache_misses_total", "Estimate cache misses.",
+                "counter");
+  w.Sample("resest_cache_misses_total", {}, s.cache_misses);
+  w.BeginFamily("resest_cache_evictions_total",
+                "Estimate cache entries dropped by the LRU bound.", "counter");
+  w.Sample("resest_cache_evictions_total", {}, s.cache_evictions);
+  w.BeginFamily("resest_cache_invalidated_total",
+                "Estimate cache entries dropped by scoped invalidation.",
+                "counter");
+  w.Sample("resest_cache_invalidated_total", {}, snapshot.cache.invalidated);
+  w.BeginFamily("resest_cache_entries", "Estimate cache current size.",
+                "gauge");
+  w.Sample("resest_cache_entries", {}, static_cast<uint64_t>(s.cache_entries));
+  w.BeginFamily("resest_cache_shard_hits_total",
+                "Estimate cache hits, by shard.", "counter");
+  for (size_t i = 0; i < snapshot.cache.shards.size(); ++i) {
+    w.Sample("resest_cache_shard_hits_total", {{"shard", std::to_string(i)}},
+             snapshot.cache.shards[i].hits);
+  }
+  w.BeginFamily("resest_cache_shard_misses_total",
+                "Estimate cache misses, by shard.", "counter");
+  for (size_t i = 0; i < snapshot.cache.shards.size(); ++i) {
+    w.Sample("resest_cache_shard_misses_total", {{"shard", std::to_string(i)}},
+             snapshot.cache.shards[i].misses);
+  }
+  w.BeginFamily("resest_cache_shard_entries",
+                "Estimate cache current size, by shard.", "gauge");
+  for (size_t i = 0; i < snapshot.cache.shards.size(); ++i) {
+    w.Sample("resest_cache_shard_entries", {{"shard", std::to_string(i)}},
+             static_cast<uint64_t>(snapshot.cache.shards[i].entries));
+  }
+
+  // Model lineage: the active version plus every slot's last-changed
+  // version (the delta-publish trail).
+  w.BeginFamily("resest_model_version",
+                "Active model version (0 = none).", "gauge");
+  w.Sample("resest_model_version", {{"model", snapshot.model_name}},
+           snapshot.model_version);
+  w.BeginFamily("resest_model_slot_version",
+                "Version at which each (op, resource) model slot last "
+                "changed.",
+                "gauge");
+  for (const auto& slot : snapshot.slot_versions) {
+    w.Sample("resest_model_slot_version",
+             {{"model", snapshot.model_name},
+              {"op", std::get<0>(slot)},
+              {"resource", std::get<1>(slot)}},
+             std::get<2>(slot));
+  }
+
+  // HTTP front end.
+  w.BeginFamily("resest_http_requests_total",
+                "HTTP requests answered (including parser-level errors).",
+                "counter");
+  w.Sample("resest_http_requests_total", {}, snapshot.http_requests_served);
+  w.BeginFamily("resest_http_active_connections",
+                "HTTP connections currently open.", "gauge");
+  w.Sample("resest_http_active_connections", {},
+           static_cast<uint64_t>(snapshot.http_active_connections));
+
+  return w.text();
+}
+
+}  // namespace resest

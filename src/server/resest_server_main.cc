@@ -1,0 +1,214 @@
+// resest_server: the network front end of the estimation service.
+//
+// Serves three endpoints over dependency-free HTTP/1.1 (see
+// docs/wire_api.md):
+//   POST /v1/estimate   batched operator estimates with priority/deadline
+//   GET  /healthz       liveness + active model version
+//   GET  /metrics       Prometheus text exposition
+//
+// Model source: --model=<path> loads a persisted model store
+// (ResourceEstimator::SaveToFile / ModelRegistry::SaveActive format);
+// without it the server trains a small demo model on a generated TPC-H
+// workload at startup (--train-queries / --trees control its size), so the
+// walkthroughs and CI smoke test need no model artifact.
+//
+// Shutdown: SIGTERM or SIGINT starts a graceful drain — stop accepting,
+// answer every in-flight request, flush a final stats line — then exits 0.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/common/shutdown.h"
+#include "src/common/thread_pool.h"
+#include "src/server/http_server.h"
+#include "src/server/serving_frontend.h"
+#include "src/serving/estimation_service.h"
+#include "src/serving/model_registry.h"
+#include "src/workload/runner.h"
+#include "src/workload/schemas.h"
+#include "src/workload/tpch_queries.h"
+
+using namespace resest;
+
+namespace {
+
+struct Flags {
+  std::string address = "127.0.0.1";
+  int port = 8080;  ///< 0 = ephemeral (the bound port is printed).
+  int threads = 0;  ///< 0 = hardware concurrency.
+  std::string model_path;  ///< Empty = train a demo model at startup.
+  std::string model_name = "default";
+  int train_queries = 40;  ///< Demo-model workload size.
+  int trees = 30;          ///< Demo-model trees per MART.
+};
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--address=IP] [--port=N] [--threads=N]\n"
+      "          [--model=PATH] [--model-name=NAME]\n"
+      "          [--train-queries=N] [--trees=N]\n"
+      "\n"
+      "  --address=IP       bind address (default 127.0.0.1)\n"
+      "  --port=N           listen port; 0 picks an ephemeral port\n"
+      "                     (default 8080). The bound port is printed as\n"
+      "                     'resest_server listening on <addr>:<port>'.\n"
+      "  --threads=N        thread-pool size for request handling and\n"
+      "                     batch fan-out (default: hardware concurrency)\n"
+      "  --model=PATH       load a persisted model store instead of\n"
+      "                     training the demo model\n"
+      "  --model-name=NAME  registry name to publish/serve (default\n"
+      "                     'default')\n"
+      "  --train-queries=N  demo model: TPC-H training workload size\n"
+      "  --trees=N          demo model: MART trees per model slot\n",
+      argv0);
+}
+
+bool ParseIntFlag(const char* arg, const char* name, int* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  char* end = nullptr;
+  const long v = std::strtol(arg + len + 1, &end, 10);
+  if (end == arg + len + 1 || *end != '\0') {
+    std::fprintf(stderr, "resest_server: bad integer in %s\n", arg);
+    std::exit(2);
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseStringFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintUsage(argv[0]);
+      std::exit(0);
+    }
+    if (ParseStringFlag(arg, "--address", &flags.address) ||
+        ParseIntFlag(arg, "--port", &flags.port) ||
+        ParseIntFlag(arg, "--threads", &flags.threads) ||
+        ParseStringFlag(arg, "--model", &flags.model_path) ||
+        ParseStringFlag(arg, "--model-name", &flags.model_name) ||
+        ParseIntFlag(arg, "--train-queries", &flags.train_queries) ||
+        ParseIntFlag(arg, "--trees", &flags.trees)) {
+      continue;
+    }
+    std::fprintf(stderr, "resest_server: unknown flag %s\n", arg);
+    PrintUsage(argv[0]);
+    std::exit(2);
+  }
+  if (flags.port < 0 || flags.port > 65535) {
+    std::fprintf(stderr, "resest_server: --port must be in [0, 65535]\n");
+    std::exit(2);
+  }
+  return flags;
+}
+
+/// Trains the small self-contained demo model (generated TPC-H data +
+/// workload) and publishes it. Returns the published version, 0 on failure.
+uint64_t PublishDemoModel(const Flags& flags, size_t train_threads,
+                          ModelRegistry* registry) {
+  std::fprintf(stderr,
+               "resest_server: no --model given; training demo model "
+               "(%d queries, %d trees)...\n",
+               flags.train_queries, flags.trees);
+  auto db = GenerateDatabase(TpchSchema(), 0.3, 1.0, 42);
+  Rng rng(7);
+  auto queries = GenerateTpchWorkload(flags.train_queries, &rng, db.get());
+  const auto workload = RunWorkload(db.get(), queries);
+  TrainOptions options;
+  options.mart.num_trees = flags.trees;
+  options.train_threads = train_threads;
+  auto estimator = std::make_shared<ResourceEstimator>(
+      ResourceEstimator::Train(workload, options));
+  return registry->Publish(flags.model_name, std::move(estimator));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+
+  // Install before serving starts so an early signal is never lost — it is
+  // latched and the drain below runs immediately after startup.
+  ShutdownLatch::Install();
+
+  const size_t threads =
+      flags.threads > 0
+          ? static_cast<size_t>(flags.threads)
+          : std::max(2u, std::thread::hardware_concurrency());
+  ThreadPool pool(threads);
+  ModelRegistry registry;
+
+  uint64_t version = 0;
+  if (!flags.model_path.empty()) {
+    version = registry.PublishFromFile(flags.model_name, flags.model_path);
+    if (version == 0) {
+      std::fprintf(stderr,
+                   "resest_server: failed to load model from %s\n",
+                   flags.model_path.c_str());
+      return 1;
+    }
+  } else {
+    version = PublishDemoModel(flags, threads, &registry);
+    if (version == 0) {
+      std::fprintf(stderr, "resest_server: demo model training failed\n");
+      return 1;
+    }
+  }
+
+  ServiceOptions service_options;
+  service_options.model_name = flags.model_name;
+  EstimationService service(&registry, &pool, service_options);
+  ServingFrontend frontend(&service, &registry, flags.model_name);
+
+  HttpServerOptions server_options;
+  server_options.bind_address = flags.address;
+  server_options.port = static_cast<uint16_t>(flags.port);
+  HttpServer server(
+      &pool, [&frontend](const HttpRequest& r) { return frontend.Handle(r); },
+      server_options);
+  frontend.set_http_server(&server);
+
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "resest_server: %s\n", error.c_str());
+    return 1;
+  }
+
+  // The test harness and CI smoke script parse this exact line for the
+  // bound (possibly ephemeral) port; keep it first on stdout.
+  std::printf("resest_server listening on %s:%u (model %s v%llu, %zu threads)\n",
+              flags.address.c_str(), server.port(), flags.model_name.c_str(),
+              static_cast<unsigned long long>(version), threads);
+  std::fflush(stdout);
+
+  ShutdownLatch::Wait();
+  std::fprintf(stderr, "resest_server: draining...\n");
+  server.Stop();  // Stops accepting; blocks until in-flight answered.
+
+  const ServiceStats stats = service.stats();
+  std::printf(
+      "resest_server: drained; served %llu http requests, %llu estimates "
+      "(%llu batches, %llu expired, cache hit rate %.3f)\n",
+      static_cast<unsigned long long>(server.requests_served()),
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.deadline_expired),
+      stats.CacheHitRate());
+  std::fflush(stdout);
+  return 0;
+}

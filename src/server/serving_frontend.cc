@@ -1,0 +1,111 @@
+#include "src/server/serving_frontend.h"
+
+#include <utility>
+
+#include "src/server/json.h"
+#include "src/server/prometheus_writer.h"
+#include "src/server/wire_api.h"
+
+namespace resest {
+namespace {
+
+HttpResponse JsonResponse(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace
+
+ServingFrontend::ServingFrontend(const EstimationService* service,
+                                 const ModelRegistry* registry,
+                                 std::string model_name)
+    : service_(service),
+      registry_(registry),
+      model_name_(std::move(model_name)) {}
+
+HttpResponse ServingFrontend::Handle(const HttpRequest& request) const {
+  if (request.target == "/v1/estimate") {
+    if (request.method != "POST") {
+      return JsonResponse(405, FormatWireError("use POST"));
+    }
+    return HandleEstimate(request);
+  }
+  if (request.target == "/healthz") {
+    if (request.method != "GET") {
+      return JsonResponse(405, FormatWireError("use GET"));
+    }
+    return HandleHealthz();
+  }
+  if (request.target == "/metrics") {
+    if (request.method != "GET") {
+      return JsonResponse(405, FormatWireError("use GET"));
+    }
+    return HandleMetrics();
+  }
+  return JsonResponse(404, FormatWireError("no such endpoint: " +
+                                           request.target));
+}
+
+HttpResponse ServingFrontend::HandleEstimate(
+    const HttpRequest& request) const {
+  JsonValue body;
+  std::string error;
+  if (!JsonValue::Parse(request.body, &body, &error)) {
+    return JsonResponse(400, FormatWireError("malformed JSON: " + error));
+  }
+  std::vector<EstimateRequest> requests;
+  SubmitOptions options;
+  if (!ParseEstimateWireBatch(body, &requests, &options, &error)) {
+    return JsonResponse(400, FormatWireError(error));
+  }
+  const std::vector<EstimateResult> results =
+      service_->EstimateBatch(requests, options);
+  return JsonResponse(EstimateWireHttpStatus(results),
+                      FormatEstimateWireResponse(results));
+}
+
+HttpResponse ServingFrontend::HandleHealthz() const {
+  const ModelSnapshot snapshot = registry_->Get(model_name_);
+  if (!snapshot) {
+    return JsonResponse(503, FormatWireError("no active model \"" +
+                                             model_name_ + "\""));
+  }
+  std::string body = "{\"status\":\"ok\",\"model\":";
+  AppendJsonString(model_name_, &body);
+  body += ",\"model_version\":" + std::to_string(snapshot.version) + "}";
+  return JsonResponse(200, std::move(body));
+}
+
+HttpResponse ServingFrontend::HandleMetrics() const {
+  ServerMetricsSnapshot snapshot;
+  snapshot.service = service_->stats();
+  snapshot.cache = service_->cache_stats();
+  snapshot.model_name = model_name_;
+  const ModelSnapshot model = registry_->Get(model_name_);
+  if (model) {
+    snapshot.model_version = model.version;
+    snapshot.slot_versions.reserve(kNumModelSlots);
+    for (int op = 0; op < kNumOpTypes; ++op) {
+      for (int res = 0; res < kNumResources; ++res) {
+        snapshot.slot_versions.emplace_back(
+            OpTypeName(static_cast<OpType>(op)),
+            ResourceName(static_cast<Resource>(res)),
+            model.SlotVersion(static_cast<OpType>(op),
+                              static_cast<Resource>(res)));
+      }
+    }
+  }
+  if (http_server_ != nullptr) {
+    snapshot.http_requests_served = http_server_->requests_served();
+    snapshot.http_active_connections = http_server_->active_connections();
+  }
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = RenderServiceMetrics(snapshot);
+  return response;
+}
+
+}  // namespace resest

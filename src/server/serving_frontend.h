@@ -1,0 +1,58 @@
+// The request router of resest_server: maps the three wire endpoints onto
+// the estimation service. Transport-free (it is just an HttpHandler), so
+// the integration tests can drive it directly as well as over a socket.
+//
+//   POST /v1/estimate  JSON batch -> EstimateBatch (priority/deadline map
+//                      onto SubmitOptions; per-result status in the body;
+//                      whole-batch failures map onto the status's stable
+//                      HTTP code, e.g. kDeadlineExceeded -> 504).
+//   GET  /healthz      200 {"status":"ok",...} iff a model snapshot is
+//                      active, 503 otherwise.
+//   GET  /metrics      Prometheus text exposition of ServiceStats, the
+//                      estimate cache (per shard), model/slot versions and
+//                      the HTTP front end's own counters.
+//
+// Malformed JSON and unknown routes are answered without touching the
+// service; oversized bodies never reach the handler at all (the server
+// rejects them with 400 first).
+#ifndef RESEST_SERVER_SERVING_FRONTEND_H_
+#define RESEST_SERVER_SERVING_FRONTEND_H_
+
+#include <string>
+
+#include "src/server/http_server.h"
+#include "src/serving/estimation_service.h"
+#include "src/serving/model_registry.h"
+
+namespace resest {
+
+class ServingFrontend {
+ public:
+  /// `service` and `registry` must outlive the frontend. The model name is
+  /// used for /healthz and the model-version metrics (it should match
+  /// the service's ServiceOptions::model_name).
+  ServingFrontend(const EstimationService* service,
+                  const ModelRegistry* registry, std::string model_name);
+
+  /// Routes one request; the HttpHandler to hand to HttpServer
+  /// ([this](const HttpRequest& r) { return frontend.Handle(r); }).
+  HttpResponse Handle(const HttpRequest& request) const;
+
+  /// Optional: lets /metrics include the server's own request/connection
+  /// counters. Call after constructing the server; null to detach.
+  void set_http_server(const HttpServer* server) { http_server_ = server; }
+
+ private:
+  HttpResponse HandleEstimate(const HttpRequest& request) const;
+  HttpResponse HandleHealthz() const;
+  HttpResponse HandleMetrics() const;
+
+  const EstimationService* service_;
+  const ModelRegistry* registry_;
+  std::string model_name_;
+  const HttpServer* http_server_ = nullptr;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_SERVER_SERVING_FRONTEND_H_

@@ -1,0 +1,162 @@
+#include "src/server/wire_api.h"
+
+#include <chrono>
+#include <cmath>
+#include <initializer_list>
+
+namespace resest {
+namespace {
+
+/// Strict contract: a key we don't understand is a client error, not
+/// something to silently ignore — typos ("dead_line_ms") fail loudly.
+bool FindUnknownKey(const JsonValue& object,
+                    std::initializer_list<const char*> allowed,
+                    std::string* unknown) {
+  for (const auto& member : object.members()) {
+    bool known = false;
+    for (const char* key : allowed) {
+      if (member.first == key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      *unknown = member.first;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ParseEstimateWireBatch(const JsonValue& body,
+                            std::vector<EstimateRequest>* requests,
+                            SubmitOptions* options, std::string* error) {
+  if (!body.is_object()) {
+    *error = "request body must be a JSON object";
+    return false;
+  }
+  *options = SubmitOptions{};
+
+  std::string unknown;
+  if (FindUnknownKey(body, {"priority", "deadline_ms", "requests"},
+                     &unknown)) {
+    *error = "unknown field \"" + unknown + "\"";
+    return false;
+  }
+
+  if (const JsonValue* priority = body.Find("priority")) {
+    if (!priority->is_string() ||
+        !ParseTaskPriority(priority->as_string(), &options->priority)) {
+      *error = "\"priority\" must be one of \"urgent\", \"normal\", \"bulk\"";
+      return false;
+    }
+  }
+  if (const JsonValue* deadline = body.Find("deadline_ms")) {
+    const double ms = deadline->is_number() ? deadline->as_number() : -1.0;
+    if (!(ms > 0.0) || !std::isfinite(ms)) {
+      *error = "\"deadline_ms\" must be a positive number";
+      return false;
+    }
+    options->deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(
+                            static_cast<int64_t>(ms * 1000.0));
+  }
+
+  const JsonValue* items = body.Find("requests");
+  if (items == nullptr || !items->is_array() || items->items().empty()) {
+    *error = "\"requests\" must be a non-empty array";
+    return false;
+  }
+  requests->clear();
+  requests->reserve(items->items().size());
+  for (size_t i = 0; i < items->items().size(); ++i) {
+    const JsonValue& item = items->items()[i];
+    const std::string at = "requests[" + std::to_string(i) + "]";
+    if (!item.is_object()) {
+      *error = at + " must be an object";
+      return false;
+    }
+    if (FindUnknownKey(item, {"op", "resource", "features"}, &unknown)) {
+      *error = at + " has unknown field \"" + unknown + "\"";
+      return false;
+    }
+    OpType op;
+    const JsonValue* op_value = item.Find("op");
+    if (op_value == nullptr || !op_value->is_string() ||
+        !ParseOpType(op_value->as_string(), &op)) {
+      *error = at + ".op must be an operator type name (e.g. \"TableScan\")";
+      return false;
+    }
+    Resource resource;
+    const JsonValue* resource_value = item.Find("resource");
+    if (resource_value == nullptr || !resource_value->is_string() ||
+        !ParseResource(resource_value->as_string(), &resource)) {
+      *error = at + ".resource must be \"CPU\" or \"IO\"";
+      return false;
+    }
+    FeatureVector features{};
+    const JsonValue* feature_values = item.Find("features");
+    if (feature_values == nullptr || !feature_values->is_array()) {
+      *error = at + ".features must be an array of numbers";
+      return false;
+    }
+    if (feature_values->items().size() > static_cast<size_t>(kNumFeatures)) {
+      *error = at + ".features has " +
+               std::to_string(feature_values->items().size()) +
+               " entries; at most " + std::to_string(kNumFeatures) +
+               " are defined";
+      return false;
+    }
+    for (size_t f = 0; f < feature_values->items().size(); ++f) {
+      const JsonValue& fv = feature_values->items()[f];
+      if (!fv.is_number()) {
+        *error = at + ".features[" + std::to_string(f) + "] must be a number";
+        return false;
+      }
+      features[f] = fv.as_number();
+    }
+    requests->push_back(EstimateRequest::ForOperator(op, features, resource));
+  }
+  return true;
+}
+
+std::string FormatEstimateWireResponse(
+    const std::vector<EstimateResult>& results) {
+  std::string out = "{\"model_version\":";
+  out += std::to_string(results.empty() ? 0 : results.front().model_version);
+  out += ",\"results\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) out += ',';
+    const EstimateResult& r = results[i];
+    out += "{\"status\":";
+    AppendJsonString(EstimateStatusName(r.status), &out);
+    out += ",\"value\":";
+    AppendJsonNumber(r.value, &out);
+    out += ",\"model_version\":";
+    out += std::to_string(r.model_version);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+int EstimateWireHttpStatus(const std::vector<EstimateResult>& results) {
+  if (results.empty()) return 200;
+  EstimateStatus worst = EstimateStatus::kOk;
+  for (const EstimateResult& r : results) {
+    if (r.ok()) return 200;  // Partial success still delivers a 200 body.
+    if (worst == EstimateStatus::kOk) worst = r.status;
+  }
+  return EstimateStatusHttpCode(worst);
+}
+
+std::string FormatWireError(const std::string& message) {
+  std::string out = "{\"error\":";
+  AppendJsonString(message, &out);
+  out += "}";
+  return out;
+}
+
+}  // namespace resest

@@ -1,0 +1,56 @@
+#include "src/serving/estimate_status.h"
+
+namespace resest {
+
+const char* EstimateStatusName(EstimateStatus s) {
+  switch (s) {
+    case EstimateStatus::kOk:
+      return "OK";
+    case EstimateStatus::kModelNotFound:
+      return "MODEL_NOT_FOUND";
+    case EstimateStatus::kInvalidRequest:
+      return "INVALID_REQUEST";
+    case EstimateStatus::kBatchTooLarge:
+      return "BATCH_TOO_LARGE";
+    case EstimateStatus::kInternalError:
+      return "INTERNAL_ERROR";
+    case EstimateStatus::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case EstimateStatus::kNumEstimateStatuses:
+      break;
+  }
+  return "UNKNOWN";
+}
+
+bool ParseEstimateStatus(const std::string& name, EstimateStatus* out) {
+  for (size_t i = 0; i < kNumEstimateStatuses; ++i) {
+    const EstimateStatus s = static_cast<EstimateStatus>(i);
+    if (name == EstimateStatusName(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+int EstimateStatusHttpCode(EstimateStatus s) {
+  switch (s) {
+    case EstimateStatus::kOk:
+      return 200;
+    case EstimateStatus::kModelNotFound:
+      return 503;
+    case EstimateStatus::kInvalidRequest:
+      return 400;
+    case EstimateStatus::kBatchTooLarge:
+      return 413;
+    case EstimateStatus::kInternalError:
+      return 500;
+    case EstimateStatus::kDeadlineExceeded:
+      return 504;
+    case EstimateStatus::kNumEstimateStatuses:
+      break;
+  }
+  return 500;
+}
+
+}  // namespace resest

@@ -1,0 +1,54 @@
+// The wire-stable status taxonomy of the estimation service.
+//
+// EstimateStatus is part of the external API surface: the HTTP front end
+// (src/server/) serializes it by name into response bodies and maps it onto
+// stable HTTP status codes, so enumerators must never be renumbered or
+// renamed — append new ones before kNumEstimateStatuses and extend the
+// name/code tables (a test pins the round-trip for every enumerator).
+//
+// Status -> HTTP code mapping (the single source of truth for server and
+// docs; docs/wire_api.md mirrors this table):
+//
+//   EstimateStatus       wire name          HTTP
+//   ------------------   ----------------   ----
+//   kOk                  OK                 200
+//   kModelNotFound       MODEL_NOT_FOUND    503  (no active model published)
+//   kInvalidRequest      INVALID_REQUEST    400
+//   kBatchTooLarge       BATCH_TOO_LARGE    413
+//   kInternalError       INTERNAL_ERROR     500
+//   kDeadlineExceeded    DEADLINE_EXCEEDED  504
+#ifndef RESEST_SERVING_ESTIMATE_STATUS_H_
+#define RESEST_SERVING_ESTIMATE_STATUS_H_
+
+#include <string>
+
+namespace resest {
+
+enum class EstimateStatus {
+  kOk = 0,
+  kModelNotFound,   ///< No active model under the service's model name.
+  kInvalidRequest,  ///< Null plan or database (and no feature payload).
+  kBatchTooLarge,   ///< Batch exceeds ServiceOptions::max_batch_size.
+  kInternalError,   ///< Estimation threw (e.g. allocation failure).
+  kDeadlineExceeded,  ///< Expired before its chunk started executing.
+  kNumEstimateStatuses,  ///< Count sentinel, not a status.
+};
+inline constexpr size_t kNumEstimateStatuses =
+    static_cast<size_t>(EstimateStatus::kNumEstimateStatuses);
+
+/// Stable wire name of a status (the table above). Never returns null for a
+/// valid enumerator; "UNKNOWN" for out-of-range values.
+const char* EstimateStatusName(EstimateStatus s);
+
+/// Inverse of EstimateStatusName: true (and *out set) iff `name` is the
+/// exact wire name of some enumerator. Round-trips every status:
+/// ParseEstimateStatus(EstimateStatusName(s)) == s.
+bool ParseEstimateStatus(const std::string& name, EstimateStatus* out);
+
+/// The stable HTTP code of a status (the table above). Every enumerator has
+/// a code; out-of-range values map to 500.
+int EstimateStatusHttpCode(EstimateStatus s);
+
+}  // namespace resest
+
+#endif  // RESEST_SERVING_ESTIMATE_STATUS_H_

@@ -30,24 +30,6 @@ size_t LatencyBucket(uint64_t latency_us) {
 
 }  // namespace
 
-const char* EstimateStatusName(EstimateStatus s) {
-  switch (s) {
-    case EstimateStatus::kOk:
-      return "OK";
-    case EstimateStatus::kModelNotFound:
-      return "MODEL_NOT_FOUND";
-    case EstimateStatus::kInvalidRequest:
-      return "INVALID_REQUEST";
-    case EstimateStatus::kBatchTooLarge:
-      return "BATCH_TOO_LARGE";
-    case EstimateStatus::kInternalError:
-      return "INTERNAL_ERROR";
-    case EstimateStatus::kDeadlineExceeded:
-      return "DEADLINE_EXCEEDED";
-  }
-  return "UNKNOWN";
-}
-
 double PriorityLaneStats::ApproxLatencyPercentileMs(double p) const {
   uint64_t total = 0;
   for (uint64_t count : latency_histogram) total += count;
@@ -278,6 +260,34 @@ EstimateResult EstimationService::EstimateWith(
     return result;
   }
   result.model_version = snapshot.version;
+  if (request.has_features) {
+    // Operator-based payload: one (op, features, resource) estimate, memoized
+    // under the same slot-version key the plan path uses for that operator —
+    // a wire client and an in-process plan hitting the same operator share
+    // cache entries, and both return the exact double
+    // EstimateFromFeatures(op, features, resource) computes.
+    if (cache_) NoteServedVersion(snapshot.version);
+    const ResourceEstimator& estimator = *snapshot.estimator;
+    if (cache_ == nullptr ||
+        estimator.ModelsFor(request.op, request.resource) == nullptr) {
+      // Untrained slots estimate to a feature-free constant; caching them
+      // would only spend entries (mirrors GroupedEstimateQuery).
+      result.value = estimator.EstimateFromFeatures(request.op,
+                                                    request.features,
+                                                    request.resource);
+      return result;
+    }
+    EstimateCache::Key key;
+    key.model_version = snapshot.SlotVersion(request.op, request.resource);
+    key.op = request.op;
+    key.resource = request.resource;
+    key.features = request.features;
+    if (cache_->Lookup(key, &result.value)) return result;
+    result.value = estimator.EstimateFromFeatures(request.op, request.features,
+                                                  request.resource);
+    cache_->Insert(key, result.value);
+    return result;
+  }
   if (request.plan == nullptr || request.database == nullptr) {
     result.status = EstimateStatus::kInvalidRequest;
     return result;
@@ -540,11 +550,6 @@ void EstimationService::LaunchBatch(
 }
 
 std::vector<EstimateResult> EstimationService::EstimateBatch(
-    const std::vector<EstimateRequest>& requests) const {
-  return EstimateBatch(requests, SubmitOptions{});
-}
-
-std::vector<EstimateResult> EstimationService::EstimateBatch(
     const std::vector<EstimateRequest>& requests,
     const SubmitOptions& submit_options) const {
   auto state = MakeBatch(requests, submit_options);
@@ -560,11 +565,6 @@ std::vector<EstimateResult> EstimationService::EstimateBatch(
 }
 
 std::future<std::vector<EstimateResult>> EstimationService::SubmitBatch(
-    std::vector<EstimateRequest> requests) const {
-  return SubmitBatch(std::move(requests), SubmitOptions{});
-}
-
-std::future<std::vector<EstimateResult>> EstimationService::SubmitBatch(
     std::vector<EstimateRequest> requests,
     const SubmitOptions& submit_options) const {
   auto state = MakeBatch(std::move(requests), submit_options);
@@ -575,21 +575,11 @@ std::future<std::vector<EstimateResult>> EstimationService::SubmitBatch(
 }
 
 void EstimationService::SubmitBatch(std::vector<EstimateRequest> requests,
-                                    BatchCallback done) const {
-  SubmitBatch(std::move(requests), SubmitOptions{}, std::move(done));
-}
-
-void EstimationService::SubmitBatch(std::vector<EstimateRequest> requests,
-                                    const SubmitOptions& submit_options,
-                                    BatchCallback done) const {
+                                    BatchCallback done,
+                                    const SubmitOptions& submit_options) const {
   auto state = MakeBatch(std::move(requests), submit_options);
   state->callback = std::move(done);
   LaunchBatch(state);
-}
-
-std::future<EstimateResult> EstimationService::SubmitEstimate(
-    const EstimateRequest& request) const {
-  return SubmitEstimate(request, SubmitOptions{});
 }
 
 std::future<EstimateResult> EstimationService::SubmitEstimate(
@@ -597,25 +587,23 @@ std::future<EstimateResult> EstimationService::SubmitEstimate(
     const SubmitOptions& submit_options) const {
   auto result = std::make_shared<std::promise<EstimateResult>>();
   std::future<EstimateResult> future = result->get_future();
-  SubmitBatch(std::vector<EstimateRequest>{request}, submit_options,
+  SubmitBatch(std::vector<EstimateRequest>{request},
               [result](std::vector<EstimateResult> results) {
                 result->set_value(std::move(results.front()));
-              });
+              },
+              submit_options);
   return future;
 }
 
 void EstimationService::SubmitEstimate(const EstimateRequest& request,
-                                       EstimateCallback done) const {
-  SubmitEstimate(request, SubmitOptions{}, std::move(done));
-}
-
-void EstimationService::SubmitEstimate(const EstimateRequest& request,
-                                       const SubmitOptions& submit_options,
-                                       EstimateCallback done) const {
-  SubmitBatch(std::vector<EstimateRequest>{request}, submit_options,
+                                       EstimateCallback done,
+                                       const SubmitOptions& submit_options)
+    const {
+  SubmitBatch(std::vector<EstimateRequest>{request},
               [done = std::move(done)](std::vector<EstimateResult> results) {
                 done(std::move(results.front()));
-              });
+              },
+              submit_options);
 }
 
 std::vector<double> EstimationService::EstimatePipelines(

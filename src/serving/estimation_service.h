@@ -37,28 +37,45 @@
 
 #include "src/common/thread_pool.h"
 #include "src/serving/estimate_cache.h"
+#include "src/serving/estimate_status.h"
 #include "src/serving/model_registry.h"
 
 namespace resest {
 
-/// One estimation request: an annotated plan on a database, for a resource.
-/// `plan` and `database` must outlive the call (for Submit* overloads:
-/// until the future is ready / the callback has run).
+/// One estimation request. Two payload kinds share the struct (the unified
+/// request API — in-process and wire clients submit through the same batch
+/// pipeline, with the same caching, scheduling and stats):
+///
+///  - Plan-based (the in-process default): an annotated plan on a database,
+///    for a resource; the estimate sums over the plan's operators. `plan`
+///    and `database` must outlive the call (for Submit* flavors: until the
+///    future is ready / the callback has run).
+///  - Operator-based (what the HTTP front end maps wire requests onto, see
+///    src/server/): `has_features` set, one operator type plus an
+///    already-extracted feature vector; `plan`/`database` are ignored. The
+///    result is bit-identical to
+///    ResourceEstimator::EstimateFromFeatures(op, features, resource), and
+///    is memoized in the same slot-version-keyed estimate cache as the
+///    per-operator terms of plan-based requests.
 struct EstimateRequest {
   const Plan* plan = nullptr;
   const Database* database = nullptr;
   Resource resource = Resource::kCpu;
-};
+  /// Operator-based payload; only read when has_features is set.
+  OpType op = OpType::kTableScan;
+  FeatureVector features{};
+  bool has_features = false;
 
-enum class EstimateStatus {
-  kOk = 0,
-  kModelNotFound,   ///< No active model under the service's model name.
-  kInvalidRequest,  ///< Null plan or database.
-  kBatchTooLarge,   ///< Batch exceeds ServiceOptions::max_batch_size.
-  kInternalError,   ///< Estimation threw (e.g. allocation failure).
-  kDeadlineExceeded,  ///< Expired before its chunk started executing.
+  static EstimateRequest ForOperator(OpType op, const FeatureVector& features,
+                                     Resource resource) {
+    EstimateRequest r;
+    r.resource = resource;
+    r.op = op;
+    r.features = features;
+    r.has_features = true;
+    return r;
+  }
 };
-const char* EstimateStatusName(EstimateStatus s);
 
 struct EstimateResult {
   EstimateStatus status = EstimateStatus::kOk;
@@ -200,41 +217,31 @@ class EstimationService {
   /// order. Empty input returns an empty vector; oversized input returns
   /// kBatchTooLarge for every request; a batch whose deadline has already
   /// passed returns kDeadlineExceeded for every request without executing.
-  std::vector<EstimateResult> EstimateBatch(
-      const std::vector<EstimateRequest>& requests) const;
+  /// Default submit options reproduce the pre-lane behavior: kNormal
+  /// priority, no deadline (same for the Submit* entry points below).
   std::vector<EstimateResult> EstimateBatch(
       const std::vector<EstimateRequest>& requests,
-      const SubmitOptions& submit_options) const;
+      const SubmitOptions& submit_options = {}) const;
 
   /// Non-blocking batch submission: returns immediately with a future that
   /// becomes ready when the last chunk completes. Same semantics as
   /// EstimateBatch otherwise. The service copies `requests`; the pointed-to
   /// plans and databases must outlive completion.
   std::future<std::vector<EstimateResult>> SubmitBatch(
-      std::vector<EstimateRequest> requests) const;
-  std::future<std::vector<EstimateResult>> SubmitBatch(
       std::vector<EstimateRequest> requests,
-      const SubmitOptions& submit_options) const;
+      const SubmitOptions& submit_options = {}) const;
 
   /// Callback flavor: `done` is invoked exactly once, possibly before this
   /// call returns (degenerate batches complete on the submitting thread).
-  void SubmitBatch(std::vector<EstimateRequest> requests,
-                   BatchCallback done) const;
-  void SubmitBatch(std::vector<EstimateRequest> requests,
-                   const SubmitOptions& submit_options,
-                   BatchCallback done) const;
+  void SubmitBatch(std::vector<EstimateRequest> requests, BatchCallback done,
+                   const SubmitOptions& submit_options = {}) const;
 
   /// Non-blocking single-request submission (one pool hop).
   std::future<EstimateResult> SubmitEstimate(
-      const EstimateRequest& request) const;
-  std::future<EstimateResult> SubmitEstimate(
       const EstimateRequest& request,
-      const SubmitOptions& submit_options) const;
-  void SubmitEstimate(const EstimateRequest& request,
-                      EstimateCallback done) const;
-  void SubmitEstimate(const EstimateRequest& request,
-                      const SubmitOptions& submit_options,
-                      EstimateCallback done) const;
+      const SubmitOptions& submit_options = {}) const;
+  void SubmitEstimate(const EstimateRequest& request, EstimateCallback done,
+                      const SubmitOptions& submit_options = {}) const;
 
   /// Per-pipeline estimates for one plan (scheduling granularity). An empty
   /// vector signals failure (no active model, or null plan/database) —

@@ -702,18 +702,22 @@ TEST_F(ServingTest, UrgentBatchOvertakesQueuedBulkBatch) {
   const auto requests = QueueRequests(Resource::kCpu);
   SubmitOptions bulk;
   bulk.priority = TaskPriority::kBulk;
-  service.SubmitBatch(requests, bulk, [&](std::vector<EstimateResult>) {
-    std::lock_guard<std::mutex> lock(mu);
-    completion_order.push_back("bulk");
-    bulk_done.set_value();
-  });
+  service.SubmitBatch(requests,
+                      [&](std::vector<EstimateResult>) {
+                        std::lock_guard<std::mutex> lock(mu);
+                        completion_order.push_back("bulk");
+                        bulk_done.set_value();
+                      },
+                      bulk);
   SubmitOptions urgent;
   urgent.priority = TaskPriority::kUrgent;
-  service.SubmitBatch(requests, urgent, [&](std::vector<EstimateResult>) {
-    std::lock_guard<std::mutex> lock(mu);
-    completion_order.push_back("urgent");
-    urgent_done.set_value();
-  });
+  service.SubmitBatch(requests,
+                      [&](std::vector<EstimateResult>) {
+                        std::lock_guard<std::mutex> lock(mu);
+                        completion_order.push_back("urgent");
+                        urgent_done.set_value();
+                      },
+                      urgent);
 
   gate_release.set_value();
   urgent_done.get_future().wait();
@@ -831,17 +835,18 @@ TEST_F(ServingTest, DeadlineStatusPropagatesThroughFutureAndCallback) {
             EstimateStatus::kDeadlineExceeded);
 
   std::promise<EstimateResult> delivered;
-  service.SubmitEstimate(req, expired, [&delivered](EstimateResult r) {
-    delivered.set_value(r);
-  });
+  service.SubmitEstimate(
+      req, [&delivered](EstimateResult r) { delivered.set_value(r); },
+      expired);
   EXPECT_EQ(delivered.get_future().get().status,
             EstimateStatus::kDeadlineExceeded);
 
   std::promise<std::vector<EstimateResult>> batch_delivered;
-  service.SubmitBatch({req, req}, expired,
+  service.SubmitBatch({req, req},
                       [&batch_delivered](std::vector<EstimateResult> results) {
                         batch_delivered.set_value(std::move(results));
-                      });
+                      },
+                      expired);
   const auto batch_results = batch_delivered.get_future().get();
   ASSERT_EQ(batch_results.size(), 2u);
   for (const auto& r : batch_results) {
