@@ -50,6 +50,7 @@
 #include "bench/experiment_common.h"
 #include "bench/json_writer.h"
 #include "src/common/thread_pool.h"
+#include "src/ml/compiled_forest.h"
 #include "src/server/http_client.h"
 #include "src/server/http_server.h"
 #include "src/server/json.h"
@@ -462,8 +463,11 @@ int main() {
     requests.push_back({&eq.plan, eq.database,
                         i % 2 == 0 ? Resource::kCpu : Resource::kIo});
   }
-  std::printf("request stream: %d requests over %zu distinct plans\n\n",
+  std::printf("request stream: %d requests over %zu distinct plans\n",
               num_requests, distinct);
+  std::printf("compiled-forest kernel: %s (lockstep width %zu)\n\n",
+              CompiledForest::ActiveKernelName(),
+              CompiledForest::kLockstepWidth);
 
   // --- Serial baseline: one thread, one request at a time. ---
   std::vector<double> serial(requests.size());
@@ -618,6 +622,18 @@ int main() {
   json.Number("serial_qps", dn / serial_sec);
   json.Number("batched_uncached_qps", dn / fanout.seconds);
   json.Number("batched_cached_qps", dn / memoized.seconds);
+  json.Number("batched_uncached_speedup", serial_sec / fanout.seconds);
+  // Inference-path configuration behind the numbers above: which compiled-
+  // forest kernel ran (avx2 / scalar / scalar-exact), its lockstep width,
+  // and the chunk size the adaptive policy picked for this batch shape —
+  // so a regression in the JSON can be attributed to a dispatch or sizing
+  // change, not just "got slower".
+  json.Str("simd_kernel", CompiledForest::ActiveKernelName());
+  json.Int("lockstep_width",
+           static_cast<long long>(CompiledForest::kLockstepWidth));
+  json.Int("chunk_size_effective",
+           static_cast<long long>(uncached.EffectiveChunkSize(
+               requests.size(), TaskPriority::kNormal)));
   json.Number("cache_hit_rate", stats.CacheHitRate());
   json.Int("latency_probes", num_probes);
   json.Number("urgent_p50_ms_fifo", fifo.p50_ms);

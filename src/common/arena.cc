@@ -1,0 +1,82 @@
+#include "src/common/arena.h"
+
+#include <algorithm>
+
+namespace resest {
+
+namespace {
+inline size_t AlignUp(size_t value, size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+}  // namespace
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  if (bytes == 0) bytes = 1;  // distinct non-null pointers for empty arrays
+  if (block_index_ < blocks_.size()) {
+    Block& block = blocks_[block_index_];
+    const size_t aligned = AlignUp(offset_, align);
+    if (aligned + bytes <= block.size) {
+      offset_ = aligned + bytes;
+      bytes_used_ += bytes;
+      return block.data.get() + aligned;
+    }
+  }
+  return AllocateSlow(bytes, align);
+}
+
+void* Arena::AllocateSlow(size_t bytes, size_t align) {
+  // Try the remaining blocks of a previously grown chain before extending
+  // it; each candidate block is at least double its predecessor, so the
+  // scan is short and a fit is likely.
+  while (block_index_ + 1 < blocks_.size()) {
+    ++block_index_;
+    offset_ = 0;
+    Block& block = blocks_[block_index_];
+    const size_t aligned = AlignUp(offset_, align);
+    if (aligned + bytes <= block.size) {
+      offset_ = aligned + bytes;
+      bytes_used_ += bytes;
+      return block.data.get() + aligned;
+    }
+  }
+  const size_t last_size = blocks_.empty() ? initial_bytes_ / 2
+                                           : blocks_.back().size;
+  const size_t size = std::max(last_size * 2, AlignUp(bytes + align, 64));
+  Block block;
+  block.data = std::make_unique<unsigned char[]>(size);
+  block.size = size;
+  blocks_.push_back(std::move(block));
+  ++blocks_allocated_;
+  block_index_ = blocks_.size() - 1;
+  const size_t aligned = AlignUp(size_t{0}, align);
+  offset_ = aligned + bytes;
+  bytes_used_ += bytes;
+  return blocks_[block_index_].data.get() + aligned;
+}
+
+void Arena::Reset() {
+  if (blocks_.size() > 1) {
+    // The last cycle overflowed the resident block: replace the chain with
+    // one block sized for the whole cycle, so subsequent cycles bump within
+    // a single block and never hit AllocateSlow.
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    blocks_.clear();
+    Block block;
+    block.data = std::make_unique<unsigned char[]>(total);
+    block.size = total;
+    blocks_.push_back(std::move(block));
+    ++blocks_allocated_;
+  }
+  block_index_ = 0;
+  offset_ = 0;
+  bytes_used_ = 0;
+}
+
+size_t Arena::bytes_reserved() const {
+  size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+}  // namespace resest

@@ -133,15 +133,17 @@ double CombinedModel::Predict(const FeatureVector& raw) const {
 }
 
 void CombinedModel::PredictBatch(const FeatureVector* const* rows, size_t n,
-                                 double* out) const {
+                                 double* out, Arena* scratch) const {
   const size_t nf = input_features_.size();
-  std::vector<double> inputs(n * nf);
+  Arena local;
+  Arena* arena = scratch != nullptr ? scratch : &local;
+  double* inputs = arena->AllocateArray<double>(n * nf);
   for (size_t i = 0; i < n; ++i) {
-    TransformInputsInto(*rows[i], inputs.data() + i * nf);
+    TransformInputsInto(*rows[i], inputs + i * nf);
   }
   // out[i] = per-unit MART output, accumulated per row exactly as the
   // scalar path does (see CompiledForest::PredictBatch).
-  mart_.compiled().PredictBatch(inputs.data(), n, nf, out);
+  mart_.compiled().PredictBatch(inputs, n, nf, out);
   for (size_t i = 0; i < n; ++i) {
     out[i] = std::max(0.0, out[i] * ScaleValue(*rows[i]));
   }
@@ -153,10 +155,17 @@ double CombinedModel::PredictReference(const FeatureVector& raw) const {
 }
 
 std::vector<double> CombinedModel::OutRatios(const FeatureVector& raw) const {
-  const std::vector<double> x = TransformInputs(raw);
-  std::vector<double> ratios;
-  ratios.reserve(x.size());
-  for (size_t j = 0; j < x.size(); ++j) {
+  std::vector<double> ratios(input_features_.size());
+  OutRatiosInto(raw, ratios.data());
+  return ratios;
+}
+
+size_t CombinedModel::OutRatiosInto(const FeatureVector& raw,
+                                    double* out) const {
+  double x[kNumFeatures];
+  TransformInputsInto(raw, x);
+  const size_t n = input_features_.size();
+  for (size_t j = 0; j < n; ++j) {
     const double lo = low_[j], hi = high_[j];
     const double span = hi - lo;
     // Paper formula (Section 6.3) with the obvious fix: the out-of-range
@@ -166,17 +175,17 @@ std::vector<double> CombinedModel::OutRatios(const FeatureVector& raw) const {
     const double above = std::max(x[j] - hi, 0.0);
     const double dist = std::max(below, above);
     if (dist <= 0.0) {
-      ratios.push_back(0.0);
+      out[j] = 0.0;
     } else if (span > 1e-12) {
-      ratios.push_back(dist / span);
+      out[j] = dist / span;
     } else {
       // Degenerate envelope (constant feature in training): any deviation is
       // maximally out of range.
-      ratios.push_back(dist / std::max(1.0, std::fabs(lo)));
+      out[j] = dist / std::max(1.0, std::fabs(lo));
     }
   }
-  std::sort(ratios.begin(), ratios.end(), std::greater<double>());
-  return ratios;
+  std::sort(out, out + n, std::greater<double>());
+  return n;
 }
 
 OperatorModelSet OperatorModelSet::Train(OpType op, Resource resource,
@@ -284,19 +293,26 @@ OperatorModelSet OperatorModelSet::Train(OpType op, Resource resource,
 const CombinedModel* OperatorModelSet::Select(const FeatureVector& raw) const {
   if (models_.empty()) return nullptr;
   const CombinedModel& dm = default_model();
-  const std::vector<double> dm_ratios = dm.OutRatios(raw);
-  if (dm_ratios.empty() || dm_ratios[0] <= 0.0) return &dm;
+  // Ratio buffers live on the stack (a model never has more than
+  // kNumFeatures inputs; +1 for the empty-ratios pad below): Select runs per
+  // model per row on the serving hot path and must not touch the heap.
+  double dm_ratios[kNumFeatures + 1];
+  const size_t dm_n = dm.OutRatiosInto(raw, dm_ratios);
+  if (dm_n == 0 || dm_ratios[0] <= 0.0) return &dm;
 
   // Pick the model minimizing the max out_ratio; break ties by fewer scale
   // features, then by the remaining ratios in descending order (Section 6.3).
   const CombinedModel* best = nullptr;
-  std::vector<double> best_ratios;
+  double best_ratios[kNumFeatures + 1];
+  size_t best_n = 0;
   for (const auto& m : models_) {
-    std::vector<double> r = m.OutRatios(raw);
-    if (r.empty()) r.push_back(0.0);
+    double r[kNumFeatures + 1];
+    size_t rn = m.OutRatiosInto(raw, r);
+    if (rn == 0) r[rn++] = 0.0;
     if (best == nullptr) {
       best = &m;
-      best_ratios = std::move(r);
+      std::copy(r, r + rn, best_ratios);
+      best_n = rn;
       continue;
     }
     constexpr double kEps = 1e-12;
@@ -308,7 +324,7 @@ const CombinedModel* OperatorModelSet::Select(const FeatureVector& raw) const {
         better = true;
       } else if (m.NumScaleFeatures() == best->NumScaleFeatures()) {
         // Lexicographic comparison of the remaining sorted ratios.
-        const size_t n = std::min(r.size(), best_ratios.size());
+        const size_t n = std::min(rn, best_n);
         for (size_t k = 1; k < n; ++k) {
           if (r[k] < best_ratios[k] - kEps) {
             better = true;
@@ -320,7 +336,8 @@ const CombinedModel* OperatorModelSet::Select(const FeatureVector& raw) const {
     }
     if (better) {
       best = &m;
-      best_ratios = std::move(r);
+      std::copy(r, r + rn, best_ratios);
+      best_n = rn;
     }
   }
   return best;
@@ -332,29 +349,44 @@ double OperatorModelSet::Predict(const FeatureVector& raw) const {
 }
 
 void OperatorModelSet::PredictBatch(const FeatureVector* const* rows, size_t n,
-                                    double* out) const {
+                                    double* out, Arena* scratch) const {
   if (models_.empty()) {
     for (size_t i = 0; i < n; ++i) out[i] = 0.0;
     return;
   }
-  // Group rows by the model Section 6.3 selects for them; each group then
+  Arena local;
+  Arena* arena = scratch != nullptr ? scratch : &local;
+  // Group rows by the model Section 6.3 selects for them via a counting
+  // sort (stable: ascending model index, original order within a group —
+  // the same order the old per-model index lists produced); each group then
   // runs through its model's compiled forest in one tree-outer sweep.
-  std::vector<std::vector<size_t>> groups(models_.size());
+  const size_t num_models = models_.size();
+  uint32_t* sel = arena->AllocateArray<uint32_t>(n);
+  size_t* offset = arena->AllocateArray<size_t>(num_models + 1);
+  for (size_t g = 0; g <= num_models; ++g) offset[g] = 0;
   for (size_t i = 0; i < n; ++i) {
     const CombinedModel* m = Select(*rows[i]);
-    groups[static_cast<size_t>(m - models_.data())].push_back(i);
+    sel[i] = static_cast<uint32_t>(m - models_.data());
+    ++offset[sel[i] + 1];
   }
-  std::vector<const FeatureVector*> group_rows;
-  std::vector<double> group_out;
-  for (size_t g = 0; g < groups.size(); ++g) {
-    const std::vector<size_t>& idx = groups[g];
-    if (idx.empty()) continue;
-    group_rows.clear();
-    group_rows.reserve(idx.size());
-    for (size_t i : idx) group_rows.push_back(rows[i]);
-    group_out.resize(idx.size());
-    models_[g].PredictBatch(group_rows.data(), idx.size(), group_out.data());
-    for (size_t k = 0; k < idx.size(); ++k) out[idx[k]] = group_out[k];
+  for (size_t g = 1; g <= num_models; ++g) offset[g] += offset[g - 1];
+  const FeatureVector** group_rows =
+      arena->AllocateArray<const FeatureVector*>(n);
+  uint32_t* order = arena->AllocateArray<uint32_t>(n);
+  size_t* cursor = arena->AllocateArray<size_t>(num_models);
+  for (size_t g = 0; g < num_models; ++g) cursor[g] = offset[g];
+  for (size_t i = 0; i < n; ++i) {
+    const size_t pos = cursor[sel[i]]++;
+    group_rows[pos] = rows[i];
+    order[pos] = static_cast<uint32_t>(i);
+  }
+  double* group_out = arena->AllocateArray<double>(n);
+  for (size_t g = 0; g < num_models; ++g) {
+    const size_t begin = offset[g], end = offset[g + 1];
+    if (begin == end) continue;
+    models_[g].PredictBatch(group_rows + begin, end - begin, group_out + begin,
+                            arena);
+    for (size_t p = begin; p < end; ++p) out[order[p]] = group_out[p];
   }
 }
 

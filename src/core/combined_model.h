@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/serial.h"
 #include "src/core/features.h"
 #include "src/core/scaling.h"
@@ -45,9 +46,12 @@ class CombinedModel {
 
   /// Batched prediction: out[i] is bit-identical to Predict(*rows[i]). The
   /// transformed inputs of all rows are packed into one matrix and swept
-  /// through the compiled forest tree-by-tree (see CompiledForest).
-  void PredictBatch(const FeatureVector* const* rows, size_t n,
-                    double* out) const;
+  /// through the compiled forest tree-by-tree (see CompiledForest). The
+  /// packing matrix comes from `scratch` when given (zero heap allocations;
+  /// the serving layer passes its per-thread chunk arena) and from a
+  /// transient local arena otherwise.
+  void PredictBatch(const FeatureVector* const* rows, size_t n, double* out,
+                    Arena* scratch = nullptr) const;
 
   /// Reference oracle for tests: Predict computed through the legacy
   /// per-tree scalar walk (Mart::PredictReference) instead of the compiled
@@ -58,6 +62,12 @@ class CombinedModel {
   /// this raw vector, sorted descending. All-zero means the vector lies
   /// within the training envelope of this model.
   std::vector<double> OutRatios(const FeatureVector& raw) const;
+
+  /// Allocation-free flavor: writes the sorted ratios into `out` (callers
+  /// size it kNumFeatures — input features never exceed that) and returns
+  /// how many were written. Select() runs this per model per row on the
+  /// serving hot path.
+  size_t OutRatiosInto(const FeatureVector& raw, double* out) const;
 
   /// Mean relative training error (used to pick the default model).
   double train_error() const { return train_error_; }
@@ -113,10 +123,13 @@ class OperatorModelSet {
   double Predict(const FeatureVector& raw) const;
 
   /// Batched flavor: out[i] is bit-identical to Predict(*rows[i]). Rows are
-  /// grouped by the model Section 6.3 selects for them, and each group runs
-  /// through that model's compiled forest in one sweep.
-  void PredictBatch(const FeatureVector* const* rows, size_t n,
-                    double* out) const;
+  /// grouped by the model Section 6.3 selects for them (a counting sort,
+  /// stable within each group), and each group runs through that model's
+  /// compiled forest in one sweep. All grouping scratch comes from `scratch`
+  /// when given (zero heap allocations) and a transient local arena
+  /// otherwise.
+  void PredictBatch(const FeatureVector* const* rows, size_t n, double* out,
+                    Arena* scratch = nullptr) const;
 
   /// The model Section 6.3 selects for this feature vector.
   const CombinedModel* Select(const FeatureVector& raw) const;

@@ -143,7 +143,7 @@ double ResourceEstimator::EstimateFromFeatures(OpType op,
 
 void ResourceEstimator::EstimateBatchFromFeatures(
     OpType op, const FeatureVector* const* features, size_t n,
-    Resource resource, double* out) const {
+    Resource resource, double* out, Arena* scratch) const {
   const OperatorModelSet* set = ModelsFor(op, resource);
   if (set == nullptr) {
     const double mean =
@@ -151,7 +151,7 @@ void ResourceEstimator::EstimateBatchFromFeatures(
     for (size_t i = 0; i < n; ++i) out[i] = mean;
     return;
   }
-  set->PredictBatch(features, n, out);
+  set->PredictBatch(features, n, out, scratch);
 }
 
 double ResourceEstimator::EstimateQuery(const Plan& plan, const Database& db,

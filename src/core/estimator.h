@@ -75,11 +75,14 @@ class ResourceEstimator {
   /// Batched keyed entry point: out[i] is bit-identical to
   /// EstimateFromFeatures(op, *features[i], resource), but all rows of one
   /// (op, resource) run through the compiled forests in grouped sweeps
-  /// instead of one tree walk per row. The serving layer feeds a plan's
-  /// cache-miss operators through this.
+  /// instead of one tree walk per row. The serving layer feeds a chunk's
+  /// cache-miss operators through this, passing its per-thread arena as
+  /// `scratch` so the sweep performs zero heap allocations (a transient
+  /// local arena is used when scratch is null).
   void EstimateBatchFromFeatures(OpType op,
                                  const FeatureVector* const* features, size_t n,
-                                 Resource resource, double* out) const;
+                                 Resource resource, double* out,
+                                 Arena* scratch = nullptr) const;
 
   /// Estimate for a whole plan (sum over operators).
   double EstimateQuery(const Plan& plan, const Database& db,
@@ -152,6 +155,27 @@ class ResourceEstimator {
 void VisitPlanOperators(
     const Plan& plan,
     const std::function<void(const PlanNode&, const PlanNode*)>& fn);
+
+namespace internal {
+template <typename Fn>
+void ForEachPlanNode(const PlanNode* node, const PlanNode* parent, Fn& fn) {
+  fn(*node, parent);
+  for (const auto& child : node->children) {
+    ForEachPlanNode(child.get(), node, fn);
+  }
+}
+}  // namespace internal
+
+/// Template flavor of VisitPlanOperators for hot paths: identical traversal
+/// order, but the callback is a direct template parameter — constructing a
+/// std::function from a capturing lambda heap-allocates, which the
+/// zero-allocation batch pipeline cannot afford per request.
+template <typename Fn>
+void ForEachPlanOperator(const Plan& plan, Fn&& fn) {
+  if (!plan.root) return;
+  internal::ForEachPlanNode(plan.root.get(),
+                            static_cast<const PlanNode*>(nullptr), fn);
+}
 
 }  // namespace resest
 

@@ -5,17 +5,38 @@
 // A trained Mart stores one heap-allocated std::vector<TreeNode> per tree
 // (~150 per model), so a single prediction chases ~150 scattered blocks.
 // CompiledForest flattens the whole ensemble at Train/Deserialize time into
-// one contiguous structure-of-arrays block — features[], thresholds[],
-// left[], right[], leaf values and the linear-leaf fields each in their own
-// array, with absolute node indices and per-tree root offsets — so scalar
-// traversal touches one allocation and batched traversal (tree-outer /
-// row-inner) keeps each tree's nodes hot in cache across the whole batch.
+// one cache-dense pre-order layout: each node is a single 16-byte record
+// (int32 split feature, float32-quantized threshold, int32 right-child
+// index) so one cache line holds four nodes and one traversal step touches
+// one line instead of four parallel arrays. The left child is implicit —
+// pre-order emission places it at index i + 1 — which is what lets the AVX2
+// kernel resolve a step with three node gathers instead of five. Leaf
+// values and the linear-leaf fields stay in separate cold arrays, touched
+// once per tree per row.
+//
+// Batched traversal runs kLockstepWidth (8) rows per tree in lockstep; the
+// fixed-depth, self-looping walk has no data-dependent exit, so the rows'
+// load-compare chains overlap in the pipeline. Two kernels implement it:
+//
+//  - kScalar: portable unrolled lockstep, the fallback on any hardware.
+//  - kAvx2: x86 AVX2 gathers — per step, one 8-lane gather each for the
+//    split features, thresholds and right-child indices, plus two 4-lane
+//    double gathers for the feature values, then a predicated blend picks
+//    each row's next node. Compiled behind a function-level target
+//    attribute and selected at runtime (cpuid + RESEST_SIMD env override),
+//    so binaries built on/for non-AVX2 hosts still run the scalar path.
 //
 // Bit-identity contract: Predict and PredictBatch reproduce the legacy
-// per-tree scalar path (Mart::PredictReference) byte for byte. Every row is
-// accumulated in the exact order f0 + sum_i lr * tree_i(x), with the same
-// float->double promotions the TreeNode walk performs; the batched loop
-// only reorders work *across* rows, never within one row's sum.
+// per-tree scalar path (Mart::PredictReference) byte for byte — in BOTH
+// kernels. Comparisons happen in the double domain (the float32 threshold
+// is widened exactly), and each row's accumulation f0 + sum_i lr * tree_i(x)
+// runs scalar, in boosting order, with no FMA contraction; the vector code
+// only computes leaf indices, which are integers and either exactly right
+// or a bug. Defining RESEST_EXACT_PREDICT (CMake option of the same name)
+// additionally pins every batch entry point to the scalar reference-order
+// kernel, so the bit-identity oracle suite enforces the contract without
+// trusting any SIMD kernel — the escape hatch for a future kernel that
+// does reassociate.
 //
 // Immutability: Compile() fully builds the representation; afterwards all
 // methods are const and touch no mutable state, so a compiled forest can be
@@ -30,8 +51,27 @@
 
 namespace resest {
 
+/// Traversal kernel identifiers; see ActiveKernel().
+enum class ForestKernel { kScalar = 0, kAvx2 = 1 };
+
 class CompiledForest {
  public:
+  /// Rows walked in lockstep per tree by PredictBatch.
+  static constexpr size_t kLockstepWidth = 8;
+
+  /// The kernel PredictBatch dispatches to, resolved once per process:
+  /// kAvx2 when the CPU supports it (and the build is x86-64), else
+  /// kScalar. Overrides: RESEST_SIMD=scalar forces the fallback (bench
+  /// comparability, testing); RESEST_SIMD=avx2 requests AVX2 but still
+  /// falls back when unsupported; a RESEST_EXACT_PREDICT build pins
+  /// kScalar unconditionally.
+  static ForestKernel ActiveKernel();
+  /// "avx2", "scalar", or "scalar-exact" (RESEST_EXACT_PREDICT build).
+  static const char* ActiveKernelName();
+  /// True when this binary carries the AVX2 kernel and the CPU supports it
+  /// (regardless of the RESEST_SIMD override).
+  static bool Avx2Supported();
+
   /// Flattens `trees` (the boosted sequence of a Mart) into the contiguous
   /// layout. Trees with no nodes compile to a single zero-value leaf, which
   /// is what an empty RegressionTree predicts.
@@ -47,12 +87,18 @@ class CompiledForest {
   /// (row i starts at rows + i * stride). out[i] is bit-identical to
   /// Predict(rows + i * stride, stride): the loop is tree-outer/row-inner
   /// for cache locality, but each row still accumulates f0 first and then
-  /// the trees in boosting order.
+  /// the trees in boosting order. Dispatches to ActiveKernel().
   void PredictBatch(const double* rows, size_t num_rows, size_t stride,
                     double* out) const;
 
+  /// Test seam: PredictBatch through a specific kernel. Falls back to
+  /// kScalar when the requested kernel is unavailable on this host (and in
+  /// RESEST_EXACT_PREDICT builds, which pin the scalar path).
+  void PredictBatchWith(ForestKernel kernel, const double* rows,
+                        size_t num_rows, size_t stride, double* out) const;
+
   size_t NumTrees() const { return roots_.size(); }
-  size_t NumNodes() const { return feature_.size(); }
+  size_t NumNodes() const { return nodes_.size(); }
   bool empty() const { return roots_.empty(); }
 
   /// 1 + the largest feature index any split or linear leaf reads; 0 for a
@@ -62,22 +108,44 @@ class CompiledForest {
   /// out of bounds at predict time.
   size_t NumFeaturesReferenced() const { return num_features_referenced_; }
 
+  /// One traversal record. 16 bytes so the AVX2 kernel reaches any field
+  /// with a scale-4 word gather off index * 4, and a cache line covers four
+  /// nodes. The left child is implicit (pre-order: index + 1); leaves
+  /// carry a NaN threshold, which fails every ordered compare, so both the
+  /// scalar select and the vector blend route a finished row to `right` —
+  /// pointed at the leaf itself (the self-loop that makes the fixed-depth
+  /// walk overshoot-safe).
+  struct HotNode {
+    int32_t feature = 0;      ///< Split feature (0 on leaves, never read).
+    float threshold = 0.0f;   ///< Go left iff x[feature] <= threshold.
+    int32_t right = 0;        ///< Absolute right-child index; self on leaves.
+    int32_t pad = 0;          ///< Keeps the record a power-of-two size.
+  };
+  static_assert(sizeof(HotNode) == 16, "gather addressing assumes 16B nodes");
+
  private:
+  /// Pre-order emission of the subtree rooted at `node` into nodes_ and the
+  /// cold leaf arrays; returns the absolute index it was placed at.
+  int32_t EmitSubtree(const std::vector<TreeNode>& tree_nodes, size_t node);
+
+  void PredictBatchScalar(const double* rows, size_t num_rows, size_t stride,
+                          double* out) const;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  void PredictBatchAvx2(const double* rows, size_t num_rows, size_t stride,
+                        double* out) const;
+#endif
+
   double f0_ = 0.0;
   double learning_rate_ = 0.0;
   std::vector<int32_t> roots_;   ///< Absolute root node index per tree.
   /// Max root-to-leaf edge count per tree. Traversal runs exactly this many
-  /// steps: leaves self-loop (left = right = own index, threshold +inf), so
-  /// a row that reaches its leaf early just stays put. This makes the walk
-  /// branch-free — no data-dependent loop exit to mispredict — without
-  /// changing which leaf a row lands on.
+  /// steps: leaves self-loop (see HotNode), so a row that reaches its leaf
+  /// early just stays put. This makes the walk branch-free — no
+  /// data-dependent loop exit to mispredict — without changing which leaf a
+  /// row lands on.
   std::vector<int32_t> depths_;
-  // One contiguous SoA node block; indices in left_/right_ are absolute.
-  // Leaves are the self-looping nodes (left_[i] == i).
-  std::vector<int16_t> feature_;      ///< Split feature (0 on leaves).
-  std::vector<float> threshold_;      ///< Go left iff x[feature] <= threshold.
-  std::vector<int32_t> left_;
-  std::vector<int32_t> right_;
+  std::vector<HotNode> nodes_;  ///< Pre-order per tree; indices absolute.
+  // Cold leaf data, indexed like nodes_.
   std::vector<float> value_;          ///< Leaf constant (or intercept).
   std::vector<int16_t> lin_feature_;  ///< Linear-leaf feature; -1 = constant.
   std::vector<float> slope_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <utility>
 
 #include "src/core/estimator.h"
@@ -15,6 +16,15 @@ uint64_t ElapsedMicros(Clock::time_point start) {
   const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
       Clock::now() - start);
   return us.count() < 0 ? 0 : static_cast<uint64_t>(us.count());
+}
+
+/// Per-thread chunk scratch (see Arena's lifetime rules): every thread that
+/// executes chunks — pool workers, blocking submitters draining their own
+/// batch, Estimate() callers — gets one warmed arena, Reset() at the start
+/// of each chunk. After warm-up, chunk execution never touches the heap.
+Arena& ChunkArena() {
+  thread_local Arena arena(256 * 1024);
+  return arena;
 }
 
 /// Histogram bucket for a latency: smallest i with latency_us < 2^i,
@@ -57,6 +67,17 @@ struct EstimationService::BatchState {
   std::vector<EstimateRequest> requests;
   std::vector<EstimateResult> results;
   ModelSnapshot snapshot;
+  /// Batch-level identity dedup (ServiceOptions::dedup_identical_requests):
+  /// when the batch contains duplicates, `reps` lists the first occurrence
+  /// of each distinct request in request order and chunks cover `reps`
+  /// instead of `requests`; dup_of[i] is the representative whose result
+  /// request i copies in FinishBatch (dup_of[i] <= i, so the source is
+  /// final by then). Both stay empty when every request is distinct —
+  /// chunks then index `requests` directly, with no indirection cost.
+  std::vector<uint32_t> reps;
+  std::vector<uint32_t> dup_of;
+  /// Chunked work items: reps.size() under dedup, requests.size() otherwise.
+  size_t work_items = 0;
   size_t chunk_size = 1;
   size_t num_chunks = 0;
   /// Completed at creation (empty, rejected, expired, or no model): no
@@ -82,7 +103,6 @@ struct EstimationService::BatchState {
 EstimationService::EstimationService(const ModelRegistry* registry,
                                      ThreadPool* pool, ServiceOptions options)
     : registry_(registry), pool_(pool), options_(std::move(options)) {
-  if (options_.chunk_size == 0) options_.chunk_size = 1;
   if (options_.enable_cache) {
     EstimateCacheOptions cache_options;
     cache_options.capacity = options_.cache_capacity;
@@ -158,98 +178,190 @@ void EstimationService::InvalidateOperators(
   }
 }
 
-double EstimationService::GroupedEstimateQuery(const ModelSnapshot& snapshot,
-                                               const Plan& plan,
-                                               const Database& db,
-                                               Resource resource) const {
-  // Same pre-order traversal and summation order as EstimateQuery. Each
-  // operator resolves to one double in `values`: a fallback constant, a
-  // cache hit (the exact double the estimator produced on the original
-  // miss), or — for misses — a slot filled by a batched compiled-forest
-  // sweep over all of the plan's missed operators of that type. Batched
-  // predictions are bit-identical to scalar ones, so the ordered sum equals
-  // the direct EstimateQuery byte for byte.
+void EstimationService::EstimateChunk(const ModelSnapshot& snapshot,
+                                      const EstimateRequest* requests,
+                                      size_t count, EstimateResult* results,
+                                      Arena* scratch) const {
   const ResourceEstimator& estimator = *snapshot.estimator;
   const FeatureMode mode = estimator.mode();
-  std::vector<double> values;
-  struct Miss {
-    size_t slot = 0;
-    EstimateCache::Key key;
-  };
-  std::array<std::vector<Miss>, kNumOpTypes> misses;
-  VisitPlanOperators(plan, [&](const PlanNode& node, const PlanNode* parent) {
-    // Operators without a trained model set estimate to a feature-free
-    // constant (the fallback mean) — hashing, caching, or batching them
-    // would only cost time, so take the constant directly, exactly as the
-    // uncached EstimateOperator does.
-    if (estimator.ModelsFor(node.type, resource) == nullptr) {
-      values.push_back(estimator.EstimateFromFeatures(node.type, {}, resource));
-      return;
-    }
-    Miss miss;
-    // Keyed by the *slot* version — the version at which this (op, resource)
-    // model last changed — not the estimator version: a delta publish leaves
-    // untouched slots' versions (and thus their live cache entries) intact,
-    // while refitted slots miss exactly once and repopulate under the new
-    // version. For full publishes every slot version equals the snapshot
-    // version, reproducing the old behavior exactly.
-    miss.key.model_version = snapshot.SlotVersion(node.type, resource);
-    miss.key.op = node.type;
-    miss.key.resource = resource;
-    miss.key.features = ExtractFeatures(node, parent, db, mode);
-    double value = 0.0;
-    if (cache_ != nullptr && cache_->Lookup(miss.key, &value)) {
-      values.push_back(value);
-      return;
-    }
-    miss.slot = values.size();
-    values.push_back(0.0);
-    misses[static_cast<size_t>(node.type)].push_back(std::move(miss));
-  });
+  if (cache_ != nullptr) NoteServedVersion(snapshot.version);
 
-  std::vector<const FeatureVector*> rows;
-  std::vector<size_t> row_of;         // miss index -> unique batch row
-  std::vector<size_t> defining_miss;  // unique batch row -> first miss index
-  std::vector<double> batch_out;
-  for (int op = 0; op < kNumOpTypes; ++op) {
-    const std::vector<Miss>& group = misses[static_cast<size_t>(op)];
-    if (group.empty()) continue;
-    // Deduplicate bitwise-identical feature vectors (self-similar plans
-    // repeat operators): each distinct key is predicted and inserted once,
-    // matching the per-operator lookup path's cost on duplicates. Groups
-    // are plan-sized, so the quadratic scan stays trivial.
-    rows.clear();
-    defining_miss.clear();
-    row_of.resize(group.size());
-    for (size_t i = 0; i < group.size(); ++i) {
-      size_t u = 0;
-      while (u < rows.size() &&
-             !FeatureVectorHashEqual(*rows[u], group[i].key.features)) {
-        ++u;
-      }
-      if (u == rows.size()) {
-        rows.push_back(&group[i].key.features);
-        defining_miss.push_back(i);
-      }
-      row_of[i] = u;
+  // Each request's estimate is an ordered sum of per-operator terms (one
+  // term for operator payloads). Pass 1 counts them so every scratch array
+  // is allocated exactly once.
+  size_t* term_offset = scratch->AllocateArray<size_t>(count + 1);
+  size_t total_terms = 0;
+  for (size_t i = 0; i < count; ++i) {
+    term_offset[i] = total_terms;
+    const EstimateRequest& req = requests[i];
+    results[i] = EstimateResult{};
+    results[i].model_version = snapshot.version;
+    if (req.has_features) {
+      ++total_terms;
+    } else if (req.plan == nullptr || req.database == nullptr) {
+      results[i].status = EstimateStatus::kInvalidRequest;
+    } else {
+      ForEachPlanOperator(*req.plan, [&total_terms](const PlanNode&,
+                                                    const PlanNode*) {
+        ++total_terms;
+      });
     }
-    batch_out.resize(rows.size());
-    estimator.EstimateBatchFromFeatures(static_cast<OpType>(op), rows.data(),
-                                        rows.size(), resource,
-                                        batch_out.data());
-    for (size_t i = 0; i < group.size(); ++i) {
-      values[group[i].slot] = batch_out[row_of[i]];
+  }
+  term_offset[count] = total_terms;
+
+  double* values = scratch->AllocateArray<double>(total_terms);
+  struct Miss {
+    const FeatureVector* features;  ///< Request payload or `extracted` slot.
+    uint32_t term;                  ///< Index into `values`.
+    uint32_t slot;                  ///< op * kNumResources + resource.
+  };
+  Miss* misses = scratch->AllocateArray<Miss>(total_terms);
+  FeatureVector* extracted = scratch->AllocateArray<FeatureVector>(total_terms);
+  size_t num_misses = 0;
+
+  // Pass 2: resolve every term to a fallback constant (untrained slot), a
+  // cache hit (the exact double the original miss computed), or a miss
+  // record for the grouped sweeps below. Keys carry the *slot* version —
+  // the version at which this (op, resource) model last changed — not the
+  // estimator version: a delta publish leaves untouched slots' versions
+  // (and thus their live cache entries) intact, while refitted slots miss
+  // exactly once and repopulate under the new version.
+  size_t term = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const EstimateRequest& req = requests[i];
+    if (results[i].status != EstimateStatus::kOk) continue;
+    const Resource resource = req.resource;
+    // Resolves one term whose (op, resource) slot has a trained model.
+    const auto resolve = [&](OpType op, const FeatureVector* features) {
+      if (cache_ != nullptr) {
+        EstimateCache::Key key;
+        key.model_version = snapshot.SlotVersion(op, resource);
+        key.op = op;
+        key.resource = resource;
+        key.features = *features;
+        double value = 0.0;
+        if (cache_->Lookup(key, &value)) {
+          values[term++] = value;
+          return;
+        }
+      }
+      Miss& m = misses[num_misses++];
+      m.features = features;
+      m.term = static_cast<uint32_t>(term);
+      m.slot = static_cast<uint32_t>(op) * kNumResources +
+               static_cast<uint32_t>(resource);
+      values[term++] = 0.0;
+    };
+    if (req.has_features) {
+      if (estimator.ModelsFor(req.op, resource) == nullptr) {
+        // Untrained slots estimate to a feature-free constant — hashing,
+        // caching or batching them would only cost time, so take the
+        // constant directly, exactly as the uncached path does.
+        values[term++] = estimator.FallbackMean(req.op, resource);
+      } else {
+        resolve(req.op, &req.features);
+      }
+    } else {
+      ForEachPlanOperator(
+          *req.plan, [&](const PlanNode& node, const PlanNode* parent) {
+            if (estimator.ModelsFor(node.type, resource) == nullptr) {
+              values[term++] = estimator.FallbackMean(node.type, resource);
+              return;
+            }
+            extracted[term] =
+                ExtractFeatures(node, parent, *req.database, mode);
+            resolve(node.type, &extracted[term]);
+          });
+    }
+  }
+
+  // Counting sort of the misses by (op, resource) slot — stable, so the
+  // first miss of each distinct feature vector defines its cache entry.
+  uint32_t* slot_offset = scratch->AllocateArray<uint32_t>(kNumModelSlots + 1);
+  for (size_t s = 0; s <= kNumModelSlots; ++s) slot_offset[s] = 0;
+  for (size_t m = 0; m < num_misses; ++m) ++slot_offset[misses[m].slot + 1];
+  for (size_t s = 1; s <= kNumModelSlots; ++s) {
+    slot_offset[s] += slot_offset[s - 1];
+  }
+  uint32_t* grouped = scratch->AllocateArray<uint32_t>(num_misses);
+  {
+    uint32_t* cursor = scratch->AllocateArray<uint32_t>(kNumModelSlots);
+    for (size_t s = 0; s < kNumModelSlots; ++s) cursor[s] = slot_offset[s];
+    for (size_t m = 0; m < num_misses; ++m) {
+      grouped[cursor[misses[m].slot]++] = static_cast<uint32_t>(m);
+    }
+  }
+
+  // One batched sweep per (op, resource) group, over the group's *distinct*
+  // feature vectors: chunks repeat operators heavily (self-similar plans,
+  // repeated probes), and bitwise-identical rows are — by the bit-identity
+  // contract — guaranteed the same double, so each is predicted and
+  // cache-inserted once. Dedup is an open-addressing table keyed by the
+  // bitwise feature hash.
+  constexpr uint32_t kEmpty = 0xffffffffu;
+  for (size_t s = 0; s < kNumModelSlots; ++s) {
+    const size_t begin = slot_offset[s], end = slot_offset[s + 1];
+    if (begin == end) continue;
+    const size_t group_size = end - begin;
+    size_t cap = 4;
+    while (cap < 2 * group_size) cap <<= 1;
+    uint32_t* table = scratch->AllocateArray<uint32_t>(cap);
+    for (size_t b = 0; b < cap; ++b) table[b] = kEmpty;
+    const FeatureVector** rows =
+        scratch->AllocateArray<const FeatureVector*>(group_size);
+    uint32_t* defining_miss = scratch->AllocateArray<uint32_t>(group_size);
+    uint32_t* row_of = scratch->AllocateArray<uint32_t>(group_size);
+    uint32_t num_rows = 0;
+    for (size_t p = begin; p < end; ++p) {
+      const Miss& m = misses[grouped[p]];
+      size_t b = HashFeatureVector(*m.features) & (cap - 1);
+      while (true) {
+        const uint32_t u = table[b];
+        if (u == kEmpty) {
+          table[b] = num_rows;
+          rows[num_rows] = m.features;
+          defining_miss[num_rows] = grouped[p];
+          row_of[p - begin] = num_rows;
+          ++num_rows;
+          break;
+        }
+        if (FeatureVectorHashEqual(*rows[u], *m.features)) {
+          row_of[p - begin] = u;
+          break;
+        }
+        b = (b + 1) & (cap - 1);
+      }
+    }
+    const OpType op = static_cast<OpType>(s / kNumResources);
+    const Resource resource = static_cast<Resource>(s % kNumResources);
+    double* sweep_out = scratch->AllocateArray<double>(num_rows);
+    estimator.EstimateBatchFromFeatures(op, rows, num_rows, resource,
+                                        sweep_out, scratch);
+    for (size_t p = begin; p < end; ++p) {
+      values[misses[grouped[p]].term] = sweep_out[row_of[p - begin]];
     }
     if (cache_ != nullptr) {
-      for (size_t u = 0; u < rows.size(); ++u) {
-        cache_->Insert(group[defining_miss[u]].key, batch_out[u]);
+      for (uint32_t u = 0; u < num_rows; ++u) {
+        EstimateCache::Key key;
+        key.model_version = snapshot.SlotVersion(op, resource);
+        key.op = op;
+        key.resource = resource;
+        key.features = *misses[defining_miss[u]].features;
+        cache_->Insert(key, sweep_out[u]);
       }
     }
   }
 
-  double total = 0.0;
-  for (double v : values) total += v;
-  return total;
+  // Pass 3: each request sums its terms in the canonical pre-order — the
+  // same order and the same doubles the serial path produces.
+  for (size_t i = 0; i < count; ++i) {
+    if (results[i].status != EstimateStatus::kOk) continue;
+    double total = 0.0;
+    for (size_t t = term_offset[i]; t < term_offset[i + 1]; ++t) {
+      total += values[t];
+    }
+    results[i].value = total;
+  }
 }
 
 EstimateResult EstimationService::EstimateWith(
@@ -259,42 +371,9 @@ EstimateResult EstimationService::EstimateWith(
     result.status = EstimateStatus::kModelNotFound;
     return result;
   }
-  result.model_version = snapshot.version;
-  if (request.has_features) {
-    // Operator-based payload: one (op, features, resource) estimate, memoized
-    // under the same slot-version key the plan path uses for that operator —
-    // a wire client and an in-process plan hitting the same operator share
-    // cache entries, and both return the exact double
-    // EstimateFromFeatures(op, features, resource) computes.
-    if (cache_) NoteServedVersion(snapshot.version);
-    const ResourceEstimator& estimator = *snapshot.estimator;
-    if (cache_ == nullptr ||
-        estimator.ModelsFor(request.op, request.resource) == nullptr) {
-      // Untrained slots estimate to a feature-free constant; caching them
-      // would only spend entries (mirrors GroupedEstimateQuery).
-      result.value = estimator.EstimateFromFeatures(request.op,
-                                                    request.features,
-                                                    request.resource);
-      return result;
-    }
-    EstimateCache::Key key;
-    key.model_version = snapshot.SlotVersion(request.op, request.resource);
-    key.op = request.op;
-    key.resource = request.resource;
-    key.features = request.features;
-    if (cache_->Lookup(key, &result.value)) return result;
-    result.value = estimator.EstimateFromFeatures(request.op, request.features,
-                                                  request.resource);
-    cache_->Insert(key, result.value);
-    return result;
-  }
-  if (request.plan == nullptr || request.database == nullptr) {
-    result.status = EstimateStatus::kInvalidRequest;
-    return result;
-  }
-  if (cache_) NoteServedVersion(snapshot.version);
-  result.value = GroupedEstimateQuery(snapshot, *request.plan,
-                                      *request.database, request.resource);
+  Arena& arena = ChunkArena();
+  arena.Reset();
+  EstimateChunk(snapshot, &request, 1, &result, &arena);
   return result;
 }
 
@@ -357,10 +436,103 @@ std::shared_ptr<EstimationService::BatchState> EstimationService::MakeBatch(
     return state;
   }
 
-  state->chunk_size = options_.chunk_size;
-  state->num_chunks = (n + state->chunk_size - 1) / state->chunk_size;
+  // Identity dedup: collapse requests that are the same computation. A
+  // request is a pure function of (snapshot, plan, database, resource) —
+  // or of (op, features, resource) for operator payloads — so duplicates
+  // within one batch (an optimizer re-costing the same plan per candidate,
+  // a probe repeated across a batch) are one unit of work, not many. Keys
+  // are pointer identity for plan requests (no plan traversal, no feature
+  // hashing at admission time) and the bitwise feature hash for operator
+  // payloads. Chunk sizing below runs over the deduplicated work list;
+  // FinishBatch copies each representative's result to its duplicates.
+  if (options_.dedup_identical_requests && n > 1) {
+    const auto hash_of = [](const EstimateRequest& r) -> size_t {
+      size_t h;
+      if (r.has_features) {
+        h = HashFeatureVector(r.features);
+        h ^= (static_cast<size_t>(r.op) << 1) | 1u;
+      } else {
+        h = reinterpret_cast<uintptr_t>(r.plan) >> 4;
+        h = h * 0x9e3779b97f4a7c15ull +
+            (reinterpret_cast<uintptr_t>(r.database) >> 4);
+      }
+      h = h * 0x9e3779b97f4a7c15ull + static_cast<size_t>(r.resource);
+      h ^= h >> 29;
+      return h;
+    };
+    const auto same = [](const EstimateRequest& a, const EstimateRequest& b) {
+      if (a.resource != b.resource || a.has_features != b.has_features) {
+        return false;
+      }
+      if (a.has_features) {
+        return a.op == b.op && FeatureVectorHashEqual(a.features, b.features);
+      }
+      return a.plan == b.plan && a.database == b.database;
+    };
+    constexpr uint32_t kEmpty = 0xffffffffu;
+    size_t cap = 4;
+    while (cap < 2 * n) cap <<= 1;
+    std::vector<uint32_t> table(cap, kEmpty);
+    state->dup_of.resize(n);
+    state->reps.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const EstimateRequest& req = state->requests[i];
+      size_t b = hash_of(req) & (cap - 1);
+      while (true) {
+        const uint32_t u = table[b];
+        if (u == kEmpty) {
+          table[b] = static_cast<uint32_t>(i);
+          state->dup_of[i] = static_cast<uint32_t>(i);
+          state->reps.push_back(static_cast<uint32_t>(i));
+          break;
+        }
+        if (same(state->requests[u], req)) {
+          state->dup_of[i] = u;
+          break;
+        }
+        b = (b + 1) & (cap - 1);
+      }
+    }
+    if (state->reps.size() == n) {
+      // All distinct: drop the indirection so chunks read `requests`
+      // contiguously (the common case for non-repeating streams).
+      state->reps.clear();
+      state->reps.shrink_to_fit();
+      state->dup_of.clear();
+      state->dup_of.shrink_to_fit();
+    }
+  }
+  state->work_items = state->reps.empty() ? n : state->reps.size();
+
+  state->chunk_size = EffectiveChunkSize(state->work_items, state->priority);
+  state->num_chunks =
+      (state->work_items + state->chunk_size - 1) / state->chunk_size;
   state->chunks_left.store(state->num_chunks, std::memory_order_relaxed);
   return state;
+}
+
+size_t EstimationService::EffectiveChunkSize(size_t batch_size,
+                                             TaskPriority priority) const {
+  if (options_.chunk_size != 0) return options_.chunk_size;
+  if (batch_size == 0) return 1;
+  // ~3 chunks per worker: enough granularity for stealing and for urgent
+  // batches to preempt at chunk boundaries, while keeping the per-chunk
+  // claim/countdown overhead amortized over many requests.
+  const size_t workers = std::max<size_t>(1, pool_->num_threads());
+  size_t chunk = (batch_size + 3 * workers - 1) / (3 * workers);
+  // Lane caps: an urgent batch wants small chunks (its latency is bounded
+  // by its largest chunk, and other lanes preempt between chunks); a bulk
+  // batch wants wide chunks (maximum dedup + sweep width, and it is the
+  // work being preempted, not doing the preempting). Measured on the
+  // serving bench: normal-lane 64 is past the knee of the claim-overhead
+  // curve while still splitting a 2k-request batch 30+ ways.
+  size_t cap = 64;
+  if (priority == TaskPriority::kUrgent) {
+    cap = 8;
+  } else if (priority == TaskPriority::kBulk) {
+    cap = 256;
+  }
+  return std::max<size_t>(1, std::min(chunk, cap));
 }
 
 bool EstimationService::RunOneChunk(
@@ -369,7 +541,14 @@ bool EstimationService::RunOneChunk(
   const size_t chunk = batch.next_chunk.fetch_add(1, std::memory_order_relaxed);
   if (chunk >= batch.num_chunks) return false;
   const size_t begin = chunk * batch.chunk_size;
-  const size_t end = std::min(begin + batch.chunk_size, batch.requests.size());
+  const size_t end = std::min(begin + batch.chunk_size, batch.work_items);
+  // Chunks cover the deduplicated work list when the batch had duplicates
+  // (BatchState::reps); request_at maps a work index to the request it
+  // represents. Duplicates receive their copies in FinishBatch.
+  const bool dedup = !batch.reps.empty();
+  const auto request_at = [&](size_t i) -> size_t {
+    return dedup ? batch.reps[i] : i;
+  };
   // Best-effort deadline: decided once, when the chunk starts. A chunk that
   // begins before the deadline always runs to completion (results stay
   // bit-identical for every request that completes); one that would begin
@@ -378,23 +557,64 @@ bool EstimationService::RunOneChunk(
   if (options_.chunk_claim_hook) {
     options_.chunk_claim_hook(batch.priority, expired);
   }
-  for (size_t i = begin; i < end; ++i) {
-    if (expired) {
-      batch.results[i] = EstimateResult{};
-      batch.results[i].status = EstimateStatus::kDeadlineExceeded;
-      batch.results[i].model_version = batch.snapshot.version;
-      continue;
+  if (expired) {
+    for (size_t i = begin; i < end; ++i) {
+      EstimateResult& r = batch.results[request_at(i)];
+      r = EstimateResult{};
+      r.status = EstimateStatus::kDeadlineExceeded;
+      r.model_version = batch.snapshot.version;
+    }
+  } else {
+    Arena& arena = ChunkArena();
+    arena.Reset();
+    const size_t chunk_count = end - begin;
+    // EstimateChunk wants contiguous requests/results; under dedup the
+    // representatives are scattered, so pack them into arena scratch (a
+    // few hundred bytes per request, reclaimed by the next Reset) and
+    // scatter the results back.
+    const EstimateRequest* chunk_requests;
+    EstimateResult* chunk_results;
+    if (dedup) {
+      EstimateRequest* packed =
+          arena.AllocateArray<EstimateRequest>(chunk_count);
+      for (size_t i = 0; i < chunk_count; ++i) {
+        std::memcpy(&packed[i], &batch.requests[request_at(begin + i)],
+                    sizeof(EstimateRequest));
+      }
+      chunk_requests = packed;
+      chunk_results = arena.AllocateArray<EstimateResult>(chunk_count);
+    } else {
+      chunk_requests = batch.requests.data() + begin;
+      chunk_results = batch.results.data() + begin;
     }
     try {
-      batch.results[i] = EstimateWith(batch.snapshot, batch.requests[i]);
+      EstimateChunk(batch.snapshot, chunk_requests, chunk_count, chunk_results,
+                    &arena);
+      if (dedup) {
+        for (size_t i = 0; i < chunk_count; ++i) {
+          batch.results[request_at(begin + i)] = chunk_results[i];
+        }
+      }
     } catch (...) {
-      // Estimation only throws on resource exhaustion (allocation).
-      // Surface it per-request — the promise and callback flavors then
-      // report failures identically, and the countdown still reaches
-      // zero so completion is delivered exactly once.
-      batch.results[i] = EstimateResult{};
-      batch.results[i].status = EstimateStatus::kInternalError;
-      batch.results[i].model_version = batch.snapshot.version;
+      // Estimation only throws on resource exhaustion (allocation), and the
+      // grouped chunk's scratch is the biggest allocation on the path —
+      // retry each request alone before giving up on it. Surfacing failures
+      // per-request keeps the promise and callback flavors identical, and
+      // the countdown still reaches zero so completion is delivered exactly
+      // once. (Reset() below frees the packed copies too, so the retries
+      // read the originals straight from the batch.)
+      for (size_t i = begin; i < end; ++i) {
+        EstimateResult& r = batch.results[request_at(i)];
+        try {
+          arena.Reset();
+          EstimateChunk(batch.snapshot, &batch.requests[request_at(i)], 1, &r,
+                        &arena);
+        } catch (...) {
+          r = EstimateResult{};
+          r.status = EstimateStatus::kInternalError;
+          r.model_version = batch.snapshot.version;
+        }
+      }
     }
   }
   // acq_rel: the final decrement observes every other chunk's writes, so
@@ -471,6 +691,16 @@ void EstimationService::HelperLoop(TaskPriority lane_floor) const {
 }
 
 void EstimationService::FinishBatch(BatchState* state) const {
+  // Deliver the identity-dedup duplicates: every request copies its
+  // representative's result (value, status and version alike — an expired
+  // or failed representative expires or fails its duplicates too).
+  // dup_of[i] <= i, so each source slot is final before it is read.
+  if (!state->dup_of.empty()) {
+    for (size_t i = 0; i < state->results.size(); ++i) {
+      const uint32_t rep = state->dup_of[i];
+      if (rep != i) state->results[i] = state->results[rep];
+    }
+  }
   uint64_t ok = 0, expired = 0, failed = 0;
   for (const auto& r : state->results) {
     if (r.ok()) {

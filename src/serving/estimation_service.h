@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/thread_pool.h"
 #include "src/serving/estimate_cache.h"
 #include "src/serving/estimate_status.h"
@@ -105,9 +106,30 @@ struct SubmitOptions {
 struct ServiceOptions {
   std::string model_name = "default";
   size_t max_batch_size = 4096;  ///< Larger batches are rejected whole.
-  /// Requests per pool task when fanning out a batch. Small chunks balance
-  /// load across workers; large chunks amortize queueing overhead.
-  size_t chunk_size = 8;
+  /// Requests per pool task when fanning out a batch. 0 (the default) means
+  /// adaptive: the batch is split into ~3 chunks per pool worker — enough
+  /// slack for work stealing and chunk-granular preemption — then clamped
+  /// to a per-lane cap (urgent 8, normal 64, bulk 256; see
+  /// EffectiveChunkSize). Small chunks balance load and keep urgent
+  /// latency low; large chunks amortize the claim/countdown round-trip and
+  /// widen the cross-request dedup + compiled-forest sweeps, which is where
+  /// the batched throughput comes from (measured: fixed chunk_size=8 left
+  /// the batched uncached path ~30% *slower* than serial; adaptive sizing
+  /// plus chunk-level grouping turned it into the 3x+ win BENCH_serving.json
+  /// tracks). A non-zero value pins every batch's chunk size verbatim.
+  size_t chunk_size = 0;
+  /// Collapse identical requests inside a batch before fan-out: requests
+  /// naming the same (plan, database, resource) — pointer identity — or a
+  /// bitwise-equal operator payload are estimated once, and every duplicate
+  /// receives a copy of the representative's result when the batch
+  /// completes. Estimation is a pure function of (snapshot, request), so a
+  /// duplicate could never observe a different double: bit-identity is free.
+  /// Optimization sessions re-estimate the same plan many times per batch
+  /// (the workload the estimate cache exists for), and dedup gives the
+  /// uncached path the same collapse at pointer-compare cost; chunk sizing
+  /// applies to the deduplicated work list. Off = every request is
+  /// estimated independently (pre-dedup behavior).
+  bool dedup_identical_requests = true;
   /// Cross-request (model_version, op, resource, features) estimate cache.
   bool enable_cache = true;
   size_t cache_capacity = 64 * 1024;  ///< Entries, across all shards.
@@ -264,6 +286,15 @@ class EstimationService {
   void InvalidateOperators(uint64_t version,
                            const std::vector<ModelSlotId>& ops);
 
+  /// The chunk size a batch of `batch_size` requests at `priority` will be
+  /// split with: options().chunk_size when non-zero, otherwise the adaptive
+  /// policy (~3 chunks per pool worker, clamped to a per-lane cap — urgent
+  /// batches take small chunks so they can be preempted and finished
+  /// quickly, bulk batches large ones to maximize sweep width). Exposed so
+  /// benches and dashboards can report the effective value next to
+  /// throughput numbers.
+  size_t EffectiveChunkSize(size_t batch_size, TaskPriority priority) const;
+
   ServiceStats stats() const;
   /// Full cache statistics including the per-shard breakdown (ServiceStats
   /// carries only the totals) — how an operator spots a skewed feature
@@ -277,17 +308,24 @@ class EstimationService {
 
   EstimateResult EstimateWith(const ModelSnapshot& snapshot,
                               const EstimateRequest& request) const;
-  /// EstimateQuery with the compiled-forest fast path: the plan's operators
-  /// that miss the cache (all of them when the cache is disabled) are
-  /// grouped by operator type and predicted in one batched sweep per (op,
-  /// resource) group, then summed in the canonical traversal order.
-  /// Bit-identical to the direct ResourceEstimator::EstimateQuery call:
-  /// batched predictions equal their scalar counterparts byte for byte,
-  /// cache hits return memoized doubles, and the summation order is
-  /// unchanged. Requests are chunk-parallel, so grouping is per plan — the
-  /// unit one thread serves — rather than across the whole batch.
-  double GroupedEstimateQuery(const ModelSnapshot& snapshot, const Plan& plan,
-                              const Database& db, Resource resource) const;
+  /// The grouped compiled-forest fast path for `count` consecutive requests
+  /// (one scheduler chunk — the unit one thread serves). Every operator of
+  /// every request in the chunk that misses the cache (all of them when the
+  /// cache is disabled) is grouped by (operator type, resource), deduplicated
+  /// bitwise (self-similar plans and repeated probes collapse to one
+  /// prediction), and predicted in one batched sweep per group; each
+  /// request's estimate is then summed in the canonical pre-order traversal
+  /// order. Bit-identical to serial EstimateWith per request: batched
+  /// predictions equal their scalar counterparts byte for byte, cache hits
+  /// return memoized doubles, and each request's summation order is
+  /// unchanged — only *which requests share a sweep* differs, and
+  /// predictions are row-independent. All scratch (term values, extracted
+  /// features, miss records, dedup tables, packing matrices) comes from
+  /// `scratch`; the caller Reset()s it between chunks, so the steady-state
+  /// chunk performs zero heap allocations. `snapshot` must be valid.
+  void EstimateChunk(const ModelSnapshot& snapshot,
+                     const EstimateRequest* requests, size_t count,
+                     EstimateResult* results, Arena* scratch) const;
   /// Drops stale cache space when the active model version changes.
   void NoteServedVersion(uint64_t version) const;
 

@@ -3,7 +3,9 @@
 // legacy per-tree scalar walk byte for byte, at every level of the stack —
 // Mart, CombinedModel/OperatorModelSet, ResourceEstimator — for MART,
 // linear-leaf REGTREE, and constant-fallback models alike.
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -213,6 +215,154 @@ TEST_F(EstimatorSweepTest, DeserializedEstimatorStaysBitIdentical) {
                   trained.EstimateFromFeatures(static_cast<OpType>(op), v,
                                                static_cast<Resource>(r)));
       }
+    }
+  }
+}
+
+// --- Kernel edge cases: every oddly-shaped batch a caller can legally ---
+// --- construct, through both kernels via the PredictBatchWith seam.    ---
+// On hosts without AVX2 the kAvx2 request falls back to scalar and the
+// second half of each comparison is trivially true — the suite still runs.
+
+constexpr ForestKernel kAllKernels[] = {ForestKernel::kScalar,
+                                        ForestKernel::kAvx2};
+
+// Row counts straddling the lockstep width (8) and the AVX2 kernel's
+// interleaved 4x8 block: empty, single-row, exact multiples, one-off each
+// side. Every lane-masking and tail path must stay bit-identical to the
+// legacy reference walk.
+TEST(CompiledForestEdgeTest, RowCountsAroundLockstepWidth) {
+  for (const bool linear_leaves : {false, true}) {
+    const size_t kFeatures = 5;
+    Dataset train = MakeData(1500, kFeatures, 211);
+    MartParams params;
+    params.num_trees = 60;
+    params.linear_leaves = linear_leaves;
+    Mart mart(params);
+    mart.Fit(train);
+
+    Rng rng(17);
+    for (const size_t num_rows :
+         {0u, 1u, 2u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 32u, 33u, 65u}) {
+      std::vector<double> matrix(num_rows * kFeatures);
+      for (auto& v : matrix) v = rng.Uniform(-50.0, 4000.0);
+      std::vector<double> out(num_rows, -1.0);
+      for (const ForestKernel kernel : kAllKernels) {
+        std::fill(out.begin(), out.end(), -1.0);
+        mart.compiled().PredictBatchWith(kernel, matrix.data(), num_rows,
+                                         kFeatures, out.data());
+        for (size_t i = 0; i < num_rows; ++i) {
+          std::vector<double> row(matrix.begin() + i * kFeatures,
+                                  matrix.begin() + (i + 1) * kFeatures);
+          EXPECT_EQ(out[i], mart.PredictReference(row))
+              << "rows=" << num_rows << " row " << i << " kernel "
+              << static_cast<int>(kernel)
+              << (linear_leaves ? " REGTREE" : " MART");
+        }
+      }
+    }
+  }
+}
+
+// stride > features the model references: the extra columns are poisoned
+// with values that would corrupt any traversal that touched them (NaN
+// fails every ordered compare toward the leaf-bound direction). The
+// contract is that traversal never reads past the fitted features.
+TEST(CompiledForestEdgeTest, StrideWiderThanReferencedFeatures) {
+  const size_t kFeatures = 4;
+  Dataset train = MakeData(1200, kFeatures, 331);
+  MartParams params;
+  params.num_trees = 50;
+  Mart mart(params);
+  mart.Fit(train);
+  ASSERT_LE(mart.compiled().NumFeaturesReferenced(), kFeatures);
+
+  const size_t kStride = 11;
+  const size_t kRows = 37;  // not a lockstep multiple either
+  Rng rng(23);
+  std::vector<double> wide(kRows * kStride,
+                           std::numeric_limits<double>::quiet_NaN());
+  std::vector<std::vector<double>> rows;
+  for (size_t i = 0; i < kRows; ++i) {
+    std::vector<double> x(kFeatures);
+    for (auto& v : x) v = rng.Uniform(0.0, 2000.0);
+    std::copy(x.begin(), x.end(), wide.begin() + i * kStride);
+    for (size_t p = kFeatures; p < kStride; ++p) {
+      wide[i * kStride + p] = (p % 2 != 0)
+                                  ? std::numeric_limits<double>::quiet_NaN()
+                                  : -1e300;
+    }
+    rows.push_back(std::move(x));
+  }
+  std::vector<double> out(kRows);
+  for (const ForestKernel kernel : kAllKernels) {
+    std::fill(out.begin(), out.end(), -1.0);
+    mart.compiled().PredictBatchWith(kernel, wide.data(), kRows, kStride,
+                                     out.data());
+    for (size_t i = 0; i < kRows; ++i) {
+      EXPECT_EQ(out[i], mart.PredictReference(rows[i]))
+          << "row " << i << " kernel " << static_cast<int>(kernel);
+    }
+  }
+}
+
+// An empty forest (no trees at all) predicts f0 for every row, from both
+// kernels, at any stride — and references no features.
+TEST(CompiledForestEdgeTest, EmptyForestPredictsF0) {
+  CompiledForest forest;
+  forest.Compile(1.25, 0.1, {});
+  EXPECT_TRUE(forest.empty());
+  EXPECT_EQ(forest.NumTrees(), 0u);
+  EXPECT_EQ(forest.NumFeaturesReferenced(), 0u);
+
+  const std::vector<double> rows = {3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  EXPECT_EQ(forest.Predict(rows.data(), 2), 1.25);
+  for (const ForestKernel kernel : kAllKernels) {
+    std::vector<double> out(3, -1.0);
+    forest.PredictBatchWith(kernel, rows.data(), out.size(), 2, out.data());
+    for (const double v : out) EXPECT_EQ(v, 1.25);
+  }
+}
+
+// Leaf-only trees (depth 0 — a constant per tree, the shape a degenerate
+// fit produces) and node-less trees (which compile to a zero-value leaf)
+// take zero traversal steps: no feature is ever read, so the batch runs
+// correctly even though the forest references no input columns.
+TEST(CompiledForestEdgeTest, LeafOnlyAndNodelessTreesAccumulateConstants) {
+  auto leaf_tree = [](float value) {
+    RegressionTree tree;
+    TreeNode leaf;
+    leaf.feature = -1;
+    leaf.value = value;
+    tree.mutable_nodes()->push_back(leaf);
+    return tree;
+  };
+  std::vector<RegressionTree> trees;
+  trees.push_back(leaf_tree(2.5f));
+  trees.push_back(leaf_tree(-1.5f));
+  trees.push_back(RegressionTree{});  // no nodes: compiles to a zero leaf
+  trees.push_back(leaf_tree(0.25f));
+
+  const double f0 = 0.75, lr = 0.3;
+  CompiledForest forest;
+  forest.Compile(f0, lr, trees);
+  EXPECT_EQ(forest.NumTrees(), 4u);
+  EXPECT_EQ(forest.NumFeaturesReferenced(), 0u);
+
+  // Same accumulation the kernels perform: scalar, in boosting order.
+  double expected = f0;
+  for (const float leaf : {2.5f, -1.5f, 0.0f, 0.25f}) {
+    expected += lr * static_cast<double>(leaf);
+  }
+  const std::vector<double> rows = {9.0, 8.0, 7.0, 6.0};
+  EXPECT_EQ(forest.Predict(rows.data(), 1), expected);
+  for (const ForestKernel kernel : kAllKernels) {
+    for (const size_t num_rows : {1u, 4u, 9u}) {
+      std::vector<double> out(num_rows, -1.0);
+      // stride 0: every row aliases the same storage; legal because a
+      // zero-step walk reads nothing.
+      forest.PredictBatchWith(kernel, rows.data(), num_rows, 0, out.data());
+      for (const double v : out) EXPECT_EQ(v, expected);
     }
   }
 }
