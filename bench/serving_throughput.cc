@@ -580,6 +580,71 @@ int main() {
                 refit.mismatches);
   }
 
+  // --- Bounded observation logs: sustained ingestion under a hard memory
+  // cap. The footprint must stay at or under the cap no matter how much
+  // traffic flows, and a capped refit must stay deterministic (two trainers
+  // fed the same stream refit to byte-identical models). ---
+  LogBounds capped_bounds;
+  capped_bounds.window_rows = 2048;
+  capped_bounds.reservoir_rows = 256;
+  capped_bounds.memory_cap_bytes = 2u << 20;  // 2 MiB across all slots
+  RefitPolicy capped_policy;
+  capped_policy.min_new_rows = 1;
+  IncrementalTrainer capped(options, capped_policy, &pool, capped_bounds);
+  IncrementalTrainer capped_twin(options, capped_policy, &pool, capped_bounds);
+  {
+    std::vector<ExecutedQuery> empty;
+    capped.SeedAndTrain(empty);
+    capped_twin.SeedAndTrain(empty);
+  }
+  // Keep observing the training stream until enough rows flowed that an
+  // unbounded log would have blown well past the cap (3x), bounded by a
+  // pass limit for tiny workloads.
+  const auto IngestedRows = [](const IncrementalTrainer& t) {
+    uint64_t rows = 0;
+    for (int op = 0; op < kNumOpTypes; ++op) {
+      for (int r = 0; r < kNumResources; ++r) {
+        rows += t.LogStats(static_cast<OpType>(op), static_cast<Resource>(r))
+                    .rows;
+      }
+    }
+    return rows;
+  };
+  int ingest_passes = 0;
+  while (ingest_passes < 256 &&
+         IngestedRows(capped) * kObservationRowBytes <
+             3 * capped_bounds.memory_cap_bytes) {
+    capped.ObserveAll(train);
+    capped_twin.ObserveAll(train);
+    ++ingest_passes;
+  }
+  const uint64_t ingested_rows = IngestedRows(capped);
+  const DurabilityStats obslog = capped.durability_stats();
+  const auto capped_refit = capped.RefitAll();
+  const auto twin_refit = capped_twin.RefitAll();
+  const bool capped_deterministic =
+      capped_refit && twin_refit &&
+      capped_refit.estimator->Serialize() == twin_refit.estimator->Serialize();
+  // A single append may transiently overshoot by one row before the cap
+  // enforcement evicts — anything beyond that is a real leak.
+  const bool memory_bounded =
+      obslog.memory_bytes <= capped_bounds.memory_cap_bytes &&
+      obslog.memory_peak_bytes <=
+          capped_bounds.memory_cap_bytes + kObservationRowBytes;
+  std::printf("\n-- bounded observation logs: %llu rows ingested over %d "
+              "passes under a %zu KiB cap --\n",
+              static_cast<unsigned long long>(ingested_rows), ingest_passes,
+              capped_bounds.memory_cap_bytes >> 10);
+  std::printf("footprint: %zu KiB live, %zu KiB peak, %llu rows spilled to "
+              "reservoirs\n",
+              obslog.memory_bytes >> 10, obslog.memory_peak_bytes >> 10,
+              static_cast<unsigned long long>(obslog.spilled_rows));
+  std::printf("capped refit deterministic across identical streams: %s\n",
+              capped_deterministic ? "yes" : "NO");
+  if (!memory_bounded) {
+    std::printf("WARNING: observation-log footprint exceeded the cap\n");
+  }
+
   // --- Server loopback: the same batches in-process vs over HTTP, so the
   // wire overhead of the serving front end is a measured number. ---
   std::printf("\n-- server loopback: %d batches of 64 operator estimates, "
@@ -648,6 +713,16 @@ int main() {
   json.Int("refit_probes", static_cast<long long>(refit.probes_served));
   json.Number("refit_urgent_p50_ms", refit.probes.p50_ms);
   json.Number("refit_urgent_p99_ms", refit.probes.p99_ms);
+  json.Int("obslog_ingested_rows", static_cast<long long>(ingested_rows));
+  json.Int("obslog_bytes", static_cast<long long>(obslog.memory_bytes));
+  json.Int("obslog_peak_bytes",
+           static_cast<long long>(obslog.memory_peak_bytes));
+  json.Int("obslog_cap_bytes",
+           static_cast<long long>(capped_bounds.memory_cap_bytes));
+  json.Int("obslog_spilled_rows",
+           static_cast<long long>(obslog.spilled_rows));
+  json.Bool("obslog_memory_bounded", memory_bounded);
+  json.Bool("obslog_refit_deterministic", capped_deterministic);
   json.Int("http_batches", num_http_batches);
   json.Number("server_inprocess_qps", loopback.inproc_qps);
   json.Number("server_inprocess_p99_ms", loopback.inproc_p99_ms);
@@ -656,5 +731,5 @@ int main() {
   json.Bool("bit_identical", mismatches == 0);
   json.WriteFile("BENCH_serving.json");
 
-  return mismatches == 0 ? 0 : 1;
+  return mismatches == 0 && memory_bounded && capped_deterministic ? 0 : 1;
 }

@@ -5,6 +5,9 @@
 #ifndef RESEST_COMMON_SERIAL_H_
 #define RESEST_COMMON_SERIAL_H_
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -16,34 +19,52 @@
 
 namespace resest {
 
-/// Writes `bytes` to `path` atomically: the content lands in `<path>.tmp`
-/// first and is renamed over `path` only once fully written, so a crash
-/// mid-write never destroys an existing good file — the property the
-/// trainer's checkpoint/restore crash-recovery story rests on.
+/// Writes `bytes` to `path` atomically AND durably: the content lands in
+/// `<path>.tmp` first, is fsync'd, close-checked, renamed over `path` only
+/// once fully on disk, and the rename itself is made durable by syncing the
+/// parent directory. A crash at any point either leaves the old file intact
+/// or the new one complete — never a torn store — which is the property the
+/// model store, the `.lineage` sidecar and every trainer checkpoint rest
+/// on. Every I/O result is checked: a write, fsync or close failure (e.g.
+/// ENOSPC, where close() delivers deferred errors) removes the temp file
+/// and returns false without touching the good copy.
 inline bool WriteFileAtomic(const std::string& path,
                             const std::vector<uint8_t>& bytes) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    // Close before checking: the final flush can fail (e.g. ENOSPC), and a
-    // truncated tmp must never be renamed over the good file.
-    out.close();
-    if (!out.good()) {
-      std::error_code ec;
-      std::filesystem::remove(tmp, ec);
-      return false;
-    }
-  }
   std::error_code ec;
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return false;
+  auto fail = [&]() {
+    ::close(fd);
+    std::filesystem::remove(tmp, ec);
+    return false;
+  };
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written,
+                              bytes.size() - written);
+    if (n < 0) return fail();
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) return fail();
+  if (::close(fd) != 0) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     std::filesystem::remove(tmp, ec);
     return false;
   }
-  return true;
+  // Make the rename durable: without the directory fsync a crash can lose
+  // the new directory entry even though the data blocks reached disk.
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  const int dir_fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (dir_fd < 0) return false;
+  const bool dir_ok = ::fsync(dir_fd) == 0;
+  ::close(dir_fd);
+  return dir_ok;
 }
 
 /// Reads the whole file into `*bytes`; false if it cannot be opened.

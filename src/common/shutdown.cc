@@ -18,8 +18,13 @@ int g_pipe_read = -1;
 int g_pipe_write = -1;
 std::once_flag g_pipe_once;
 
-// Written by the handler (async-signal-safe), read by Requested()/Signal().
-volatile std::sig_atomic_t g_signal = 0;
+// Written by the handler, read by Requested()/Signal(). A lock-free
+// std::atomic<int> is async-signal-safe and — unlike the classic volatile
+// sig_atomic_t — also safe against Trigger() running on another *thread*
+// (tests drive the latch that way; TSan flags the volatile version).
+std::atomic<int> g_signal{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires a lock-free atomic");
 
 void EnsurePipe() {
   std::call_once(g_pipe_once, []() {

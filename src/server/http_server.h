@@ -124,7 +124,10 @@ class HttpServer {
   HttpHandler handler_;
   HttpServerOptions options_;
 
-  int listen_fd_ = -1;
+  /// Atomic: Stop() closes and clears it from the caller's thread while
+  /// AcceptLoop() polls it. The loop re-checks stopping_ after every wake,
+  /// so a cleared fd is never accepted on.
+  std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};

@@ -225,6 +225,68 @@ std::string RenderServiceMetrics(const ServerMetricsSnapshot& snapshot) {
              std::get<2>(slot));
   }
 
+  // Durability: the observation WAL, startup recovery, and the in-memory
+  // observation-log footprint (emitted only for durable servers, so a
+  // scrape of a stateless server carries no misleading zeros).
+  if (snapshot.has_durability) {
+    const DurabilityStats& d = snapshot.durability;
+    w.BeginFamily("resest_wal_ok",
+                  "1 while the observation WAL accepts appends, 0 after a "
+                  "write failure (degraded durability).",
+                  "gauge");
+    w.Sample("resest_wal_ok", {}, static_cast<uint64_t>(d.wal_ok ? 1 : 0));
+    w.BeginFamily("resest_wal_records_total",
+                  "Records appended to the observation WAL.", "counter");
+    w.Sample("resest_wal_records_total", {}, d.wal.records_appended);
+    w.BeginFamily("resest_wal_appended_bytes_total",
+                  "Bytes appended to the observation WAL.", "counter");
+    w.Sample("resest_wal_appended_bytes_total", {}, d.wal.bytes_appended);
+    w.BeginFamily("resest_wal_segments_sealed_total",
+                  "Active WAL files sealed into immutable segments.",
+                  "counter");
+    w.Sample("resest_wal_segments_sealed_total", {}, d.wal.segments_sealed);
+    w.BeginFamily("resest_wal_fsyncs_total",
+                  "fsync calls on the active WAL file.", "counter");
+    w.Sample("resest_wal_fsyncs_total", {}, d.wal.fsyncs);
+    w.BeginFamily("resest_wal_append_failures_total",
+                  "Observations whose WAL append failed (kept in memory, "
+                  "lost on restart).",
+                  "counter");
+    w.Sample("resest_wal_append_failures_total", {}, d.wal_append_failures);
+    w.BeginFamily("resest_recovery_rows_recovered",
+                  "Observation rows replayed from the WAL at startup.",
+                  "gauge");
+    w.Sample("resest_recovery_rows_recovered", {},
+             d.recovery.rows_recovered);
+    w.BeginFamily("resest_recovery_records_dropped",
+                  "WAL records dropped at startup past the first "
+                  "corruption.",
+                  "gauge");
+    w.Sample("resest_recovery_records_dropped", {},
+             d.recovery.records_dropped);
+    w.BeginFamily("resest_recovery_bytes_dropped",
+                  "WAL bytes on disk not replayed at startup.", "gauge");
+    w.Sample("resest_recovery_bytes_dropped", {}, d.recovery.bytes_dropped);
+    w.BeginFamily("resest_obslog_memory_bytes",
+                  "Current in-memory observation-log footprint.", "gauge");
+    w.Sample("resest_obslog_memory_bytes", {},
+             static_cast<uint64_t>(d.memory_bytes));
+    w.BeginFamily("resest_obslog_memory_peak_bytes",
+                  "Peak in-memory observation-log footprint.", "gauge");
+    w.Sample("resest_obslog_memory_peak_bytes", {},
+             static_cast<uint64_t>(d.memory_peak_bytes));
+    w.BeginFamily("resest_obslog_memory_cap_bytes",
+                  "Configured observation-log memory cap (0 = unbounded).",
+                  "gauge");
+    w.Sample("resest_obslog_memory_cap_bytes", {},
+             static_cast<uint64_t>(d.memory_cap_bytes));
+    w.BeginFamily("resest_obslog_spilled_rows_total",
+                  "Window rows spilled into reservoirs by the bounds or "
+                  "the memory cap.",
+                  "counter");
+    w.Sample("resest_obslog_spilled_rows_total", {}, d.spilled_rows);
+  }
+
   // HTTP front end.
   w.BeginFamily("resest_http_requests_total",
                 "HTTP requests answered (including parser-level errors).",

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/serving/estimation_service.h"
+#include "src/training/incremental_trainer.h"
 
 namespace resest {
 
@@ -63,6 +64,10 @@ struct ServerMetricsSnapshot {
   std::vector<std::tuple<std::string, std::string, uint64_t>> slot_versions;
   uint64_t http_requests_served = 0;
   size_t http_active_connections = 0;
+  /// WAL/recovery/observation-log durability counters; emitted only when
+  /// the server runs a durable trainer (has_durability).
+  bool has_durability = false;
+  DurabilityStats durability;
 };
 
 /// Renders the full exposition document for GET /metrics.

@@ -12,14 +12,25 @@
 // workload at startup (--train-queries / --trees control its size), so the
 // walkthroughs and CI smoke test need no model artifact.
 //
+// Durability: --data-dir=PATH turns the feedback loop on — POST /v1/observe
+// ingests labeled rows into a WAL-backed IncrementalTrainer (recovered rows
+// are replayed at startup and reported), --obslog-cap-mb bounds the
+// in-memory log footprint, and --refit-interval-ms runs a background
+// refit-and-publish loop. See docs/durability.md.
+//
 // Shutdown: SIGTERM or SIGINT starts a graceful drain — stop accepting,
-// answer every in-flight request, flush a final stats line — then exits 0.
+// answer every in-flight request, checkpoint and seal the WAL, flush a
+// final stats line — then exits 0.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -29,6 +40,7 @@
 #include "src/server/serving_frontend.h"
 #include "src/serving/estimation_service.h"
 #include "src/serving/model_registry.h"
+#include "src/training/incremental_trainer.h"
 #include "src/workload/runner.h"
 #include "src/workload/schemas.h"
 #include "src/workload/tpch_queries.h"
@@ -45,6 +57,9 @@ struct Flags {
   std::string model_name = "default";
   int train_queries = 40;  ///< Demo-model workload size.
   int trees = 30;          ///< Demo-model trees per MART.
+  std::string data_dir;    ///< Empty = no durability / no /v1/observe.
+  int obslog_cap_mb = 0;   ///< 0 = unbounded observation-log memory.
+  int refit_interval_ms = 0;  ///< 0 = no background refit loop.
 };
 
 void PrintUsage(const char* argv0) {
@@ -53,6 +68,8 @@ void PrintUsage(const char* argv0) {
       "usage: %s [--address=IP] [--port=N] [--threads=N]\n"
       "          [--model=PATH] [--model-name=NAME]\n"
       "          [--train-queries=N] [--trees=N]\n"
+      "          [--data-dir=PATH] [--obslog-cap-mb=N]\n"
+      "          [--refit-interval-ms=N]\n"
       "\n"
       "  --address=IP       bind address (default 127.0.0.1)\n"
       "  --port=N           listen port; 0 picks an ephemeral port\n"
@@ -65,7 +82,15 @@ void PrintUsage(const char* argv0) {
       "  --model-name=NAME  registry name to publish/serve (default\n"
       "                     'default')\n"
       "  --train-queries=N  demo model: TPC-H training workload size\n"
-      "  --trees=N          demo model: MART trees per model slot\n",
+      "  --trees=N          demo model: MART trees per model slot\n"
+      "  --data-dir=PATH    durable observation logs: WAL + segments live\n"
+      "                     here, POST /v1/observe is enabled, and rows\n"
+      "                     from a previous run are recovered at startup\n"
+      "  --obslog-cap-mb=N  cap the in-memory observation-log footprint\n"
+      "                     (0 = unbounded; oldest rows spill into\n"
+      "                     per-slot reservoirs past the cap)\n"
+      "  --refit-interval-ms=N  refit-and-publish crossed model slots\n"
+      "                     every N ms in the background (0 = off)\n",
       argv0);
 }
 
@@ -103,7 +128,10 @@ Flags ParseFlags(int argc, char** argv) {
         ParseStringFlag(arg, "--model", &flags.model_path) ||
         ParseStringFlag(arg, "--model-name", &flags.model_name) ||
         ParseIntFlag(arg, "--train-queries", &flags.train_queries) ||
-        ParseIntFlag(arg, "--trees", &flags.trees)) {
+        ParseIntFlag(arg, "--trees", &flags.trees) ||
+        ParseStringFlag(arg, "--data-dir", &flags.data_dir) ||
+        ParseIntFlag(arg, "--obslog-cap-mb", &flags.obslog_cap_mb) ||
+        ParseIntFlag(arg, "--refit-interval-ms", &flags.refit_interval_ms)) {
       continue;
     }
     std::fprintf(stderr, "resest_server: unknown flag %s\n", arg);
@@ -112,6 +140,19 @@ Flags ParseFlags(int argc, char** argv) {
   }
   if (flags.port < 0 || flags.port > 65535) {
     std::fprintf(stderr, "resest_server: --port must be in [0, 65535]\n");
+    std::exit(2);
+  }
+  if (flags.obslog_cap_mb < 0 || flags.refit_interval_ms < 0) {
+    std::fprintf(stderr,
+                 "resest_server: --obslog-cap-mb and --refit-interval-ms "
+                 "must be >= 0\n");
+    std::exit(2);
+  }
+  if (flags.data_dir.empty() &&
+      (flags.obslog_cap_mb > 0 || flags.refit_interval_ms > 0)) {
+    std::fprintf(stderr,
+                 "resest_server: --obslog-cap-mb / --refit-interval-ms "
+                 "require --data-dir\n");
     std::exit(2);
   }
   return flags;
@@ -153,6 +194,39 @@ int main(int argc, char** argv) {
   ThreadPool pool(threads);
   ModelRegistry registry;
 
+  // The durable feedback loop: opened (and recovered) before the model
+  // publish so replayed rows are in place when the baseline attaches.
+  std::unique_ptr<IncrementalTrainer> trainer;
+  if (!flags.data_dir.empty()) {
+    TrainOptions train_options;
+    train_options.mart.num_trees = flags.trees;
+    train_options.train_threads = threads;
+    LogBounds bounds;
+    bounds.memory_cap_bytes =
+        static_cast<size_t>(flags.obslog_cap_mb) * (size_t{1} << 20);
+    trainer = std::make_unique<IncrementalTrainer>(train_options,
+                                                   RefitPolicy{}, &pool,
+                                                   bounds);
+    RecoveryStats recovery;
+    if (!trainer->EnableDurability(flags.data_dir, flags.model_name, {},
+                                   &recovery)) {
+      std::fprintf(stderr,
+                   "resest_server: failed to open observation WAL in %s\n",
+                   flags.data_dir.c_str());
+      return 1;
+    }
+    std::fprintf(
+        stderr,
+        "resest_server: recovered %llu observation rows from %s "
+        "(%llu segments, %llu records dropped%s%s)\n",
+        static_cast<unsigned long long>(recovery.rows_recovered),
+        flags.data_dir.c_str(),
+        static_cast<unsigned long long>(recovery.segments_replayed),
+        static_cast<unsigned long long>(recovery.records_dropped),
+        recovery.clean() ? "" : ": ",
+        recovery.clean() ? "" : recovery.detail.c_str());
+  }
+
   uint64_t version = 0;
   if (!flags.model_path.empty()) {
     version = registry.PublishFromFile(flags.model_name, flags.model_path);
@@ -174,6 +248,40 @@ int main(int argc, char** argv) {
   service_options.model_name = flags.model_name;
   EstimationService service(&registry, &pool, service_options);
   ServingFrontend frontend(&service, &registry, flags.model_name);
+  if (trainer != nullptr) {
+    // The published model becomes the refit baseline; recovered WAL rows
+    // (already in the logs) feed the next refit round.
+    trainer->Attach(registry.Get(flags.model_name).estimator, version);
+    frontend.set_trainer(trainer.get());
+  }
+
+  // Background refit loop: a dedicated thread (not the shared pool — a
+  // refit blocks on pool futures) that periodically retrains and publishes
+  // whatever slots crossed the policy, stopping promptly at drain.
+  std::thread refit_thread;
+  std::mutex refit_stop_mu;
+  std::condition_variable refit_stop_cv;
+  bool refit_stop = false;
+  if (trainer != nullptr && flags.refit_interval_ms > 0) {
+    refit_thread = std::thread([&]() {
+      const auto interval =
+          std::chrono::milliseconds(flags.refit_interval_ms);
+      std::unique_lock<std::mutex> lock(refit_stop_mu);
+      while (!refit_stop_cv.wait_for(lock, interval,
+                                     [&]() { return refit_stop; })) {
+        lock.unlock();
+        const auto result =
+            trainer->RefitAndPublish(&registry, flags.model_name, &service);
+        if (result) {
+          std::fprintf(stderr,
+                       "resest_server: refit published v%llu (%zu slots)\n",
+                       static_cast<unsigned long long>(result.version),
+                       result.refitted.size());
+        }
+        lock.lock();
+      }
+    });
+  }
 
   HttpServerOptions server_options;
   server_options.bind_address = flags.address;
@@ -199,6 +307,31 @@ int main(int argc, char** argv) {
   ShutdownLatch::Wait();
   std::fprintf(stderr, "resest_server: draining...\n");
   server.Stop();  // Stops accepting; blocks until in-flight answered.
+
+  if (refit_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(refit_stop_mu);
+      refit_stop = true;
+    }
+    refit_stop_cv.notify_one();
+    refit_thread.join();
+  }
+  if (trainer != nullptr) {
+    // Every answered /v1/observe row is in the WAL already (append-before-
+    // memory under the log mutex); the drain makes it all immutable:
+    // checkpoint the model + coverage, then fsync + seal the active file.
+    if (!trainer->Checkpoint(registry, flags.model_name, flags.data_dir)) {
+      std::fprintf(stderr, "resest_server: drain checkpoint failed\n");
+    }
+    const bool sealed = trainer->DrainWal();
+    const DurabilityStats d = trainer->durability_stats();
+    std::printf("resest_server: wal %s (%llu records, %llu segments, "
+                "%llu append failures)\n",
+                sealed ? "sealed" : "seal FAILED",
+                 static_cast<unsigned long long>(d.wal.records_appended),
+                 static_cast<unsigned long long>(d.wal.segments_sealed),
+                 static_cast<unsigned long long>(d.wal_append_failures));
+  }
 
   const ServiceStats stats = service.stats();
   std::printf(

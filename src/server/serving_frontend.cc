@@ -33,6 +33,12 @@ HttpResponse ServingFrontend::Handle(const HttpRequest& request) const {
     }
     return HandleEstimate(request);
   }
+  if (request.target == "/v1/observe") {
+    if (request.method != "POST") {
+      return JsonResponse(405, FormatWireError("use POST"));
+    }
+    return HandleObserve(request);
+  }
   if (request.target == "/healthz") {
     if (request.method != "GET") {
       return JsonResponse(405, FormatWireError("use GET"));
@@ -65,6 +71,29 @@ HttpResponse ServingFrontend::HandleEstimate(
       service_->EstimateBatch(requests, options);
   return JsonResponse(EstimateWireHttpStatus(results),
                       FormatEstimateWireResponse(results));
+}
+
+HttpResponse ServingFrontend::HandleObserve(
+    const HttpRequest& request) const {
+  if (trainer_ == nullptr) {
+    return JsonResponse(
+        503, FormatWireError("observation ingestion is disabled (start the "
+                             "server with --data-dir)"));
+  }
+  JsonValue body;
+  std::string error;
+  if (!JsonValue::Parse(request.body, &body, &error)) {
+    return JsonResponse(400, FormatWireError("malformed JSON: " + error));
+  }
+  std::vector<ObserveWireRow> rows;
+  if (!ParseObserveWireBatch(body, &rows, &error)) {
+    return JsonResponse(400, FormatWireError(error));
+  }
+  for (const ObserveWireRow& row : rows) {
+    trainer_->Append(row.op, row.resource, row.features, row.label);
+  }
+  return JsonResponse(
+      200, FormatObserveWireResponse(rows.size(), trainer_->base_version()));
 }
 
 HttpResponse ServingFrontend::HandleHealthz() const {
@@ -101,6 +130,10 @@ HttpResponse ServingFrontend::HandleMetrics() const {
   if (http_server_ != nullptr) {
     snapshot.http_requests_served = http_server_->requests_served();
     snapshot.http_active_connections = http_server_->active_connections();
+  }
+  if (trainer_ != nullptr) {
+    snapshot.has_durability = true;
+    snapshot.durability = trainer_->durability_stats();
   }
   HttpResponse response;
   response.content_type = "text/plain; version=0.0.4; charset=utf-8";

@@ -6,10 +6,14 @@
 //                      onto SubmitOptions; per-result status in the body;
 //                      whole-batch failures map onto the status's stable
 //                      HTTP code, e.g. kDeadlineExceeded -> 504).
+//   POST /v1/observe   JSON batch of labeled rows -> IncrementalTrainer::
+//                      Append (WAL-backed when the server runs with
+//                      --data-dir); 503 when no trainer is attached.
 //   GET  /healthz      200 {"status":"ok",...} iff a model snapshot is
 //                      active, 503 otherwise.
 //   GET  /metrics      Prometheus text exposition of ServiceStats, the
-//                      estimate cache (per shard), model/slot versions and
+//                      estimate cache (per shard), model/slot versions,
+//                      WAL/recovery/observation-log durability counters and
 //                      the HTTP front end's own counters.
 //
 // Malformed JSON and unknown routes are answered without touching the
@@ -23,6 +27,7 @@
 #include "src/server/http_server.h"
 #include "src/serving/estimation_service.h"
 #include "src/serving/model_registry.h"
+#include "src/training/incremental_trainer.h"
 
 namespace resest {
 
@@ -42,8 +47,14 @@ class ServingFrontend {
   /// counters. Call after constructing the server; null to detach.
   void set_http_server(const HttpServer* server) { http_server_ = server; }
 
+  /// Optional: enables POST /v1/observe and the durability metrics. The
+  /// trainer must outlive the frontend; null (the default) answers observe
+  /// requests with 503.
+  void set_trainer(IncrementalTrainer* trainer) { trainer_ = trainer; }
+
  private:
   HttpResponse HandleEstimate(const HttpRequest& request) const;
+  HttpResponse HandleObserve(const HttpRequest& request) const;
   HttpResponse HandleHealthz() const;
   HttpResponse HandleMetrics() const;
 
@@ -51,6 +62,7 @@ class ServingFrontend {
   const ModelRegistry* registry_;
   std::string model_name_;
   const HttpServer* http_server_ = nullptr;
+  IncrementalTrainer* trainer_ = nullptr;
 };
 
 }  // namespace resest

@@ -67,6 +67,32 @@ int EstimateWireHttpStatus(const std::vector<EstimateResult>& results);
 /// Formats the error body `{"error": "..."}` used for 4xx responses.
 std::string FormatWireError(const std::string& message);
 
+/// One observation row from POST /v1/observe — the feedback edge over HTTP.
+/// Body shape (same strictness rules as /v1/estimate):
+///
+///   {
+///     "observations": [
+///       {"op": "TableScan", "resource": "CPU",
+///        "features": [1e4, 8.0, ...], "label": 1234.5},
+///       ...
+///     ]
+///   }
+struct ObserveWireRow {
+  OpType op = OpType::kTableScan;
+  Resource resource = Resource::kCpu;
+  FeatureVector features{};
+  double label = 0.0;
+};
+
+/// Parses the body of POST /v1/observe. On failure returns false with a
+/// client-actionable message in *error; *rows is unspecified then.
+bool ParseObserveWireBatch(const JsonValue& body,
+                           std::vector<ObserveWireRow>* rows,
+                           std::string* error);
+
+/// Formats the response body `{"accepted": N, "model_version": V}`.
+std::string FormatObserveWireResponse(size_t accepted, uint64_t model_version);
+
 }  // namespace resest
 
 #endif  // RESEST_SERVER_WIRE_API_H_

@@ -1,0 +1,132 @@
+#include "src/storage/recovery.h"
+
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+#include "src/storage/segment.h"
+
+namespace resest {
+
+namespace {
+
+/// Applies one scanned file's valid records. Returns false when the file
+/// was not clean (caller stops replaying; drop accounting already done).
+bool ApplyScan(const WalFileScan& scan, const WalReplayFn& apply,
+               RecoveryStats* stats) {
+  for (const WalRecord& record : scan.records) {
+    apply(record);
+    ++stats->records_recovered;
+    if (record.type == WalRecordType::kObservation) ++stats->rows_recovered;
+  }
+  if (!scan.clean) {
+    stats->truncated = true;
+    stats->records_dropped += scan.dropped_record_estimate;
+    stats->bytes_dropped += scan.file_bytes - scan.valid_bytes;
+    return false;
+  }
+  return true;
+}
+
+/// Counts an entirely skipped file as dropped (best-effort: its own valid
+/// records plus whatever its scanner salvage-counted).
+void DropWholeFile(const std::string& path, RecoveryStats* stats) {
+  WalFileScan scan;
+  if (!ScanWalFile(path, &scan)) return;
+  stats->records_dropped += scan.records.size() + scan.dropped_record_estimate;
+  stats->bytes_dropped += scan.file_bytes;
+}
+
+}  // namespace
+
+bool ReplayObservationLog(const std::string& dir, const std::string& name,
+                          const WalReplayFn& apply, RecoveryStats* stats) {
+  *stats = RecoveryStats{};
+  std::error_code ec;
+  if (!std::filesystem::exists(dir, ec) || ec) {
+    return !ec;  // a missing directory is a clean empty log
+  }
+
+  const std::vector<SegmentFileInfo> segments = ListSegmentFiles(dir, name);
+  std::vector<std::string> pending;  // files after a stop point -> dropped
+  uint64_t last_seq = 0;
+  bool stopped = false;
+
+  auto stop = [&](const std::string& why, const std::string& path) {
+    stats->truncated = true;
+    if (stats->detail.empty()) stats->detail = why + " (" + path + ")";
+    stopped = true;
+  };
+
+  for (const SegmentFileInfo& info : segments) {
+    if (stopped) {
+      pending.push_back(info.path);
+      continue;
+    }
+    if (last_seq != 0 && info.seq == last_seq) {
+      stop("duplicate segment sequence", info.path);
+      pending.push_back(info.path);
+      continue;
+    }
+    if (last_seq != 0 && info.seq != last_seq + 1) {
+      stop("segment sequence gap", info.path);
+      pending.push_back(info.path);
+      continue;
+    }
+    WalFileScan scan;
+    if (!ScanWalFile(info.path, &scan)) {
+      stop("unreadable segment", info.path);
+      continue;
+    }
+    if (!scan.header_ok) {
+      stop(scan.corruption, info.path);
+      stats->bytes_dropped += scan.file_bytes;
+      continue;
+    }
+    if (scan.seq != info.seq) {
+      // The header's sequence disagrees with the file name — a copied or
+      // tampered segment. Its records' position in the global order is
+      // unknowable, so nothing from here on can be applied.
+      stop("segment header sequence mismatch", info.path);
+      pending.push_back(info.path);
+      continue;
+    }
+    last_seq = info.seq;
+    if (!ApplyScan(scan, apply, stats)) {
+      stop(scan.corruption, info.path);
+      continue;
+    }
+    ++stats->segments_replayed;
+  }
+
+  const std::string active = ActiveWalPath(dir, name);
+  const bool active_exists = std::filesystem::exists(active, ec) && !ec;
+  if (stopped) {
+    for (const std::string& path : pending) DropWholeFile(path, stats);
+    if (active_exists) DropWholeFile(active, stats);
+    return true;
+  }
+  if (!active_exists) return true;  // sealed-then-crashed: segments only
+
+  WalFileScan scan;
+  if (!ScanWalFile(active, &scan)) {
+    stop("unreadable active wal", active);
+    return true;
+  }
+  if (!scan.header_ok) {
+    stop(scan.corruption, active);
+    stats->bytes_dropped += scan.file_bytes;
+    return true;
+  }
+  if (last_seq != 0 && scan.seq <= last_seq) {
+    stop("active wal sequence behind sealed segments", active);
+    DropWholeFile(active, stats);
+    return true;
+  }
+  if (!ApplyScan(scan, apply, stats)) {
+    stop(scan.corruption, active);
+  }
+  return true;
+}
+
+}  // namespace resest

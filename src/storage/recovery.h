@@ -1,0 +1,54 @@
+// Crash recovery for the observation WAL: replays sealed segments in
+// sequence order, then the active tail, delivering each valid record to a
+// callback in exactly the order it was appended. Replay stops applying at
+// the first torn or corrupt record — or at a sequence-numbering violation
+// (gap, duplicate, header/filename mismatch) or a newer format version —
+// and reports precisely how much was recovered and how much was dropped.
+//
+// The guarantee the trainer builds on: after a crash at ANY point, replay
+// yields the longest durable prefix of the original append stream, in
+// order. Because the in-memory observation state (bounded window +
+// reservoir + spill decisions) is a deterministic function of that stream,
+// a recovered process is byte-identical to a never-crashed process that
+// observed the same prefix — which tests/crash_recovery_test.cc proves
+// against SIGKILLed subprocesses.
+#ifndef RESEST_STORAGE_RECOVERY_H_
+#define RESEST_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/storage/wal.h"
+
+namespace resest {
+
+struct RecoveryStats {
+  uint64_t rows_recovered = 0;     ///< Observation records applied.
+  uint64_t records_recovered = 0;  ///< All record types applied.
+  uint64_t segments_replayed = 0;  ///< Sealed segments fully applied.
+  /// Frames past the stop point that still parse as valid records — a
+  /// best-effort count of what was lost (never applied).
+  uint64_t records_dropped = 0;
+  /// Bytes on disk past the stop point (torn tails, skipped segments).
+  uint64_t bytes_dropped = 0;
+  /// True when replay stopped before consuming every byte on disk.
+  bool truncated = false;
+  /// Human-readable description of the first corruption ("" when clean).
+  std::string detail;
+
+  bool clean() const { return !truncated; }
+};
+
+using WalReplayFn = std::function<void(const WalRecord&)>;
+
+/// Replays the log of `name` under `dir` into `apply` (in append order).
+/// Returns false only on an environmental failure (unreadable directory);
+/// corruption is not a failure — it ends the replay early and is described
+/// in *stats. A missing log (fresh directory) is a clean empty replay.
+bool ReplayObservationLog(const std::string& dir, const std::string& name,
+                          const WalReplayFn& apply, RecoveryStats* stats);
+
+}  // namespace resest
+
+#endif  // RESEST_STORAGE_RECOVERY_H_

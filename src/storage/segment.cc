@@ -1,0 +1,154 @@
+#include "src/storage/segment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "src/common/serial.h"
+
+namespace resest {
+
+std::string ActiveWalPath(const std::string& dir, const std::string& name) {
+  return (std::filesystem::path(dir) / (name + ".wal")).string();
+}
+
+std::string SegmentFilePath(const std::string& dir, const std::string& name,
+                            uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%08llu",
+                static_cast<unsigned long long>(seq));
+  return (std::filesystem::path(dir) / (name + "." + buf + ".seg")).string();
+}
+
+std::vector<SegmentFileInfo> ListSegmentFiles(const std::string& dir,
+                                              const std::string& name) {
+  std::vector<SegmentFileInfo> out;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return out;
+  const std::string prefix = name + ".";
+  const std::string suffix = ".seg";
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string file = entry.path().filename().string();
+    if (file.size() <= prefix.size() + suffix.size()) continue;
+    if (file.compare(0, prefix.size(), prefix) != 0) continue;
+    if (file.compare(file.size() - suffix.size(), suffix.size(), suffix) !=
+        0) {
+      continue;
+    }
+    const std::string middle = file.substr(
+        prefix.size(), file.size() - prefix.size() - suffix.size());
+    if (middle.empty() ||
+        middle.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    SegmentFileInfo info;
+    info.path = entry.path().string();
+    info.seq = std::strtoull(middle.c_str(), nullptr, 10);
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SegmentFileInfo& a, const SegmentFileInfo& b) {
+              return a.seq != b.seq ? a.seq < b.seq : a.path < b.path;
+            });
+  return out;
+}
+
+bool ScanWalFile(const std::string& path, WalFileScan* out) {
+  *out = WalFileScan{};
+  std::vector<uint8_t> bytes;
+  if (!ReadFileBytes(path, &bytes)) return false;
+  out->file_bytes = bytes.size();
+
+  ByteReader r(bytes);
+  uint32_t magic = 0;
+  if (!r.U32(&magic) || magic != kWalMagic || !r.U32(&out->format_version) ||
+      !r.Pod(&out->seq)) {
+    out->clean = false;
+    out->corruption = "bad file header";
+    return true;
+  }
+  if (out->format_version > kWalFormatVersion) {
+    // A newer writer's records cannot be trusted to decode; treat the whole
+    // file as unusable rather than misapply half-understood bytes.
+    out->clean = false;
+    out->corruption = "format version " +
+                      std::to_string(out->format_version) +
+                      " is newer than supported " +
+                      std::to_string(kWalFormatVersion);
+    return true;
+  }
+  out->header_ok = true;
+  out->valid_bytes = kWalFileHeaderBytes;
+
+  // Decode one framed record from `pos`; advances pos past it on success.
+  // On failure sets `why` and leaves pos at the frame start.
+  auto try_record = [&bytes](size_t* pos, WalRecord* record,
+                             std::string* why) {
+    const size_t remaining = bytes.size() - *pos;
+    if (remaining == 0) return false;  // clean end, *why untouched
+    if (remaining < kWalRecordFrameBytes) {
+      *why = "torn record frame";
+      return false;
+    }
+    uint32_t len = 0, crc = 0;
+    std::memcpy(&len, bytes.data() + *pos, sizeof(len));
+    std::memcpy(&crc, bytes.data() + *pos + sizeof(len), sizeof(crc));
+    if (len == 0) {
+      *why = "zero-length record";
+      return false;
+    }
+    if (len > kWalMaxPayloadBytes) {
+      *why = "implausible record length " + std::to_string(len);
+      return false;
+    }
+    if (remaining - kWalRecordFrameBytes < len) {
+      *why = "torn record payload";
+      return false;
+    }
+    const uint8_t* payload = bytes.data() + *pos + kWalRecordFrameBytes;
+    if (Crc32c(payload, len) != crc) {
+      *why = "CRC mismatch";
+      return false;
+    }
+    if (!DecodeWalRecord(payload, len, record)) {
+      *why = "undecodable record payload";
+      return false;
+    }
+    *pos += kWalRecordFrameBytes + len;
+    return true;
+  };
+
+  size_t pos = kWalFileHeaderBytes;
+  std::string why;
+  WalRecord record;
+  while (try_record(&pos, &record, &why)) {
+    out->records.push_back(record);
+    out->valid_bytes = pos;
+  }
+  if (why.empty()) return true;  // ran off the end cleanly
+
+  out->clean = false;
+  out->corruption = why;
+  // Best-effort loss estimate: skip the corrupt frame byte-by-byte until
+  // framing resynchronizes, counting frames that still check out. Purely
+  // diagnostic — nothing here is ever applied.
+  ++pos;  // past the corrupt frame's first byte
+  while (pos < bytes.size()) {
+    std::string ignored;
+    size_t probe = pos;
+    if (try_record(&probe, &record, &ignored)) {
+      ++out->dropped_record_estimate;
+      pos = probe;
+    } else {
+      ++pos;
+    }
+  }
+  return true;
+}
+
+}  // namespace resest

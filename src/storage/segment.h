@@ -1,0 +1,72 @@
+// Immutable sealed WAL segments: file naming, the shared file header, and
+// the validating scanner recovery and the WAL's own torn-tail truncation
+// both run. A segment is simply a sealed active file — same header, same
+// record framing — so one scanner serves both.
+//
+// Scanning is strict and never reads past corruption: a record is accepted
+// only if its length prefix is sane, its bytes are fully present and its
+// CRC32C matches; the first violation ends the valid prefix and is
+// described in WalFileScan::corruption. Everything after it is reported as
+// dropped bytes (plus a best-effort count of frames that still look like
+// records), never applied.
+#ifndef RESEST_STORAGE_SEGMENT_H_
+#define RESEST_STORAGE_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/storage/wal.h"
+
+namespace resest {
+
+/// Bytes of the per-file header: magic (u32) + format version (u32) +
+/// sequence number (u64).
+inline constexpr size_t kWalFileHeaderBytes = 16;
+/// Bytes of the per-record frame prefix: payload length (u32) + CRC (u32).
+inline constexpr size_t kWalRecordFrameBytes = 8;
+
+/// `<dir>/<name>.wal` — the active (append) file.
+std::string ActiveWalPath(const std::string& dir, const std::string& name);
+
+/// `<dir>/<name>.<seq, zero-padded>.seg` — a sealed segment.
+std::string SegmentFilePath(const std::string& dir, const std::string& name,
+                            uint64_t seq);
+
+struct SegmentFileInfo {
+  std::string path;
+  uint64_t seq = 0;  ///< Parsed from the file name.
+};
+
+/// Sealed segments of `name` under `dir`, sorted by file-name sequence
+/// (ties — which only a tampered directory can produce — sort by path).
+/// Files whose names do not parse are ignored.
+std::vector<SegmentFileInfo> ListSegmentFiles(const std::string& dir,
+                                              const std::string& name);
+
+/// Result of scanning one WAL/segment file.
+struct WalFileScan {
+  bool header_ok = false;      ///< Magic + version + full header present.
+  uint32_t format_version = 0; ///< As read (may exceed kWalFormatVersion).
+  uint64_t seq = 0;            ///< Header sequence number.
+  /// Decoded records of the longest valid prefix, in file order.
+  std::vector<WalRecord> records;
+  size_t valid_bytes = 0;      ///< Header + valid records (truncation point).
+  size_t file_bytes = 0;
+  bool clean = true;           ///< No bytes beyond the valid prefix.
+  /// Frames past the corruption that still parse as framed records with a
+  /// matching CRC — a best-effort "how much did we lose" count; they are
+  /// never applied.
+  uint64_t dropped_record_estimate = 0;
+  std::string corruption;      ///< First-corruption description; "" if clean.
+};
+
+/// Scans `path`; false only if the file cannot be read at all. A present
+/// but corrupt file returns true with header_ok/clean describing the
+/// damage. A header whose format version is newer than kWalFormatVersion
+/// sets header_ok = false (the records cannot be trusted to decode).
+bool ScanWalFile(const std::string& path, WalFileScan* out);
+
+}  // namespace resest
+
+#endif  // RESEST_STORAGE_SEGMENT_H_

@@ -1,0 +1,371 @@
+#include "src/storage/wal.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "src/common/serial.h"
+#include "src/storage/segment.h"
+
+namespace resest {
+
+namespace {
+
+/// CRC32C (Castagnoli, reflected polynomial 0x82F63B78), table-driven.
+/// Software implementation on purpose: the WAL's append path is dominated
+/// by the write() syscall, not the checksum.
+const uint32_t* Crc32cTable() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// fsync the directory holding `path` so a rename/creation in it is
+/// durable. Returns false if the directory cannot be synced.
+bool SyncParentDir(const std::string& path) {
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const uint8_t* data, size_t size) {
+  const uint32_t* table = Crc32cTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void EncodeWalRecord(const WalRecord& record, std::vector<uint8_t>* out) {
+  ByteWriter w(out);
+  w.Pod(static_cast<uint8_t>(record.type));
+  switch (record.type) {
+    case WalRecordType::kObservation: {
+      const WalObservation& o = record.observation;
+      w.Pod(static_cast<uint8_t>(o.op));
+      w.Pod(static_cast<uint8_t>(o.resource));
+      w.Pod(o.model_version);
+      w.F64(o.label);
+      w.Pod(o.features);
+      break;
+    }
+    case WalRecordType::kRefitMarker: {
+      const WalRefitMarker& m = record.refit;
+      w.Pod(static_cast<uint8_t>(m.op));
+      w.Pod(static_cast<uint8_t>(m.resource));
+      w.Pod(m.covered_rows);
+      w.F64(m.refit_mean);
+      w.Pod(m.model_version);
+      break;
+    }
+    case WalRecordType::kCheckpoint: {
+      const WalCheckpoint& c = record.checkpoint;
+      w.Pod(c.base_version);
+      for (const auto& per_op : c.slots) {
+        for (const WalCheckpoint::Slot& slot : per_op) {
+          w.Pod(slot.covered_rows);
+          w.F64(slot.refit_mean);
+        }
+      }
+      break;
+    }
+  }
+}
+
+bool DecodeWalRecord(const uint8_t* payload, size_t size, WalRecord* out) {
+  const std::vector<uint8_t> bytes(payload, payload + size);
+  ByteReader r(bytes);
+  uint8_t type = 0;
+  if (!r.Pod(&type)) return false;
+  auto slot_ok = [](uint8_t op, uint8_t resource) {
+    return op < kNumOpTypes && resource < kNumResources;
+  };
+  switch (static_cast<WalRecordType>(type)) {
+    case WalRecordType::kObservation: {
+      out->type = WalRecordType::kObservation;
+      WalObservation& o = out->observation;
+      uint8_t op = 0, resource = 0;
+      if (!r.Pod(&op) || !r.Pod(&resource) || !slot_ok(op, resource)) {
+        return false;
+      }
+      o.op = static_cast<OpType>(op);
+      o.resource = static_cast<Resource>(resource);
+      return r.Pod(&o.model_version) && r.F64(&o.label) &&
+             r.Pod(&o.features) && r.AtEnd();
+    }
+    case WalRecordType::kRefitMarker: {
+      out->type = WalRecordType::kRefitMarker;
+      WalRefitMarker& m = out->refit;
+      uint8_t op = 0, resource = 0;
+      if (!r.Pod(&op) || !r.Pod(&resource) || !slot_ok(op, resource)) {
+        return false;
+      }
+      m.op = static_cast<OpType>(op);
+      m.resource = static_cast<Resource>(resource);
+      return r.Pod(&m.covered_rows) && r.F64(&m.refit_mean) &&
+             r.Pod(&m.model_version) && r.AtEnd();
+    }
+    case WalRecordType::kCheckpoint: {
+      out->type = WalRecordType::kCheckpoint;
+      WalCheckpoint& c = out->checkpoint;
+      if (!r.Pod(&c.base_version)) return false;
+      for (auto& per_op : c.slots) {
+        for (WalCheckpoint::Slot& slot : per_op) {
+          if (!r.Pod(&slot.covered_rows) || !r.F64(&slot.refit_mean)) {
+            return false;
+          }
+        }
+      }
+      return r.AtEnd();
+    }
+  }
+  return false;  // unknown record type
+}
+
+WriteAheadLog::WriteAheadLog(std::string dir, std::string name,
+                             WalOptions options)
+    : dir_(std::move(dir)), name_(std::move(name)),
+      options_(std::move(options)) {}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+WalFaultAction WriteAheadLog::Consult(WalFaultOp op, size_t bytes,
+                                      bool is_header) {
+  if (!options_.fault_hook) return WalFaultAction::kProceed;
+  WalFaultContext context;
+  context.op = op;
+  context.seq = seq_;
+  context.call_index = ++fault_counts_[static_cast<size_t>(op)];
+  context.bytes = bytes;
+  context.is_header = is_header;
+  const WalFaultAction action = options_.fault_hook(context);
+  if (action == WalFaultAction::kCrash) {
+    ::raise(SIGKILL);
+    ::_exit(137);  // unreachable; SIGKILL cannot be handled
+  }
+  return action;
+}
+
+bool WriteAheadLog::WriteAll(const uint8_t* data, size_t size,
+                             bool is_header) {
+  const WalFaultAction action = Consult(WalFaultOp::kWrite, size, is_header);
+  size_t to_write = size;
+  bool then_crash = false;
+  switch (action) {
+    case WalFaultAction::kProceed:
+      break;
+    case WalFaultAction::kFail:
+      failed_ = true;
+      return false;
+    case WalFaultAction::kShortWrite:
+      to_write = size / 2;
+      break;
+    case WalFaultAction::kShortWriteThenCrash:
+      to_write = size / 2;
+      then_crash = true;
+      break;
+    case WalFaultAction::kCrash:
+      return false;  // Consult already raised; unreachable
+  }
+  size_t written = 0;
+  while (written < to_write) {
+    const ssize_t n = ::write(fd_, data + written, to_write - written);
+    if (n < 0) {
+      failed_ = true;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  active_bytes_ += written;
+  if (then_crash) {
+    ::raise(SIGKILL);
+    ::_exit(137);
+  }
+  if (to_write != size) {  // injected short write: a torn record on disk
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool WriteAheadLog::OpenActiveFile(bool fresh, std::string* error) {
+  const std::string path = ActiveWalPath(dir_, name_);
+  const int flags = fresh ? (O_CREAT | O_TRUNC | O_WRONLY)
+                          : (O_CREAT | O_WRONLY);
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  if (fresh) {
+    active_bytes_ = 0;
+    std::vector<uint8_t> header;
+    ByteWriter w(&header);
+    w.U32(kWalMagic);
+    w.U32(kWalFormatVersion);
+    w.Pod(seq_);
+    if (!WriteAll(header.data(), header.size(), /*is_header=*/true)) {
+      if (error != nullptr) *error = "cannot write header of " + path;
+      return false;
+    }
+    if (!SyncParentDir(path)) {
+      if (error != nullptr) *error = "cannot sync directory of " + path;
+      failed_ = true;
+      return false;
+    }
+  } else {
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0) {
+      if (error != nullptr) *error = "cannot seek " + path;
+      return false;
+    }
+    active_bytes_ = static_cast<size_t>(end);
+  }
+  return true;
+}
+
+bool WriteAheadLog::Open(std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    if (error != nullptr) *error = "cannot create " + dir_;
+    return false;
+  }
+
+  uint64_t max_seal_seq = 0;
+  for (const SegmentFileInfo& info : ListSegmentFiles(dir_, name_)) {
+    max_seal_seq = std::max(max_seal_seq, info.seq);
+  }
+
+  const std::string active = ActiveWalPath(dir_, name_);
+  if (std::filesystem::exists(active, ec)) {
+    WalFileScan scan;
+    if (ScanWalFile(active, &scan) && scan.header_ok &&
+        scan.seq > max_seal_seq) {
+      // Resume the existing active file, truncating any torn tail so new
+      // appends never land after garbage.
+      seq_ = scan.seq;
+      if (!scan.clean) {
+        if (::truncate(active.c_str(), static_cast<off_t>(scan.valid_bytes)) !=
+            0) {
+          if (error != nullptr) *error = "cannot truncate torn tail of " + active;
+          return false;
+        }
+        stats_.truncated_tail_bytes = scan.file_bytes - scan.valid_bytes;
+      }
+      return OpenActiveFile(/*fresh=*/false, error);
+    }
+    // Unusable active file (bad header, or a sequence number a sealed
+    // segment already owns). Move it aside — never delete evidence — and
+    // start fresh.
+    std::filesystem::rename(active, active + ".orphan", ec);
+    if (ec) {
+      if (error != nullptr) *error = "cannot move aside " + active;
+      return false;
+    }
+  }
+  seq_ = max_seal_seq + 1;
+  return OpenActiveFile(/*fresh=*/true, error);
+}
+
+bool WriteAheadLog::Append(const WalRecord& record) {
+  if (failed_ || fd_ < 0) {
+    ++stats_.append_failures;
+    return false;
+  }
+  std::vector<uint8_t> payload;
+  EncodeWalRecord(record, &payload);
+  std::vector<uint8_t> frame;
+  frame.reserve(kWalRecordFrameBytes + payload.size());
+  ByteWriter w(&frame);
+  w.U32(static_cast<uint32_t>(payload.size()));
+  w.U32(Crc32c(payload.data(), payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  if (!WriteAll(frame.data(), frame.size(), /*is_header=*/false)) {
+    ++stats_.append_failures;
+    return false;
+  }
+  ++stats_.records_appended;
+  stats_.bytes_appended += frame.size();
+
+  if (options_.sync == WalOptions::SyncPolicy::kEveryAppend && !Sync()) {
+    return false;
+  }
+  if (active_bytes_ >= options_.segment_bytes) return Seal();
+  return true;
+}
+
+bool WriteAheadLog::Sync() {
+  if (failed_ || fd_ < 0) return false;
+  switch (Consult(WalFaultOp::kSync, 0, false)) {
+    case WalFaultAction::kProceed:
+      break;
+    default:  // any injected fault fails the sync
+      failed_ = true;
+      return false;
+  }
+  if (::fsync(fd_) != 0) {
+    failed_ = true;
+    return false;
+  }
+  ++stats_.fsyncs;
+  return true;
+}
+
+bool WriteAheadLog::Seal() {
+  if (failed_ || fd_ < 0) return false;
+  if (active_bytes_ <= kWalFileHeaderBytes) return true;  // no records yet
+  if (!Sync()) return false;
+  ::close(fd_);
+  fd_ = -1;
+
+  switch (Consult(WalFaultOp::kSealRename, 0, false)) {
+    case WalFaultAction::kProceed:
+      break;
+    default:
+      failed_ = true;
+      return false;
+  }
+  const std::string active = ActiveWalPath(dir_, name_);
+  const std::string sealed = SegmentFilePath(dir_, name_, seq_);
+  std::error_code ec;
+  std::filesystem::rename(active, sealed, ec);
+  if (ec || !SyncParentDir(sealed)) {
+    failed_ = true;
+    return false;
+  }
+  ++stats_.segments_sealed;
+  ++seq_;
+  std::string error;
+  if (!OpenActiveFile(/*fresh=*/true, &error)) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace resest

@@ -1,6 +1,7 @@
 #include "src/training/incremental_trainer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <future>
@@ -15,7 +16,9 @@ namespace resest {
 namespace {
 
 constexpr uint32_t kLogMagic = 0x524f424c;  // "ROBL"
-constexpr uint32_t kLogVersion = 1;
+// v2: bounded window + reservoir layout (window rows/labels, reservoir
+// rows/labels, reservoir_seen, rng_state, total_rows, label_sum).
+constexpr uint32_t kLogVersion = 2;
 
 std::string LogPath(const std::string& dir, const std::string& name) {
   return (std::filesystem::path(dir) / (name + ".obslog")).string();
@@ -25,11 +28,59 @@ std::string ModelPath(const std::string& dir, const std::string& name) {
   return (std::filesystem::path(dir) / (name + ".model")).string();
 }
 
+// The per-slot reservoir generator: splitmix64, advanced once per
+// full-reservoir eviction. Fixed algorithm + per-slot seed + identical
+// eviction stream == identical reservoirs on replay.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 IncrementalTrainer::IncrementalTrainer(TrainOptions options, RefitPolicy policy,
-                                       ThreadPool* pool)
-    : options_(options), policy_(policy), pool_(pool) {}
+                                       ThreadPool* pool, LogBounds bounds)
+    : options_(options),
+      policy_(policy),
+      pool_(pool),
+      bounds_(bounds),
+      tracker_(bounds.memory_cap_bytes) {
+  SeedLogRngsLocked();  // single-threaded in the constructor; no lock needed
+}
+
+void IncrementalTrainer::SeedLogRngsLocked() {
+  for (size_t op = 0; op < static_cast<size_t>(kNumOpTypes); ++op) {
+    for (size_t r = 0; r < static_cast<size_t>(kNumResources); ++r) {
+      // Distinct fixed seed per slot; splitmix's gamma scrambles weak seeds.
+      logs_[op][r].rng_state = op * kNumResources + r + 1;
+    }
+  }
+}
+
+bool IncrementalTrainer::EnableDurability(const std::string& dir,
+                                          const std::string& name,
+                                          WalOptions wal_options,
+                                          RecoveryStats* recovery) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ != nullptr) return false;  // already durable
+  // Replay first (into memory only — the WAL is not open yet, so replayed
+  // rows are not re-appended), then open for append. Order matters: an
+  // existing active file must be scanned before Open() truncates its torn
+  // tail and starts writing after the valid prefix.
+  RecoveryStats stats;
+  const bool replay_ok = ReplayObservationLog(
+      dir, name, [this](const WalRecord& r) { ApplyWalRecordLocked(r); },
+      &stats);
+  recovery_ = stats;
+  if (recovery != nullptr) *recovery = stats;
+  if (!replay_ok) return false;
+  auto wal = std::make_unique<WriteAheadLog>(dir, name, wal_options);
+  if (!wal->Open()) return false;
+  wal_ = std::move(wal);
+  return true;
+}
 
 std::shared_ptr<const ResourceEstimator> IncrementalTrainer::SeedAndTrain(
     const std::vector<ExecutedQuery>& workload) {
@@ -63,10 +114,11 @@ void IncrementalTrainer::Observe(const ExecutedQuery& executed) {
         const double labels[kNumResources] = {
             node.actual.cpu, static_cast<double>(node.actual.logical_io)};
         for (size_t r = 0; r < kNumResources; ++r) {
-          ObservationLog& log = logs_[op][r];
-          log.rows.push_back(row);
-          log.labels.push_back(labels[r]);
-          log.label_sum += labels[r];
+          // WAL first: a row is never in memory without being on its way
+          // to disk (a failed append is counted and memory continues —
+          // degraded durability, surfaced via durability_stats()).
+          if (wal_ != nullptr) WalAppendRowLocked(op, r, row, labels[r]);
+          ApplyRowLocked(op, r, row, labels[r]);
         }
       });
 }
@@ -79,20 +131,133 @@ void IncrementalTrainer::ObserveAll(
 void IncrementalTrainer::Append(OpType op, Resource resource,
                                 const FeatureVector& row, double label) {
   std::lock_guard<std::mutex> lock(mu_);
-  ObservationLog& log =
-      logs_[static_cast<size_t>(op)][static_cast<size_t>(resource)];
-  log.rows.push_back(row);
-  log.labels.push_back(label);
-  log.label_sum += label;
+  const size_t o = static_cast<size_t>(op);
+  const size_t r = static_cast<size_t>(resource);
+  if (wal_ != nullptr) WalAppendRowLocked(o, r, row, label);
+  ApplyRowLocked(o, r, row, label);
 }
 
-bool IncrementalTrainer::CrossedLocked(const ObservationLog& log) const {
-  const size_t pending = log.rows.size() - log.refit_rows;
+void IncrementalTrainer::WalAppendRowLocked(size_t op, size_t resource,
+                                            const FeatureVector& row,
+                                            double label) {
+  WalRecord rec;
+  rec.type = WalRecordType::kObservation;
+  rec.observation.op = static_cast<OpType>(op);
+  rec.observation.resource = static_cast<Resource>(resource);
+  rec.observation.model_version = base_version_;
+  rec.observation.label = label;
+  rec.observation.features = row;
+  if (!wal_->Append(rec)) ++wal_append_failures_;
+}
+
+void IncrementalTrainer::ApplyRowLocked(size_t op, size_t resource,
+                                        const FeatureVector& row,
+                                        double label) {
+  ObservationLog& log = logs_[op][resource];
+  if (log.total_rows == log.refit_rows) {
+    // First pending row after a fully-covered state: the age clock starts.
+    log.first_pending_at = std::chrono::steady_clock::now();
+  }
+  log.window_rows.push_back(row);
+  log.window_labels.push_back(label);
+  tracker_.Charge(kObservationRowBytes);
+  ++log.total_rows;
+  // Running ordered sum — the same `+=` sequence from-scratch training's
+  // fallback mean performs, so the doubles stay bit-identical.
+  log.label_sum += label;
+  while (log.window_rows.size() > bounds_.window_rows) {
+    EvictOldestLocked(&log);
+  }
+  EnforceCapLocked();
+}
+
+void IncrementalTrainer::EvictOldestLocked(ObservationLog* log) {
+  const FeatureVector row = log->window_rows.front();
+  const double label = log->window_labels.front();
+  log->window_rows.pop_front();
+  log->window_labels.pop_front();
+  ++spilled_rows_;
+  ++log->reservoir_seen;
+  if (log->reservoir_rows.size() < bounds_.reservoir_rows) {
+    // Reservoir still filling: the row moves, footprint unchanged.
+    log->reservoir_rows.push_back(row);
+    log->reservoir_labels.push_back(label);
+    return;
+  }
+  tracker_.Release(kObservationRowBytes);
+  if (bounds_.reservoir_rows == 0) return;
+  // Algorithm R over the evicted stream: the i-th evicted row replaces a
+  // uniform slot with probability capacity/i. One generator draw per
+  // full-reservoir eviction — a pure function of the append stream.
+  const uint64_t j = SplitMix64(&log->rng_state) % log->reservoir_seen;
+  if (j < log->reservoir_rows.size()) {
+    log->reservoir_rows[static_cast<size_t>(j)] = row;
+    log->reservoir_labels[static_cast<size_t>(j)] = label;
+  }
+}
+
+void IncrementalTrainer::EnforceCapLocked() {
+  // Spill oldest-of-the-largest-window first (ties to the lowest slot
+  // index — a fixed order, so replay spills identically). Terminates: every
+  // eviction shrinks some window by one row; once all windows are empty the
+  // footprint floor is the reservoirs', which the cap cannot reclaim.
+  while (tracker_.over()) {
+    ObservationLog* victim = nullptr;
+    size_t largest = 0;
+    for (auto& per_op : logs_) {
+      for (ObservationLog& log : per_op) {
+        if (log.window_rows.size() > largest) {
+          largest = log.window_rows.size();
+          victim = &log;
+        }
+      }
+    }
+    if (victim == nullptr) break;
+    EvictOldestLocked(victim);
+  }
+}
+
+void IncrementalTrainer::ApplyWalRecordLocked(const WalRecord& record) {
+  switch (record.type) {
+    case WalRecordType::kObservation: {
+      const WalObservation& o = record.observation;
+      ApplyRowLocked(static_cast<size_t>(o.op),
+                     static_cast<size_t>(o.resource), o.features, o.label);
+      break;
+    }
+    case WalRecordType::kRefitMarker: {
+      const WalRefitMarker& m = record.refit;
+      ObservationLog& log =
+          logs_[static_cast<size_t>(m.op)][static_cast<size_t>(m.resource)];
+      // Clamp defensively: markers are appended after the rows they cover,
+      // so replay should always have total_rows >= covered_rows.
+      log.refit_rows = std::min(m.covered_rows, log.total_rows);
+      log.refit_mean = m.refit_mean;
+      break;
+    }
+    case WalRecordType::kCheckpoint: {
+      for (size_t op = 0; op < static_cast<size_t>(kNumOpTypes); ++op) {
+        for (size_t r = 0; r < static_cast<size_t>(kNumResources); ++r) {
+          const WalCheckpoint::Slot& slot = record.checkpoint.slots[op][r];
+          ObservationLog& log = logs_[op][r];
+          log.refit_rows = std::min(slot.covered_rows, log.total_rows);
+          log.refit_mean = slot.refit_mean;
+        }
+      }
+      break;
+    }
+  }
+}
+
+bool IncrementalTrainer::CrossedLocked(
+    const ObservationLog& log,
+    std::chrono::steady_clock::time_point now) const {
+  const uint64_t pending = log.total_rows - log.refit_rows;
   if (pending == 0) return false;
   if (pending >= policy_.min_new_rows) return true;
   if (policy_.drift_threshold > 0.0 && log.refit_rows > 0) {
     const double mean =
-        log.label_sum / static_cast<double>(log.labels.size());
+        log.label_sum / static_cast<double>(log.total_rows);
     const double denom = std::abs(log.refit_mean) > 0.0
                              ? std::abs(log.refit_mean)
                              : 1.0;
@@ -100,16 +265,21 @@ bool IncrementalTrainer::CrossedLocked(const ObservationLog& log) const {
       return true;
     }
   }
+  if (policy_.max_pending_age.count() > 0 &&
+      now - log.first_pending_at >= policy_.max_pending_age) {
+    return true;
+  }
   return false;
 }
 
 std::vector<ModelSlotId> IncrementalTrainer::AffectedSlots() const {
   std::vector<ModelSlotId> out;
+  const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(mu_);
   for (int op = 0; op < kNumOpTypes; ++op) {
     for (int r = 0; r < kNumResources; ++r) {
       if (CrossedLocked(
-              logs_[static_cast<size_t>(op)][static_cast<size_t>(r)])) {
+              logs_[static_cast<size_t>(op)][static_cast<size_t>(r)], now)) {
         out.emplace_back(static_cast<OpType>(op), static_cast<Resource>(r));
       }
     }
@@ -132,9 +302,12 @@ IncrementalTrainer::RefitResult IncrementalTrainer::RefitLocked(bool force) {
     ModelSlotId slot{OpType::kTableScan, Resource::kCpu};
     std::vector<FeatureVector> rows;
     std::vector<double> labels;
+    uint64_t total_rows = 0;
+    double label_sum = 0.0;
   };
   std::vector<Work> work;
   std::shared_ptr<const ResourceEstimator> base;
+  const auto now = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (base_ == nullptr) return {};
@@ -143,13 +316,26 @@ IncrementalTrainer::RefitResult IncrementalTrainer::RefitLocked(bool force) {
       for (int r = 0; r < kNumResources; ++r) {
         const ObservationLog& log =
             logs_[static_cast<size_t>(op)][static_cast<size_t>(r)];
-        const bool due = force ? !log.rows.empty() : CrossedLocked(log);
+        const bool due =
+            force ? log.total_rows > 0 : CrossedLocked(log, now);
         if (!due) continue;
         Work w;
         w.slot = {static_cast<OpType>(op), static_cast<Resource>(r)};
         // Copy a consistent snapshot: appends racing the fit stay pending.
-        w.rows = log.rows;
-        w.labels = log.labels;
+        // Training set = reservoir (index order: the evicted summary) then
+        // the window (append order) — while nothing was evicted this is
+        // exactly the cumulative log in append order.
+        w.rows.reserve(log.reservoir_rows.size() + log.window_rows.size());
+        w.rows.assign(log.reservoir_rows.begin(), log.reservoir_rows.end());
+        w.rows.insert(w.rows.end(), log.window_rows.begin(),
+                      log.window_rows.end());
+        w.labels.reserve(w.rows.size());
+        w.labels.assign(log.reservoir_labels.begin(),
+                        log.reservoir_labels.end());
+        w.labels.insert(w.labels.end(), log.window_labels.begin(),
+                        log.window_labels.end());
+        w.total_rows = log.total_rows;
+        w.label_sum = log.label_sum;
         work.push_back(std::move(w));
       }
     }
@@ -167,16 +353,17 @@ IncrementalTrainer::RefitResult IncrementalTrainer::RefitLocked(bool force) {
     double mean = 0.0;
   };
   // Per-slot fits from the cumulative log, mirroring from-scratch training
-  // exactly: ordered label sum for the fallback mean, the
-  // min_rows_per_operator rule, and the same OperatorModelSet::Train
+  // exactly: the fallback mean is the running ordered label sum over every
+  // appended row (bit-identical to from-scratch summation while nothing
+  // was evicted, and still a deterministic function of the stream after),
+  // the min_rows_per_operator rule, and the same OperatorModelSet::Train
   // inputs. Fits are mutually independent and MART is seeded, so pool
   // fan-out reproduces the serial bytes for any thread count.
   auto fit_one = [this, &set_options](const Work& w) {
     FitOut out;
-    double sum = 0.0;
-    for (double v : w.labels) sum += v;
-    out.mean =
-        w.labels.empty() ? 0.0 : sum / static_cast<double>(w.labels.size());
+    out.mean = w.total_rows == 0
+                   ? 0.0
+                   : w.label_sum / static_cast<double>(w.total_rows);
     if (w.rows.size() >= options_.min_rows_per_operator) {
       out.set = std::make_shared<const OperatorModelSet>(
           OperatorModelSet::Train(w.slot.first, w.slot.second, w.rows,
@@ -214,8 +401,10 @@ IncrementalTrainer::RefitResult IncrementalTrainer::RefitLocked(bool force) {
       ObservationLog& log =
           logs_[static_cast<size_t>(work[i].slot.first)]
                [static_cast<size_t>(work[i].slot.second)];
-      log.refit_rows = work[i].rows.size();
+      log.refit_rows = work[i].total_rows;
       log.refit_mean = fitted[i].mean;
+      // Rows appended while the fit ran stay pending; their age clock keeps
+      // the pre-snapshot start (conservative — fires no later than true).
       if (std::find(unpublished_refits_.begin(), unpublished_refits_.end(),
                     work[i].slot) == unpublished_refits_.end()) {
         unpublished_refits_.push_back(work[i].slot);
@@ -276,6 +465,27 @@ IncrementalTrainer::RefitResult IncrementalTrainer::RefitAndPublish(
   }
   std::lock_guard<std::mutex> lock(mu_);
   base_version_ = result.version;
+  if (wal_ != nullptr) {
+    // Record the published coverage: a restart replays these markers and
+    // does not re-refit work the published (and later checkpointed) model
+    // already represents. Only *published* boundaries are marked —
+    // unpublished refit rounds are simply redone after recovery, which is
+    // deterministic.
+    for (const ModelSlotId& slot : diverged) {
+      const ObservationLog& log =
+          logs_[static_cast<size_t>(slot.first)]
+               [static_cast<size_t>(slot.second)];
+      WalRecord rec;
+      rec.type = WalRecordType::kRefitMarker;
+      rec.refit.op = slot.first;
+      rec.refit.resource = slot.second;
+      rec.refit.covered_rows = log.refit_rows;
+      rec.refit.refit_mean = log.refit_mean;
+      rec.refit.model_version = result.version;
+      if (!wal_->Append(rec)) ++wal_append_failures_;
+    }
+    wal_->Sync();
+  }
   unpublished_refits_.clear();
   return result;
 }
@@ -288,16 +498,61 @@ void IncrementalTrainer::Attach(std::shared_ptr<const ResourceEstimator> base,
   unpublished_refits_.clear();
 }
 
+WalRecord IncrementalTrainer::BuildCheckpointLocked() const {
+  WalRecord rec;
+  rec.type = WalRecordType::kCheckpoint;
+  rec.checkpoint.base_version = base_version_;
+  for (size_t op = 0; op < static_cast<size_t>(kNumOpTypes); ++op) {
+    for (size_t r = 0; r < static_cast<size_t>(kNumResources); ++r) {
+      rec.checkpoint.slots[op][r].covered_rows = logs_[op][r].refit_rows;
+      rec.checkpoint.slots[op][r].refit_mean = logs_[op][r].refit_mean;
+    }
+  }
+  return rec;
+}
+
 bool IncrementalTrainer::Checkpoint(const ModelRegistry& registry,
                                     const std::string& name,
                                     const std::string& dir) const {
   if (!registry.SaveActive(name, dir)) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (wal_ != nullptr) {
+      // The rows are already durable in the WAL; all a checkpoint adds is
+      // the coverage snapshot matching the model just saved, made durable
+      // with an fsync.
+      if (!wal_->Append(BuildCheckpointLocked())) {
+        ++wal_append_failures_;
+        return false;
+      }
+      return wal_->Sync();
+    }
+  }
+  // Legacy (non-durable) mode: the full-log image. SaveLogs takes mu_
+  // itself, so it must run outside the guard above.
   return SaveLogs(LogPath(dir, name));
 }
 
 uint64_t IncrementalTrainer::Restore(ModelRegistry* registry,
                                      const std::string& name,
                                      const std::string& dir) {
+  bool durable = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    durable = wal_ != nullptr;
+  }
+  if (durable) {
+    // EnableDurability()'s replay already rebuilt the logs (rows, coverage
+    // markers and all); only the model remains to republish.
+    const uint64_t version =
+        registry->PublishFromFile(name, ModelPath(dir, name));
+    if (version == 0) return 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    base_ = registry->Get(name).estimator;
+    base_version_ = version;
+    unpublished_refits_.clear();
+    return version;
+  }
   // Parse everything before mutating anything: a failure at any step must
   // leave both the trainer and the registry exactly as they were.
   std::vector<uint8_t> bytes;
@@ -311,10 +566,26 @@ uint64_t IncrementalTrainer::Restore(ModelRegistry* registry,
   if (version == 0) return 0;
   std::lock_guard<std::mutex> lock(mu_);
   logs_ = std::move(loaded);
+  NormalizeLoadedLocked();
   base_ = registry->Get(name).estimator;
   base_version_ = version;
   unpublished_refits_.clear();
   return version;
+}
+
+bool IncrementalTrainer::DrainWal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) return true;
+  bool ok = wal_->Append(BuildCheckpointLocked());
+  if (!ok) ++wal_append_failures_;
+  // Seal regardless: even with the marker lost, the sealed rows must
+  // survive the exit.
+  return wal_->Seal() && ok;
+}
+
+bool IncrementalTrainer::FlushWal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_ == nullptr ? true : wal_->Sync();
 }
 
 bool IncrementalTrainer::SaveLogs(const std::string& path) const {
@@ -326,10 +597,17 @@ bool IncrementalTrainer::SaveLogs(const std::string& path) const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& per_op : logs_) {
     for (const ObservationLog& log : per_op) {
-      w.Pod(static_cast<uint64_t>(log.rows.size()));
-      for (const FeatureVector& row : log.rows) w.Pod(row);
-      for (double label : log.labels) w.F64(label);
-      w.Pod(static_cast<uint64_t>(log.refit_rows));
+      w.Pod(static_cast<uint64_t>(log.window_rows.size()));
+      for (const FeatureVector& row : log.window_rows) w.Pod(row);
+      for (double label : log.window_labels) w.F64(label);
+      w.Pod(static_cast<uint64_t>(log.reservoir_rows.size()));
+      for (const FeatureVector& row : log.reservoir_rows) w.Pod(row);
+      for (double label : log.reservoir_labels) w.F64(label);
+      w.Pod(log.reservoir_seen);
+      w.Pod(log.rng_state);
+      w.Pod(log.total_rows);
+      w.F64(log.label_sum);
+      w.Pod(log.refit_rows);
       w.F64(log.refit_mean);
     }
   }
@@ -344,44 +622,81 @@ bool IncrementalTrainer::LoadLogs(const std::string& path) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   logs_ = std::move(loaded);
+  NormalizeLoadedLocked();
   return true;
 }
 
 bool IncrementalTrainer::ParseLogs(const std::vector<uint8_t>& bytes,
-                                   LogArray* out) {
+                                   LogArray* out) const {
   ByteReader r(bytes);
   uint32_t magic = 0, format = 0, num_features = 0;
   if (!r.U32(&magic) || magic != kLogMagic) return false;
   if (!r.U32(&format) || format != kLogVersion) return false;
   if (!r.U32(&num_features) || num_features != kNumFeatures) return false;
 
+  // Bound a row count by the bytes actually present before resizing, so a
+  // corrupt count field fails the parse instead of throwing on a huge
+  // allocation.
+  auto plausible = [&](uint64_t count) {
+    const uint64_t remaining = bytes.size() - r.position();
+    return count <= remaining / sizeof(FeatureVector);
+  };
+
   LogArray& loaded = *out;
   for (auto& per_op : loaded) {
     for (ObservationLog& log : per_op) {
-      uint64_t count = 0, refit_rows = 0;
-      if (!r.Pod(&count)) return false;
-      // Bound the count by the bytes actually present before resizing, so
-      // a corrupt count field fails the parse instead of throwing on a
-      // huge allocation.
-      const uint64_t remaining = bytes.size() - r.position();
-      if (count > remaining / sizeof(FeatureVector)) return false;
-      log.rows.resize(count);
-      for (FeatureVector& row : log.rows) {
+      uint64_t window = 0, reservoir = 0;
+      if (!r.Pod(&window) || !plausible(window)) return false;
+      log.window_rows.resize(window);
+      for (FeatureVector& row : log.window_rows) {
         if (!r.Pod(&row)) return false;
       }
-      log.labels.resize(count);
-      for (double& label : log.labels) {
+      log.window_labels.resize(window);
+      for (double& label : log.window_labels) {
         if (!r.F64(&label)) return false;
       }
-      if (!r.Pod(&refit_rows) || !r.F64(&log.refit_mean)) return false;
-      if (refit_rows > count) return false;
-      log.refit_rows = refit_rows;
-      // Running ordered sum, identical to what incremental appends build.
-      log.label_sum = 0.0;
-      for (double label : log.labels) log.label_sum += label;
+      if (!r.Pod(&reservoir) || !plausible(reservoir)) return false;
+      log.reservoir_rows.resize(reservoir);
+      for (FeatureVector& row : log.reservoir_rows) {
+        if (!r.Pod(&row)) return false;
+      }
+      log.reservoir_labels.resize(reservoir);
+      for (double& label : log.reservoir_labels) {
+        if (!r.F64(&label)) return false;
+      }
+      if (!r.Pod(&log.reservoir_seen) || !r.Pod(&log.rng_state) ||
+          !r.Pod(&log.total_rows) || !r.F64(&log.label_sum) ||
+          !r.Pod(&log.refit_rows) || !r.F64(&log.refit_mean)) {
+        return false;
+      }
+      if (log.refit_rows > log.total_rows) return false;
+      if (window + reservoir > log.total_rows) return false;
     }
   }
   return r.AtEnd();
+}
+
+void IncrementalTrainer::NormalizeLoadedLocked() {
+  tracker_ = MemoryTracker(bounds_.memory_cap_bytes);
+  size_t rows = 0;
+  for (const auto& per_op : logs_) {
+    for (const ObservationLog& log : per_op) {
+      rows += log.window_rows.size() + log.reservoir_rows.size();
+    }
+  }
+  tracker_.Charge(rows * kObservationRowBytes);
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& per_op : logs_) {
+    for (ObservationLog& log : per_op) {
+      // The age clock restarts at load (steady_clock does not persist).
+      if (log.total_rows > log.refit_rows) log.first_pending_at = now;
+      // Re-apply the bounds: the image may come from looser ones.
+      while (log.window_rows.size() > bounds_.window_rows) {
+        EvictOldestLocked(&log);
+      }
+    }
+  }
+  EnforceCapLocked();
 }
 
 IncrementalTrainer::SlotLogStats IncrementalTrainer::LogStats(
@@ -389,7 +704,12 @@ IncrementalTrainer::SlotLogStats IncrementalTrainer::LogStats(
   std::lock_guard<std::mutex> lock(mu_);
   const ObservationLog& log =
       logs_[static_cast<size_t>(op)][static_cast<size_t>(resource)];
-  return {log.rows.size(), log.rows.size() - log.refit_rows};
+  SlotLogStats out;
+  out.rows = static_cast<size_t>(log.total_rows);
+  out.pending = static_cast<size_t>(log.total_rows - log.refit_rows);
+  out.window = log.window_rows.size();
+  out.reservoir = log.reservoir_rows.size();
+  return out;
 }
 
 size_t IncrementalTrainer::TotalPendingRows() const {
@@ -397,10 +717,32 @@ size_t IncrementalTrainer::TotalPendingRows() const {
   size_t pending = 0;
   for (const auto& per_op : logs_) {
     for (const ObservationLog& log : per_op) {
-      pending += log.rows.size() - log.refit_rows;
+      pending += static_cast<size_t>(log.total_rows - log.refit_rows);
     }
   }
   return pending;
+}
+
+DurabilityStats IncrementalTrainer::durability_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DurabilityStats s;
+  s.durable = wal_ != nullptr;
+  if (wal_ != nullptr) {
+    s.wal_ok = wal_->ok();
+    s.wal = wal_->stats();
+  }
+  s.recovery = recovery_;
+  s.memory_bytes = tracker_.bytes();
+  s.memory_peak_bytes = tracker_.peak_bytes();
+  s.memory_cap_bytes = tracker_.cap_bytes();
+  s.spilled_rows = spilled_rows_;
+  s.wal_append_failures = wal_append_failures_;
+  return s;
+}
+
+bool IncrementalTrainer::durable_ok() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_ == nullptr || wal_->ok();
 }
 
 std::shared_ptr<const ResourceEstimator> IncrementalTrainer::base() const {

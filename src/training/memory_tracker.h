@@ -1,0 +1,43 @@
+// Accounting for the total in-memory observation-log footprint: every row
+// held in a window or reservoir is charged here, and the trainer spills the
+// oldest window rows into reservoirs while the footprint exceeds the cap —
+// the mechanism that keeps a refit loop serving sustained traffic inside a
+// fixed memory budget for days instead of growing without bound.
+//
+// The tracker only counts and compares; the spill policy (which slot, which
+// row) lives in IncrementalTrainer so the decision stays a deterministic
+// function of the global append order, which WAL replay reproduces.
+// Thread safety: none — mutated only under the trainer's log mutex.
+#ifndef RESEST_TRAINING_MEMORY_TRACKER_H_
+#define RESEST_TRAINING_MEMORY_TRACKER_H_
+
+#include <cstddef>
+
+namespace resest {
+
+class MemoryTracker {
+ public:
+  /// `cap_bytes` == 0 means unbounded (tracking only, never over()).
+  explicit MemoryTracker(size_t cap_bytes = 0) : cap_(cap_bytes) {}
+
+  void Charge(size_t bytes) {
+    bytes_ += bytes;
+    if (bytes_ > peak_) peak_ = bytes_;
+  }
+  void Release(size_t bytes) { bytes_ = bytes_ > bytes ? bytes_ - bytes : 0; }
+
+  bool over() const { return cap_ != 0 && bytes_ > cap_; }
+
+  size_t bytes() const { return bytes_; }
+  size_t peak_bytes() const { return peak_; }
+  size_t cap_bytes() const { return cap_; }
+
+ private:
+  size_t cap_;
+  size_t bytes_ = 0;
+  size_t peak_ = 0;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_TRAINING_MEMORY_TRACKER_H_

@@ -4,7 +4,9 @@
 // a refit below the policy threshold must be a no-op that publishes
 // nothing, and delta estimators must share every untouched model set with
 // their predecessor by pointer.
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -341,6 +343,123 @@ TEST_F(IncrementalTrainerTest, RunWorkloadObserverStreamsIntoTheLogs) {
       EXPECT_EQ(trainer.LogStats(o, res).rows, post_hoc.LogStats(o, res).rows);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded logs: window eviction, reservoir determinism, memory cap, age.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// A synthetic single-slot stream with distinct, index-derived rows.
+void AppendSynthetic(IncrementalTrainer* trainer, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    FeatureVector f{};
+    f[0] = static_cast<double>(i);
+    f[1] = static_cast<double>((i * 13) % 101);
+    trainer->Append(OpType::kTableScan, Resource::kCpu, f,
+                    static_cast<double>(i % 7) * 0.5);
+  }
+}
+
+}  // namespace
+
+TEST_F(IncrementalTrainerTest, TightWindowEvictsIntoBoundedReservoir) {
+  LogBounds bounds;
+  bounds.window_rows = 16;
+  bounds.reservoir_rows = 8;
+  IncrementalTrainer a(SmallOptions(), RefitPolicy{}, nullptr, bounds);
+  IncrementalTrainer b(SmallOptions(), RefitPolicy{}, nullptr, bounds);
+  {
+    std::vector<ExecutedQuery> empty;
+    a.SeedAndTrain(empty);
+    b.SeedAndTrain(empty);
+  }
+  constexpr size_t kRows = 200;
+  AppendSynthetic(&a, kRows);
+  AppendSynthetic(&b, kRows);
+
+  const auto stats = a.LogStats(OpType::kTableScan, Resource::kCpu);
+  EXPECT_EQ(stats.rows, kRows);  // lifetime count survives eviction
+  EXPECT_EQ(stats.window, bounds.window_rows);
+  EXPECT_EQ(stats.reservoir, bounds.reservoir_rows);
+  // Eviction decisions (which rows the reservoir kept) are a deterministic
+  // function of the append stream: two identical streams yield
+  // byte-identical refits.
+  const auto refit_a = a.RefitAll();
+  const auto refit_b = b.RefitAll();
+  ASSERT_TRUE(refit_a);
+  ASSERT_TRUE(refit_b);
+  EXPECT_EQ(refit_a.estimator->Serialize(), refit_b.estimator->Serialize());
+  // Spill accounting: everything not in window or reservoir was evicted
+  // through the reservoir (spilled), and memory tracks live rows exactly.
+  const DurabilityStats d = a.durability_stats();
+  EXPECT_EQ(d.spilled_rows, kRows - bounds.window_rows);
+  EXPECT_EQ(d.memory_bytes,
+            (bounds.window_rows + bounds.reservoir_rows) *
+                kObservationRowBytes);
+  EXPECT_GE(d.memory_peak_bytes, d.memory_bytes);
+}
+
+TEST_F(IncrementalTrainerTest, MemoryCapSpillsOldestWindowRows) {
+  LogBounds bounds;
+  bounds.window_rows = 1 << 20;  // never the binding constraint here
+  bounds.reservoir_rows = 4;
+  bounds.memory_cap_bytes = 64 * kObservationRowBytes;
+  IncrementalTrainer trainer(SmallOptions(), RefitPolicy{}, nullptr, bounds);
+  {
+    std::vector<ExecutedQuery> empty;
+    trainer.SeedAndTrain(empty);
+  }
+  // Spread rows over several slots so the cap, not the per-slot window,
+  // forces eviction.
+  for (size_t i = 0; i < 400; ++i) {
+    FeatureVector f{};
+    f[0] = static_cast<double>(i);
+    trainer.Append(static_cast<OpType>(i % 4),
+                   static_cast<Resource>(i % kNumResources), f,
+                   static_cast<double>(i));
+  }
+  const DurabilityStats d = trainer.durability_stats();
+  EXPECT_EQ(d.memory_cap_bytes, bounds.memory_cap_bytes);
+  EXPECT_LE(d.memory_bytes, bounds.memory_cap_bytes);
+  EXPECT_GT(d.spilled_rows, 0u);
+  // No row count is lost to the cap — lifetime totals still cover the
+  // whole stream.
+  size_t total = 0;
+  for (int op = 0; op < 4; ++op) {
+    for (int r = 0; r < kNumResources; ++r) {
+      total += trainer
+                   .LogStats(static_cast<OpType>(op), static_cast<Resource>(r))
+                   .rows;
+    }
+  }
+  EXPECT_EQ(total, 400u);
+}
+
+TEST_F(IncrementalTrainerTest, AgeTriggerRefitsTrickleSlots) {
+  RefitPolicy policy;
+  policy.min_new_rows = 1000000;  // count trigger can never fire
+  policy.drift_threshold = 0.0;   // drift trigger off
+  policy.max_pending_age = std::chrono::milliseconds(20);
+  IncrementalTrainer trainer(SmallOptions(), policy);
+  {
+    std::vector<ExecutedQuery> empty;
+    trainer.SeedAndTrain(empty);
+  }
+  AppendSynthetic(&trainer, 20);  // far below min_new_rows
+  EXPECT_TRUE(trainer.AffectedSlots().empty());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  const auto affected = trainer.AffectedSlots();
+  ASSERT_EQ(affected.size(), 1u);
+  EXPECT_EQ(affected[0].first, OpType::kTableScan);
+  EXPECT_EQ(affected[0].second, Resource::kCpu);
+  // The aged slot actually refits — and afterwards nothing is pending.
+  const auto refit = trainer.RefitAffected();
+  ASSERT_TRUE(refit);
+  EXPECT_EQ(refit.refitted.size(), 1u);
+  EXPECT_EQ(trainer.LogStats(OpType::kTableScan, Resource::kCpu).pending, 0u);
+  EXPECT_TRUE(trainer.AffectedSlots().empty());
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <string>
@@ -32,6 +33,8 @@
 #include "src/server/wire_api.h"
 #include "src/serving/estimation_service.h"
 #include "src/serving/model_registry.h"
+#include "src/storage/recovery.h"
+#include "src/storage/wal.h"
 #include "src/workload/runner.h"
 #include "src/workload/schemas.h"
 #include "src/workload/tpch_queries.h"
@@ -1011,6 +1014,58 @@ TEST_F(ServerFrontendTest, OversizedBodyOverHttpIs400AndServiceUntouched) {
 }
 
 // ---------------------------------------------------------------------------
+// /v1/observe: ingestion endpoint wiring.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerFrontendTest, ObserveWithoutTrainerIs503) {
+  const HttpResponse response = frontend_->Handle(Post(
+      "/v1/observe",
+      "{\"observations\":[{\"op\":\"TableScan\",\"resource\":\"CPU\","
+      "\"features\":[1],\"label\":2.0}]}"));
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("--data-dir"), std::string::npos)
+      << response.body;
+}
+
+TEST_F(ServerFrontendTest, ObserveAppendsRowsAndRejectsMalformedBatches) {
+  IncrementalTrainer trainer(TrainOptions{});
+  {
+    std::vector<ExecutedQuery> empty;
+    trainer.SeedAndTrain(empty);
+  }
+  frontend_->set_trainer(&trainer);
+
+  const HttpResponse ok = frontend_->Handle(Post(
+      "/v1/observe",
+      "{\"observations\":["
+      "{\"op\":\"TableScan\",\"resource\":\"CPU\",\"features\":[1,2],"
+      "\"label\":3.5},"
+      "{\"op\":\"Sort\",\"resource\":\"IO\",\"features\":[4],\"label\":0.5}"
+      "]}"));
+  ASSERT_EQ(ok.status, 200) << ok.body;
+  EXPECT_NE(ok.body.find("\"accepted\":2"), std::string::npos) << ok.body;
+  EXPECT_NE(ok.body.find("\"model_version\""), std::string::npos) << ok.body;
+  EXPECT_EQ(trainer.LogStats(OpType::kTableScan, Resource::kCpu).rows, 1u);
+  EXPECT_EQ(trainer.LogStats(OpType::kSort, Resource::kIo).rows, 1u);
+
+  // Strict parsing: unknown fields, bad op names and an empty batch are
+  // all 400s that append nothing.
+  for (const char* bad : {
+           "{\"observations\":[{\"op\":\"TableScan\",\"resource\":\"CPU\","
+           "\"features\":[1],\"label\":1,\"extra\":1}]}",
+           "{\"observations\":[{\"op\":\"NoSuchOp\",\"resource\":\"CPU\","
+           "\"features\":[1],\"label\":1}]}",
+           "{\"observations\":[]}",
+           "{\"rows\":[]}",
+           "not json",
+       }) {
+    const HttpResponse response = frontend_->Handle(Post("/v1/observe", bad));
+    EXPECT_EQ(response.status, 400) << bad << " -> " << response.body;
+  }
+  EXPECT_EQ(trainer.TotalPendingRows(), 2u);
+}
+
+// ---------------------------------------------------------------------------
 // The real binary: SIGTERM drains with zero dropped responses, exit 0.
 // ---------------------------------------------------------------------------
 
@@ -1087,6 +1142,111 @@ TEST_F(ServerFrontendTest, SigtermDrainsRealServerWithZeroDroppedResponses) {
   ASSERT_EQ(::waitpid(pid, &status, 0), pid);
   ASSERT_TRUE(WIFEXITED(status)) << status;
   EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Durable drain: SIGTERM checkpoints and seals the WAL — every observation
+// accepted over /v1/observe before the signal survives on disk.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerFrontendTest, SigtermDrainSealsWalWithZeroLostObservations) {
+  const char* bin = std::getenv("RESEST_SERVER_BIN");
+  if (bin == nullptr || bin[0] == '\0') {
+    GTEST_SKIP() << "RESEST_SERVER_BIN not set (ctest sets it)";
+  }
+  const auto data_dir =
+      std::filesystem::temp_directory_path() / "resest_server_drain_wal";
+  std::filesystem::remove_all(data_dir);
+  std::filesystem::create_directories(data_dir);
+
+  int out_pipe[2];
+  ASSERT_EQ(::pipe(out_pipe), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    const std::string model_flag = "--model=" + *model_path_;
+    const std::string data_flag = "--data-dir=" + data_dir.string();
+    ::execl(bin, bin, "--port=0", "--threads=2", model_flag.c_str(),
+            "--model-name=default", data_flag.c_str(),
+            static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  ::close(out_pipe[1]);
+
+  // With --data-dir the server prints its recovery summary before the
+  // listening line — scan stdout for the port announcement.
+  FILE* out = ::fdopen(out_pipe[0], "r");
+  ASSERT_NE(out, nullptr);
+  char line[256] = {0};
+  unsigned port = 0;
+  while (std::fgets(line, sizeof(line), out) != nullptr) {
+    if (std::sscanf(line, "resest_server listening on 127.0.0.1:%u", &port) ==
+        1) {
+      break;
+    }
+  }
+  ASSERT_GT(port, 0u);
+
+  // POST a deterministic batch; every accepted row must survive the drain.
+  constexpr int kRows = 37;
+  std::string body = "{\"observations\":[";
+  for (int i = 0; i < kRows; ++i) {
+    if (i > 0) body += ",";
+    const OpType op = static_cast<OpType>(i % kNumOpTypes);
+    const Resource resource = static_cast<Resource>(i % kNumResources);
+    body += std::string("{\"op\":\"") + OpTypeName(op) + "\",\"resource\":\"" +
+            ResourceName(resource) + "\",\"features\":[" + std::to_string(i) +
+            ",2.5],\"label\":" + std::to_string(i * 0.25) + "}";
+  }
+  body += "]}";
+
+  HttpClient client;
+  std::string error;
+  ASSERT_TRUE(
+      client.Connect("127.0.0.1", static_cast<uint16_t>(port), &error))
+      << error;
+  HttpClientResponse response;
+  ASSERT_TRUE(client.Post("/v1/observe", body, &response, &error)) << error;
+  ASSERT_EQ(response.status, 200) << response.body;
+  EXPECT_NE(response.body.find("\"accepted\":37"), std::string::npos)
+      << response.body;
+
+  // SIGTERM only after the 200: the rows were accepted pre-signal.
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  bool wal_line = false;
+  while (std::fgets(line, sizeof(line), out) != nullptr) {
+    if (std::strncmp(line, "resest_server: wal", 18) == 0) wal_line = true;
+  }
+  EXPECT_TRUE(wal_line) << "drain did not report the WAL seal";
+  std::fclose(out);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << status;
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // Replay the data dir: a clean log holding every observation, in order.
+  RecoveryStats stats;
+  std::vector<WalObservation> rows;
+  ASSERT_TRUE(ReplayObservationLog(
+      data_dir.string(), "default",
+      [&](const WalRecord& record) {
+        if (record.type == WalRecordType::kObservation) {
+          rows.push_back(record.observation);
+        }
+      },
+      &stats));
+  EXPECT_TRUE(stats.clean()) << stats.detail;
+  ASSERT_EQ(rows.size(), static_cast<size_t>(kRows));
+  for (int i = 0; i < kRows; ++i) {
+    EXPECT_EQ(rows[i].op, static_cast<OpType>(i % kNumOpTypes)) << i;
+    EXPECT_EQ(rows[i].resource, static_cast<Resource>(i % kNumResources)) << i;
+    EXPECT_EQ(rows[i].features[0], static_cast<double>(i)) << i;
+    EXPECT_EQ(rows[i].label, i * 0.25) << i;
+  }
+  std::filesystem::remove_all(data_dir);
 }
 
 }  // namespace
