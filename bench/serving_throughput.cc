@@ -31,14 +31,17 @@
 //   RESEST_SERVING_PROBES    urgent probes per latency scenario (default 80)
 //   RESEST_SERVING_REFIT_QUERIES  feedback queries folded into the logs
 //                                 before the refit scenario (default 60)
-//   RESEST_SERVING_HTTP_BATCHES   operator batches per side of the HTTP
-//                                 loopback scenario (default 30)
+//   RESEST_SERVING_HTTP_BATCHES   operator batches per client per side of
+//                                 the HTTP loopback scenario (default 30)
+//   RESEST_SERVING_HTTP_CLIENTS   concurrent keep-alive clients in the
+//                                 loopback scenario (default 8)
 //
 // A server-loopback scenario prices the HTTP front end (src/server/): the
 // same operator-feature batches are estimated in-process and over a
-// loopback resest_server round trip (JSON parse, batch pipeline, JSON
-// format, socket both ways), reporting qps and p99 batch latency for both
-// sides — and checking the wire's %.17g doubles land bit-identical.
+// loopback resest_server round trip (JSON parse, coalesce, batch pipeline,
+// JSON format, socket both ways) with N concurrent keep-alive clients on
+// each side, reporting qps and p99 batch latency for both sides — and
+// checking the wire's %.17g doubles land bit-identical.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -56,6 +59,7 @@
 #include "src/server/json.h"
 #include "src/server/serving_frontend.h"
 #include "src/server/wire_api.h"
+#include "src/serving/batch_coalescer.h"
 #include "src/serving/estimation_service.h"
 #include "src/serving/model_registry.h"
 #include "src/training/incremental_trainer.h"
@@ -147,6 +151,14 @@ LatencySummary MeasureProbeLatencyUnderBulk(
 
   SubmitOptions probe_options;
   probe_options.priority = probe_priority;
+  // Warm the probe lane untimed: the first submissions on a lane pay
+  // one-off costs (queue allocation, branch/cache warmup) that used to make
+  // the measured p99 flap between runs.
+  constexpr int kWarmupProbes = 16;
+  for (int i = 0; i < kWarmupProbes; ++i) {
+    const size_t slot = static_cast<size_t>(i) % probe_requests.size();
+    (void)service.SubmitEstimate(probe_requests[slot], probe_options).get();
+  }
   LatencySummary summary;
   std::vector<double> latencies_ms;
   latencies_ms.reserve(static_cast<size_t>(num_probes));
@@ -290,128 +302,186 @@ struct LoopbackScenario {
   double inproc_p99_ms = 0.0;
   double http_qps = 0.0;
   double http_p99_ms = 0.0;
+  double coalesced_rows_per_batch = 0.0;
+  uint64_t coalesced_batches = 0;
   size_t requests = 0;
   size_t mismatches = 0;
   bool ran = false;
 };
 
-/// The same operator-feature batches, in-process vs over a loopback HTTP
-/// round trip through the serving front end. Both sides run against the
-/// same warmed service, so the gap is pure wire overhead: JSON parse,
-/// response format, and two socket crossings per batch.
+/// The same operator-feature batches, in-process vs over loopback HTTP
+/// through the event-loop front end with cross-request coalescing — N
+/// concurrent clients on each side, every HTTP client reusing one
+/// keep-alive connection. Equal concurrency on both sides makes the ratio
+/// a pure wire-overhead number: JSON parse, coalesce/demux, response
+/// format, and the socket crossings.
 LoopbackScenario MeasureServerLoopback(const ModelRegistry& registry,
                                        ThreadPool& pool, int num_batches,
-                                       int batch_size) {
+                                       int batch_size, int num_clients) {
   LoopbackScenario scenario;
   EstimationService service(&registry, &pool);
   ServingFrontend frontend(&service, &registry, "default");
+  BatchCoalescer coalescer(&service, {});  // default window/max-rows
+  frontend.set_coalescer(&coalescer);
   HttpServer server(
-      &pool, [&frontend](const HttpRequest& r) { return frontend.Handle(r); });
+      [&frontend](const HttpRequest& r, HttpResponseSender respond) {
+        frontend.HandleAsync(r, std::move(respond));
+      });
   std::string error;
   if (!server.Start(&error)) {
     std::printf("WARNING: loopback server failed to start: %s\n",
                 error.c_str());
     return scenario;
   }
-  HttpClient client;
-  if (!client.Connect("127.0.0.1", server.port(), &error)) {
-    std::printf("WARNING: loopback connect failed: %s\n", error.c_str());
-    server.Stop();
-    return scenario;
-  }
 
   // Synthetic operator batches (the wire API ships features, not plans);
-  // distinct per batch so the comparison isn't one memoized batch replayed.
-  std::vector<std::vector<EstimateRequest>> batches;
-  std::vector<std::string> bodies;
-  for (int b = 0; b < num_batches; ++b) {
-    std::vector<EstimateRequest> requests;
-    std::string body = "{\"requests\":[";
-    for (int i = 0; i < batch_size; ++i) {
-      const int salt = b * batch_size + i;
-      FeatureVector features{};
-      for (int f = 0; f < kNumFeatures; ++f) {
-        features[static_cast<size_t>(f)] =
-            1.0 + static_cast<double>(salt % 97) * 3.7 +
-            static_cast<double>(f) * 0.91;
-      }
-      const OpType op = static_cast<OpType>(salt % kNumOpTypes);
-      const Resource resource = i % 2 == 0 ? Resource::kCpu : Resource::kIo;
-      requests.push_back(EstimateRequest::ForOperator(op, features, resource));
-      if (i > 0) body += ',';
-      body += "{\"op\":\"";
-      body += OpTypeName(op);
-      body += "\",\"resource\":\"";
-      body += ResourceName(resource);
-      body += "\",\"features\":[";
-      for (int f = 0; f < kNumFeatures; ++f) {
-        if (f > 0) body += ',';
-        AppendJsonNumber(features[static_cast<size_t>(f)], &body);
+  // distinct per (client, batch) so nothing is one memoized batch replayed.
+  const size_t nc = static_cast<size_t>(num_clients);
+  std::vector<std::vector<std::vector<EstimateRequest>>> batches(nc);
+  std::vector<std::vector<std::string>> bodies(nc);
+  for (size_t c = 0; c < nc; ++c) {
+    for (int b = 0; b < num_batches; ++b) {
+      std::vector<EstimateRequest> requests;
+      std::string body = "{\"requests\":[";
+      for (int i = 0; i < batch_size; ++i) {
+        const int salt =
+            (static_cast<int>(c) * num_batches + b) * batch_size + i;
+        FeatureVector features{};
+        for (int f = 0; f < kNumFeatures; ++f) {
+          features[static_cast<size_t>(f)] =
+              1.0 + static_cast<double>(salt % 97) * 3.7 +
+              static_cast<double>(f) * 0.91;
+        }
+        const OpType op = static_cast<OpType>(salt % kNumOpTypes);
+        const Resource resource = i % 2 == 0 ? Resource::kCpu : Resource::kIo;
+        requests.push_back(
+            EstimateRequest::ForOperator(op, features, resource));
+        if (i > 0) body += ',';
+        body += "{\"op\":\"";
+        body += OpTypeName(op);
+        body += "\",\"resource\":\"";
+        body += ResourceName(resource);
+        body += "\",\"features\":[";
+        for (int f = 0; f < kNumFeatures; ++f) {
+          if (f > 0) body += ',';
+          AppendJsonNumber(features[static_cast<size_t>(f)], &body);
+        }
+        body += "]}";
       }
       body += "]}";
+      batches[c].push_back(std::move(requests));
+      bodies[c].push_back(std::move(body));
     }
-    body += "]}";
-    batches.push_back(std::move(requests));
-    bodies.push_back(std::move(body));
   }
-  scenario.requests = static_cast<size_t>(num_batches) *
+  scenario.requests = nc * static_cast<size_t>(num_batches) *
                       static_cast<size_t>(batch_size);
 
-  // Warm the cache (and the connection) so both timed sides serve the
-  // steady state.
-  std::vector<std::vector<EstimateResult>> expected;
-  for (const auto& batch : batches) expected.push_back(service.EstimateBatch(batch));
-
-  std::vector<double> inproc_ms;
-  const auto inproc_start = std::chrono::steady_clock::now();
-  for (size_t b = 0; b < batches.size(); ++b) {
-    const auto start = std::chrono::steady_clock::now();
-    const auto results = service.EstimateBatch(batches[b]);
-    inproc_ms.push_back(1000.0 * SecondsSince(start));
-    for (size_t i = 0; i < results.size(); ++i) {
-      if (!results[i].ok() || results[i].value != expected[b][i].value) {
-        ++scenario.mismatches;
-      }
+  // Warm the cache so both timed sides serve the steady state, and record
+  // the expected (serial-path) values for the bit-identity check.
+  std::vector<std::vector<std::vector<EstimateResult>>> expected(nc);
+  for (size_t c = 0; c < nc; ++c) {
+    for (const auto& batch : batches[c]) {
+      expected[c].push_back(service.EstimateBatch(batch));
     }
   }
-  const double inproc_sec = SecondsSince(inproc_start);
 
-  std::vector<double> http_ms;
-  const auto http_start = std::chrono::steady_clock::now();
-  for (size_t b = 0; b < bodies.size(); ++b) {
-    const auto start = std::chrono::steady_clock::now();
-    HttpClientResponse response;
-    if (!client.Post("/v1/estimate", bodies[b], &response, &error) ||
-        response.status != 200) {
-      scenario.mismatches += batches[b].size();
-      continue;
+  // In-process side at the same concurrency: num_clients threads, each
+  // submitting its own batch stream.
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::vector<double>> inproc_ms_per(nc);
+  {
+    std::vector<std::thread> workers;
+    const auto inproc_start = std::chrono::steady_clock::now();
+    for (size_t c = 0; c < nc; ++c) {
+      workers.emplace_back([&, c]() {
+        for (size_t b = 0; b < batches[c].size(); ++b) {
+          const auto start = std::chrono::steady_clock::now();
+          const auto results = service.EstimateBatch(batches[c][b]);
+          inproc_ms_per[c].push_back(1000.0 * SecondsSince(start));
+          for (size_t i = 0; i < results.size(); ++i) {
+            if (!results[i].ok() ||
+                results[i].value != expected[c][b][i].value) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
     }
-    http_ms.push_back(1000.0 * SecondsSince(start));
-    JsonValue parsed;
-    std::string json_error;
-    const JsonValue* results =
-        JsonValue::Parse(response.body, &parsed, &json_error)
-            ? parsed.Find("results")
-            : nullptr;
-    if (results == nullptr ||
-        results->items().size() != batches[b].size()) {
-      scenario.mismatches += batches[b].size();
-      continue;
-    }
-    for (size_t i = 0; i < results->items().size(); ++i) {
-      const JsonValue* value = results->items()[i].Find("value");
-      const double got = value != nullptr ? value->as_number() : 0.0;
-      if (std::memcmp(&got, &expected[b][i].value, sizeof(double)) != 0) {
-        ++scenario.mismatches;
-      }
-    }
+    for (auto& w : workers) w.join();
+    const double inproc_sec = SecondsSince(inproc_start);
+    scenario.inproc_qps = static_cast<double>(scenario.requests) / inproc_sec;
   }
-  const double http_sec = SecondsSince(http_start);
+
+  // HTTP side: each client thread connects once and keeps the connection
+  // alive for its whole stream, so the server's keep-alive reuse and the
+  // coalescer see the traffic shape of a real client fleet.
+  const uint64_t coalesced_before = coalescer.stats().batches;
+  std::vector<std::vector<double>> http_ms_per(nc);
+  {
+    std::vector<std::thread> workers;
+    const auto http_start = std::chrono::steady_clock::now();
+    for (size_t c = 0; c < nc; ++c) {
+      workers.emplace_back([&, c]() {
+        HttpClient client;
+        std::string cerror;
+        if (!client.Connect("127.0.0.1", server.port(), &cerror)) {
+          mismatches.fetch_add(batches[c].size() *
+                                   static_cast<size_t>(batch_size),
+                               std::memory_order_relaxed);
+          return;
+        }
+        for (size_t b = 0; b < bodies[c].size(); ++b) {
+          const auto start = std::chrono::steady_clock::now();
+          HttpClientResponse response;
+          if (!client.Post("/v1/estimate", bodies[c][b], &response,
+                           &cerror) ||
+              response.status != 200) {
+            mismatches.fetch_add(batches[c][b].size(),
+                                 std::memory_order_relaxed);
+            continue;
+          }
+          http_ms_per[c].push_back(1000.0 * SecondsSince(start));
+          JsonValue parsed;
+          std::string json_error;
+          const JsonValue* results =
+              JsonValue::Parse(response.body, &parsed, &json_error)
+                  ? parsed.Find("results")
+                  : nullptr;
+          if (results == nullptr ||
+              results->items().size() != batches[c][b].size()) {
+            mismatches.fetch_add(batches[c][b].size(),
+                                 std::memory_order_relaxed);
+            continue;
+          }
+          for (size_t i = 0; i < results->items().size(); ++i) {
+            const JsonValue* value = results->items()[i].Find("value");
+            const double got = value != nullptr ? value->as_number() : 0.0;
+            if (std::memcmp(&got, &expected[c][b][i].value,
+                            sizeof(double)) != 0) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    const double http_sec = SecondsSince(http_start);
+    scenario.http_qps = static_cast<double>(scenario.requests) / http_sec;
+  }
   server.Stop();
 
-  const double dn = static_cast<double>(scenario.requests);
-  scenario.inproc_qps = dn / inproc_sec;
-  scenario.http_qps = dn / http_sec;
+  const CoalescerStats cstats = coalescer.stats();
+  scenario.coalesced_batches = cstats.batches - coalesced_before;
+  scenario.coalesced_rows_per_batch = cstats.MeanRowsPerBatch();
+  scenario.mismatches = mismatches.load();
+
+  std::vector<double> inproc_ms, http_ms;
+  for (auto& v : inproc_ms_per) {
+    inproc_ms.insert(inproc_ms.end(), v.begin(), v.end());
+  }
+  for (auto& v : http_ms_per) {
+    http_ms.insert(http_ms.end(), v.begin(), v.end());
+  }
   std::sort(inproc_ms.begin(), inproc_ms.end());
   std::sort(http_ms.begin(), http_ms.end());
   scenario.inproc_p99_ms = Percentile(inproc_ms, 0.99);
@@ -430,6 +500,7 @@ int main() {
   const int num_refit_queries =
       bench::EnvInt("RESEST_SERVING_REFIT_QUERIES", 60);
   const int num_http_batches = bench::EnvInt("RESEST_SERVING_HTTP_BATCHES", 30);
+  const int num_http_clients = bench::EnvInt("RESEST_SERVING_HTTP_CLIENTS", 8);
 
   std::printf("== serving throughput: serial vs. %d-worker batched, "
               "cache off/on ==\n\n",
@@ -467,7 +538,7 @@ int main() {
               num_requests, distinct);
   std::printf("compiled-forest kernel: %s (lockstep width %zu)\n\n",
               CompiledForest::ActiveKernelName(),
-              CompiledForest::kLockstepWidth);
+              CompiledForest::ActiveLockstepWidth());
 
   // --- Serial baseline: one thread, one request at a time. ---
   std::vector<double> serial(requests.size());
@@ -645,23 +716,27 @@ int main() {
     std::printf("WARNING: observation-log footprint exceeded the cap\n");
   }
 
-  // --- Server loopback: the same batches in-process vs over HTTP, so the
-  // wire overhead of the serving front end is a measured number. ---
-  std::printf("\n-- server loopback: %d batches of 64 operator estimates, "
-              "in-process vs HTTP round trip --\n",
-              num_http_batches);
+  // --- Server loopback: the same batches in-process vs over HTTP at equal
+  // concurrency, so the wire overhead of the serving front end is a
+  // measured number. ---
+  std::printf("\n-- server loopback: %d keep-alive clients x %d batches of "
+              "64 operator estimates, in-process vs HTTP round trip --\n",
+              num_http_clients, num_http_batches);
   const LoopbackScenario loopback =
       MeasureServerLoopback(registry, pool, num_http_batches,
-                            /*batch_size=*/64);
+                            /*batch_size=*/64, num_http_clients);
   if (loopback.ran) {
     std::printf("%-28s %11.0f q/s  p99 %.3f ms/batch\n", "in-process",
                 loopback.inproc_qps, loopback.inproc_p99_ms);
     std::printf("%-28s %11.0f q/s  p99 %.3f ms/batch\n", "HTTP loopback",
                 loopback.http_qps, loopback.http_p99_ms);
-    std::printf("wire overhead: %.2fx in-process throughput over HTTP\n",
-                loopback.http_qps > 0.0
-                    ? loopback.inproc_qps / loopback.http_qps
+    std::printf("HTTP vs in-process throughput ratio: %.3f\n",
+                loopback.inproc_qps > 0.0
+                    ? loopback.http_qps / loopback.inproc_qps
                     : 0.0);
+    std::printf("coalescer: %llu merged submissions, %.1f rows/batch mean\n",
+                static_cast<unsigned long long>(loopback.coalesced_batches),
+                loopback.coalesced_rows_per_batch);
     if (loopback.mismatches != 0) {
       std::printf("WARNING: %zu HTTP responses were not bit-identical to "
                   "the in-process results\n",
@@ -695,7 +770,7 @@ int main() {
   // change, not just "got slower".
   json.Str("simd_kernel", CompiledForest::ActiveKernelName());
   json.Int("lockstep_width",
-           static_cast<long long>(CompiledForest::kLockstepWidth));
+           static_cast<long long>(CompiledForest::ActiveLockstepWidth()));
   json.Int("chunk_size_effective",
            static_cast<long long>(uncached.EffectiveChunkSize(
                requests.size(), TaskPriority::kNormal)));
@@ -705,7 +780,11 @@ int main() {
   json.Number("urgent_p99_ms_fifo", fifo.p99_ms);
   json.Number("urgent_p50_ms_priority", prioritized.p50_ms);
   json.Number("urgent_p99_ms_priority", prioritized.p99_ms);
-  json.Bool("urgent_p99_improved", prioritized.p99_ms < fifo.p99_ms);
+  // Ratio (FIFO p99 / priority-lane p99), not a boolean: CI gates on a
+  // threshold with margin instead of flapping when the two are close.
+  json.Number("urgent_p99_ratio",
+              prioritized.p99_ms > 0.0 ? fifo.p99_ms / prioritized.p99_ms
+                                       : 0.0);
   json.Int("refit_feedback_queries", static_cast<long long>(feedback.size()));
   json.Int("refit_slots", static_cast<long long>(refit.refitted_slots));
   json.Number("refit_seconds", refit.refit_seconds);
@@ -724,10 +803,18 @@ int main() {
   json.Bool("obslog_memory_bounded", memory_bounded);
   json.Bool("obslog_refit_deterministic", capped_deterministic);
   json.Int("http_batches", num_http_batches);
+  json.Int("http_clients", num_http_clients);
   json.Number("server_inprocess_qps", loopback.inproc_qps);
   json.Number("server_inprocess_p99_ms", loopback.inproc_p99_ms);
   json.Number("server_http_qps", loopback.http_qps);
   json.Number("server_http_p99_ms", loopback.http_p99_ms);
+  json.Number("server_http_vs_inprocess_ratio",
+              loopback.inproc_qps > 0.0
+                  ? loopback.http_qps / loopback.inproc_qps
+                  : 0.0);
+  json.Number("coalesced_rows_per_batch", loopback.coalesced_rows_per_batch);
+  json.Int("coalesced_batches",
+           static_cast<long long>(loopback.coalesced_batches));
   json.Bool("bit_identical", mismatches == 0);
   json.WriteFile("BENCH_serving.json");
 

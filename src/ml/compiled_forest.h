@@ -14,9 +14,10 @@
 // values and the linear-leaf fields stay in separate cold arrays, touched
 // once per tree per row.
 //
-// Batched traversal runs kLockstepWidth (8) rows per tree in lockstep; the
-// fixed-depth, self-looping walk has no data-dependent exit, so the rows'
-// load-compare chains overlap in the pipeline. Two kernels implement it:
+// Batched traversal runs rows per tree in lockstep (8 scalar/AVX2, 16
+// AVX-512); the fixed-depth, self-looping walk has no data-dependent exit,
+// so the rows' load-compare chains overlap in the pipeline. Three kernels
+// implement it:
 //
 //  - kScalar: portable unrolled lockstep, the fallback on any hardware.
 //  - kAvx2: x86 AVX2 gathers — per step, one 8-lane gather each for the
@@ -25,6 +26,12 @@
 //    each row's next node. Compiled behind a function-level target
 //    attribute and selected at runtime (cpuid + RESEST_SIMD env override),
 //    so binaries built on/for non-AVX2 hosts still run the scalar path.
+//  - kAvx512: the same walk at 16-row lockstep (AVX-512 F/VL/DQ) — one
+//    16-lane word gather per node field, two 8-lane double gathers for the
+//    feature values, native _CMP_LE_OQ mask compares (no shuffle-based
+//    mask packing), and a mask blend for the child select. Same function-
+//    level target attribute + cpuid gating; preferred over kAvx2 when the
+//    CPU has it, overridable with RESEST_SIMD=avx512|avx2|scalar.
 //
 // Bit-identity contract: Predict and PredictBatch reproduce the legacy
 // per-tree scalar path (Mart::PredictReference) byte for byte — in BOTH
@@ -52,25 +59,33 @@
 namespace resest {
 
 /// Traversal kernel identifiers; see ActiveKernel().
-enum class ForestKernel { kScalar = 0, kAvx2 = 1 };
+enum class ForestKernel { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
 
 class CompiledForest {
  public:
-  /// Rows walked in lockstep per tree by PredictBatch.
+  /// Rows walked in lockstep per tree by the scalar and AVX2 kernels (the
+  /// AVX-512 kernel walks 16; see ActiveLockstepWidth()).
   static constexpr size_t kLockstepWidth = 8;
 
-  /// The kernel PredictBatch dispatches to, resolved once per process:
-  /// kAvx2 when the CPU supports it (and the build is x86-64), else
-  /// kScalar. Overrides: RESEST_SIMD=scalar forces the fallback (bench
-  /// comparability, testing); RESEST_SIMD=avx2 requests AVX2 but still
-  /// falls back when unsupported; a RESEST_EXACT_PREDICT build pins
-  /// kScalar unconditionally.
+  /// The kernel PredictBatch dispatches to, resolved once per process: the
+  /// widest of kAvx512 > kAvx2 > kScalar the CPU (and build) supports.
+  /// Overrides: RESEST_SIMD=scalar forces the fallback (bench
+  /// comparability, testing); RESEST_SIMD=avx2 / RESEST_SIMD=avx512
+  /// request that kernel but still fall back down the ladder when
+  /// unsupported; a RESEST_EXACT_PREDICT build pins kScalar
+  /// unconditionally.
   static ForestKernel ActiveKernel();
-  /// "avx2", "scalar", or "scalar-exact" (RESEST_EXACT_PREDICT build).
+  /// "avx512", "avx2", "scalar", or "scalar-exact" (RESEST_EXACT_PREDICT
+  /// build).
   static const char* ActiveKernelName();
+  /// Rows per lockstep group of the active kernel: 16 for kAvx512, else 8.
+  static size_t ActiveLockstepWidth();
   /// True when this binary carries the AVX2 kernel and the CPU supports it
   /// (regardless of the RESEST_SIMD override).
   static bool Avx2Supported();
+  /// True when this binary carries the AVX-512 kernel and the CPU supports
+  /// AVX-512 F+VL+DQ (regardless of the RESEST_SIMD override).
+  static bool Avx512Supported();
 
   /// Flattens `trees` (the boosted sequence of a Mart) into the contiguous
   /// layout. Trees with no nodes compile to a single zero-value leaf, which
@@ -133,6 +148,8 @@ class CompiledForest {
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
   void PredictBatchAvx2(const double* rows, size_t num_rows, size_t stride,
                         double* out) const;
+  void PredictBatchAvx512(const double* rows, size_t num_rows, size_t stride,
+                          double* out) const;
 #endif
 
   double f0_ = 0.0;

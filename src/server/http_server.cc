@@ -1,16 +1,23 @@
 #include "src/server/http_server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <unordered_map>
 
 namespace resest {
 namespace {
@@ -38,224 +45,45 @@ void CloseFd(int fd) {
   if (fd >= 0) ::close(fd);
 }
 
-}  // namespace
-
-const std::string* HttpRequest::FindHeader(const std::string& name) const {
-  for (const auto& header : headers) {
-    if (EqualsIgnoreCase(header.first, name)) return &header.second;
-  }
-  return nullptr;
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
-const char* HttpReasonPhrase(int status) {
-  switch (status) {
-    case 200: return "OK";
-    case 400: return "Bad Request";
-    case 404: return "Not Found";
-    case 405: return "Method Not Allowed";
-    case 413: return "Payload Too Large";
-    case 500: return "Internal Server Error";
-    case 503: return "Service Unavailable";
-    case 504: return "Gateway Timeout";
-  }
-  return "Status";
+/// Serializes one response onto a connection's output buffer.
+void AppendResponse(const HttpResponse& response, bool keep_alive,
+                    std::string* out) {
+  *out += "HTTP/1.1 " + std::to_string(response.status) + " " +
+          HttpReasonPhrase(response.status) + "\r\n";
+  *out += "Content-Type: " + response.content_type + "\r\n";
+  *out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  *out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  *out += "\r\n";
+  *out += response.body;
 }
 
-HttpServer::HttpServer(ThreadPool* pool, HttpHandler handler,
-                       HttpServerOptions options)
-    : pool_(pool), handler_(std::move(handler)), options_(std::move(options)) {
-  if (options_.poll_interval_ms <= 0) options_.poll_interval_ms = 100;
-}
+enum class ParseOutcome { kNeedMore, kRequest, kError };
 
-HttpServer::~HttpServer() { Stop(); }
-
-bool HttpServer::Start(std::string* error) {
-  auto fail = [&](const std::string& message) {
-    if (error != nullptr) *error = message + ": " + std::strerror(errno);
-    if (listen_fd_ >= 0) {
-      CloseFd(listen_fd_);
-      listen_fd_ = -1;
-    }
-    return false;
-  };
-  if (listen_fd_ >= 0) {
-    if (error != nullptr) *error = "already started";
-    return false;
-  }
-  stopping_.store(false, std::memory_order_relaxed);
-
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return fail("socket");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    errno = EINVAL;
-    return fail("inet_pton(" + options_.bind_address + ")");
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    return fail("bind");
-  }
-  if (::listen(listen_fd_, options_.backlog) != 0) return fail("listen");
-
-  sockaddr_in bound;
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) != 0) {
-    return fail("getsockname");
-  }
-  port_ = ntohs(bound.sin_port);
-
-  accept_thread_ = std::thread([this]() { AcceptLoop(); });
-  return true;
-}
-
-void HttpServer::Stop() {
-  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
-  stopping_.store(true, std::memory_order_relaxed);
-  // Closing the listener makes the accept loop's poll report an error and
-  // exit; connections notice stopping_ at their next poll tick.
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    CloseFd(listen_fd_);
-    listen_fd_ = -1;
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::unique_lock<std::mutex> lock(conn_mu_);
-  conn_idle_.wait(lock, [this]() { return open_connections_ == 0; });
-  port_ = 0;
-}
-
-size_t HttpServer::active_connections() const {
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  return open_connections_;
-}
-
-void HttpServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    struct pollfd pfd;
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
-    pfd.revents = 0;
-    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener closed by Stop()
-    }
-    if (ready == 0 || (pfd.revents & POLLIN) == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;  // listener closed by Stop()
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    {
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      ++open_connections_;
-    }
-    try {
-      pool_->Submit([this, fd]() { ServeConnection(fd); });
-    } catch (...) {
-      // Pool shutting down under us (lifecycle misuse); serve inline so the
-      // accepted client still gets answers and the drain count balances.
-      ServeConnection(fd);
-    }
-  }
-}
-
-void HttpServer::ServeConnection(int fd) {
-  std::string buffer;
-  while (true) {
-    HttpRequest request;
-    HttpResponse error_response;
-    bool keep_alive = true;
-    const int got =
-        ReadRequest(fd, &buffer, &request, &keep_alive, &error_response);
-    if (got == 0) break;
-    if (got < 0) {
-      // Count before writing: once a client has read its response, the
-      // counter is guaranteed to include it.
-      requests_served_.fetch_add(1, std::memory_order_relaxed);
-      WriteResponse(fd, error_response, /*keep_alive=*/false);
-      break;
-    }
-    HttpResponse response;
-    try {
-      response = handler_(request);
-    } catch (...) {
-      response = MakeError(500, "internal error");
-    }
-    // A response is written even when Stop() raced the handler — draining
-    // means answering everything accepted, then closing.
-    if (stopping_.load(std::memory_order_relaxed)) keep_alive = false;
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-    const bool written = WriteResponse(fd, response, keep_alive);
-    if (!written || !keep_alive) break;
-  }
-  CloseFd(fd);
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  if (--open_connections_ == 0) conn_idle_.notify_all();
-}
-
-int HttpServer::ReadRequest(int fd, std::string* buffer, HttpRequest* request,
-                            bool* keep_alive, HttpResponse* error_response) {
+/// Incremental request parser: attempts to cut one complete request off the
+/// front of `buffer` (bytes beyond it — pipelined requests — are left in
+/// place). kNeedMore leaves the buffer untouched so the caller can retry
+/// after the next read; kError fills *error_response (the caller answers it
+/// and closes).
+ParseOutcome ParseOneRequest(std::string* buffer,
+                             const HttpServerOptions& options,
+                             HttpRequest* request, bool* keep_alive,
+                             HttpResponse* error_response) {
   auto fail = [&](int status, const std::string& message) {
     *error_response = MakeError(status, message);
-    return -1;
+    return ParseOutcome::kError;
   };
 
-  size_t header_end = std::string::npos;
-  int idle_ms = 0;
-  while (true) {
-    header_end = buffer->find("\r\n\r\n");
-    if (header_end != std::string::npos) break;
-    if (buffer->size() > options_.max_header_bytes) {
+  const size_t header_end = buffer->find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (buffer->size() > options.max_header_bytes) {
       return fail(400, "request headers too large");
     }
-    // Idle keep-alive connections close on server drain or idle timeout;
-    // a half-received request keeps its grace period until the idle clock
-    // runs out. A request whose bytes reached the socket before the drain
-    // began is NOT idle — one zero-timeout poll decides, so anything a
-    // client finished sending pre-SIGTERM is still answered.
-    if (buffer->empty() && stopping_.load(std::memory_order_relaxed)) {
-      struct pollfd pending;
-      pending.fd = fd;
-      pending.events = POLLIN;
-      pending.revents = 0;
-      if (::poll(&pending, 1, 0) <= 0 || (pending.revents & POLLIN) == 0) {
-        return 0;
-      }
-    }
-    struct pollfd pfd;
-    pfd.fd = fd;
-    pfd.events = POLLIN;
-    pfd.revents = 0;
-    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      return 0;
-    }
-    if (ready == 0) {
-      idle_ms += options_.poll_interval_ms;
-      if (idle_ms >= options_.idle_timeout_ms) return 0;
-      continue;
-    }
-    char chunk[8192];
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN) continue;
-      return 0;
-    }
-    if (n == 0) return 0;  // peer closed (mid-request or between requests)
-    idle_ms = 0;
-    buffer->append(chunk, static_cast<size_t>(n));
+    return ParseOutcome::kNeedMore;
   }
 
   // --- Request line. ---
@@ -280,6 +108,8 @@ int HttpServer::ReadRequest(int fd, std::string* buffer, HttpRequest* request,
   if (question != std::string::npos) {
     request->query = target.substr(question + 1);
     target.resize(question);
+  } else {
+    request->query.clear();
   }
   request->target = std::move(target);
 
@@ -315,36 +145,15 @@ int HttpServer::ReadRequest(int fd, std::string* buffer, HttpRequest* request,
     }
     content_length = static_cast<size_t>(parsed);
   }
-  if (content_length > options_.max_body_bytes) {
+  if (content_length > options.max_body_bytes) {
     return fail(400, "request body too large");
   }
   const size_t body_start = header_end + 4;
-  idle_ms = 0;
-  while (buffer->size() - body_start < content_length) {
-    struct pollfd pfd;
-    pfd.fd = fd;
-    pfd.events = POLLIN;
-    pfd.revents = 0;
-    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
-    if (ready < 0 && errno != EINTR) return 0;
-    if (ready == 0) {
-      idle_ms += options_.poll_interval_ms;
-      if (idle_ms >= options_.idle_timeout_ms) return 0;
-      continue;
-    }
-    if (ready <= 0) continue;
-    char chunk[8192];
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN) continue;
-      return 0;
-    }
-    if (n == 0) return 0;
-    idle_ms = 0;
-    buffer->append(chunk, static_cast<size_t>(n));
+  if (buffer->size() - body_start < content_length) {
+    return ParseOutcome::kNeedMore;
   }
   request->body = buffer->substr(body_start, content_length);
-  // Preserve pipelined bytes beyond this request for the next read.
+  // Preserve pipelined bytes beyond this request for the next parse.
   buffer->erase(0, body_start + content_length);
 
   const std::string* connection = request->FindHeader("Connection");
@@ -356,29 +165,762 @@ int HttpServer::ReadRequest(int fd, std::string* buffer, HttpRequest* request,
   } else {
     *keep_alive = true;
   }
-  return 1;
+  return ParseOutcome::kRequest;
 }
 
-bool HttpServer::WriteResponse(int fd, const HttpResponse& response,
-                               bool keep_alive) {
-  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                    HttpReasonPhrase(response.status) + "\r\n";
-  out += "Content-Type: " + response.content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
-  out += "\r\n";
-  out += response.body;
-  size_t sent = 0;
-  while (sent < out.size()) {
-    const ssize_t n =
-        ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;  // peer gone; nothing further to deliver
+#if defined(__linux__)
+/// epoll_event.data.u64 tags for the two non-connection fds.
+// Reserved epoll tags; connection ids start above them (next_conn_id_).
+constexpr uint64_t kWakeTag = 0;
+constexpr uint64_t kListenerTag = 1;
+#endif
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(const std::string& name) const {
+  for (const auto& header : headers) {
+    if (EqualsIgnoreCase(header.first, name)) return &header.second;
+  }
+  return nullptr;
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+  }
+  return "Status";
+}
+
+/// One connection's state machine; owned by exactly one IoLoop and only
+/// ever touched from that loop's thread.
+struct HttpServer::Conn {
+  int fd = -1;
+  std::string in;       ///< Unparsed request bytes.
+  std::string out;      ///< Serialized response bytes not yet sent.
+  size_t out_off = 0;   ///< Sent prefix of `out`.
+  bool want_write = false;       ///< EPOLLOUT armed (partial send pending).
+  bool awaiting = false;         ///< A handler owns the pending response.
+  bool req_keep_alive = true;    ///< Keep-alive of the request in flight.
+  bool close_after_flush = false;
+  bool peer_eof = false;
+  bool served_any = false;   ///< At least one response delivered (reuse).
+  bool processing = false;   ///< ProcessInput re-entry guard.
+  std::chrono::steady_clock::time_point last_activity;
+
+  bool write_pending() const { return out_off < out.size(); }
+};
+
+/// One event loop: poller + wake pipe + the connections it owns. The
+/// cross-thread surface (new sockets from the acceptor, finished responses
+/// from handlers) is the mutex-guarded queues; everything else is
+/// loop-thread-private.
+struct HttpServer::IoLoop {
+  HttpServer* server = nullptr;
+  size_t index = 0;
+  bool poll_backend = false;
+#if defined(__linux__)
+  int epfd = -1;
+#endif
+  int wake_rd = -1;
+  int wake_wr = -1;
+  std::thread thread;
+
+  std::mutex mu;
+  std::vector<int> incoming;  ///< Accepted sockets awaiting adoption.
+  std::vector<std::pair<uint64_t, HttpResponse>> completions;
+  bool terminate = false;
+  bool wake_pending = false;  ///< A wake byte is in the pipe.
+  bool fds_closed = false;    ///< Teardown done; reject cross-thread posts.
+
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns;
+
+  Conn* Find(uint64_t id) {
+    auto it = conns.find(id);
+    return it == conns.end() ? nullptr : it->second.get();
+  }
+};
+
+namespace {
+/// The loop the current thread is running (null elsewhere): lets a sender
+/// invoked synchronously from a handler deliver without a queue round-trip.
+thread_local HttpServer::IoLoop* tl_current_loop = nullptr;
+}  // namespace
+
+struct HttpResponseSender::Core {
+  HttpServer* server = nullptr;
+  size_t loop = 0;
+  uint64_t conn = 0;
+  std::atomic<bool> sent{false};
+
+  ~Core() {
+    // A dropped sender still answers: the connection would otherwise wait
+    // forever and wedge the drain.
+    if (!sent.load(std::memory_order_acquire)) {
+      server->PostResponse(loop, conn,
+                           MakeError(500, "handler dropped the request"));
     }
-    sent += static_cast<size_t>(n);
+  }
+};
+
+void HttpResponseSender::Send(HttpResponse response) const {
+  if (!core_) return;
+  if (core_->sent.exchange(true, std::memory_order_acq_rel)) return;
+  core_->server->PostResponse(core_->loop, core_->conn, std::move(response));
+}
+
+HttpResponseSender HttpServer::MakeSender(size_t loop_index,
+                                          uint64_t conn_id) {
+  HttpResponseSender sender;
+  sender.core_ = std::make_shared<HttpResponseSender::Core>();
+  sender.core_->server = this;
+  sender.core_->loop = loop_index;
+  sender.core_->conn = conn_id;
+  return sender;
+}
+
+HttpServer::HttpServer(HttpAsyncHandler handler, HttpServerOptions options)
+    : handler_(std::move(handler)), options_(std::move(options)) {
+  if (options_.poll_interval_ms <= 0) options_.poll_interval_ms = 100;
+}
+
+HttpServer::HttpServer(ThreadPool* pool, HttpHandler handler,
+                       HttpServerOptions options)
+    : HttpServer(
+          [pool, handler = std::move(handler)](const HttpRequest& request,
+                                               HttpResponseSender respond) {
+            // The synchronous handler may block, so it must leave the I/O
+            // thread; the request is copied because the loop's parse
+            // scratch does not outlive the dispatch.
+            auto run = [handler, request, respond]() {
+              HttpResponse response;
+              try {
+                response = handler(request);
+              } catch (...) {
+                response = MakeError(500, "internal error");
+              }
+              respond.Send(std::move(response));
+            };
+            if (pool != nullptr) {
+              try {
+                pool->Submit(run);
+                return;
+              } catch (...) {
+                // Pool shutting down under us (lifecycle misuse); run
+                // inline so the client still gets its answer.
+              }
+            }
+            run();
+          },
+          std::move(options)) {}
+
+HttpServer::~HttpServer() {
+  Stop();
+  // Teardown of the loops' fds is deferred to here (not Stop) so a sender
+  // still in flight on another thread can never write into a recycled fd.
+  for (auto& loop : loops_) {
+    std::lock_guard<std::mutex> lock(loop->mu);
+    loop->fds_closed = true;
+    CloseFd(loop->wake_rd);
+    CloseFd(loop->wake_wr);
+#if defined(__linux__)
+    CloseFd(loop->epfd);
+#endif
+    for (int fd : loop->incoming) CloseFd(fd);
+    loop->incoming.clear();
+  }
+  loops_.clear();
+}
+
+size_t HttpServer::EffectiveIoThreads() const {
+  if (options_.io_threads > 0) return options_.io_threads;
+  const size_t hw = std::thread::hardware_concurrency();
+  const size_t half = hw / 2;
+  return half < 1 ? 1 : (half > 4 ? 4 : half);
+}
+
+bool HttpServer::UsePollBackend() const {
+#if defined(__linux__)
+  if (options_.use_poll) return true;
+  const char* env = std::getenv("RESEST_IO_POLLER");
+  return env != nullptr && std::strcmp(env, "poll") == 0;
+#else
+  return true;
+#endif
+}
+
+bool HttpServer::Start(std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      CloseFd(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (auto& loop : loops_) {
+      CloseFd(loop->wake_rd);
+      CloseFd(loop->wake_wr);
+#if defined(__linux__)
+      CloseFd(loop->epfd);
+#endif
+    }
+    loops_.clear();
+    return false;
+  };
+  if (started_) {
+    if (error != nullptr) *error = "already started";
+    return false;
+  }
+  loops_.clear();
+  stopping_.store(false, std::memory_order_relaxed);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    errno = EINVAL;
+    return fail("inet_pton(" + options_.bind_address + ")");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) return fail("listen");
+  if (!SetNonBlocking(listen_fd_)) return fail("fcntl(listener)");
+
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  const size_t num_loops = EffectiveIoThreads();
+  const bool poll_backend = UsePollBackend();
+  for (size_t i = 0; i < num_loops; ++i) {
+    auto loop = std::make_unique<IoLoop>();
+    loop->server = this;
+    loop->index = i;
+    loop->poll_backend = poll_backend;
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) return fail("pipe");
+    loop->wake_rd = pipe_fds[0];
+    loop->wake_wr = pipe_fds[1];
+    if (!SetNonBlocking(loop->wake_rd) || !SetNonBlocking(loop->wake_wr)) {
+      loops_.push_back(std::move(loop));
+      return fail("fcntl(wake pipe)");
+    }
+#if defined(__linux__)
+    if (!poll_backend) {
+      loop->epfd = ::epoll_create1(0);
+      if (loop->epfd < 0) {
+        loops_.push_back(std::move(loop));
+        return fail("epoll_create1");
+      }
+      epoll_event ev;
+      std::memset(&ev, 0, sizeof(ev));
+      ev.events = EPOLLIN;  // level-triggered: the wake byte stays readable
+      ev.data.u64 = kWakeTag;
+      if (::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, loop->wake_rd, &ev) != 0) {
+        loops_.push_back(std::move(loop));
+        return fail("epoll_ctl(wake)");
+      }
+      if (i == 0) {
+        ev.events = EPOLLIN;
+        ev.data.u64 = kListenerTag;
+        if (::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+          loops_.push_back(std::move(loop));
+          return fail("epoll_ctl(listener)");
+        }
+      }
+    }
+#endif
+    loops_.push_back(std::move(loop));
+  }
+
+  started_ = true;
+  next_loop_ = 0;
+  connections_accepted_.store(0, std::memory_order_relaxed);
+  keepalive_requests_.store(0, std::memory_order_relaxed);
+  requests_served_.store(0, std::memory_order_relaxed);
+  for (auto& loop : loops_) {
+    IoLoop* raw = loop.get();
+    loop->thread = std::thread([this, raw]() { LoopMain(raw); });
   }
   return true;
+}
+
+void HttpServer::Stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  for (auto& loop : loops_) WakeLoop(loop.get());
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    conn_idle_.wait(lock, [this]() { return open_connections_ == 0; });
+  }
+  for (auto& loop : loops_) {
+    {
+      std::lock_guard<std::mutex> lock(loop->mu);
+      loop->terminate = true;
+    }
+    WakeLoop(loop.get());
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  started_ = false;
+  port_ = 0;
+}
+
+size_t HttpServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return open_connections_;
+}
+
+HttpServerStats HttpServer::stats() const {
+  HttpServerStats stats;
+  stats.requests_served = requests_served_.load(std::memory_order_relaxed);
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.keepalive_requests =
+      keepalive_requests_.load(std::memory_order_relaxed);
+  stats.open_connections = active_connections();
+  return stats;
+}
+
+void HttpServer::WakeLoop(IoLoop* loop) {
+  std::lock_guard<std::mutex> lock(loop->mu);
+  if (loop->wake_pending || loop->fds_closed) return;
+  loop->wake_pending = true;
+  const char byte = 'w';
+  // The pipe is nonblocking; a full pipe already guarantees a pending wake.
+  (void)!::write(loop->wake_wr, &byte, 1);
+}
+
+void HttpServer::PostResponse(size_t loop_index, uint64_t conn_id,
+                              HttpResponse response) {
+  if (loop_index >= loops_.size()) return;
+  IoLoop* loop = loops_[loop_index].get();
+  if (tl_current_loop == loop) {
+    // Synchronous completion from inside the handler: deliver directly —
+    // no queue round-trip, and ProcessInput's re-entry guard keeps the
+    // parse loop iterative.
+    DeliverResponse(loop, conn_id, std::move(response));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(loop->mu);
+  if (loop->fds_closed) return;
+  loop->completions.emplace_back(conn_id, std::move(response));
+  if (!loop->wake_pending) {
+    loop->wake_pending = true;
+    const char byte = 'w';
+    (void)!::write(loop->wake_wr, &byte, 1);
+  }
+}
+
+void HttpServer::LoopMain(IoLoop* loop) {
+  tl_current_loop = loop;
+  std::vector<uint64_t> ready_read;
+  std::vector<uint64_t> ready_write;
+  std::vector<int> incoming;
+  std::vector<std::pair<uint64_t, HttpResponse>> completions;
+#if !defined(__linux__)
+  const bool use_epoll = false;
+#else
+  const bool use_epoll = !loop->poll_backend;
+#endif
+  // poll() backend scratch, rebuilt per iteration.
+  std::vector<struct pollfd> pfds;
+  std::vector<uint64_t> pfd_ids;
+
+  for (;;) {
+    ready_read.clear();
+    ready_write.clear();
+    bool listener_ready = false;
+
+#if defined(__linux__)
+    if (use_epoll) {
+      epoll_event events[64];
+      const int n =
+          ::epoll_wait(loop->epfd, events, 64, options_.poll_interval_ms);
+      for (int i = 0; i < n; ++i) {
+        const uint64_t tag = events[i].data.u64;
+        if (tag == kWakeTag) continue;  // drained below with the queues
+        if (tag == kListenerTag) {
+          listener_ready = true;
+          continue;
+        }
+        if (events[i].events & EPOLLOUT) ready_write.push_back(tag);
+        if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+          ready_read.push_back(tag);
+        }
+      }
+    }
+#endif
+    if (!use_epoll) {
+      pfds.clear();
+      pfd_ids.clear();
+      pfds.push_back({loop->wake_rd, POLLIN, 0});
+      pfd_ids.push_back(0);
+      const bool watch_listener =
+          loop->index == 0 && listen_fd_ >= 0 &&
+          !stopping_.load(std::memory_order_relaxed);
+      if (watch_listener) {
+        pfds.push_back({listen_fd_, POLLIN, 0});
+        pfd_ids.push_back(0);
+      }
+      const size_t first_conn = pfds.size();
+      for (const auto& entry : loop->conns) {
+        const Conn* c = entry.second.get();
+        if (c->fd < 0) continue;
+        short events = POLLIN;
+        if (c->want_write) events |= POLLOUT;
+        pfds.push_back({c->fd, events, 0});
+        pfd_ids.push_back(entry.first);
+      }
+      const int n =
+          ::poll(pfds.data(), pfds.size(), options_.poll_interval_ms);
+      if (n > 0) {
+        if (watch_listener && (pfds[1].revents & POLLIN)) {
+          listener_ready = true;
+        }
+        for (size_t i = first_conn; i < pfds.size(); ++i) {
+          if (pfds[i].revents & POLLOUT) ready_write.push_back(pfd_ids[i]);
+          if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+            ready_read.push_back(pfd_ids[i]);
+          }
+        }
+      }
+    }
+
+    // Cross-thread intake: drain the wake pipe and swap the queues out.
+    bool terminate = false;
+    incoming.clear();
+    completions.clear();
+    {
+      std::lock_guard<std::mutex> lock(loop->mu);
+      char drain[64];
+      while (::read(loop->wake_rd, drain, sizeof(drain)) > 0) {
+      }
+      loop->wake_pending = false;
+      incoming.swap(loop->incoming);
+      completions.swap(loop->completions);
+      terminate = loop->terminate;
+    }
+
+    const bool draining = stopping_.load(std::memory_order_relaxed);
+    if (draining && loop->index == 0 && listen_fd_ >= 0) {
+      // The loop owns the listener, so only it closes it: no fd-reuse race
+      // with a concurrent accept.
+      CloseFd(listen_fd_);
+      listen_fd_ = -1;
+    }
+
+    for (int fd : incoming) AdoptConnection(loop, fd);
+    for (auto& completion : completions) {
+      DeliverResponse(loop, completion.first, std::move(completion.second));
+    }
+    if (listener_ready && !draining) AcceptReady(loop);
+    for (uint64_t id : ready_write) OnWritable(loop, id);
+    for (uint64_t id : ready_read) OnReadable(loop, id);
+
+    SweepConnections(loop);
+
+    if (terminate && loop->conns.empty()) break;
+  }
+  if (loop->index == 0 && listen_fd_ >= 0) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+  }
+  tl_current_loop = nullptr;
+}
+
+void HttpServer::AcceptReady(IoLoop* loop) {
+  for (;;) {
+    if (stopping_.load(std::memory_order_relaxed) || listen_fd_ < 0) return;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // EAGAIN (drained) or listener gone
+    }
+    if (!SetNonBlocking(fd)) {
+      CloseFd(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    // Count before the handoff so Stop() can never observe zero while an
+    // accepted socket sits in a wake queue.
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      ++open_connections_;
+    }
+    IoLoop* target = loops_[next_loop_++ % loops_.size()].get();
+    if (target == loop) {
+      AdoptConnection(loop, fd);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(target->mu);
+        target->incoming.push_back(fd);
+      }
+      WakeLoop(target);
+    }
+  }
+}
+
+void HttpServer::AdoptConnection(IoLoop* loop, int fd) {
+  const uint64_t id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->last_activity = std::chrono::steady_clock::now();
+  loop->conns.emplace(id, std::move(conn));
+#if defined(__linux__)
+  if (!loop->poll_backend) {
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN | EPOLLET;
+    ev.data.u64 = id;
+    if (::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      CloseConn(loop, id);
+      return;
+    }
+  }
+#endif
+  // Edge-triggered registration only reports bytes arriving after it; read
+  // whatever raced the handoff now.
+  OnReadable(loop, id);
+}
+
+void HttpServer::OnReadable(IoLoop* loop, uint64_t id) {
+  Conn* c = loop->Find(id);
+  if (c == nullptr || c->fd < 0) return;
+  bool got_bytes = false;
+  for (;;) {
+    char chunk[16 * 1024];
+    const ssize_t n = ::recv(c->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      c->in.append(chunk, static_cast<size_t>(n));
+      got_bytes = true;
+      continue;
+    }
+    if (n == 0) {
+      c->peer_eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    c->peer_eof = true;  // hard error: nothing further deliverable
+    break;
+  }
+  if (got_bytes) c->last_activity = std::chrono::steady_clock::now();
+  ProcessInput(loop, id);
+  c = loop->Find(id);
+  if (c == nullptr) return;
+  if (c->peer_eof && !c->awaiting && !c->write_pending()) {
+    CloseConn(loop, id);
+  }
+}
+
+void HttpServer::ProcessInput(IoLoop* loop, uint64_t id) {
+  {
+    Conn* c = loop->Find(id);
+    if (c == nullptr || c->processing) return;
+    c->processing = true;
+  }
+  for (;;) {
+    Conn* c = loop->Find(id);
+    if (c == nullptr) return;  // closed mid-loop; the guard died with it
+    // Strictly one request in flight per connection: the next pipelined
+    // request is parsed only once the previous response is fully on the
+    // wire — responses can never interleave or reorder.
+    if (c->awaiting || c->close_after_flush || c->write_pending() ||
+        c->fd < 0) {
+      break;
+    }
+    HttpRequest request;
+    HttpResponse error_response;
+    bool keep_alive = true;
+    const ParseOutcome got = ParseOneRequest(&c->in, options_, &request,
+                                             &keep_alive, &error_response);
+    if (got == ParseOutcome::kNeedMore) break;
+    if (got == ParseOutcome::kError) {
+      // Count before writing: once a client has read its response, the
+      // counter is guaranteed to include it.
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      c->close_after_flush = true;
+      AppendResponse(error_response, /*keep_alive=*/false, &c->out);
+      FlushWrites(loop, id);
+      break;
+    }
+    if (c->served_any) {
+      keepalive_requests_.fetch_add(1, std::memory_order_relaxed);
+    }
+    c->awaiting = true;
+    c->req_keep_alive = keep_alive;
+    HttpResponseSender sender = MakeSender(loop->index, id);
+    try {
+      handler_(request, sender);
+    } catch (...) {
+      sender.Send(MakeError(500, "internal error"));
+    }
+    // A synchronous completion already cleared `awaiting` (the sender
+    // detected this loop and delivered directly); the loop then continues
+    // with the next pipelined request. An asynchronous handler leaves
+    // `awaiting` set and the loop exits below.
+  }
+  Conn* c = loop->Find(id);
+  if (c != nullptr) c->processing = false;
+}
+
+void HttpServer::DeliverResponse(IoLoop* loop, uint64_t id,
+                                 HttpResponse response) {
+  // Counted even if the peer vanished first: the request was parsed and
+  // answered; only delivery can fail.
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  Conn* c = loop->Find(id);
+  if (c == nullptr || c->fd < 0) return;
+  c->awaiting = false;
+  c->served_any = true;
+  // A response is written even when Stop() raced the handler — draining
+  // means answering everything accepted, then closing.
+  const bool keep_alive = c->req_keep_alive && !c->peer_eof &&
+                          !c->close_after_flush &&
+                          !stopping_.load(std::memory_order_relaxed);
+  if (!keep_alive) c->close_after_flush = true;
+  AppendResponse(response, keep_alive, &c->out);
+  c->last_activity = std::chrono::steady_clock::now();
+  FlushWrites(loop, id);
+  c = loop->Find(id);
+  if (c == nullptr) return;
+  if (!c->write_pending() && !c->close_after_flush && !c->processing) {
+    ProcessInput(loop, id);  // pipelined requests already buffered
+  }
+}
+
+void HttpServer::FlushWrites(IoLoop* loop, uint64_t id) {
+  Conn* c = loop->Find(id);
+  if (c == nullptr || c->fd < 0) return;
+  while (c->write_pending()) {
+    const ssize_t n = ::send(c->fd, c->out.data() + c->out_off,
+                             c->out.size() - c->out_off, MSG_NOSIGNAL);
+    if (n >= 0) {
+      c->out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!c->want_write) {
+        c->want_write = true;
+#if defined(__linux__)
+        if (!loop->poll_backend) {
+          epoll_event ev;
+          std::memset(&ev, 0, sizeof(ev));
+          ev.events = EPOLLIN | EPOLLOUT | EPOLLET;
+          ev.data.u64 = id;
+          ::epoll_ctl(loop->epfd, EPOLL_CTL_MOD, c->fd, &ev);
+        }
+#endif
+      }
+      return;
+    }
+    CloseConn(loop, id);  // peer gone; nothing further to deliver
+    return;
+  }
+  if (!c->out.empty()) {
+    c->out.clear();
+    c->out_off = 0;
+  }
+  if (c->want_write) {
+    c->want_write = false;
+#if defined(__linux__)
+    if (!loop->poll_backend) {
+      epoll_event ev;
+      std::memset(&ev, 0, sizeof(ev));
+      ev.events = EPOLLIN | EPOLLET;
+      ev.data.u64 = id;
+      ::epoll_ctl(loop->epfd, EPOLL_CTL_MOD, c->fd, &ev);
+    }
+#endif
+  }
+  if (c->close_after_flush) CloseConn(loop, id);
+}
+
+void HttpServer::OnWritable(IoLoop* loop, uint64_t id) {
+  FlushWrites(loop, id);
+  Conn* c = loop->Find(id);
+  if (c == nullptr) return;
+  if (!c->write_pending() && !c->awaiting && !c->close_after_flush) {
+    ProcessInput(loop, id);  // resume pipelining stalled on backpressure
+  }
+}
+
+void HttpServer::CloseConn(IoLoop* loop, uint64_t id) {
+  auto it = loop->conns.find(id);
+  if (it == loop->conns.end()) return;
+  Conn* c = it->second.get();
+  if (c->awaiting) {
+    // A handler still owns a response for this connection; keep the entry
+    // (and the fd, so it cannot be recycled under the pending sender) and
+    // finish closing when the response is delivered.
+    if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+    c->peer_eof = true;
+    c->close_after_flush = true;
+    return;
+  }
+  CloseFd(c->fd);  // epoll deregisters automatically on close
+  c->fd = -1;
+  loop->conns.erase(it);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  if (--open_connections_ == 0) conn_idle_.notify_all();
+}
+
+void HttpServer::SweepConnections(IoLoop* loop) {
+  const auto now = std::chrono::steady_clock::now();
+  const bool draining = stopping_.load(std::memory_order_relaxed);
+  const auto idle_limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+  std::vector<uint64_t> ids;
+  ids.reserve(loop->conns.size());
+  for (const auto& entry : loop->conns) ids.push_back(entry.first);
+  for (uint64_t id : ids) {
+    Conn* c = loop->Find(id);
+    if (c == nullptr || c->fd < 0 || c->awaiting || c->write_pending()) {
+      continue;
+    }
+    if (draining && c->in.empty()) {
+      // Idle keep-alive connections close on drain — but a request whose
+      // bytes reached the socket before the drain began is NOT idle. One
+      // nonblocking read decides, so anything a client finished sending
+      // pre-SIGTERM is still answered.
+      OnReadable(loop, id);
+      c = loop->Find(id);
+      if (c == nullptr) continue;
+      if (c->awaiting || c->write_pending()) continue;
+      if (c->in.empty()) {
+        CloseConn(loop, id);
+        continue;
+      }
+      // else: a request is now mid-parse; grace period below applies.
+    }
+    if (now - c->last_activity >= idle_limit) {
+      // Half-received requests keep their grace period until the idle
+      // clock runs out — during drain too.
+      CloseConn(loop, id);
+    }
+  }
 }
 
 }  // namespace resest

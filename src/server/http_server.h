@@ -1,22 +1,32 @@
-// A small dependency-free HTTP/1.1 server: a blocking accept() loop on one
-// listener thread, per-connection handling as tasks on the shared
-// ThreadPool, and a minimal request parser / response writer. Exactly what
-// the estimation front end needs — POST bodies with Content-Length,
-// keep-alive, graceful drain — and nothing more (no TLS, no chunked
-// transfer encoding, no multiplexing).
+// A small dependency-free HTTP/1.1 server built on a non-blocking event
+// loop: edge-triggered epoll on Linux (a portable poll() backend is the
+// fallback and is selectable for tests), with a fixed set of I/O threads
+// owning per-connection state machines — incremental request parsing,
+// buffered writes, keep-alive reuse, idle timeouts. Exactly what the
+// estimation front end needs — POST bodies with Content-Length, keep-alive,
+// graceful drain — and nothing more (no TLS, no chunked transfer encoding,
+// no multiplexing).
 //
-// Lifecycle: Start() binds and spawns the accept thread; Stop() closes the
-// listener (no new connections), asks idle keep-alive connections to close,
-// and blocks until every in-flight request has been answered — the server's
-// half of the zero-dropped-responses drain contract (the service destructor
-// provides the other half by draining submitted batches). The destructor
-// calls Stop().
+// Threading model: Start() spawns `io_threads` event loops. Loop 0 owns the
+// listener and accepts until EAGAIN on readiness; accepted sockets are
+// handed round-robin to the loops over their wake pipes. A connection lives
+// on exactly one loop for its whole keep-alive lifetime, so its state
+// machine needs no locks. Handlers run inline on the loop thread and hand
+// their response to an HttpResponseSender — a one-shot, copyable handle
+// that may be invoked from any thread (it marshals the response back to
+// the owning loop), which is what lets the serving layer defer a request
+// into a cross-request batch without blocking the loop. The legacy
+// synchronous HttpHandler is still accepted: it is dispatched onto the
+// provided ThreadPool, so a blocking handler occupies a pool slot, never
+// an I/O thread.
 //
-// Threading: each accepted connection is one pool task that lives for the
-// connection's keep-alive lifetime, so the pool must be sized for the
-// expected concurrent connections on top of its estimation work. Handlers
-// run on pool threads and may block (EstimationService::EstimateBatch is
-// safe there: blocking callers drain their own chunks).
+// Lifecycle: Start() binds and spawns the loops; Stop() closes the
+// listener (no new connections), closes idle keep-alive connections — a
+// connection whose request bytes reached the socket before the drain began
+// is NOT idle and is still answered — and blocks until every in-flight
+// request has been answered: the server's half of the zero-dropped-
+// responses drain contract (the service destructor provides the other half
+// by draining submitted batches). The destructor calls Stop().
 #ifndef RESEST_SERVER_HTTP_SERVER_H_
 #define RESEST_SERVER_HTTP_SERVER_H_
 
@@ -24,6 +34,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -55,9 +66,39 @@ struct HttpResponse {
 /// API uses; "Status" for anything unrecognized.
 const char* HttpReasonPhrase(int status);
 
-/// Handles one parsed request; runs on a pool thread. Must not throw — an
-/// escaping exception is answered with a 500 so the connection (and drain
-/// accounting) stays intact.
+class HttpServer;
+
+/// One-shot handle delivering the response for one parsed request back to
+/// the connection that carried it. Copyable and safe to invoke from any
+/// thread; the first invocation wins and later ones are ignored. If every
+/// copy is destroyed without sending, a 500 is delivered in its place so
+/// the connection (and the drain accounting) can never be wedged by a
+/// handler that drops a request.
+class HttpResponseSender {
+ public:
+  HttpResponseSender() = default;
+
+  /// Delivers `response`; returns immediately (the owning I/O loop writes
+  /// it out asynchronously).
+  void Send(HttpResponse response) const;
+  void operator()(HttpResponse response) const { Send(std::move(response)); }
+
+ private:
+  friend class HttpServer;
+  struct Core;
+  std::shared_ptr<Core> core_;
+};
+
+/// Handles one parsed request and eventually invokes `respond` exactly once
+/// (synchronously or from any other thread). Runs on an I/O loop thread, so
+/// it must not block.
+using HttpAsyncHandler =
+    std::function<void(const HttpRequest&, HttpResponseSender)>;
+
+/// Legacy synchronous handler; runs on a pool thread and may block
+/// (EstimationService::EstimateBatch is safe there: blocking callers drain
+/// their own chunks). Must not throw — an escaping exception is answered
+/// with a 500 so the connection stays intact.
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
 struct HttpServerOptions {
@@ -68,16 +109,50 @@ struct HttpServerOptions {
   /// Requests whose body exceeds this answer 400 without invoking the
   /// handler (the wire contract: oversized bodies never touch the service).
   size_t max_body_bytes = 4 * 1024 * 1024;
-  /// Granularity at which idle keep-alive connections notice Stop() and at
-  /// which dead peers time out; bounds drain latency, not request latency.
+  /// Event-loop wakeup granularity when nothing else is happening: bounds
+  /// how late an idle-timeout close can fire, not request latency (request
+  /// and shutdown wakeups are immediate via the loops' wake pipes).
   int poll_interval_ms = 100;
   /// An idle keep-alive connection is closed after this many milliseconds
-  /// without a new request byte.
+  /// without a new request byte. Connections waiting on a handler response
+  /// never time out.
   int idle_timeout_ms = 30 * 1000;
+  /// Event-loop threads. 0 = auto: half the hardware threads, clamped to
+  /// [1, 4] — the loops only shuffle bytes, the estimation work happens on
+  /// the shared ThreadPool.
+  size_t io_threads = 0;
+  /// Forces the portable poll() backend even where epoll is available
+  /// (tests exercise the fallback this way); RESEST_IO_POLLER=poll does the
+  /// same without a rebuild.
+  bool use_poll = false;
+};
+
+/// Connection-level counters (monotonic except open_connections).
+struct HttpServerStats {
+  uint64_t requests_served = 0;        ///< Responses queued for delivery.
+  uint64_t connections_accepted = 0;   ///< Sockets accepted since Start().
+  /// Requests beyond the first on their connection — how much keep-alive
+  /// reuse the clients actually achieve.
+  uint64_t keepalive_requests = 0;
+  size_t open_connections = 0;
 };
 
 class HttpServer {
  public:
+  /// Implementation types, public only so the .cc can name them at
+  /// namespace scope (thread-local loop pointer); not part of the API.
+  struct Conn;
+  struct IoLoop;
+
+  /// Event-loop-native form: `handler` runs on the I/O threads and must not
+  /// block; it responds through the sender (possibly later, from another
+  /// thread).
+  explicit HttpServer(HttpAsyncHandler handler, HttpServerOptions options = {});
+
+  /// Legacy synchronous form: each request is dispatched to `pool`, where
+  /// `handler` may block; the response is marshaled back to the owning
+  /// loop. The pool must be sized for the expected concurrent requests on
+  /// top of its estimation work.
   HttpServer(ThreadPool* pool, HttpHandler handler,
              HttpServerOptions options = {});
   ~HttpServer();
@@ -85,14 +160,15 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Binds, listens, and spawns the accept thread. False (with the reason
-  /// in *error if non-null) on bind/listen failure; the server is then
-  /// inert and Start() may be retried with different options.
+  /// Binds, listens, and spawns the I/O loops. False (with the reason in
+  /// *error if non-null) on bind/listen failure; the server is then inert
+  /// and Start() may be retried with different options.
   bool Start(std::string* error = nullptr);
 
-  /// Graceful drain: stop accepting, close idle connections, wait for
-  /// in-flight requests to be answered. Idempotent; safe to call from any
-  /// thread except a handler.
+  /// Graceful drain: stop accepting, close idle connections (after
+  /// answering any request whose bytes already reached the socket), wait
+  /// for in-flight requests to be answered. Idempotent; safe to call from
+  /// any thread except an I/O loop.
   void Stop();
 
   /// The bound port (after Start); 0 before.
@@ -107,31 +183,58 @@ class HttpServer {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
- private:
-  void AcceptLoop();
-  void ServeConnection(int fd);
-  /// Reads one request off `fd` into *request (*keep_alive = whether the
-  /// protocol default plus the request's Connection header allow reuse).
-  /// Returns 1 on success, 0 on clean close / idle shutdown (nothing
-  /// buffered), -1 on a parse/limit error with *error_response filled in
-  /// (caller answers it and closes).
-  int ReadRequest(int fd, std::string* buffer, HttpRequest* request,
-                  bool* keep_alive, HttpResponse* error_response);
-  static bool WriteResponse(int fd, const HttpResponse& response,
-                            bool keep_alive);
+  /// Point-in-time connection counters for /metrics.
+  HttpServerStats stats() const;
 
-  ThreadPool* pool_;
-  HttpHandler handler_;
+ private:
+  friend class HttpResponseSender;
+  friend struct HttpResponseSender::Core;
+
+  void LoopMain(IoLoop* loop);
+  /// Accepts until EAGAIN (loop 0 only) and distributes round-robin.
+  void AcceptReady(IoLoop* loop);
+  void AdoptConnection(IoLoop* loop, int fd);
+  /// Reads until EAGAIN/EOF, then advances the parse state machine.
+  void OnReadable(IoLoop* loop, uint64_t id);
+  void OnWritable(IoLoop* loop, uint64_t id);
+  /// Parses and dispatches buffered requests until the buffer runs dry or
+  /// a response is pending (responses are strictly ordered per connection,
+  /// which is what makes pipelining safe).
+  void ProcessInput(IoLoop* loop, uint64_t id);
+  /// Queues `response` on the connection and flushes; entered from the
+  /// loop itself or via the completion queue (PostResponse).
+  void DeliverResponse(IoLoop* loop, uint64_t id, HttpResponse response);
+  /// Sends buffered bytes until EAGAIN; arms/disarms write readiness.
+  void FlushWrites(IoLoop* loop, uint64_t id);
+  void CloseConn(IoLoop* loop, uint64_t id);
+  /// Drain-time and idle-timeout housekeeping, run on every loop wakeup.
+  void SweepConnections(IoLoop* loop);
+  /// Marshals a finished response to the loop owning `conn` (invoked by
+  /// HttpResponseSender from any thread; delivered inline when already on
+  /// that loop).
+  void PostResponse(size_t loop_index, uint64_t conn_id,
+                    HttpResponse response);
+  void WakeLoop(IoLoop* loop);
+  HttpResponseSender MakeSender(size_t loop_index, uint64_t conn_id);
+  size_t EffectiveIoThreads() const;
+  bool UsePollBackend() const;
+
+  HttpAsyncHandler handler_;
   HttpServerOptions options_;
 
-  /// Atomic: Stop() closes and clears it from the caller's thread while
-  /// AcceptLoop() polls it. The loop re-checks stopping_ after every wake,
-  /// so a cleared fd is never accepted on.
-  std::atomic<int> listen_fd_{-1};
+  std::vector<std::unique_ptr<IoLoop>> loops_;
+  int listen_fd_ = -1;  ///< Owned by loop 0 once started.
   uint16_t port_ = 0;
-  std::thread accept_thread_;
+  bool started_ = false;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> keepalive_requests_{0};
+  /// Starts at 2: ids tag epoll events, and 0/1 are the wake-pipe and
+  /// listener tags — a connection with either id would have its readiness
+  /// events misrouted and dropped.
+  std::atomic<uint64_t> next_conn_id_{2};
+  size_t next_loop_ = 0;  ///< Round-robin accept target (loop 0 only).
 
   mutable std::mutex conn_mu_;
   std::condition_variable conn_idle_;

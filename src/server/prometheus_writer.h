@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/serving/batch_coalescer.h"
 #include "src/serving/estimation_service.h"
 #include "src/training/incremental_trainer.h"
 
@@ -64,6 +65,12 @@ struct ServerMetricsSnapshot {
   std::vector<std::tuple<std::string, std::string, uint64_t>> slot_versions;
   uint64_t http_requests_served = 0;
   size_t http_active_connections = 0;
+  uint64_t http_connections_accepted = 0;
+  uint64_t http_keepalive_requests = 0;
+  /// Micro-batch coalescer counters and histograms; emitted only when the
+  /// server runs with coalescing attached (has_coalescer).
+  bool has_coalescer = false;
+  CoalescerStats coalescer;
   /// WAL/recovery/observation-log durability counters; emitted only when
   /// the server runs a durable trainer (has_durability).
   bool has_durability = false;

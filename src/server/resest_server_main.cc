@@ -38,6 +38,7 @@
 #include "src/common/thread_pool.h"
 #include "src/server/http_server.h"
 #include "src/server/serving_frontend.h"
+#include "src/serving/batch_coalescer.h"
 #include "src/serving/estimation_service.h"
 #include "src/serving/model_registry.h"
 #include "src/training/incremental_trainer.h"
@@ -60,12 +61,17 @@ struct Flags {
   std::string data_dir;    ///< Empty = no durability / no /v1/observe.
   int obslog_cap_mb = 0;   ///< 0 = unbounded observation-log memory.
   int refit_interval_ms = 0;  ///< 0 = no background refit loop.
+  int io_threads = 0;         ///< 0 = auto (half the cores, clamped [1,4]).
+  int coalesce_window_us = 100;  ///< 0 disables coalescing.
+  int coalesce_max_rows = 1024;  ///< 0 disables coalescing.
 };
 
 void PrintUsage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--address=IP] [--port=N] [--threads=N]\n"
+      "          [--io-threads=N] [--coalesce-window-us=N]\n"
+      "          [--coalesce-max-rows=N]\n"
       "          [--model=PATH] [--model-name=NAME]\n"
       "          [--train-queries=N] [--trees=N]\n"
       "          [--data-dir=PATH] [--obslog-cap-mb=N]\n"
@@ -75,8 +81,15 @@ void PrintUsage(const char* argv0) {
       "  --port=N           listen port; 0 picks an ephemeral port\n"
       "                     (default 8080). The bound port is printed as\n"
       "                     'resest_server listening on <addr>:<port>'.\n"
-      "  --threads=N        thread-pool size for request handling and\n"
-      "                     batch fan-out (default: hardware concurrency)\n"
+      "  --threads=N        thread-pool size for estimation batch fan-out\n"
+      "                     (default: hardware concurrency)\n"
+      "  --io-threads=N     event-loop threads for the HTTP front end\n"
+      "                     (default 0 = half the cores, clamped to [1,4])\n"
+      "  --coalesce-window-us=N  max time a /v1/estimate request waits to\n"
+      "                     merge with concurrent requests into one batch\n"
+      "                     (default 100; 0 disables coalescing)\n"
+      "  --coalesce-max-rows=N  rows that flush a coalesced batch before\n"
+      "                     the window expires (default 1024; 0 disables)\n"
       "  --model=PATH       load a persisted model store instead of\n"
       "                     training the demo model\n"
       "  --model-name=NAME  registry name to publish/serve (default\n"
@@ -131,7 +144,10 @@ Flags ParseFlags(int argc, char** argv) {
         ParseIntFlag(arg, "--trees", &flags.trees) ||
         ParseStringFlag(arg, "--data-dir", &flags.data_dir) ||
         ParseIntFlag(arg, "--obslog-cap-mb", &flags.obslog_cap_mb) ||
-        ParseIntFlag(arg, "--refit-interval-ms", &flags.refit_interval_ms)) {
+        ParseIntFlag(arg, "--refit-interval-ms", &flags.refit_interval_ms) ||
+        ParseIntFlag(arg, "--io-threads", &flags.io_threads) ||
+        ParseIntFlag(arg, "--coalesce-window-us", &flags.coalesce_window_us) ||
+        ParseIntFlag(arg, "--coalesce-max-rows", &flags.coalesce_max_rows)) {
       continue;
     }
     std::fprintf(stderr, "resest_server: unknown flag %s\n", arg);
@@ -140,6 +156,13 @@ Flags ParseFlags(int argc, char** argv) {
   }
   if (flags.port < 0 || flags.port > 65535) {
     std::fprintf(stderr, "resest_server: --port must be in [0, 65535]\n");
+    std::exit(2);
+  }
+  if (flags.io_threads < 0 || flags.coalesce_window_us < 0 ||
+      flags.coalesce_max_rows < 0) {
+    std::fprintf(stderr,
+                 "resest_server: --io-threads / --coalesce-window-us / "
+                 "--coalesce-max-rows must be >= 0\n");
     std::exit(2);
   }
   if (flags.obslog_cap_mb < 0 || flags.refit_interval_ms < 0) {
@@ -283,11 +306,25 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Cross-request micro-batch coalescing: concurrent /v1/estimate requests
+  // merge into one service batch (docs/serving_io.md). Declared before the
+  // server so in-flight demux callbacks are drained only after Stop() has
+  // answered every connection.
+  CoalescerOptions coalescer_options;
+  coalescer_options.window_us =
+      static_cast<uint32_t>(flags.coalesce_window_us);
+  coalescer_options.max_rows = static_cast<size_t>(flags.coalesce_max_rows);
+  BatchCoalescer coalescer(&service, coalescer_options);
+  frontend.set_coalescer(&coalescer);
+
   HttpServerOptions server_options;
   server_options.bind_address = flags.address;
   server_options.port = static_cast<uint16_t>(flags.port);
+  server_options.io_threads = static_cast<size_t>(flags.io_threads);
   HttpServer server(
-      &pool, [&frontend](const HttpRequest& r) { return frontend.Handle(r); },
+      [&frontend](const HttpRequest& r, HttpResponseSender respond) {
+        frontend.HandleAsync(r, std::move(respond));
+      },
       server_options);
   frontend.set_http_server(&server);
 

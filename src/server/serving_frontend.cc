@@ -55,6 +55,39 @@ HttpResponse ServingFrontend::Handle(const HttpRequest& request) const {
                                            request.target));
 }
 
+void ServingFrontend::HandleAsync(
+    const HttpRequest& request,
+    std::function<void(HttpResponse)> respond) const {
+  if (request.target != "/v1/estimate" || request.method != "POST") {
+    respond(Handle(request));
+    return;
+  }
+  // Parse inline on the I/O thread (cheap relative to estimation); only the
+  // estimation itself is deferred into the batch pipeline.
+  JsonValue body;
+  std::string error;
+  if (!JsonValue::Parse(request.body, &body, &error)) {
+    respond(JsonResponse(400, FormatWireError("malformed JSON: " + error)));
+    return;
+  }
+  std::vector<EstimateRequest> requests;
+  SubmitOptions options;
+  if (!ParseEstimateWireBatch(body, &requests, &options, &error)) {
+    respond(JsonResponse(400, FormatWireError(error)));
+    return;
+  }
+  auto done = [respond = std::move(respond)](
+                  std::vector<EstimateResult> results) {
+    respond(JsonResponse(EstimateWireHttpStatus(results),
+                         FormatEstimateWireResponse(results)));
+  };
+  if (coalescer_ != nullptr) {
+    coalescer_->Submit(std::move(requests), options, std::move(done));
+  } else {
+    service_->SubmitBatch(std::move(requests), std::move(done), options);
+  }
+}
+
 HttpResponse ServingFrontend::HandleEstimate(
     const HttpRequest& request) const {
   JsonValue body;
@@ -128,8 +161,15 @@ HttpResponse ServingFrontend::HandleMetrics() const {
     }
   }
   if (http_server_ != nullptr) {
-    snapshot.http_requests_served = http_server_->requests_served();
-    snapshot.http_active_connections = http_server_->active_connections();
+    const HttpServerStats http = http_server_->stats();
+    snapshot.http_requests_served = http.requests_served;
+    snapshot.http_active_connections = http.open_connections;
+    snapshot.http_connections_accepted = http.connections_accepted;
+    snapshot.http_keepalive_requests = http.keepalive_requests;
+  }
+  if (coalescer_ != nullptr) {
+    snapshot.has_coalescer = true;
+    snapshot.coalescer = coalescer_->stats();
   }
   if (trainer_ != nullptr) {
     snapshot.has_durability = true;

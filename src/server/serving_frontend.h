@@ -22,9 +22,11 @@
 #ifndef RESEST_SERVER_SERVING_FRONTEND_H_
 #define RESEST_SERVER_SERVING_FRONTEND_H_
 
+#include <functional>
 #include <string>
 
 #include "src/server/http_server.h"
+#include "src/serving/batch_coalescer.h"
 #include "src/serving/estimation_service.h"
 #include "src/serving/model_registry.h"
 #include "src/training/incremental_trainer.h"
@@ -43,9 +45,23 @@ class ServingFrontend {
   /// ([this](const HttpRequest& r) { return frontend.Handle(r); }).
   HttpResponse Handle(const HttpRequest& request) const;
 
+  /// Event-loop form of Handle: /v1/estimate goes through the coalescer
+  /// (when attached) or the service's asynchronous SubmitBatch, so the
+  /// calling I/O thread never blocks on estimation; `respond` is invoked
+  /// exactly once, possibly from another thread. Every other route is
+  /// answered inline via Handle(). The response bytes are identical to
+  /// Handle()'s for the same request.
+  void HandleAsync(const HttpRequest& request,
+                   std::function<void(HttpResponse)> respond) const;
+
   /// Optional: lets /metrics include the server's own request/connection
   /// counters. Call after constructing the server; null to detach.
   void set_http_server(const HttpServer* server) { http_server_ = server; }
+
+  /// Optional: routes HandleAsync estimate submissions through `coalescer`
+  /// (which must wrap the same service and outlive the frontend) and adds
+  /// the coalescing families to /metrics. Null to detach.
+  void set_coalescer(BatchCoalescer* coalescer) { coalescer_ = coalescer; }
 
   /// Optional: enables POST /v1/observe and the durability metrics. The
   /// trainer must outlive the frontend; null (the default) answers observe
@@ -62,6 +78,7 @@ class ServingFrontend {
   const ModelRegistry* registry_;
   std::string model_name_;
   const HttpServer* http_server_ = nullptr;
+  BatchCoalescer* coalescer_ = nullptr;
   IncrementalTrainer* trainer_ = nullptr;
 };
 

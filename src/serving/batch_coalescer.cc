@@ -1,0 +1,207 @@
+#include "src/serving/batch_coalescer.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace resest {
+namespace {
+
+// Index of the power-of-two bucket counting `value`: the first i with
+// value < 2^i, saturated to the last bucket.
+template <size_t N>
+size_t Log2Bucket(double value) {
+  double bound = 1.0;
+  for (size_t i = 0; i + 1 < N; ++i) {
+    if (value < bound) return i;
+    bound *= 2.0;
+  }
+  return N - 1;
+}
+
+}  // namespace
+
+BatchCoalescer::BatchCoalescer(const EstimationService* service,
+                               CoalescerOptions options)
+    : service_(service), options_(options) {
+  effective_max_rows_ =
+      std::min(options_.max_rows, service_->options().max_batch_size);
+  enabled_ = options_.window_us > 0 && effective_max_rows_ > 1;
+  if (enabled_) {
+    flusher_ = std::thread([this] { FlusherMain(); });
+  }
+}
+
+BatchCoalescer::~BatchCoalescer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  flusher_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  Flush();
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+void BatchCoalescer::Submit(std::vector<EstimateRequest> rows,
+                            const SubmitOptions& options, BatchCallback done) {
+  const size_t n = rows.size();
+  // Deadlines stay per-submission; oversized groups can't gain partners; an
+  // empty group has nothing to merge. All forward solo with exact options.
+  if (!enabled_ || options.has_deadline() || n == 0 ||
+      n >= effective_max_rows_) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.passthrough;
+    }
+    service_->SubmitBatch(std::move(rows), std::move(done), options);
+    return;
+  }
+
+  const size_t lane = static_cast<size_t>(options.priority);
+  std::vector<PendingFlush> to_submit;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    Bucket& bucket = buckets_[lane];
+    if (!bucket.rows.empty() &&
+        bucket.rows.size() + n > effective_max_rows_) {
+      to_submit.push_back(TakeLocked(lane, FlushReason::kFull));
+    }
+    const bool first = bucket.entries.empty();
+    Entry entry;
+    entry.done = std::move(done);
+    entry.offset = bucket.rows.size();
+    entry.count = n;
+    entry.enqueued = std::chrono::steady_clock::now();
+    bucket.entries.push_back(std::move(entry));
+    bucket.rows.insert(bucket.rows.end(),
+                       std::make_move_iterator(rows.begin()),
+                       std::make_move_iterator(rows.end()));
+    ++stats_.submissions;
+    if (options.priority == TaskPriority::kUrgent) {
+      // Urgent never waits: take whatever raced in and go.
+      to_submit.push_back(TakeLocked(lane, FlushReason::kUrgent));
+    } else if (bucket.rows.size() >= effective_max_rows_) {
+      to_submit.push_back(TakeLocked(lane, FlushReason::kFull));
+    } else if (first) {
+      bucket.deadline = entry.enqueued +
+                        std::chrono::microseconds(options_.window_us);
+      flusher_cv_.notify_one();
+    }
+  }
+  for (auto& flush : to_submit) SubmitMerged(std::move(flush));
+}
+
+void BatchCoalescer::Flush() {
+  std::vector<PendingFlush> to_submit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t lane = 0; lane < buckets_.size(); ++lane) {
+      if (!buckets_[lane].entries.empty()) {
+        to_submit.push_back(TakeLocked(lane, FlushReason::kDrain));
+      }
+    }
+  }
+  for (auto& flush : to_submit) SubmitMerged(std::move(flush));
+}
+
+CoalescerStats BatchCoalescer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+BatchCoalescer::PendingFlush BatchCoalescer::TakeLocked(size_t lane,
+                                                        FlushReason reason) {
+  Bucket& bucket = buckets_[lane];
+  PendingFlush flush;
+  flush.rows = std::move(bucket.rows);
+  flush.entries = std::move(bucket.entries);
+  flush.priority = static_cast<TaskPriority>(lane);
+  flush.reason = reason;
+  bucket.rows.clear();
+  bucket.entries.clear();
+  return flush;
+}
+
+void BatchCoalescer::SubmitMerged(PendingFlush flush) {
+  if (flush.entries.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches;
+    stats_.coalesced_rows += flush.rows.size();
+    switch (flush.reason) {
+      case FlushReason::kWindow: ++stats_.flush_window; break;
+      case FlushReason::kFull: ++stats_.flush_full; break;
+      case FlushReason::kUrgent: ++stats_.flush_urgent; break;
+      case FlushReason::kDrain: ++stats_.flush_drain; break;
+    }
+    stats_.batch_rows_histogram[Log2Bucket<kCoalesceRowsBuckets>(
+        static_cast<double>(flush.rows.size()))]++;
+    for (const Entry& e : flush.entries) {
+      const double wait_us =
+          std::chrono::duration<double, std::micro>(now - e.enqueued).count();
+      stats_.total_wait_us += wait_us;
+      stats_.wait_histogram[Log2Bucket<kCoalesceWaitBuckets>(wait_us)]++;
+    }
+    ++inflight_;
+  }
+
+  auto entries =
+      std::make_shared<std::vector<Entry>>(std::move(flush.entries));
+  SubmitOptions merged_options;
+  merged_options.priority = flush.priority;
+  service_->SubmitBatch(
+      std::move(flush.rows),
+      [this, entries](std::vector<EstimateResult> results) {
+        for (Entry& e : *entries) {
+          std::vector<EstimateResult> slice(
+              std::make_move_iterator(results.begin() + e.offset),
+              std::make_move_iterator(results.begin() + e.offset + e.count));
+          e.done(std::move(slice));
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          --inflight_;
+          // Notify under the lock: the destructor destroys idle_cv_ as soon
+          // as it observes inflight_ == 0, so an unlocked notify could touch
+          // a dead condition variable.
+          idle_cv_.notify_all();
+        }
+      },
+      merged_options);
+}
+
+void BatchCoalescer::FlusherMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    // Earliest armed deadline across the buckets, if any.
+    bool armed = false;
+    std::chrono::steady_clock::time_point next{};
+    for (const Bucket& bucket : buckets_) {
+      if (bucket.entries.empty()) continue;
+      if (!armed || bucket.deadline < next) next = bucket.deadline;
+      armed = true;
+    }
+    if (!armed) {
+      flusher_cv_.wait(lock);
+      continue;
+    }
+    if (flusher_cv_.wait_until(lock, next) == std::cv_status::no_timeout) {
+      continue;  // New bucket armed or stopping; recompute.
+    }
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<PendingFlush> to_submit;
+    for (size_t lane = 0; lane < buckets_.size(); ++lane) {
+      if (!buckets_[lane].entries.empty() && buckets_[lane].deadline <= now) {
+        to_submit.push_back(TakeLocked(lane, FlushReason::kWindow));
+      }
+    }
+    lock.unlock();
+    for (auto& flush : to_submit) SubmitMerged(std::move(flush));
+    lock.lock();
+  }
+}
+
+}  // namespace resest

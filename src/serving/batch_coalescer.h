@@ -1,0 +1,158 @@
+// Cross-request micro-batch coalescing for the serving path: concurrent
+// /v1/estimate submissions arriving within a bounded window are merged into
+// one EstimationService::SubmitBatch call, so the compiled-forest lockstep
+// kernels and batch-level dedup see wide batches even when every wire
+// client sends small ones. Results are demuxed back per submission — each
+// caller receives exactly its own slice, in its own request order, so the
+// wire responses are bit-identical to solo submissions (estimation is
+// row-independent: only *which requests share a sweep* changes, never any
+// request's value or status).
+//
+// Scheduling semantics:
+//  - One bucket per TaskPriority; a submission only ever merges with its
+//    own priority, and the merged batch is submitted at that priority.
+//  - kUrgent submissions never wait: they flush their bucket immediately
+//    on arrival (merging opportunistically with any urgent rows that raced
+//    in), so an urgent probe cannot be held behind a bulk window.
+//  - Submissions carrying a deadline bypass coalescing entirely and are
+//    forwarded solo with their exact SubmitOptions — deadline expiry stays
+//    per-submission, never shared with unrelated requests.
+//  - A bucket flushes when its window expires, when it reaches max_rows
+//    (capped by the service's max_batch_size, so a merged batch can never
+//    be rejected as oversized when its parts were not), or at drain.
+//
+// Thread-safe; the service must outlive the coalescer. The destructor
+// flushes pending buckets and blocks until every demux callback has run,
+// so callers' completion handlers never fire after teardown.
+#ifndef RESEST_SERVING_BATCH_COALESCER_H_
+#define RESEST_SERVING_BATCH_COALESCER_H_
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/serving/estimation_service.h"
+
+namespace resest {
+
+struct CoalescerOptions {
+  /// Max time a submission waits for merge partners. 0 disables coalescing
+  /// (every submission is forwarded solo).
+  uint32_t window_us = 100;
+  /// Rows that force a flush before the window expires; clamped to the
+  /// service's max_batch_size. 0 disables coalescing.
+  size_t max_rows = 1024;
+};
+
+/// Power-of-two histograms: bucket i counts observations < 2^i units (the
+/// last bucket absorbs the rest) — same shape as the service's latency
+/// histogram, rendered the same way in /metrics.
+inline constexpr size_t kCoalesceRowsBuckets = 13;  ///< rows, up to 4096.
+inline constexpr size_t kCoalesceWaitBuckets = 16;  ///< µs, up to ~32ms.
+
+struct CoalescerStats {
+  uint64_t submissions = 0;   ///< Submit() calls that entered a bucket.
+  uint64_t passthrough = 0;   ///< Forwarded solo (disabled/deadline/oversize).
+  uint64_t batches = 0;       ///< Merged batches sent to the service.
+  uint64_t coalesced_rows = 0;  ///< Rows carried by those batches.
+  // Flush-trigger breakdown (sums to `batches`).
+  uint64_t flush_window = 0;
+  uint64_t flush_full = 0;
+  uint64_t flush_urgent = 0;
+  uint64_t flush_drain = 0;
+  std::array<uint64_t, kCoalesceRowsBuckets> batch_rows_histogram{};
+  std::array<uint64_t, kCoalesceWaitBuckets> wait_histogram{};
+  double total_wait_us = 0.0;  ///< Summed over coalesced submissions.
+
+  double MeanRowsPerBatch() const {
+    return batches == 0
+               ? 0.0
+               : static_cast<double>(coalesced_rows) /
+                     static_cast<double>(batches);
+  }
+};
+
+class BatchCoalescer {
+ public:
+  /// `service` must outlive the coalescer. Spawns the window-flusher thread
+  /// (none when the options disable coalescing).
+  BatchCoalescer(const EstimationService* service,
+                 CoalescerOptions options = {});
+  ~BatchCoalescer();
+
+  BatchCoalescer(const BatchCoalescer&) = delete;
+  BatchCoalescer& operator=(const BatchCoalescer&) = delete;
+
+  /// True when submissions can actually merge (window and max_rows both
+  /// non-zero).
+  bool enabled() const { return enabled_; }
+
+  /// Submits one group of rows that must be answered together; `done`
+  /// receives exactly rows.size() results in row order, exactly once,
+  /// possibly before this returns (degenerate batches complete inline).
+  /// Deadline-carrying options, empty groups, and groups at or above the
+  /// effective max bypass the window and are forwarded solo.
+  void Submit(std::vector<EstimateRequest> rows, const SubmitOptions& options,
+              BatchCallback done);
+
+  /// Flushes every pending bucket now (drain hook); does not wait for the
+  /// flushed batches to complete.
+  void Flush();
+
+  CoalescerStats stats() const;
+  const CoalescerOptions& options() const { return options_; }
+
+ private:
+  /// One caller's share of a bucket: its demux callback plus the row range
+  /// it owns within the merged batch.
+  struct Entry {
+    BatchCallback done;
+    size_t offset = 0;
+    size_t count = 0;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  struct Bucket {
+    std::vector<EstimateRequest> rows;
+    std::vector<Entry> entries;
+    /// Flush-at time, armed by the bucket's first entry.
+    std::chrono::steady_clock::time_point deadline;
+  };
+  enum class FlushReason { kWindow, kFull, kUrgent, kDrain };
+  /// A bucket's content detached under the lock, submitted outside it.
+  struct PendingFlush {
+    std::vector<EstimateRequest> rows;
+    std::vector<Entry> entries;
+    TaskPriority priority = TaskPriority::kNormal;
+    FlushReason reason = FlushReason::kWindow;
+  };
+
+  /// Moves the bucket's content into a PendingFlush (caller holds mu_).
+  PendingFlush TakeLocked(size_t lane, FlushReason reason);
+  /// Records stats, submits to the service, demuxes on completion. Must be
+  /// called WITHOUT mu_ held (degenerate batches complete inline, and the
+  /// completion callback takes the lock).
+  void SubmitMerged(PendingFlush flush);
+  void FlusherMain();
+
+  const EstimationService* service_;
+  CoalescerOptions options_;
+  bool enabled_ = false;
+  size_t effective_max_rows_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable flusher_cv_;
+  std::condition_variable idle_cv_;
+  std::array<Bucket, kNumTaskPriorities> buckets_;
+  CoalescerStats stats_;
+  size_t inflight_ = 0;  ///< Merged batches whose demux has not finished.
+  bool stop_ = false;
+  std::thread flusher_;
+};
+
+}  // namespace resest
+
+#endif  // RESEST_SERVING_BATCH_COALESCER_H_

@@ -220,17 +220,17 @@ TEST_F(EstimatorSweepTest, DeserializedEstimatorStaysBitIdentical) {
 }
 
 // --- Kernel edge cases: every oddly-shaped batch a caller can legally ---
-// --- construct, through both kernels via the PredictBatchWith seam.    ---
-// On hosts without AVX2 the kAvx2 request falls back to scalar and the
-// second half of each comparison is trivially true — the suite still runs.
+// --- construct, through all kernels via the PredictBatchWith seam.     ---
+// On hosts without AVX2/AVX-512 the vector requests fall back to scalar
+// and those comparisons are trivially true — the suite still runs.
 
-constexpr ForestKernel kAllKernels[] = {ForestKernel::kScalar,
-                                        ForestKernel::kAvx2};
+constexpr ForestKernel kAllKernels[] = {
+    ForestKernel::kScalar, ForestKernel::kAvx2, ForestKernel::kAvx512};
 
-// Row counts straddling the lockstep width (8) and the AVX2 kernel's
-// interleaved 4x8 block: empty, single-row, exact multiples, one-off each
-// side. Every lane-masking and tail path must stay bit-identical to the
-// legacy reference walk.
+// Row counts straddling both lockstep widths (8 and 16) and both kernels'
+// interleaved 32-row blocks (AVX2 4x8, AVX-512 2x16): empty, single-row,
+// exact multiples, one-off each side. Every lane-masking and tail path
+// must stay bit-identical to the legacy reference walk.
 TEST(CompiledForestEdgeTest, RowCountsAroundLockstepWidth) {
   for (const bool linear_leaves : {false, true}) {
     const size_t kFeatures = 5;
@@ -363,6 +363,63 @@ TEST(CompiledForestEdgeTest, LeafOnlyAndNodelessTreesAccumulateConstants) {
       // zero-step walk reads nothing.
       forest.PredictBatchWith(kernel, rows.data(), num_rows, 0, out.data());
       for (const double v : out) EXPECT_EQ(v, expected);
+    }
+  }
+}
+
+// The dispatch ladder and its names stay consistent: the active kernel is
+// one of the three, its name matches, and the lockstep width it reports is
+// the width the kernels actually walk (16 only for AVX-512).
+TEST(CompiledForestDispatchTest, ActiveKernelNameAndWidthAgree) {
+  const ForestKernel active = CompiledForest::ActiveKernel();
+  const std::string name = CompiledForest::ActiveKernelName();
+  switch (active) {
+    case ForestKernel::kAvx512:
+      EXPECT_TRUE(CompiledForest::Avx512Supported());
+      EXPECT_EQ(name, "avx512");
+      EXPECT_EQ(CompiledForest::ActiveLockstepWidth(), 16u);
+      break;
+    case ForestKernel::kAvx2:
+      EXPECT_TRUE(CompiledForest::Avx2Supported());
+      EXPECT_TRUE(name == "avx2");
+      EXPECT_EQ(CompiledForest::ActiveLockstepWidth(), 8u);
+      break;
+    case ForestKernel::kScalar:
+      EXPECT_TRUE(name == "scalar" || name == "scalar-exact");
+      EXPECT_EQ(CompiledForest::ActiveLockstepWidth(), 8u);
+      break;
+  }
+  // AVX-512 support implies AVX2 support on every real CPU; the dispatch
+  // ladder relies on that ordering.
+  if (CompiledForest::Avx512Supported()) {
+    EXPECT_TRUE(CompiledForest::Avx2Supported());
+  }
+}
+
+// Direct AVX-512-vs-reference oracle over a large random batch (on hosts
+// without AVX-512 the request falls back to scalar and the test still
+// verifies the fallback): every row bit-identical, both tree flavors.
+TEST(CompiledForestDispatchTest, Avx512MatchesReferenceBitwise) {
+  for (const bool linear_leaves : {false, true}) {
+    const size_t kFeatures = 7;
+    Dataset train = MakeData(2000, kFeatures, 313);
+    MartParams params;
+    params.num_trees = 90;
+    params.linear_leaves = linear_leaves;
+    Mart mart(params);
+    mart.Fit(train);
+
+    Rng rng(23);
+    const size_t kRows = 333;  // 10x32 + 16-wide remainder + scalar tail.
+    std::vector<double> matrix(kRows * kFeatures);
+    for (auto& v : matrix) v = rng.Uniform(-200.0, 6000.0);
+    std::vector<double> out(kRows, -1.0);
+    mart.compiled().PredictBatchWith(ForestKernel::kAvx512, matrix.data(),
+                                     kRows, kFeatures, out.data());
+    for (size_t i = 0; i < kRows; ++i) {
+      std::vector<double> row(matrix.begin() + i * kFeatures,
+                              matrix.begin() + (i + 1) * kFeatures);
+      EXPECT_EQ(out[i], mart.PredictReference(row)) << "row " << i;
     }
   }
 }

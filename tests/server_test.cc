@@ -4,6 +4,8 @@
 // including the core promise that estimates served over HTTP are
 // bit-identical to calling EstimationService::EstimateBatch directly, and
 // that SIGTERM drains the real binary with zero dropped responses.
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -31,6 +33,7 @@
 #include "src/server/prometheus_writer.h"
 #include "src/server/serving_frontend.h"
 #include "src/server/wire_api.h"
+#include "src/serving/batch_coalescer.h"
 #include "src/serving/estimation_service.h"
 #include "src/serving/model_registry.h"
 #include "src/storage/recovery.h"
@@ -782,6 +785,87 @@ class ServerFrontendTest : public ::testing::Test {
     return values;
   }
 
+  /// Shared body for the coalesced-loopback bit-identity test, run against
+  /// both poller backends: concurrent keep-alive clients with mixed
+  /// priorities (plus one deadline-carrying stream, which bypasses the
+  /// coalescer) through the async server must produce responses
+  /// byte-identical to the synchronous solo path.
+  void RunCoalescedLoopback(bool use_poll) {
+    BatchCoalescer coalescer(service_.get(), {});
+    frontend_->set_coalescer(&coalescer);
+    HttpServerOptions options = FastPollOptions();
+    options.use_poll = use_poll;
+    HttpServer server(
+        [this](const HttpRequest& r, HttpResponseSender respond) {
+          frontend_->HandleAsync(r, std::move(respond));
+        },
+        options);
+    frontend_->set_http_server(&server);
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+
+    const char* priorities[] = {"urgent", "normal", "bulk", "normal"};
+    std::vector<std::string> bodies;
+    std::vector<std::string> expected;
+    for (int c = 0; c < 4; ++c) {
+      const std::string body =
+          WireBatchBody(OperatorRequests(6 + c, c * 13), priorities[c],
+                        /*deadline_ms=*/c == 3 ? 5000.0 : 0.0);
+      expected.push_back(frontend_->Handle(Post("/v1/estimate", body)).body);
+      bodies.push_back(body);
+    }
+
+    constexpr int kRounds = 5;
+    std::vector<std::thread> clients;
+    std::atomic<int> failures{0};
+    for (size_t c = 0; c < bodies.size(); ++c) {
+      clients.emplace_back([&, c]() {
+        HttpClient client;
+        std::string cerror;
+        if (!client.Connect("127.0.0.1", server.port(), &cerror)) {
+          failures.fetch_add(kRounds);
+          return;
+        }
+        for (int round = 0; round < kRounds; ++round) {
+          HttpClientResponse response;
+          if (!client.Post("/v1/estimate", bodies[c], &response, &cerror) ||
+              response.status != 200 || response.body != expected[c]) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    const CoalescerStats stats = coalescer.stats();
+    EXPECT_EQ(stats.submissions + stats.passthrough,
+              static_cast<uint64_t>(bodies.size()) * kRounds);
+    // The deadline stream forwarded solo every round; urgent never waited.
+    EXPECT_GE(stats.passthrough, static_cast<uint64_t>(kRounds));
+    EXPECT_GE(stats.flush_urgent, static_cast<uint64_t>(kRounds));
+
+    // The scrape exposes the connection counters and coalescer families.
+    HttpClient scraper;
+    ASSERT_TRUE(scraper.Connect("127.0.0.1", server.port(), &error)) << error;
+    HttpClientResponse metrics;
+    ASSERT_TRUE(scraper.Get("/metrics", &metrics, &error)) << error;
+    ASSERT_EQ(metrics.status, 200);
+    for (const char* family :
+         {"resest_http_connections_accepted_total",
+          "resest_http_keepalive_requests_total",
+          "resest_coalesce_submissions_total",
+          "resest_coalesce_flushes_total{trigger=\"urgent\"}",
+          "resest_coalesce_batch_rows_bucket",
+          "resest_coalesce_wait_seconds_count"}) {
+      EXPECT_NE(metrics.body.find(family), std::string::npos) << family;
+    }
+
+    server.Stop();
+    EXPECT_EQ(server.active_connections(), 0u);
+    frontend_->set_coalescer(nullptr);
+  }
+
   static Database* db_;
   static ResourceEstimator* estimator_;
   static std::string* model_path_;
@@ -1014,6 +1098,180 @@ TEST_F(ServerFrontendTest, OversizedBodyOverHttpIs400AndServiceUntouched) {
 }
 
 // ---------------------------------------------------------------------------
+// Event-driven server + cross-request coalescing.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerFrontendTest, CoalescedResponsesBitIdenticalToSoloEpoll) {
+  RunCoalescedLoopback(/*use_poll=*/false);
+}
+
+TEST_F(ServerFrontendTest, CoalescedResponsesBitIdenticalToSoloPoll) {
+  RunCoalescedLoopback(/*use_poll=*/true);
+}
+
+TEST_F(ServerFrontendTest, UrgentRequestDoesNotWaitForBulkCoalesceWindow) {
+  // An absurdly long window makes any accidental wait unmissable: a bulk
+  // request opens the window, and an urgent request posted inside it must
+  // flush immediately rather than ride the bulk deadline.
+  CoalescerOptions copts;
+  copts.window_us = 1000 * 1000;
+  BatchCoalescer coalescer(service_.get(), copts);
+  frontend_->set_coalescer(&coalescer);
+  HttpServer server(
+      [this](const HttpRequest& r, HttpResponseSender respond) {
+        frontend_->HandleAsync(r, std::move(respond));
+      },
+      FastPollOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  const std::string bulk_body = WireBatchBody(OperatorRequests(7, 3), "bulk");
+  const std::string bulk_expected =
+      frontend_->Handle(Post("/v1/estimate", bulk_body)).body;
+  const std::string urgent_body =
+      WireBatchBody(OperatorRequests(5, 21), "urgent");
+  const std::string urgent_expected =
+      frontend_->Handle(Post("/v1/estimate", urgent_body)).body;
+
+  std::thread bulk_client([&]() {
+    HttpClient client;
+    std::string cerror;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &cerror)) << cerror;
+    HttpClientResponse response;
+    ASSERT_TRUE(client.Post("/v1/estimate", bulk_body, &response, &cerror))
+        << cerror;
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.body, bulk_expected);
+  });
+  // Wait until the bulk rows are actually parked in the window.
+  for (int spin = 0; spin < 2000 && coalescer.stats().submissions == 0;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(coalescer.stats().submissions, 1u);
+
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  const auto start = std::chrono::steady_clock::now();
+  HttpClientResponse response;
+  ASSERT_TRUE(client.Post("/v1/estimate", urgent_body, &response, &error))
+      << error;
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, urgent_expected);
+  EXPECT_LT(elapsed_ms, 500.0) << "urgent waited on the bulk window";
+
+  bulk_client.join();
+  const CoalescerStats stats = coalescer.stats();
+  EXPECT_GE(stats.flush_urgent, 1u);
+  EXPECT_GE(stats.flush_window, 1u);
+  server.Stop();
+  frontend_->set_coalescer(nullptr);
+}
+
+TEST_F(ServerFrontendTest, MalformedRequestIsolatedFromCoalescedWindow) {
+  // Wire-parse rejection happens on the I/O thread before the coalescer:
+  // a malformed request answered 400 inside an open window must never
+  // poison the merged batch the valid requests ride in.
+  CoalescerOptions copts;
+  copts.window_us = 50 * 1000;
+  BatchCoalescer coalescer(service_.get(), copts);
+  frontend_->set_coalescer(&coalescer);
+  HttpServer server(
+      [this](const HttpRequest& r, HttpResponseSender respond) {
+        frontend_->HandleAsync(r, std::move(respond));
+      },
+      FastPollOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  const std::string valid = WireBatchBody(OperatorRequests(5, 2), "normal");
+  const std::string expected =
+      frontend_->Handle(Post("/v1/estimate", valid)).body;
+  const std::string malformed =
+      "{\"requests\":[{\"op\":\"NotAnOp\",\"resource\":\"CPU\","
+      "\"features\":[1.0]}]}";
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c]() {
+      HttpClient client;
+      std::string cerror;
+      if (!client.Connect("127.0.0.1", server.port(), &cerror)) {
+        failures.fetch_add(1);
+        return;
+      }
+      HttpClientResponse response;
+      const std::string& body = c == 1 ? malformed : valid;
+      if (!client.Post("/v1/estimate", body, &response, &cerror)) {
+        failures.fetch_add(1);
+        return;
+      }
+      if (c == 1) {
+        if (response.status != 400) failures.fetch_add(1);
+      } else if (response.status != 200 || response.body != expected) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Only the two valid submissions ever reached the coalescer.
+  const CoalescerStats stats = coalescer.stats();
+  EXPECT_EQ(stats.submissions + stats.passthrough, 2u);
+  server.Stop();
+  frontend_->set_coalescer(nullptr);
+}
+
+TEST_F(ServerFrontendTest, PipelinedKeepAliveRequestsAnswerInOrder) {
+  // Three requests pipelined in one write on one connection: the server
+  // must answer all three, in order, each byte-identical to the solo path
+  // (responses can never interleave — strictly one request in flight per
+  // connection).
+  BatchCoalescer coalescer(service_.get(), {});
+  frontend_->set_coalescer(&coalescer);
+  HttpServer server(
+      [this](const HttpRequest& r, HttpResponseSender respond) {
+        frontend_->HandleAsync(r, std::move(respond));
+      },
+      FastPollOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  std::vector<std::string> expected;
+  std::string wire;
+  for (int i = 0; i < 3; ++i) {
+    const std::string body =
+        WireBatchBody(OperatorRequests(4 + i, i * 7), "normal");
+    expected.push_back(frontend_->Handle(Post("/v1/estimate", body)).body);
+    wire += "POST /v1/estimate HTTP/1.1\r\nHost: x\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: " +
+            std::to_string(body.size()) + "\r\n\r\n" + body;
+  }
+
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server.port()));
+  ASSERT_TRUE(conn.SendAll(wire));
+  for (int i = 0; i < 3; ++i) {
+    std::string body;
+    EXPECT_EQ(conn.ReadResponse(&body), 200) << "response " << i;
+    EXPECT_EQ(body, expected[i]) << "response " << i;
+  }
+
+  const HttpServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_served, 3u);
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.keepalive_requests, 2u);
+  server.Stop();
+  frontend_->set_coalescer(nullptr);
+}
+
+// ---------------------------------------------------------------------------
 // /v1/observe: ingestion endpoint wiring.
 // ---------------------------------------------------------------------------
 
@@ -1142,6 +1400,104 @@ TEST_F(ServerFrontendTest, SigtermDrainsRealServerWithZeroDroppedResponses) {
   ASSERT_EQ(::waitpid(pid, &status, 0), pid);
   ASSERT_TRUE(WIFEXITED(status)) << status;
   EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST_F(ServerFrontendTest, SigtermDrainsUnderConcurrentKeepAliveClients) {
+  const char* bin = std::getenv("RESEST_SERVER_BIN");
+  if (bin == nullptr || bin[0] == '\0') {
+    GTEST_SKIP() << "RESEST_SERVER_BIN not set (ctest sets it)";
+  }
+
+  int out_pipe[2];
+  ASSERT_EQ(::pipe(out_pipe), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    const std::string model_flag = "--model=" + *model_path_;
+    ::execl(bin, bin, "--port=0", "--threads=2", model_flag.c_str(),
+            "--model-name=default", static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  ::close(out_pipe[1]);
+
+  FILE* out = ::fdopen(out_pipe[0], "r");
+  ASSERT_NE(out, nullptr);
+  char line[256] = {0};
+  ASSERT_NE(std::fgets(line, sizeof(line), out), nullptr);
+  unsigned port = 0;
+  ASSERT_EQ(
+      std::sscanf(line, "resest_server listening on 127.0.0.1:%u", &port), 1)
+      << line;
+  ASSERT_GT(port, 0u);
+
+  // Continuous keep-alive load from several clients (coalescing is on by
+  // default in the binary), SIGTERM mid-flight. The drain contract: every
+  // response a client receives is complete and bit-identical to the solo
+  // path, and the server's drain line accounts for exactly the responses
+  // the clients got — nothing dropped, nothing phantom.
+  constexpr int kClients = 3;
+  std::vector<std::string> bodies;
+  std::vector<std::string> expected;
+  const char* priorities[] = {"urgent", "normal", "bulk"};
+  for (int c = 0; c < kClients; ++c) {
+    const std::string body =
+        WireBatchBody(OperatorRequests(5 + c, c * 11), priorities[c]);
+    expected.push_back(frontend_->Handle(Post("/v1/estimate", body)).body);
+    bodies.push_back(body);
+  }
+  std::atomic<uint64_t> ok_responses{0};
+  std::atomic<int> bad_responses{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      HttpClient client;
+      std::string cerror;
+      if (!client.Connect("127.0.0.1", static_cast<uint16_t>(port),
+                          &cerror)) {
+        return;
+      }
+      for (;;) {
+        HttpClientResponse response;
+        if (!client.Post("/v1/estimate", bodies[static_cast<size_t>(c)],
+                         &response, &cerror)) {
+          return;  // drained: listener closed, reconnect refused
+        }
+        if (response.status == 200 &&
+            response.body == expected[static_cast<size_t>(c)]) {
+          ok_responses.fetch_add(1);
+        } else {
+          bad_responses.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  for (auto& t : clients) t.join();
+
+  uint64_t served = 0;
+  bool saw_drain_line = false;
+  while (std::fgets(line, sizeof(line), out) != nullptr) {
+    unsigned long long n = 0;
+    if (std::sscanf(line, "resest_server: drained; served %llu http requests",
+                    &n) == 1) {
+      served = n;
+      saw_drain_line = true;
+    }
+  }
+  std::fclose(out);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << status;
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  EXPECT_EQ(bad_responses.load(), 0);
+  EXPECT_GT(ok_responses.load(), 0u) << "no load reached the server";
+  ASSERT_TRUE(saw_drain_line);
+  EXPECT_EQ(served, ok_responses.load());
 }
 
 // ---------------------------------------------------------------------------
