@@ -889,6 +889,7 @@ void HttpServer::CloseConn(IoLoop* loop, uint64_t id) {
 }
 
 void HttpServer::SweepConnections(IoLoop* loop) {
+  if (loop->index == 0 && options_.on_sweep) options_.on_sweep();
   const auto now = std::chrono::steady_clock::now();
   const bool draining = stopping_.load(std::memory_order_relaxed);
   const auto idle_limit = std::chrono::milliseconds(options_.idle_timeout_ms);

@@ -125,6 +125,12 @@ struct HttpServerOptions {
   /// (tests exercise the fallback this way); RESEST_IO_POLLER=poll does the
   /// same without a rebuild.
   bool use_poll = false;
+  /// Housekeeping hook run on loop 0's sweep pass — the event loop's timer
+  /// path, firing at least every poll_interval_ms while the server runs.
+  /// Runs on the I/O thread, so it must be cheap and must not block; the
+  /// callee rate-limits itself (the serving layer hangs its tenant
+  /// heartbeat/aging sweep here). Null = no hook.
+  std::function<void()> on_sweep;
 };
 
 /// Connection-level counters (monotonic except open_connections).

@@ -6,9 +6,10 @@
 // requirements layered on:
 //  - Untrusted input: hard caps on nesting depth; the parser never recurses
 //    past kMaxJsonDepth and reports a position-tagged error instead.
-//  - Bit-exact doubles: AppendJsonNumber prints with enough digits
-//    (%.17g) that strtod round-trips the exact bit pattern, which is what
-//    lets the HTTP front end promise bit-identical estimates end to end.
+//  - Bit-exact doubles: AppendJsonNumber prints the shortest round-trip
+//    form (std::to_chars), so parsing the text back recovers the exact bit
+//    pattern, which is what lets the HTTP front end promise bit-identical
+//    estimates end to end.
 #ifndef RESEST_SERVER_JSON_H_
 #define RESEST_SERVER_JSON_H_
 
@@ -71,9 +72,9 @@ class JsonValue {
 /// mandatory escapes.
 void AppendJsonString(const std::string& s, std::string* out);
 
-/// Appends a double with round-trip precision: parsing the printed text
-/// recovers the identical bit pattern for every finite value. Non-finite
-/// values (unrepresentable in JSON) are emitted as null.
+/// Appends a double in its shortest round-trip form: parsing the printed
+/// text recovers the identical bit pattern for every finite value.
+/// Non-finite values (unrepresentable in JSON) are emitted as null.
 void AppendJsonNumber(double value, std::string* out);
 
 }  // namespace resest

@@ -355,6 +355,94 @@ std::string RenderServiceMetrics(const ServerMetricsSnapshot& snapshot) {
                 c.total_wait_us / 1e6, c.submissions);
   }
 
+  // Per-tenant load dimension (the heartbeat sweep's TenantStats): one
+  // sample per tenant per family, so scrapes see disjoint {tenant="..."}
+  // label sets — the isolation surface a capacity supervisor watches.
+  if (!snapshot.tenants.empty()) {
+    w.BeginFamily("resest_tenant_requests_total",
+                  "Estimates served OK, by tenant.", "counter");
+    for (const TenantStats& t : snapshot.tenants) {
+      w.Sample("resest_tenant_requests_total", {{"tenant", t.tenant}},
+               t.requests);
+    }
+    w.BeginFamily("resest_tenant_batches_total",
+                  "Batches accepted, by tenant.", "counter");
+    for (const TenantStats& t : snapshot.tenants) {
+      w.Sample("resest_tenant_batches_total", {{"tenant", t.tenant}},
+               t.batches);
+    }
+    w.BeginFamily("resest_tenant_qps",
+                  "Estimates per second over the last heartbeat window, by "
+                  "tenant.",
+                  "gauge");
+    for (const TenantStats& t : snapshot.tenants) {
+      w.Sample("resest_tenant_qps", {{"tenant", t.tenant}}, t.qps);
+    }
+    w.BeginFamily("resest_tenant_cache_hits_total",
+                  "Estimate cache hits in the tenant's cache region.",
+                  "counter");
+    for (const TenantStats& t : snapshot.tenants) {
+      w.Sample("resest_tenant_cache_hits_total", {{"tenant", t.tenant}},
+               t.cache_hits);
+    }
+    w.BeginFamily("resest_tenant_cache_misses_total",
+                  "Estimate cache misses in the tenant's cache region.",
+                  "counter");
+    for (const TenantStats& t : snapshot.tenants) {
+      w.Sample("resest_tenant_cache_misses_total", {{"tenant", t.tenant}},
+               t.cache_misses);
+    }
+    w.BeginFamily("resest_tenant_cache_entries",
+                  "Current size of the tenant's cache region.", "gauge");
+    for (const TenantStats& t : snapshot.tenants) {
+      w.Sample("resest_tenant_cache_entries", {{"tenant", t.tenant}},
+               static_cast<uint64_t>(t.cache_entries));
+    }
+    w.BeginFamily("resest_tenant_cache_pressure",
+                  "Tenant cache occupancy in [0, 1] (entries / capacity).",
+                  "gauge");
+    for (const TenantStats& t : snapshot.tenants) {
+      w.Sample("resest_tenant_cache_pressure", {{"tenant", t.tenant}},
+               t.cache_pressure);
+    }
+    w.BeginFamily("resest_tenant_obslog_bytes",
+                  "In-memory observation-log footprint, by tenant (0 for "
+                  "non-durable tenants).",
+                  "gauge");
+    for (const TenantStats& t : snapshot.tenants) {
+      w.Sample("resest_tenant_obslog_bytes", {{"tenant", t.tenant}},
+               t.obslog_bytes);
+    }
+    w.BeginFamily("resest_tenant_wal_records_total",
+                  "Records appended to the tenant's observation WAL.",
+                  "counter");
+    for (const TenantStats& t : snapshot.tenants) {
+      w.Sample("resest_tenant_wal_records_total", {{"tenant", t.tenant}},
+               t.wal_records);
+    }
+    w.BeginFamily("resest_tenant_lane_latency_p99_ms",
+                  "Approximate p99 batch latency (ms), by tenant and "
+                  "priority lane.",
+                  "gauge");
+    for (const TenantStats& t : snapshot.tenants) {
+      for (size_t p = 0; p < kNumTaskPriorities; ++p) {
+        w.Sample("resest_tenant_lane_latency_p99_ms",
+                 {{"tenant", t.tenant},
+                  {"priority",
+                   TaskPriorityName(static_cast<TaskPriority>(p))}},
+                 t.lane_p99_ms[p]);
+      }
+    }
+    w.BeginFamily("resest_tenant_model_version",
+                  "Active model version of the tenant's model (0 = none).",
+                  "gauge");
+    for (const TenantStats& t : snapshot.tenants) {
+      w.Sample("resest_tenant_model_version",
+               {{"tenant", t.tenant}, {"model", t.model_name}},
+               t.model_version);
+    }
+  }
+
   return w.text();
 }
 

@@ -14,6 +14,7 @@
 
 #include "src/serving/batch_coalescer.h"
 #include "src/serving/estimation_service.h"
+#include "src/serving/tenant_manager.h"
 #include "src/training/incremental_trainer.h"
 
 namespace resest {
@@ -75,6 +76,11 @@ struct ServerMetricsSnapshot {
   /// the server runs a durable trainer (has_durability).
   bool has_durability = false;
   DurabilityStats durability;
+  /// Per-tenant load/pressure snapshots (the heartbeat sweep's output),
+  /// emitted as resest_tenant_*{tenant="..."} families. Single-tenant
+  /// frontends synthesize one "default" entry so the families are always
+  /// present.
+  std::vector<TenantStats> tenants;
 };
 
 /// Renders the full exposition document for GET /metrics.

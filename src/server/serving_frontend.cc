@@ -1,6 +1,7 @@
 #include "src/server/serving_frontend.h"
 
 #include <utility>
+#include <vector>
 
 #include "src/server/json.h"
 #include "src/server/prometheus_writer.h"
@@ -15,6 +16,20 @@ HttpResponse JsonResponse(int status, std::string body) {
   response.content_type = "application/json";
   response.body = std::move(body);
   return response;
+}
+
+void AppendLaneJson(const TenantStats& t, std::string* out) {
+  out->append("\"lanes\":{");
+  for (size_t p = 0; p < kNumTaskPriorities; ++p) {
+    if (p > 0) out->push_back(',');
+    AppendJsonString(TaskPriorityName(static_cast<TaskPriority>(p)), out);
+    out->append(":{\"mean_ms\":");
+    AppendJsonNumber(t.lane_mean_ms[p], out);
+    out->append(",\"p99_ms\":");
+    AppendJsonNumber(t.lane_p99_ms[p], out);
+    out->push_back('}');
+  }
+  out->push_back('}');
 }
 
 }  // namespace
@@ -39,11 +54,17 @@ HttpResponse ServingFrontend::Handle(const HttpRequest& request) const {
     }
     return HandleObserve(request);
   }
+  if (request.target == "/v1/tenants") {
+    if (request.method != "GET") {
+      return JsonResponse(405, FormatWireError("use GET"));
+    }
+    return HandleTenants();
+  }
   if (request.target == "/healthz") {
     if (request.method != "GET") {
       return JsonResponse(405, FormatWireError("use GET"));
     }
-    return HandleHealthz();
+    return HandleHealthz(request);
   }
   if (request.target == "/metrics") {
     if (request.method != "GET") {
@@ -55,6 +76,55 @@ HttpResponse ServingFrontend::Handle(const HttpRequest& request) const {
                                            request.target));
 }
 
+bool ServingFrontend::RouteTenant(const HttpRequest& request,
+                                  const std::string& body_tenant,
+                                  RoutedTenant* out,
+                                  HttpResponse* error_response) const {
+  const std::string* header = request.FindHeader("X-Resest-Tenant");
+  std::string id = body_tenant;
+  if (header != nullptr && !header->empty()) {
+    if (!id.empty() && id != *header) {
+      *error_response = JsonResponse(
+          400, FormatWireError("tenant mismatch: header \"" + *header +
+                               "\" vs body \"" + id + "\""));
+      return false;
+    }
+    if (id.empty()) id = *header;
+  }
+  if (id.empty()) id = kDefaultTenant;
+  if (!IsValidTenantId(id)) {
+    *error_response =
+        JsonResponse(400, FormatWireError("invalid tenant id \"" + id + "\""));
+    return false;
+  }
+  if (tenants_ != nullptr) {
+    TenantManager::Tenant* tenant = tenants_->Resolve(id);
+    if (tenant == nullptr) {
+      *error_response =
+          JsonResponse(404, FormatWireError("unknown tenant \"" + id + "\""));
+      return false;
+    }
+    out->id = tenant->id;
+    out->model_name = tenant->model_name;
+    out->service = tenant->service.get();
+    out->coalescer = tenant->coalescer.get();
+    out->trainer = tenant->trainer.get();
+    return true;
+  }
+  // Single-tenant mode: only the default tenant exists.
+  if (id != kDefaultTenant) {
+    *error_response =
+        JsonResponse(404, FormatWireError("unknown tenant \"" + id + "\""));
+    return false;
+  }
+  out->id = id;
+  out->model_name = model_name_;
+  out->service = service_;
+  out->coalescer = coalescer_;
+  out->trainer = trainer_;
+  return true;
+}
+
 void ServingFrontend::HandleAsync(
     const HttpRequest& request,
     std::function<void(HttpResponse)> respond) const {
@@ -62,82 +132,181 @@ void ServingFrontend::HandleAsync(
     respond(Handle(request));
     return;
   }
-  // Parse inline on the I/O thread (cheap relative to estimation); only the
+  // Parse inline on the I/O thread (cheap relative to estimation — the
+  // fast-path scanner decodes the hot shape in one pass); only the
   // estimation itself is deferred into the batch pipeline.
-  JsonValue body;
-  std::string error;
-  if (!JsonValue::Parse(request.body, &body, &error)) {
-    respond(JsonResponse(400, FormatWireError("malformed JSON: " + error)));
-    return;
-  }
   std::vector<EstimateRequest> requests;
   SubmitOptions options;
-  if (!ParseEstimateWireBatch(body, &requests, &options, &error)) {
+  std::string body_tenant;
+  std::string error;
+  if (!ParseEstimateWireRequest(request.body, &requests, &options,
+                                &body_tenant, &error)) {
     respond(JsonResponse(400, FormatWireError(error)));
     return;
   }
+  RoutedTenant routed;
+  HttpResponse routing_error;
+  if (!RouteTenant(request, body_tenant, &routed, &routing_error)) {
+    respond(std::move(routing_error));
+    return;
+  }
+  options.tenant = routed.id;
   auto done = [respond = std::move(respond)](
                   std::vector<EstimateResult> results) {
     respond(JsonResponse(EstimateWireHttpStatus(results),
                          FormatEstimateWireResponse(results)));
   };
-  if (coalescer_ != nullptr) {
-    coalescer_->Submit(std::move(requests), options, std::move(done));
+  if (routed.coalescer != nullptr) {
+    routed.coalescer->Submit(std::move(requests), options, std::move(done));
   } else {
-    service_->SubmitBatch(std::move(requests), std::move(done), options);
+    routed.service->SubmitBatch(std::move(requests), std::move(done),
+                                options);
   }
 }
 
 HttpResponse ServingFrontend::HandleEstimate(
     const HttpRequest& request) const {
-  JsonValue body;
-  std::string error;
-  if (!JsonValue::Parse(request.body, &body, &error)) {
-    return JsonResponse(400, FormatWireError("malformed JSON: " + error));
-  }
   std::vector<EstimateRequest> requests;
   SubmitOptions options;
-  if (!ParseEstimateWireBatch(body, &requests, &options, &error)) {
+  std::string body_tenant;
+  std::string error;
+  if (!ParseEstimateWireRequest(request.body, &requests, &options,
+                                &body_tenant, &error)) {
     return JsonResponse(400, FormatWireError(error));
   }
+  RoutedTenant routed;
+  HttpResponse routing_error;
+  if (!RouteTenant(request, body_tenant, &routed, &routing_error)) {
+    return routing_error;
+  }
+  options.tenant = routed.id;
   const std::vector<EstimateResult> results =
-      service_->EstimateBatch(requests, options);
+      routed.service->EstimateBatch(requests, options);
   return JsonResponse(EstimateWireHttpStatus(results),
                       FormatEstimateWireResponse(results));
 }
 
 HttpResponse ServingFrontend::HandleObserve(
     const HttpRequest& request) const {
-  if (trainer_ == nullptr) {
-    return JsonResponse(
-        503, FormatWireError("observation ingestion is disabled (start the "
-                             "server with --data-dir)"));
-  }
   JsonValue body;
   std::string error;
   if (!JsonValue::Parse(request.body, &body, &error)) {
     return JsonResponse(400, FormatWireError("malformed JSON: " + error));
   }
   std::vector<ObserveWireRow> rows;
-  if (!ParseObserveWireBatch(body, &rows, &error)) {
+  std::string body_tenant;
+  if (!ParseObserveWireBatch(body, &rows, &error, &body_tenant)) {
     return JsonResponse(400, FormatWireError(error));
   }
-  for (const ObserveWireRow& row : rows) {
-    trainer_->Append(row.op, row.resource, row.features, row.label);
+  RoutedTenant routed;
+  HttpResponse routing_error;
+  if (!RouteTenant(request, body_tenant, &routed, &routing_error)) {
+    return routing_error;
   }
-  return JsonResponse(
-      200, FormatObserveWireResponse(rows.size(), trainer_->base_version()));
+  if (routed.trainer == nullptr) {
+    return JsonResponse(
+        503, FormatWireError("observation ingestion is disabled (start the "
+                             "server with --data-dir)"));
+  }
+  for (const ObserveWireRow& row : rows) {
+    routed.trainer->Append(row.op, row.resource, row.features, row.label);
+  }
+  return JsonResponse(200, FormatObserveWireResponse(
+                               rows.size(), routed.trainer->base_version()));
 }
 
-HttpResponse ServingFrontend::HandleHealthz() const {
-  const ModelSnapshot snapshot = registry_->Get(model_name_);
+HttpResponse ServingFrontend::HandleHealthz(const HttpRequest& request) const {
+  RoutedTenant routed;
+  HttpResponse routing_error;
+  if (!RouteTenant(request, /*body_tenant=*/"", &routed, &routing_error)) {
+    return routing_error;
+  }
+  const ModelSnapshot snapshot = registry_->Get(routed.model_name);
   if (!snapshot) {
     return JsonResponse(503, FormatWireError("no active model \"" +
-                                             model_name_ + "\""));
+                                             routed.model_name + "\""));
   }
   std::string body = "{\"status\":\"ok\",\"model\":";
-  AppendJsonString(model_name_, &body);
+  AppendJsonString(routed.model_name, &body);
   body += ",\"model_version\":" + std::to_string(snapshot.version) + "}";
+  return JsonResponse(200, std::move(body));
+}
+
+std::vector<TenantStats> ServingFrontend::TenantSnapshots() const {
+  if (tenants_ != nullptr) return tenants_->stats();
+  // Single-tenant mode: synthesize the default tenant's entry from the
+  // frontend's own seams so the tenant families are always present.
+  TenantStats t;
+  t.tenant = kDefaultTenant;
+  t.model_name = model_name_;
+  t.model_version = registry_->Get(model_name_).version;
+  const ServiceStats s = service_->stats();
+  t.requests = s.requests;
+  t.batches = s.batches;
+  t.deadline_expired = s.deadline_expired;
+  t.cache_hits = s.cache_hits;
+  t.cache_misses = s.cache_misses;
+  t.cache_evictions = s.cache_evictions;
+  t.cache_entries = s.cache_entries;
+  t.cache_capacity = service_->options().enable_cache
+                         ? service_->options().cache_capacity
+                         : 0;
+  t.cache_hit_rate = s.CacheHitRate();
+  t.cache_pressure =
+      t.cache_capacity == 0
+          ? 0.0
+          : static_cast<double>(t.cache_entries) /
+                static_cast<double>(t.cache_capacity);
+  if (trainer_ != nullptr) {
+    const DurabilityStats d = trainer_->durability_stats();
+    t.durable = d.durable;
+    t.obslog_bytes = d.memory_bytes;
+    t.obslog_pending_rows = trainer_->TotalPendingRows();
+    t.wal_records = d.wal.records_appended;
+  }
+  for (size_t p = 0; p < kNumTaskPriorities; ++p) {
+    t.lane_p99_ms[p] = s.priorities[p].ApproxLatencyPercentileMs(0.99);
+    t.lane_mean_ms[p] = s.priorities[p].MeanLatencyMs();
+  }
+  return {std::move(t)};
+}
+
+HttpResponse ServingFrontend::HandleTenants() const {
+  const std::vector<TenantStats> tenants = TenantSnapshots();
+  std::string body = "{\"tenants\":[";
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    const TenantStats& t = tenants[i];
+    if (i > 0) body.push_back(',');
+    body += "{\"tenant\":";
+    AppendJsonString(t.tenant, &body);
+    body += ",\"model\":";
+    AppendJsonString(t.model_name, &body);
+    body += ",\"model_version\":" + std::to_string(t.model_version);
+    body += ",\"requests\":" + std::to_string(t.requests);
+    body += ",\"batches\":" + std::to_string(t.batches);
+    body += ",\"deadline_expired\":" + std::to_string(t.deadline_expired);
+    body += ",\"qps\":";
+    AppendJsonNumber(t.qps, &body);
+    body += ",\"cache\":{\"hits\":" + std::to_string(t.cache_hits);
+    body += ",\"misses\":" + std::to_string(t.cache_misses);
+    body += ",\"evictions\":" + std::to_string(t.cache_evictions);
+    body += ",\"entries\":" + std::to_string(t.cache_entries);
+    body += ",\"capacity\":" + std::to_string(t.cache_capacity);
+    body += ",\"hit_rate\":";
+    AppendJsonNumber(t.cache_hit_rate, &body);
+    body += ",\"pressure\":";
+    AppendJsonNumber(t.cache_pressure, &body);
+    body += "},\"obslog\":{\"durable\":";
+    body += t.durable ? "true" : "false";
+    body += ",\"bytes\":" + std::to_string(t.obslog_bytes);
+    body += ",\"pending_rows\":" + std::to_string(t.obslog_pending_rows);
+    body += ",\"wal_records\":" + std::to_string(t.wal_records);
+    body += "},";
+    AppendLaneJson(t, &body);
+    body += ",\"heartbeats\":" + std::to_string(t.heartbeats);
+    body.push_back('}');
+  }
+  body += "]}";
   return JsonResponse(200, std::move(body));
 }
 
@@ -170,11 +339,26 @@ HttpResponse ServingFrontend::HandleMetrics() const {
   if (coalescer_ != nullptr) {
     snapshot.has_coalescer = true;
     snapshot.coalescer = coalescer_->stats();
+  } else if (tenants_ != nullptr) {
+    // Multi-tenant servers keep the aggregate coalescer families alive by
+    // summing over tenants is overkill; expose the default tenant's.
+    const TenantManager::Tenant* def = tenants_->Resolve(kDefaultTenant);
+    if (def != nullptr && def->coalescer != nullptr) {
+      snapshot.has_coalescer = true;
+      snapshot.coalescer = def->coalescer->stats();
+    }
   }
   if (trainer_ != nullptr) {
     snapshot.has_durability = true;
     snapshot.durability = trainer_->durability_stats();
+  } else if (tenants_ != nullptr) {
+    const TenantManager::Tenant* def = tenants_->Resolve(kDefaultTenant);
+    if (def != nullptr && def->trainer != nullptr) {
+      snapshot.has_durability = true;
+      snapshot.durability = def->trainer->durability_stats();
+    }
   }
+  snapshot.tenants = TenantSnapshots();
   HttpResponse response;
   response.content_type = "text/plain; version=0.0.4; charset=utf-8";
   response.body = RenderServiceMetrics(snapshot);

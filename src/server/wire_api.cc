@@ -1,7 +1,10 @@
 #include "src/server/wire_api.h"
 
+#include <charconv>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <initializer_list>
 
 namespace resest {
@@ -28,24 +31,270 @@ bool FindUnknownKey(const JsonValue& object,
   return false;
 }
 
+/// Single-pass scanner for the hot /v1/estimate body shape. It only ever
+/// accepts inputs the JsonValue tree path would accept with identical
+/// outputs; anything unusual — escaped strings, unknown or duplicate keys,
+/// wrong types, out-of-range feature counts, syntax errors — makes it bail
+/// so the caller can rerun the tree parser for the canonical verdict and
+/// error message. Numbers go through the same from_chars/strtod pair as
+/// JsonValue, so decoded doubles are bit-identical between the two paths.
+struct FastEstimateScanner {
+  const char* p;
+  const char* end;
+
+  void SkipSpace() {
+    while (p < end &&
+           (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+
+  /// A string literal with no escapes and no control bytes: [*b, *e) is the
+  /// raw content. Escaped strings bail to the tree path.
+  bool RawString(const char** b, const char** e) {
+    SkipSpace();
+    if (p >= end || *p != '"') return false;
+    ++p;
+    *b = p;
+    while (p < end) {
+      const unsigned char c = static_cast<unsigned char>(*p);
+      if (c == '"') {
+        *e = p;
+        ++p;
+        return true;
+      }
+      if (c == '\\' || c < 0x20) return false;
+      ++p;
+    }
+    return false;
+  }
+
+  /// Same grammar + conversion as JsonValue::Parser::ParseNumber.
+  bool Number(double* out) {
+    SkipSpace();
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    if (p >= end || *p < '0' || *p > '9') return false;
+    if (*p == '0') {
+      ++p;
+    } else {
+      while (p < end && *p >= '0' && *p <= '9') ++p;
+    }
+    if (p < end && *p == '.') {
+      ++p;
+      if (p >= end || *p < '0' || *p > '9') return false;
+      while (p < end && *p >= '0' && *p <= '9') ++p;
+    }
+    if (p < end && (*p == 'e' || *p == 'E')) {
+      ++p;
+      if (p < end && (*p == '+' || *p == '-')) ++p;
+      if (p >= end || *p < '0' || *p > '9') return false;
+      while (p < end && *p >= '0' && *p <= '9') ++p;
+    }
+    const auto result = std::from_chars(start, p, *out);
+    if (result.ec == std::errc::result_out_of_range) {
+      std::string token(start, p);
+      *out = std::strtod(token.c_str(), nullptr);
+    }
+    return true;
+  }
+};
+
+bool SliceEquals(const char* b, const char* e, const char* literal) {
+  const size_t n = std::strlen(literal);
+  return static_cast<size_t>(e - b) == n && std::memcmp(b, literal, n) == 0;
+}
+
+bool FastParseRequestItems(FastEstimateScanner& s,
+                           std::vector<EstimateRequest>* requests) {
+  if (!s.Eat('[')) return false;
+  requests->clear();
+  s.SkipSpace();
+  // An empty array is a wire error; let the tree path phrase it.
+  if (s.p < s.end && *s.p == ']') return false;
+  while (true) {
+    if (!s.Eat('{')) return false;
+    bool seen_op = false;
+    bool seen_resource = false;
+    bool seen_features = false;
+    OpType op = OpType::kTableScan;
+    Resource resource = Resource::kCpu;
+    FeatureVector features{};
+    while (true) {
+      const char* kb;
+      const char* ke;
+      if (!s.RawString(&kb, &ke)) return false;
+      if (!s.Eat(':')) return false;
+      if (SliceEquals(kb, ke, "op")) {
+        if (seen_op) return false;
+        seen_op = true;
+        const char* vb;
+        const char* ve;
+        if (!s.RawString(&vb, &ve)) return false;
+        if (!ParseOpType(std::string(vb, ve), &op)) return false;
+      } else if (SliceEquals(kb, ke, "resource")) {
+        if (seen_resource) return false;
+        seen_resource = true;
+        const char* vb;
+        const char* ve;
+        if (!s.RawString(&vb, &ve)) return false;
+        if (!ParseResource(std::string(vb, ve), &resource)) return false;
+      } else if (SliceEquals(kb, ke, "features")) {
+        if (seen_features) return false;
+        seen_features = true;
+        if (!s.Eat('[')) return false;
+        s.SkipSpace();
+        size_t count = 0;
+        if (s.p < s.end && *s.p == ']') {
+          ++s.p;
+        } else {
+          while (true) {
+            if (count >= static_cast<size_t>(kNumFeatures)) return false;
+            if (!s.Number(&features[count])) return false;
+            ++count;
+            s.SkipSpace();
+            if (s.p < s.end && *s.p == ',') {
+              ++s.p;
+              continue;
+            }
+            if (s.p < s.end && *s.p == ']') {
+              ++s.p;
+              break;
+            }
+            return false;
+          }
+        }
+      } else {
+        return false;  // Unknown key: the tree path owns the diagnostic.
+      }
+      s.SkipSpace();
+      if (s.p < s.end && *s.p == ',') {
+        ++s.p;
+        continue;
+      }
+      if (s.p < s.end && *s.p == '}') {
+        ++s.p;
+        break;
+      }
+      return false;
+    }
+    if (!seen_op || !seen_resource || !seen_features) return false;
+    requests->push_back(EstimateRequest::ForOperator(op, features, resource));
+    s.SkipSpace();
+    if (s.p < s.end && *s.p == ',') {
+      ++s.p;
+      continue;
+    }
+    if (s.p < s.end && *s.p == ']') {
+      ++s.p;
+      return true;
+    }
+    return false;
+  }
+}
+
+bool TryFastEstimateParse(const std::string& body,
+                          std::vector<EstimateRequest>* requests,
+                          SubmitOptions* options, std::string* tenant) {
+  FastEstimateScanner s{body.data(), body.data() + body.size()};
+  if (!s.Eat('{')) return false;
+  *options = SubmitOptions{};
+  if (tenant != nullptr) tenant->clear();
+  bool seen_priority = false;
+  bool seen_deadline = false;
+  bool seen_tenant = false;
+  bool seen_requests = false;
+  s.SkipSpace();
+  if (s.p >= s.end || *s.p == '}') return false;  // Missing "requests".
+  while (true) {
+    const char* kb;
+    const char* ke;
+    if (!s.RawString(&kb, &ke)) return false;
+    if (!s.Eat(':')) return false;
+    if (SliceEquals(kb, ke, "requests")) {
+      if (seen_requests) return false;
+      seen_requests = true;
+      if (!FastParseRequestItems(s, requests)) return false;
+    } else if (SliceEquals(kb, ke, "priority")) {
+      if (seen_priority) return false;
+      seen_priority = true;
+      const char* vb;
+      const char* ve;
+      if (!s.RawString(&vb, &ve)) return false;
+      if (!ParseTaskPriority(std::string(vb, ve), &options->priority)) {
+        return false;
+      }
+    } else if (SliceEquals(kb, ke, "deadline_ms")) {
+      if (seen_deadline) return false;
+      seen_deadline = true;
+      double ms = 0.0;
+      if (!s.Number(&ms)) return false;
+      if (!(ms > 0.0) || !std::isfinite(ms)) return false;
+      options->deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(
+                              static_cast<int64_t>(ms * 1000.0));
+    } else if (SliceEquals(kb, ke, "tenant")) {
+      if (seen_tenant) return false;
+      seen_tenant = true;
+      const char* vb;
+      const char* ve;
+      if (!s.RawString(&vb, &ve)) return false;
+      if (tenant != nullptr) tenant->assign(vb, ve);
+    } else {
+      return false;
+    }
+    s.SkipSpace();
+    if (s.p < s.end && *s.p == ',') {
+      ++s.p;
+      continue;
+    }
+    if (s.p < s.end && *s.p == '}') {
+      ++s.p;
+      break;
+    }
+    return false;
+  }
+  s.SkipSpace();
+  if (s.p != s.end) return false;  // Trailing characters.
+  return seen_requests;
+}
+
 }  // namespace
 
 bool ParseEstimateWireBatch(const JsonValue& body,
                             std::vector<EstimateRequest>* requests,
-                            SubmitOptions* options, std::string* error) {
+                            SubmitOptions* options, std::string* error,
+                            std::string* tenant) {
   if (!body.is_object()) {
     *error = "request body must be a JSON object";
     return false;
   }
   *options = SubmitOptions{};
+  if (tenant != nullptr) tenant->clear();
 
   std::string unknown;
-  if (FindUnknownKey(body, {"priority", "deadline_ms", "requests"},
+  if (FindUnknownKey(body, {"priority", "deadline_ms", "tenant", "requests"},
                      &unknown)) {
     *error = "unknown field \"" + unknown + "\"";
     return false;
   }
 
+  if (const JsonValue* tenant_value = body.Find("tenant")) {
+    if (!tenant_value->is_string()) {
+      *error = "\"tenant\" must be a string";
+      return false;
+    }
+    if (tenant != nullptr) *tenant = tenant_value->as_string();
+  }
   if (const JsonValue* priority = body.Find("priority")) {
     if (!priority->is_string() ||
         !ParseTaskPriority(priority->as_string(), &options->priority)) {
@@ -122,6 +371,23 @@ bool ParseEstimateWireBatch(const JsonValue& body,
   return true;
 }
 
+bool ParseEstimateWireRequest(const std::string& body,
+                              std::vector<EstimateRequest>* requests,
+                              SubmitOptions* options, std::string* tenant,
+                              std::string* error) {
+  // Well-formed estimate traffic decodes in one pass with no JsonValue
+  // tree; the fast scanner refuses anything it is not certain about, and
+  // the tree path below then produces the canonical accept/reject.
+  if (TryFastEstimateParse(body, requests, options, tenant)) return true;
+  JsonValue tree;
+  std::string syntax_error;
+  if (!JsonValue::Parse(body, &tree, &syntax_error)) {
+    *error = "malformed JSON: " + syntax_error;
+    return false;
+  }
+  return ParseEstimateWireBatch(tree, requests, options, error, tenant);
+}
+
 std::string FormatEstimateWireResponse(
     const std::vector<EstimateResult>& results) {
   std::string out = "{\"model_version\":";
@@ -154,15 +420,23 @@ int EstimateWireHttpStatus(const std::vector<EstimateResult>& results) {
 
 bool ParseObserveWireBatch(const JsonValue& body,
                            std::vector<ObserveWireRow>* rows,
-                           std::string* error) {
+                           std::string* error, std::string* tenant) {
   if (!body.is_object()) {
     *error = "request body must be a JSON object";
     return false;
   }
+  if (tenant != nullptr) tenant->clear();
   std::string unknown;
-  if (FindUnknownKey(body, {"observations"}, &unknown)) {
+  if (FindUnknownKey(body, {"tenant", "observations"}, &unknown)) {
     *error = "unknown field \"" + unknown + "\"";
     return false;
+  }
+  if (const JsonValue* tenant_value = body.Find("tenant")) {
+    if (!tenant_value->is_string()) {
+      *error = "\"tenant\" must be a string";
+      return false;
+    }
+    if (tenant != nullptr) *tenant = tenant_value->as_string();
   }
   const JsonValue* items = body.Find("observations");
   if (items == nullptr || !items->is_array() || items->items().empty()) {

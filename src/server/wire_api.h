@@ -8,6 +8,7 @@
 //   {
 //     "priority": "urgent" | "normal" | "bulk",   // optional, default normal
 //     "deadline_ms": 250,                          // optional, > 0
+//     "tenant": "analytics",                       // optional, default tenant
 //     "requests": [
 //       {"op": "TableScan", "resource": "CPU", "features": [1e4, 8.0, ...]},
 //       ...
@@ -29,9 +30,9 @@
 //     ]
 //   }
 //
-// Values are printed with round-trip precision (%.17g), so a client parsing
-// them with strtod recovers bit-identical doubles — the HTTP surface keeps
-// the service's bit-identity contract.
+// Values are printed in shortest round-trip form (std::to_chars), so a
+// client parsing them with strtod recovers bit-identical doubles — the HTTP
+// surface keeps the service's bit-identity contract.
 #ifndef RESEST_SERVER_WIRE_API_H_
 #define RESEST_SERVER_WIRE_API_H_
 
@@ -49,9 +50,25 @@ namespace resest {
 /// A `deadline_ms` is converted to an absolute steady-clock deadline at
 /// parse time, so queueing delay counts against it — same as an in-process
 /// caller computing the deadline before submitting.
+/// When `tenant` is non-null it receives the optional "tenant" field
+/// (cleared when absent); routing/validation is the caller's job.
 bool ParseEstimateWireBatch(const JsonValue& body,
                             std::vector<EstimateRequest>* requests,
-                            SubmitOptions* options, std::string* error);
+                            SubmitOptions* options, std::string* error,
+                            std::string* tenant = nullptr);
+
+/// Parses a raw POST /v1/estimate body end to end. Semantically identical
+/// to JsonValue::Parse + ParseEstimateWireBatch (including error messages,
+/// with JSON syntax errors prefixed "malformed JSON: "), but the well-formed
+/// hot shape — objects of priority/deadline_ms/tenant/requests with plain
+/// strings and numbers — is decoded in a single allocation-light pass over
+/// the text without building a JsonValue tree. Any deviation (escapes,
+/// unknown keys, duplicates, type errors, syntax errors) falls back to the
+/// tree parser so accept/reject behavior and diagnostics stay canonical.
+bool ParseEstimateWireRequest(const std::string& body,
+                              std::vector<EstimateRequest>* requests,
+                              SubmitOptions* options, std::string* tenant,
+                              std::string* error);
 
 /// Formats the response body for a completed batch (one result per request,
 /// in request order).
@@ -68,9 +85,11 @@ int EstimateWireHttpStatus(const std::vector<EstimateResult>& results);
 std::string FormatWireError(const std::string& message);
 
 /// One observation row from POST /v1/observe — the feedback edge over HTTP.
-/// Body shape (same strictness rules as /v1/estimate):
+/// Body shape (same strictness rules as /v1/estimate, including the
+/// optional top-level "tenant" field):
 ///
 ///   {
+///     "tenant": "analytics",                       // optional
 ///     "observations": [
 ///       {"op": "TableScan", "resource": "CPU",
 ///        "features": [1e4, 8.0, ...], "label": 1234.5},
@@ -85,10 +104,13 @@ struct ObserveWireRow {
 };
 
 /// Parses the body of POST /v1/observe. On failure returns false with a
-/// client-actionable message in *error; *rows is unspecified then.
+/// client-actionable message in *error; *rows is unspecified then. When
+/// `tenant` is non-null it receives the optional "tenant" field (cleared
+/// when absent).
 bool ParseObserveWireBatch(const JsonValue& body,
                            std::vector<ObserveWireRow>* rows,
-                           std::string* error);
+                           std::string* error,
+                           std::string* tenant = nullptr);
 
 /// Formats the response body `{"accepted": N, "model_version": V}`.
 std::string FormatObserveWireResponse(size_t accepted, uint64_t model_version);

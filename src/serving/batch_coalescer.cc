@@ -65,10 +65,14 @@ void BatchCoalescer::Submit(std::vector<EstimateRequest> rows,
     std::unique_lock<std::mutex> lock(mu_);
     Bucket& bucket = buckets_[lane];
     if (!bucket.rows.empty() &&
-        bucket.rows.size() + n > effective_max_rows_) {
+        (bucket.rows.size() + n > effective_max_rows_ ||
+         bucket.tenant != options.tenant)) {
+      // No room, or another tenant's rows are pending — tenants never
+      // share a merged batch.
       to_submit.push_back(TakeLocked(lane, FlushReason::kFull));
     }
     const bool first = bucket.entries.empty();
+    if (first) bucket.tenant = options.tenant;
     Entry entry;
     entry.done = std::move(done);
     entry.offset = bucket.rows.size();
@@ -117,10 +121,12 @@ BatchCoalescer::PendingFlush BatchCoalescer::TakeLocked(size_t lane,
   PendingFlush flush;
   flush.rows = std::move(bucket.rows);
   flush.entries = std::move(bucket.entries);
+  flush.tenant = std::move(bucket.tenant);
   flush.priority = static_cast<TaskPriority>(lane);
   flush.reason = reason;
   bucket.rows.clear();
   bucket.entries.clear();
+  bucket.tenant.clear();
   return flush;
 }
 
@@ -152,6 +158,7 @@ void BatchCoalescer::SubmitMerged(PendingFlush flush) {
       std::make_shared<std::vector<Entry>>(std::move(flush.entries));
   SubmitOptions merged_options;
   merged_options.priority = flush.priority;
+  merged_options.tenant = std::move(flush.tenant);
   service_->SubmitBatch(
       std::move(flush.rows),
       [this, entries](std::vector<EstimateResult> results) {

@@ -11,6 +11,10 @@
 // Scheduling semantics:
 //  - One bucket per TaskPriority; a submission only ever merges with its
 //    own priority, and the merged batch is submitted at that priority.
+//  - Submissions never merge across tenants (SubmitOptions::tenant): a
+//    bucket holds one tenant's rows; a different tenant's arrival flushes
+//    the pending bucket first. Multi-tenant servers run one coalescer per
+//    tenant anyway — this guard keeps isolation even if one is shared.
 //  - kUrgent submissions never wait: they flush their bucket immediately
 //    on arrival (merging opportunistically with any urgent rows that raced
 //    in), so an urgent probe cannot be held behind a bulk window.
@@ -118,6 +122,9 @@ class BatchCoalescer {
   struct Bucket {
     std::vector<EstimateRequest> rows;
     std::vector<Entry> entries;
+    /// Tenant owning the pending rows (set by the first entry); arrivals
+    /// from any other tenant flush the bucket before starting their own.
+    std::string tenant;
     /// Flush-at time, armed by the bucket's first entry.
     std::chrono::steady_clock::time_point deadline;
   };
@@ -126,6 +133,7 @@ class BatchCoalescer {
   struct PendingFlush {
     std::vector<EstimateRequest> rows;
     std::vector<Entry> entries;
+    std::string tenant;
     TaskPriority priority = TaskPriority::kNormal;
     FlushReason reason = FlushReason::kWindow;
   };

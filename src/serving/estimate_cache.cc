@@ -29,13 +29,27 @@ bool EstimateCache::KeysEqual(const Key& a, const Key& b) {
          FeatureVectorHashEqual(a.features, b.features);
 }
 
-std::list<std::pair<EstimateCache::Key, double>>::iterator
-EstimateCache::FindLocked(Shard& shard, uint64_t hash, const Key& key) {
+EstimateCache::EntryList::iterator EstimateCache::FindLocked(
+    Shard& shard, uint64_t hash, const Key& key) {
   auto [lo, hi] = shard.map.equal_range(hash);
   for (auto it = lo; it != hi; ++it) {
-    if (KeysEqual(it->second->first, key)) return it->second;
+    if (KeysEqual(it->second->key, key)) return it->second;
   }
   return shard.lru.end();
+}
+
+void EstimateCache::EraseLocked(Shard& shard, EntryList::iterator node) {
+  const uint64_t hash = HashKey(node->key);
+  auto [lo, hi] = shard.map.equal_range(hash);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == node) {
+      shard.map.erase(it);
+      break;
+    }
+  }
+  shard.by_slot[SlotIndex(node->key.op, node->key.resource)].erase(
+      node->slot_pos);
+  shard.lru.erase(node);
 }
 
 bool EstimateCache::Lookup(const Key& key, double* value) {
@@ -48,7 +62,7 @@ bool EstimateCache::Lookup(const Key& key, double* value) {
     return false;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, node);
-  *value = node->second;
+  *value = node->value;
   ++shard.hits;
   return true;
 }
@@ -61,24 +75,18 @@ void EstimateCache::Insert(const Key& key, double value) {
   if (node != shard.lru.end()) {
     // Estimation is deterministic, so a refresh carries the same value;
     // still update in case two models ever race, and promote to front.
-    node->second = value;
+    node->value = value;
     shard.lru.splice(shard.lru.begin(), shard.lru, node);
     return;
   }
-  shard.lru.emplace_front(key, value);
+  shard.lru.emplace_front(Entry{key, value, {}});
+  SlotList& slot = shard.by_slot[SlotIndex(key.op, key.resource)];
+  slot.push_front(shard.lru.begin());
+  shard.lru.begin()->slot_pos = slot.begin();
   shard.map.emplace(hash, shard.lru.begin());
   ++shard.insertions;
   if (shard.map.size() > shard_capacity_) {
-    auto victim = std::prev(shard.lru.end());
-    const uint64_t victim_hash = HashKey(victim->first);
-    auto [lo, hi] = shard.map.equal_range(victim_hash);
-    for (auto it = lo; it != hi; ++it) {
-      if (it->second == victim) {
-        shard.map.erase(it);
-        break;
-      }
-    }
-    shard.lru.erase(victim);
+    EraseLocked(shard, std::prev(shard.lru.end()));
     ++shard.evictions;
   }
 }
@@ -87,35 +95,22 @@ void EstimateCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->map.clear();
+    for (SlotList& slot : shard->by_slot) slot.clear();
     shard->lru.clear();
   }
 }
 
 void EstimateCache::EvictOperators(const std::vector<ModelSlotId>& ops) {
   if (ops.empty()) return;
-  auto matches = [&ops](const Key& key) {
-    for (const auto& [op, resource] : ops) {
-      if (key.op == op && key.resource == resource) return true;
-    }
-    return false;
-  };
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
-      if (!matches(it->first)) {
-        ++it;
-        continue;
+    for (const auto& [op, resource] : ops) {
+      SlotList& slot = shard->by_slot[SlotIndex(op, resource)];
+      while (!slot.empty()) {
+        ++shard->invalidate_visited;
+        EraseLocked(*shard, slot.front());
+        ++shard->invalidated;
       }
-      const uint64_t hash = HashKey(it->first);
-      auto [lo, hi] = shard->map.equal_range(hash);
-      for (auto mit = lo; mit != hi; ++mit) {
-        if (mit->second == it) {
-          shard->map.erase(mit);
-          break;
-        }
-      }
-      it = shard->lru.erase(it);
-      ++shard->invalidated;
     }
   }
 }
@@ -132,6 +127,7 @@ EstimateCacheStats EstimateCache::stats() const {
       slice.insertions = shard->insertions;
       slice.evictions = shard->evictions;
       slice.invalidated = shard->invalidated;
+      slice.invalidate_visited = shard->invalidate_visited;
       slice.entries = shard->map.size();
     }
     s.hits += slice.hits;
@@ -139,6 +135,7 @@ EstimateCacheStats EstimateCache::stats() const {
     s.insertions += slice.insertions;
     s.evictions += slice.evictions;
     s.invalidated += slice.invalidated;
+    s.invalidate_visited += slice.invalidate_visited;
     s.entries += slice.entries;
     s.shards.push_back(slice);
   }

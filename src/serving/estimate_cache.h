@@ -20,6 +20,7 @@
 #ifndef RESEST_SERVING_ESTIMATE_CACHE_H_
 #define RESEST_SERVING_ESTIMATE_CACHE_H_
 
+#include <array>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -56,6 +57,11 @@ struct EstimateCacheShardStats {
   uint64_t insertions = 0;
   uint64_t evictions = 0;  ///< Entries dropped by the shard's LRU bound.
   uint64_t invalidated = 0;  ///< Entries dropped by scoped EvictOperators.
+  /// Entries EvictOperators examined while holding the shard mutex. The
+  /// per-slot index makes this equal `invalidated` (only matching entries
+  /// are ever visited); a regression back to a full LRU scan shows up as
+  /// visited >> invalidated, which tests/estimate_cache_test.cc pins.
+  uint64_t invalidate_visited = 0;
   size_t entries = 0;      ///< Current size (point-in-time, not monotonic).
 
   double HitRate() const { return CacheHitRate(hits, misses); }
@@ -69,6 +75,7 @@ struct EstimateCacheStats {
   uint64_t insertions = 0;
   uint64_t evictions = 0;  ///< Entries dropped by the LRU bound.
   uint64_t invalidated = 0;  ///< Entries dropped by scoped EvictOperators.
+  uint64_t invalidate_visited = 0;  ///< Entries examined by EvictOperators.
   size_t entries = 0;      ///< Current size (point-in-time, not monotonic).
   std::vector<EstimateCacheShardStats> shards;
 
@@ -106,25 +113,49 @@ class EstimateCache {
   /// operator's entries survive (and keep hitting, since their slot-version
   /// keys are unchanged across the swap). Counters are retained; dropped
   /// entries count under `invalidated`, not `evictions`.
+  ///
+  /// Cost: O(matching entries) per shard, via the per-slot membership index
+  /// — the shard mutex is held only long enough to unlink the refitted
+  /// slots' own entries, so a wide delta refit cannot stall concurrent
+  /// urgent Lookups behind a full LRU scan.
   void EvictOperators(const std::vector<ModelSlotId>& ops);
 
   EstimateCacheStats stats() const;
   size_t capacity() const { return shard_capacity_ * shards_.size(); }
 
  private:
+  struct Entry;
+  using EntryList = std::list<Entry>;
+  /// Per-(op, resource) membership list: iterators into the shard's LRU.
+  using SlotList = std::list<EntryList::iterator>;
+
+  /// One cached estimate. Besides the key/value it carries its position in
+  /// the owning shard's per-slot membership list, so unlinking on LRU
+  /// eviction stays O(1) and scoped invalidation never scans non-matching
+  /// entries.
+  struct Entry {
+    Key key;
+    double value = 0.0;
+    SlotList::iterator slot_pos{};
+  };
+
   static uint64_t HashKey(const Key& k);
   static bool KeysEqual(const Key& a, const Key& b);
+  static size_t SlotIndex(OpType op, Resource resource) {
+    return static_cast<size_t>(op) * static_cast<size_t>(kNumResources) +
+           static_cast<size_t>(resource);
+  }
 
   struct Shard {
     std::mutex mu;
     /// Front = most recently used.
-    std::list<std::pair<Key, double>> lru;
+    EntryList lru;
     /// Keyed by the precomputed key hash (computed once per Lookup/Insert);
     /// hash collisions are resolved by KeysEqual against the list node, so
     /// each full Key is stored exactly once (in the LRU node).
-    std::unordered_multimap<uint64_t,
-                            std::list<std::pair<Key, double>>::iterator>
-        map;
+    std::unordered_multimap<uint64_t, EntryList::iterator> map;
+    /// Entries grouped by (op, resource) — the EvictOperators index.
+    std::array<SlotList, kNumModelSlots> by_slot;
     // Counters live with the shard (guarded by `mu`, which Lookup/Insert
     // already hold) so stats can report the per-shard traffic breakdown.
     uint64_t hits = 0;
@@ -132,11 +163,15 @@ class EstimateCache {
     uint64_t insertions = 0;
     uint64_t evictions = 0;
     uint64_t invalidated = 0;
+    uint64_t invalidate_visited = 0;
   };
 
   /// The list iterator under (hash, key) in this shard, or lru.end().
-  static std::list<std::pair<Key, double>>::iterator FindLocked(
-      Shard& shard, uint64_t hash, const Key& key);
+  static EntryList::iterator FindLocked(Shard& shard, uint64_t hash,
+                                        const Key& key);
+  /// Unlinks `node` from the hash map and its slot list, then erases it
+  /// from the LRU. Caller holds the shard mutex and accounts the removal.
+  static void EraseLocked(Shard& shard, EntryList::iterator node);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t shard_capacity_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "src/core/estimator.h"
@@ -531,6 +532,24 @@ size_t EstimationService::EffectiveChunkSize(size_t batch_size,
     cap = 8;
   } else if (priority == TaskPriority::kBulk) {
     cap = 256;
+  }
+  // Oversubscription correction: chunk boundaries are the preemption points,
+  // and their wall-clock cadence is what bounds urgent latency under load.
+  // When the pool runs more threads than the host has cores, every chunk's
+  // wall time is stretched by the timeslice factor (N threads sharing one
+  // core make one chunk take ~N times longer to reach its boundary), so a
+  // bulk cap tuned for a dedicated core leaves urgent probes stranded for
+  // tens of milliseconds on a small host. Shrink the non-urgent caps by the
+  // oversubscription factor — a no-op when the pool fits the hardware — with
+  // a floor that keeps the dedup/sweep width past the knee where batching
+  // stops paying.
+  if (priority != TaskPriority::kUrgent) {
+    const size_t hw =
+        std::max<size_t>(1, std::thread::hardware_concurrency());
+    const size_t oversubscription = (workers + hw - 1) / hw;
+    if (oversubscription > 1) {
+      cap = std::max<size_t>(32, cap / oversubscription);
+    }
   }
   return std::max<size_t>(1, std::min(chunk, cap));
 }

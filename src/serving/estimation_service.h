@@ -97,6 +97,13 @@ struct SubmitOptions {
   /// (time_point::max()) means "no deadline".
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Tenant binding (multi-tenant serving, src/serving/tenant_manager.h).
+  /// Empty means the default tenant. The TenantManager routes each request
+  /// to its tenant's own service/cache/logs; the tag travels with the
+  /// submission so shared pipeline stages — the BatchCoalescer in
+  /// particular — never merge work across tenants even when one instance
+  /// is (mis)shared between them.
+  std::string tenant;
 
   bool has_deadline() const {
     return deadline != std::chrono::steady_clock::time_point::max();

@@ -269,6 +269,103 @@ TEST(EstimateCacheTest, EvictOperatorsDropsOnlyMatchingSlots) {
   EXPECT_EQ(cache.stats().invalidated, 17u);
 }
 
+TEST(EstimateCacheTest, EvictOperatorsVisitsOnlyMatchingEntries) {
+  // The regression this pins: EvictOperators used to walk the entire LRU of
+  // every shard under the shard mutex — O(entries x ops) with all lookups
+  // blocked — even when the refitted slots held a handful of entries. The
+  // per-slot index must touch exactly the matching entries, so a wide
+  // population of innocent bystanders costs nothing.
+  EstimateCacheOptions options;
+  options.capacity = 64 * 1024;
+  options.shards = 4;
+  EstimateCache cache(options);
+  constexpr int kBystanders = 20000;
+  for (int i = 0; i < kBystanders; ++i) {
+    cache.Insert(MakeSlotKey(OpType::kHashJoin, Resource::kCpu, i), 1.0);
+  }
+  for (int i = 0; i < 8; ++i) {
+    cache.Insert(MakeSlotKey(OpType::kSort, Resource::kIo, i), 2.0);
+  }
+
+  // A wide delta: every slot except the bystanders' is refitted.
+  std::vector<ModelSlotId> wide;
+  for (int op = 0; op < kNumOpTypes; ++op) {
+    for (int r = 0; r < kNumResources; ++r) {
+      if (static_cast<OpType>(op) == OpType::kHashJoin &&
+          static_cast<Resource>(r) == Resource::kCpu) {
+        continue;
+      }
+      wide.emplace_back(static_cast<OpType>(op), static_cast<Resource>(r));
+    }
+  }
+  cache.EvictOperators(wide);
+
+  const EstimateCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.invalidated, 8u);
+  // The bound: only matching entries were examined under the shard mutex.
+  EXPECT_EQ(stats.invalidate_visited, stats.invalidated);
+  EXPECT_EQ(stats.entries, static_cast<size_t>(kBystanders));
+  double value = 0.0;
+  ASSERT_TRUE(cache.Lookup(MakeSlotKey(OpType::kHashJoin, Resource::kCpu, 17),
+                           &value));
+  EXPECT_EQ(value, 1.0);
+}
+
+TEST(EstimateCacheTest, LookupsStayLiveDuringRepeatedWideEviction) {
+  // Concurrent lookups against a well-populated cache while another thread
+  // hammers wide EvictOperators sweeps: lookups must stay correct and the
+  // eviction work must stay proportional to what it drops (visited ==
+  // invalidated), not to the cache population it scans past.
+  EstimateCacheOptions options;
+  options.capacity = 64 * 1024;
+  options.shards = 4;
+  EstimateCache cache(options);
+  constexpr int kHotKeys = 4096;
+  for (int i = 0; i < kHotKeys; ++i) {
+    cache.Insert(MakeSlotKey(OpType::kHashJoin, Resource::kCpu, i), 1.0);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> wrong{0};
+  std::thread reader([&]() {
+    double value = 0.0;
+    for (int round = 0; round < 200; ++round) {
+      for (int i = 0; i < kHotKeys; i += 64) {
+        if (!cache.Lookup(MakeSlotKey(OpType::kHashJoin, Resource::kCpu, i),
+                          &value) ||
+            value != 1.0) {
+          wrong.fetch_add(1);
+        }
+      }
+    }
+    stop.store(true);
+  });
+  std::thread evictor([&]() {
+    // Refit churn on slots the reader never touches, plus fresh insertions
+    // so the swept slots are never empty.
+    const std::vector<ModelSlotId> swept = {
+        {OpType::kSort, Resource::kCpu},
+        {OpType::kSort, Resource::kIo},
+        {OpType::kTableScan, Resource::kCpu},
+    };
+    int serial = 0;
+    while (!stop.load()) {
+      for (const auto& [op, resource] : swept) {
+        cache.Insert(MakeSlotKey(op, resource, ++serial), 3.0);
+      }
+      cache.EvictOperators(swept);
+    }
+  });
+  reader.join();
+  evictor.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  const EstimateCacheStats stats = cache.stats();
+  EXPECT_GT(stats.invalidated, 0u);
+  EXPECT_EQ(stats.invalidate_visited, stats.invalidated);
+  EXPECT_EQ(stats.hits, static_cast<uint64_t>(200 * (kHotKeys / 64)));
+}
+
 TEST(EstimateCacheTest, ClearDropsEntriesKeepsCounters) {
   EstimateCache cache;
   cache.Insert(MakeKey(1, 1.0), 1.0);

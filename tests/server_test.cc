@@ -443,6 +443,130 @@ TEST(WireApiTest, BatchHttpStatusReflectsUniformFailuresOnly) {
 }
 
 // ---------------------------------------------------------------------------
+// Fast-path wire parser: ParseEstimateWireRequest promises observational
+// equivalence with JsonValue::Parse + ParseEstimateWireBatch — same
+// accept/reject verdict, same error text, same parsed values — whether a
+// body takes the single-pass scanner or falls back to the tree.
+// ---------------------------------------------------------------------------
+
+void ExpectWireParseEquivalent(const std::string& body) {
+  std::vector<EstimateRequest> fast_requests;
+  SubmitOptions fast_options;
+  std::string fast_tenant = "stale";
+  std::string fast_error;
+  const bool fast_ok = ParseEstimateWireRequest(
+      body, &fast_requests, &fast_options, &fast_tenant, &fast_error);
+
+  std::vector<EstimateRequest> tree_requests;
+  SubmitOptions tree_options;
+  std::string tree_tenant = "stale";
+  std::string tree_error;
+  bool tree_ok = false;
+  JsonValue tree;
+  std::string syntax_error;
+  if (!JsonValue::Parse(body, &tree, &syntax_error)) {
+    tree_error = "malformed JSON: " + syntax_error;
+  } else {
+    tree_ok = ParseEstimateWireBatch(tree, &tree_requests, &tree_options,
+                                     &tree_error, &tree_tenant);
+  }
+
+  EXPECT_EQ(fast_ok, tree_ok) << body;
+  if (!fast_ok || !tree_ok) {
+    EXPECT_EQ(fast_error, tree_error) << body;
+    return;
+  }
+  EXPECT_EQ(fast_tenant, tree_tenant) << body;
+  EXPECT_EQ(fast_options.priority, tree_options.priority) << body;
+  // Deadlines are converted to absolute time at parse time, so two parses
+  // differ by the call gap; only presence is comparable.
+  EXPECT_EQ(fast_options.has_deadline(), tree_options.has_deadline()) << body;
+  ASSERT_EQ(fast_requests.size(), tree_requests.size()) << body;
+  for (size_t i = 0; i < fast_requests.size(); ++i) {
+    EXPECT_EQ(fast_requests[i].op, tree_requests[i].op) << body;
+    EXPECT_EQ(fast_requests[i].resource, tree_requests[i].resource) << body;
+    EXPECT_EQ(std::memcmp(fast_requests[i].features.data(),
+                          tree_requests[i].features.data(),
+                          sizeof(FeatureVector)),
+              0)
+        << body << " request " << i;
+  }
+}
+
+TEST(WireApiTest, FastPathParserMatchesTreeParserOnHotShapes) {
+  // The shapes clients actually send: every combination the scanner claims
+  // to handle without the tree, with awkward-but-valid numbers.
+  const auto requests = [](int n, int salt) {
+    std::vector<EstimateRequest> out;
+    for (int i = 0; i < n; ++i) {
+      out.push_back(EstimateRequest::ForOperator(
+          static_cast<OpType>((i + salt) % kNumOpTypes), TestFeatures(i),
+          i % 2 == 0 ? Resource::kCpu : Resource::kIo));
+    }
+    return out;
+  };
+  ExpectWireParseEquivalent(WireBatchBody(requests(1, 0), ""));
+  ExpectWireParseEquivalent(WireBatchBody(requests(8, 3), "urgent"));
+  ExpectWireParseEquivalent(WireBatchBody(requests(64, 5), "bulk", 250.0));
+  ExpectWireParseEquivalent(
+      "{\"tenant\":\"alpha\",\"requests\":[{\"op\":\"Sort\","
+      "\"resource\":\"CPU\",\"features\":[1e-308,2.5e17,-0.0,3]}]}");
+  ExpectWireParseEquivalent(
+      " { \"priority\" : \"normal\" , \"deadline_ms\" : 1.5e3 , "
+      "\"requests\" : [ { \"op\" : \"HashJoin\" , \"resource\" : \"IO\" , "
+      "\"features\" : [ ] } ] } ");
+  ExpectWireParseEquivalent(
+      "{\"requests\":[{\"features\":[1,2],\"resource\":\"io\","
+      "\"op\":\"TableScan\"}],\"tenant\":\"t-1.x_2\"}");
+}
+
+TEST(WireApiTest, FastPathParserMatchesTreeParserOnRejectsAndFallbacks) {
+  const char* bodies[] = {
+      // Syntax errors: identical "malformed JSON: ..." diagnostics.
+      "", "{", "{\"requests\":[}", "nan", "{\"requests\":[]} trailing",
+      "{\"requests\":[{\"op\":\"Sort\",\"resource\":\"CPU\","
+      "\"features\":[01]}]}",
+      // Wire-contract errors (tree-path diagnostics, byte for byte).
+      "[]", "3", "{\"requests\": 3}", "{\"requests\": []}",
+      "{\"dead_line_ms\": 5, \"requests\":"
+      " [{\"op\":\"Sort\",\"resource\":\"CPU\",\"features\":[]}]}",
+      "{\"priority\": \"high\", \"requests\": []}",
+      "{\"priority\": 7, \"requests\": []}",
+      "{\"deadline_ms\": -1, \"requests\": []}",
+      "{\"deadline_ms\": \"soon\", \"requests\": []}",
+      "{\"tenant\": 9, \"requests\":"
+      " [{\"op\":\"Sort\",\"resource\":\"CPU\",\"features\":[]}]}",
+      "{\"requests\": [5]}",
+      "{\"requests\": [{\"resource\":\"CPU\",\"features\":[]}]}",
+      "{\"requests\": [{\"op\":\"NoSuchOp\",\"resource\":\"CPU\","
+      "\"features\":[]}]}",
+      "{\"requests\": [{\"op\":\"Sort\",\"resource\":\"RAM\","
+      "\"features\":[]}]}",
+      "{\"requests\": [{\"op\":\"Sort\",\"resource\":\"CPU\"}]}",
+      "{\"requests\": [{\"op\":\"Sort\",\"resource\":\"CPU\","
+      "\"features\":[true]}]}",
+      "{\"requests\": [{\"op\":\"Sort\",\"resource\":\"CPU\","
+      "\"features\":[],\"weight\":2}]}",
+      // Valid JSON the scanner bails on (escapes, duplicate keys, unicode):
+      // must still parse identically via the tree.
+      "{\"priority\":\"bulk\",\"priority\":\"urgent\",\"requests\":"
+      "[{\"op\":\"Sort\",\"resource\":\"CPU\",\"features\":[1]}]}",
+      "{\"tenant\":\"\\u0061lpha\",\"requests\":"
+      "[{\"op\":\"Sort\",\"resource\":\"CPU\",\"features\":[1]}]}",
+      "{\"requests\":[{\"op\":\"So\\u0072t\",\"resource\":\"CPU\","
+      "\"features\":[1]}]}",
+  };
+  for (const char* body : bodies) ExpectWireParseEquivalent(body);
+
+  // Feature overflow (kNumFeatures + 1): rejected on both paths.
+  std::string long_features =
+      "{\"requests\":[{\"op\":\"Sort\",\"resource\":\"CPU\",\"features\":[0";
+  for (int i = 0; i < kNumFeatures; ++i) long_features += ",0";
+  long_features += "]}]}";
+  ExpectWireParseEquivalent(long_features);
+}
+
+// ---------------------------------------------------------------------------
 // ShutdownLatch (programmatic paths; signal delivery is covered by the
 // subprocess SIGTERM test below)
 // ---------------------------------------------------------------------------
@@ -1498,6 +1622,125 @@ TEST_F(ServerFrontendTest, SigtermDrainsUnderConcurrentKeepAliveClients) {
   EXPECT_GT(ok_responses.load(), 0u) << "no load reached the server";
   ASSERT_TRUE(saw_drain_line);
   EXPECT_EQ(served, ok_responses.load());
+}
+
+// ---------------------------------------------------------------------------
+// Tenant routing through the frontend: header/body selection, conflict and
+// unknown-tenant rejection, the /v1/tenants admin view, and per-tenant
+// metric families.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerFrontendTest, TenantRoutingSelectsConflictsAndRejects) {
+  TenantOptions tenant_options;
+  tenant_options.service.model_name = "default";
+  tenant_options.enable_coalescing = false;
+  TenantManager manager(registry_.get(), pool_.get(), tenant_options);
+  std::string terror;
+  ASSERT_NE(manager.AddTenant(kDefaultTenant, &terror), nullptr) << terror;
+  ASSERT_NE(manager.AddTenant("alpha", &terror), nullptr) << terror;
+  ASSERT_NE(manager.AddTenant("beta", &terror), nullptr) << terror;
+  manager.PublishToAll(std::shared_ptr<const ResourceEstimator>(
+      estimator_, [](const auto*) {}));
+  frontend_->set_tenant_manager(&manager);
+
+  const std::string body = WireBatchBody(OperatorRequests(4, 2), "normal");
+
+  // Header-selected tenant serves from alpha's universe (its own model
+  // version and its own cache region).
+  HttpRequest header_request = Post("/v1/estimate", body);
+  header_request.headers.emplace_back("X-Resest-Tenant", "alpha");
+  const HttpResponse alpha1 = frontend_->Handle(header_request);
+  ASSERT_EQ(alpha1.status, 200) << alpha1.body;
+  const uint64_t alpha_version = registry_->Get("default@alpha").version;
+  EXPECT_NE(alpha1.body.find("\"model_version\":" +
+                             std::to_string(alpha_version)),
+            std::string::npos)
+      << alpha1.body;
+
+  // Body-selected tenant: same contract via the "tenant" field.
+  std::string beta_body = "{\"tenant\":\"beta\"," + body.substr(1);
+  const HttpResponse beta1 = frontend_->Handle(Post("/v1/estimate",
+                                                    beta_body));
+  ASSERT_EQ(beta1.status, 200) << beta1.body;
+  EXPECT_NE(beta1.body.find("\"model_version\":" +
+                            std::to_string(
+                                registry_->Get("default@beta").version)),
+            std::string::npos)
+      << beta1.body;
+
+  // Header and body must agree when both are present.
+  HttpRequest conflict = Post("/v1/estimate", beta_body);
+  conflict.headers.emplace_back("X-Resest-Tenant", "alpha");
+  const HttpResponse conflicted = frontend_->Handle(conflict);
+  EXPECT_EQ(conflicted.status, 400);
+  EXPECT_NE(conflicted.body.find("tenant mismatch"), std::string::npos)
+      << conflicted.body;
+  // Agreeing header + body is fine.
+  HttpRequest agreeing = Post("/v1/estimate", beta_body);
+  agreeing.headers.emplace_back("X-Resest-Tenant", "beta");
+  EXPECT_EQ(frontend_->Handle(agreeing).status, 200);
+
+  // Unknown tenants 404 (never auto-created); invalid ids 400.
+  HttpRequest unknown = Post("/v1/estimate", body);
+  unknown.headers.emplace_back("X-Resest-Tenant", "gamma");
+  const HttpResponse missing = frontend_->Handle(unknown);
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_NE(missing.body.find("unknown tenant"), std::string::npos);
+  HttpRequest invalid = Post("/v1/estimate", body);
+  invalid.headers.emplace_back("X-Resest-Tenant", "/etc/passwd");
+  EXPECT_EQ(frontend_->Handle(invalid).status, 400);
+
+  // Tenant-scoped healthz reports the tenant's model name.
+  HttpRequest health = Get("/healthz");
+  health.headers.emplace_back("X-Resest-Tenant", "alpha");
+  const HttpResponse health_response = frontend_->Handle(health);
+  ASSERT_EQ(health_response.status, 200);
+  EXPECT_NE(health_response.body.find("default@alpha"), std::string::npos)
+      << health_response.body;
+
+  // The admin view lists every tenant; alpha shows the traffic above.
+  const HttpResponse tenants = frontend_->Handle(Get("/v1/tenants"));
+  ASSERT_EQ(tenants.status, 200);
+  for (const char* needle :
+       {"\"tenant\":\"default\"", "\"tenant\":\"alpha\"",
+        "\"tenant\":\"beta\"", "\"cache\":{", "\"obslog\":{",
+        "\"lanes\":{"}) {
+    EXPECT_NE(tenants.body.find(needle), std::string::npos) << needle;
+  }
+
+  // Metrics expose one sample per tenant in each resest_tenant_* family.
+  const HttpResponse metrics = frontend_->Handle(Get("/metrics"));
+  ASSERT_EQ(metrics.status, 200);
+  for (const char* needle :
+       {"resest_tenant_requests_total{tenant=\"default\"}",
+        "resest_tenant_requests_total{tenant=\"alpha\"}",
+        "resest_tenant_requests_total{tenant=\"beta\"}",
+        "resest_tenant_cache_pressure{tenant=\"alpha\"}",
+        "resest_tenant_model_version{tenant=\"beta\",model="
+        "\"default@beta\"}"}) {
+    EXPECT_NE(metrics.body.find(needle), std::string::npos) << needle;
+  }
+
+  // Requests routed to alpha never touched the frontend's single-tenant
+  // service (the default tenant in the manager is a different instance).
+  EXPECT_EQ(service_->stats().requests, 0u);
+  frontend_->set_tenant_manager(nullptr);
+}
+
+TEST_F(ServerFrontendTest, SingleTenantModeRejectsNamedTenants) {
+  // Without a TenantManager only the default tenant exists; naming any
+  // other tenant is a 404, and naming the default works.
+  const std::string body = WireBatchBody(OperatorRequests(2, 1), "normal");
+  HttpRequest named = Post("/v1/estimate", body);
+  named.headers.emplace_back("X-Resest-Tenant", "alpha");
+  EXPECT_EQ(frontend_->Handle(named).status, 404);
+  HttpRequest defaulted = Post("/v1/estimate", body);
+  defaulted.headers.emplace_back("X-Resest-Tenant", kDefaultTenant);
+  EXPECT_EQ(frontend_->Handle(defaulted).status, 200);
+  // /v1/tenants still answers with the synthesized default entry.
+  const HttpResponse tenants = frontend_->Handle(Get("/v1/tenants"));
+  ASSERT_EQ(tenants.status, 200);
+  EXPECT_NE(tenants.body.find("\"tenant\":\"default\""), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
